@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks: longest-prefix-match throughput of every
+//! engine over uniform and locality-skewed key streams (the measurement
+//! behind Table 2's Mlookup/s rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fib_core::{FibEngine, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fib_trie::{BinaryTrie, LcTrie};
+use fib_workload::traces::{uniform, ZipfTrace};
+use fib_workload::FibSpec;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const FIB_SIZE: usize = 100_000;
+const BATCH: usize = 1024;
+
+fn engines_and_traces(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBE7C);
+    let trie: BinaryTrie<u32> = FibSpec::dfz_like(FIB_SIZE).generate(&mut rng);
+
+    let lc = LcTrie::from_trie(&trie);
+    let xbw_succinct = XbwFib::build(&trie, XbwStorage::Succinct);
+    let xbw_entropy = XbwFib::build(&trie, XbwStorage::Entropy);
+    let dag = PrefixDag::from_trie(&trie, 11);
+    let ser = SerializedDag::from_dag(&dag);
+
+    let rand_keys: Vec<u32> = uniform(&mut rng, BATCH);
+    let zipf = ZipfTrace::new(&trie, 1.1);
+    let trace_keys: Vec<u32> = zipf.generate(&mut rng, BATCH);
+
+    let engines: Vec<(&str, &dyn FibEngine<u32>)> = vec![
+        ("binary-trie", &trie),
+        ("fib_trie", &lc),
+        ("xbw-succinct", &xbw_succinct),
+        ("xbw-entropy", &xbw_entropy),
+        ("pdag", &dag),
+        ("pdag-serialized", &ser),
+    ];
+
+    for (trace_name, keys) in [("rand", &rand_keys), ("trace", &trace_keys)] {
+        let mut group = c.benchmark_group(format!("lookup/{trace_name}"));
+        group.throughput(Throughput::Elements(BATCH as u64));
+        for (name, engine) in &engines {
+            group.bench_with_input(BenchmarkId::from_parameter(name), keys, |b, keys| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &k in keys.iter() {
+                        acc = acc.wrapping_add(u64::from(
+                            engine.lookup(black_box(k)).map_or(0, |nh| nh.index()),
+                        ));
+                    }
+                    black_box(acc)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, engines_and_traces);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks: the succinct primitives behind XBW-b
+//! (`access`/`rank`/`select` on plain, RRR, and wavelet-tree storage) —
+//! these constants are exactly why the paper concludes that XBW-b, though
+//! asymptotically optimal, loses to the pointer-based prefix DAG.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fib_succinct::{BitVec, RrrVec, RsBitVec, WaveletBacking, WaveletShape, WaveletTree};
+use std::hint::black_box;
+
+const N: usize = 1 << 20;
+const OPS: usize = 1024;
+
+fn bit_primitives(c: &mut Criterion) {
+    let bits: BitVec = (0..N).map(|i| (i.wrapping_mul(2_654_435_761)) % 3 == 0).collect();
+    let rs = RsBitVec::new(bits.clone());
+    let rrr = RrrVec::new(&bits);
+    let positions: Vec<usize> = (0..OPS).map(|i| (i * 7919) % N).collect();
+    let ones = rs.count_ones();
+    let ranks: Vec<usize> = (0..OPS).map(|i| 1 + (i * 104_729) % ones).collect();
+
+    let mut group = c.benchmark_group("bitvec");
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.bench_function("plain/rank1", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &p in &positions {
+                acc = acc.wrapping_add(rs.rank1(black_box(p)));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("rrr/rank1", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &p in &positions {
+                acc = acc.wrapping_add(rrr.rank1(black_box(p)));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("plain/select1", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &ranks {
+                acc = acc.wrapping_add(rs.select1(black_box(q)).unwrap_or(0));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("rrr/select1", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &ranks {
+                acc = acc.wrapping_add(rrr.select1(black_box(q)).unwrap_or(0));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("rrr/access", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &p in &positions {
+                acc = acc.wrapping_add(usize::from(rrr.get(black_box(p))));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn wavelet_primitives(c: &mut Criterion) {
+    // Skewed 16-symbol sequence, like a FIB label string.
+    let seq: Vec<u64> = (0..N as u64)
+        .map(|i| if i % 16 == 0 { 1 + (i / 16) % 15 } else { 0 })
+        .collect();
+    let variants = [
+        (
+            "balanced",
+            WaveletTree::with_backing(&seq, 16, WaveletShape::Balanced, WaveletBacking::Plain),
+        ),
+        (
+            "huffman",
+            WaveletTree::with_backing(&seq, 16, WaveletShape::Huffman, WaveletBacking::Plain),
+        ),
+        (
+            "huffman-rrr",
+            WaveletTree::with_backing(&seq, 16, WaveletShape::Huffman, WaveletBacking::Rrr),
+        ),
+    ];
+    let positions: Vec<usize> = (0..OPS).map(|i| (i * 7919) % N).collect();
+
+    let mut group = c.benchmark_group("wavelet/access");
+    group.throughput(Throughput::Elements(OPS as u64));
+    for (name, wt) in &variants {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &p in &positions {
+                    acc = acc.wrapping_add(wt.access(black_box(p)));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("wavelet/rank");
+    group.throughput(Throughput::Elements(OPS as u64));
+    for (name, wt) in &variants {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &p in &positions {
+                    acc = acc.wrapping_add(wt.rank_sym(0, black_box(p)));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bit_primitives, wavelet_primitives);
+criterion_main!(benches);

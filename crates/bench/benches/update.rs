@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks: FIB update cost — the prefix DAG across
+//! barrier settings (Fig. 5's y-axis) against the plain binary trie.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use fib_core::PrefixDag;
+use fib_trie::BinaryTrie;
+use fib_workload::updates::{bgp_sequence, random_sequence, UpdateOp};
+use fib_workload::FibSpec;
+use rand::SeedableRng;
+
+const FIB_SIZE: usize = 100_000;
+const SEQ: usize = 256;
+
+fn apply_dag(dag: &mut PrefixDag<u32>, seq: &[UpdateOp<u32>]) {
+    for op in seq {
+        match *op {
+            UpdateOp::Announce(p, nh) => {
+                dag.insert(p, nh);
+            }
+            UpdateOp::Withdraw(p) => {
+                dag.remove(p);
+            }
+        }
+    }
+}
+
+fn update_benches(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0BDA);
+    let trie: BinaryTrie<u32> = FibSpec::dfz_like(FIB_SIZE).generate(&mut rng);
+    let rand_seq: Vec<UpdateOp<u32>> = random_sequence(&mut rng, SEQ, 4);
+    let bgp_seq: Vec<UpdateOp<u32>> = bgp_sequence(&mut rng, &trie, SEQ);
+
+    for (seq_name, seq) in [("random", &rand_seq), ("bgp", &bgp_seq)] {
+        let mut group = c.benchmark_group(format!("update/{seq_name}"));
+        group.sample_size(10);
+        for lambda in [0u8, 8, 11, 16, 32] {
+            let dag = PrefixDag::from_trie(&trie, lambda);
+            group.bench_with_input(BenchmarkId::new("pdag-lambda", lambda), seq, |b, seq| {
+                b.iter_batched(
+                    || dag.clone(),
+                    |mut dag| apply_dag(&mut dag, seq),
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+        group.bench_with_input(BenchmarkId::from_parameter("binary-trie"), seq, |b, seq| {
+            b.iter_batched(
+                || trie.clone(),
+                |mut t| {
+                    for op in seq.iter() {
+                        op.apply(&mut t);
+                    }
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, update_benches);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Ablation studies supporting the paper's design choices (not a paper
+//! artifact, but DESIGN.md commits to them):
+//!
+//! * **A1 — barrier formulas**: how the λ of Eq. (2)/(3) compares with an
+//!   exhaustive sweep, across FIBs of different entropy;
+//! * **A2 — XBW-b storage backends**: every (S_I, S_α) combination's size
+//!   and lookup latency, quantifying what RRR and the Huffman/RRR wavelet
+//!   tree buy.
+
+use fib_bench::{f, instance_fib, kb, ns_per_call, print_table, scale_arg, write_tsv};
+use fib_core::{lambda, FibEntropy, PrefixDag, SaStorage, SerializedDag, SiStorage, XbwFib, XbwStorage};
+use fib_workload::{FibSpec, LabelModel};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn a1_barrier_choice() {
+    println!("\nA1: Eq.(2)/(3) barrier vs exhaustive sweep");
+    let mut rows = Vec::new();
+    for &(name, h0_target) in &[("low-H0", 0.3), ("mid-H0", 1.5), ("high-H0", 3.5)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xAB1);
+        let trie = FibSpec {
+            n_prefixes: 100_000,
+            max_len: 25,
+            depth_bias: 0.35,
+            labels: LabelModel::geometric_for_h0(16, h0_target),
+            spatial_correlation: 0.0,
+            default_route: false,
+        }
+        .generate::<u32, _>(&mut rng);
+        let metrics = FibEntropy::of_trie(&trie);
+        let l2 = lambda::barrier_info(metrics.n_leaves, metrics.delta, 32);
+        let l3 = lambda::barrier_entropy(metrics.n_leaves, metrics.h0, 32);
+
+        // Sweep for the smallest serialized image.
+        let mut best = (0u8, usize::MAX);
+        for l in 0..=25u8 {
+            let size = SerializedDag::from_dag(&PrefixDag::from_trie(&trie, l)).size_bytes();
+            if size < best.1 {
+                best = (l, size);
+            }
+        }
+        let size_at = |l: u8| SerializedDag::from_dag(&PrefixDag::from_trie(&trie, l)).size_bytes();
+        rows.push(vec![
+            name.to_string(),
+            f(metrics.h0, 2),
+            format!("{l2}"),
+            format!("{l3}"),
+            format!("{}", best.0),
+            kb(size_at(l3)),
+            kb(best.1),
+            f(size_at(l3) as f64 / best.1 as f64, 2),
+        ]);
+    }
+    let header = [
+        "FIB", "leaf H0", "λ Eq.(2)", "λ Eq.(3)", "λ best", "size@Eq3", "size@best",
+        "ratio",
+    ];
+    print_table("A1: barrier formula vs sweep (100K-prefix FIBs)", &header, &rows);
+    write_tsv("ablation_a1", &header, &rows);
+    println!("Expectation: Eq.(3) lands within ~2 of the sweep optimum and");
+    println!("costs only a few percent extra space.");
+}
+
+fn a2_xbw_backends(scale: f64) {
+    println!("\nA2: XBW-b storage backends (taz stand-in, scale = {scale})");
+    let trie = instance_fib("taz", scale, 0xF1B);
+    let metrics = FibEntropy::of_trie(&trie);
+    let proper = fib_trie::ProperTrie::from_trie(&trie);
+    let ctx = FibEntropy::contextual_entropy_bits(&proper);
+    println!(
+        "normal form: n = {}, E = {} KB, I = {} KB, depth-conditioned E = {} KB",
+        metrics.n_leaves,
+        kb((metrics.entropy_bits() / 8.0) as usize),
+        kb((metrics.info_bound_bits() / 8.0) as usize),
+        kb((ctx / 8.0) as usize),
+    );
+    println!("(E vs depth-conditioned E answers §3.2's contextual-dependency question)");
+
+    let addrs: Vec<u32> = (0..20_000u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let mut rows = Vec::new();
+    for (si_name, si) in [("plain", SiStorage::Plain), ("RRR", SiStorage::Rrr)] {
+        for (sa_name, sa) in [
+            ("packed", SaStorage::Packed),
+            ("WT-balanced", SaStorage::WaveletBalanced),
+            ("WT-huffman", SaStorage::WaveletHuffman),
+            ("WT-huff+RRR", SaStorage::WaveletHuffmanRrr),
+            ("per-level", SaStorage::HuffmanPerLevel),
+        ] {
+            let xbw = XbwFib::build(&trie, XbwStorage::Custom(si, sa));
+            let report = xbw.size_report();
+            let mut i = 0usize;
+            let ns = ns_per_call(20_000, || {
+                black_box(xbw.lookup(black_box(addrs[i % addrs.len()])));
+                i += 1;
+            });
+            rows.push(vec![
+                si_name.to_string(),
+                sa_name.to_string(),
+                kb(report.si_bits / 8),
+                kb(report.sa_bits / 8),
+                kb(report.total_bytes()),
+                f(report.total_bits() as f64 / metrics.entropy_bits(), 2),
+                f(ns, 0),
+            ]);
+        }
+    }
+    let header = ["S_I", "S_α", "S_I KB", "S_α KB", "total KB", "vs E", "ns/lookup"];
+    print_table("A2: XBW-b backend ablation", &header, &rows);
+    write_tsv("ablation_a2", &header, &rows);
+    println!("Expectation: RRR halves S_I; the Huffman+RRR tree takes S_α to ≈ nH0;");
+    println!("compressed variants pay 2-5× in lookup latency — the pDAG exists");
+    println!("because even the fastest XBW-b backend is far from line speed.");
+}
+
+fn a3_multibit_strides(scale: f64) {
+    println!("\nA3: multibit prefix DAGs (§7 future work) — stride sweep");
+    let trie = instance_fib("taz", scale, 0xF1B);
+    let addrs: Vec<u32> = (0..20_000u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let mut rows = Vec::new();
+    // The binary pDAG (λ=11 serialized) as the reference row.
+    let ser = SerializedDag::from_dag(&PrefixDag::from_trie(&trie, 11));
+    let (avg_d, max_d) = ser.depth_stats(addrs.iter().copied());
+    rows.push(vec![
+        "pDAG λ=11".to_string(),
+        kb(ser.size_bytes()),
+        f(avg_d + 1.0, 2), // +1: the root-array read
+        (max_d + 1).to_string(),
+    ]);
+    for stride in [1u8, 2, 4, 6, 8, 12] {
+        let mb = fib_core::MultibitDag::from_trie(&trie, stride);
+        let (avg, max) = mb.depth_stats();
+        rows.push(vec![
+            format!("multibit s={stride}"),
+            kb(mb.size_bytes()),
+            f(avg, 2),
+            max.to_string(),
+        ]);
+    }
+    let header = ["structure", "size KB", "avg reads", "max reads"];
+    print_table("A3: stride vs size and lookup depth (taz stand-in)", &header, &rows);
+    write_tsv("ablation_a3", &header, &rows);
+    println!("Expectation: depth falls ~s×; size is U-shaped — moderate strides");
+    println!("(2-4) keep sharing, wide ones duplicate slots faster than they save hops.");
+}
+
+fn main() {
+    let scale = scale_arg();
+    a1_barrier_choice();
+    a2_xbw_backends(scale);
+    a3_multibit_strides(scale);
+}

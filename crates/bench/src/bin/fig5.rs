@@ -1,0 +1,83 @@
+//! Reproduces **Fig. 5**: update time vs. memory footprint on taz as the
+//! leaf-push barrier λ sweeps 0…32, for a uniform-random update sequence
+//! and a BGP-like sequence.
+//!
+//! The paper's curve: λ = 32 (plain trie) is fast to update but big;
+//! λ = 0 (fully folded) is an order of magnitude smaller but expensive to
+//! modify; λ ∈ [5, 12] wins almost all the space at ≈ 10 µs/update; and
+//! the trade-off exists only for random updates — BGP updates are biased
+//! toward long prefixes, whose re-folded subtries are tiny.
+//!
+//! Run with `--scale=0.1` for a quick pass.
+
+use fib_bench::{f, instance_fib, print_table, scale_arg, write_tsv};
+use fib_core::PrefixDag;
+use fib_workload::updates::{bgp_sequence, random_sequence, UpdateOp};
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Applies a sequence to a fresh DAG, returning mean µs/update.
+fn measure(dag: &PrefixDag<u32>, seq: &[UpdateOp<u32>]) -> f64 {
+    let mut dag = dag.clone();
+    let start = Instant::now();
+    for op in seq {
+        match *op {
+            UpdateOp::Announce(p, nh) => {
+                dag.insert(p, nh);
+            }
+            UpdateOp::Withdraw(p) => {
+                dag.remove(p);
+            }
+        }
+    }
+    start.elapsed().as_micros() as f64 / seq.len() as f64
+}
+
+fn main() {
+    let scale = scale_arg();
+    // The paper uses 15 runs of 7,500 updates; we use 3 × 7,500 per λ to
+    // keep the full sweep under a few minutes.
+    let runs = 3;
+    let updates_per_run = 7_500;
+    println!("Fig. 5 reproduction: update cost vs memory on taz (scale = {scale})");
+    let trie = instance_fib("taz", scale, 0xF1B);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x516);
+    let random_seqs: Vec<Vec<UpdateOp<u32>>> = (0..runs)
+        .map(|_| random_sequence(&mut rng, updates_per_run, 4))
+        .collect();
+    let bgp_seqs: Vec<Vec<UpdateOp<u32>>> = (0..runs)
+        .map(|_| bgp_sequence(&mut rng, &trie, updates_per_run))
+        .collect();
+
+    let mut rows = Vec::new();
+    for lambda in (0..=32u8).step_by(2) {
+        let dag = PrefixDag::from_trie(&trie, lambda);
+        let mem = dag.model_size_bits() / 8;
+        let rand_us: f64 =
+            random_seqs.iter().map(|s| measure(&dag, s)).sum::<f64>() / runs as f64;
+        let bgp_us: f64 = bgp_seqs.iter().map(|s| measure(&dag, s)).sum::<f64>() / runs as f64;
+        eprintln!("λ={lambda:>2}: mem={mem}B rand={rand_us:.2}µs bgp={bgp_us:.2}µs");
+        rows.push(vec![
+            lambda.to_string(),
+            mem.to_string(),
+            f(rand_us, 3),
+            f(bgp_us, 3),
+            f(1.0 / rand_us, 3),
+            f(1.0 / bgp_us, 3),
+        ]);
+    }
+
+    let header = [
+        "λ", "memory [bytes]", "random [µs/upd]", "BGP [µs/upd]", "random [Mupd/s]",
+        "BGP [Mupd/s]",
+    ];
+    print_table("Fig. 5: update time vs memory footprint (taz stand-in)", &header, &rows);
+    write_tsv("fig5", &header, &rows);
+
+    println!("\nShape checks vs the paper:");
+    println!("- memory shrinks monotonically as λ decreases (≈10× from λ=32 to λ=0);");
+    println!("- random-update cost explodes below λ≈5 and flattens above;");
+    println!("- BGP-update cost stays nearly flat across the whole sweep;");
+    println!("- the λ∈[5,12] plateau sustains ≥ 0.1 Mupd/s (paper: ~100 K/s).");
+}

@@ -1,0 +1,81 @@
+//! Reproduces **Fig. 6**: storage size and compression efficiency ν of the
+//! prefix DAG (and XBW-b) on FIBs whose next-hops are re-drawn from a
+//! Bernoulli(p) distribution, as p sweeps the entropy range.
+//!
+//! The paper regenerates the next-hops of `access(d)` with two labels
+//! (first with probability p, second with 1−p) and observes ν ≈ 3 across
+//! the range, degrading only as H0 → 0 where the DAG's fixed overhead
+//! dominates the vanishing entropy bound.
+//!
+//! Run with `--scale=0.1` for a quick pass.
+
+use fib_bench::{f, kb, print_table, scale_arg, write_tsv};
+use fib_core::{FibEntropy, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fib_trie::BinaryTrie;
+use fib_workload::{FibSpec, LabelModel};
+use rand::SeedableRng;
+
+fn main() {
+    let scale = scale_arg();
+    let n_prefixes = ((444_513.0 * scale) as usize).max(64);
+    println!("Fig. 6 reproduction: Bernoulli next-hops on an access(d)-shaped FIB");
+    println!("(N = {n_prefixes}, λ = 11)");
+
+    // One fixed prefix structure; only the labels change per data point —
+    // exactly the paper's setup ("we regenerated the next-hops").
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16);
+    let skeleton: BinaryTrie<u32> = FibSpec {
+        n_prefixes,
+        max_len: 25,
+        depth_bias: 0.35,
+        labels: LabelModel::Uniform { delta: 2 },
+        spatial_correlation: 0.0,
+        default_route: true,
+        }
+    .generate(&mut rng);
+    let prefixes: Vec<_> = skeleton.iter().map(|(p, _)| p).collect();
+
+    let mut rows = Vec::new();
+    for &p in &[0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5] {
+        let model = LabelModel::Bernoulli { p };
+        let sampler = model.sampler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64((p * 1e6) as u64);
+        let trie: BinaryTrie<u32> = prefixes
+            .iter()
+            .map(|&pre| (pre, sampler.sample(&mut rng)))
+            .collect();
+
+        let metrics = FibEntropy::of_trie(&trie);
+        let dag = PrefixDag::from_trie(&trie, 11);
+        let ser = SerializedDag::from_dag(&dag);
+        let xbw = XbwFib::build(&trie, XbwStorage::Entropy);
+
+        // ν is computed on the pointer-model size (§4.2's memory model),
+        // which is what Theorems 1-2 bound; the serialized image adds the
+        // fixed 2^λ root array on top.
+        let model_bits = dag.model_size_bits() as f64;
+        let nu = model_bits / metrics.entropy_bits();
+        rows.push(vec![
+            f(p, 3),
+            f(model.h0(), 3),
+            f(metrics.h0, 3),
+            kb((metrics.entropy_bits() / 8.0) as usize),
+            kb((model_bits / 8.0) as usize),
+            kb(ser.size_bytes()),
+            kb(xbw.size_bytes()),
+            f(nu, 2),
+        ]);
+        eprintln!("p={p}: H0(model)={:.3} ν={nu:.2}", model.h0());
+    }
+
+    let header = [
+        "p", "H0 model", "H0 leaves", "E [KB]", "pDAG [KB]", "serial [KB]", "XBW-b [KB]", "ν",
+    ];
+    print_table("Fig. 6: size and efficiency vs Bernoulli parameter", &header, &rows);
+    write_tsv("fig6", &header, &rows);
+
+    println!("\nShape checks vs the paper:");
+    println!("- storage grows with H0 (≈50 → ≈200 KB across the sweep at full scale);");
+    println!("- ν hovers around 3 for moderate H0;");
+    println!("- ν spikes as p → 0 (entropy bound vanishes faster than the DAG).");
+}

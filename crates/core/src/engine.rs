@@ -1,0 +1,248 @@
+//! A uniform interface over every FIB representation in the workspace, so
+//! the benchmark harnesses and differential tests treat them
+//! interchangeably.
+
+use fib_trie::{Address, BinaryTrie, LcTrie, NextHop, ProperTrie, RouteTable};
+
+use crate::multibit::MultibitDag;
+use crate::pdag::PrefixDag;
+use crate::serialized::SerializedDag;
+use crate::xbw::XbwFib;
+
+/// Anything that answers longest-prefix-match queries.
+pub trait FibEngine<A: Address> {
+    /// Engine name for reports (e.g. `"pDAG"`, `"fib_trie"`).
+    fn name(&self) -> &'static str;
+
+    /// Longest-prefix-match lookup.
+    fn lookup(&self, addr: A) -> Option<NextHop>;
+
+    /// Resident size in bytes of the lookup structure (the number Table 1
+    /// and Table 2 report).
+    fn size_bytes(&self) -> usize;
+
+    /// Lookup that reports each memory touch as `(byte offset, size)` into
+    /// `sink` for cache simulation. Engines without instrumentation run a
+    /// plain lookup and report nothing.
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        let _ = sink;
+        self.lookup(addr)
+    }
+
+    /// Whether [`FibEngine::lookup_traced`] produces a real access stream.
+    fn traces_memory(&self) -> bool {
+        false
+    }
+}
+
+impl<A: Address> FibEngine<A> for RouteTable<A> {
+    fn name(&self) -> &'static str {
+        "tabular"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        RouteTable::lookup(self, addr)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.model_size_bits().div_ceil(8)
+    }
+}
+
+impl<A: Address> FibEngine<A> for BinaryTrie<A> {
+    fn name(&self) -> &'static str {
+        "binary-trie"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        BinaryTrie::lookup(self, addr)
+    }
+
+    fn size_bytes(&self) -> usize {
+        BinaryTrie::size_bytes(self)
+    }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        BinaryTrie::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
+}
+
+impl<A: Address> FibEngine<A> for ProperTrie<A> {
+    fn name(&self) -> &'static str {
+        "leaf-pushed"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        ProperTrie::lookup(self, addr)
+    }
+
+    fn size_bytes(&self) -> usize {
+        ProperTrie::size_bytes(self)
+    }
+}
+
+impl<A: Address> FibEngine<A> for LcTrie<A> {
+    fn name(&self) -> &'static str {
+        "fib_trie"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        LcTrie::lookup(self, addr)
+    }
+
+    /// Reported under the kernel memory model — the paper compares against
+    /// the kernel structure's footprint, not an idealized packed array.
+    fn size_bytes(&self) -> usize {
+        self.kernel_model_bytes()
+    }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        LcTrie::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
+}
+
+impl<A: Address> FibEngine<A> for XbwFib<A> {
+    fn name(&self) -> &'static str {
+        "XBW-b"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        XbwFib::lookup(self, addr)
+    }
+
+    fn size_bytes(&self) -> usize {
+        XbwFib::size_bytes(self)
+    }
+}
+
+impl<A: Address> FibEngine<A> for PrefixDag<A> {
+    fn name(&self) -> &'static str {
+        "pDAG"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        PrefixDag::lookup(self, addr)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.model_size_bits().div_ceil(8)
+    }
+}
+
+impl<A: Address> FibEngine<A> for SerializedDag<A> {
+    fn name(&self) -> &'static str {
+        "pDAG-serialized"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        SerializedDag::lookup(self, addr)
+    }
+
+    fn size_bytes(&self) -> usize {
+        SerializedDag::size_bytes(self)
+    }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        SerializedDag::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
+}
+
+impl<A: Address> FibEngine<A> for MultibitDag<A> {
+    fn name(&self) -> &'static str {
+        "multibit-dag"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        MultibitDag::lookup(self, addr)
+    }
+
+    fn size_bytes(&self) -> usize {
+        MultibitDag::size_bytes(self)
+    }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        MultibitDag::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xbw::XbwStorage;
+    use fib_trie::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn sample_trie() -> BinaryTrie<u32> {
+        let mut trie = BinaryTrie::new();
+        trie.insert("0.0.0.0/0".parse::<Prefix4>().unwrap(), nh(1));
+        trie.insert("10.0.0.0/8".parse::<Prefix4>().unwrap(), nh(2));
+        trie.insert("10.64.0.0/10".parse::<Prefix4>().unwrap(), nh(3));
+        trie
+    }
+
+    #[test]
+    fn all_engines_agree_via_trait_objects() {
+        let trie = sample_trie();
+        let table: RouteTable<u32> = trie.iter().collect();
+        let proper = ProperTrie::from_trie(&trie);
+        let lc = LcTrie::from_trie(&trie);
+        let xbw = XbwFib::build(&trie, XbwStorage::Entropy);
+        let dag = PrefixDag::from_trie(&trie, 8);
+        let ser = SerializedDag::from_dag(&dag);
+        let mb = MultibitDag::from_trie(&trie, 4);
+        let engines: Vec<&dyn FibEngine<u32>> =
+            vec![&table, &trie, &proper, &lc, &xbw, &dag, &ser, &mb];
+        for i in 0..4000u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            let expected = table.lookup(addr);
+            for engine in &engines {
+                assert_eq!(engine.lookup(addr), expected, "{} at {addr:#x}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn traced_engines_report_accesses() {
+        let trie = sample_trie();
+        let dag = PrefixDag::from_trie(&trie, 8);
+        let ser = SerializedDag::from_dag(&dag);
+        let lc = LcTrie::from_trie(&trie);
+        for engine in [&ser as &dyn FibEngine<u32>, &lc, &trie] {
+            assert!(engine.traces_memory(), "{}", engine.name());
+            let mut count = 0;
+            let traced = engine.lookup_traced(0x0A40_0001, &mut |_, _| count += 1);
+            assert_eq!(traced, engine.lookup(0x0A40_0001));
+            assert!(count > 0, "{} produced no accesses", engine.name());
+        }
+    }
+
+    #[test]
+    fn sizes_are_positive_and_ordered_sanely() {
+        let trie = sample_trie();
+        let lc = LcTrie::from_trie(&trie);
+        let dag = PrefixDag::from_trie(&trie, 4);
+        assert!(FibEngine::<u32>::size_bytes(&lc) > 0);
+        assert!(FibEngine::<u32>::size_bytes(&dag) > 0);
+        // The kernel-modeled LC-trie is the memory hog of the line-up.
+        assert!(FibEngine::<u32>::size_bytes(&lc) > FibEngine::<u32>::size_bytes(&dag));
+    }
+}

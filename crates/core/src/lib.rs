@@ -1,0 +1,42 @@
+//! The paper's contribution: entropy-bounded FIB compression.
+//!
+//! This crate implements everything Sections 2–4 of *Compressing IP
+//! Forwarding Tables: Towards Entropy Bounds and Beyond* (SIGCOMM 2013,
+//! revised technical report) define:
+//!
+//! * [`FibEntropy`] — the FIB information-theoretic lower bound
+//!   `I = 2n + n·lg δ` and FIB entropy `E = 2n + n·H0` on the leaf-pushed
+//!   normal form (Propositions 1 and 2),
+//! * [`XbwFib`] — the XBW-b transform: a succinct/entropy-compressed
+//!   static FIB with O(W) lookup on the compressed form (Lemmas 1–3),
+//! * [`PrefixDag`] — trie-folding: the pointer-machine prefix DAG with a
+//!   leaf-push barrier λ, O(W) lookup (Lemma 5), O(t) construction
+//!   (Lemma 4), O(W + 2^(W−λ)) updates (Theorem 3) and compact/entropy
+//!   size bounds (Theorems 1 and 2),
+//! * [`SerializedDag`] — the flat λ-collapsed image consumed by the
+//!   kernel-module and FPGA engines of Section 5,
+//! * [`FoldedString`] — trie-folding as a dynamic compressed string
+//!   self-index (the string model of §4.2, Figs. 4 and 7),
+//! * [`lambda`] — the Lambert-W barrier selection of Eqs. (2) and (3),
+//! * [`FibEngine`] — one trait over every representation for differential
+//!   testing and benchmarking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod entropy;
+pub mod lambda;
+mod multibit;
+mod pdag;
+mod serialized;
+mod strmodel;
+mod xbw;
+
+pub use engine::FibEngine;
+pub use entropy::FibEntropy;
+pub use multibit::MultibitDag;
+pub use pdag::{DagStats, PrefixDag};
+pub use serialized::SerializedDag;
+pub use strmodel::FoldedString;
+pub use xbw::{SaStorage, SiStorage, XbwFib, XbwSizeReport, XbwStorage};

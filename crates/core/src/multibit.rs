@@ -1,0 +1,348 @@
+//! Multibit prefix DAGs — the paper's §7 future-work direction,
+//! implemented: *"Multibit prefix DAGs also offer an intriguing future
+//! research direction, for their potential to reduce storage space as well
+//! as improving lookup time from O(W) to O(log W)."*
+//!
+//! The leaf-pushed normal form is re-chunked into stride-`s` supernodes
+//! (each consuming `s` address bits through a 2^s-way slot array, with
+//! leaves duplicated into every slot they cover — controlled prefix
+//! expansion), and the supernodes are hash-consed exactly like the binary
+//! prefix DAG. Lookup reads `⌈W/s⌉` slots worst case; sharing still
+//! applies because identical stride-aligned subtries collapse to one
+//! node.
+//!
+//! The stride trades lookup depth against sharing: wider nodes mean fewer
+//! hops but fewer identical subtries and more slot duplication. The
+//! `ablation` harness sweeps it.
+//!
+//! This structure is static (rebuild on update); incremental multibit
+//! folding is genuinely open research beyond the paper.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use fib_trie::{Address, BinaryTrie, NextHop, ProperNode, ProperTrie};
+
+const LEAF_TAG: u32 = 0x8000_0000;
+const BOT: u32 = 0x7FFF_FFFF;
+
+/// A hash-consed multibit (stride-`s`) prefix DAG.
+#[derive(Clone, Debug)]
+pub struct MultibitDag<A: Address> {
+    stride: u8,
+    /// Slot arrays, 2^stride tagged references each, flattened.
+    slots: Vec<u32>,
+    /// Tagged reference to the root.
+    root: u32,
+    node_count: usize,
+    _marker: PhantomData<A>,
+}
+
+impl<A: Address> MultibitDag<A> {
+    /// Folds `trie` with the given stride (1 ≤ stride ≤ 16; stride 1 is
+    /// the binary prefix DAG with λ = 0, wider strides trade sharing for
+    /// depth).
+    ///
+    /// # Panics
+    /// Panics if `stride` is outside `[1, 16]`.
+    #[must_use]
+    pub fn from_trie(trie: &BinaryTrie<A>, stride: u8) -> Self {
+        assert!((1..=16).contains(&stride), "stride {stride} out of [1, 16]");
+        let proper = ProperTrie::from_trie(trie);
+        let mut builder = Builder {
+            stride,
+            width: 1usize << stride,
+            slots: Vec::new(),
+            interner: HashMap::new(),
+            proper: &proper,
+        };
+        let root = builder.encode(proper.root_idx());
+        let node_count = builder.interner.len();
+        Self {
+            stride,
+            slots: builder.slots,
+            root,
+            node_count,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The stride `s`.
+    #[must_use]
+    pub fn stride(&self) -> u8 {
+        self.stride
+    }
+
+    /// Number of distinct supernodes after folding.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Footprint in bytes: 4 bytes per slot.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.slots.len() * 4
+    }
+
+    /// Longest-prefix-match lookup in `⌈W/s⌉` slot reads worst case.
+    #[must_use]
+    #[inline]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        self.lookup_with_depth(addr).0
+    }
+
+    /// Lookup also returning the number of slot reads.
+    #[must_use]
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, u32) {
+        let mut reference = self.root;
+        let mut offset = 0u8;
+        let mut hops = 0u32;
+        loop {
+            if reference & LEAF_TAG != 0 {
+                let label = reference & !LEAF_TAG;
+                return ((label != BOT).then(|| NextHop::new(label)), hops);
+            }
+            // Final chunk may be narrower than the stride.
+            let take = self.stride.min(A::WIDTH - offset);
+            debug_assert!(take > 0, "walked past the address width");
+            // Slots are indexed by a full stride; a narrower final chunk
+            // cannot occur because expansion stops at leaf-tagged refs at
+            // depth W (proper tries never descend past W).
+            let slot = addr.bits(offset, take) << (self.stride - take);
+            reference = self.slots[reference as usize * (1 << self.stride) + slot as usize];
+            offset += take;
+            hops += 1;
+        }
+    }
+
+    /// Lookup reporting each slot read as `(byte offset, size)` for the
+    /// cache and SRAM models.
+    pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        let mut reference = self.root;
+        let mut offset = 0u8;
+        loop {
+            if reference & LEAF_TAG != 0 {
+                let label = reference & !LEAF_TAG;
+                return (label != BOT).then(|| NextHop::new(label));
+            }
+            let take = self.stride.min(A::WIDTH - offset);
+            let slot = addr.bits(offset, take) << (self.stride - take);
+            let index = reference as usize * (1 << self.stride) + slot as usize;
+            sink(index as u64 * 4, 4);
+            reference = self.slots[index];
+            offset += take;
+        }
+    }
+
+    /// Average and maximum slot reads over the address space, weighting
+    /// each slot by the address fraction it covers.
+    #[must_use]
+    pub fn depth_stats(&self) -> (f64, u32) {
+        // The DAG is small; walk it treating shared nodes per-path. Use an
+        // iterative stack over (ref, hops, fraction).
+        let mut avg = 0.0;
+        let mut max = 0u32;
+        let width = 1usize << self.stride;
+        let mut stack = vec![(self.root, 0u32, 1.0f64)];
+        while let Some((reference, hops, frac)) = stack.pop() {
+            if reference & LEAF_TAG != 0 {
+                avg += f64::from(hops) * frac;
+                max = max.max(hops);
+                continue;
+            }
+            let child_frac = frac / width as f64;
+            let base = reference as usize * width;
+            for slot in 0..width {
+                stack.push((self.slots[base + slot], hops + 1, child_frac));
+            }
+        }
+        (avg, max)
+    }
+}
+
+struct Builder<'a, A: Address> {
+    stride: u8,
+    width: usize,
+    slots: Vec<u32>,
+    interner: HashMap<Box<[u32]>, u32>,
+    proper: &'a ProperTrie<A>,
+}
+
+impl<A: Address> Builder<'_, A> {
+    /// Encodes the proper-trie node `idx` as a tagged reference.
+    fn encode(&mut self, idx: u32) -> u32 {
+        match *self.proper.node(idx) {
+            ProperNode::Leaf(label) => LEAF_TAG | label.map_or(BOT, |nh| nh.index()),
+            ProperNode::Internal { .. } => {
+                let mut children = Vec::with_capacity(self.width);
+                for slot in 0..self.width {
+                    children.push(self.encode_slot(idx, slot as u32));
+                }
+                let key: Box<[u32]> = children.into_boxed_slice();
+                if let Some(&existing) = self.interner.get(&key) {
+                    return existing;
+                }
+                let node = (self.slots.len() / self.width) as u32;
+                self.slots.extend_from_slice(&key);
+                self.interner.insert(key, node);
+                node
+            }
+        }
+    }
+
+    /// Walks `stride` bits (MSB-first bits of `slot`) down from `idx`,
+    /// duplicating early leaves into the slot (controlled prefix
+    /// expansion).
+    fn encode_slot(&mut self, mut idx: u32, slot: u32) -> u32 {
+        for depth in 0..self.stride {
+            match *self.proper.node(idx) {
+                ProperNode::Leaf(label) => {
+                    return LEAF_TAG | label.map_or(BOT, |nh| nh.index());
+                }
+                ProperNode::Internal { left, right } => {
+                    let bit = (slot >> (self.stride - 1 - depth)) & 1 == 1;
+                    idx = if bit { right } else { left };
+                }
+            }
+        }
+        self.encode(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_trie::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    fn fig1_trie() -> BinaryTrie<u32> {
+        [
+            (p("0.0.0.0/0"), nh(2)),
+            (p("0.0.0.0/1"), nh(3)),
+            (p("0.0.0.0/2"), nh(3)),
+            (p("32.0.0.0/3"), nh(2)),
+            (p("64.0.0.0/2"), nh(2)),
+            (p("96.0.0.0/3"), nh(1)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn equivalence_across_strides() {
+        let trie = fig1_trie();
+        for stride in [1u8, 2, 3, 4, 5, 8, 11, 16] {
+            let mb = MultibitDag::from_trie(&trie, stride);
+            for i in 0..3000u32 {
+                let addr = i.wrapping_mul(0x9E37_79B9);
+                assert_eq!(mb.lookup(addr), trie.lookup(addr), "s={stride} addr {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn stride_one_matches_binary_dag_node_count() {
+        // Stride 1 is a binary DAG over the normal form: its interior
+        // count equals the λ=0 PrefixDag's folded interiors.
+        let trie = fig1_trie();
+        let mb = MultibitDag::from_trie(&trie, 1);
+        let dag = crate::pdag::PrefixDag::from_trie(&trie, 0);
+        assert_eq!(mb.node_count(), dag.stats().folded_interior);
+    }
+
+    #[test]
+    fn deeper_strides_reduce_depth() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("0.0.0.0/0"), nh(0));
+        for i in 0..512u32 {
+            trie.insert(Prefix4::new(i << 15, 17), nh(1 + i % 3));
+        }
+        let (d1, m1) = MultibitDag::from_trie(&trie, 1).depth_stats();
+        let (d4, m4) = MultibitDag::from_trie(&trie, 4).depth_stats();
+        let (d8, m8) = MultibitDag::from_trie(&trie, 8).depth_stats();
+        assert!(d4 < d1 && d8 < d4, "avg depth must fall: {d1} {d4} {d8}");
+        assert!(m4 <= m1 && m8 <= m4, "max depth must fall: {m1} {m4} {m8}");
+        assert!(m8 <= 3, "17-bit prefixes in ≤3 byte-wide hops, got {m8}");
+    }
+
+    #[test]
+    fn identical_subtries_share_across_strides() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        for base in 0..32u32 {
+            trie.insert(Prefix4::new(base << 27, 5), nh(1));
+            trie.insert(Prefix4::new(base << 27 | (1 << 26), 6), nh(2));
+        }
+        // All 32 /5-subtries are identical; with stride 5 the level below
+        // the root must be one shared node (or leaf refs).
+        let mb = MultibitDag::from_trie(&trie, 5);
+        assert!(
+            mb.node_count() <= 3,
+            "expected heavy sharing, got {} nodes",
+            mb.node_count()
+        );
+    }
+
+    #[test]
+    fn bottom_resolves_to_none() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("128.0.0.0/1"), nh(1));
+        for stride in [1u8, 4, 7] {
+            let mb = MultibitDag::from_trie(&trie, stride);
+            assert_eq!(mb.lookup(0x0000_0001), None, "s={stride}");
+            assert_eq!(mb.lookup(0xF000_0000), Some(nh(1)), "s={stride}");
+        }
+    }
+
+    #[test]
+    fn empty_fib() {
+        let mb = MultibitDag::from_trie(&BinaryTrie::<u32>::new(), 4);
+        assert_eq!(mb.lookup(42), None);
+        assert_eq!(mb.node_count(), 0);
+        assert_eq!(mb.size_bytes(), 0);
+    }
+
+    #[test]
+    fn host_routes_at_full_width() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("0.0.0.0/0"), nh(1));
+        trie.insert(p("10.0.0.1/32"), nh(2));
+        for stride in [3u8, 8, 16] {
+            let mb = MultibitDag::from_trie(&trie, stride);
+            assert_eq!(mb.lookup(0x0A00_0001), Some(nh(2)), "s={stride}");
+            assert_eq!(mb.lookup(0x0A00_0002), Some(nh(1)), "s={stride}");
+            let (_, max) = mb.depth_stats();
+            assert!(max <= 32u32.div_ceil(u32::from(stride)));
+        }
+    }
+
+    #[test]
+    fn traced_lookup_matches_plain() {
+        let trie = fig1_trie();
+        let mb = MultibitDag::from_trie(&trie, 4);
+        let mut touches = 0;
+        let result = mb.lookup_traced(0x6000_0000, &mut |_, _| touches += 1);
+        assert_eq!(result, mb.lookup(0x6000_0000));
+        let (_, hops) = mb.lookup_with_depth(0x6000_0000);
+        assert_eq!(touches, hops);
+    }
+
+    #[test]
+    fn ipv6_multibit() {
+        let mut trie: BinaryTrie<u128> = BinaryTrie::new();
+        let p1: fib_trie::Prefix6 = "2001:db8::/32".parse().unwrap();
+        trie.insert(p1, nh(1));
+        let mb = MultibitDag::from_trie(&trie, 8);
+        let a: u128 = "2001:db8::1".parse::<std::net::Ipv6Addr>().unwrap().into();
+        assert_eq!(mb.lookup(a), Some(nh(1)));
+        let (_, max) = mb.depth_stats();
+        assert!(max <= 5, "a /32 route needs ≤ 4 byte-hops, got {max}");
+    }
+}

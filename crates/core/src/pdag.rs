@@ -1,0 +1,888 @@
+//! Trie-folding and prefix DAGs (Section 4 of the paper).
+//!
+//! Trie-folding is a "compressed reinvention" of the prefix tree: below a
+//! *leaf-push barrier* λ the trie is normalized (leaf-pushed) and all
+//! isomorphic labeled sub-tries are merged — LZ78-style — into a Directed
+//! Acyclic Graph, while above λ an ordinary prefix tree is kept so updates
+//! stay cheap. Lookup is *exactly* standard trie lookup (Lemma 5, O(W),
+//! zero cost over an uncompressed trie); construction is O(t) (Lemma 4);
+//! update is O(W + 2^(W−λ)) (Theorem 3); and the folded size meets the
+//! information-theoretic bound within a factor 4 (Theorem 1) and the
+//! entropy bound within ≈ 6 (Theorem 2) under the barrier choices of
+//! `crate::lambda`.
+//!
+//! # Structure
+//!
+//! * nodes at depth `< λ` mirror the control FIB exactly: plain, unshared,
+//!   labeled tree nodes ("top" nodes);
+//! * at depth λ each existing control subtrie is leaf-pushed — with its
+//!   root label as the default route, per the paper's `trie_fold` — and
+//!   hash-consed bottom-up into the shared region (the *sub-trie index*
+//!   `S` and *leaf table* `lp(s)` of Section 4.1 are one interning map
+//!   here);
+//! * the ⊥ leaf carries no label (the paper's `l(lp(⊥)) ← ∅` line), so a
+//!   lookup that lands on it falls back to the last label seen above the
+//!   barrier — this is what makes plain trie traversal correct on the DAG.
+//!
+//! # Update strategy
+//!
+//! The paper's §4.3 decompresses the DAG path node-by-node and re-folds
+//! below the changed prefix. We implement the same-worst-case but simpler
+//! variant (see DESIGN.md): an update at depth `p < λ` edits the top tree
+//! in O(W); an update at depth `p ≥ λ` re-normalizes the one affected
+//! λ-subtrie from the control FIB and re-folds it in O(2^(W−λ)), releasing
+//! the old subtrie's references. Both match Theorem 3's bound.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use fib_succinct::ceil_log2;
+use fib_trie::{Address, BinaryTrie, NextHop, NodeRef, Prefix};
+
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Interning key of a folded node (the sub-trie id of Definition 1):
+/// leaves are identical iff they hold the same label; interior nodes are
+/// identical iff their children are the same folded nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    /// Folded leaf with label index (`NONE` encodes ⊥).
+    Leaf(u32),
+    /// Folded interior node keyed by its folded children.
+    Interior(u32, u32),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DagNode {
+    pub(crate) left: u32,
+    pub(crate) right: u32,
+    pub(crate) label: u32,
+    /// Reference count; fixed at 1 for top (unshared) nodes.
+    refcount: u32,
+}
+
+impl DagNode {
+    pub(crate) fn is_leaf(self) -> bool {
+        self.left == NONE && self.right == NONE
+    }
+}
+
+/// A FIB compressed by trie-folding.
+///
+/// Owns a *control FIB* (a plain [`BinaryTrie`], the uncompressed image the
+/// paper keeps in control-plane DRAM) that drives updates, plus the folded
+/// arena the data plane reads.
+#[derive(Clone)]
+pub struct PrefixDag<A: Address> {
+    pub(crate) nodes: Vec<DagNode>,
+    free: Vec<u32>,
+    interner: HashMap<Key, u32>,
+    pub(crate) root: u32,
+    lambda: u8,
+    control: BinaryTrie<A>,
+    top_count: usize,
+    _marker: PhantomData<A>,
+}
+
+impl<A: Address> PrefixDag<A> {
+    /// Folds `trie` with leaf-push barrier `lambda` (clamped to the address
+    /// width). `lambda = 0` folds everything (smallest, slowest updates);
+    /// `lambda = W` degenerates to a plain prefix tree.
+    #[must_use]
+    pub fn from_trie(trie: &BinaryTrie<A>, lambda: u8) -> Self {
+        let lambda = lambda.min(A::WIDTH);
+        let mut dag = Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            interner: HashMap::new(),
+            root: NONE,
+            lambda,
+            control: trie.clone(),
+            top_count: 0,
+            _marker: PhantomData,
+        };
+        dag.root = dag.build_top(trie.root(), 0);
+        dag
+    }
+
+    /// Folds with the barrier of Eq. (3) computed from the FIB's own
+    /// normal-form entropy.
+    #[must_use]
+    pub fn with_entropy_barrier(trie: &BinaryTrie<A>) -> Self {
+        let metrics = crate::entropy::FibEntropy::of_trie(trie);
+        let lambda = crate::lambda::barrier_entropy(metrics.n_leaves, metrics.h0, A::WIDTH);
+        Self::from_trie(trie, lambda)
+    }
+
+    /// The leaf-push barrier in use.
+    #[must_use]
+    pub fn lambda(&self) -> u8 {
+        self.lambda
+    }
+
+    /// Number of routes (delegates to the control FIB).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.control.len()
+    }
+
+    /// Whether the FIB holds no routes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.control.is_empty()
+    }
+
+    /// The control FIB (the uncompressed image of this DAG).
+    #[must_use]
+    pub fn control(&self) -> &BinaryTrie<A> {
+        &self.control
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, node: DagNode) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(node);
+            idx
+        }
+    }
+
+    /// Copies the control structure above the barrier; folds at depth λ.
+    fn build_top(&mut self, node: NodeRef<'_, A>, depth: u8) -> u32 {
+        if depth == self.lambda {
+            return self.fold(Some(node), None, depth);
+        }
+        let left = node.left().map(|c| self.build_top(c, depth + 1));
+        let right = node.right().map(|c| self.build_top(c, depth + 1));
+        self.top_count += 1;
+        self.alloc(DagNode {
+            left: left.unwrap_or(NONE),
+            right: right.unwrap_or(NONE),
+            label: node.label().map_or(NONE, |nh| nh.index()),
+            refcount: 1,
+        })
+    }
+
+    /// Leaf-pushes and hash-conses the control subtrie at `node` in one
+    /// post-order pass (the paper's `leaf_push` + `compress`). `inherited`
+    /// is the pushed-down default label (⊥ = `None` at the subtrie root,
+    /// matching `trie_fold`'s use of `l(u)` as the default route).
+    fn fold(&mut self, node: Option<NodeRef<'_, A>>, inherited: Option<u32>, depth: u8) -> u32 {
+        let Some(node) = node else {
+            return self.intern_leaf(inherited.unwrap_or(NONE));
+        };
+        let effective = node.label().map(|nh| nh.index()).or(inherited);
+        if node.is_leaf() || depth == A::WIDTH {
+            return self.intern_leaf(effective.unwrap_or(NONE));
+        }
+        let left = self.fold(node.left(), effective, depth + 1);
+        let right = self.fold(node.right(), effective, depth + 1);
+        // Coalescing (normalization): identical sibling leaves merge into
+        // their parent. Interning makes identical leaves *the same node*,
+        // so the check is pointer equality.
+        if left == right && self.nodes[left as usize].is_leaf() {
+            self.release(right); // give back one of our two references
+            return left;
+        }
+        self.intern_interior(left, right)
+    }
+
+    fn intern_leaf(&mut self, label: u32) -> u32 {
+        if let Some(&existing) = self.interner.get(&Key::Leaf(label)) {
+            self.nodes[existing as usize].refcount += 1;
+            return existing;
+        }
+        let idx = self.alloc(DagNode {
+            left: NONE,
+            right: NONE,
+            label,
+            refcount: 1,
+        });
+        self.interner.insert(Key::Leaf(label), idx);
+        idx
+    }
+
+    /// The paper's `put(i, j, v)`: share an interior node by child ids.
+    fn intern_interior(&mut self, left: u32, right: u32) -> u32 {
+        if let Some(&existing) = self.interner.get(&Key::Interior(left, right)) {
+            self.nodes[existing as usize].refcount += 1;
+            // The existing node already owns references to these children;
+            // give back the ones acquired while building them.
+            self.release(left);
+            self.release(right);
+            return existing;
+        }
+        let idx = self.alloc(DagNode {
+            left,
+            right,
+            label: NONE,
+            refcount: 1,
+        });
+        self.interner.insert(Key::Interior(left, right), idx);
+        idx
+    }
+
+    /// The paper's `get`: drop one reference, freeing (and un-indexing)
+    /// the node and its subtree when the count reaches zero.
+    fn release(&mut self, idx: u32) {
+        let node = self.nodes[idx as usize];
+        debug_assert!(node.refcount >= 1, "release of dead node {idx}");
+        if node.refcount > 1 {
+            self.nodes[idx as usize].refcount -= 1;
+            return;
+        }
+        let key = if node.is_leaf() {
+            Key::Leaf(node.label)
+        } else {
+            Key::Interior(node.left, node.right)
+        };
+        let removed = self.interner.remove(&key);
+        debug_assert_eq!(removed, Some(idx), "interner out of sync at {idx}");
+        if !node.is_leaf() {
+            self.release(node.left);
+            self.release(node.right);
+        }
+        self.free.push(idx);
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Longest-prefix-match lookup — *standard trie traversal*, remembering
+    /// the last label on the path (Lemma 5: O(W), no decompression).
+    #[must_use]
+    #[inline]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        self.lookup_with_depth(addr).0
+    }
+
+    /// Lookup that also reports the number of edges traversed.
+    #[must_use]
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, u8) {
+        let mut idx = self.root;
+        let mut last = NONE;
+        let mut depth = 0u8;
+        loop {
+            let node = self.nodes[idx as usize];
+            if node.label != NONE {
+                last = node.label;
+            }
+            if depth >= A::WIDTH {
+                break;
+            }
+            let child = if addr.bit(depth) { node.right } else { node.left };
+            if child == NONE {
+                break;
+            }
+            idx = child;
+            depth += 1;
+        }
+        ((last != NONE).then(|| NextHop::new(last)), depth)
+    }
+
+    // ------------------------------------------------------------------
+    // Update (Section 4.3)
+    // ------------------------------------------------------------------
+
+    /// Inserts or replaces a route, returning the previous next-hop.
+    ///
+    /// Cost: O(W) when `prefix.len() < λ`; O(W + 2^(W−λ)) otherwise
+    /// (Theorem 3).
+    pub fn insert(&mut self, prefix: Prefix<A>, next_hop: NextHop) -> Option<NextHop> {
+        let old = self.control.insert(prefix, next_hop);
+        if prefix.len() < self.lambda {
+            // Shallow update: edit the top tree in place.
+            let mut idx = self.root;
+            for depth in 0..prefix.len() {
+                idx = self.ensure_top_child(idx, prefix.bit(depth));
+            }
+            self.nodes[idx as usize].label = next_hop.index();
+        } else {
+            self.refold_portal(prefix);
+        }
+        old
+    }
+
+    /// Removes a route, returning its next-hop if it existed.
+    ///
+    /// Same complexity as [`Self::insert`].
+    pub fn remove(&mut self, prefix: Prefix<A>) -> Option<NextHop> {
+        let old = self.control.remove(prefix)?;
+        if prefix.len() < self.lambda {
+            let mut path = Vec::with_capacity(prefix.len() as usize + 1);
+            let mut idx = self.root;
+            path.push(idx);
+            for depth in 0..prefix.len() {
+                idx = self.top_child(idx, prefix.bit(depth));
+                debug_assert_ne!(idx, NONE, "top tree out of sync with control FIB");
+                path.push(idx);
+            }
+            self.nodes[idx as usize].label = NONE;
+            self.prune_top(&path, prefix);
+        } else {
+            self.refold_portal(prefix);
+        }
+        Some(old)
+    }
+
+    /// Re-normalizes and re-folds the λ-subtrie on `prefix`'s path after
+    /// the control FIB has been modified. Handles appearing and
+    /// disappearing portals and prunes the top path when it dies.
+    fn refold_portal(&mut self, prefix: Prefix<A>) {
+        // `fold` mutates the arena while walking the control trie, so the
+        // control is moved out for the duration (it is not touched by any
+        // arena operation).
+        let control = std::mem::take(&mut self.control);
+        self.refold_portal_inner(prefix, &control);
+        self.control = control;
+    }
+
+    fn refold_portal_inner(&mut self, prefix: Prefix<A>, control: &BinaryTrie<A>) {
+        // Locate the control node at depth λ (post-update).
+        let mut ctrl = Some(control.root());
+        for depth in 0..self.lambda {
+            ctrl = ctrl.and_then(|c| if prefix.bit(depth) { c.right() } else { c.left() });
+        }
+        if self.lambda == 0 {
+            let old = self.root;
+            let new_root = if old == NONE {
+                self.fold(ctrl, None, 0)
+            } else {
+                self.refold_path(ctrl, old, 0, prefix, None)
+            };
+            self.root = new_root;
+            if old != NONE {
+                self.release(old);
+            }
+            return;
+        }
+        // Ensure / walk the top path to the portal's parent.
+        let mut path = Vec::with_capacity(self.lambda as usize);
+        let mut idx = self.root;
+        path.push(idx);
+        for depth in 0..self.lambda - 1 {
+            idx = self.ensure_top_child(idx, prefix.bit(depth));
+            path.push(idx);
+        }
+        let portal_bit = prefix.bit(self.lambda - 1);
+        let old_portal = self.top_child(idx, portal_bit);
+        let new_portal = match ctrl {
+            Some(node) if old_portal != NONE => {
+                self.refold_path(Some(node), old_portal, self.lambda, prefix, None)
+            }
+            Some(node) => self.fold(Some(node), None, self.lambda),
+            None => NONE,
+        };
+        self.set_top_child(idx, portal_bit, new_portal);
+        if old_portal != NONE {
+            self.release(old_portal);
+        }
+        if new_portal == NONE {
+            self.prune_top(&path, prefix);
+        }
+    }
+
+    /// The paper's §4.3 update path, sharing-aware: rebuilds only the
+    /// nodes on `prefix`'s path between the barrier and the changed depth,
+    /// re-using the *sibling* folds of the old DAG verbatim (they are
+    /// unchanged by construction), and re-normalizes just the subtree below
+    /// the changed prefix. Common-case cost is O(W + 2^(W−p)) for an update
+    /// at depth p — tiny for the long prefixes that dominate BGP churn —
+    /// with Theorem 3's O(W + 2^(W−λ)) as the worst case.
+    ///
+    /// Returns a new folded reference holding one acquired reference; the
+    /// caller must release the old portal afterwards (which cascades down
+    /// the old path, balancing the sibling references acquired here).
+    fn refold_path(
+        &mut self,
+        ctrl: Option<NodeRef<'_, A>>,
+        old: u32,
+        depth: u8,
+        prefix: Prefix<A>,
+        inherited: Option<u32>,
+    ) -> u32 {
+        let reached_change = depth >= prefix.len();
+        let ctrl_ends = ctrl.is_none_or(|n| n.is_leaf()) || depth == A::WIDTH;
+        let old_is_leaf = self.nodes[old as usize].is_leaf();
+        if reached_change || ctrl_ends || old_is_leaf {
+            // Everything below here must be re-normalized from the control
+            // FIB (or the old fold coalesced and offers nothing to share).
+            return self.fold(ctrl, inherited, depth);
+        }
+        let node = ctrl.expect("checked non-leaf control node");
+        let effective = node.label().map(|nh| nh.index()).or(inherited);
+        let bit = prefix.bit(depth);
+        let old_node = self.nodes[old as usize];
+        let (old_follow, old_other) = if bit {
+            (old_node.right, old_node.left)
+        } else {
+            (old_node.left, old_node.right)
+        };
+        let follow_ctrl = if bit { node.right() } else { node.left() };
+        let new_follow = self.refold_path(follow_ctrl, old_follow, depth + 1, prefix, effective);
+        // The sibling subtrie is untouched by this update, so its fold is
+        // identical — acquire a reference instead of re-folding.
+        self.nodes[old_other as usize].refcount += 1;
+        let (left, right) = if bit {
+            (old_other, new_follow)
+        } else {
+            (new_follow, old_other)
+        };
+        if left == right && self.nodes[left as usize].is_leaf() {
+            self.release(right);
+            return left;
+        }
+        self.intern_interior(left, right)
+    }
+
+    /// Removes label-less, childless top nodes along `path` bottom-up,
+    /// mirroring the control FIB's own pruning. `path[d]` is the node at
+    /// depth `d`; the root survives unconditionally.
+    fn prune_top(&mut self, path: &[u32], prefix: Prefix<A>) {
+        for depth in (1..path.len()).rev() {
+            let idx = path[depth];
+            let node = self.nodes[idx as usize];
+            if node.left == NONE && node.right == NONE && node.label == NONE {
+                let parent = path[depth - 1];
+                self.set_top_child(parent, prefix.bit(depth as u8 - 1), NONE);
+                self.free.push(idx);
+                self.top_count -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn top_child(&self, idx: u32, bit: bool) -> u32 {
+        let node = self.nodes[idx as usize];
+        if bit {
+            node.right
+        } else {
+            node.left
+        }
+    }
+
+    fn set_top_child(&mut self, idx: u32, bit: bool, child: u32) {
+        if bit {
+            self.nodes[idx as usize].right = child;
+        } else {
+            self.nodes[idx as usize].left = child;
+        }
+    }
+
+    fn ensure_top_child(&mut self, idx: u32, bit: bool) -> u32 {
+        let child = self.top_child(idx, bit);
+        if child != NONE {
+            return child;
+        }
+        let new = self.alloc(DagNode {
+            left: NONE,
+            right: NONE,
+            label: NONE,
+            refcount: 1,
+        });
+        self.top_count += 1;
+        self.set_top_child(idx, bit, new);
+        new
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /// Structure counters.
+    #[must_use]
+    pub fn stats(&self) -> DagStats {
+        let folded_leaves = self
+            .interner
+            .keys()
+            .filter(|k| matches!(k, Key::Leaf(_)))
+            .count();
+        let folded_interior = self.interner.len() - folded_leaves;
+        DagStats {
+            lambda: self.lambda,
+            top_nodes: self.top_count,
+            folded_interior,
+            folded_leaves,
+            live_nodes: self.top_count + self.interner.len(),
+        }
+    }
+
+    /// Distinct labels stored anywhere in the DAG (top labels plus folded
+    /// leaf labels, ⊥ excluded) — the δ of the size model.
+    #[must_use]
+    pub fn distinct_labels(&self) -> usize {
+        let mut labels: Vec<u32> = self
+            .nodes_live()
+            .filter_map(|n| (n.label != NONE).then_some(n.label))
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    fn nodes_live(&self) -> impl Iterator<Item = DagNode> + '_ {
+        // Live nodes = reachable; free slots keep stale bits, so walk.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = Vec::new();
+        if self.root != NONE {
+            stack.push(self.root);
+            seen[self.root as usize] = true;
+        }
+        let mut out = Vec::new();
+        while let Some(idx) = stack.pop() {
+            let node = self.nodes[idx as usize];
+            out.push(node);
+            for child in [node.left, node.right] {
+                if child != NONE && !seen[child as usize] {
+                    seen[child as usize] = true;
+                    stack.push(child);
+                }
+            }
+        }
+        out.into_iter()
+    }
+
+    /// Storage size in bits under the paper's §4.2 memory model: nodes
+    /// above the barrier hold one node pointer plus a `lg δ` label index;
+    /// folded interior nodes hold two pointers; coalesced leaves cost
+    /// `δ·lg δ` bits in total. Pointers are `⌈lg(live nodes)⌉` bits.
+    #[must_use]
+    pub fn model_size_bits(&self) -> usize {
+        let s = self.stats();
+        let delta = self.distinct_labels().max(1) as u64;
+        let ptr = ceil_log2(s.live_nodes as u64).max(1) as usize;
+        let lg_delta = ceil_log2(delta) as usize;
+        s.top_nodes * (ptr + lg_delta)
+            + s.folded_interior * 2 * ptr
+            + delta as usize * lg_delta
+    }
+
+    /// Actual arena footprint in bytes (live slots only; 16 bytes each).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        (self.nodes.len() - self.free.len()) * std::mem::size_of::<DagNode>()
+    }
+
+    /// Verifies internal consistency: reference counts match in-degrees,
+    /// the interner indexes exactly the folded region, and every folded
+    /// interior has two children. Test/diagnostic use.
+    ///
+    /// # Panics
+    /// Panics if an invariant is broken.
+    pub fn assert_invariants(&self) {
+        // Count in-edges of every folded node.
+        let mut indegree: HashMap<u32, u32> = HashMap::new();
+        let mut stack = vec![(self.root, 0u8)];
+        if self.root == NONE {
+            assert!(self.lambda == 0, "only λ=0 may have a NONE root transiently");
+            return;
+        }
+        let mut visited_top = 0usize;
+        while let Some((idx, depth)) = stack.pop() {
+            let node = self.nodes[idx as usize];
+            let folded = depth >= self.lambda;
+            if !folded {
+                visited_top += 1;
+            }
+            for child in [node.left, node.right] {
+                if child == NONE {
+                    continue;
+                }
+                if depth + 1 >= self.lambda {
+                    let entry = indegree.entry(child).or_insert(0);
+                    *entry += 1;
+                    // Recurse into a folded node only on first sight.
+                    if *entry == 1 {
+                        stack.push((child, depth + 1));
+                    }
+                } else {
+                    stack.push((child, depth + 1));
+                }
+            }
+            if folded && !node.is_leaf() {
+                assert!(node.left != NONE && node.right != NONE, "folded interior missing child");
+            }
+        }
+        assert_eq!(visited_top, self.top_count, "top node count out of sync");
+        for &idx in self.interner.values() {
+            let node = self.nodes[idx as usize];
+            let mut expected = indegree.get(&idx).copied().unwrap_or(0);
+            if idx == self.root {
+                // The λ=0 root portal is held by the root handle itself.
+                expected += 1;
+            }
+            assert_eq!(
+                node.refcount, expected,
+                "refcount mismatch at folded node {idx}: {} vs in-degree {expected}",
+                node.refcount
+            );
+        }
+        assert_eq!(
+            indegree.len() + usize::from(self.lambda == 0),
+            self.interner.len(),
+            "interner size does not match reachable folded nodes"
+        );
+    }
+}
+
+/// Structure counters of a [`PrefixDag`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DagStats {
+    /// Barrier the DAG was folded with.
+    pub lambda: u8,
+    /// Unshared nodes above the barrier.
+    pub top_nodes: usize,
+    /// Distinct folded interior nodes.
+    pub folded_interior: usize,
+    /// Distinct folded leaves (≤ δ + 1).
+    pub folded_leaves: usize,
+    /// Total live nodes.
+    pub live_nodes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_trie::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    fn fig1_trie() -> BinaryTrie<u32> {
+        [
+            (p("0.0.0.0/0"), nh(2)),
+            (p("0.0.0.0/1"), nh(3)),
+            (p("0.0.0.0/2"), nh(3)),
+            (p("32.0.0.0/3"), nh(2)),
+            (p("64.0.0.0/2"), nh(2)),
+            (p("96.0.0.0/3"), nh(1)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn assert_equivalent(trie: &BinaryTrie<u32>, dag: &PrefixDag<u32>, samples: u32) {
+        for i in 0..samples {
+            let addr = i.wrapping_mul(0x9E37_79B9) ^ (i >> 3);
+            assert_eq!(dag.lookup(addr), trie.lookup(addr), "addr {addr:#x}");
+        }
+        for top in 0..=255u32 {
+            let addr = top << 24 | 0xABCDE;
+            assert_eq!(dag.lookup(addr), trie.lookup(addr), "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn equivalence_across_all_barriers() {
+        let trie = fig1_trie();
+        for lambda in 0..=32u8 {
+            let dag = PrefixDag::from_trie(&trie, lambda);
+            dag.assert_invariants();
+            assert_equivalent(&trie, &dag, 1000);
+        }
+    }
+
+    #[test]
+    fn lambda_zero_is_fully_folded() {
+        let trie = fig1_trie();
+        let dag = PrefixDag::from_trie(&trie, 0);
+        let stats = dag.stats();
+        assert_eq!(stats.top_nodes, 0);
+        // Normal form has 9 nodes / 5 leaves over 3 distinct labels.
+        // Folding shares the three duplicate "2" leaves into one node; the
+        // 4 interiors are structurally distinct here and stay.
+        assert_eq!(stats.folded_leaves, 3);
+        assert_eq!(stats.folded_interior, 4);
+        assert_eq!(stats.live_nodes, 7, "9-node normal form folds to 7");
+    }
+
+    #[test]
+    fn lambda_w_is_a_plain_trie() {
+        let trie = fig1_trie();
+        let dag = PrefixDag::from_trie(&trie, 32);
+        let stats = dag.stats();
+        // Nothing reaches depth 32, so nothing folds.
+        assert_eq!(stats.folded_interior + stats.folded_leaves, 0);
+        assert_eq!(stats.top_nodes, trie.node_count());
+        assert_equivalent(&trie, &dag, 500);
+    }
+
+    #[test]
+    fn identical_subtries_fold_together() {
+        // Two /8s with identical interior structure: the λ=8 DAG must share
+        // one folded subtrie between them.
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        for base in [10u32, 20] {
+            trie.insert(Prefix4::new(base << 24, 8), nh(1));
+            trie.insert(Prefix4::new(base << 24 | 0x0080_0000, 9), nh(2));
+            trie.insert(Prefix4::new(base << 24 | 0x00C0_0000, 10), nh(3));
+        }
+        let dag = PrefixDag::from_trie(&trie, 8);
+        dag.assert_invariants();
+        assert_equivalent(&trie, &dag, 2000);
+        // A lone copy of the same subtrie for comparison:
+        let mut single: BinaryTrie<u32> = BinaryTrie::new();
+        single.insert(Prefix4::new(10 << 24, 8), nh(1));
+        single.insert(Prefix4::new(10 << 24 | 0x0080_0000, 9), nh(2));
+        single.insert(Prefix4::new(10 << 24 | 0x00C0_0000, 10), nh(3));
+        let sdag = PrefixDag::from_trie(&single, 8);
+        let (d, s) = (dag.stats(), sdag.stats());
+        assert_eq!(
+            d.folded_interior, s.folded_interior,
+            "two identical subtries must not add folded interiors"
+        );
+    }
+
+    #[test]
+    fn empty_fib() {
+        let trie: BinaryTrie<u32> = BinaryTrie::new();
+        for lambda in [0u8, 4, 11, 32] {
+            let dag = PrefixDag::from_trie(&trie, lambda);
+            assert_eq!(dag.lookup(0), None);
+            assert_eq!(dag.lookup(u32::MAX), None);
+            assert!(dag.is_empty());
+        }
+    }
+
+    #[test]
+    fn insert_below_barrier_is_shallow() {
+        let mut dag = PrefixDag::from_trie(&fig1_trie(), 11);
+        let before = dag.stats().folded_interior;
+        assert_eq!(dag.insert(p("0.0.0.0/4"), nh(9)), None);
+        dag.assert_invariants();
+        assert_eq!(dag.stats().folded_interior, before, "no folding below λ");
+        assert_eq!(dag.lookup(0x0800_0000 >> 1), Some(nh(9)));
+        assert_eq!(dag.control().lookup(0x0400_0000), dag.lookup(0x0400_0000));
+    }
+
+    #[test]
+    fn insert_above_barrier_refolds_one_subtrie() {
+        let mut trie = fig1_trie();
+        let mut dag = PrefixDag::from_trie(&trie, 4);
+        // Insert a /24 (deep below λ=4).
+        let prefix = p("10.1.2.0/24");
+        trie.insert(prefix, nh(7));
+        assert_eq!(dag.insert(prefix, nh(7)), None);
+        dag.assert_invariants();
+        assert_equivalent(&trie, &dag, 3000);
+        assert_eq!(
+            dag.lookup(u32::from(std::net::Ipv4Addr::new(10, 1, 2, 99))),
+            Some(nh(7))
+        );
+    }
+
+    #[test]
+    fn remove_restores_previous_state_counts() {
+        let trie = fig1_trie();
+        let mut dag = PrefixDag::from_trie(&trie, 4);
+        let baseline = dag.stats();
+        let prefix = p("10.1.2.0/24");
+        dag.insert(prefix, nh(7));
+        assert_ne!(dag.stats(), baseline);
+        assert_eq!(dag.remove(prefix), Some(nh(7)));
+        dag.assert_invariants();
+        assert_eq!(dag.stats(), baseline, "fold state must return to baseline");
+        assert_equivalent(&trie, &dag, 1000);
+    }
+
+    #[test]
+    fn update_default_route_with_barrier_is_cheap_and_correct() {
+        // The paper's motivating case: rewriting the default route must not
+        // touch the folded region when λ > 0.
+        let mut dag = PrefixDag::from_trie(&fig1_trie(), 11);
+        let folded_before = dag.stats().folded_interior;
+        dag.insert(p("0.0.0.0/0"), nh(5));
+        assert_eq!(dag.stats().folded_interior, folded_before);
+        assert_eq!(dag.lookup(0xF000_0000), Some(nh(5)));
+        // Under λ=0 the same update refolds but stays correct.
+        let mut dag0 = PrefixDag::from_trie(&fig1_trie(), 0);
+        dag0.insert(p("0.0.0.0/0"), nh(5));
+        dag0.assert_invariants();
+        assert_eq!(dag0.lookup(0xF000_0000), Some(nh(5)));
+    }
+
+    #[test]
+    fn churn_keeps_equivalence_with_control() {
+        // Pseudo-random insert/remove storm, checked against the control
+        // trie (which is itself differentially tested against RouteTable).
+        let mut dag = PrefixDag::from_trie(&fig1_trie(), 8);
+        let mut x: u64 = 0xC0FF_EE11_D00D_F00D;
+        let mut live: Vec<Prefix4> = Vec::new();
+        for round in 0u32..600 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if !x.is_multiple_of(3) || live.is_empty() {
+                let prefix = Prefix4::new((x >> 32) as u32, (x % 33) as u8);
+                dag.insert(prefix, nh((x % 9) as u32));
+                live.push(prefix);
+            } else {
+                let victim = live.swap_remove((x as usize) % live.len());
+                dag.remove(victim);
+            }
+            if round.is_multiple_of(97) {
+                dag.assert_invariants();
+            }
+        }
+        dag.assert_invariants();
+        let control = dag.control().clone();
+        assert_equivalent(&control, &dag, 5000);
+    }
+
+    #[test]
+    fn removing_last_route_under_a_portal_prunes_the_path() {
+        let mut dag = PrefixDag::from_trie(&BinaryTrie::new(), 8);
+        let prefix = p("10.1.0.0/16");
+        dag.insert(prefix, nh(1));
+        assert!(dag.stats().live_nodes > 1);
+        dag.remove(prefix);
+        dag.assert_invariants();
+        let stats = dag.stats();
+        assert_eq!(stats.top_nodes, 1, "only the root remains: {stats:?}");
+        assert_eq!(stats.folded_interior + stats.folded_leaves, 0);
+    }
+
+    #[test]
+    fn model_size_shrinks_with_smaller_lambda() {
+        // More folding (smaller λ) must never increase the folded model
+        // size on a FIB with shared structure.
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        for i in 0..512u32 {
+            trie.insert(Prefix4::new(i << 23, 9), nh(i % 2));
+            trie.insert(Prefix4::new(i << 23 | (1 << 22), 10), nh(1 - i % 2));
+        }
+        let big = PrefixDag::from_trie(&trie, 16).model_size_bits();
+        let small = PrefixDag::from_trie(&trie, 4).model_size_bits();
+        assert!(small < big, "λ=4: {small} bits, λ=16: {big} bits");
+    }
+
+    #[test]
+    fn ipv6_folding_works() {
+        let mut trie: BinaryTrie<u128> = BinaryTrie::new();
+        let p1: fib_trie::Prefix6 = "2001:db8::/32".parse().unwrap();
+        let p2: fib_trie::Prefix6 = "2001:db8:8000::/33".parse().unwrap();
+        trie.insert(p1, nh(1));
+        trie.insert(p2, nh(2));
+        let mut dag = PrefixDag::from_trie(&trie, 16);
+        dag.assert_invariants();
+        let a: u128 = "2001:db8:8000::1".parse::<std::net::Ipv6Addr>().unwrap().into();
+        assert_eq!(dag.lookup(a), Some(nh(2)));
+        let p3: fib_trie::Prefix6 = "2001:db8:8000::/48".parse().unwrap();
+        dag.insert(p3, nh(3));
+        let b: u128 = "2001:db8:8000::2".parse::<std::net::Ipv6Addr>().unwrap().into();
+        assert_eq!(dag.lookup(b), Some(nh(3)));
+    }
+}

@@ -1,0 +1,524 @@
+//! The serialized prefix-DAG blob of Section 5.3.
+//!
+//! The paper's lookup engines (the Linux kernel module and the FPGA) do
+//! not walk the pointer-machine DAG: they consume a flat serialized image
+//! in which the first λ trie levels are collapsed into a 2^λ-entry root
+//! array (the standard "initial stride" trick of DXR and friends, [61]),
+//! and every folded interior node is a record of two tagged 32-bit
+//! references. One memory word is touched per hop, which is what makes the
+//! SRAM cycle model of `fib-hwsim` faithful.
+//!
+//! Layout (`8` bytes per element, contiguous):
+//!
+//! ```text
+//! [ RootEntry × 2^λ ][ [u32; 2] × interior-count ]
+//! ```
+//!
+//! A tagged reference is either `LEAF_TAG | label` (label `0x7FFF_FFFF` is
+//! ⊥) or the index of an interior record. Each root entry carries the
+//! reference for its λ-bit prefix plus the *fallback label*: the last
+//! next-hop on the collapsed top path, which is what a ⊥ leaf resolves to
+//! — the serialized counterpart of the DAG's label fall-through.
+
+use std::marker::PhantomData;
+
+use fib_trie::{Address, NextHop};
+
+use crate::pdag::{PrefixDag, NONE};
+
+const LEAF_TAG: u32 = 0x8000_0000;
+const BOT: u32 = 0x7FFF_FFFF;
+
+#[derive(Clone, Copy, Debug)]
+struct RootEntry {
+    /// Tagged reference for this λ-bit prefix.
+    slot: u32,
+    /// Label to fall back to when the walk ends on ⊥ (`NONE` = no route).
+    fallback: u32,
+}
+
+/// A flat, read-only prefix DAG image with zero-allocation lookup.
+#[derive(Clone, Debug)]
+pub struct SerializedDag<A: Address> {
+    lambda: u8,
+    entries: Vec<RootEntry>,
+    nodes: Vec<[u32; 2]>,
+    _marker: PhantomData<A>,
+}
+
+impl<A: Address> SerializedDag<A> {
+    /// Serializes `dag`.
+    ///
+    /// # Panics
+    /// Panics if the DAG's λ exceeds 25 (the root array would exceed
+    /// 256 MiB — far past any sensible configuration; the paper uses 11).
+    #[must_use]
+    pub fn from_dag(dag: &PrefixDag<A>) -> Self {
+        let lambda = dag.lambda();
+        assert!(lambda <= 25, "root array for λ = {lambda} would be enormous");
+        // Compact interior numbering, assigned on first visit.
+        let mut ser_idx: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut nodes: Vec<[u32; 2]> = Vec::new();
+        let mut entries = Vec::with_capacity(1usize << lambda);
+        for v in 0..(1u64 << lambda) {
+            entries.push(Self::walk_top(dag, v, lambda, &mut ser_idx, &mut nodes));
+        }
+        Self {
+            lambda,
+            entries,
+            nodes,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Walks the top tree along the λ bits of `v`, producing the root
+    /// entry and serializing the portal's folded subgraph on first visit.
+    fn walk_top(
+        dag: &PrefixDag<A>,
+        v: u64,
+        lambda: u8,
+        ser_idx: &mut std::collections::HashMap<u32, u32>,
+        nodes: &mut Vec<[u32; 2]>,
+    ) -> RootEntry {
+        let mut idx = dag.root;
+        let mut fallback = NONE;
+        for depth in 0..lambda {
+            if idx == NONE {
+                break;
+            }
+            let node = dag.nodes[idx as usize];
+            if node.label != NONE {
+                fallback = node.label;
+            }
+            let bit = (v >> (lambda - 1 - depth)) & 1 == 1;
+            idx = if bit { node.right } else { node.left };
+        }
+        let slot = if idx == NONE {
+            LEAF_TAG | BOT
+        } else {
+            // At λ = depth: idx is the portal (or, when λ = 0, the root
+            // itself). Serialize its folded structure.
+            Self::encode(dag, idx, ser_idx, nodes)
+        };
+        RootEntry { slot, fallback }
+    }
+
+    /// Recursively serializes a folded node into a tagged reference.
+    fn encode(
+        dag: &PrefixDag<A>,
+        idx: u32,
+        ser_idx: &mut std::collections::HashMap<u32, u32>,
+        nodes: &mut Vec<[u32; 2]>,
+    ) -> u32 {
+        let node = dag.nodes[idx as usize];
+        if node.is_leaf() {
+            return LEAF_TAG | if node.label == NONE { BOT } else { node.label };
+        }
+        if let Some(&existing) = ser_idx.get(&idx) {
+            return existing;
+        }
+        let record = nodes.len() as u32;
+        nodes.push([0, 0]); // reserve before recursing (shared DAG, no cycles)
+        ser_idx.insert(idx, record);
+        let left = Self::encode(dag, node.left, ser_idx, nodes);
+        let right = Self::encode(dag, node.right, ser_idx, nodes);
+        nodes[record as usize] = [left, right];
+        record
+    }
+
+    /// The collapsed stride λ.
+    #[must_use]
+    pub fn lambda(&self) -> u8 {
+        self.lambda
+    }
+
+    /// Longest-prefix-match lookup on the flat image.
+    #[must_use]
+    #[inline]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        self.lookup_with_depth(addr).0
+    }
+
+    /// Lookup also returning the number of node records touched after the
+    /// root array (Table 2's "depth" for the pDAG engine).
+    #[must_use]
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, u32) {
+        let v = addr.bits(0, self.lambda) as usize;
+        let entry = self.entries[v];
+        let mut reference = entry.slot;
+        let mut depth = self.lambda;
+        let mut hops = 0u32;
+        loop {
+            if reference & LEAF_TAG != 0 {
+                let label = reference & !LEAF_TAG;
+                let result = if label == BOT {
+                    (entry.fallback != NONE).then(|| NextHop::new(entry.fallback))
+                } else {
+                    Some(NextHop::new(label))
+                };
+                return (result, hops);
+            }
+            let record = self.nodes[reference as usize];
+            reference = record[usize::from(addr.bit(depth))];
+            depth += 1;
+            hops += 1;
+        }
+    }
+
+    /// Lookup reporting every memory touch as `(byte offset, byte size)`
+    /// within the blob — the access stream consumed by the cache and SRAM
+    /// models of `fib-hwsim`.
+    pub fn lookup_traced(
+        &self,
+        addr: A,
+        sink: &mut dyn FnMut(u64, u32),
+    ) -> Option<NextHop> {
+        let v = addr.bits(0, self.lambda) as usize;
+        sink(v as u64 * 8, 8);
+        let entry = self.entries[v];
+        let node_base = self.entries.len() as u64 * 8;
+        let mut reference = entry.slot;
+        let mut depth = self.lambda;
+        loop {
+            if reference & LEAF_TAG != 0 {
+                let label = reference & !LEAF_TAG;
+                return if label == BOT {
+                    (entry.fallback != NONE).then(|| NextHop::new(entry.fallback))
+                } else {
+                    Some(NextHop::new(label))
+                };
+            }
+            sink(node_base + u64::from(reference) * 8, 8);
+            let record = self.nodes[reference as usize];
+            reference = record[usize::from(addr.bit(depth))];
+            depth += 1;
+        }
+    }
+
+    /// Blob size in bytes: 8 per root entry plus 8 per interior record.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * 8 + self.nodes.len() * 8
+    }
+
+    /// Number of interior records.
+    #[must_use]
+    pub fn interior_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Encodes the image as a self-contained byte blob with a header and a
+    /// checksum — the artifact a control plane would push to line cards.
+    ///
+    /// Layout (all little-endian): magic `FIBD`, version u16, λ u8,
+    /// address width u8, entry count u32, node count u32, entries
+    /// (slot u32, fallback u32 each), nodes (left u32, right u32 each),
+    /// FNV-1a checksum u64 over everything before it.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.size_bytes() + 8);
+        out.extend_from_slice(b"FIBD");
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.push(self.lambda);
+        out.push(A::WIDTH);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.slot.to_le_bytes());
+            out.extend_from_slice(&e.fallback.to_le_bytes());
+        }
+        for n in &self.nodes {
+            out.extend_from_slice(&n[0].to_le_bytes());
+            out.extend_from_slice(&n[1].to_le_bytes());
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a blob produced by [`Self::to_bytes`], validating the
+    /// header, the checksum, and every internal reference.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BlobError> {
+        let need = |n: usize| -> Result<(), BlobError> {
+            if bytes.len() < n {
+                Err(BlobError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(16 + 8)?;
+        if &bytes[0..4] != b"FIBD" {
+            return Err(BlobError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != 1 {
+            return Err(BlobError::BadVersion(version));
+        }
+        let lambda = bytes[6];
+        let width = bytes[7];
+        if width != A::WIDTH {
+            return Err(BlobError::WidthMismatch { blob: width, expected: A::WIDTH });
+        }
+        let entry_count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let node_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        if lambda > 25 || entry_count != 1usize << lambda {
+            return Err(BlobError::Inconsistent("entry count does not match λ"));
+        }
+        let body_end = 16 + entry_count * 8 + node_count * 8;
+        need(body_end + 8)?;
+        let stored = u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().expect("8 bytes"));
+        if fnv1a(&bytes[..body_end]) != stored {
+            return Err(BlobError::ChecksumMismatch);
+        }
+        let u32_at = |pos: usize| u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let check_ref = |r: u32| -> Result<(), BlobError> {
+            if r & LEAF_TAG == 0 && r as usize >= node_count {
+                return Err(BlobError::Inconsistent("reference past node region"));
+            }
+            Ok(())
+        };
+        let mut entries = Vec::with_capacity(entry_count);
+        for i in 0..entry_count {
+            let pos = 16 + i * 8;
+            let slot = u32_at(pos);
+            check_ref(slot)?;
+            entries.push(RootEntry { slot, fallback: u32_at(pos + 4) });
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        for i in 0..node_count {
+            let pos = 16 + entry_count * 8 + i * 8;
+            let record = [u32_at(pos), u32_at(pos + 4)];
+            check_ref(record[0])?;
+            check_ref(record[1])?;
+            nodes.push(record);
+        }
+        Ok(Self {
+            lambda,
+            entries,
+            nodes,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Average and maximum hop depth over a sample of addresses.
+    pub fn depth_stats(&self, addrs: impl IntoIterator<Item = A>) -> (f64, u32) {
+        let mut total = 0u64;
+        let mut count = 0u64;
+        let mut max = 0u32;
+        for addr in addrs {
+            let (_, hops) = self.lookup_with_depth(addr);
+            total += u64::from(hops);
+            count += 1;
+            max = max.max(hops);
+        }
+        if count == 0 {
+            (0.0, 0)
+        } else {
+            (total as f64 / count as f64, max)
+        }
+    }
+}
+
+/// FNV-1a over a byte slice — dependency-free integrity check for blobs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Error decoding a serialized-DAG blob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlobError {
+    /// Fewer bytes than the header + checksum demand.
+    Truncated,
+    /// The magic number is not `FIBD`.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// The blob was built for a different address width.
+    WidthMismatch {
+        /// Width recorded in the blob.
+        blob: u8,
+        /// Width of the requested address type.
+        expected: u8,
+    },
+    /// Checksum over the payload does not match.
+    ChecksumMismatch,
+    /// Structurally invalid contents.
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for BlobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "blob truncated"),
+            Self::BadMagic => write!(f, "not a FIBD blob"),
+            Self::BadVersion(v) => write!(f, "unsupported blob version {v}"),
+            Self::WidthMismatch { blob, expected } => {
+                write!(f, "blob is W={blob}, expected W={expected}")
+            }
+            Self::ChecksumMismatch => write!(f, "blob checksum mismatch"),
+            Self::Inconsistent(what) => write!(f, "inconsistent blob: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_trie::{BinaryTrie, Prefix4};
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    fn fig1_trie() -> BinaryTrie<u32> {
+        [
+            (p("0.0.0.0/0"), nh(2)),
+            (p("0.0.0.0/1"), nh(3)),
+            (p("0.0.0.0/2"), nh(3)),
+            (p("32.0.0.0/3"), nh(2)),
+            (p("64.0.0.0/2"), nh(2)),
+            (p("96.0.0.0/3"), nh(1)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn serialized_matches_dag_across_lambdas() {
+        let trie = fig1_trie();
+        for lambda in [0u8, 1, 3, 8, 11, 16] {
+            let dag = PrefixDag::from_trie(&trie, lambda);
+            let ser = SerializedDag::from_dag(&dag);
+            assert_eq!(ser.lambda(), lambda);
+            for i in 0..3000u32 {
+                let addr = i.wrapping_mul(0x9E37_79B9);
+                assert_eq!(ser.lookup(addr), dag.lookup(addr), "λ={lambda} addr {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fib_serializes() {
+        let dag = PrefixDag::from_trie(&BinaryTrie::<u32>::new(), 11);
+        let ser = SerializedDag::from_dag(&dag);
+        assert_eq!(ser.lookup(0), None);
+        assert_eq!(ser.lookup(u32::MAX), None);
+        assert_eq!(ser.interior_count(), 0);
+        assert_eq!(ser.size_bytes(), (1 << 11) * 8);
+    }
+
+    #[test]
+    fn shared_subtries_are_serialized_once() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        for base in 0..64u32 {
+            // 64 identical /8-rooted subtries.
+            trie.insert(Prefix4::new(base << 26, 8), nh(1));
+            trie.insert(Prefix4::new(base << 26 | (1 << 23), 9), nh(2));
+        }
+        let dag = PrefixDag::from_trie(&trie, 6);
+        let ser = SerializedDag::from_dag(&dag);
+        let stats = dag.stats();
+        assert_eq!(
+            ser.interior_count(),
+            stats.folded_interior,
+            "every distinct folded interior appears exactly once"
+        );
+    }
+
+    #[test]
+    fn traced_lookup_touches_entry_then_nodes() {
+        let dag = PrefixDag::from_trie(&fig1_trie(), 2);
+        let ser = SerializedDag::from_dag(&dag);
+        let mut touches = Vec::new();
+        let result = ser.lookup_traced(0x6000_0000, &mut |off, sz| touches.push((off, sz)));
+        assert_eq!(result, ser.lookup(0x6000_0000));
+        assert!(!touches.is_empty());
+        // First touch is the root array entry for the top 2 bits (01 → 1).
+        assert_eq!(touches[0], (8, 8));
+        // Subsequent touches are within the node region.
+        for &(off, _) in &touches[1..] {
+            assert!(off >= ser.entries.len() as u64 * 8);
+        }
+    }
+
+    #[test]
+    fn depth_stats_are_bounded_by_width_minus_lambda() {
+        let trie = fig1_trie();
+        let dag = PrefixDag::from_trie(&trie, 2);
+        let ser = SerializedDag::from_dag(&dag);
+        let (avg, max) = ser.depth_stats((0..1000u32).map(|i| i.wrapping_mul(0x01DE_B851)));
+        assert!(avg <= f64::from(max));
+        assert!(max <= 30, "hops after a 2-bit stride cannot exceed W-λ");
+    }
+
+    #[test]
+    fn blob_roundtrips() {
+        let dag = PrefixDag::from_trie(&fig1_trie(), 5);
+        let ser = SerializedDag::from_dag(&dag);
+        let bytes = ser.to_bytes();
+        let back = SerializedDag::<u32>::from_bytes(&bytes).unwrap();
+        assert_eq!(back.lambda(), 5);
+        for i in 0..2000u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            assert_eq!(back.lookup(addr), ser.lookup(addr));
+        }
+    }
+
+    #[test]
+    fn blob_rejects_corruption() {
+        let dag = PrefixDag::from_trie(&fig1_trie(), 4);
+        let ser = SerializedDag::from_dag(&dag);
+        let good = ser.to_bytes();
+
+        // Truncation anywhere.
+        for cut in [0, 10, good.len() / 2, good.len() - 1] {
+            assert!(SerializedDag::<u32>::from_bytes(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(SerializedDag::<u32>::from_bytes(&bad), Err(BlobError::BadMagic)));
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(matches!(SerializedDag::<u32>::from_bytes(&bad), Err(BlobError::BadVersion(9))));
+        // Width mismatch: an IPv4 blob refused by an IPv6 decoder.
+        assert!(matches!(
+            SerializedDag::<u128>::from_bytes(&good),
+            Err(BlobError::WidthMismatch { blob: 32, expected: 128 })
+        ));
+        // Single-bit payload flip breaks the checksum.
+        let mut bad = good.clone();
+        let mid = 20;
+        bad[mid] ^= 0x40;
+        assert!(matches!(
+            SerializedDag::<u32>::from_bytes(&bad),
+            Err(BlobError::ChecksumMismatch) | Err(BlobError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn fallback_label_resolves_bottom_leaves() {
+        // Route only above the barrier: folded region is all ⊥, answers
+        // must come from the fallback labels.
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("0.0.0.0/1"), nh(9));
+        trie.insert(p("0.0.0.0/16"), nh(3));
+        let dag = PrefixDag::from_trie(&trie, 8);
+        let ser = SerializedDag::from_dag(&dag);
+        assert_eq!(ser.lookup(0x0000_1111), Some(nh(3)));
+        assert_eq!(ser.lookup(0x0100_0000), Some(nh(9)));
+        assert_eq!(ser.lookup(0x8000_0000), None);
+    }
+}

@@ -1,0 +1,255 @@
+//! Trie-folding as a compressed string self-index (§4.2 and Fig. 4).
+//!
+//! The size theorems of the paper are proven in a *string model*: a string
+//! of `n = 2^w` symbols is written onto the leaves of a complete binary
+//! trie of depth `w`, the trie is folded with barrier λ, and the resulting
+//! DAG is compared against `n·lg δ` (Theorem 1: ≤ `4·n·lg δ + o(n)` with
+//! the Eq. (2) barrier) and `n·H0` (Theorem 2: ≤ `(6 + 2·lg(1/H0) +
+//! 2·lg lg δ)·H0·n + o(n)` with the Eq. (3) barrier).
+//!
+//! [`FoldedString`] realizes that model directly on top of [`PrefixDag`]:
+//! `get(i)` is a lookup on the key `i`, and — because prefix DAGs support
+//! updates — `set(i, s)` works too, making this a *dynamic* compressed
+//! string self-index, which the paper notes is the first pointer-machine
+//! structure of its kind.
+
+use fib_trie::{BinaryTrie, NextHop, Prefix};
+
+use crate::pdag::{DagStats, PrefixDag};
+
+/// A string of small symbols stored as a folded complete binary trie.
+#[derive(Clone)]
+pub struct FoldedString {
+    dag: PrefixDag<u32>,
+    width: u8,
+    len: usize,
+}
+
+impl FoldedString {
+    /// Folds `symbols` (length must be a power of two in `[1, 2^25]`) with
+    /// leaf-push barrier `lambda`.
+    ///
+    /// # Panics
+    /// Panics if the length is not a power of two in range.
+    #[must_use]
+    pub fn new(symbols: &[u16], lambda: u8) -> Self {
+        let len = symbols.len();
+        assert!(
+            len.is_power_of_two() && len <= (1 << 25),
+            "length {len} must be a power of two ≤ 2^25"
+        );
+        let width = len.trailing_zeros() as u8;
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        for (i, &sym) in symbols.iter().enumerate() {
+            let key = if width == 0 {
+                0
+            } else {
+                (i as u32) << (32 - u32::from(width))
+            };
+            trie.insert(Prefix::new(key, width), NextHop::new(u32::from(sym)));
+        }
+        Self {
+            dag: PrefixDag::from_trie(&trie, lambda.min(width)),
+            width,
+            len,
+        }
+    }
+
+    /// Folds with the Eq. (3) barrier computed from the symbol entropy.
+    #[must_use]
+    pub fn with_entropy_barrier(symbols: &[u16]) -> Self {
+        let mut counts = std::collections::HashMap::new();
+        for &s in symbols {
+            *counts.entry(s).or_insert(0u64) += 1;
+        }
+        let freqs: Vec<u64> = counts.values().copied().collect();
+        let h0 = fib_succinct::shannon_entropy(&freqs);
+        let width = symbols.len().trailing_zeros() as u8;
+        let lambda = crate::lambda::barrier_entropy(symbols.len(), h0, width);
+        Self::new(symbols, lambda)
+    }
+
+    /// String length `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the string is empty (never true: length ≥ 1).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree depth `w = lg n`.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Random access: the symbol at position `i` (Fig. 4's example: the
+    /// third character is fetched by looking up the key `2 = 010₂`).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> u16 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let key = if self.width == 0 {
+            0
+        } else {
+            (i as u32) << (32 - u32::from(self.width))
+        };
+        let nh = self
+            .dag
+            .lookup(key)
+            .expect("complete string: every position has a symbol");
+        nh.index() as u16
+    }
+
+    /// Rewrites position `i` — a block update in the paper's terms,
+    /// O(w + 2^(w−λ)).
+    pub fn set(&mut self, i: usize, symbol: u16) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let key = if self.width == 0 {
+            0
+        } else {
+            (i as u32) << (32 - u32::from(self.width))
+        };
+        self.dag
+            .insert(Prefix::new(key, self.width), NextHop::new(u32::from(symbol)));
+    }
+
+    /// Folded-structure counters.
+    #[must_use]
+    pub fn stats(&self) -> DagStats {
+        self.dag.stats()
+    }
+
+    /// Size in bits under the paper's §4.2 memory model.
+    #[must_use]
+    pub fn model_size_bits(&self) -> usize {
+        self.dag.model_size_bits()
+    }
+
+    /// The barrier in use.
+    #[must_use]
+    pub fn lambda(&self) -> u8 {
+        self.dag.lambda()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_string(s: &str) -> Vec<u16> {
+        s.bytes().map(u16::from).collect()
+    }
+
+    #[test]
+    fn fig4_bananaba() {
+        // Fig. 4: "bananaba" folds to 3 leaves (b, a, n) and the third
+        // character is read back via key 010₂.
+        let fs = FoldedString::new(&sym_string("bananaba"), 0);
+        assert_eq!(fs.len(), 8);
+        assert_eq!(fs.width(), 3);
+        for (i, expected) in "bananaba".bytes().enumerate() {
+            assert_eq!(fs.get(i), u16::from(expected), "position {i}");
+        }
+        let stats = fs.stats();
+        assert_eq!(stats.folded_leaves, 3, "{stats:?}");
+        // Distinct interiors: (b,a), (n,a), ((b,a),(n,a)), ((n,a),(b,a)),
+        // and the root — 5.
+        assert_eq!(stats.folded_interior, 5, "{stats:?}");
+    }
+
+    #[test]
+    fn constant_string_collapses_to_one_leaf() {
+        let fs = FoldedString::new(&vec![7u16; 1024], 0);
+        let stats = fs.stats();
+        assert_eq!(stats.folded_leaves, 1);
+        assert_eq!(stats.folded_interior, 0);
+        assert_eq!(fs.get(512), 7);
+    }
+
+    #[test]
+    fn periodic_string_folds_logarithmically() {
+        // "abababab…": one distinct subtrie per level → O(w) interiors.
+        let symbols: Vec<u16> = (0..4096).map(|i| (i % 2) as u16).collect();
+        let fs = FoldedString::new(&symbols, 0);
+        let stats = fs.stats();
+        assert_eq!(stats.folded_leaves, 2);
+        assert_eq!(stats.folded_interior, 12, "one interior per level");
+        assert_eq!(fs.get(1000), 0);
+        assert_eq!(fs.get(1001), 1);
+    }
+
+    #[test]
+    fn get_matches_source_across_lambdas() {
+        let symbols: Vec<u16> = (0..512u32)
+            .map(|i| ((i.wrapping_mul(2_654_435_761)) % 5) as u16)
+            .collect();
+        for lambda in [0u8, 3, 6, 9] {
+            let fs = FoldedString::new(&symbols, lambda);
+            for (i, &s) in symbols.iter().enumerate() {
+                assert_eq!(fs.get(i), s, "λ={lambda} position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_rewrites_one_position() {
+        let mut fs = FoldedString::new(&sym_string("bananaba"), 2);
+        fs.set(2, u16::from(b'x'));
+        assert_eq!(fs.get(2), u16::from(b'x'));
+        assert_eq!(fs.get(1), u16::from(b'a'));
+        assert_eq!(fs.get(3), u16::from(b'a'));
+        // Setting back restores the original fold.
+        fs.set(2, u16::from(b'n'));
+        for (i, expected) in "bananaba".bytes().enumerate() {
+            assert_eq!(fs.get(i), u16::from(expected));
+        }
+    }
+
+    #[test]
+    fn single_symbol_string() {
+        let fs = FoldedString::new(&[42], 0);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs.width(), 0);
+        assert_eq!(fs.get(0), 42);
+    }
+
+    #[test]
+    fn entropy_barrier_is_reasonable() {
+        let symbols: Vec<u16> = (0..(1 << 14)).map(|i| (i % 3) as u16).collect();
+        let fs = FoldedString::with_entropy_barrier(&symbols);
+        assert!(fs.lambda() <= 14);
+        assert_eq!(fs.get(4), 1);
+    }
+
+    #[test]
+    fn random_string_stays_below_theorem1_bound() {
+        // Theorem 1: with the Eq. (2) barrier, size ≤ 4·n·lg δ + o(n).
+        let n = 1 << 14;
+        let delta = 4u64;
+        let mut x = 0x1357_9BDF_2468_ACE0u64;
+        let symbols: Vec<u16> = (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % delta) as u16
+            })
+            .collect();
+        let width = 14u8;
+        let lambda = crate::lambda::barrier_info(n, delta as usize, width);
+        let fs = FoldedString::new(&symbols, lambda);
+        let bound = 4.0 * n as f64 * (delta as f64).log2();
+        let measured = fs.model_size_bits() as f64;
+        assert!(
+            measured <= bound * 1.05 + 10_000.0,
+            "Theorem 1 violated: {measured} bits > {bound}"
+        );
+    }
+}

@@ -1,0 +1,526 @@
+//! XBW-b: the Burrows–Wheeler transform for binary leaf-labeled tries
+//! (Section 3 of the paper).
+//!
+//! The leaf-pushed normal form is serialized in level (BFS) order into
+//!
+//! * `S_I` — one bit per node: 0 = interior, 1 = leaf,
+//! * `S_α` — the leaf labels, in the same order,
+//!
+//! and both strings are handed to compressed string self-indexes, after
+//! which longest-prefix match runs *directly on the compressed form* using
+//! only the `access`/`rank` primitives (the `lookup` pseudo-code of
+//! §3.1). Level order is what gives the transform its name: it clusters
+//! nodes of equal context (= depth) exactly as BWT clusters characters of
+//! equal context in a string.
+//!
+//! Two storage modes realize the two lemmas:
+//!
+//! * [`XbwStorage::Succinct`] — `S_I` in a plain rank bitvector, `S_α`
+//!   packed at `⌈lg δ⌉` bits/label: `2n + n·lg δ + o(n)` bits, Lemma 2;
+//! * [`XbwStorage::Entropy`] — `S_I` in RRR, `S_α` in a Huffman-shaped
+//!   wavelet tree: `2n + n·H0 + o(n)` bits, Lemma 3.
+//!
+//! Updates rebuild the transform (see DESIGN.md): the paper's dynamic
+//! variant via Mäkinen–Navarro indexes is cited but not evaluated there
+//! either.
+
+use fib_succinct::{BitVec, IntVec, RrrVec, RsBitVec, WaveletTree};
+use fib_trie::{Address, BinaryTrie, NextHop, ProperNode, ProperTrie};
+use std::marker::PhantomData;
+
+/// How the two XBW-b strings are stored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XbwStorage {
+    /// Plain rank directory + packed labels (`2n + n·lg δ`, Lemma 2).
+    Succinct,
+    /// RRR + Huffman wavelet tree (`2n + n·H0 + o(n)`, Lemma 3).
+    Entropy,
+    /// Any combination, for the ablation benchmarks.
+    Custom(SiStorage, SaStorage),
+}
+
+/// Storage for the trie-shape string `S_I`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiStorage {
+    /// Uncompressed bits + rank directory.
+    Plain,
+    /// RRR-compressed.
+    Rrr,
+}
+
+/// Storage for the label string `S_α`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SaStorage {
+    /// Fixed-width packed labels.
+    Packed,
+    /// Balanced wavelet tree, plain nodes.
+    WaveletBalanced,
+    /// Huffman-shaped wavelet tree, plain nodes (`n(H0+1)` bits).
+    WaveletHuffman,
+    /// Huffman-shaped wavelet tree over RRR-compressed nodes — the true
+    /// `n·H0 + o(n)` realization used by [`XbwStorage::Entropy`].
+    WaveletHuffmanRrr,
+    /// One Huffman/RRR wavelet tree **per trie level**. Because XBW-b's
+    /// BFS order clusters equal-context (equal-depth) labels, this is the
+    /// higher-order-entropy upgrade §3.2 sketches: when the label
+    /// distribution shifts with depth (e.g. a dominant default next-hop
+    /// near the root, diverse peering routes deep down), it compresses
+    /// below `n·H0`.
+    HuffmanPerLevel,
+}
+
+impl XbwStorage {
+    fn kinds(self) -> (SiStorage, SaStorage) {
+        match self {
+            Self::Succinct => (SiStorage::Plain, SaStorage::Packed),
+            Self::Entropy => (SiStorage::Rrr, SaStorage::WaveletHuffmanRrr),
+            Self::Custom(si, sa) => (si, sa),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum SiStore {
+    Plain(RsBitVec),
+    Rrr(RrrVec),
+}
+
+impl SiStore {
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        match self {
+            Self::Plain(v) => v.get(i),
+            Self::Rrr(v) => v.get(i),
+        }
+    }
+
+    #[inline]
+    fn rank1(&self, i: usize) -> usize {
+        match self {
+            Self::Plain(v) => v.rank1(i),
+            Self::Rrr(v) => v.rank1(i),
+        }
+    }
+
+    #[inline]
+    fn rank0(&self, i: usize) -> usize {
+        match self {
+            Self::Plain(v) => v.rank0(i),
+            Self::Rrr(v) => v.rank0(i),
+        }
+    }
+
+    fn size_bits(&self) -> usize {
+        match self {
+            Self::Plain(v) => v.size_bits(),
+            Self::Rrr(v) => v.size_bits(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum SaStore {
+    Packed(IntVec),
+    Wavelet(WaveletTree),
+    /// Per-level trees plus the global leaf rank at which each level
+    /// starts (levels are contiguous in BFS order).
+    PerLevel {
+        trees: Vec<WaveletTree>,
+        starts: Vec<usize>,
+    },
+}
+
+impl SaStore {
+    #[inline]
+    fn access(&self, i: usize) -> u64 {
+        match self {
+            Self::Packed(v) => v.get(i),
+            Self::Wavelet(w) => w.access(i),
+            Self::PerLevel { trees, starts } => {
+                // Levels are few (≤ W+1): find the enclosing one.
+                let level = starts.partition_point(|&s| s <= i) - 1;
+                trees[level].access(i - starts[level])
+            }
+        }
+    }
+
+    fn size_bits(&self) -> usize {
+        match self {
+            Self::Packed(v) => v.size_bits(),
+            Self::Wavelet(w) => w.size_bits(),
+            Self::PerLevel { trees, starts } => {
+                trees.iter().map(WaveletTree::size_bits).sum::<usize>() + starts.len() * 64
+            }
+        }
+    }
+}
+
+/// Size breakdown of an [`XbwFib`], in bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XbwSizeReport {
+    /// The shape string `S_I` including its rank directory.
+    pub si_bits: usize,
+    /// The label string `S_α` including its index.
+    pub sa_bits: usize,
+    /// The symbol → next-hop table.
+    pub label_map_bits: usize,
+}
+
+impl XbwSizeReport {
+    /// Total bits.
+    #[must_use]
+    pub fn total_bits(&self) -> usize {
+        self.si_bits + self.sa_bits + self.label_map_bits
+    }
+
+    /// Total bytes, rounded up.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.total_bits().div_ceil(8)
+    }
+}
+
+/// An entropy-compressed, statically queryable FIB — the XBW-b transform.
+#[derive(Clone, Debug)]
+pub struct XbwFib<A: Address> {
+    si: SiStore,
+    sa: SaStore,
+    /// Symbol → next-hop (⊥ included when present in the normal form).
+    label_map: Vec<Option<NextHop>>,
+    n_leaves: usize,
+    t_nodes: usize,
+    _marker: PhantomData<A>,
+}
+
+impl<A: Address> XbwFib<A> {
+    /// Builds the transform from a route trie (normalizing it first).
+    #[must_use]
+    pub fn build(trie: &BinaryTrie<A>, storage: XbwStorage) -> Self {
+        Self::from_proper(&ProperTrie::from_trie(trie), storage)
+    }
+
+    /// Builds the transform from an already-normalized trie. This is the
+    /// O(t) construction of Lemma 1: one BFS pass fills both strings.
+    #[must_use]
+    pub fn from_proper(proper: &ProperTrie<A>, storage: XbwStorage) -> Self {
+        // Stable symbol numbering: sorted distinct labels.
+        let hist = proper.leaf_label_histogram();
+        let label_map: Vec<Option<NextHop>> = hist.keys().copied().collect();
+        let symbol_of = |label: Option<NextHop>| -> u64 {
+            label_map
+                .binary_search(&label)
+                .expect("label seen in histogram") as u64
+        };
+
+        let mut si_bits = BitVec::with_capacity(proper.node_count());
+        let mut symbols = Vec::with_capacity(proper.n_leaves());
+        // Global leaf rank at which each depth's leaves begin (leaves are
+        // depth-contiguous in BFS order). Used by the per-level backend.
+        let mut level_starts = Vec::new();
+        let mut last_depth = None;
+        for (depth, node) in proper.bfs_with_depth() {
+            match node {
+                ProperNode::Internal { .. } => si_bits.push(false),
+                ProperNode::Leaf(label) => {
+                    if last_depth != Some(depth) {
+                        level_starts.push(symbols.len());
+                        last_depth = Some(depth);
+                    }
+                    si_bits.push(true);
+                    symbols.push(symbol_of(*label));
+                }
+            }
+        }
+
+        let (si_kind, sa_kind) = storage.kinds();
+        let si = match si_kind {
+            SiStorage::Plain => SiStore::Plain(RsBitVec::new(si_bits)),
+            SiStorage::Rrr => SiStore::Rrr(RrrVec::new(&si_bits)),
+        };
+        let sigma = label_map.len().max(1);
+        let sa = match sa_kind {
+            SaStorage::Packed => {
+                let mut iv = IntVec::new(fib_succinct::ceil_log2(sigma as u64));
+                for &s in &symbols {
+                    iv.push(s);
+                }
+                SaStore::Packed(iv)
+            }
+            SaStorage::WaveletBalanced => SaStore::Wavelet(WaveletTree::balanced(&symbols, sigma)),
+            SaStorage::WaveletHuffman => SaStore::Wavelet(WaveletTree::huffman(&symbols, sigma)),
+            SaStorage::WaveletHuffmanRrr => SaStore::Wavelet(WaveletTree::with_backing(
+                &symbols,
+                sigma,
+                fib_succinct::WaveletShape::Huffman,
+                fib_succinct::WaveletBacking::Rrr,
+            )),
+            SaStorage::HuffmanPerLevel => {
+                let mut trees = Vec::with_capacity(level_starts.len());
+                for (i, &start) in level_starts.iter().enumerate() {
+                    let end = level_starts.get(i + 1).copied().unwrap_or(symbols.len());
+                    trees.push(WaveletTree::with_backing(
+                        &symbols[start..end],
+                        sigma,
+                        fib_succinct::WaveletShape::Huffman,
+                        fib_succinct::WaveletBacking::Rrr,
+                    ));
+                }
+                SaStore::PerLevel {
+                    trees,
+                    starts: level_starts,
+                }
+            }
+        };
+        Self {
+            si,
+            sa,
+            label_map,
+            n_leaves: proper.n_leaves(),
+            t_nodes: proper.node_count(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Longest-prefix match on the compressed form (§3.1's `lookup`): walk
+    /// the level-order encoding with one `access` + one `rank` per level,
+    /// O(W) in total.
+    #[must_use]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        // 0-based variant of the paper's pseudo-code: the children of the
+        // r-th interior node (1-based) sit at positions 2r−1 and 2r.
+        let mut i = 0usize;
+        let mut q = 0u8;
+        loop {
+            if self.si.get(i) {
+                let leaf_rank = self.si.rank1(i);
+                let symbol = self.sa.access(leaf_rank);
+                return self.label_map[symbol as usize];
+            }
+            debug_assert!(q < A::WIDTH, "interior node below maximum depth");
+            let r = self.si.rank0(i + 1);
+            i = 2 * r - 1 + usize::from(addr.bit(q));
+            q += 1;
+        }
+    }
+
+    /// Number of leaves `n` of the underlying normal form.
+    #[must_use]
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Number of nodes `t` of the underlying normal form.
+    #[must_use]
+    pub fn t_nodes(&self) -> usize {
+        self.t_nodes
+    }
+
+    /// Alphabet size δ (⊥ included when present).
+    #[must_use]
+    pub fn delta(&self) -> usize {
+        self.label_map.len()
+    }
+
+    /// Size breakdown.
+    #[must_use]
+    pub fn size_report(&self) -> XbwSizeReport {
+        XbwSizeReport {
+            si_bits: self.si.size_bits(),
+            sa_bits: self.sa.size_bits(),
+            label_map_bits: self.label_map.len() * 33,
+        }
+    }
+
+    /// Total footprint in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.size_report().total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_trie::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    fn fig1_trie() -> BinaryTrie<u32> {
+        [
+            (p("0.0.0.0/0"), nh(2)),
+            (p("0.0.0.0/1"), nh(3)),
+            (p("0.0.0.0/2"), nh(3)),
+            (p("32.0.0.0/3"), nh(2)),
+            (p("64.0.0.0/2"), nh(2)),
+            (p("96.0.0.0/3"), nh(1)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    const ALL_STORAGES: [XbwStorage; 5] = [
+        XbwStorage::Succinct,
+        XbwStorage::Entropy,
+        XbwStorage::Custom(SiStorage::Plain, SaStorage::WaveletBalanced),
+        XbwStorage::Custom(SiStorage::Rrr, SaStorage::Packed),
+        XbwStorage::Custom(SiStorage::Rrr, SaStorage::HuffmanPerLevel),
+    ];
+
+    #[test]
+    fn fig2_transform_shape() {
+        // Fig. 2 of the paper: S_I = 0 01 00 1111 (t = 9), S_α = 2 3221.
+        let proper = ProperTrie::from_trie(&fig1_trie());
+        let xbw = XbwFib::from_proper(&proper, XbwStorage::Succinct);
+        assert_eq!(xbw.t_nodes(), 9);
+        assert_eq!(xbw.n_leaves(), 5);
+        assert_eq!(xbw.delta(), 3);
+    }
+
+    #[test]
+    fn lookup_matches_trie_for_all_storages() {
+        let trie = fig1_trie();
+        for storage in ALL_STORAGES {
+            let xbw = XbwFib::build(&trie, storage);
+            for i in 0..2000u32 {
+                let addr = i.wrapping_mul(0x9E37_79B9);
+                assert_eq!(xbw.lookup(addr), trie.lookup(addr), "{storage:?} addr {addr:#x}");
+            }
+            for top in 0..=255u32 {
+                let addr = top << 24;
+                assert_eq!(xbw.lookup(addr), trie.lookup(addr), "{storage:?} addr {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fib_returns_none() {
+        let trie: BinaryTrie<u32> = BinaryTrie::new();
+        for storage in ALL_STORAGES {
+            let xbw = XbwFib::build(&trie, storage);
+            assert_eq!(xbw.lookup(0), None);
+            assert_eq!(xbw.lookup(u32::MAX), None);
+            assert_eq!(xbw.n_leaves(), 1);
+        }
+    }
+
+    #[test]
+    fn default_route_only() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("0.0.0.0/0"), nh(3));
+        let xbw = XbwFib::build(&trie, XbwStorage::Entropy);
+        assert_eq!(xbw.lookup(123_456), Some(nh(3)));
+        assert_eq!(xbw.delta(), 1);
+    }
+
+    #[test]
+    fn bottom_leaves_lookup_as_none() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("128.0.0.0/1"), nh(1));
+        for storage in ALL_STORAGES {
+            let xbw = XbwFib::build(&trie, storage);
+            assert_eq!(xbw.lookup(0x7FFF_FFFF), None, "{storage:?}");
+            assert_eq!(xbw.lookup(0x8000_0000), Some(nh(1)), "{storage:?}");
+        }
+    }
+
+    #[test]
+    fn host_route_at_maximum_depth() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("0.0.0.0/0"), nh(1));
+        trie.insert(p("255.255.255.255/32"), nh(2));
+        for storage in ALL_STORAGES {
+            let xbw = XbwFib::build(&trie, storage);
+            assert_eq!(xbw.lookup(u32::MAX), Some(nh(2)), "{storage:?}");
+            assert_eq!(xbw.lookup(u32::MAX - 1), Some(nh(1)), "{storage:?}");
+        }
+    }
+
+    #[test]
+    fn entropy_mode_is_smaller_on_skewed_labels() {
+        // A FIB with ~94% of leaves on one next-hop out of 16: the entropy
+        // mode must beat the succinct mode clearly. Large enough that the
+        // o(n) directory overheads do not dominate.
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("0.0.0.0/0"), nh(0));
+        for i in 0..65_536u32 {
+            let hop = if i % 16 == 0 { 1 + (i / 16) % 15 } else { 0 };
+            trie.insert(Prefix4::new(i << 16, 16), nh(hop));
+        }
+        let succinct = XbwFib::build(&trie, XbwStorage::Succinct);
+        let entropy = XbwFib::build(&trie, XbwStorage::Entropy);
+        assert_eq!(succinct.lookup(0x1234_5678), entropy.lookup(0x1234_5678));
+        let (ss, es) = (succinct.size_report(), entropy.size_report());
+        assert!(
+            es.sa_bits * 2 < ss.sa_bits,
+            "Huffman S_α {} not ≪ packed S_α {}",
+            es.sa_bits,
+            ss.sa_bits
+        );
+    }
+
+    #[test]
+    fn size_close_to_entropy_bound() {
+        // Lemma 3: total ≈ 2n + nH0 + o(n). Allow the o(n) overhead of the
+        // practical structures a generous ×1.6 slack.
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("0.0.0.0/0"), nh(0));
+        for i in 0..8192u32 {
+            trie.insert(Prefix4::new(i << 19, 13), nh(if i % 8 == 0 { 1 } else { 0 }));
+        }
+        let metrics = crate::entropy::FibEntropy::of_trie(&trie);
+        let xbw = XbwFib::build(&trie, XbwStorage::Entropy);
+        let total = xbw.size_report().total_bits() as f64;
+        assert!(
+            total < metrics.entropy_bits() * 1.6 + 4096.0,
+            "XBW-b {} bits vs entropy bound {}",
+            total,
+            metrics.entropy_bits()
+        );
+    }
+
+    #[test]
+    fn per_level_mode_exploits_depth_context() {
+        // Two depth regimes with disjoint alphabets (see the matching
+        // entropy test): per-level H = 1 bit while the global mixture has
+        // H0 ≈ 1.72, so the level-partitioned backend must win.
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        for i in 0..8192u32 {
+            trie.insert(Prefix4::new(i << 18, 14), nh(i % 2));
+        }
+        for j in 0..2048u32 {
+            trie.insert(Prefix4::new(0x8000_0000 | (j << 20), 12), nh(2 + j % 2));
+        }
+        let global = XbwFib::build(&trie, XbwStorage::Custom(SiStorage::Rrr, SaStorage::WaveletHuffmanRrr));
+        let leveled = XbwFib::build(&trie, XbwStorage::Custom(SiStorage::Rrr, SaStorage::HuffmanPerLevel));
+        // Equivalence first.
+        for i in 0..3000u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            assert_eq!(leveled.lookup(addr), global.lookup(addr), "addr {addr:#x}");
+        }
+        let (g, l) = (global.size_report().sa_bits, leveled.size_report().sa_bits);
+        assert!(
+            l < g,
+            "per-level S_α ({l} bits) should beat single-tree ({g} bits) on depth-dependent labels"
+        );
+    }
+
+    #[test]
+    fn ipv6_lookup() {
+        let mut trie: BinaryTrie<u128> = BinaryTrie::new();
+        let p1: fib_trie::Prefix6 = "2001:db8::/32".parse().unwrap();
+        let p2: fib_trie::Prefix6 = "2001:db8::/64".parse().unwrap();
+        trie.insert(p1, nh(1));
+        trie.insert(p2, nh(2));
+        let xbw: XbwFib<u128> = XbwFib::build(&trie, XbwStorage::Entropy);
+        let a: u128 = "2001:db8::1".parse::<std::net::Ipv6Addr>().unwrap().into();
+        let b: u128 = "2001:db8:0:1::1".parse::<std::net::Ipv6Addr>().unwrap().into();
+        assert_eq!(xbw.lookup(a), Some(nh(2)));
+        assert_eq!(xbw.lookup(b), Some(nh(1)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Canonical Huffman codes over small alphabets.
+//!
+//! Used to give the wavelet tree its Huffman shape, which is what stores the
+//! XBW-b label string `S_α` in `n(H0+1) + o(n)` bits (the practical
+//! realization of the generalized wavelet trees of Ferragina et al. cited in
+//! Lemma 3 of the paper).
+
+/// A single symbol's code: the `len` low bits of `bits`, **MSB first** when
+/// traversing (bit at depth `d` is `(bits >> (len-1-d)) & 1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Code {
+    /// Code word, right-aligned.
+    pub bits: u64,
+    /// Code length in bits. Length 0 is used for single-symbol alphabets.
+    pub len: u8,
+}
+
+impl Code {
+    /// The code bit at `depth ∈ [0, len)`, MSB first.
+    #[must_use]
+    #[inline]
+    pub fn bit(self, depth: u8) -> bool {
+        debug_assert!(depth < self.len);
+        (self.bits >> (self.len - 1 - depth)) & 1 == 1
+    }
+}
+
+/// Builds canonical Huffman codes for `freqs` (one entry per symbol; zero
+/// frequencies get no code and yield `Code { bits: 0, len: 0 }`).
+///
+/// Returns one [`Code`] per input symbol. For a one-symbol alphabet the code
+/// has length 0 (nothing needs to be stored to distinguish it).
+///
+/// # Panics
+/// Panics if a code would exceed 64 bits, which cannot happen for the
+/// alphabet sizes (δ ≤ a few hundred next-hops) this crate targets.
+#[must_use]
+pub fn build_codes(freqs: &[u64]) -> Vec<Code> {
+    let live: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+    let mut codes = vec![Code { bits: 0, len: 0 }; freqs.len()];
+    if live.len() <= 1 {
+        return codes; // zero-length code for 0 or 1 distinct symbols
+    }
+
+    // Package-merge-free classic Huffman over a scratch heap. Node ids:
+    // 0..live.len() are leaves, others internal.
+    #[derive(PartialEq, Eq)]
+    struct HeapItem {
+        weight: u64,
+        node: usize,
+    }
+    impl Ord for HeapItem {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap by weight, ties by node id for determinism.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.node.cmp(&self.node))
+        }
+    }
+    impl PartialOrd for HeapItem {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut children: Vec<Option<(usize, usize)>> = vec![None; live.len()];
+    for (leaf, &sym) in live.iter().enumerate() {
+        heap.push(HeapItem {
+            weight: freqs[sym],
+            node: leaf,
+        });
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().expect("heap size checked");
+        let b = heap.pop().expect("heap size checked");
+        let node = children.len();
+        children.push(Some((a.node, b.node)));
+        heap.push(HeapItem {
+            weight: a.weight.saturating_add(b.weight),
+            node,
+        });
+    }
+    let root = heap.pop().expect("non-empty alphabet").node;
+
+    // Depth of every leaf.
+    let mut depth = vec![0u8; live.len()];
+    let mut stack = vec![(root, 0u8)];
+    while let Some((node, d)) = stack.pop() {
+        if node < live.len() {
+            depth[node] = d;
+        } else {
+            let (l, r) = children[node].expect("internal node has children");
+            assert!(d < 64, "Huffman code deeper than 64 bits");
+            stack.push((l, d + 1));
+            stack.push((r, d + 1));
+        }
+    }
+
+    // Canonical assignment: sort by (depth, symbol), then count upward.
+    let mut order: Vec<usize> = (0..live.len()).collect();
+    order.sort_by_key(|&leaf| (depth[leaf], live[leaf]));
+    let mut code: u64 = 0;
+    let mut prev_len: u8 = 0;
+    for &leaf in &order {
+        let len = depth[leaf];
+        code <<= len - prev_len;
+        codes[live[leaf]] = Code { bits: code, len };
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// Average code length in bits under the empirical distribution — the
+/// compressed size per symbol achieved by these codes.
+#[must_use]
+pub fn average_length(freqs: &[u64], codes: &[Code]) -> f64 {
+    let total: u64 = freqs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let weighted: u64 = freqs
+        .iter()
+        .zip(codes)
+        .map(|(&f, c)| f * u64::from(c.len))
+        .sum();
+    weighted as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_prefix_free(codes: &[Code]) -> bool {
+        let live: Vec<&Code> = codes.iter().filter(|c| c.len > 0).collect();
+        for (i, a) in live.iter().enumerate() {
+            for b in live.iter().skip(i + 1) {
+                let min_len = a.len.min(b.len);
+                let pa = a.bits >> (a.len - min_len);
+                let pb = b.bits >> (b.len - min_len);
+                if pa == pb {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn single_symbol_gets_empty_code() {
+        let codes = build_codes(&[42]);
+        assert_eq!(codes[0].len, 0);
+        let codes = build_codes(&[0, 7, 0]);
+        assert_eq!(codes[1].len, 0);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let codes = build_codes(&[3, 9]);
+        assert_eq!(codes[0].len, 1);
+        assert_eq!(codes[1].len, 1);
+        assert_ne!(codes[0].bits, codes[1].bits);
+    }
+
+    #[test]
+    fn skewed_distribution_gives_short_code_to_frequent_symbol() {
+        let codes = build_codes(&[100, 1, 1, 1]);
+        assert_eq!(codes[0].len, 1, "dominant symbol must get 1 bit");
+        assert!(codes[1].len >= 2);
+        assert!(is_prefix_free(&codes));
+    }
+
+    #[test]
+    fn codes_are_prefix_free_on_fibonacci_weights() {
+        // Fibonacci weights force a maximally deep (skewed) tree.
+        let freqs = [1u64, 1, 2, 3, 5, 8, 13, 21, 34, 55];
+        let codes = build_codes(&freqs);
+        assert!(is_prefix_free(&codes));
+        // Deepest code has length alphabet-1 for Fibonacci weights.
+        assert_eq!(codes.iter().map(|c| c.len).max(), Some(9));
+    }
+
+    #[test]
+    fn average_length_within_one_bit_of_entropy() {
+        let freqs = [50u64, 25, 15, 7, 3];
+        let codes = build_codes(&freqs);
+        let h0 = crate::shannon_entropy(&freqs);
+        let avg = average_length(&freqs, &codes);
+        assert!(avg >= h0 - 1e-9, "avg {avg} below entropy {h0}");
+        assert!(avg < h0 + 1.0, "avg {avg} not within 1 bit of entropy {h0}");
+    }
+
+    #[test]
+    fn msb_first_bit_extraction() {
+        let c = Code { bits: 0b101, len: 3 };
+        assert!(c.bit(0));
+        assert!(!c.bit(1));
+        assert!(c.bit(2));
+    }
+
+    #[test]
+    fn zero_frequency_symbols_are_skipped() {
+        let codes = build_codes(&[5, 0, 5, 0]);
+        assert_eq!(codes[1].len, 0);
+        assert_eq!(codes[3].len, 0);
+        assert_eq!(codes[0].len, 1);
+        assert_eq!(codes[2].len, 1);
+    }
+
+    #[test]
+    fn uniform_distribution_gives_balanced_lengths() {
+        let freqs = [10u64; 8];
+        let codes = build_codes(&freqs);
+        for c in &codes {
+            assert_eq!(c.len, 3);
+        }
+        assert!(is_prefix_free(&codes));
+    }
+}

@@ -1,0 +1,177 @@
+//! Fixed-width packed integer arrays.
+
+use crate::bits::BitVec;
+
+/// A packed array of unsigned integers, each stored in exactly `width` bits.
+///
+/// This is the trivial `n·⌈lg δ⌉`-bit encoding the paper uses for the label
+/// string `S_α` in the succinct (non-entropy) mode of XBW-b, and the backing
+/// store for RRR block classes and serialized node records.
+#[derive(Clone, Debug, Default)]
+pub struct IntVec {
+    bits: BitVec,
+    width: u32,
+    len: usize,
+}
+
+impl IntVec {
+    /// Creates an empty vector of `width`-bit integers (`width ≤ 64`).
+    ///
+    /// A `width` of 0 is allowed and stores only the count: every element
+    /// reads back as 0. This arises naturally for single-symbol alphabets.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!(width <= 64, "width {width} > 64");
+        Self {
+            bits: BitVec::new(),
+            width,
+            len: 0,
+        }
+    }
+
+    /// Creates a vector of `len` zeros.
+    #[must_use]
+    pub fn zeros(width: u32, len: usize) -> Self {
+        assert!(width <= 64, "width {width} > 64");
+        Self {
+            bits: BitVec::zeros(len * width as usize),
+            width,
+            len,
+        }
+    }
+
+    /// Builds from a slice, using the smallest width that fits the maximum.
+    #[must_use]
+    pub fn from_slice_min_width(values: &[u64]) -> Self {
+        let width = crate::ceil_log2(values.iter().max().map_or(0, |m| m + 1));
+        let mut v = Self::new(width);
+        for &x in values {
+            v.push(x);
+        }
+        v
+    }
+
+    /// Element width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a value.
+    ///
+    /// # Panics
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn push(&mut self, value: u64) {
+        self.bits.push_bits(value, self.width);
+        self.len += 1;
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.bits.get_bits(i * self.width as usize, self.width)
+    }
+
+    /// Overwrites element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()` or `value` does not fit in `width` bits.
+    pub fn set(&mut self, i: usize, value: u64) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.bits.set_bits(i * self.width as usize, value, self.width);
+    }
+
+    /// Iterates over elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Payload footprint in bits.
+    #[must_use]
+    pub fn size_bits(&self) -> usize {
+        self.bits.size_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for width in [1u32, 3, 7, 13, 32, 63, 64] {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mut v = IntVec::new(width);
+            let values: Vec<u64> = (0..100u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+                .collect();
+            for &x in &values {
+                v.push(x);
+            }
+            for (i, &x) in values.iter().enumerate() {
+                assert_eq!(v.get(i), x, "width {width} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut v = IntVec::zeros(11, 50);
+        v.set(0, 2047);
+        v.set(49, 1024);
+        v.set(25, 1);
+        assert_eq!(v.get(0), 2047);
+        assert_eq!(v.get(49), 1024);
+        assert_eq!(v.get(25), 1);
+        assert_eq!(v.get(24), 0);
+        assert_eq!(v.get(26), 0);
+        v.set(0, 0);
+        assert_eq!(v.get(0), 0);
+    }
+
+    #[test]
+    fn zero_width_stores_count_only() {
+        let mut v = IntVec::new(0);
+        v.push(0);
+        v.push(0);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(1), 0);
+        assert_eq!(v.size_bits(), 0);
+    }
+
+    #[test]
+    fn min_width_fits_maximum() {
+        let v = IntVec::from_slice_min_width(&[0, 5, 3]);
+        assert_eq!(v.width(), 3);
+        assert_eq!(v.get(1), 5);
+        let v = IntVec::from_slice_min_width(&[1, 0]);
+        assert_eq!(v.width(), 1);
+        let v = IntVec::from_slice_min_width(&[]);
+        assert_eq!(v.width(), 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn push_too_wide_panics() {
+        let mut v = IntVec::new(4);
+        v.push(16);
+    }
+}

@@ -1,0 +1,123 @@
+//! Succinct and compressed data structures.
+//!
+//! This crate is the string self-index substrate required by the XBW-b
+//! transform of *Compressing IP Forwarding Tables: Towards Entropy Bounds and
+//! Beyond* (SIGCOMM 2013). It provides, from scratch:
+//!
+//! * [`BitVec`] — a plain bit vector over `u64` words with bit-granular
+//!   reads and writes,
+//! * [`RsBitVec`] — a bit vector with a two-level rank directory and
+//!   binary-search select (Jacobson-style, constant-time `rank`),
+//! * [`RrrVec`] — the RRR compressed bit vector of Raman, Raman and Rao
+//!   (SODA 2002): 15-bit blocks coded as (class, offset) pairs, `nH0 + o(n)`
+//!   bits, constant-time `rank`/`access`,
+//! * [`IntVec`] — fixed-width packed integer arrays,
+//! * [`huffman`] — canonical Huffman codes over small alphabets,
+//! * [`WaveletTree`] — a pointer-based wavelet tree, either balanced
+//!   (`n·lg σ` bits) or Huffman-shaped (`n(H0+1) + o(n)` bits), supporting
+//!   `access`, `rank_sym` and `select_sym`.
+//!
+//! # Conventions
+//!
+//! Throughout the crate:
+//!
+//! * `rank1(i)` is the number of set bits in positions `[0, i)` — exclusive
+//!   of `i` itself, so `rank1(len())` is the total popcount;
+//! * `select1(q)` is the position of the `q`-th set bit with `q ≥ 1`, so
+//!   `select1(rank1(p) + 1) == Some(p)` whenever bit `p` is set;
+//! * every structure reports its own footprint via `size_bits()`, counting
+//!   the bits a serialized form would occupy (universal constant-size decode
+//!   tables excluded, as is standard in the succinct literature).
+//!
+//! # What is deliberately omitted
+//!
+//! * Dynamic (updatable) compressed bit vectors (Mäkinen–Navarro) — the
+//!   paper only cites them as a possibility for XBW-b updates;
+//! * `select` in O(1): we use binary search over the rank directory, which
+//!   is O(log n) but branch-predictable and fast at FIB scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+pub mod huffman;
+mod intvec;
+mod rrr;
+mod rsvec;
+mod wavelet;
+
+pub use bits::BitVec;
+pub use intvec::IntVec;
+pub use rrr::RrrVec;
+pub use rsvec::RsBitVec;
+pub use wavelet::{WaveletBacking, WaveletShape, WaveletTree};
+
+/// Number of bits needed to distinguish `count` values: `⌈log2(count)⌉`.
+///
+/// This is the paper's `lg x` notation. By convention `ceil_log2(0)` and
+/// `ceil_log2(1)` are both `0`.
+#[must_use]
+pub fn ceil_log2(count: u64) -> u32 {
+    if count <= 1 {
+        0
+    } else {
+        64 - (count - 1).leading_zeros()
+    }
+}
+
+/// Shannon entropy (bits/symbol) of an empirical distribution given as raw
+/// counts. Zero counts are ignored; an empty or single-symbol distribution
+/// has entropy 0.
+#[must_use]
+pub fn shannon_entropy(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total_f;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_small_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(255), 8);
+        assert_eq!(ceil_log2(256), 8);
+        assert_eq!(ceil_log2(257), 9);
+        assert_eq!(ceil_log2(1 << 32), 32);
+    }
+
+    #[test]
+    fn entropy_uniform_and_degenerate() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[7]), 0.0);
+        assert_eq!(shannon_entropy(&[0, 0, 9]), 0.0);
+        let h = shannon_entropy(&[1, 1, 1, 1]);
+        assert!((h - 2.0).abs() < 1e-12);
+        let h = shannon_entropy(&[1, 1]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_bernoulli_quarter() {
+        // H(1/4) = 1/4·lg 4 + 3/4·lg(4/3) ≈ 0.811278
+        let h = shannon_entropy(&[1, 3]);
+        assert!((h - 0.811_278_124_459_1).abs() < 1e-9);
+    }
+}

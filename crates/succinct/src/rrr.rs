@@ -1,0 +1,471 @@
+//! RRR compressed bit vector (Raman–Raman–Rao, SODA 2002).
+//!
+//! The bit string is split into 63-bit blocks. Each block is stored as a
+//! *class* (its popcount, 6 bits) plus an *offset* (the block's index among
+//! all 63-bit words of that popcount, `⌈lg C(63,k)⌉` bits), encoded with the
+//! combinatorial number system. Low- and high-popcount blocks get short
+//! offsets, so the total is `n·H0 + o(n)` bits: this is the structure
+//! Lemma 2/3 of the paper uses to store the trie shape string `S_I` of
+//! XBW-b. A superblock directory (one rank count and one offset-stream
+//! position every 32 blocks, as two `u32`s) provides `rank`/`access` with a
+//! bounded scan — O(1) in the word-RAM sense, ~32 six-bit reads plus one
+//! 63-step block decode in practice.
+
+use std::sync::OnceLock;
+
+use crate::bits::BitVec;
+use crate::intvec::IntVec;
+
+/// Bits per RRR block. 63 keeps every offset and every binomial in a `u64`.
+const BLOCK: usize = 63;
+/// Blocks per superblock.
+const SUPER: usize = 32;
+
+/// Pascal's triangle up to C(63, k), in `u64`.
+fn binomials() -> &'static [[u64; BLOCK + 1]; BLOCK + 1] {
+    static TABLE: OnceLock<[[u64; BLOCK + 1]; BLOCK + 1]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut c = [[0u64; BLOCK + 1]; BLOCK + 1];
+        for n in 0..=BLOCK {
+            c[n][0] = 1;
+            for k in 1..=n {
+                c[n][k] = c[n - 1][k - 1] + if k < n { c[n - 1][k] } else { 0 };
+            }
+        }
+        c
+    })
+}
+
+/// Offset widths `⌈lg C(63,k)⌉` per class.
+fn offset_widths() -> &'static [u32; BLOCK + 1] {
+    static WIDTHS: OnceLock<[u32; BLOCK + 1]> = OnceLock::new();
+    WIDTHS.get_or_init(|| {
+        let c = binomials();
+        let mut w = [0u32; BLOCK + 1];
+        for (k, entry) in w.iter_mut().enumerate() {
+            *entry = crate::ceil_log2(c[BLOCK][k]);
+        }
+        w
+    })
+}
+
+/// Ranks `pattern` (LSB-first, `k = popcount`) in the lexicographic order of
+/// all 63-bit patterns with that popcount, via the combinatorial number
+/// system: scanning positions MSB → LSB, a set bit at position `j` skips the
+/// `C(j, k_remaining)` patterns that have a clear bit there.
+#[inline]
+fn encode_offset(pattern: u64, k: usize) -> u64 {
+    let c = binomials();
+    let mut offset = 0u64;
+    let mut remaining = k;
+    let mut j = BLOCK;
+    while remaining > 0 {
+        j -= 1;
+        if (pattern >> j) & 1 == 1 {
+            offset += c[j][remaining];
+            remaining -= 1;
+        }
+    }
+    offset
+}
+
+/// Inverse of [`encode_offset`].
+#[inline]
+fn decode_offset(mut offset: u64, k: usize) -> u64 {
+    let c = binomials();
+    let mut pattern = 0u64;
+    let mut remaining = k;
+    let mut j = BLOCK;
+    while remaining > 0 {
+        j -= 1;
+        let skip = c[j][remaining];
+        if offset >= skip {
+            offset -= skip;
+            pattern |= 1u64 << j;
+            remaining -= 1;
+        }
+    }
+    pattern
+}
+
+/// An immutable, entropy-compressed bit vector with constant-time `rank`
+/// and `access` and O(log n) `select`.
+#[derive(Clone, Debug)]
+pub struct RrrVec {
+    /// 6-bit class (popcount) of each block.
+    classes: IntVec,
+    /// Concatenated variable-width offsets.
+    offsets: BitVec,
+    /// Per superblock: ones strictly before it, and the bit position in
+    /// `offsets` where it starts. `u32` suffices for both at FIB scale and
+    /// halves the directory overhead.
+    sup: Vec<(u32, u32)>,
+    len: usize,
+    ones: usize,
+}
+
+impl RrrVec {
+    /// Compresses `bits`.
+    ///
+    /// # Panics
+    /// Panics if `bits` exceeds `u32::MAX` bits — far beyond any FIB.
+    #[must_use]
+    pub fn new(bits: &BitVec) -> Self {
+        assert!(bits.len() < u32::MAX as usize, "RrrVec limited to 2^32 bits");
+        let widths = offset_widths();
+        let n_blocks = bits.len().div_ceil(BLOCK);
+        let mut classes = IntVec::new(6);
+        let mut offsets = BitVec::new();
+        let mut sup = Vec::with_capacity(n_blocks / SUPER + 2);
+        let mut ones: u64 = 0;
+        for b in 0..n_blocks {
+            if b % SUPER == 0 {
+                sup.push((ones as u32, offsets.len() as u32));
+            }
+            let start = b * BLOCK;
+            let width = (bits.len() - start).min(BLOCK) as u32;
+            // Final block is implicitly padded with zeros.
+            let pattern = bits.get_bits(start, width);
+            let k = pattern.count_ones() as usize;
+            classes.push(k as u64);
+            offsets.push_bits(encode_offset(pattern, k), widths[k]);
+            ones += k as u64;
+        }
+        // Sentinel superblock simplifies select's binary search.
+        sup.push((ones as u32, offsets.len() as u32));
+        Self {
+            classes,
+            offsets,
+            sup,
+            len: bits.len(),
+            ones: ones as usize,
+        }
+    }
+
+    /// Number of bits in the original vector.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the original vector was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Total number of clear bits.
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.ones
+    }
+
+    /// Decodes block `b`, returning `(pattern, ones_before_block)`.
+    #[inline]
+    fn decode_block(&self, b: usize) -> (u64, usize) {
+        let widths = offset_widths();
+        let s = b / SUPER;
+        let (mut ones, mut pos) = (self.sup[s].0 as usize, self.sup[s].1 as usize);
+        for j in (s * SUPER)..b {
+            let k = self.classes.get(j) as usize;
+            ones += k;
+            pos += widths[k] as usize;
+        }
+        let k = self.classes.get(b) as usize;
+        let off = self.offsets.get_bits(pos, widths[k]);
+        (decode_offset(off, k), ones)
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        let (pattern, _) = self.decode_block(i / BLOCK);
+        (pattern >> (i % BLOCK)) & 1 == 1
+    }
+
+    /// Number of set bits in `[0, i)`.
+    ///
+    /// # Panics
+    /// Panics if `i > len()`.
+    #[must_use]
+    pub fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.len, "rank index {i} out of bounds (len {})", self.len);
+        if i == self.len {
+            return self.ones;
+        }
+        let (pattern, ones) = self.decode_block(i / BLOCK);
+        let partial = pattern & ((1u64 << (i % BLOCK)) - 1);
+        ones + partial.count_ones() as usize
+    }
+
+    /// Number of clear bits in `[0, i)`.
+    #[must_use]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `q`-th set bit (`q ≥ 1`), or `None`.
+    #[must_use]
+    pub fn select1(&self, q: usize) -> Option<usize> {
+        if q == 0 || q > self.ones {
+            return None;
+        }
+        let target = q as u32;
+        let mut lo = 0usize;
+        let mut hi = self.sup.len() - 1;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.sup[mid].0 < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let widths = offset_widths();
+        let s = lo;
+        let mut remaining = (target - self.sup[s].0) as usize;
+        let mut pos = self.sup[s].1 as usize;
+        let n_blocks = self.classes.len();
+        for b in (s * SUPER)..n_blocks.min((s + 1) * SUPER) {
+            let k = self.classes.get(b) as usize;
+            if remaining <= k {
+                let off = self.offsets.get_bits(pos, widths[k]);
+                let mut pattern = decode_offset(off, k);
+                for _ in 1..remaining {
+                    pattern &= pattern - 1;
+                }
+                return Some(b * BLOCK + pattern.trailing_zeros() as usize);
+            }
+            remaining -= k;
+            pos += widths[k] as usize;
+        }
+        unreachable!("select1: superblock directory inconsistent");
+    }
+
+    /// Position of the `q`-th clear bit (`q ≥ 1`), or `None`.
+    #[must_use]
+    pub fn select0(&self, q: usize) -> Option<usize> {
+        if q == 0 || q > self.count_zeros() {
+            return None;
+        }
+        let zeros_before = |s: usize| -> usize {
+            let bits_before = (s * SUPER * BLOCK).min(self.len);
+            bits_before - self.sup[s].0 as usize
+        };
+        let mut lo = 0usize;
+        let mut hi = self.sup.len() - 1;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if zeros_before(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let widths = offset_widths();
+        let s = lo;
+        let mut remaining = q - zeros_before(s);
+        let mut pos = self.sup[s].1 as usize;
+        let n_blocks = self.classes.len();
+        for b in (s * SUPER)..n_blocks.min((s + 1) * SUPER) {
+            let k = self.classes.get(b) as usize;
+            let block_bits = (self.len - b * BLOCK).min(BLOCK);
+            let zeros_here = block_bits - k;
+            if remaining <= zeros_here {
+                let off = self.offsets.get_bits(pos, widths[k]);
+                // Complement within the real (unpadded) width of this block;
+                // block_bits ≤ 63 so the shift is always in range.
+                let mask = (1u64 << block_bits) - 1;
+                let mut pattern = !decode_offset(off, k) & mask;
+                for _ in 1..remaining {
+                    pattern &= pattern - 1;
+                }
+                return Some(b * BLOCK + pattern.trailing_zeros() as usize);
+            }
+            remaining -= zeros_here;
+            pos += widths[k] as usize;
+        }
+        unreachable!("select0: superblock directory inconsistent");
+    }
+
+    /// Footprint in bits: classes, offsets and the superblock directory.
+    /// The universal binomial table (constant, shared per process) is
+    /// excluded, as is conventional.
+    #[must_use]
+    pub fn size_bits(&self) -> usize {
+        self.classes.size_bits() + self.offsets.size_bits() + self.sup.len() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(pattern: impl Fn(usize) -> bool, n: usize) -> (Vec<bool>, RrrVec) {
+        let bools: Vec<bool> = (0..n).map(pattern).collect();
+        let rrr = RrrVec::new(&BitVec::from_bools(&bools));
+        (bools, rrr)
+    }
+
+    #[test]
+    fn offset_coding_roundtrips_every_popcount() {
+        for k in 0..=BLOCK {
+            // A deterministic pattern with exactly k ones.
+            let pattern: u64 = if k == 0 { 0 } else { ((1u128 << k) - 1) as u64 } << (BLOCK - k).min(10);
+            let off = encode_offset(pattern, k);
+            assert_eq!(decode_offset(off, k), pattern, "class {k}");
+            assert!(off < binomials()[BLOCK][k].max(1), "offset in range for class {k}");
+        }
+    }
+
+    #[test]
+    fn offset_coding_roundtrips_pseudorandom_patterns() {
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pattern = x & ((1u64 << BLOCK) - 1);
+            let k = pattern.count_ones() as usize;
+            assert_eq!(decode_offset(encode_offset(pattern, k), k), pattern);
+        }
+    }
+
+    #[test]
+    fn access_matches_original() {
+        let (bools, rrr) = build(|i| (i * i) % 7 < 3, 3000);
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(rrr.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn rank_matches_naive() {
+        let (bools, rrr) = build(|i| i % 11 == 0 || i % 4 == 1, 2500);
+        let mut ones = 0;
+        for i in 0..=2500 {
+            if i < 2500 {
+                assert_eq!(rrr.rank1(i), ones, "rank1({i})");
+            }
+            if i < bools.len() && bools[i] {
+                ones += 1;
+            }
+        }
+        assert_eq!(rrr.rank1(2500), ones);
+        assert_eq!(rrr.count_ones(), ones);
+    }
+
+    #[test]
+    fn select1_inverts_rank() {
+        let (bools, rrr) = build(|i| i % 6 == 2, 1800);
+        let mut q = 0;
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                q += 1;
+                assert_eq!(rrr.select1(q), Some(i), "select1({q})");
+            }
+        }
+        assert_eq!(rrr.select1(q + 1), None);
+        assert_eq!(rrr.select1(0), None);
+    }
+
+    #[test]
+    fn select0_inverts_rank0() {
+        let (bools, rrr) = build(|i| i % 6 != 2, 1801);
+        let mut q = 0;
+        for (i, &b) in bools.iter().enumerate() {
+            if !b {
+                q += 1;
+                assert_eq!(rrr.select0(q), Some(i), "select0({q})");
+            }
+        }
+        assert_eq!(rrr.select0(q + 1), None);
+    }
+
+    #[test]
+    fn select0_skips_padded_final_block() {
+        // All ones, non-multiple of block size: the final block carries
+        // phantom zero padding that select0 must not surface.
+        let (_, rrr) = build(|_| true, BLOCK + 5);
+        assert_eq!(rrr.count_zeros(), 0);
+        assert_eq!(rrr.select0(1), None);
+    }
+
+    #[test]
+    fn compresses_sparse_input_well_below_plain() {
+        // 1% density: H0 ≈ 0.081 bits/bit. RRR(63) should land well under
+        // 0.3 bits/bit including all directory overhead.
+        let n = 100_000;
+        let (_, rrr) = build(|i| i % 100 == 0, n);
+        assert!(
+            rrr.size_bits() < n * 3 / 10,
+            "sparse RRR too large: {} bits for {n}",
+            rrr.size_bits()
+        );
+    }
+
+    #[test]
+    fn dense_balanced_input_stays_near_raw_size() {
+        // H0 = 1: RRR cannot beat n bits; overhead must stay under ~15%.
+        let n = 100_000;
+        let (bools, rrr) = build(|i| (i.wrapping_mul(2_654_435_761)) % 2 == 0, n);
+        let ones = bools.iter().filter(|&&b| b).count();
+        assert!(ones > n / 3 && ones < 2 * n / 3, "pattern not balanced");
+        assert!(
+            rrr.size_bits() < n * 115 / 100,
+            "dense RRR too large: {}",
+            rrr.size_bits()
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_vectors() {
+        let (_, rrr) = build(|_| true, 0);
+        assert_eq!(rrr.len(), 0);
+        assert_eq!(rrr.rank1(0), 0);
+        let (_, rrr) = build(|i| i == 0, 1);
+        assert!(rrr.get(0));
+        assert_eq!(rrr.rank1(1), 1);
+        assert_eq!(rrr.select1(1), Some(0));
+    }
+
+    #[test]
+    fn boundary_at_block_and_superblock_edges() {
+        let (bools, rrr) = build(|i| i % 2 == 0, BLOCK * SUPER * 3 + 7);
+        for i in [
+            BLOCK - 1,
+            BLOCK,
+            BLOCK + 1,
+            BLOCK * SUPER - 1,
+            BLOCK * SUPER,
+            BLOCK * SUPER + 1,
+            BLOCK * SUPER * 2,
+            bools.len() - 1,
+        ] {
+            assert_eq!(rrr.get(i), bools[i], "get({i})");
+            let naive = bools[..i].iter().filter(|&&b| b).count();
+            assert_eq!(rrr.rank1(i), naive, "rank1({i})");
+        }
+    }
+
+    #[test]
+    fn binomial_table_sanity() {
+        let c = binomials();
+        assert_eq!(c[63][0], 1);
+        assert_eq!(c[63][1], 63);
+        assert_eq!(c[63][63], 1);
+        assert_eq!(c[4][2], 6);
+        // C(63,31) is the largest entry and must not have overflowed.
+        assert_eq!(c[63][31], 916_312_070_471_295_267);
+    }
+}

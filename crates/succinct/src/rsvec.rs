@@ -1,0 +1,362 @@
+//! Bit vector with constant-time rank and logarithmic select.
+
+use crate::bits::BitVec;
+
+/// Superblock size in bits. One `u64` cumulative count plus eight `u16`
+/// intra-superblock offsets are stored per superblock.
+const SUPER_BITS: usize = 512;
+/// Words per superblock.
+const SUPER_WORDS: usize = SUPER_BITS / 64;
+
+/// A static bit vector with a two-level rank directory.
+///
+/// `rank0`/`rank1` run in O(1): one superblock read, one intra-superblock
+/// read, one masked popcount. `select0`/`select1` binary-search the
+/// directory and then scan at most one superblock, i.e. O(log n) with a tiny
+/// constant. The directory adds ≈ 37.5 % on top of the raw bits — this is
+/// the *plain* index; use [`crate::RrrVec`] when compression matters.
+///
+/// The structure is immutable after construction, which is exactly what the
+/// static FIB encodings need.
+#[derive(Clone, Debug)]
+pub struct RsBitVec {
+    bits: BitVec,
+    /// Ones strictly before each superblock.
+    sup: Vec<u64>,
+    /// Ones within the superblock strictly before each word.
+    intra: Vec<u16>,
+    ones: usize,
+}
+
+impl RsBitVec {
+    /// Builds the rank directory over `bits`.
+    #[must_use]
+    pub fn new(bits: BitVec) -> Self {
+        let words = bits.words();
+        let n_super = words.len().div_ceil(SUPER_WORDS).max(1);
+        let mut sup = Vec::with_capacity(n_super + 1);
+        let mut intra = vec![0u16; n_super * SUPER_WORDS];
+        let mut total: u64 = 0;
+        for s in 0..n_super {
+            sup.push(total);
+            let mut within: u16 = 0;
+            for w in 0..SUPER_WORDS {
+                let wi = s * SUPER_WORDS + w;
+                intra[s * SUPER_WORDS + w] = within;
+                if wi < words.len() {
+                    within += words[wi].count_ones() as u16;
+                }
+            }
+            total += u64::from(within);
+        }
+        sup.push(total);
+        Self {
+            bits,
+            sup,
+            intra,
+            ones: total as usize,
+        }
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Total number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Total number of clear bits.
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.len() - self.ones
+    }
+
+    /// Reads bit `i`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// The underlying bit vector.
+    #[must_use]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Number of set bits in `[0, i)`.
+    ///
+    /// # Panics
+    /// Panics if `i > len()`.
+    #[must_use]
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.len(), "rank index {i} out of bounds (len {})", self.len());
+        let word = i / 64;
+        if word >= self.intra.len() {
+            // Only possible when i == len() and len() fills the directory
+            // exactly; the answer is the total popcount.
+            return self.ones;
+        }
+        let s = word / SUPER_WORDS;
+        let mut r = self.sup[s] as usize + usize::from(self.intra[word]);
+        let bit = i % 64;
+        if bit > 0 {
+            // bit > 0 implies word*64 < i <= len, so `word` indexes a real word.
+            let w = self.bits.words()[word];
+            r += (w & ((1u64 << bit) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Number of clear bits in `[0, i)`.
+    #[must_use]
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// `rank1(i)` if `bit`, else `rank0(i)`.
+    #[must_use]
+    #[inline]
+    pub fn rank_bit(&self, bit: bool, i: usize) -> usize {
+        if bit {
+            self.rank1(i)
+        } else {
+            self.rank0(i)
+        }
+    }
+
+    /// Position of the `q`-th set bit (`q ≥ 1`), or `None` if there are
+    /// fewer than `q` set bits.
+    #[must_use]
+    pub fn select1(&self, q: usize) -> Option<usize> {
+        if q == 0 || q > self.ones {
+            return None;
+        }
+        let target = q as u64;
+        // Largest superblock s with sup[s] < target.
+        let mut lo = 0usize;
+        let mut hi = self.sup.len() - 1;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.sup[mid] < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let s = lo;
+        let mut remaining = (target - self.sup[s]) as usize;
+        let words = self.bits.words();
+        let start = s * SUPER_WORDS;
+        for (wi, &word) in words.iter().enumerate().skip(start).take(SUPER_WORDS) {
+            let ones_here = word.count_ones() as usize;
+            if remaining <= ones_here {
+                return Some(wi * 64 + select_in_word(word, remaining as u32) as usize);
+            }
+            remaining -= ones_here;
+        }
+        unreachable!("select1: rank directory inconsistent");
+    }
+
+    /// Position of the `q`-th clear bit (`q ≥ 1`), or `None` if there are
+    /// fewer than `q` clear bits in `[0, len())`.
+    #[must_use]
+    pub fn select0(&self, q: usize) -> Option<usize> {
+        if q == 0 || q > self.count_zeros() {
+            return None;
+        }
+        let target = q as u64;
+        let zeros_before = |s: usize| -> u64 {
+            let bits_before = ((s * SUPER_BITS).min(self.len())) as u64;
+            bits_before - self.sup[s]
+        };
+        let mut lo = 0usize;
+        let mut hi = self.sup.len() - 1;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if zeros_before(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let s = lo;
+        let mut remaining = (target - zeros_before(s)) as usize;
+        let words = self.bits.words();
+        let start = s * SUPER_WORDS;
+        for (wi, &word) in words.iter().enumerate().skip(start).take(SUPER_WORDS) {
+            let zeros_here = (!word).count_ones() as usize;
+            if remaining <= zeros_here {
+                let pos = wi * 64 + select_in_word(!word, remaining as u32) as usize;
+                // q ≤ count_zeros() guarantees pos < len: phantom zeros in the
+                // final partial word sit above every real position.
+                debug_assert!(pos < self.len());
+                return Some(pos);
+            }
+            remaining -= zeros_here;
+        }
+        unreachable!("select0: rank directory inconsistent");
+    }
+
+    /// `select1(q)` if `bit`, else `select0(q)`.
+    #[must_use]
+    pub fn select_bit(&self, bit: bool, q: usize) -> Option<usize> {
+        if bit {
+            self.select1(q)
+        } else {
+            self.select0(q)
+        }
+    }
+
+    /// Footprint in bits: raw bits plus the rank directory.
+    #[must_use]
+    pub fn size_bits(&self) -> usize {
+        self.bits.size_bits() + self.sup.len() * 64 + self.intra.len() * 16
+    }
+}
+
+/// Position (0-based) of the `q`-th set bit in `word`, `q ≥ 1 ≤ popcount`.
+#[inline]
+fn select_in_word(word: u64, q: u32) -> u32 {
+    debug_assert!(q >= 1 && q <= word.count_ones());
+    let mut remaining = q;
+    let mut w = word;
+    let mut base = 0u32;
+    // Byte-skipping scan: at most 8 iterations, then at most 8 bit tests.
+    loop {
+        let byte_ones = (w & 0xFF).count_ones();
+        if remaining <= byte_ones {
+            let mut b = w & 0xFF;
+            for _ in 1..remaining {
+                b &= b - 1; // clear lowest set bit
+            }
+            return base + b.trailing_zeros();
+        }
+        remaining -= byte_ones;
+        w >>= 8;
+        base += 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_rank1(bits: &[bool], i: usize) -> usize {
+        bits[..i].iter().filter(|&&b| b).count()
+    }
+
+    fn build(pattern: impl Fn(usize) -> bool, n: usize) -> (Vec<bool>, RsBitVec) {
+        let bools: Vec<bool> = (0..n).map(pattern).collect();
+        let rs = RsBitVec::new(BitVec::from_bools(&bools));
+        (bools, rs)
+    }
+
+    #[test]
+    fn rank_matches_naive_on_periodic_pattern() {
+        let (bools, rs) = build(|i| i % 5 == 0 || i % 7 == 0, 2000);
+        for i in (0..=2000).step_by(13) {
+            assert_eq!(rs.rank1(i), naive_rank1(&bools, i), "rank1({i})");
+            assert_eq!(rs.rank0(i), i - naive_rank1(&bools, i), "rank0({i})");
+        }
+        assert_eq!(rs.rank1(2000), rs.count_ones());
+    }
+
+    #[test]
+    fn rank_at_exact_word_and_superblock_boundaries() {
+        let (bools, rs) = build(|i| i % 2 == 0, 1537);
+        for i in [0, 63, 64, 65, 511, 512, 513, 1024, 1536, 1537] {
+            assert_eq!(rs.rank1(i), naive_rank1(&bools, i), "rank1({i})");
+        }
+    }
+
+    #[test]
+    fn select1_inverts_rank1() {
+        let (bools, rs) = build(|i| i % 3 == 1, 1000);
+        let mut q = 0;
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                q += 1;
+                assert_eq!(rs.select1(q), Some(i), "select1({q})");
+            }
+        }
+        assert_eq!(rs.select1(q + 1), None);
+        assert_eq!(rs.select1(0), None);
+    }
+
+    #[test]
+    fn select0_inverts_rank0() {
+        let (bools, rs) = build(|i| i % 3 != 1, 700);
+        let mut q = 0;
+        for (i, &b) in bools.iter().enumerate() {
+            if !b {
+                q += 1;
+                assert_eq!(rs.select0(q), Some(i), "select0({q})");
+            }
+        }
+        assert_eq!(rs.select0(q + 1), None);
+    }
+
+    #[test]
+    fn select0_ignores_phantom_zeros_past_len() {
+        // All ones: no zeros at all, even though the final word has unused
+        // zero bits past len.
+        let (_, rs) = build(|_| true, 70);
+        assert_eq!(rs.select0(1), None);
+        assert_eq!(rs.count_zeros(), 0);
+    }
+
+    #[test]
+    fn empty_vector_is_consistent() {
+        let rs = RsBitVec::new(BitVec::new());
+        assert_eq!(rs.len(), 0);
+        assert_eq!(rs.rank1(0), 0);
+        assert_eq!(rs.select1(1), None);
+        assert_eq!(rs.select0(1), None);
+    }
+
+    #[test]
+    fn all_zeros_and_all_ones() {
+        let (_, zeros) = build(|_| false, 600);
+        assert_eq!(zeros.rank1(600), 0);
+        assert_eq!(zeros.select0(600), Some(599));
+        let (_, ones) = build(|_| true, 600);
+        assert_eq!(ones.rank1(600), 600);
+        assert_eq!(ones.select1(600), Some(599));
+        assert_eq!(ones.select1(601), None);
+    }
+
+    #[test]
+    fn select_in_word_all_positions() {
+        let w: u64 = 0b1010_1101;
+        assert_eq!(select_in_word(w, 1), 0);
+        assert_eq!(select_in_word(w, 2), 2);
+        assert_eq!(select_in_word(w, 3), 3);
+        assert_eq!(select_in_word(w, 4), 5);
+        assert_eq!(select_in_word(w, 5), 7);
+        assert_eq!(select_in_word(u64::MAX, 64), 63);
+        assert_eq!(select_in_word(1u64 << 63, 1), 63);
+    }
+
+    #[test]
+    fn rank_bit_and_select_bit_dispatch() {
+        let (_, rs) = build(|i| i % 2 == 0, 100);
+        assert_eq!(rs.rank_bit(true, 10), 5);
+        assert_eq!(rs.rank_bit(false, 10), 5);
+        assert_eq!(rs.select_bit(true, 1), Some(0));
+        assert_eq!(rs.select_bit(false, 1), Some(1));
+    }
+}

@@ -1,0 +1,505 @@
+//! Pointer-based wavelet trees, balanced or Huffman-shaped, with plain or
+//! RRR-compressed node bit vectors.
+
+use crate::bits::BitVec;
+use crate::huffman::{self, Code};
+use crate::rrr::RrrVec;
+use crate::rsvec::RsBitVec;
+
+/// Shape of the code tree a [`WaveletTree`] is built around.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaveletShape {
+    /// Fixed-width codes: `n·⌈lg σ⌉` bits, uniform O(lg σ) query depth.
+    Balanced,
+    /// Canonical Huffman codes: `n(H0+1) + o(n)` bits, O(avg code length)
+    /// expected query depth. This is the entropy-compressed mode the paper's
+    /// Lemma 3 relies on for the label string `S_α`.
+    Huffman,
+}
+
+/// Storage of each node's bit vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaveletBacking {
+    /// Plain bits + rank directory: fastest, ~37 % overhead.
+    Plain,
+    /// RRR-compressed: removes Huffman's one-bit-per-symbol floor, taking
+    /// the whole tree to `n·H0 + o(n)` bits (Ferragina–Manzini–Mäkinen–
+    /// Navarro), at the price of slower node ranks.
+    Rrr,
+}
+
+#[derive(Clone, Debug)]
+enum NodeBits {
+    Plain(RsBitVec),
+    Rrr(RrrVec),
+}
+
+impl NodeBits {
+    fn build(bits: BitVec, backing: WaveletBacking) -> Self {
+        match backing {
+            WaveletBacking::Plain => Self::Plain(RsBitVec::new(bits)),
+            WaveletBacking::Rrr => Self::Rrr(RrrVec::new(&bits)),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        match self {
+            Self::Plain(v) => v.get(i),
+            Self::Rrr(v) => v.get(i),
+        }
+    }
+
+    #[inline]
+    fn rank_bit(&self, bit: bool, i: usize) -> usize {
+        match self {
+            Self::Plain(v) => v.rank_bit(bit, i),
+            Self::Rrr(v) => {
+                if bit {
+                    v.rank1(i)
+                } else {
+                    v.rank0(i)
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn select_bit(&self, bit: bool, q: usize) -> Option<usize> {
+        match self {
+            Self::Plain(v) => v.select_bit(bit, q),
+            Self::Rrr(v) => {
+                if bit {
+                    v.select1(q)
+                } else {
+                    v.select0(q)
+                }
+            }
+        }
+    }
+
+    fn size_bits(&self) -> usize {
+        match self {
+            Self::Plain(v) => v.size_bits(),
+            Self::Rrr(v) => v.size_bits(),
+        }
+    }
+}
+
+/// Reference to a wavelet-tree child: an internal node, a leaf holding one
+/// symbol, or absent (an unused balanced-code branch).
+#[derive(Clone, Copy, Debug)]
+enum ChildRef {
+    Node(u32),
+    Leaf(u64),
+    None,
+}
+
+#[derive(Clone, Debug)]
+struct WtNode {
+    bits: NodeBits,
+    left: ChildRef,
+    right: ChildRef,
+}
+
+/// A static sequence over a small alphabet supporting `access`, symbol
+/// `rank` and symbol `select`.
+///
+/// Queries walk the code tree; at each node a rank (down) or select (up) on
+/// that node's bit vector maps positions between parent and child.
+#[derive(Clone, Debug)]
+pub struct WaveletTree {
+    nodes: Vec<WtNode>,
+    codes: Vec<Code>,
+    root: ChildRef,
+    /// Set when at most one distinct symbol exists (its code is empty).
+    single: Option<u64>,
+    len: usize,
+    shape: WaveletShape,
+    backing: WaveletBacking,
+}
+
+impl WaveletTree {
+    /// Builds a wavelet tree over `seq` with plain node bit vectors.
+    ///
+    /// # Panics
+    /// Panics if any symbol is `≥ sigma`.
+    #[must_use]
+    pub fn new(seq: &[u64], sigma: usize, shape: WaveletShape) -> Self {
+        Self::with_backing(seq, sigma, shape, WaveletBacking::Plain)
+    }
+
+    /// Builds a wavelet tree with the given shape and node backing.
+    ///
+    /// # Panics
+    /// Panics if any symbol is `≥ sigma`.
+    #[must_use]
+    pub fn with_backing(seq: &[u64], sigma: usize, shape: WaveletShape, backing: WaveletBacking) -> Self {
+        for &s in seq {
+            assert!((s as usize) < sigma, "symbol {s} out of alphabet 0..{sigma}");
+        }
+        let codes = match shape {
+            WaveletShape::Balanced => {
+                let width = crate::ceil_log2(sigma as u64) as u8;
+                (0..sigma as u64)
+                    .map(|s| Code { bits: s, len: width })
+                    .collect()
+            }
+            WaveletShape::Huffman => {
+                let mut freqs = vec![0u64; sigma];
+                for &s in seq {
+                    freqs[s as usize] += 1;
+                }
+                huffman::build_codes(&freqs)
+            }
+        };
+        let mut tree = Self {
+            nodes: Vec::new(),
+            codes,
+            root: ChildRef::None,
+            single: None,
+            len: seq.len(),
+            shape,
+            backing,
+        };
+        let distinct: std::collections::BTreeSet<u64> = seq.iter().copied().collect();
+        if distinct.len() <= 1 {
+            tree.single = distinct.into_iter().next();
+            return tree;
+        }
+        // With ≥ 2 distinct symbols every present code has len ≥ 1.
+        tree.root = tree.build_node(seq.to_vec(), 0);
+        tree
+    }
+
+    /// Balanced shape, `n·⌈lg σ⌉` bits.
+    #[must_use]
+    pub fn balanced(seq: &[u64], sigma: usize) -> Self {
+        Self::new(seq, sigma, WaveletShape::Balanced)
+    }
+
+    /// Huffman shape, `n(H0+1) + o(n)` bits.
+    #[must_use]
+    pub fn huffman(seq: &[u64], sigma: usize) -> Self {
+        Self::new(seq, sigma, WaveletShape::Huffman)
+    }
+
+    fn build_node(&mut self, seq: Vec<u64>, depth: u8) -> ChildRef {
+        debug_assert!(!seq.is_empty());
+        let mut bits = BitVec::with_capacity(seq.len());
+        let mut zeros = Vec::new();
+        let mut ones = Vec::new();
+        for &s in &seq {
+            let bit = self.codes[s as usize].bit(depth);
+            bits.push(bit);
+            if bit {
+                ones.push(s);
+            } else {
+                zeros.push(s);
+            }
+        }
+        drop(seq);
+        let left = self.build_child(zeros, depth + 1);
+        let right = self.build_child(ones, depth + 1);
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(WtNode {
+            bits: NodeBits::build(bits, self.backing),
+            left,
+            right,
+        });
+        ChildRef::Node(idx)
+    }
+
+    fn build_child(&mut self, seq: Vec<u64>, depth: u8) -> ChildRef {
+        if seq.is_empty() {
+            return ChildRef::None;
+        }
+        let first = seq[0];
+        if self.codes[first as usize].len == depth && seq.iter().all(|&s| s == first) {
+            return ChildRef::Leaf(first);
+        }
+        self.build_node(seq, depth)
+    }
+
+    /// Sequence length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The shape this tree was built with.
+    #[must_use]
+    pub fn shape(&self) -> WaveletShape {
+        self.shape
+    }
+
+    /// The symbol at position `i` (the paper's `access(S, q)` primitive).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn access(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        if let Some(s) = self.single {
+            return s;
+        }
+        let mut node_ref = self.root;
+        let mut pos = i;
+        loop {
+            match node_ref {
+                ChildRef::Node(n) => {
+                    let node = &self.nodes[n as usize];
+                    let bit = node.bits.get(pos);
+                    pos = node.bits.rank_bit(bit, pos);
+                    node_ref = if bit { node.right } else { node.left };
+                }
+                ChildRef::Leaf(s) => return s,
+                ChildRef::None => unreachable!("access walked into an empty branch"),
+            }
+        }
+    }
+
+    /// Number of occurrences of `sym` in positions `[0, i)` (the paper's
+    /// `rank_s(S, q)` primitive).
+    ///
+    /// # Panics
+    /// Panics if `i > len()`.
+    #[must_use]
+    pub fn rank_sym(&self, sym: u64, i: usize) -> usize {
+        assert!(i <= self.len, "rank index {i} out of bounds (len {})", self.len);
+        if let Some(s) = self.single {
+            return if s == sym { i } else { 0 };
+        }
+        let Some(code) = self.codes.get(sym as usize) else {
+            return 0;
+        };
+        if code.len == 0 {
+            return 0; // zero-frequency symbol under Huffman coding
+        }
+        let mut node_ref = self.root;
+        let mut pos = i;
+        for depth in 0..code.len {
+            match node_ref {
+                ChildRef::Node(n) => {
+                    let node = &self.nodes[n as usize];
+                    let bit = code.bit(depth);
+                    pos = node.bits.rank_bit(bit, pos);
+                    node_ref = if bit { node.right } else { node.left };
+                }
+                ChildRef::Leaf(s) => return if s == sym { pos } else { 0 },
+                ChildRef::None => return 0,
+            }
+        }
+        match node_ref {
+            ChildRef::Leaf(s) if s == sym => pos,
+            _ => 0,
+        }
+    }
+
+    /// Position of the `q`-th occurrence of `sym` (`q ≥ 1`), or `None`
+    /// (the paper's `select_s(S, q)` primitive).
+    #[must_use]
+    pub fn select_sym(&self, sym: u64, q: usize) -> Option<usize> {
+        if q == 0 {
+            return None;
+        }
+        if let Some(s) = self.single {
+            return (s == sym && q <= self.len).then(|| q - 1);
+        }
+        let code = *self.codes.get(sym as usize)?;
+        if code.len == 0 {
+            return None;
+        }
+        self.select_rec(self.root, sym, code, 0, q)
+    }
+
+    fn select_rec(&self, node_ref: ChildRef, sym: u64, code: Code, depth: u8, q: usize) -> Option<usize> {
+        match node_ref {
+            ChildRef::Leaf(s) => (s == sym).then(|| q - 1),
+            ChildRef::None => None,
+            ChildRef::Node(n) => {
+                let node = &self.nodes[n as usize];
+                let bit = code.bit(depth);
+                let child = if bit { node.right } else { node.left };
+                let pos_in_child = self.select_rec(child, sym, code, depth + 1, q)?;
+                node.bits.select_bit(bit, pos_in_child + 1)
+            }
+        }
+    }
+
+    /// Footprint in bits: all node bit vectors (with their rank
+    /// directories) plus the per-symbol code table.
+    #[must_use]
+    pub fn size_bits(&self) -> usize {
+        let nodes: usize = self.nodes.iter().map(|n| n.bits.size_bits()).sum();
+        nodes + self.codes.len() * (64 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all_ops(seq: &[u64], sigma: usize, shape: WaveletShape) {
+        let wt = WaveletTree::new(seq, sigma, shape);
+        assert_eq!(wt.len(), seq.len());
+        // access
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(wt.access(i), s, "access({i}) [{shape:?}]");
+        }
+        // rank for every symbol at sampled positions
+        for sym in 0..sigma as u64 {
+            let mut count = 0;
+            for i in 0..=seq.len() {
+                assert_eq!(wt.rank_sym(sym, i), count, "rank_{sym}({i}) [{shape:?}]");
+                if i < seq.len() && seq[i] == sym {
+                    count += 1;
+                }
+            }
+        }
+        // select inverts rank
+        for sym in 0..sigma as u64 {
+            let mut q = 0;
+            for (i, &s) in seq.iter().enumerate() {
+                if s == sym {
+                    q += 1;
+                    assert_eq!(wt.select_sym(sym, q), Some(i), "select_{sym}({q}) [{shape:?}]");
+                }
+            }
+            assert_eq!(wt.select_sym(sym, q + 1), None);
+            assert_eq!(wt.select_sym(sym, 0), None);
+        }
+    }
+
+    fn pseudo_seq(n: usize, sigma: u64, salt: u64) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt) >> 17) % sigma)
+            .collect()
+    }
+
+    #[test]
+    fn balanced_small_alphabet() {
+        check_all_ops(&pseudo_seq(300, 4, 1), 4, WaveletShape::Balanced);
+    }
+
+    #[test]
+    fn huffman_small_alphabet() {
+        check_all_ops(&pseudo_seq(300, 4, 2), 4, WaveletShape::Huffman);
+    }
+
+    #[test]
+    fn non_power_of_two_alphabet() {
+        check_all_ops(&pseudo_seq(257, 5, 3), 5, WaveletShape::Balanced);
+        check_all_ops(&pseudo_seq(257, 5, 4), 5, WaveletShape::Huffman);
+    }
+
+    #[test]
+    fn skewed_distribution_both_shapes() {
+        // 90% zeros, tail spread over 7 other symbols.
+        let seq: Vec<u64> = (0..500u64)
+            .map(|i| if i % 10 != 0 { 0 } else { 1 + (i / 10) % 7 })
+            .collect();
+        check_all_ops(&seq, 8, WaveletShape::Balanced);
+        check_all_ops(&seq, 8, WaveletShape::Huffman);
+    }
+
+    #[test]
+    fn single_distinct_symbol() {
+        let seq = vec![3u64; 50];
+        for shape in [WaveletShape::Balanced, WaveletShape::Huffman] {
+            let wt = WaveletTree::new(&seq, 6, shape);
+            assert_eq!(wt.access(49), 3);
+            assert_eq!(wt.rank_sym(3, 50), 50);
+            assert_eq!(wt.rank_sym(2, 50), 0);
+            assert_eq!(wt.select_sym(3, 50), Some(49));
+            assert_eq!(wt.select_sym(3, 51), None);
+            assert_eq!(wt.select_sym(2, 1), None);
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let wt = WaveletTree::huffman(&[], 4);
+        assert!(wt.is_empty());
+        assert_eq!(wt.rank_sym(0, 0), 0);
+        assert_eq!(wt.select_sym(0, 1), None);
+    }
+
+    #[test]
+    fn absent_symbol_queries() {
+        let seq = pseudo_seq(100, 3, 9); // symbols 0..3 only
+        let wt = WaveletTree::huffman(&seq, 10);
+        assert_eq!(wt.rank_sym(7, 100), 0);
+        assert_eq!(wt.select_sym(7, 1), None);
+        assert_eq!(wt.rank_sym(999, 100), 0, "out-of-alphabet symbol");
+    }
+
+    #[test]
+    fn huffman_shape_compresses_skewed_input() {
+        let n = 60_000usize;
+        // ~97% symbol 0 out of 16 symbols: H0 ≈ 0.3, lg σ = 4.
+        let seq: Vec<u64> = (0..n as u64)
+            .map(|i| if i % 32 == 0 { 1 + (i / 32) % 15 } else { 0 })
+            .collect();
+        let bal = WaveletTree::balanced(&seq, 16);
+        let huf = WaveletTree::huffman(&seq, 16);
+        assert!(
+            huf.size_bits() * 2 < bal.size_bits(),
+            "huffman {} not < half of balanced {}",
+            huf.size_bits(),
+            bal.size_bits()
+        );
+    }
+
+    #[test]
+    fn rrr_backing_agrees_with_plain_on_all_ops() {
+        let seq = pseudo_seq(700, 9, 21);
+        let plain = WaveletTree::with_backing(&seq, 9, WaveletShape::Huffman, WaveletBacking::Plain);
+        let rrr = WaveletTree::with_backing(&seq, 9, WaveletShape::Huffman, WaveletBacking::Rrr);
+        for i in 0..seq.len() {
+            assert_eq!(plain.access(i), rrr.access(i), "access({i})");
+        }
+        for sym in 0..9u64 {
+            for i in (0..=seq.len()).step_by(13) {
+                assert_eq!(plain.rank_sym(sym, i), rrr.rank_sym(sym, i));
+            }
+            for q in 1..=80 {
+                assert_eq!(plain.select_sym(sym, q), rrr.select_sym(sym, q));
+            }
+        }
+    }
+
+    #[test]
+    fn rrr_backing_breaks_the_one_bit_floor() {
+        // 97% of symbols are 0: H0 ≈ 0.3 but Huffman alone cannot go below
+        // 1 bit/symbol. With RRR-compressed nodes the total must drop well
+        // under n bits.
+        let n = 60_000usize;
+        let seq: Vec<u64> = (0..n as u64)
+            .map(|i| if i % 32 == 0 { 1 + (i / 32) % 15 } else { 0 })
+            .collect();
+        let plain = WaveletTree::with_backing(&seq, 16, WaveletShape::Huffman, WaveletBacking::Plain);
+        let rrr = WaveletTree::with_backing(&seq, 16, WaveletShape::Huffman, WaveletBacking::Rrr);
+        assert!(plain.size_bits() >= n, "plain Huffman cannot beat 1 bit/symbol");
+        assert!(
+            rrr.size_bits() < n * 2 / 3,
+            "RRR-backed tree too large: {} bits for {n} symbols",
+            rrr.size_bits()
+        );
+    }
+
+    #[test]
+    fn larger_alphabet_roundtrip() {
+        let seq = pseudo_seq(2000, 64, 11);
+        let wt = WaveletTree::huffman(&seq, 64);
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(wt.access(i), s);
+        }
+    }
+}

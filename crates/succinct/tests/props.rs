@@ -1,0 +1,142 @@
+//! Property-based tests: every succinct structure must agree with a naive
+//! reference implementation on arbitrary inputs.
+
+use fib_succinct::{BitVec, IntVec, RrrVec, RsBitVec, WaveletShape, WaveletTree};
+use proptest::prelude::*;
+
+fn naive_rank1(bits: &[bool], i: usize) -> usize {
+    bits[..i].iter().filter(|&&b| b).count()
+}
+
+fn naive_select(bits: &[bool], value: bool, q: usize) -> Option<usize> {
+    let mut seen = 0;
+    for (i, &b) in bits.iter().enumerate() {
+        if b == value {
+            seen += 1;
+            if seen == q {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #[test]
+    fn rsvec_rank_select_match_naive(bits in prop::collection::vec(any::<bool>(), 0..2000)) {
+        let rs = RsBitVec::new(BitVec::from_bools(&bits));
+        prop_assert_eq!(rs.count_ones(), bits.iter().filter(|&&b| b).count());
+        for i in 0..=bits.len() {
+            prop_assert_eq!(rs.rank1(i), naive_rank1(&bits, i));
+        }
+        for q in 1..=bits.len() + 1 {
+            prop_assert_eq!(rs.select1(q), naive_select(&bits, true, q));
+            prop_assert_eq!(rs.select0(q), naive_select(&bits, false, q));
+        }
+    }
+
+    #[test]
+    fn rrr_matches_naive(bits in prop::collection::vec(any::<bool>(), 0..1500)) {
+        let rrr = RrrVec::new(&BitVec::from_bools(&bits));
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(rrr.get(i), b);
+        }
+        for i in 0..=bits.len() {
+            prop_assert_eq!(rrr.rank1(i), naive_rank1(&bits, i));
+        }
+        for q in 1..=bits.len() + 1 {
+            prop_assert_eq!(rrr.select1(q), naive_select(&bits, true, q));
+            prop_assert_eq!(rrr.select0(q), naive_select(&bits, false, q));
+        }
+    }
+
+    #[test]
+    fn rrr_biased_density_roundtrips(
+        seed in any::<u64>(),
+        // density in 1/64ths so sparse and dense regimes are both hit
+        density in 0u64..=64,
+        len in 0usize..3000,
+    ) {
+        let mut x = seed | 1;
+        let bits: Vec<bool> = (0..len).map(|_| {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            (x % 64) < density
+        }).collect();
+        let rrr = RrrVec::new(&BitVec::from_bools(&bits));
+        let step = (len / 37).max(1);
+        for i in (0..=len).step_by(step) {
+            prop_assert_eq!(rrr.rank1(i), naive_rank1(&bits, i));
+        }
+    }
+
+    #[test]
+    fn intvec_roundtrips(values in prop::collection::vec(any::<u64>(), 0..500), width_off in 0u32..8) {
+        let max = values.iter().copied().max().unwrap_or(0);
+        let width = (fib_succinct::ceil_log2(max.saturating_add(1)) + width_off).min(64);
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let masked: Vec<u64> = values.iter().map(|&v| v & mask).collect();
+        let mut iv = IntVec::new(width);
+        for &v in &masked {
+            iv.push(v);
+        }
+        for (i, &v) in masked.iter().enumerate() {
+            prop_assert_eq!(iv.get(i), v);
+        }
+    }
+
+    #[test]
+    fn wavelet_access_rank_select_match_naive(
+        seq in prop::collection::vec(0u64..12, 0..600),
+        huffman in any::<bool>(),
+    ) {
+        let shape = if huffman { WaveletShape::Huffman } else { WaveletShape::Balanced };
+        let wt = WaveletTree::new(&seq, 12, shape);
+        for (i, &s) in seq.iter().enumerate() {
+            prop_assert_eq!(wt.access(i), s);
+        }
+        for sym in 0..12u64 {
+            let mut count = 0;
+            for (i, &actual) in seq.iter().enumerate() {
+                prop_assert_eq!(wt.rank_sym(sym, i), count);
+                if actual == sym {
+                    count += 1;
+                    prop_assert_eq!(wt.select_sym(sym, count), Some(i));
+                }
+            }
+            prop_assert_eq!(wt.select_sym(sym, count + 1), None);
+        }
+    }
+
+    #[test]
+    fn huffman_codes_decode_uniquely(freqs in prop::collection::vec(0u64..1000, 1..40)) {
+        let codes = fib_succinct::huffman::build_codes(&freqs);
+        let live: Vec<_> = codes.iter().filter(|c| c.len > 0).collect();
+        // Prefix-freeness: no live code is a prefix of another.
+        for (i, a) in live.iter().enumerate() {
+            for b in live.iter().skip(i + 1) {
+                let min_len = a.len.min(b.len);
+                prop_assert_ne!(a.bits >> (a.len - min_len), b.bits >> (b.len - min_len));
+            }
+        }
+        // Kraft equality for ≥2 live symbols (Huffman trees are complete).
+        if live.len() >= 2 {
+            let kraft: f64 = live.iter().map(|c| (0.5f64).powi(i32::from(c.len))).sum();
+            prop_assert!((kraft - 1.0).abs() < 1e-9, "kraft sum {}", kraft);
+        }
+    }
+
+    #[test]
+    fn bitvec_push_bits_concatenation(fields in prop::collection::vec((any::<u64>(), 1u32..=64), 0..60)) {
+        let mut bv = BitVec::new();
+        let mut positions = Vec::new();
+        for &(v, w) in &fields {
+            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            positions.push(bv.len());
+            bv.push_bits(v & mask, w);
+        }
+        for (&(v, w), &pos) in fields.iter().zip(&positions) {
+            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            prop_assert_eq!(bv.get_bits(pos, w), v & mask);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Textual FIB import/export.
+//!
+//! The interchange format is the paper's Fig. 1(a) tabular form, one route
+//! per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! 0.0.0.0/0      2
+//! 10.0.0.0/8     3
+//! 2001:db8::/32  1     (IPv6 works the same way)
+//! ```
+//!
+//! i.e. `<prefix> <next-hop index>`, whitespace-separated. This is close
+//! enough to `ip route` / RIB-dump exports that real tables can be pulled
+//! in with a one-line `awk`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::addr::{Address, ParsePrefixError, Prefix};
+use crate::nexthop::NextHop;
+
+/// Error from [`parse_routes`], carrying the offending line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRoutesError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseRoutesErrorKind,
+}
+
+/// The kinds of per-line failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseRoutesErrorKind {
+    /// The prefix column did not parse.
+    BadPrefix(ParsePrefixError),
+    /// The next-hop column did not parse as an unsigned integer.
+    BadNextHop(String),
+    /// The line did not have exactly two columns.
+    BadShape(String),
+}
+
+impl fmt::Display for ParseRoutesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseRoutesErrorKind::BadPrefix(e) => write!(f, "line {}: {e}", self.line),
+            ParseRoutesErrorKind::BadNextHop(s) => {
+                write!(f, "line {}: invalid next-hop '{s}'", self.line)
+            }
+            ParseRoutesErrorKind::BadShape(s) => {
+                write!(f, "line {}: expected '<prefix> <next-hop>', got '{s}'", self.line)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseRoutesError {}
+
+/// Parses a route table in the tabular text format.
+///
+/// Comments start with `#` (whole-line or trailing); blank lines are
+/// skipped. Duplicate prefixes are allowed — the last one wins when the
+/// result is collected into a FIB, matching every other insert API here.
+pub fn parse_routes<A>(text: &str) -> Result<Vec<(Prefix<A>, NextHop)>, ParseRoutesError>
+where
+    A: Address,
+    Prefix<A>: FromStr<Err = ParsePrefixError>,
+{
+    let mut routes = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut cols = content.split_whitespace();
+        let (Some(prefix_s), Some(hop_s), None) = (cols.next(), cols.next(), cols.next()) else {
+            return Err(ParseRoutesError {
+                line,
+                kind: ParseRoutesErrorKind::BadShape(content.to_string()),
+            });
+        };
+        let prefix = prefix_s.parse::<Prefix<A>>().map_err(|e| ParseRoutesError {
+            line,
+            kind: ParseRoutesErrorKind::BadPrefix(e),
+        })?;
+        let hop = hop_s.parse::<u32>().map_err(|_| ParseRoutesError {
+            line,
+            kind: ParseRoutesErrorKind::BadNextHop(hop_s.to_string()),
+        })?;
+        routes.push((prefix, NextHop::new(hop)));
+    }
+    Ok(routes)
+}
+
+/// Formats routes in the tabular text format (sorted, aligned).
+pub fn format_routes<A>(routes: impl IntoIterator<Item = (Prefix<A>, NextHop)>) -> String
+where
+    A: Address,
+    Prefix<A>: fmt::Display,
+{
+    let mut entries: Vec<(Prefix<A>, NextHop)> = routes.into_iter().collect();
+    entries.sort_unstable_by_key(|&(p, _)| (p.addr(), p.len()));
+    let width = entries
+        .iter()
+        .map(|(p, _)| p.to_string().len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (p, nh) in entries {
+        out.push_str(&format!("{:<width$} {}\n", p.to_string(), nh.index()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::BinaryTrie;
+
+    #[test]
+    fn parse_basic_table() {
+        let text = "\
+# a tiny FIB
+0.0.0.0/0    2
+10.0.0.0/8   3   # trailing comment
+
+96.0.0.0/3   1
+";
+        let routes = parse_routes::<u32>(text).unwrap();
+        assert_eq!(routes.len(), 3);
+        assert_eq!(routes[1].0.to_string(), "10.0.0.0/8");
+        assert_eq!(routes[1].1, NextHop::new(3));
+    }
+
+    #[test]
+    fn roundtrip_through_format() {
+        let text = "10.0.0.0/8 1\n0.0.0.0/0 2\n10.128.0.0/9 3\n";
+        let routes = parse_routes::<u32>(text).unwrap();
+        let formatted = format_routes(routes.iter().copied());
+        let reparsed = parse_routes::<u32>(&formatted).unwrap();
+        let a: BinaryTrie<u32> = routes.into_iter().collect();
+        let b: BinaryTrie<u32> = reparsed.into_iter().collect();
+        for i in 0..1000u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            assert_eq!(a.lookup(addr), b.lookup(addr));
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_routes::<u32>("0.0.0.0/0 1\nbanana 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseRoutesErrorKind::BadPrefix(_)));
+
+        let err = parse_routes::<u32>("\n\n1.0.0.0/8 x\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(matches!(err.kind, ParseRoutesErrorKind::BadNextHop(_)));
+
+        let err = parse_routes::<u32>("1.0.0.0/8 1 extra\n").unwrap_err();
+        assert!(matches!(err.kind, ParseRoutesErrorKind::BadShape(_)));
+
+        let err = parse_routes::<u32>("1.0.0.0/8\n").unwrap_err();
+        assert!(matches!(err.kind, ParseRoutesErrorKind::BadShape(_)));
+    }
+
+    #[test]
+    fn ipv6_tables_parse() {
+        let text = "::/0 1\n2001:db8::/32 2\n";
+        let routes = parse_routes::<u128>(text).unwrap();
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[1].0.to_string(), "2001:db8::/32");
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs() {
+        assert!(parse_routes::<u32>("").unwrap().is_empty());
+        assert!(parse_routes::<u32>("# nothing\n   \n#more\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = parse_routes::<u32>("zzz 1\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+}

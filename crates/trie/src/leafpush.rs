@@ -1,0 +1,377 @@
+//! Leaf-pushing: the unique normalized trie of Fig. 1(e).
+//!
+//! Leaf-pushing turns an arbitrary labeled binary trie into a *proper,
+//! binary, leaf-labeled* trie that computes the same forwarding function:
+//! labels are pushed from interior nodes down to the leaves (first pass),
+//! then sibling leaves with identical labels are coalesced into their
+//! parent (second pass). The result satisfies the paper's invariants
+//!
+//! * **P1** — every node is a leaf or has exactly two children,
+//! * **P2** — exactly the leaves carry labels,
+//! * **P3** — `t < 2n` (in fact `t = 2n − 1`),
+//!
+//! and is *unique* for a given forwarding function, which is what makes the
+//! FIB information-theoretic bound and FIB entropy of Section 2 well
+//! defined.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+
+use crate::addr::Address;
+use crate::binary::{BinaryTrie, NodeRef};
+use crate::nexthop::NextHop;
+
+/// A node of a [`ProperTrie`]: interior nodes are unlabeled and always have
+/// two children; leaves carry a label, where `None` is the invalid label ⊥
+/// (address space not covered by any route).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProperNode {
+    /// A leaf with its pushed-down label (`None` = ⊥).
+    Leaf(Option<NextHop>),
+    /// An interior node with its two children (arena indices).
+    Internal {
+        /// 0-subtrie.
+        left: u32,
+        /// 1-subtrie.
+        right: u32,
+    },
+}
+
+/// The leaf-pushed normal form of a FIB.
+#[derive(Clone, Debug)]
+pub struct ProperTrie<A: Address> {
+    nodes: Vec<ProperNode>,
+    root: u32,
+    n_leaves: usize,
+    _marker: PhantomData<A>,
+}
+
+impl<A: Address> ProperTrie<A> {
+    /// Normalizes `trie` by leaf-pushing and coalescing.
+    #[must_use]
+    pub fn from_trie(trie: &BinaryTrie<A>) -> Self {
+        let mut builder = Self {
+            nodes: Vec::new(),
+            root: 0,
+            n_leaves: 0,
+            _marker: PhantomData,
+        };
+        builder.root = builder.build(Some(trie.root()), None, 0);
+        builder
+    }
+
+    /// Push-down and coalesce in one post-order pass.
+    fn build(&mut self, node: Option<NodeRef<'_, A>>, inherited: Option<NextHop>, depth: u8) -> u32 {
+        let Some(node) = node else {
+            return self.push_leaf(inherited);
+        };
+        let effective = node.label().or(inherited);
+        if node.is_leaf() || depth == A::WIDTH {
+            return self.push_leaf(effective);
+        }
+        let left = self.build(node.left(), effective, depth + 1);
+        let right = self.build(node.right(), effective, depth + 1);
+        // Coalesce identical sibling leaves. When both children are leaves
+        // they are the two most recently pushed nodes, so the arena can
+        // simply shrink.
+        if let (ProperNode::Leaf(a), ProperNode::Leaf(b)) =
+            (self.nodes[left as usize], self.nodes[right as usize])
+        {
+            if a == b {
+                debug_assert_eq!(right as usize, self.nodes.len() - 1);
+                debug_assert_eq!(left as usize, self.nodes.len() - 2);
+                self.nodes.truncate(self.nodes.len() - 2);
+                self.n_leaves -= 2;
+                return self.push_leaf(a);
+            }
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(ProperNode::Internal { left, right });
+        idx
+    }
+
+    fn push_leaf(&mut self, label: Option<NextHop>) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(ProperNode::Leaf(label));
+        self.n_leaves += 1;
+        idx
+    }
+
+    /// Number of leaves (the paper's `n`).
+    #[must_use]
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Total number of nodes (the paper's `t = 2n − 1`).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Arena index of the root.
+    #[must_use]
+    pub fn root_idx(&self) -> u32 {
+        self.root
+    }
+
+    /// The node at arena index `idx`.
+    #[must_use]
+    pub fn node(&self, idx: u32) -> &ProperNode {
+        &self.nodes[idx as usize]
+    }
+
+    /// Longest-prefix-match lookup: walk to the unique covering leaf.
+    #[must_use]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        let mut idx = self.root;
+        let mut depth = 0u8;
+        loop {
+            match self.nodes[idx as usize] {
+                ProperNode::Leaf(label) => return label,
+                ProperNode::Internal { left, right } => {
+                    idx = if addr.bit(depth) { right } else { left };
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Level-order (BFS) traversal of the nodes — the order the XBW-b
+    /// transform serializes in.
+    pub fn bfs(&self) -> impl Iterator<Item = &ProperNode> {
+        let mut queue = VecDeque::from([self.root]);
+        std::iter::from_fn(move || {
+            let idx = queue.pop_front()?;
+            let node = &self.nodes[idx as usize];
+            if let ProperNode::Internal { left, right } = *node {
+                queue.push_back(left);
+                queue.push_back(right);
+            }
+            Some(node)
+        })
+    }
+
+    /// Level-order traversal carrying each node's depth — the label
+    /// context the XBW-b transform clusters by.
+    pub fn bfs_with_depth(&self) -> impl Iterator<Item = (u8, &ProperNode)> {
+        let mut queue = VecDeque::from([(0u8, self.root)]);
+        std::iter::from_fn(move || {
+            let (depth, idx) = queue.pop_front()?;
+            let node = &self.nodes[idx as usize];
+            if let ProperNode::Internal { left, right } = *node {
+                queue.push_back((depth + 1, left));
+                queue.push_back((depth + 1, right));
+            }
+            Some((depth, node))
+        })
+    }
+
+    /// Histogram of leaf labels (the distribution whose Shannon entropy is
+    /// the paper's `H0`). The invalid label ⊥ is a symbol of its own.
+    #[must_use]
+    pub fn leaf_label_histogram(&self) -> BTreeMap<Option<NextHop>, u64> {
+        let mut hist = BTreeMap::new();
+        for node in &self.nodes {
+            if let ProperNode::Leaf(label) = node {
+                *hist.entry(*label).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+
+    /// Maximum leaf depth in bits.
+    #[must_use]
+    pub fn max_depth(&self) -> u8 {
+        let mut max = 0;
+        let mut stack = vec![(self.root, 0u8)];
+        while let Some((idx, depth)) = stack.pop() {
+            match self.nodes[idx as usize] {
+                ProperNode::Leaf(_) => max = max.max(depth),
+                ProperNode::Internal { left, right } => {
+                    stack.push((left, depth + 1));
+                    stack.push((right, depth + 1));
+                }
+            }
+        }
+        max
+    }
+
+    /// Checks the structural invariants P1–P3 plus minimality (no two
+    /// coalescible sibling leaves). Intended for tests; cheap enough to run
+    /// on real FIBs.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message if an invariant is violated.
+    pub fn assert_invariants(&self) {
+        let t = self.node_count();
+        let n = self.n_leaves();
+        assert!(t == 2 * n - 1, "P3 violated: t = {t}, n = {n}");
+        let mut seen_leaves = 0;
+        for node in self.bfs() {
+            match node {
+                ProperNode::Leaf(_) => seen_leaves += 1,
+                ProperNode::Internal { left, right } => {
+                    if let (ProperNode::Leaf(a), ProperNode::Leaf(b)) =
+                        (self.nodes[*left as usize], self.nodes[*right as usize])
+                    {
+                        assert_ne!(a, b, "not minimal: coalescible sibling leaves");
+                    }
+                }
+            }
+        }
+        assert_eq!(seen_leaves, n, "leaf count mismatch");
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<ProperNode>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    fn fig1_trie() -> BinaryTrie<u32> {
+        [
+            (p("0.0.0.0/0"), nh(2)),
+            (p("0.0.0.0/1"), nh(3)),
+            (p("0.0.0.0/2"), nh(3)),
+            (p("32.0.0.0/3"), nh(2)),
+            (p("64.0.0.0/2"), nh(2)),
+            (p("96.0.0.0/3"), nh(1)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn fig1e_shape_matches_paper() {
+        // The paper's Fig. 1(e): leaf-pushing the example FIB yields leaves
+        // labeled 3,2,2,1 at depth 3 region and a top-level leaf 2 — in
+        // total 4+1 = 5 leaves... concretely: n = 5, t = 9 (Fig. 2 shows
+        // S_I of length 9 with 5 ones).
+        let pt = ProperTrie::from_trie(&fig1_trie());
+        pt.assert_invariants();
+        assert_eq!(pt.n_leaves(), 5);
+        assert_eq!(pt.node_count(), 9);
+        // Leaf labels in BFS order are 2 | 3 2 2 1 per Fig. 2's S_α.
+        let bfs_labels: Vec<_> = pt
+            .bfs()
+            .filter_map(|n| match n {
+                ProperNode::Leaf(l) => Some(l.unwrap().index()),
+                ProperNode::Internal { .. } => None,
+            })
+            .collect();
+        assert_eq!(bfs_labels, vec![2, 3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn forwarding_equivalence_with_source_trie() {
+        let trie = fig1_trie();
+        let pt = ProperTrie::from_trie(&trie);
+        for i in 0..=255u32 {
+            let addr = i << 24 | 0x123456;
+            assert_eq!(pt.lookup(addr), trie.lookup(addr), "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn empty_fib_is_a_bottom_leaf() {
+        let trie: BinaryTrie<u32> = BinaryTrie::new();
+        let pt = ProperTrie::from_trie(&trie);
+        assert_eq!(pt.n_leaves(), 1);
+        assert_eq!(pt.node_count(), 1);
+        assert_eq!(pt.lookup(42), None);
+        pt.assert_invariants();
+    }
+
+    #[test]
+    fn default_route_only_is_a_single_leaf() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("0.0.0.0/0"), nh(5));
+        let pt = ProperTrie::from_trie(&trie);
+        assert_eq!(pt.n_leaves(), 1);
+        assert_eq!(pt.lookup(0), Some(nh(5)));
+        assert_eq!(pt.lookup(u32::MAX), Some(nh(5)));
+    }
+
+    #[test]
+    fn redundant_more_specific_is_coalesced_away() {
+        // A more-specific route with the same next-hop as its parent must
+        // vanish in the normal form (this is the redundancy FIB aggregation
+        // exploits).
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("0.0.0.0/0"), nh(1));
+        trie.insert(p("10.0.0.0/8"), nh(1));
+        let pt = ProperTrie::from_trie(&trie);
+        assert_eq!(pt.n_leaves(), 1, "same-label specifics must coalesce");
+    }
+
+    #[test]
+    fn bottom_label_appears_without_default_route() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("128.0.0.0/1"), nh(1));
+        let pt = ProperTrie::from_trie(&trie);
+        assert_eq!(pt.n_leaves(), 2);
+        let hist = pt.leaf_label_histogram();
+        assert_eq!(hist.get(&None), Some(&1), "⊥ leaf for uncovered half");
+        assert_eq!(hist.get(&Some(nh(1))), Some(&1));
+        assert_eq!(pt.lookup(0), None);
+        assert_eq!(pt.lookup(u32::MAX), Some(nh(1)));
+    }
+
+    #[test]
+    fn normal_form_is_unique_across_equivalent_fibs() {
+        // Two syntactically different route sets with the same forwarding
+        // function must produce identical normal forms.
+        let mut a: BinaryTrie<u32> = BinaryTrie::new();
+        a.insert(p("0.0.0.0/0"), nh(1));
+        a.insert(p("128.0.0.0/1"), nh(2));
+        let mut b: BinaryTrie<u32> = BinaryTrie::new();
+        b.insert(p("0.0.0.0/1"), nh(1));
+        b.insert(p("128.0.0.0/1"), nh(2));
+        let pa = ProperTrie::from_trie(&a);
+        let pb = ProperTrie::from_trie(&b);
+        assert_eq!(pa.n_leaves(), pb.n_leaves());
+        let la: Vec<_> = pa.bfs().collect();
+        let lb: Vec<_> = pb.bfs().collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn host_route_pushes_to_full_depth() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        trie.insert(p("0.0.0.0/0"), nh(1));
+        trie.insert(p("1.2.3.4/32"), nh(2));
+        let pt = ProperTrie::from_trie(&trie);
+        pt.assert_invariants();
+        assert_eq!(pt.max_depth(), 32);
+        assert_eq!(pt.n_leaves(), 33, "one leaf per disagreeing level plus host");
+        assert_eq!(pt.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 4))), Some(nh(2)));
+        assert_eq!(pt.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 5))), Some(nh(1)));
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_leaves() {
+        let pt = ProperTrie::from_trie(&fig1_trie());
+        let hist = pt.leaf_label_histogram();
+        let total: u64 = hist.values().sum();
+        assert_eq!(total as usize, pt.n_leaves());
+        assert_eq!(hist.get(&Some(nh(2))), Some(&3));
+        assert_eq!(hist.get(&Some(nh(1))), Some(&1));
+        assert_eq!(hist.get(&Some(nh(3))), Some(&1));
+    }
+}

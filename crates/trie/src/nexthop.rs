@@ -1,0 +1,59 @@
+//! Next-hop labels.
+
+use std::fmt;
+
+/// A next-hop label: an index into the router's neighbor table.
+///
+/// This is a symbol from the paper's alphabet Σ. Routers keep far fewer
+/// neighbors than routes (δ ≪ N, typically δ = O(1) or O(polylog N)), so
+/// a `u32` index is generous. The *invalid* label ⊥ (blackhole) is not a
+/// `NextHop` value: APIs represent it as `Option::<NextHop>::None`, which
+/// makes it impossible to forward to a blackhole by accident.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NextHop(u32);
+
+impl NextHop {
+    /// Creates a label from a neighbor-table index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The neighbor-table index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NextHop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nh{}", self.0)
+    }
+}
+
+impl fmt::Debug for NextHop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nh{}", self.0)
+    }
+}
+
+impl From<u32> for NextHop {
+    fn from(index: u32) -> Self {
+        Self(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let nh = NextHop::new(7);
+        assert_eq!(nh.index(), 7);
+        assert_eq!(nh.to_string(), "nh7");
+        assert_eq!(NextHop::from(7u32), nh);
+        assert!(NextHop::new(1) < NextHop::new(2));
+    }
+}

@@ -1,0 +1,124 @@
+//! FIB statistics shared by the workload generators and the benchmark
+//! reporting: label histograms and prefix-length histograms.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{Address, Prefix};
+use crate::binary::BinaryTrie;
+use crate::nexthop::NextHop;
+
+/// Histogram of the next-hops over the *routes* of a FIB (one count per
+/// route entry, unlike the leaf-label histogram of the normal form).
+#[must_use]
+pub fn route_label_histogram<A: Address>(trie: &BinaryTrie<A>) -> BTreeMap<NextHop, u64> {
+    let mut hist = BTreeMap::new();
+    for (_, nh) in trie.iter() {
+        *hist.entry(nh).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Number of distinct next-hops (the paper's δ, not counting ⊥).
+#[must_use]
+pub fn next_hop_count<A: Address>(trie: &BinaryTrie<A>) -> usize {
+    route_label_histogram(trie).len()
+}
+
+/// Histogram of prefix lengths, indexable by length.
+#[derive(Clone, Debug)]
+pub struct PrefixLenHistogram {
+    counts: Vec<u64>,
+}
+
+impl PrefixLenHistogram {
+    /// Builds from an iterator of prefixes of width `W`.
+    pub fn from_prefixes<A: Address>(prefixes: impl IntoIterator<Item = Prefix<A>>) -> Self {
+        let mut counts = vec![0u64; A::WIDTH as usize + 1];
+        for p in prefixes {
+            counts[p.len() as usize] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Builds from the routes of a trie.
+    #[must_use]
+    pub fn from_trie<A: Address>(trie: &BinaryTrie<A>) -> Self {
+        Self::from_prefixes(trie.iter().map(|(p, _)| p))
+    }
+
+    /// Count of prefixes with length `len`.
+    #[must_use]
+    pub fn count(&self, len: u8) -> u64 {
+        self.counts.get(len as usize).copied().unwrap_or(0)
+    }
+
+    /// Total number of prefixes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean prefix length (the paper quotes 21.87 for BGP updates).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(len, &c)| len as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// The raw counts, indexed by length.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    #[test]
+    fn histograms_count_routes() {
+        let trie: BinaryTrie<u32> = [
+            ("0.0.0.0/0", 1u32),
+            ("10.0.0.0/8", 2),
+            ("11.0.0.0/8", 2),
+            ("12.0.0.0/8", 1),
+        ]
+        .into_iter()
+        .map(|(s, h)| (s.parse::<Prefix4>().unwrap(), nh(h)))
+        .collect();
+        let hist = route_label_histogram(&trie);
+        assert_eq!(hist.get(&nh(1)), Some(&2));
+        assert_eq!(hist.get(&nh(2)), Some(&2));
+        assert_eq!(next_hop_count(&trie), 2);
+
+        let lens = PrefixLenHistogram::from_trie(&trie);
+        assert_eq!(lens.count(0), 1);
+        assert_eq!(lens.count(8), 3);
+        assert_eq!(lens.total(), 4);
+        assert!((lens.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let trie: BinaryTrie<u32> = BinaryTrie::new();
+        assert_eq!(next_hop_count(&trie), 0);
+        let lens = PrefixLenHistogram::from_trie(&trie);
+        assert_eq!(lens.total(), 0);
+        assert_eq!(lens.mean(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The tabular FIB of Fig. 1(a): a flat route list with linear-scan
+//! longest-prefix match.
+
+use crate::addr::{Address, Prefix};
+use crate::nexthop::NextHop;
+
+/// A flat (prefix → next-hop) table.
+///
+/// Lookup and update are O(N) — the paper's strawman — but the
+/// representation is trivially correct, which makes it the oracle every
+/// compressed structure is differentially tested against. Storage is
+/// `(W + lg δ)·N` bits, per Section 2.
+#[derive(Clone, Debug, Default)]
+pub struct RouteTable<A: Address> {
+    routes: Vec<(Prefix<A>, NextHop)>,
+}
+
+impl<A: Address> RouteTable<A> {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { routes: Vec::new() }
+    }
+
+    /// Number of routes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Inserts or replaces the route for `prefix`, returning the previous
+    /// next-hop if one existed.
+    pub fn insert(&mut self, prefix: Prefix<A>, next_hop: NextHop) -> Option<NextHop> {
+        for entry in &mut self.routes {
+            if entry.0 == prefix {
+                return Some(std::mem::replace(&mut entry.1, next_hop));
+            }
+        }
+        self.routes.push((prefix, next_hop));
+        None
+    }
+
+    /// Removes the route for `prefix`, returning its next-hop.
+    pub fn remove(&mut self, prefix: Prefix<A>) -> Option<NextHop> {
+        let pos = self.routes.iter().position(|e| e.0 == prefix)?;
+        Some(self.routes.swap_remove(pos).1)
+    }
+
+    /// The next-hop registered for exactly `prefix`, if any.
+    #[must_use]
+    pub fn exact_match(&self, prefix: Prefix<A>) -> Option<NextHop> {
+        self.routes.iter().find(|e| e.0 == prefix).map(|e| e.1)
+    }
+
+    /// Longest-prefix-match lookup: scans every entry, keeps the most
+    /// specific match.
+    #[must_use]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        let mut best: Option<(u8, NextHop)> = None;
+        for &(prefix, nh) in &self.routes {
+            if prefix.contains(addr) && best.is_none_or(|(len, _)| prefix.len() >= len) {
+                best = Some((prefix.len(), nh));
+            }
+        }
+        best.map(|(_, nh)| nh)
+    }
+
+    /// Iterates over the routes in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix<A>, NextHop)> + '_ {
+        self.routes.iter().copied()
+    }
+
+    /// Storage size in bits under the paper's tabular model:
+    /// `(W + lg δ)·N` where δ is the number of distinct next-hops.
+    #[must_use]
+    pub fn model_size_bits(&self) -> usize {
+        let delta = {
+            let mut hops: Vec<u32> = self.routes.iter().map(|e| e.1.index()).collect();
+            hops.sort_unstable();
+            hops.dedup();
+            hops.len() as u64
+        };
+        self.routes.len() * (A::WIDTH as usize + fib_succinct_compat_lg(delta))
+    }
+}
+
+/// `⌈lg x⌉` without depending on fib-succinct from this substrate crate.
+fn fib_succinct_compat_lg(count: u64) -> usize {
+    if count <= 1 {
+        0
+    } else {
+        (64 - (count - 1).leading_zeros()) as usize
+    }
+}
+
+impl<A: Address> FromIterator<(Prefix<A>, NextHop)> for RouteTable<A> {
+    fn from_iter<T: IntoIterator<Item = (Prefix<A>, NextHop)>>(iter: T) -> Self {
+        let mut table = Self::new();
+        for (prefix, nh) in iter {
+            table.insert(prefix, nh);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    /// The running example of Fig. 1 in the paper (W truncated to 32 here;
+    /// the figure uses 4-bit addresses, we scale the prefixes up).
+    fn fig1_table() -> RouteTable<u32> {
+        let mut t = RouteTable::new();
+        t.insert(p("0.0.0.0/0"), nh(2));
+        t.insert(p("0.0.0.0/1"), nh(3));
+        t.insert(p("0.0.0.0/2"), nh(3));
+        t.insert(p("32.0.0.0/3"), nh(2));
+        t.insert(p("64.0.0.0/2"), nh(2));
+        t.insert(p("96.0.0.0/3"), nh(1));
+        t
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let t = fig1_table();
+        // 0111... → matches -/0, 0/1, 01/2, 011/3 → most specific gives 1.
+        assert_eq!(t.lookup(0b0111 << 28), Some(nh(1)));
+        // 000... → 00/2 → 3.
+        assert_eq!(t.lookup(0), Some(nh(3)));
+        // 0010... → 001/3 → 2.
+        assert_eq!(t.lookup(0b0010 << 28), Some(nh(2)));
+        // 1... → only the default route.
+        assert_eq!(t.lookup(0x8000_0000), Some(nh(2)));
+    }
+
+    #[test]
+    fn empty_table_returns_none() {
+        let t: RouteTable<u32> = RouteTable::new();
+        assert_eq!(t.lookup(123), None);
+    }
+
+    #[test]
+    fn no_default_route_leaves_gaps() {
+        let mut t = RouteTable::new();
+        t.insert(p("10.0.0.0/8"), nh(1));
+        assert_eq!(t.lookup(u32::from(std::net::Ipv4Addr::new(10, 1, 1, 1))), Some(nh(1)));
+        assert_eq!(t.lookup(u32::from(std::net::Ipv4Addr::new(11, 1, 1, 1))), None);
+    }
+
+    #[test]
+    fn insert_replaces_and_remove_deletes() {
+        let mut t = fig1_table();
+        assert_eq!(t.insert(p("0.0.0.0/0"), nh(9)), Some(nh(2)));
+        assert_eq!(t.lookup(0x8000_0000), Some(nh(9)));
+        assert_eq!(t.remove(p("0.0.0.0/0")), Some(nh(9)));
+        assert_eq!(t.lookup(0x8000_0000), None);
+        assert_eq!(t.remove(p("0.0.0.0/0")), None);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn exact_match_distinguishes_lengths() {
+        let t = fig1_table();
+        assert_eq!(t.exact_match(p("0.0.0.0/1")), Some(nh(3)));
+        assert_eq!(t.exact_match(p("0.0.0.0/3")), None);
+    }
+
+    #[test]
+    fn model_size_matches_formula() {
+        let t = fig1_table();
+        // N = 6, W = 32, δ = 3 → lg 3 = 2 bits → 6 * 34 = 204.
+        assert_eq!(t.model_size_bits(), 204);
+    }
+
+    #[test]
+    fn collects_from_iterator_with_replacement() {
+        let t: RouteTable<u32> = [(p("1.0.0.0/8"), nh(1)), (p("1.0.0.0/8"), nh(2))]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.exact_match(p("1.0.0.0/8")), Some(nh(2)));
+    }
+}

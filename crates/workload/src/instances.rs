@@ -1,0 +1,284 @@
+//! Stand-ins for the FIB instances of Table 1.
+//!
+//! The real routers' FIBs (taz, hbone, …) are proprietary; the RouteViews
+//! dumps are external data. Each stand-in reproduces the *published
+//! parameters* that all of the paper's size quantities are functions of —
+//! prefix count `N`, next-hop count δ, and the route-level next-hop
+//! entropy `H0` — with the same generator the paper used for its own
+//! synthetic instances. The published I/E/XBW-b/pDAG/ν/η values ride along
+//! as [`PaperRow`] so the Table 1 harness prints paper-vs-measured side by
+//! side.
+
+use fib_trie::BinaryTrie;
+use rand::SeedableRng;
+
+use crate::genfib::FibSpec;
+use crate::labels::LabelModel;
+
+/// Which Table 1 block an instance belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceGroup {
+    /// Access-router FIBs (taz, hbone, access(d), access(v), mobile).
+    Access,
+    /// Core/DFZ RouteViews-derived FIBs (as1221, as4637, as6447, as6730).
+    Core,
+    /// The paper's own synthetic instances (fib_600k, fib_1m).
+    Synthetic,
+}
+
+/// The published Table 1 numbers for one FIB (sizes in KBytes).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    /// FIB information-theoretic limit `I`.
+    pub i_kb: f64,
+    /// FIB entropy `E`.
+    pub e_kb: f64,
+    /// XBW-b size.
+    pub xbw_kb: f64,
+    /// Prefix DAG size (λ = 11).
+    pub pdag_kb: f64,
+    /// Compression efficiency ν (pDAG / E).
+    pub nu: f64,
+    /// Bits/prefix for XBW-b.
+    pub eta_xbw: f64,
+    /// Bits/prefix for the prefix DAG.
+    pub eta_pdag: f64,
+}
+
+/// One Table 1 row: published parameters plus a generator configuration.
+#[derive(Clone, Debug)]
+pub struct PaperInstance {
+    /// Instance name as it appears in the paper.
+    pub name: &'static str,
+    /// Table block.
+    pub group: InstanceGroup,
+    /// Prefix count `N`.
+    pub n_prefixes: usize,
+    /// Next-hop count δ.
+    pub delta: u32,
+    /// Route-level next-hop Shannon entropy (the paper's `H0` column).
+    pub h0: f64,
+    /// Whether the FIB carries a default route.
+    pub default_route: bool,
+    /// Published numbers.
+    pub paper: PaperRow,
+}
+
+impl PaperInstance {
+    /// Builds the stand-in FIB, deterministically for a given seed.
+    ///
+    /// Labels follow a geometric model calibrated to the row's `H0`;
+    /// depth bias 0.35 pushes mass toward the /17–/24 band as in real
+    /// tables. The two synthetic rows use the paper's own truncated
+    /// Poisson model instead.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> BinaryTrie<u32> {
+        let labels = match self.group {
+            // The paper quotes "truncated Poisson with parameter 3/5" *and*
+            // H0 = 1.06 for its synthetic FIBs; those are inconsistent
+            // (Poisson(0.6) truncated to 4-5 labels has H0 ≈ 1.44). The
+            // entropy is the quantity every size bound depends on, so we
+            // honor it: Poisson(0.33) truncated to δ labels gives
+            // H0 ≈ 1.055.
+            InstanceGroup::Synthetic => LabelModel::TruncPoisson {
+                lambda: 0.33,
+                delta: self.delta,
+            },
+            _ => LabelModel::geometric_for_h0(self.delta, self.h0),
+        };
+        let spec = FibSpec {
+            n_prefixes: self.n_prefixes,
+            max_len: 25,
+            depth_bias: 0.35,
+            labels,
+            // Real router FIBs assign next-hops with strong spatial
+            // correlation (consecutive prefixes usually share one); the
+            // paper's own synthetic instances draw i.i.d. labels. 0.62
+            // calibrates taz's normal-form leaf count to the n/N ≈ 0.5
+            // implied by the published I column.
+            spatial_correlation: match self.group {
+                InstanceGroup::Synthetic => 0.0,
+                _ => 0.62,
+            },
+            default_route: self.default_route,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        spec.generate(&mut rng)
+    }
+}
+
+/// All eleven Table 1 rows.
+#[must_use]
+pub fn all() -> Vec<PaperInstance> {
+    use InstanceGroup::{Access, Core, Synthetic};
+    vec![
+        PaperInstance {
+            name: "taz",
+            group: Access,
+            n_prefixes: 410_513,
+            delta: 4,
+            h0: 1.00,
+            default_route: false,
+            paper: PaperRow { i_kb: 94.0, e_kb: 56.0, xbw_kb: 63.0, pdag_kb: 178.0, nu: 3.17, eta_xbw: 1.12, eta_pdag: 3.47 },
+        },
+        PaperInstance {
+            name: "hbone",
+            group: Access,
+            n_prefixes: 410_454,
+            delta: 195,
+            h0: 2.00,
+            default_route: false,
+            paper: PaperRow { i_kb: 356.0, e_kb: 142.0, xbw_kb: 149.0, pdag_kb: 396.0, nu: 2.78, eta_xbw: 1.05, eta_pdag: 7.71 },
+        },
+        PaperInstance {
+            name: "access(d)",
+            group: Access,
+            n_prefixes: 444_513,
+            delta: 28,
+            h0: 1.06,
+            default_route: true,
+            paper: PaperRow { i_kb: 206.0, e_kb: 90.0, xbw_kb: 100.0, pdag_kb: 370.0, nu: 4.1, eta_xbw: 1.12, eta_pdag: 6.65 },
+        },
+        PaperInstance {
+            name: "access(v)",
+            group: Access,
+            n_prefixes: 2_986,
+            delta: 3,
+            h0: 1.22,
+            default_route: true,
+            paper: PaperRow { i_kb: 2.8, e_kb: 2.2, xbw_kb: 2.5, pdag_kb: 7.5, nu: 3.4, eta_xbw: 1.13, eta_pdag: 20.23 },
+        },
+        PaperInstance {
+            name: "mobile",
+            group: Access,
+            n_prefixes: 21_783,
+            delta: 16,
+            h0: 1.08,
+            default_route: true,
+            paper: PaperRow { i_kb: 0.8, e_kb: 0.4, xbw_kb: 1.1, pdag_kb: 3.6, nu: 8.71, eta_xbw: 2.36, eta_pdag: 1.35 },
+        },
+        PaperInstance {
+            name: "as1221",
+            group: Core,
+            n_prefixes: 440_060,
+            delta: 3,
+            h0: 1.54,
+            default_route: false,
+            paper: PaperRow { i_kb: 130.0, e_kb: 115.0, xbw_kb: 111.0, pdag_kb: 331.0, nu: 2.86, eta_xbw: 2.03, eta_pdag: 6.02 },
+        },
+        PaperInstance {
+            name: "as4637",
+            group: Core,
+            n_prefixes: 219_581,
+            delta: 3,
+            h0: 1.12,
+            default_route: false,
+            paper: PaperRow { i_kb: 52.0, e_kb: 41.0, xbw_kb: 44.0, pdag_kb: 129.0, nu: 3.13, eta_xbw: 1.62, eta_pdag: 4.69 },
+        },
+        PaperInstance {
+            name: "as6447",
+            group: Core,
+            n_prefixes: 445_016,
+            delta: 36,
+            h0: 3.91,
+            default_route: false,
+            paper: PaperRow { i_kb: 375.0, e_kb: 277.0, xbw_kb: 277.0, pdag_kb: 748.0, nu: 2.7, eta_xbw: 5.0, eta_pdag: 13.45 },
+        },
+        PaperInstance {
+            name: "as6730",
+            group: Core,
+            n_prefixes: 437_378,
+            delta: 186,
+            h0: 2.98,
+            default_route: false,
+            paper: PaperRow { i_kb: 421.0, e_kb: 209.0, xbw_kb: 213.0, pdag_kb: 545.0, nu: 2.6, eta_xbw: 3.91, eta_pdag: 9.96 },
+        },
+        PaperInstance {
+            name: "fib_600k",
+            group: Synthetic,
+            n_prefixes: 600_000,
+            delta: 5,
+            h0: 1.06,
+            default_route: false,
+            paper: PaperRow { i_kb: 257.0, e_kb: 157.0, xbw_kb: 179.0, pdag_kb: 462.0, nu: 2.93, eta_xbw: 1.14, eta_pdag: 6.16 },
+        },
+        PaperInstance {
+            name: "fib_1m",
+            group: Synthetic,
+            n_prefixes: 1_000_000,
+            delta: 5,
+            h0: 1.06,
+            default_route: false,
+            paper: PaperRow { i_kb: 427.0, e_kb: 261.0, xbw_kb: 297.0, pdag_kb: 782.0, nu: 2.99, eta_xbw: 1.14, eta_pdag: 6.26 },
+        },
+    ]
+}
+
+/// Looks an instance up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<PaperInstance> {
+    all().into_iter().find(|i| i.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_trie::stats::{next_hop_count, route_label_histogram};
+
+    #[test]
+    fn eleven_rows_with_unique_names() {
+        let rows = all();
+        assert_eq!(rows.len(), 11);
+        let mut names: Vec<_> = rows.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn by_name_finds_rows() {
+        assert!(by_name("taz").is_some());
+        assert!(by_name("fib_1m").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn small_instance_matches_parameters() {
+        // access(v) is small enough for a unit test: N, δ and H0 must land
+        // near the published values.
+        let inst = by_name("access(v)").unwrap();
+        let trie = inst.build(1);
+        assert_eq!(trie.len(), inst.n_prefixes + 1, "N prefixes + default");
+        let delta = next_hop_count(&trie);
+        assert!(delta <= inst.delta as usize);
+        assert!(delta >= inst.delta as usize - 1, "δ = {delta}");
+        let hist = route_label_histogram(&trie);
+        let counts: Vec<u64> = hist.values().copied().collect();
+        let h0 = fib_succinct_entropy(&counts);
+        assert!(
+            (h0 - inst.h0).abs() < 0.12,
+            "route H0 = {h0} vs target {}",
+            inst.h0
+        );
+    }
+
+    fn fib_succinct_entropy(counts: &[u64]) -> f64 {
+        let total: u64 = counts.iter().sum();
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn mobile_builds_with_default() {
+        let inst = by_name("mobile").unwrap();
+        let trie = inst.build(2);
+        // Default route present → full coverage.
+        assert!(trie.lookup(0xDEAD_BEEF).is_some());
+    }
+}

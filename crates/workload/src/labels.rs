@@ -1,0 +1,263 @@
+//! Next-hop label distributions.
+
+use fib_trie::NextHop;
+use rand::Rng;
+
+/// A probability distribution over next-hop labels `0..δ`.
+///
+/// Each model reports its exact Shannon entropy, which is how the paper
+/// instances are matched to their published `H0` column.
+#[derive(Clone, Debug)]
+pub enum LabelModel {
+    /// All δ labels equally likely — the worst case for compression.
+    Uniform {
+        /// Alphabet size.
+        delta: u32,
+    },
+    /// Two labels: label 0 with probability `p`, label 1 otherwise. This is
+    /// the model of the paper's Figs. 6 and 7.
+    Bernoulli {
+        /// Probability of label 0.
+        p: f64,
+    },
+    /// Poisson(λ) truncated (renormalized) to `0..δ` — the paper's model
+    /// for its synthetic `fib_600k`/`fib_1m` instances (parameter 3/5).
+    TruncPoisson {
+        /// Poisson rate parameter.
+        lambda: f64,
+        /// Alphabet size.
+        delta: u32,
+    },
+    /// `p_i ∝ ratio^i` for `i` in `0..δ`: a dominant next-hop with a
+    /// geometric tail, which is what access-router FIBs look like.
+    Geometric {
+        /// Decay ratio in `(0, 1]`.
+        ratio: f64,
+        /// Alphabet size.
+        delta: u32,
+    },
+    /// Arbitrary weights (normalized internally).
+    Weighted {
+        /// Relative label weights; must be non-negative, not all zero.
+        weights: Vec<f64>,
+    },
+}
+
+impl LabelModel {
+    /// The normalized probability vector.
+    ///
+    /// # Panics
+    /// Panics on empty or degenerate parameterizations.
+    #[must_use]
+    pub fn probabilities(&self) -> Vec<f64> {
+        let raw: Vec<f64> = match self {
+            Self::Uniform { delta } => {
+                assert!(*delta >= 1);
+                vec![1.0; *delta as usize]
+            }
+            Self::Bernoulli { p } => {
+                assert!((0.0..=1.0).contains(p), "p = {p} out of [0,1]");
+                vec![*p, 1.0 - *p]
+            }
+            Self::TruncPoisson { lambda, delta } => {
+                assert!(*lambda > 0.0 && *delta >= 1);
+                let mut weights = Vec::with_capacity(*delta as usize);
+                let mut term = 1.0; // λ^0 / 0!
+                for k in 0..*delta {
+                    if k > 0 {
+                        term *= lambda / f64::from(k);
+                    }
+                    weights.push(term);
+                }
+                weights
+            }
+            Self::Geometric { ratio, delta } => {
+                assert!(*ratio > 0.0 && *ratio <= 1.0 && *delta >= 1);
+                let mut weights = Vec::with_capacity(*delta as usize);
+                let mut w = 1.0;
+                for _ in 0..*delta {
+                    weights.push(w);
+                    w *= ratio;
+                }
+                weights
+            }
+            Self::Weighted { weights } => {
+                assert!(!weights.is_empty());
+                weights.clone()
+            }
+        };
+        let total: f64 = raw.iter().sum();
+        assert!(total > 0.0, "all-zero weight vector");
+        raw.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Alphabet size δ.
+    #[must_use]
+    pub fn delta(&self) -> usize {
+        match self {
+            Self::Uniform { delta } | Self::TruncPoisson { delta, .. } | Self::Geometric { delta, .. } => {
+                *delta as usize
+            }
+            Self::Bernoulli { .. } => 2,
+            Self::Weighted { weights } => weights.len(),
+        }
+    }
+
+    /// Exact Shannon entropy of the model in bits.
+    #[must_use]
+    pub fn h0(&self) -> f64 {
+        self.probabilities()
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.log2())
+            .sum()
+    }
+
+    /// Samples one label.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NextHop {
+        let probs = self.probabilities();
+        let mut x: f64 = rng.random();
+        for (i, &p) in probs.iter().enumerate() {
+            if x < p {
+                return NextHop::new(i as u32);
+            }
+            x -= p;
+        }
+        NextHop::new(probs.len() as u32 - 1)
+    }
+
+    /// Pre-computes a cumulative table for repeated sampling.
+    #[must_use]
+    pub fn sampler(&self) -> LabelSampler {
+        let probs = self.probabilities();
+        let mut cumulative = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in probs {
+            acc += p;
+            cumulative.push(acc);
+        }
+        LabelSampler { cumulative }
+    }
+
+    /// Calibrates a [`LabelModel::Geometric`] over `delta` labels whose
+    /// entropy matches `target_h0` (clamped to the feasible range
+    /// `[0, lg δ]`) to within 10⁻⁶ bits, by bisection on the decay ratio.
+    #[must_use]
+    pub fn geometric_for_h0(delta: u32, target_h0: f64) -> Self {
+        assert!(delta >= 2, "need at least two labels to have entropy");
+        let max_h0 = f64::from(delta).log2();
+        let target = target_h0.clamp(0.0, max_h0 - 1e-9);
+        let (mut lo, mut hi) = (1e-12, 1.0);
+        for _ in 0..80 {
+            let mid = f64::midpoint(lo, hi);
+            let h = Self::Geometric { ratio: mid, delta }.h0();
+            if h < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Self::Geometric {
+            ratio: f64::midpoint(lo, hi),
+            delta,
+        }
+    }
+}
+
+/// Cumulative-table sampler for a [`LabelModel`].
+#[derive(Clone, Debug)]
+pub struct LabelSampler {
+    cumulative: Vec<f64>,
+}
+
+impl LabelSampler {
+    /// Samples one label.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NextHop {
+        let x: f64 = rng.random();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1);
+        NextHop::new(idx as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_entropy_is_log_delta() {
+        let m = LabelModel::Uniform { delta: 8 };
+        assert!((m.h0() - 3.0).abs() < 1e-12);
+        assert_eq!(m.delta(), 8);
+    }
+
+    #[test]
+    fn bernoulli_entropy_curve() {
+        assert!(LabelModel::Bernoulli { p: 0.5 }.h0() > 0.9999);
+        assert!(LabelModel::Bernoulli { p: 0.01 }.h0() < 0.1);
+        let h = LabelModel::Bernoulli { p: 0.25 }.h0();
+        assert!((h - 0.811_278_124_459_1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trunc_poisson_is_normalized_and_skewed() {
+        let m = LabelModel::TruncPoisson { lambda: 0.6, delta: 4 };
+        let probs = m.probabilities();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(probs[0] > probs[1] && probs[1] > probs[2] && probs[2] > probs[3]);
+    }
+
+    #[test]
+    fn geometric_calibration_hits_target() {
+        for (delta, target) in [(4u32, 1.06), (28, 1.06), (36, 3.91), (195, 2.00), (3, 1.54)] {
+            let m = LabelModel::geometric_for_h0(delta, target);
+            assert!(
+                (m.h0() - target).abs() < 1e-5,
+                "δ={delta} target={target} got {}",
+                m.h0()
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_clamps_infeasible_targets() {
+        // lg 4 = 2 is the maximum entropy with 4 labels.
+        let m = LabelModel::geometric_for_h0(4, 5.0);
+        assert!(m.h0() <= 2.0 + 1e-9);
+        assert!(m.h0() > 1.99, "should saturate near lg δ, got {}", m.h0());
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let m = LabelModel::TruncPoisson { lambda: 0.6, delta: 4 };
+        let sampler = m.sampler();
+        let mut counts = [0u64; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng).index() as usize] += 1;
+        }
+        let probs = m.probabilities();
+        for (i, &c) in counts.iter().enumerate() {
+            let empirical = c as f64 / f64::from(n);
+            assert!(
+                (empirical - probs[i]).abs() < 0.01,
+                "label {i}: empirical {empirical} vs {p}",
+                p = probs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn direct_sample_agrees_with_sampler() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let m = LabelModel::Weighted { weights: vec![1.0, 2.0, 3.0] };
+        for _ in 0..100 {
+            let nh = m.sample(&mut rng);
+            assert!(nh.index() < 3);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload generation for the FIB-compression evaluation.
+//!
+//! The paper evaluates on five proprietary router FIBs, RouteViews BGP
+//! dumps, a CAIDA packet trace and a BGP update log — none of which can be
+//! redistributed. This crate builds faithful synthetic stand-ins (the
+//! substitution ledger in DESIGN.md argues why each preserves the relevant
+//! behaviour):
+//!
+//! * [`labels`] — next-hop label distributions (truncated Poisson,
+//!   Bernoulli, geometric-calibrated-to-H0, uniform) with exact entropy
+//!   reporting,
+//! * [`genfib`] — synthetic FIBs by **iterative random prefix splitting**,
+//!   the paper's own generator for its `fib_600k`/`fib_1m` instances,
+//! * [`instances`] — one stand-in per Table 1 row, carrying the published
+//!   numbers for side-by-side reporting,
+//! * [`updates`] — random and BGP-like update sequences (§5.1),
+//! * [`traces`] — uniform and locality-skewed (Zipf) lookup key streams
+//!   (§5.3's random keys and CAIDA-trace stand-in).
+//!
+//! Everything is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod genfib;
+pub mod instances;
+pub mod labels;
+pub mod traces;
+pub mod updates;
+
+pub use genfib::FibSpec;
+pub use instances::{InstanceGroup, PaperInstance, PaperRow};
+pub use labels::LabelModel;

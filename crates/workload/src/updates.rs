@@ -1,0 +1,228 @@
+//! Update sequences (§5.1).
+//!
+//! Two models, matching the paper's measurement setup:
+//!
+//! * **random** — prefixes uniform on the address space with uniform
+//!   lengths: the adversarial sequence behind the full trade-off curve of
+//!   Fig. 5;
+//! * **BGP-like** — modeled on RouteViews churn: updates target existing
+//!   prefixes (heavily biased toward long ones, mean length ≈ 21.87), with
+//!   next-hops re-drawn from the FIB's own next-hop distribution, plus a
+//!   small announce/withdraw flux of fresh prefixes.
+
+use fib_trie::stats::route_label_histogram;
+use fib_trie::{Address, BinaryTrie, NextHop, Prefix};
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// One routing-table change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOp<A: Address> {
+    /// Insert or replace a route.
+    Announce(Prefix<A>, NextHop),
+    /// Delete a route.
+    Withdraw(Prefix<A>),
+}
+
+impl<A: Address> UpdateOp<A> {
+    /// Applies the operation to a trie.
+    pub fn apply(&self, trie: &mut BinaryTrie<A>) {
+        match *self {
+            Self::Announce(p, nh) => {
+                trie.insert(p, nh);
+            }
+            Self::Withdraw(p) => {
+                trie.remove(p);
+            }
+        }
+    }
+
+    /// The affected prefix.
+    #[must_use]
+    pub fn prefix(&self) -> Prefix<A> {
+        match *self {
+            Self::Announce(p, _) | Self::Withdraw(p) => p,
+        }
+    }
+}
+
+/// Uniform-random update sequence: addresses uniform on `[0, 2^W)`,
+/// lengths uniform on `[0, W]`, labels uniform on `0..delta`; 80%
+/// announcements.
+pub fn random_sequence<A: Address, R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    delta: u32,
+) -> Vec<UpdateOp<A>> {
+    (0..count)
+        .map(|_| {
+            let addr = A::from_u128(rng.random::<u128>() >> (128 - u32::from(A::WIDTH)));
+            let len = rng.random_range(0..=u32::from(A::WIDTH)) as u8;
+            let prefix = Prefix::new(addr, len);
+            if rng.random::<f64>() < 0.8 {
+                UpdateOp::Announce(prefix, NextHop::new(rng.random_range(0..delta)))
+            } else {
+                UpdateOp::Withdraw(prefix)
+            }
+        })
+        .collect()
+}
+
+/// Empirical BGP announce-length histogram (per RouteViews churn studies):
+/// pairs of (prefix length, relative weight). Mean ≈ 21.9, /24-heavy.
+const BGP_LEN_WEIGHTS: [(u8, u32); 12] = [
+    (8, 1),
+    (12, 2),
+    (14, 2),
+    (16, 8),
+    (17, 3),
+    (18, 4),
+    (19, 6),
+    (20, 7),
+    (21, 7),
+    (22, 13),
+    (23, 10),
+    (24, 37),
+];
+
+/// Samples a BGP-like prefix length.
+pub fn bgp_prefix_len<R: Rng + ?Sized>(rng: &mut R) -> u8 {
+    let total: u32 = BGP_LEN_WEIGHTS.iter().map(|&(_, w)| w).sum();
+    let mut x = rng.random_range(0..total);
+    for &(len, w) in &BGP_LEN_WEIGHTS {
+        if x < w {
+            return len;
+        }
+        x -= w;
+    }
+    24
+}
+
+/// BGP-like update sequence against an existing FIB.
+///
+/// 85% of operations re-announce an existing prefix with a next-hop drawn
+/// from the FIB's own next-hop distribution (exactly the paper's setup);
+/// 7.5% announce a fresh prefix with a BGP-like length; 7.5% withdraw one
+/// of the prefixes touched so far.
+pub fn bgp_sequence<R: Rng + ?Sized>(
+    rng: &mut R,
+    fib: &BinaryTrie<u32>,
+    count: usize,
+) -> Vec<UpdateOp<u32>> {
+    let prefixes: Vec<Prefix<u32>> = fib.iter().map(|(p, _)| p).collect();
+    // Next-hop distribution of the FIB, sampled by route frequency.
+    let hist = route_label_histogram(fib);
+    let hops: Vec<NextHop> = hist.keys().copied().collect();
+    let weights: Vec<u64> = hist.values().copied().collect();
+    let total_weight: u64 = weights.iter().sum::<u64>().max(1);
+    let sample_hop = |rng: &mut R| -> NextHop {
+        if hops.is_empty() {
+            return NextHop::new(0);
+        }
+        let mut x = rng.random_range(0..total_weight);
+        for (nh, &w) in hops.iter().zip(&weights) {
+            if x < w {
+                return *nh;
+            }
+            x -= w;
+        }
+        *hops.last().expect("non-empty")
+    };
+
+    let mut fresh: Vec<Prefix<u32>> = Vec::new();
+    (0..count)
+        .map(|_| {
+            let roll: f64 = rng.random();
+            if roll < 0.85 && !prefixes.is_empty() {
+                let p = *prefixes.choose(rng).expect("non-empty");
+                UpdateOp::Announce(p, sample_hop(rng))
+            } else if roll < 0.925 || fresh.is_empty() {
+                let len = bgp_prefix_len(rng);
+                let p = Prefix::new(rng.random::<u32>(), len);
+                fresh.push(p);
+                UpdateOp::Announce(p, sample_hop(rng))
+            } else {
+                let idx = rng.random_range(0..fresh.len());
+                UpdateOp::Withdraw(fresh.swap_remove(idx))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genfib::FibSpec;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_sequence_shape() {
+        let seq: Vec<UpdateOp<u32>> = random_sequence(&mut rng(1), 1000, 4);
+        assert_eq!(seq.len(), 1000);
+        let announces = seq
+            .iter()
+            .filter(|op| matches!(op, UpdateOp::Announce(..)))
+            .count();
+        assert!((700..900).contains(&announces), "≈80% announces, got {announces}");
+    }
+
+    #[test]
+    fn bgp_lengths_mean_matches_paper() {
+        let mut r = rng(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| f64::from(bgp_prefix_len(&mut r))).sum::<f64>() / f64::from(n);
+        assert!(
+            (mean - 21.87).abs() < 0.8,
+            "BGP mean length {mean} should be ≈ 21.87"
+        );
+    }
+
+    #[test]
+    fn bgp_sequence_mostly_touches_existing_prefixes() {
+        let fib: BinaryTrie<u32> = FibSpec::dfz_like(5000).generate(&mut rng(3));
+        let seq = bgp_sequence(&mut rng(4), &fib, 2000);
+        assert_eq!(seq.len(), 2000);
+        let existing = seq
+            .iter()
+            .filter(|op| matches!(op, UpdateOp::Announce(p, _) if fib.exact_match(*p).is_some()))
+            .count();
+        assert!(existing > 1500, "most updates hit existing prefixes: {existing}");
+    }
+
+    #[test]
+    fn applying_updates_keeps_trie_consistent() {
+        let mut fib: BinaryTrie<u32> = FibSpec::dfz_like(2000).generate(&mut rng(5));
+        let seq = bgp_sequence(&mut rng(6), &fib, 3000);
+        for op in &seq {
+            op.apply(&mut fib);
+        }
+        // The FIB survives and still answers.
+        assert!(fib.len() > 1000);
+        assert!(fib.lookup(0x0808_0808).is_some() || fib.lookup(0x0808_0808).is_none());
+    }
+
+    #[test]
+    fn withdraw_only_removes_fresh_prefixes() {
+        let fib: BinaryTrie<u32> = FibSpec::dfz_like(1000).generate(&mut rng(7));
+        let seq = bgp_sequence(&mut rng(8), &fib, 5000);
+        for op in &seq {
+            if let UpdateOp::Withdraw(p) = op {
+                assert!(
+                    fib.exact_match(*p).is_none(),
+                    "withdrawals must target churn prefixes, not the base FIB"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_are_deterministic() {
+        let a: Vec<UpdateOp<u32>> = random_sequence(&mut rng(9), 100, 4);
+        let b: Vec<UpdateOp<u32>> = random_sequence(&mut rng(9), 100, 4);
+        assert_eq!(a, b);
+    }
+}

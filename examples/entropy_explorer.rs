@@ -1,0 +1,60 @@
+//! FIB entropy as a size predictor: sweep synthetic FIBs across their
+//! entropy range and watch the compressed sizes track `E = 2n + n·H0`
+//! while the uncompressed baselines do not.
+//!
+//! ```sh
+//! cargo run --release --example entropy_explorer
+//! ```
+
+use fibcomp::core::{FibEntropy, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fibcomp::trie::{BinaryTrie, LcTrie};
+use fibcomp::workload::{FibSpec, LabelModel};
+use rand::SeedableRng;
+
+const N: usize = 50_000;
+const DELTA: u32 = 16;
+
+fn main() {
+    println!("N = {N} prefixes, δ = {DELTA} next-hops, sweeping label entropy\n");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "H0(tgt)", "H0(leaf)", "I [KB]", "E [KB]", "XBW-b[KB]", "pDAG [KB]", "fib_trie[KB]", "ν"
+    );
+
+    for target in [0.2, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0] {
+        let spec = FibSpec {
+            n_prefixes: N,
+            max_len: 24,
+            depth_bias: 0.3,
+            labels: LabelModel::geometric_for_h0(DELTA, target),
+            spatial_correlation: 0.0,
+            default_route: false,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64((target * 1000.0) as u64);
+        let trie: BinaryTrie<u32> = spec.generate(&mut rng);
+
+        let metrics = FibEntropy::of_trie(&trie);
+        let xbw = XbwFib::build(&trie, XbwStorage::Entropy);
+        let ser = SerializedDag::from_dag(&PrefixDag::from_trie(&trie, 11));
+        let lc = LcTrie::from_trie(&trie);
+
+        let kb = |bits: f64| bits / 8.0 / 1024.0;
+        println!(
+            "{:>8.2} {:>8.3} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>12.1} {:>8.2}",
+            target,
+            metrics.h0,
+            kb(metrics.info_bound_bits()),
+            kb(metrics.entropy_bits()),
+            xbw.size_bytes() as f64 / 1024.0,
+            ser.size_bytes() as f64 / 1024.0,
+            lc.kernel_model_bytes() as f64 / 1024.0,
+            ser.size_bytes() as f64 * 8.0 / metrics.entropy_bits(),
+        );
+    }
+
+    println!("\nReading the table:");
+    println!("- I ignores the label distribution: flat except for the ⌈lg δ⌉ jumps;");
+    println!("- E, XBW-b and pDAG all scale with the actual entropy H0;");
+    println!("- the kernel-model fib_trie is an order of magnitude larger and");
+    println!("  completely insensitive to H0 — the redundancy the paper eliminates.");
+}

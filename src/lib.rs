@@ -1,0 +1,62 @@
+//! # fibcomp — entropy-bounded IP forwarding table compression
+//!
+//! Umbrella crate for the reproduction of Rétvári et al., *Compressing IP
+//! Forwarding Tables: Towards Entropy Bounds and Beyond* (SIGCOMM 2013).
+//!
+//! The workspace is organized bottom-up; this crate re-exports every layer
+//! so that applications can depend on a single crate:
+//!
+//! * [`succinct`] — rank/select bit vectors, RRR, wavelet trees, Huffman
+//!   codes (the compressed-string-index substrate of Section 3),
+//! * [`trie`] — addresses, prefixes and the classic FIB representations of
+//!   Section 2 (tabular, binary trie, leaf-pushing, ORTC, LC-trie),
+//! * [`core`] — the paper's contribution: FIB entropy bounds, the XBW-b
+//!   transform, and trie-folding prefix DAGs with λ-barrier updates,
+//! * [`workload`] — synthetic FIB generators, BGP-like update sequences and
+//!   lookup traces standing in for the paper's proprietary datasets,
+//! * [`hwsim`] — SRAM/FPGA cycle model and cache-hierarchy simulator used
+//!   by the Table 2 reproduction.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fibcomp::prelude::*;
+//!
+//! // A toy FIB: the example of Fig. 1 in the paper.
+//! let routes = [
+//!     (Prefix4::from_str("0.0.0.0/0").unwrap(), NextHop::new(2)),
+//!     (Prefix4::from_str("0.0.0.0/1").unwrap(), NextHop::new(3)),
+//!     (Prefix4::from_str("0.0.0.0/2").unwrap(), NextHop::new(3)),
+//!     (Prefix4::from_str("32.0.0.0/3").unwrap(), NextHop::new(2)),
+//!     (Prefix4::from_str("64.0.0.0/2").unwrap(), NextHop::new(2)),
+//!     (Prefix4::from_str("96.0.0.0/3").unwrap(), NextHop::new(1)),
+//! ];
+//! let trie: BinaryTrie<u32> = routes.iter().copied().collect();
+//!
+//! // Compress with trie-folding (λ = 2) and with XBW-b.
+//! let dag = PrefixDag::from_trie(&trie, 2);
+//! let xbw = XbwFib::build(&trie, XbwStorage::Entropy);
+//!
+//! // All representations agree on every longest-prefix-match.
+//! let addr = u32::from(std::net::Ipv4Addr::new(96, 1, 2, 3));
+//! assert_eq!(trie.lookup(addr), dag.lookup(addr));
+//! assert_eq!(trie.lookup(addr), xbw.lookup(addr));
+//! assert_eq!(dag.lookup(addr), Some(NextHop::new(1)));
+//! ```
+
+pub use fib_core as core;
+pub use fib_hwsim as hwsim;
+pub use fib_succinct as succinct;
+pub use fib_trie as trie;
+pub use fib_workload as workload;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use fib_core::{
+        FibEntropy, FoldedString, PrefixDag, SerializedDag, XbwFib, XbwStorage,
+    };
+    pub use fib_trie::{
+        Address, BinaryTrie, LcTrie, NextHop, Prefix, Prefix4, Prefix6, ProperTrie, RouteTable,
+    };
+    pub use std::str::FromStr;
+}

@@ -1,0 +1,149 @@
+//! Cross-crate differential tests: every representation in the workspace
+//! must compute the same longest-prefix-match function, on FIBs of every
+//! shape the workload generators can produce.
+
+use fibcomp::core::{FibEngine, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fibcomp::trie::{ortc, BinaryTrie, LcTrie, ProperTrie, RouteTable};
+use fibcomp::workload::{traces, FibSpec, LabelModel};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Builds every engine over `trie` and checks they agree on `keys`.
+fn check_all_engines(trie: &BinaryTrie<u32>, keys: &[u32]) {
+    let table: RouteTable<u32> = trie.iter().collect();
+    let proper = ProperTrie::from_trie(trie);
+    proper.assert_invariants();
+    let lc_half = LcTrie::with_params(trie, 0.5, 16);
+    let lc_full = LcTrie::with_params(trie, 1.0, 8);
+    let xbw_s = XbwFib::build(trie, XbwStorage::Succinct);
+    let xbw_e = XbwFib::build(trie, XbwStorage::Entropy);
+    let dag0 = PrefixDag::from_trie(trie, 0);
+    let dag11 = PrefixDag::from_trie(trie, 11);
+    let dag_eq3 = PrefixDag::with_entropy_barrier(trie);
+    dag0.assert_invariants();
+    dag11.assert_invariants();
+    dag_eq3.assert_invariants();
+    let ser0 = SerializedDag::from_dag(&dag0);
+    let ser11 = SerializedDag::from_dag(&dag11);
+    let aggregated = ortc::compress(trie);
+
+    let engines: Vec<&dyn FibEngine<u32>> = vec![
+        trie, &proper, &lc_half, &lc_full, &xbw_s, &xbw_e, &dag0, &dag11, &dag_eq3, &ser0,
+        &ser11,
+    ];
+    for &key in keys {
+        let expected = table.lookup(key);
+        for engine in &engines {
+            assert_eq!(
+                engine.lookup(key),
+                expected,
+                "{} diverges from the oracle at {key:#010x}",
+                engine.name()
+            );
+        }
+        assert_eq!(aggregated.lookup(key), expected, "ORTC diverges at {key:#010x}");
+    }
+}
+
+fn probe_keys(trie: &BinaryTrie<u32>, seed: u64, count: usize) -> Vec<u32> {
+    let mut r = rng(seed);
+    let mut keys = traces::uniform::<u32, _>(&mut r, count);
+    // Adversarial keys: the exact prefix boundaries of every route, and
+    // the addresses just before/after each covered block.
+    for (p, _) in trie.iter().take(500) {
+        keys.push(p.addr());
+        keys.push(p.addr().wrapping_sub(1));
+        if p.len() > 0 {
+            let width = 32 - u32::from(p.len());
+            let last = p.addr() | ((1u64 << width) - 1) as u32;
+            keys.push(last);
+            keys.push(last.wrapping_add(1));
+        }
+    }
+    keys
+}
+
+#[test]
+fn dfz_like_fib() {
+    let trie: BinaryTrie<u32> = FibSpec::dfz_like(20_000).generate(&mut rng(1));
+    let keys = probe_keys(&trie, 2, 4000);
+    check_all_engines(&trie, &keys);
+}
+
+#[test]
+fn access_like_fib_with_default_and_skew() {
+    let spec = FibSpec {
+        n_prefixes: 8_000,
+        max_len: 32,
+        depth_bias: 0.6,
+        labels: LabelModel::geometric_for_h0(28, 1.06),
+        spatial_correlation: 0.0,
+        default_route: true,
+    };
+    let trie: BinaryTrie<u32> = spec.generate(&mut rng(3));
+    check_all_engines(&trie, &probe_keys(&trie, 4, 3000));
+}
+
+#[test]
+fn bernoulli_low_entropy_fib() {
+    let spec = FibSpec {
+        n_prefixes: 5_000,
+        max_len: 24,
+        depth_bias: 0.0,
+        labels: LabelModel::Bernoulli { p: 0.02 },
+        spatial_correlation: 0.0,
+        default_route: false,
+    };
+    let trie: BinaryTrie<u32> = spec.generate(&mut rng(5));
+    check_all_engines(&trie, &probe_keys(&trie, 6, 3000));
+}
+
+#[test]
+fn tiny_fibs_and_degenerate_shapes() {
+    // Empty.
+    check_all_engines(&BinaryTrie::new(), &[0, 1, u32::MAX, 0x8000_0000]);
+    // Default only.
+    let mut t = BinaryTrie::new();
+    t.insert("0.0.0.0/0".parse().unwrap(), fibcomp::trie::NextHop::new(1));
+    check_all_engines(&t, &[0, u32::MAX, 42]);
+    // One host route.
+    let mut t = BinaryTrie::new();
+    t.insert("1.2.3.4/32".parse().unwrap(), fibcomp::trie::NextHop::new(2));
+    check_all_engines(&t, &[0x0102_0304, 0x0102_0305, 0x0102_0303, 0]);
+    // Two maximally separated routes.
+    let mut t = BinaryTrie::new();
+    t.insert("0.0.0.0/1".parse().unwrap(), fibcomp::trie::NextHop::new(1));
+    t.insert("128.0.0.0/1".parse().unwrap(), fibcomp::trie::NextHop::new(2));
+    check_all_engines(&t, &[0, 0x7FFF_FFFF, 0x8000_0000, u32::MAX]);
+}
+
+#[test]
+fn nested_chains_exercise_deep_paths() {
+    // A chain of ever-more-specific routes flipping between two labels:
+    // worst case for leaf-pushing depth and fall-through handling.
+    let mut t = BinaryTrie::new();
+    for len in 0..=32u8 {
+        let nh = fibcomp::trie::NextHop::new(u32::from(len % 2));
+        t.insert(fibcomp::trie::Prefix4::new(0, len), nh);
+    }
+    let keys: Vec<u32> = (0..33).map(|b| if b == 32 { 0 } else { 1u32 << b }).collect();
+    check_all_engines(&t, &keys);
+}
+
+#[test]
+fn ortc_output_recompresses_equivalently() {
+    // ORTC then re-encoding with the compressed engines must preserve the
+    // forwarding function end-to-end.
+    let trie: BinaryTrie<u32> = FibSpec::dfz_like(3_000).generate(&mut rng(7));
+    let aggregated = ortc::compress(&trie);
+    if let Some(rebuilt) = aggregated.to_trie() {
+        let keys = probe_keys(&trie, 8, 2000);
+        let dag = PrefixDag::from_trie(&rebuilt, 11);
+        for key in keys {
+            assert_eq!(dag.lookup(key), trie.lookup(key), "at {key:#x}");
+        }
+    }
+}

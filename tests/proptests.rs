@@ -1,0 +1,127 @@
+//! Workspace-level property tests: arbitrary route sets and update
+//! interleavings, checked against the tabular oracle.
+
+use fibcomp::core::{PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fibcomp::trie::{ortc, BinaryTrie, LcTrie, NextHop, Prefix4, ProperTrie, RouteTable};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix4> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix4::new(addr, len))
+}
+
+fn arb_routes(max: usize) -> impl Strategy<Value = Vec<(Prefix4, NextHop)>> {
+    prop::collection::vec((arb_prefix(), 0u32..6).prop_map(|(p, h)| (p, NextHop::new(h))), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_static_engine_matches_the_oracle(
+        routes in arb_routes(120),
+        keys in prop::collection::vec(any::<u32>(), 40),
+    ) {
+        let table: RouteTable<u32> = routes.iter().copied().collect();
+        let trie: BinaryTrie<u32> = routes.iter().copied().collect();
+        let proper = ProperTrie::from_trie(&trie);
+        proper.assert_invariants();
+        let lc = LcTrie::from_trie(&trie);
+        let xbw = XbwFib::build(&trie, XbwStorage::Entropy);
+        let dag = PrefixDag::from_trie(&trie, 7);
+        dag.assert_invariants();
+        let ser = SerializedDag::from_dag(&dag);
+        let agg = ortc::compress(&trie);
+        prop_assert!(agg.len() <= trie.len() + agg.blackhole_count());
+        // Probe random keys plus every route's base address.
+        for key in keys.into_iter().chain(routes.iter().map(|(p, _)| p.addr())) {
+            let expected = table.lookup(key);
+            prop_assert_eq!(trie.lookup(key), expected);
+            prop_assert_eq!(proper.lookup(key), expected);
+            prop_assert_eq!(lc.lookup(key), expected);
+            prop_assert_eq!(xbw.lookup(key), expected);
+            prop_assert_eq!(dag.lookup(key), expected);
+            prop_assert_eq!(ser.lookup(key), expected);
+            prop_assert_eq!(agg.lookup(key), expected);
+        }
+    }
+
+    #[test]
+    fn dag_tracks_oracle_under_interleaved_updates(
+        initial in arb_routes(60),
+        ops in prop::collection::vec(
+            (arb_prefix(), prop::option::of(0u32..6)), 0..120
+        ),
+        keys in prop::collection::vec(any::<u32>(), 30),
+        lambda in 0u8..=32,
+    ) {
+        let mut table: RouteTable<u32> = initial.iter().copied().collect();
+        let trie: BinaryTrie<u32> = initial.iter().copied().collect();
+        let mut dag = PrefixDag::from_trie(&trie, lambda);
+        for (prefix, op) in ops {
+            match op {
+                Some(h) => {
+                    let nh = NextHop::new(h);
+                    prop_assert_eq!(dag.insert(prefix, nh), table.insert(prefix, nh));
+                }
+                None => {
+                    prop_assert_eq!(dag.remove(prefix), table.remove(prefix));
+                }
+            }
+        }
+        dag.assert_invariants();
+        for key in keys.into_iter().chain(std::iter::once(0)).chain(std::iter::once(u32::MAX)) {
+            prop_assert_eq!(dag.lookup(key), table.lookup(key), "key {:#010x}", key);
+        }
+    }
+
+    #[test]
+    fn leaf_push_is_canonical_and_minimal(routes in arb_routes(80)) {
+        let trie: BinaryTrie<u32> = routes.iter().copied().collect();
+        let proper = ProperTrie::from_trie(&trie);
+        proper.assert_invariants();
+        // Rebuilding from the iterated routes gives the identical form.
+        let rebuilt: BinaryTrie<u32> = trie.iter().collect();
+        let proper2 = ProperTrie::from_trie(&rebuilt);
+        prop_assert_eq!(proper.n_leaves(), proper2.n_leaves());
+        let a: Vec<_> = proper.bfs().collect();
+        let b: Vec<_> = proper2.bfs().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ortc_never_inflates_and_preserves_semantics(routes in arb_routes(80)) {
+        let trie: BinaryTrie<u32> = routes.iter().copied().collect();
+        let agg = ortc::compress(&trie);
+        // ORTC is optimal, so it can never exceed the input size (counting
+        // blackhole entries as entries).
+        prop_assert!(agg.len() <= trie.len().max(1));
+        for (p, _) in trie.iter() {
+            prop_assert_eq!(agg.lookup(p.addr()), trie.lookup(p.addr()));
+        }
+    }
+
+    #[test]
+    fn folded_string_roundtrips_and_updates(
+        log_n in 1u32..=9,
+        seed in any::<u64>(),
+        lambda in 0u8..=9,
+        patches in prop::collection::vec((any::<u16>(), any::<u16>()), 0..12),
+    ) {
+        let n = 1usize << log_n;
+        let mut x = seed | 1;
+        let mut symbols: Vec<u16> = (0..n).map(|_| {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            (x % 5) as u16
+        }).collect();
+        let mut fs = fibcomp::core::FoldedString::new(&symbols, lambda.min(log_n as u8));
+        for (pos, val) in patches {
+            let pos = pos as usize % n;
+            let val = val % 7;
+            fs.set(pos, val);
+            symbols[pos] = val;
+        }
+        for (i, &s) in symbols.iter().enumerate() {
+            prop_assert_eq!(fs.get(i), s, "position {}", i);
+        }
+    }
+}

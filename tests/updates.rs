@@ -1,0 +1,147 @@
+//! Dynamic behaviour: the folded FIB must track its control FIB exactly
+//! under arbitrary update storms, at every barrier setting, with reference
+//! counts staying consistent throughout.
+
+use fibcomp::core::{PrefixDag, SerializedDag};
+use fibcomp::trie::{BinaryTrie, NextHop, Prefix4, RouteTable};
+use fibcomp::workload::updates::{bgp_sequence, random_sequence, UpdateOp};
+use fibcomp::workload::{traces, FibSpec};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn assert_dag_tracks_control(dag: &PrefixDag<u32>, keys: &[u32]) {
+    for &k in keys {
+        assert_eq!(dag.lookup(k), dag.control().lookup(k), "divergence at {k:#010x}");
+    }
+}
+
+#[test]
+fn random_storm_across_barriers() {
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(2_000).generate(&mut rng(1));
+    let seq: Vec<UpdateOp<u32>> = random_sequence(&mut rng(2), 1_500, 5);
+    let keys = traces::uniform::<u32, _>(&mut rng(3), 1500);
+    for lambda in [0u8, 5, 11, 20, 32] {
+        let mut dag = PrefixDag::from_trie(&base, lambda);
+        for (i, op) in seq.iter().enumerate() {
+            match *op {
+                UpdateOp::Announce(p, nh) => {
+                    dag.insert(p, nh);
+                }
+                UpdateOp::Withdraw(p) => {
+                    dag.remove(p);
+                }
+            }
+            if i % 250 == 0 {
+                dag.assert_invariants();
+            }
+        }
+        dag.assert_invariants();
+        assert_dag_tracks_control(&dag, &keys);
+        // Serialization of the post-churn DAG still agrees.
+        if lambda <= 25 {
+            let ser = SerializedDag::from_dag(&dag);
+            for &k in keys.iter().step_by(7) {
+                assert_eq!(ser.lookup(k), dag.lookup(k), "λ={lambda} at {k:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bgp_storm_tracks_control() {
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(10_000).generate(&mut rng(4));
+    let seq = bgp_sequence(&mut rng(5), &base, 5_000);
+    let mut dag = PrefixDag::from_trie(&base, 11);
+    for op in &seq {
+        match *op {
+            UpdateOp::Announce(p, nh) => {
+                dag.insert(p, nh);
+            }
+            UpdateOp::Withdraw(p) => {
+                dag.remove(p);
+            }
+        }
+    }
+    dag.assert_invariants();
+    assert_dag_tracks_control(&dag, &traces::uniform::<u32, _>(&mut rng(6), 3000));
+}
+
+#[test]
+fn dag_insert_remove_returns_match_route_table() {
+    // The DAG's insert/remove return values must behave like a map,
+    // matching RouteTable (the oracle) operation by operation.
+    let mut dag = PrefixDag::from_trie(&BinaryTrie::new(), 8);
+    let mut table: RouteTable<u32> = RouteTable::new();
+    let mut r = rng(7);
+    for _ in 0..2_000 {
+        let p = Prefix4::new(rand::Rng::random(&mut r), rand::Rng::random_range(&mut r, 0..=32));
+        if rand::Rng::random::<f64>(&mut r) < 0.7 {
+            let nh = NextHop::new(rand::Rng::random_range(&mut r, 0..6));
+            assert_eq!(dag.insert(p, nh), table.insert(p, nh), "insert {p}");
+        } else {
+            assert_eq!(dag.remove(p), table.remove(p), "remove {p}");
+        }
+    }
+    assert_eq!(dag.len(), table.len());
+    dag.assert_invariants();
+}
+
+#[test]
+fn rebuild_equals_incremental() {
+    // Folding the final control FIB from scratch must give the same
+    // structure counts as the incrementally maintained DAG (canonicity of
+    // hash-consing).
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(3_000).generate(&mut rng(8));
+    let seq: Vec<UpdateOp<u32>> = random_sequence(&mut rng(9), 2_000, 4);
+    let mut dag = PrefixDag::from_trie(&base, 9);
+    for op in &seq {
+        match *op {
+            UpdateOp::Announce(p, nh) => {
+                dag.insert(p, nh);
+            }
+            UpdateOp::Withdraw(p) => {
+                dag.remove(p);
+            }
+        }
+    }
+    let fresh = PrefixDag::from_trie(dag.control(), 9);
+    assert_eq!(dag.stats(), fresh.stats(), "incremental fold must be canonical");
+    assert_eq!(dag.model_size_bits(), fresh.model_size_bits());
+}
+
+#[test]
+fn idempotent_reannouncement_is_a_noop_structurally() {
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(1_000).generate(&mut rng(10));
+    let mut dag = PrefixDag::from_trie(&base, 8);
+    let before = dag.stats();
+    // Re-announce every route with its existing next-hop.
+    let routes: Vec<_> = base.iter().collect();
+    for (p, nh) in routes {
+        assert_eq!(dag.insert(p, nh), Some(nh));
+    }
+    dag.assert_invariants();
+    assert_eq!(dag.stats(), before, "identical announcements must not change the fold");
+}
+
+#[test]
+fn insert_then_remove_round_trips_to_baseline() {
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(1_000).generate(&mut rng(11));
+    let mut dag = PrefixDag::from_trie(&base, 6);
+    let baseline = dag.stats();
+    let mut r = rng(12);
+    let fresh: Vec<Prefix4> = (0..200)
+        .map(|_| Prefix4::new(rand::Rng::random(&mut r), rand::Rng::random_range(&mut r, 6..=32)))
+        .filter(|p| base.exact_match(*p).is_none())
+        .collect();
+    for &p in &fresh {
+        dag.insert(p, NextHop::new(99));
+    }
+    for &p in &fresh {
+        dag.remove(p);
+    }
+    dag.assert_invariants();
+    assert_eq!(dag.stats(), baseline, "adding and removing must restore the fold");
+}
