@@ -1,23 +1,21 @@
-//! Criterion micro-benchmarks: construction time of every representation
-//! (Lemma 1's O(t) XBW-b build, Lemma 4's O(t) trie-folding, and the
-//! baselines).
+//! Micro-benchmarks: construction time of every representation (Lemma 1's
+//! O(t) XBW-b build, Lemma 4's O(t) trie-folding, and the baselines).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fib_bench::timing::BenchGroup;
 use fib_core::{PrefixDag, SerializedDag, XbwFib, XbwStorage};
 use fib_trie::{BinaryTrie, LcTrie, ProperTrie};
+use fib_workload::rng::Xoshiro256;
 use fib_workload::FibSpec;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 const FIB_SIZE: usize = 50_000;
 
-fn build_benches(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xB01D);
+fn build_benches() {
+    let mut rng = Xoshiro256::seed_from_u64(0xB01D);
     let trie: BinaryTrie<u32> = FibSpec::dfz_like(FIB_SIZE).generate(&mut rng);
     let dag = PrefixDag::from_trie(&trie, 11);
 
-    let mut group = c.benchmark_group("build");
-    group.sample_size(10);
+    let group = BenchGroup::new("build").sample_size(10);
     group.bench_function("leaf-push", |b| {
         b.iter(|| black_box(ProperTrie::from_trie(black_box(&trie))));
     });
@@ -42,8 +40,8 @@ fn build_benches(c: &mut Criterion) {
     group.bench_function("ortc", |b| {
         b.iter(|| black_box(fib_trie::ortc::compress(black_box(&trie))));
     });
-    group.finish();
 }
 
-criterion_group!(benches, build_benches);
-criterion_main!(benches);
+fn main() {
+    build_benches();
+}

@@ -1,20 +1,20 @@
-//! Criterion micro-benchmarks: longest-prefix-match throughput of every
-//! engine over uniform and locality-skewed key streams (the measurement
-//! behind Table 2's Mlookup/s rows).
+//! Micro-benchmarks: longest-prefix-match throughput of every engine over
+//! uniform and locality-skewed key streams (the measurement behind
+//! Table 2's Mlookup/s rows).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fib_bench::timing::BenchGroup;
 use fib_core::{FibEngine, PrefixDag, SerializedDag, XbwFib, XbwStorage};
 use fib_trie::{BinaryTrie, LcTrie};
+use fib_workload::rng::Xoshiro256;
 use fib_workload::traces::{uniform, ZipfTrace};
 use fib_workload::FibSpec;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 const FIB_SIZE: usize = 100_000;
 const BATCH: usize = 1024;
 
-fn engines_and_traces(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBE7C);
+fn engines_and_traces() {
+    let mut rng = Xoshiro256::seed_from_u64(0xBE7C);
     let trie: BinaryTrie<u32> = FibSpec::dfz_like(FIB_SIZE).generate(&mut rng);
 
     let lc = LcTrie::from_trie(&trie);
@@ -37,10 +37,10 @@ fn engines_and_traces(c: &mut Criterion) {
     ];
 
     for (trace_name, keys) in [("rand", &rand_keys), ("trace", &trace_keys)] {
-        let mut group = c.benchmark_group(format!("lookup/{trace_name}"));
-        group.throughput(Throughput::Elements(BATCH as u64));
+        let group =
+            BenchGroup::new(&format!("lookup/{trace_name}")).throughput_elements(BATCH as u64);
         for (name, engine) in &engines {
-            group.bench_with_input(BenchmarkId::from_parameter(name), keys, |b, keys| {
+            group.bench_function(name, |b| {
                 b.iter(|| {
                     let mut acc = 0u64;
                     for &k in keys.iter() {
@@ -52,9 +52,9 @@ fn engines_and_traces(c: &mut Criterion) {
                 });
             });
         }
-        group.finish();
     }
 }
 
-criterion_group!(benches, engines_and_traces);
-criterion_main!(benches);
+fn main() {
+    engines_and_traces();
+}

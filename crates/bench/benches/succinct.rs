@@ -1,25 +1,26 @@
-//! Criterion micro-benchmarks: the succinct primitives behind XBW-b
+//! Micro-benchmarks: the succinct primitives behind XBW-b
 //! (`access`/`rank`/`select` on plain, RRR, and wavelet-tree storage) —
 //! these constants are exactly why the paper concludes that XBW-b, though
 //! asymptotically optimal, loses to the pointer-based prefix DAG.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fib_bench::timing::BenchGroup;
 use fib_succinct::{BitVec, RrrVec, RsBitVec, WaveletBacking, WaveletShape, WaveletTree};
 use std::hint::black_box;
 
 const N: usize = 1 << 20;
 const OPS: usize = 1024;
 
-fn bit_primitives(c: &mut Criterion) {
-    let bits: BitVec = (0..N).map(|i| (i.wrapping_mul(2_654_435_761)) % 3 == 0).collect();
+fn bit_primitives() {
+    let bits: BitVec = (0..N)
+        .map(|i| (i.wrapping_mul(2_654_435_761)) % 3 == 0)
+        .collect();
     let rs = RsBitVec::new(bits.clone());
     let rrr = RrrVec::new(&bits);
     let positions: Vec<usize> = (0..OPS).map(|i| (i * 7919) % N).collect();
     let ones = rs.count_ones();
     let ranks: Vec<usize> = (0..OPS).map(|i| 1 + (i * 104_729) % ones).collect();
 
-    let mut group = c.benchmark_group("bitvec");
-    group.throughput(Throughput::Elements(OPS as u64));
+    let group = BenchGroup::new("bitvec").throughput_elements(OPS as u64);
     group.bench_function("plain/rank1", |b| {
         b.iter(|| {
             let mut acc = 0usize;
@@ -65,10 +66,9 @@ fn bit_primitives(c: &mut Criterion) {
             black_box(acc)
         });
     });
-    group.finish();
 }
 
-fn wavelet_primitives(c: &mut Criterion) {
+fn wavelet_primitives() {
     // Skewed 16-symbol sequence, like a FIB label string.
     let seq: Vec<u64> = (0..N as u64)
         .map(|i| if i % 16 == 0 { 1 + (i / 16) % 15 } else { 0 })
@@ -89,10 +89,9 @@ fn wavelet_primitives(c: &mut Criterion) {
     ];
     let positions: Vec<usize> = (0..OPS).map(|i| (i * 7919) % N).collect();
 
-    let mut group = c.benchmark_group("wavelet/access");
-    group.throughput(Throughput::Elements(OPS as u64));
+    let group = BenchGroup::new("wavelet/access").throughput_elements(OPS as u64);
     for (name, wt) in &variants {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let mut acc = 0u64;
                 for &p in &positions {
@@ -102,12 +101,10 @@ fn wavelet_primitives(c: &mut Criterion) {
             });
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("wavelet/rank");
-    group.throughput(Throughput::Elements(OPS as u64));
+    let group = BenchGroup::new("wavelet/rank").throughput_elements(OPS as u64);
     for (name, wt) in &variants {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let mut acc = 0usize;
                 for &p in &positions {
@@ -117,8 +114,9 @@ fn wavelet_primitives(c: &mut Criterion) {
             });
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bit_primitives, wavelet_primitives);
-criterion_main!(benches);
+fn main() {
+    bit_primitives();
+    wavelet_primitives();
+}

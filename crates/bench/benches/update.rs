@@ -1,12 +1,12 @@
-//! Criterion micro-benchmarks: FIB update cost — the prefix DAG across
-//! barrier settings (Fig. 5's y-axis) against the plain binary trie.
+//! Micro-benchmarks: FIB update cost — the prefix DAG across barrier
+//! settings (Fig. 5's y-axis) against the plain binary trie.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use fib_bench::timing::BenchGroup;
 use fib_core::PrefixDag;
 use fib_trie::BinaryTrie;
+use fib_workload::rng::Xoshiro256;
 use fib_workload::updates::{bgp_sequence, random_sequence, UpdateOp};
 use fib_workload::FibSpec;
-use rand::SeedableRng;
 
 const FIB_SIZE: usize = 100_000;
 const SEQ: usize = 256;
@@ -24,26 +24,21 @@ fn apply_dag(dag: &mut PrefixDag<u32>, seq: &[UpdateOp<u32>]) {
     }
 }
 
-fn update_benches(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0BDA);
+fn update_benches() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0BDA);
     let trie: BinaryTrie<u32> = FibSpec::dfz_like(FIB_SIZE).generate(&mut rng);
     let rand_seq: Vec<UpdateOp<u32>> = random_sequence(&mut rng, SEQ, 4);
     let bgp_seq: Vec<UpdateOp<u32>> = bgp_sequence(&mut rng, &trie, SEQ);
 
     for (seq_name, seq) in [("random", &rand_seq), ("bgp", &bgp_seq)] {
-        let mut group = c.benchmark_group(format!("update/{seq_name}"));
-        group.sample_size(10);
+        let group = BenchGroup::new(&format!("update/{seq_name}")).sample_size(10);
         for lambda in [0u8, 8, 11, 16, 32] {
             let dag = PrefixDag::from_trie(&trie, lambda);
-            group.bench_with_input(BenchmarkId::new("pdag-lambda", lambda), seq, |b, seq| {
-                b.iter_batched(
-                    || dag.clone(),
-                    |mut dag| apply_dag(&mut dag, seq),
-                    BatchSize::LargeInput,
-                );
+            group.bench_function(&format!("pdag-lambda/{lambda}"), |b| {
+                b.iter_batched(|| dag.clone(), |mut dag| apply_dag(&mut dag, seq));
             });
         }
-        group.bench_with_input(BenchmarkId::from_parameter("binary-trie"), seq, |b, seq| {
+        group.bench_function("binary-trie", |b| {
             b.iter_batched(
                 || trie.clone(),
                 |mut t| {
@@ -51,12 +46,11 @@ fn update_benches(c: &mut Criterion) {
                         op.apply(&mut t);
                     }
                 },
-                BatchSize::LargeInput,
             );
         });
-        group.finish();
     }
 }
 
-criterion_group!(benches, update_benches);
-criterion_main!(benches);
+fn main() {
+    update_benches();
+}

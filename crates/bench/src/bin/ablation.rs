@@ -8,16 +8,18 @@
 //!   tree buy.
 
 use fib_bench::{f, instance_fib, kb, ns_per_call, print_table, scale_arg, write_tsv};
-use fib_core::{lambda, FibEntropy, PrefixDag, SaStorage, SerializedDag, SiStorage, XbwFib, XbwStorage};
+use fib_core::{
+    lambda, FibEntropy, PrefixDag, SaStorage, SerializedDag, SiStorage, XbwFib, XbwStorage,
+};
+use fib_workload::rng::Xoshiro256;
 use fib_workload::{FibSpec, LabelModel};
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn a1_barrier_choice() {
     println!("\nA1: Eq.(2)/(3) barrier vs exhaustive sweep");
     let mut rows = Vec::new();
     for &(name, h0_target) in &[("low-H0", 0.3), ("mid-H0", 1.5), ("high-H0", 3.5)] {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xAB1);
+        let mut rng = Xoshiro256::seed_from_u64(0xAB1);
         let trie = FibSpec {
             n_prefixes: 100_000,
             max_len: 25,
@@ -52,10 +54,20 @@ fn a1_barrier_choice() {
         ]);
     }
     let header = [
-        "FIB", "leaf H0", "λ Eq.(2)", "λ Eq.(3)", "λ best", "size@Eq3", "size@best",
+        "FIB",
+        "leaf H0",
+        "λ Eq.(2)",
+        "λ Eq.(3)",
+        "λ best",
+        "size@Eq3",
+        "size@best",
         "ratio",
     ];
-    print_table("A1: barrier formula vs sweep (100K-prefix FIBs)", &header, &rows);
+    print_table(
+        "A1: barrier formula vs sweep (100K-prefix FIBs)",
+        &header,
+        &rows,
+    );
     write_tsv("ablation_a1", &header, &rows);
     println!("Expectation: Eq.(3) lands within ~2 of the sweep optimum and");
     println!("costs only a few percent extra space.");
@@ -76,7 +88,9 @@ fn a2_xbw_backends(scale: f64) {
     );
     println!("(E vs depth-conditioned E answers §3.2's contextual-dependency question)");
 
-    let addrs: Vec<u32> = (0..20_000u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let addrs: Vec<u32> = (0..20_000u32)
+        .map(|i| i.wrapping_mul(0x9E37_79B9))
+        .collect();
     let mut rows = Vec::new();
     for (si_name, si) in [("plain", SiStorage::Plain), ("RRR", SiStorage::Rrr)] {
         for (sa_name, sa) in [
@@ -104,7 +118,15 @@ fn a2_xbw_backends(scale: f64) {
             ]);
         }
     }
-    let header = ["S_I", "S_α", "S_I KB", "S_α KB", "total KB", "vs E", "ns/lookup"];
+    let header = [
+        "S_I",
+        "S_α",
+        "S_I KB",
+        "S_α KB",
+        "total KB",
+        "vs E",
+        "ns/lookup",
+    ];
     print_table("A2: XBW-b backend ablation", &header, &rows);
     write_tsv("ablation_a2", &header, &rows);
     println!("Expectation: RRR halves S_I; the Huffman+RRR tree takes S_α to ≈ nH0;");
@@ -115,7 +137,9 @@ fn a2_xbw_backends(scale: f64) {
 fn a3_multibit_strides(scale: f64) {
     println!("\nA3: multibit prefix DAGs (§7 future work) — stride sweep");
     let trie = instance_fib("taz", scale, 0xF1B);
-    let addrs: Vec<u32> = (0..20_000u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let addrs: Vec<u32> = (0..20_000u32)
+        .map(|i| i.wrapping_mul(0x9E37_79B9))
+        .collect();
     let mut rows = Vec::new();
     // The binary pDAG (λ=11 serialized) as the reference row.
     let ser = SerializedDag::from_dag(&PrefixDag::from_trie(&trie, 11));
@@ -137,7 +161,11 @@ fn a3_multibit_strides(scale: f64) {
         ]);
     }
     let header = ["structure", "size KB", "avg reads", "max reads"];
-    print_table("A3: stride vs size and lookup depth (taz stand-in)", &header, &rows);
+    print_table(
+        "A3: stride vs size and lookup depth (taz stand-in)",
+        &header,
+        &rows,
+    );
     write_tsv("ablation_a3", &header, &rows);
     println!("Expectation: depth falls ~s×; size is U-shaped — moderate strides");
     println!("(2-4) keep sharing, wide ones duplicate slots faster than they save hops.");

@@ -63,7 +63,10 @@ fn main() {
     println!("\n-- normal form (Section 2) --");
     println!("leaves n:          {}", metrics.n_leaves);
     println!("leaf H0:           {:.3} bits", metrics.h0);
-    println!("info bound I:      {} KB", f(metrics.info_bound_kbytes(), 1));
+    println!(
+        "info bound I:      {} KB",
+        f(metrics.info_bound_kbytes(), 1)
+    );
     println!("entropy E:         {} KB", f(metrics.entropy_kbytes(), 1));
 
     let l2 = lambda::barrier_info(metrics.n_leaves, metrics.delta, 32);
@@ -95,7 +98,10 @@ fn main() {
     row("fib_trie (kernel model)", lc.kernel_model_bytes());
     row("XBW-b succinct", FibEngine::<u32>::size_bytes(&xbw_s));
     row("XBW-b entropy", FibEngine::<u32>::size_bytes(&xbw));
-    row(&format!("prefix DAG (λ={lam}, model)"), dag.model_size_bits() / 8);
+    row(
+        &format!("prefix DAG (λ={lam}, model)"),
+        dag.model_size_bits() / 8,
+    );
     row(&format!("pDAG serialized (λ={lam})"), ser.size_bytes());
     row("multibit DAG (stride 4)", mb4.size_bytes());
     println!("\nfold: {:?}", dag.stats());

@@ -12,8 +12,8 @@
 
 use fib_bench::{f, instance_fib, print_table, scale_arg, write_tsv};
 use fib_core::PrefixDag;
+use fib_workload::rng::Xoshiro256;
 use fib_workload::updates::{bgp_sequence, random_sequence, UpdateOp};
-use rand::SeedableRng;
 use std::time::Instant;
 
 /// Applies a sequence to a fresh DAG, returning mean µs/update.
@@ -42,7 +42,7 @@ fn main() {
     println!("Fig. 5 reproduction: update cost vs memory on taz (scale = {scale})");
     let trie = instance_fib("taz", scale, 0xF1B);
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x516);
+    let mut rng = Xoshiro256::seed_from_u64(0x516);
     let random_seqs: Vec<Vec<UpdateOp<u32>>> = (0..runs)
         .map(|_| random_sequence(&mut rng, updates_per_run, 4))
         .collect();
@@ -54,8 +54,7 @@ fn main() {
     for lambda in (0..=32u8).step_by(2) {
         let dag = PrefixDag::from_trie(&trie, lambda);
         let mem = dag.model_size_bits() / 8;
-        let rand_us: f64 =
-            random_seqs.iter().map(|s| measure(&dag, s)).sum::<f64>() / runs as f64;
+        let rand_us: f64 = random_seqs.iter().map(|s| measure(&dag, s)).sum::<f64>() / runs as f64;
         let bgp_us: f64 = bgp_seqs.iter().map(|s| measure(&dag, s)).sum::<f64>() / runs as f64;
         eprintln!("λ={lambda:>2}: mem={mem}B rand={rand_us:.2}µs bgp={bgp_us:.2}µs");
         rows.push(vec![
@@ -69,10 +68,18 @@ fn main() {
     }
 
     let header = [
-        "λ", "memory [bytes]", "random [µs/upd]", "BGP [µs/upd]", "random [Mupd/s]",
+        "λ",
+        "memory [bytes]",
+        "random [µs/upd]",
+        "BGP [µs/upd]",
+        "random [Mupd/s]",
         "BGP [Mupd/s]",
     ];
-    print_table("Fig. 5: update time vs memory footprint (taz stand-in)", &header, &rows);
+    print_table(
+        "Fig. 5: update time vs memory footprint (taz stand-in)",
+        &header,
+        &rows,
+    );
     write_tsv("fig5", &header, &rows);
 
     println!("\nShape checks vs the paper:");

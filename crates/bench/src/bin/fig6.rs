@@ -12,8 +12,8 @@
 use fib_bench::{f, kb, print_table, scale_arg, write_tsv};
 use fib_core::{FibEntropy, PrefixDag, SerializedDag, XbwFib, XbwStorage};
 use fib_trie::BinaryTrie;
+use fib_workload::rng::Xoshiro256;
 use fib_workload::{FibSpec, LabelModel};
-use rand::SeedableRng;
 
 fn main() {
     let scale = scale_arg();
@@ -23,7 +23,7 @@ fn main() {
 
     // One fixed prefix structure; only the labels change per data point —
     // exactly the paper's setup ("we regenerated the next-hops").
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16);
+    let mut rng = Xoshiro256::seed_from_u64(0xF16);
     let skeleton: BinaryTrie<u32> = FibSpec {
         n_prefixes,
         max_len: 25,
@@ -31,7 +31,7 @@ fn main() {
         labels: LabelModel::Uniform { delta: 2 },
         spatial_correlation: 0.0,
         default_route: true,
-        }
+    }
     .generate(&mut rng);
     let prefixes: Vec<_> = skeleton.iter().map(|(p, _)| p).collect();
 
@@ -39,7 +39,7 @@ fn main() {
     for &p in &[0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5] {
         let model = LabelModel::Bernoulli { p };
         let sampler = model.sampler();
-        let mut rng = rand::rngs::StdRng::seed_from_u64((p * 1e6) as u64);
+        let mut rng = Xoshiro256::seed_from_u64((p * 1e6) as u64);
         let trie: BinaryTrie<u32> = prefixes
             .iter()
             .map(|&pre| (pre, sampler.sample(&mut rng)))
@@ -69,9 +69,20 @@ fn main() {
     }
 
     let header = [
-        "p", "H0 model", "H0 leaves", "E [KB]", "pDAG [KB]", "serial [KB]", "XBW-b [KB]", "ν",
+        "p",
+        "H0 model",
+        "H0 leaves",
+        "E [KB]",
+        "pDAG [KB]",
+        "serial [KB]",
+        "XBW-b [KB]",
+        "ν",
     ];
-    print_table("Fig. 6: size and efficiency vs Bernoulli parameter", &header, &rows);
+    print_table(
+        "Fig. 6: size and efficiency vs Bernoulli parameter",
+        &header,
+        &rows,
+    );
     write_tsv("fig6", &header, &rows);
 
     println!("\nShape checks vs the paper:");

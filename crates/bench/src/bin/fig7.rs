@@ -8,8 +8,8 @@
 
 use fib_bench::{f, kb, print_table, write_tsv};
 use fib_core::FoldedString;
+use fib_workload::rng::Xoshiro256;
 use fib_workload::LabelModel;
-use rand::SeedableRng;
 
 const LEN_LOG2: u32 = 17;
 
@@ -21,7 +21,7 @@ fn main() {
     for &p in &[0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5] {
         let model = LabelModel::Bernoulli { p };
         let sampler = model.sampler();
-        let mut rng = rand::rngs::StdRng::seed_from_u64((p * 1e6) as u64 ^ 0xF17);
+        let mut rng = Xoshiro256::seed_from_u64((p * 1e6) as u64 ^ 0xF17);
         let symbols: Vec<u16> = (0..n)
             .map(|_| sampler.sample(&mut rng).index() as u16)
             .collect();
@@ -33,7 +33,11 @@ fn main() {
         let fs = FoldedString::with_entropy_barrier(&symbols);
         let size_bits = fs.model_size_bits() as f64;
         let entropy_bits = h0 * n as f64;
-        let nu = if entropy_bits > 0.0 { size_bits / entropy_bits } else { f64::NAN };
+        let nu = if entropy_bits > 0.0 {
+            size_bits / entropy_bits
+        } else {
+            f64::NAN
+        };
 
         // Spot-verify random access on the folded form.
         for i in [0usize, n / 3, n - 1] {
@@ -52,7 +56,11 @@ fn main() {
     }
 
     let header = ["p", "H0", "λ (Eq.3)", "size [KB]", "nH0 [KB]", "ν"];
-    print_table("Fig. 7: string-model size and efficiency vs p", &header, &rows);
+    print_table(
+        "Fig. 7: string-model size and efficiency vs p",
+        &header,
+        &rows,
+    );
     write_tsv("fig7", &header, &rows);
 
     println!("\nShape checks vs the paper:");

@@ -9,8 +9,8 @@
 
 use fib_bench::{f, instance_fib, print_table, scale_arg, write_tsv};
 use fib_core::{PrefixDag, SerializedDag};
+use fib_workload::rng::Xoshiro256;
 use fib_workload::traces::uniform;
-use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -49,7 +49,7 @@ fn main() {
         image.size_bytes() / 1024,
         image.interior_count()
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5CA1);
+    let mut rng = Xoshiro256::seed_from_u64(0x5CA1);
     let keys: Vec<u32> = uniform(&mut rng, 1 << 20);
 
     let available = std::thread::available_parallelism().map_or(4, |n| n.get());
@@ -63,11 +63,7 @@ fn main() {
         if threads == 1 {
             single = mlps;
         }
-        rows.push(vec![
-            threads.to_string(),
-            f(mlps, 2),
-            f(mlps / single, 2),
-        ]);
+        rows.push(vec![threads.to_string(), f(mlps, 2), f(mlps / single, 2)]);
         eprintln!("{threads} threads: {mlps:.2} Mlps");
     }
     let header = ["threads", "Mlookup/s", "speedup"];

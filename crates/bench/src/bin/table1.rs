@@ -49,8 +49,16 @@ fn main() {
             format!("{:.2}/{:.2}", h0_routes, inst.h0),
             format!("{}/{}", kb((i_bits / 8.0) as usize), f(inst.paper.i_kb, 0)),
             format!("{}/{}", kb((e_bits / 8.0) as usize), f(inst.paper.e_kb, 0)),
-            format!("{}/{}", kb((xbw_bits / 8.0) as usize), f(inst.paper.xbw_kb, 0)),
-            format!("{}/{}", kb((pdag_bits / 8.0) as usize), f(inst.paper.pdag_kb, 0)),
+            format!(
+                "{}/{}",
+                kb((xbw_bits / 8.0) as usize),
+                f(inst.paper.xbw_kb, 0)
+            ),
+            format!(
+                "{}/{}",
+                kb((pdag_bits / 8.0) as usize),
+                f(inst.paper.pdag_kb, 0)
+            ),
             format!("{}/{}", f(nu, 2), f(inst.paper.nu, 2)),
             format!("{}/{}", f(eta_xbw, 2), f(inst.paper.eta_xbw, 2)),
             format!("{}/{}", f(eta_pdag, 2), f(inst.paper.eta_pdag, 2)),
@@ -58,10 +66,23 @@ fn main() {
     }
 
     let header = [
-        "FIB", "N", "δ m/p", "H0 m/p", "I[KB] m/p", "E[KB] m/p", "XBW-b m/p", "pDAG m/p",
-        "ν m/p", "ηXBW m/p", "ηpDAG m/p",
+        "FIB",
+        "N",
+        "δ m/p",
+        "H0 m/p",
+        "I[KB] m/p",
+        "E[KB] m/p",
+        "XBW-b m/p",
+        "pDAG m/p",
+        "ν m/p",
+        "ηXBW m/p",
+        "ηpDAG m/p",
     ];
-    print_table("Table 1: storage size results (measured/paper)", &header, &rows);
+    print_table(
+        "Table 1: storage size results (measured/paper)",
+        &header,
+        &rows,
+    );
     write_tsv("table1", &header, &rows);
 
     println!("\nNotes:");

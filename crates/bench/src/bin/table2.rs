@@ -10,8 +10,8 @@ use fib_bench::{f, instance_fib, kb, ns_per_call, print_table, scale_arg, write_
 use fib_core::{FibEngine, PrefixDag, SerializedDag, XbwFib, XbwStorage};
 use fib_hwsim::{CacheSim, SramModel};
 use fib_trie::LcTrie;
+use fib_workload::rng::Xoshiro256;
 use fib_workload::traces::{uniform, ZipfTrace};
-use rand::SeedableRng;
 use std::hint::black_box;
 
 /// The paper's CPU clock, used to convert ns/lookup into cycles/lookup for
@@ -71,7 +71,7 @@ fn main() {
     let ser = SerializedDag::from_dag(&dag);
     let lc = LcTrie::from_trie(&trie);
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7AB2);
+    let mut rng = Xoshiro256::seed_from_u64(0x7AB2);
     let rand_addrs: Vec<u32> = uniform(&mut rng, 200_000);
     let zipf = ZipfTrace::new(&trie, 1.1);
     let trace_addrs: Vec<u32> = zipf.generate(&mut rng, 200_000);
@@ -144,8 +144,12 @@ fn main() {
 
     println!("\nPaper reference (410K-prefix taz, 2.5 GHz i5 / Virtex-II Pro):");
     println!("  size:   XBW-b 106 KB | pDAG 178 KB | fib_trie 26,698 KB | FPGA 178 KB");
-    println!("  rand:   0.033 / 12.8 / 3.23 Mlps;  cycles 73940 / 194 / 771;  miss 0.016 / 0.003 / 3.17");
-    println!("  trace:  0.037 / 13.8 / 5.68 Mlps;  cycles 67200 / 180 / 438;  miss 0.016 / 0.003 / 0.29");
+    println!(
+        "  rand:   0.033 / 12.8 / 3.23 Mlps;  cycles 73940 / 194 / 771;  miss 0.016 / 0.003 / 3.17"
+    );
+    println!(
+        "  trace:  0.037 / 13.8 / 5.68 Mlps;  cycles 67200 / 180 / 438;  miss 0.016 / 0.003 / 0.29"
+    );
     println!("  FPGA:   6.9 Mlps at 7.1 cycles/lookup (100 MHz clock)");
     println!("\nShape checks: pDAG ≫ XBW-b in speed, pDAG ≥ 2-3× fib_trie on rand keys,");
     println!("fib_trie narrows the gap on the locality trace, pDAG misses ≈ 0.");

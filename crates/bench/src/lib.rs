@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use std::time::Instant;
 
 /// Formats and prints an aligned table: a header row then data rows.

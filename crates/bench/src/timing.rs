@@ -1,0 +1,217 @@
+//! A minimal, registry-free timing harness.
+//!
+//! The micro-benchmarks under `benches/` used to be criterion targets;
+//! criterion cannot be fetched in the offline build environment, so this
+//! module provides the small subset the workspace needs: named benchmark
+//! groups, per-element throughput, plain and batched (setup excluded from
+//! timing) measurement loops, and a warmup + median-of-N estimator that is
+//! robust to scheduler noise.
+//!
+//! Tuning knobs (environment variables):
+//!
+//! * `FIB_BENCH_SAMPLES` — samples per benchmark (default 11; the median
+//!   of an odd count is an order statistic, not an average),
+//! * `FIB_BENCH_SAMPLE_MS` — target wall-clock milliseconds per sample
+//!   (default 10; each sample runs as many iterations as fit).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default number of samples per benchmark (odd, so the median is exact).
+const DEFAULT_SAMPLES: usize = 11;
+/// Default target duration of one sample.
+const DEFAULT_SAMPLE_MS: u64 = 10;
+/// Hard cap on iterations per sample, so ultra-cheap closures don't spin
+/// for millions of iterations during calibration.
+const MAX_ITERS_PER_SAMPLE: u64 = 1 << 22;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// The measurement state handed to a benchmark closure.
+///
+/// A closure must call exactly one of [`Bencher::iter`] or
+/// [`Bencher::iter_batched`]; the harness reads the recorded elapsed time
+/// afterwards.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the sample's iteration budget.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` before every iteration
+    /// outside the timed region (criterion's `iter_batched`).
+    pub fn iter_batched<S, T>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Median of a sample set; the harness's central estimator.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        f64::midpoint(sorted[mid - 1], sorted[mid])
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput setting.
+pub struct BenchGroup {
+    name: String,
+    elements: Option<u64>,
+    samples: usize,
+    sample_target: Duration,
+}
+
+impl BenchGroup {
+    /// Starts a group and prints its banner.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        println!("\n== bench group: {name} ==");
+        Self {
+            name: name.to_string(),
+            elements: None,
+            samples: env_usize("FIB_BENCH_SAMPLES", DEFAULT_SAMPLES),
+            sample_target: Duration::from_millis(env_usize(
+                "FIB_BENCH_SAMPLE_MS",
+                DEFAULT_SAMPLE_MS as usize,
+            ) as u64),
+        }
+    }
+
+    /// Declares that one iteration processes `n` elements, enabling the
+    /// elements/second column.
+    #[must_use]
+    pub fn throughput_elements(mut self, n: u64) -> Self {
+        self.elements = Some(n);
+        self
+    }
+
+    /// Overrides the sample count for expensive benchmarks.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark: calibrate, warm up, then report the median
+    /// nanoseconds per iteration over the configured samples.
+    pub fn bench_function(&self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        // Calibration run: one iteration, also serving as first warmup.
+        // Iterations per sample are sized from *wall* time — which for
+        // `iter_batched` includes the untimed setup — so a sample stays
+        // near the time target even when setup dominates the routine.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let wall = Instant::now();
+        f(&mut b);
+        let once = wall.elapsed().max(Duration::from_nanos(1));
+        let iters = u128::min(
+            u128::from(MAX_ITERS_PER_SAMPLE),
+            (self.sample_target.as_nanos() / once.as_nanos()).max(1),
+        ) as u64;
+
+        // Warmup with the real iteration count, then measure.
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / b.iters as f64
+            })
+            .collect();
+        let med = median(&per_iter_ns);
+
+        let throughput = self.elements.map_or(String::new(), |n| {
+            format!("  ({:.1} Melem/s)", n as f64 * 1e3 / med)
+        });
+        println!(
+            "{}/{name:<24} {:>12.1} ns/iter  [{} samples x {iters} iters]{throughput}",
+            self.name, med, self.samples,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_and_unsorted() {
+        assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((median(&[4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-12);
+        assert!((median(&[7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bencher_runs_the_requested_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 25,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 25);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_reruns_setup_each_iteration() {
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| {
+                runs += 1;
+                v.len()
+            },
+        );
+        assert_eq!(setups, 10);
+        assert_eq!(runs, 10);
+    }
+}

@@ -215,7 +215,12 @@ mod tests {
             let addr = i.wrapping_mul(0x9E37_79B9);
             let expected = table.lookup(addr);
             for engine in &engines {
-                assert_eq!(engine.lookup(addr), expected, "{} at {addr:#x}", engine.name());
+                assert_eq!(
+                    engine.lookup(addr),
+                    expected,
+                    "{} at {addr:#x}",
+                    engine.name()
+                );
             }
         }
     }

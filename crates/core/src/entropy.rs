@@ -65,7 +65,11 @@ impl FibEntropy {
         let mut per_level: BTreeMap<u8, BTreeMap<Option<fib_trie::NextHop>, u64>> = BTreeMap::new();
         for (depth, node) in proper.bfs_with_depth() {
             if let fib_trie::ProperNode::Leaf(label) = node {
-                *per_level.entry(depth).or_default().entry(*label).or_insert(0) += 1;
+                *per_level
+                    .entry(depth)
+                    .or_default()
+                    .entry(*label)
+                    .or_insert(0) += 1;
             }
         }
         let n = proper.n_leaves() as f64;
@@ -201,7 +205,11 @@ mod tests {
         let proper = fib_trie::ProperTrie::from_trie(&trie);
         let e = FibEntropy::of_proper(&proper);
         let ctx = FibEntropy::contextual_entropy_bits(&proper);
-        assert!(ctx <= e.entropy_bits() + 1e-9, "{ctx} > {}", e.entropy_bits());
+        assert!(
+            ctx <= e.entropy_bits() + 1e-9,
+            "{ctx} > {}",
+            e.entropy_bits()
+        );
     }
 
     #[test]

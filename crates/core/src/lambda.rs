@@ -24,7 +24,10 @@ pub const DEFAULT_LAMBDA: u8 = 11;
 /// Panics if `z` is negative or not finite.
 #[must_use]
 pub fn lambert_w(z: f64) -> f64 {
-    assert!(z.is_finite() && z >= 0.0, "lambert_w domain: z ≥ 0, got {z}");
+    assert!(
+        z.is_finite() && z >= 0.0,
+        "lambert_w domain: z ≥ 0, got {z}"
+    );
     if z == 0.0 {
         return 0.0;
     }

@@ -243,7 +243,11 @@ mod tests {
             let mb = MultibitDag::from_trie(&trie, stride);
             for i in 0..3000u32 {
                 let addr = i.wrapping_mul(0x9E37_79B9);
-                assert_eq!(mb.lookup(addr), trie.lookup(addr), "s={stride} addr {addr:#x}");
+                assert_eq!(
+                    mb.lookup(addr),
+                    trie.lookup(addr),
+                    "s={stride} addr {addr:#x}"
+                );
             }
         }
     }

@@ -277,7 +277,11 @@ impl<A: Address> PrefixDag<A> {
             if depth >= A::WIDTH {
                 break;
             }
-            let child = if addr.bit(depth) { node.right } else { node.left };
+            let child = if addr.bit(depth) {
+                node.right
+            } else {
+                node.left
+            };
             if child == NONE {
                 break;
             }
@@ -348,7 +352,13 @@ impl<A: Address> PrefixDag<A> {
         // Locate the control node at depth λ (post-update).
         let mut ctrl = Some(control.root());
         for depth in 0..self.lambda {
-            ctrl = ctrl.and_then(|c| if prefix.bit(depth) { c.right() } else { c.left() });
+            ctrl = ctrl.and_then(|c| {
+                if prefix.bit(depth) {
+                    c.right()
+                } else {
+                    c.left()
+                }
+            });
         }
         if self.lambda == 0 {
             let old = self.root;
@@ -560,9 +570,7 @@ impl<A: Address> PrefixDag<A> {
         let delta = self.distinct_labels().max(1) as u64;
         let ptr = ceil_log2(s.live_nodes as u64).max(1) as usize;
         let lg_delta = ceil_log2(delta) as usize;
-        s.top_nodes * (ptr + lg_delta)
-            + s.folded_interior * 2 * ptr
-            + delta as usize * lg_delta
+        s.top_nodes * (ptr + lg_delta) + s.folded_interior * 2 * ptr + delta as usize * lg_delta
     }
 
     /// Actual arena footprint in bytes (live slots only; 16 bytes each).
@@ -582,7 +590,10 @@ impl<A: Address> PrefixDag<A> {
         let mut indegree: HashMap<u32, u32> = HashMap::new();
         let mut stack = vec![(self.root, 0u8)];
         if self.root == NONE {
-            assert!(self.lambda == 0, "only λ=0 may have a NONE root transiently");
+            assert!(
+                self.lambda == 0,
+                "only λ=0 may have a NONE root transiently"
+            );
             return;
         }
         let mut visited_top = 0usize;
@@ -608,7 +619,10 @@ impl<A: Address> PrefixDag<A> {
                 }
             }
             if folded && !node.is_leaf() {
-                assert!(node.left != NONE && node.right != NONE, "folded interior missing child");
+                assert!(
+                    node.left != NONE && node.right != NONE,
+                    "folded interior missing child"
+                );
             }
         }
         assert_eq!(visited_top, self.top_count, "top node count out of sync");
@@ -878,11 +892,17 @@ mod tests {
         trie.insert(p2, nh(2));
         let mut dag = PrefixDag::from_trie(&trie, 16);
         dag.assert_invariants();
-        let a: u128 = "2001:db8:8000::1".parse::<std::net::Ipv6Addr>().unwrap().into();
+        let a: u128 = "2001:db8:8000::1"
+            .parse::<std::net::Ipv6Addr>()
+            .unwrap()
+            .into();
         assert_eq!(dag.lookup(a), Some(nh(2)));
         let p3: fib_trie::Prefix6 = "2001:db8:8000::/48".parse().unwrap();
         dag.insert(p3, nh(3));
-        let b: u128 = "2001:db8:8000::2".parse::<std::net::Ipv6Addr>().unwrap().into();
+        let b: u128 = "2001:db8:8000::2"
+            .parse::<std::net::Ipv6Addr>()
+            .unwrap()
+            .into();
         assert_eq!(dag.lookup(b), Some(nh(3)));
     }
 }

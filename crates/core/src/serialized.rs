@@ -22,6 +22,7 @@
 
 use std::marker::PhantomData;
 
+use fib_succinct::fnv1a;
 use fib_trie::{Address, NextHop};
 
 use crate::pdag::{PrefixDag, NONE};
@@ -55,7 +56,10 @@ impl<A: Address> SerializedDag<A> {
     #[must_use]
     pub fn from_dag(dag: &PrefixDag<A>) -> Self {
         let lambda = dag.lambda();
-        assert!(lambda <= 25, "root array for λ = {lambda} would be enormous");
+        assert!(
+            lambda <= 25,
+            "root array for λ = {lambda} would be enormous"
+        );
         // Compact interior numbering, assigned on first visit.
         let mut ser_idx: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
         let mut nodes: Vec<[u32; 2]> = Vec::new();
@@ -168,11 +172,7 @@ impl<A: Address> SerializedDag<A> {
     /// Lookup reporting every memory touch as `(byte offset, byte size)`
     /// within the blob — the access stream consumed by the cache and SRAM
     /// models of `fib-hwsim`.
-    pub fn lookup_traced(
-        &self,
-        addr: A,
-        sink: &mut dyn FnMut(u64, u32),
-    ) -> Option<NextHop> {
+    pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
         let v = addr.bits(0, self.lambda) as usize;
         sink(v as u64 * 8, 8);
         let entry = self.entries[v];
@@ -257,7 +257,10 @@ impl<A: Address> SerializedDag<A> {
         let lambda = bytes[6];
         let width = bytes[7];
         if width != A::WIDTH {
-            return Err(BlobError::WidthMismatch { blob: width, expected: A::WIDTH });
+            return Err(BlobError::WidthMismatch {
+                blob: width,
+                expected: A::WIDTH,
+            });
         }
         let entry_count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
         let node_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
@@ -270,7 +273,8 @@ impl<A: Address> SerializedDag<A> {
         if fnv1a(&bytes[..body_end]) != stored {
             return Err(BlobError::ChecksumMismatch);
         }
-        let u32_at = |pos: usize| u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let u32_at =
+            |pos: usize| u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
         let check_ref = |r: u32| -> Result<(), BlobError> {
             if r & LEAF_TAG == 0 && r as usize >= node_count {
                 return Err(BlobError::Inconsistent("reference past node region"));
@@ -282,7 +286,10 @@ impl<A: Address> SerializedDag<A> {
             let pos = 16 + i * 8;
             let slot = u32_at(pos);
             check_ref(slot)?;
-            entries.push(RootEntry { slot, fallback: u32_at(pos + 4) });
+            entries.push(RootEntry {
+                slot,
+                fallback: u32_at(pos + 4),
+            });
         }
         let mut nodes = Vec::with_capacity(node_count);
         for i in 0..node_count {
@@ -317,16 +324,6 @@ impl<A: Address> SerializedDag<A> {
             (total as f64 / count as f64, max)
         }
     }
-}
-
-/// FNV-1a over a byte slice — dependency-free integrity check for blobs.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 /// Error decoding a serialized-DAG blob.
@@ -403,7 +400,11 @@ mod tests {
             assert_eq!(ser.lambda(), lambda);
             for i in 0..3000u32 {
                 let addr = i.wrapping_mul(0x9E37_79B9);
-                assert_eq!(ser.lookup(addr), dag.lookup(addr), "λ={lambda} addr {addr:#x}");
+                assert_eq!(
+                    ser.lookup(addr),
+                    dag.lookup(addr),
+                    "λ={lambda} addr {addr:#x}"
+                );
             }
         }
     }
@@ -483,20 +484,32 @@ mod tests {
 
         // Truncation anywhere.
         for cut in [0, 10, good.len() / 2, good.len() - 1] {
-            assert!(SerializedDag::<u32>::from_bytes(&good[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                SerializedDag::<u32>::from_bytes(&good[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
         // Bad magic.
         let mut bad = good.clone();
         bad[0] = b'X';
-        assert!(matches!(SerializedDag::<u32>::from_bytes(&bad), Err(BlobError::BadMagic)));
+        assert!(matches!(
+            SerializedDag::<u32>::from_bytes(&bad),
+            Err(BlobError::BadMagic)
+        ));
         // Bad version.
         let mut bad = good.clone();
         bad[4] = 9;
-        assert!(matches!(SerializedDag::<u32>::from_bytes(&bad), Err(BlobError::BadVersion(9))));
+        assert!(matches!(
+            SerializedDag::<u32>::from_bytes(&bad),
+            Err(BlobError::BadVersion(9))
+        ));
         // Width mismatch: an IPv4 blob refused by an IPv6 decoder.
         assert!(matches!(
             SerializedDag::<u128>::from_bytes(&good),
-            Err(BlobError::WidthMismatch { blob: 32, expected: 128 })
+            Err(BlobError::WidthMismatch {
+                blob: 32,
+                expected: 128
+            })
         ));
         // Single-bit payload flip breaks the checksum.
         let mut bad = good.clone();

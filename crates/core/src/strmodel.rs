@@ -116,8 +116,10 @@ impl FoldedString {
         } else {
             (i as u32) << (32 - u32::from(self.width))
         };
-        self.dag
-            .insert(Prefix::new(key, self.width), NextHop::new(u32::from(symbol)));
+        self.dag.insert(
+            Prefix::new(key, self.width),
+            NextHop::new(u32::from(symbol)),
+        );
     }
 
     /// Folded-structure counters.

@@ -389,11 +389,19 @@ mod tests {
             let xbw = XbwFib::build(&trie, storage);
             for i in 0..2000u32 {
                 let addr = i.wrapping_mul(0x9E37_79B9);
-                assert_eq!(xbw.lookup(addr), trie.lookup(addr), "{storage:?} addr {addr:#x}");
+                assert_eq!(
+                    xbw.lookup(addr),
+                    trie.lookup(addr),
+                    "{storage:?} addr {addr:#x}"
+                );
             }
             for top in 0..=255u32 {
                 let addr = top << 24;
-                assert_eq!(xbw.lookup(addr), trie.lookup(addr), "{storage:?} addr {addr:#x}");
+                assert_eq!(
+                    xbw.lookup(addr),
+                    trie.lookup(addr),
+                    "{storage:?} addr {addr:#x}"
+                );
             }
         }
     }
@@ -471,7 +479,10 @@ mod tests {
         let mut trie: BinaryTrie<u32> = BinaryTrie::new();
         trie.insert(p("0.0.0.0/0"), nh(0));
         for i in 0..8192u32 {
-            trie.insert(Prefix4::new(i << 19, 13), nh(if i % 8 == 0 { 1 } else { 0 }));
+            trie.insert(
+                Prefix4::new(i << 19, 13),
+                nh(if i % 8 == 0 { 1 } else { 0 }),
+            );
         }
         let metrics = crate::entropy::FibEntropy::of_trie(&trie);
         let xbw = XbwFib::build(&trie, XbwStorage::Entropy);
@@ -496,8 +507,14 @@ mod tests {
         for j in 0..2048u32 {
             trie.insert(Prefix4::new(0x8000_0000 | (j << 20), 12), nh(2 + j % 2));
         }
-        let global = XbwFib::build(&trie, XbwStorage::Custom(SiStorage::Rrr, SaStorage::WaveletHuffmanRrr));
-        let leveled = XbwFib::build(&trie, XbwStorage::Custom(SiStorage::Rrr, SaStorage::HuffmanPerLevel));
+        let global = XbwFib::build(
+            &trie,
+            XbwStorage::Custom(SiStorage::Rrr, SaStorage::WaveletHuffmanRrr),
+        );
+        let leveled = XbwFib::build(
+            &trie,
+            XbwStorage::Custom(SiStorage::Rrr, SaStorage::HuffmanPerLevel),
+        );
         // Equivalence first.
         for i in 0..3000u32 {
             let addr = i.wrapping_mul(0x9E37_79B9);
@@ -519,7 +536,10 @@ mod tests {
         trie.insert(p2, nh(2));
         let xbw: XbwFib<u128> = XbwFib::build(&trie, XbwStorage::Entropy);
         let a: u128 = "2001:db8::1".parse::<std::net::Ipv6Addr>().unwrap().into();
-        let b: u128 = "2001:db8:0:1::1".parse::<std::net::Ipv6Addr>().unwrap().into();
+        let b: u128 = "2001:db8:0:1::1"
+            .parse::<std::net::Ipv6Addr>()
+            .unwrap()
+            .into();
         assert_eq!(xbw.lookup(a), Some(nh(2)));
         assert_eq!(xbw.lookup(b), Some(nh(1)));
     }

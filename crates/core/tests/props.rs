@@ -1,77 +1,112 @@
 //! Property tests for the core compression structures: arbitrary route
 //! sets, every engine against the binary trie, blob round-trips, and the
 //! entropy-accounting identities.
+//!
+//! Inputs are drawn from the workspace's deterministic PRNG
+//! (`fib_workload::rng`) rather than proptest, which cannot be fetched in
+//! the offline build. Each test runs 48 seeded cases (the count the
+//! original proptest config used); failure messages carry the case number
+//! for exact reproduction.
 
-use fib_core::{
-    FibEntropy, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage,
-};
+use fib_core::{FibEntropy, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage};
 use fib_trie::{BinaryTrie, NextHop, Prefix, Prefix4};
-use proptest::prelude::*;
+use fib_workload::rng::{Rng, Xoshiro256};
 
-fn arb_routes() -> impl Strategy<Value = Vec<(Prefix4, NextHop)>> {
-    prop::collection::vec(
-        (any::<u32>(), 0u8..=32, 0u32..8).prop_map(|(a, l, h)| (Prefix::new(a, l), NextHop::new(h))),
-        0..100,
-    )
+const CASES: u64 = 48;
+
+fn arb_routes(rng: &mut impl Rng) -> Vec<(Prefix4, NextHop)> {
+    let n: usize = rng.random_range(0..100);
+    (0..n)
+        .map(|_| {
+            (
+                Prefix::new(rng.random::<u32>(), rng.random_range(0..=32u8)),
+                NextHop::new(rng.random_range(0..8u32)),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_keys(rng: &mut impl Rng, count: usize) -> Vec<u32> {
+    (0..count).map(|_| rng.random()).collect()
+}
 
-    #[test]
-    fn xbw_equals_trie_on_arbitrary_fibs(
-        routes in arb_routes(),
-        keys in prop::collection::vec(any::<u32>(), 50),
-    ) {
+#[test]
+fn xbw_equals_trie_on_arbitrary_fibs() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("xbw_equals_trie_on_arbitrary_fibs", case);
+        let routes = arb_routes(&mut rng);
+        let keys = arb_keys(&mut rng, 50);
         let trie: BinaryTrie<u32> = routes.into_iter().collect();
         for storage in [XbwStorage::Succinct, XbwStorage::Entropy] {
             let xbw = XbwFib::build(&trie, storage);
             for &k in &keys {
-                prop_assert_eq!(xbw.lookup(k), trie.lookup(k));
+                assert_eq!(xbw.lookup(k), trie.lookup(k), "case {case}, key {k:#010x}");
             }
         }
     }
+}
 
-    #[test]
-    fn multibit_equals_trie_for_any_stride(
-        routes in arb_routes(),
-        keys in prop::collection::vec(any::<u32>(), 50),
-        stride in 1u8..=16,
-    ) {
+#[test]
+fn multibit_equals_trie_for_any_stride() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("multibit_equals_trie_for_any_stride", case);
+        let routes = arb_routes(&mut rng);
+        let keys = arb_keys(&mut rng, 50);
+        let stride: u8 = rng.random_range(1..=16);
         let trie: BinaryTrie<u32> = routes.into_iter().collect();
         let mb = MultibitDag::from_trie(&trie, stride);
         for &k in &keys {
-            prop_assert_eq!(mb.lookup(k), trie.lookup(k));
+            assert_eq!(
+                mb.lookup(k),
+                trie.lookup(k),
+                "case {case}, stride {stride}, key {k:#010x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn serialized_blob_roundtrips_any_dag(
-        routes in arb_routes(),
-        lambda in 0u8..=16,
-        keys in prop::collection::vec(any::<u32>(), 30),
-    ) {
+#[test]
+fn serialized_blob_roundtrips_any_dag() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("serialized_blob_roundtrips_any_dag", case);
+        let routes = arb_routes(&mut rng);
+        let lambda: u8 = rng.random_range(0..=16);
+        let keys = arb_keys(&mut rng, 30);
         let trie: BinaryTrie<u32> = routes.into_iter().collect();
         let dag = PrefixDag::from_trie(&trie, lambda);
         let ser = SerializedDag::from_dag(&dag);
         let decoded = SerializedDag::<u32>::from_bytes(&ser.to_bytes()).expect("own blob decodes");
         for &k in &keys {
-            prop_assert_eq!(decoded.lookup(k), trie.lookup(k));
+            assert_eq!(
+                decoded.lookup(k),
+                trie.lookup(k),
+                "case {case}, λ={lambda}, key {k:#010x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn blob_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+#[test]
+fn blob_decoder_never_panics_on_garbage() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("blob_decoder_never_panics_on_garbage", case);
+        let len: usize = rng.random_range(0..600);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.random()).collect();
         // Arbitrary input must be rejected cleanly, never crash.
         let _ = SerializedDag::<u32>::from_bytes(&bytes);
     }
+}
 
-    #[test]
-    fn blob_decoder_survives_mutations(
-        routes in arb_routes(),
-        lambda in 0u8..=8,
-        flips in prop::collection::vec((any::<u16>(), 0u8..8), 1..6),
-    ) {
+#[test]
+fn blob_decoder_survives_mutations() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("blob_decoder_survives_mutations", case);
+        let routes = arb_routes(&mut rng);
+        let lambda: u8 = rng.random_range(0..=8);
+        let n_flips: usize = rng.random_range(1..6);
+        let flips: Vec<(u16, u8)> = (0..n_flips)
+            .map(|_| (rng.random(), rng.random_range(0..8u8)))
+            .collect();
         let trie: BinaryTrie<u32> = routes.into_iter().collect();
         let ser = SerializedDag::from_dag(&PrefixDag::from_trie(&trie, lambda));
         let mut blob = ser.to_bytes();
@@ -86,41 +121,55 @@ proptest! {
             let _ = decoded.lookup(u32::MAX);
         }
     }
+}
 
-    #[test]
-    fn entropy_identities_hold(routes in arb_routes()) {
+#[test]
+fn entropy_identities_hold() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("entropy_identities_hold", case);
+        let routes = arb_routes(&mut rng);
         let trie: BinaryTrie<u32> = routes.into_iter().collect();
         let m = FibEntropy::of_trie(&trie);
         // Structural identities of the normal form.
-        prop_assert_eq!(m.t_nodes, 2 * m.n_leaves - 1);
-        prop_assert_eq!(m.label_counts.iter().sum::<u64>() as usize, m.n_leaves);
+        assert_eq!(m.t_nodes, 2 * m.n_leaves - 1, "case {case}");
+        assert_eq!(
+            m.label_counts.iter().sum::<u64>() as usize,
+            m.n_leaves,
+            "case {case}"
+        );
         // 0 ≤ H0 ≤ lg δ, and E ≤ I always.
-        prop_assert!(m.h0 >= -1e-12);
-        prop_assert!(m.h0 <= (m.delta as f64).log2() + 1e-12);
-        prop_assert!(m.entropy_bits() <= m.info_bound_bits() + 1e-9);
+        assert!(m.h0 >= -1e-12, "case {case}");
+        assert!(m.h0 <= (m.delta as f64).log2() + 1e-12, "case {case}");
+        assert!(
+            m.entropy_bits() <= m.info_bound_bits() + 1e-9,
+            "case {case}"
+        );
         // δ ≥ 1 even for the empty FIB (the ⊥ leaf).
-        prop_assert!(m.delta >= 1);
+        assert!(m.delta >= 1, "case {case}");
     }
+}
 
-    #[test]
-    fn fold_is_idempotent_and_size_monotone_in_lambda(
-        routes in arb_routes(),
-        lambda in 0u8..=32,
-    ) {
+#[test]
+fn fold_is_idempotent_and_size_monotone_in_lambda() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("fold_is_idempotent_and_size_monotone_in_lambda", case);
+        let routes = arb_routes(&mut rng);
+        let lambda: u8 = rng.random_range(0..=32);
         let trie: BinaryTrie<u32> = routes.into_iter().collect();
         let dag = PrefixDag::from_trie(&trie, lambda);
         dag.assert_invariants();
         // Folding the control again is canonical.
         let again = PrefixDag::from_trie(dag.control(), lambda);
-        prop_assert_eq!(dag.stats(), again.stats());
+        assert_eq!(dag.stats(), again.stats(), "case {case}, λ={lambda}");
         // Upper bound: never more nodes than the control trie above the
         // barrier plus the full normal form below it. (Note λ=0 can exceed
         // the *plain* trie's node count on sparse chains — leaf-pushing
         // materializes ⊥ leaves the sparse trie never stores — so the
         // bound is against the normal form, not the input.)
         let proper = fib_trie::ProperTrie::from_trie(&trie);
-        prop_assert!(
-            dag.stats().live_nodes <= trie.node_count() + proper.node_count()
+        assert!(
+            dag.stats().live_nodes <= trie.node_count() + proper.node_count(),
+            "case {case}, λ={lambda}"
         );
     }
 }

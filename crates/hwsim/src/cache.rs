@@ -104,9 +104,21 @@ impl CacheSim {
     #[must_use]
     pub fn core_i5() -> Self {
         Self::new(&[
-            CacheLevel { capacity: 32 * 1024, ways: 8, line: 64 },
-            CacheLevel { capacity: 256 * 1024, ways: 8, line: 64 },
-            CacheLevel { capacity: 3 * 1024 * 1024, ways: 12, line: 64 },
+            CacheLevel {
+                capacity: 32 * 1024,
+                ways: 8,
+                line: 64,
+            },
+            CacheLevel {
+                capacity: 256 * 1024,
+                ways: 8,
+                line: 64,
+            },
+            CacheLevel {
+                capacity: 3 * 1024 * 1024,
+                ways: 12,
+                line: 64,
+            },
         ])
     }
 
@@ -168,7 +180,11 @@ mod tests {
 
     fn tiny() -> CacheSim {
         // 2 sets × 2 ways × 64 B lines = 256 B single level.
-        CacheSim::new(&[CacheLevel { capacity: 256, ways: 2, line: 64 }])
+        CacheSim::new(&[CacheLevel {
+            capacity: 256,
+            ways: 2,
+            line: 64,
+        }])
     }
 
     #[test]

@@ -74,11 +74,19 @@ impl SramModel {
             max = max.max(cycles);
             lookups += 1;
         }
-        let avg = if lookups == 0 { 0.0 } else { total / lookups as f64 };
+        let avg = if lookups == 0 {
+            0.0
+        } else {
+            total / lookups as f64
+        };
         SramReport {
             avg_cycles: avg,
             max_cycles: max,
-            mlps: if avg == 0.0 { 0.0 } else { self.clock_mhz / avg },
+            mlps: if avg == 0.0 {
+                0.0
+            } else {
+                self.clock_mhz / avg
+            },
             lookups,
         }
     }
@@ -89,11 +97,11 @@ mod tests {
     use super::*;
     use fib_core::{PrefixDag, SerializedDag};
     use fib_trie::{BinaryTrie, NextHop, Prefix4};
+    use fib_workload::rng::Xoshiro256;
     use fib_workload::FibSpec;
-    use rand::SeedableRng;
 
     fn sample_fib() -> BinaryTrie<u32> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256::seed_from_u64(11);
         FibSpec::dfz_like(20_000).generate(&mut rng)
     }
 
@@ -102,7 +110,7 @@ mod tests {
         let trie = sample_fib();
         let dag = PrefixDag::from_trie(&trie, 11);
         let ser = SerializedDag::from_dag(&dag);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut rng = Xoshiro256::seed_from_u64(12);
         let addrs = fib_workload::traces::uniform::<u32, _>(&mut rng, 2000);
         let (avg_depth, _) = ser.depth_stats(addrs.iter().copied());
         let report = SramModel::default().replay(&ser, addrs.iter().copied());
@@ -124,7 +132,10 @@ mod tests {
         trie.insert("0.0.0.0/0".parse::<Prefix4>().unwrap(), NextHop::new(1));
         let ser = SerializedDag::from_dag(&PrefixDag::from_trie(&trie, 11));
         let report = SramModel::default().replay(&ser, [0u32, 1, 2, u32::MAX]);
-        assert!((report.avg_cycles - 3.0).abs() < 1e-9, "2 pipeline + 1 fetch");
+        assert!(
+            (report.avg_cycles - 3.0).abs() < 1e-9,
+            "2 pipeline + 1 fetch"
+        );
         assert!((report.max_cycles - 3.0).abs() < 1e-9);
     }
 
@@ -133,10 +144,16 @@ mod tests {
         let trie = sample_fib();
         let ser = SerializedDag::from_dag(&PrefixDag::from_trie(&trie, 11));
         let addrs: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
-        let slow = SramModel { clock_mhz: 100.0, ..SramModel::default() }
-            .replay(&ser, addrs.iter().copied());
-        let fast = SramModel { clock_mhz: 1000.0, ..SramModel::default() }
-            .replay(&ser, addrs.iter().copied());
+        let slow = SramModel {
+            clock_mhz: 100.0,
+            ..SramModel::default()
+        }
+        .replay(&ser, addrs.iter().copied());
+        let fast = SramModel {
+            clock_mhz: 1000.0,
+            ..SramModel::default()
+        }
+        .replay(&ser, addrs.iter().copied());
         assert!((fast.mlps / slow.mlps - 10.0).abs() < 1e-9);
     }
 

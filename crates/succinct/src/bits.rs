@@ -77,7 +77,11 @@ impl BitVec {
     #[must_use]
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -86,7 +90,11 @@ impl BitVec {
     /// # Panics
     /// Panics if `i >= len()`.
     pub fn set(&mut self, i: usize, bit: bool) {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if bit {
             self.words[i / 64] |= mask;
@@ -102,7 +110,10 @@ impl BitVec {
     pub fn push_bits(&mut self, value: u64, width: u32) {
         assert!(width <= 64, "width {width} > 64");
         if width < 64 {
-            assert!(value >> width == 0, "value {value:#x} wider than {width} bits");
+            assert!(
+                value >> width == 0,
+                "value {value:#x} wider than {width} bits"
+            );
         }
         if width == 0 {
             return;
@@ -161,7 +172,10 @@ impl BitVec {
     pub fn set_bits(&mut self, pos: usize, value: u64, width: u32) {
         assert!(width <= 64, "width {width} > 64");
         if width < 64 {
-            assert!(value >> width == 0, "value {value:#x} wider than {width} bits");
+            assert!(
+                value >> width == 0,
+                "value {value:#x} wider than {width} bits"
+            );
         }
         if width == 0 {
             return;
@@ -169,7 +183,11 @@ impl BitVec {
         assert!(pos + width as usize <= self.len, "bit range out of bounds");
         let bit = pos % 64;
         let word = pos / 64;
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         self.words[word] &= !(mask << bit);
         self.words[word] |= value << bit;
         let have = 64 - bit;

@@ -194,7 +194,10 @@ mod tests {
 
     #[test]
     fn msb_first_bit_extraction() {
-        let c = Code { bits: 0b101, len: 3 };
+        let c = Code {
+            bits: 0b101,
+            len: 3,
+        };
         assert!(c.bit(0));
         assert!(!c.bit(1));
         assert!(c.bit(2));

@@ -95,7 +95,8 @@ impl IntVec {
     /// Panics if `i >= len()` or `value` does not fit in `width` bits.
     pub fn set(&mut self, i: usize, value: u64) {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
-        self.bits.set_bits(i * self.width as usize, value, self.width);
+        self.bits
+            .set_bits(i * self.width as usize, value, self.width);
     }
 
     /// Iterates over elements in order.
@@ -117,7 +118,11 @@ mod tests {
     #[test]
     fn roundtrip_various_widths() {
         for width in [1u32, 3, 7, 13, 32, 63, 64] {
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let mut v = IntVec::new(width);
             let values: Vec<u64> = (0..100u64)
                 .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)

@@ -65,6 +65,18 @@ pub fn ceil_log2(count: u64) -> u32 {
     }
 }
 
+/// FNV-1a 64-bit hash — the workspace's standard cheap byte-string hash,
+/// used for blob integrity checks, seed derivation and data fingerprints.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0100_0000_01B3);
+    }
+    hash
+}
+
 /// Shannon entropy (bits/symbol) of an empirical distribution given as raw
 /// counts. Zero counts are ignored; an empty or single-symbol distribution
 /// has entropy 0.

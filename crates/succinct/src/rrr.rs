@@ -111,7 +111,10 @@ impl RrrVec {
     /// Panics if `bits` exceeds `u32::MAX` bits — far beyond any FIB.
     #[must_use]
     pub fn new(bits: &BitVec) -> Self {
-        assert!(bits.len() < u32::MAX as usize, "RrrVec limited to 2^32 bits");
+        assert!(
+            bits.len() < u32::MAX as usize,
+            "RrrVec limited to 2^32 bits"
+        );
         let widths = offset_widths();
         let n_blocks = bits.len().div_ceil(BLOCK);
         let mut classes = IntVec::new(6);
@@ -188,7 +191,11 @@ impl RrrVec {
     /// Panics if `i >= len()`.
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         let (pattern, _) = self.decode_block(i / BLOCK);
         (pattern >> (i % BLOCK)) & 1 == 1
     }
@@ -199,7 +206,11 @@ impl RrrVec {
     /// Panics if `i > len()`.
     #[must_use]
     pub fn rank1(&self, i: usize) -> usize {
-        assert!(i <= self.len, "rank index {i} out of bounds (len {})", self.len);
+        assert!(
+            i <= self.len,
+            "rank index {i} out of bounds (len {})",
+            self.len
+        );
         if i == self.len {
             return self.ones;
         }
@@ -321,10 +332,14 @@ mod tests {
     fn offset_coding_roundtrips_every_popcount() {
         for k in 0..=BLOCK {
             // A deterministic pattern with exactly k ones.
-            let pattern: u64 = if k == 0 { 0 } else { ((1u128 << k) - 1) as u64 } << (BLOCK - k).min(10);
+            let pattern: u64 =
+                if k == 0 { 0 } else { ((1u128 << k) - 1) as u64 } << (BLOCK - k).min(10);
             let off = encode_offset(pattern, k);
             assert_eq!(decode_offset(off, k), pattern, "class {k}");
-            assert!(off < binomials()[BLOCK][k].max(1), "offset in range for class {k}");
+            assert!(
+                off < binomials()[BLOCK][k].max(1),
+                "offset in range for class {k}"
+            );
         }
     }
 

@@ -102,7 +102,11 @@ impl RsBitVec {
     #[must_use]
     #[inline]
     pub fn rank1(&self, i: usize) -> usize {
-        assert!(i <= self.len(), "rank index {i} out of bounds (len {})", self.len());
+        assert!(
+            i <= self.len(),
+            "rank index {i} out of bounds (len {})",
+            self.len()
+        );
         let word = i / 64;
         if word >= self.intra.len() {
             // Only possible when i == len() and len() fills the directory

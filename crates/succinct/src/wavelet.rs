@@ -134,15 +134,26 @@ impl WaveletTree {
     /// # Panics
     /// Panics if any symbol is `≥ sigma`.
     #[must_use]
-    pub fn with_backing(seq: &[u64], sigma: usize, shape: WaveletShape, backing: WaveletBacking) -> Self {
+    pub fn with_backing(
+        seq: &[u64],
+        sigma: usize,
+        shape: WaveletShape,
+        backing: WaveletBacking,
+    ) -> Self {
         for &s in seq {
-            assert!((s as usize) < sigma, "symbol {s} out of alphabet 0..{sigma}");
+            assert!(
+                (s as usize) < sigma,
+                "symbol {s} out of alphabet 0..{sigma}"
+            );
         }
         let codes = match shape {
             WaveletShape::Balanced => {
                 let width = crate::ceil_log2(sigma as u64) as u8;
                 (0..sigma as u64)
-                    .map(|s| Code { bits: s, len: width })
+                    .map(|s| Code {
+                        bits: s,
+                        len: width,
+                    })
                     .collect()
             }
             WaveletShape::Huffman => {
@@ -272,7 +283,11 @@ impl WaveletTree {
     /// Panics if `i > len()`.
     #[must_use]
     pub fn rank_sym(&self, sym: u64, i: usize) -> usize {
-        assert!(i <= self.len, "rank index {i} out of bounds (len {})", self.len);
+        assert!(
+            i <= self.len,
+            "rank index {i} out of bounds (len {})",
+            self.len
+        );
         if let Some(s) = self.single {
             return if s == sym { i } else { 0 };
         }
@@ -319,7 +334,14 @@ impl WaveletTree {
         self.select_rec(self.root, sym, code, 0, q)
     }
 
-    fn select_rec(&self, node_ref: ChildRef, sym: u64, code: Code, depth: u8, q: usize) -> Option<usize> {
+    fn select_rec(
+        &self,
+        node_ref: ChildRef,
+        sym: u64,
+        code: Code,
+        depth: u8,
+        q: usize,
+    ) -> Option<usize> {
         match node_ref {
             ChildRef::Leaf(s) => (s == sym).then(|| q - 1),
             ChildRef::None => None,
@@ -369,7 +391,11 @@ mod tests {
             for (i, &s) in seq.iter().enumerate() {
                 if s == sym {
                     q += 1;
-                    assert_eq!(wt.select_sym(sym, q), Some(i), "select_{sym}({q}) [{shape:?}]");
+                    assert_eq!(
+                        wt.select_sym(sym, q),
+                        Some(i),
+                        "select_{sym}({q}) [{shape:?}]"
+                    );
                 }
             }
             assert_eq!(wt.select_sym(sym, q + 1), None);
@@ -460,7 +486,8 @@ mod tests {
     #[test]
     fn rrr_backing_agrees_with_plain_on_all_ops() {
         let seq = pseudo_seq(700, 9, 21);
-        let plain = WaveletTree::with_backing(&seq, 9, WaveletShape::Huffman, WaveletBacking::Plain);
+        let plain =
+            WaveletTree::with_backing(&seq, 9, WaveletShape::Huffman, WaveletBacking::Plain);
         let rrr = WaveletTree::with_backing(&seq, 9, WaveletShape::Huffman, WaveletBacking::Rrr);
         for i in 0..seq.len() {
             assert_eq!(plain.access(i), rrr.access(i), "access({i})");
@@ -484,9 +511,13 @@ mod tests {
         let seq: Vec<u64> = (0..n as u64)
             .map(|i| if i % 32 == 0 { 1 + (i / 32) % 15 } else { 0 })
             .collect();
-        let plain = WaveletTree::with_backing(&seq, 16, WaveletShape::Huffman, WaveletBacking::Plain);
+        let plain =
+            WaveletTree::with_backing(&seq, 16, WaveletShape::Huffman, WaveletBacking::Plain);
         let rrr = WaveletTree::with_backing(&seq, 16, WaveletShape::Huffman, WaveletBacking::Rrr);
-        assert!(plain.size_bits() >= n, "plain Huffman cannot beat 1 bit/symbol");
+        assert!(
+            plain.size_bits() >= n,
+            "plain Huffman cannot beat 1 bit/symbol"
+        );
         assert!(
             rrr.size_bits() < n * 2 / 3,
             "RRR-backed tree too large: {} bits for {n} symbols",

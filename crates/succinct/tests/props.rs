@@ -1,132 +1,226 @@
 //! Property-based tests: every succinct structure must agree with a naive
 //! reference implementation on arbitrary inputs.
+//!
+//! Inputs are drawn from the workspace's deterministic PRNG
+//! (`fib_workload::rng`) rather than proptest, which cannot be fetched in
+//! the offline build. Each test runs a fixed number of seeded cases (the
+//! proptest default of 256); a failure message carries the case number, so
+//! any counterexample reproduces exactly.
 
 use fib_succinct::{BitVec, IntVec, RrrVec, RsBitVec, WaveletShape, WaveletTree};
-use proptest::prelude::*;
+use fib_workload::rng::{Rng, Xoshiro256};
 
-fn naive_rank1(bits: &[bool], i: usize) -> usize {
-    bits[..i].iter().filter(|&&b| b).count()
+const CASES: u64 = 256;
+
+fn random_bools(rng: &mut impl Rng, max_len: usize) -> Vec<bool> {
+    let len = rng.random_range(0..max_len);
+    (0..len).map(|_| rng.random()).collect()
 }
 
-fn naive_select(bits: &[bool], value: bool, q: usize) -> Option<usize> {
-    let mut seen = 0;
-    for (i, &b) in bits.iter().enumerate() {
-        if b == value {
-            seen += 1;
-            if seen == q {
-                return Some(i);
-            }
-        }
+/// Positions of every bit equal to `value` — the linear-scan reference
+/// that `rank`/`select` answers are checked against.
+fn positions_of(bits: &[bool], value: bool) -> Vec<usize> {
+    bits.iter()
+        .enumerate()
+        .filter_map(|(i, &b)| (b == value).then_some(i))
+        .collect()
+}
+
+/// Naive prefix ranks: `ranks[i]` = number of set bits in `[0, i)`.
+fn prefix_ranks(bits: &[bool]) -> Vec<usize> {
+    let mut ranks = Vec::with_capacity(bits.len() + 1);
+    let mut acc = 0;
+    ranks.push(0);
+    for &b in bits {
+        acc += usize::from(b);
+        ranks.push(acc);
     }
-    None
+    ranks
 }
 
-proptest! {
-    #[test]
-    fn rsvec_rank_select_match_naive(bits in prop::collection::vec(any::<bool>(), 0..2000)) {
+#[test]
+fn rsvec_rank_select_match_naive() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("rsvec_rank_select_match_naive", case);
+        let bits = random_bools(&mut rng, 2000);
         let rs = RsBitVec::new(BitVec::from_bools(&bits));
-        prop_assert_eq!(rs.count_ones(), bits.iter().filter(|&&b| b).count());
-        for i in 0..=bits.len() {
-            prop_assert_eq!(rs.rank1(i), naive_rank1(&bits, i));
+        let ranks = prefix_ranks(&bits);
+        let ones = positions_of(&bits, true);
+        let zeros = positions_of(&bits, false);
+        assert_eq!(rs.count_ones(), ones.len(), "case {case}");
+        for (i, &r) in ranks.iter().enumerate() {
+            assert_eq!(rs.rank1(i), r, "case {case}, rank1({i})");
         }
         for q in 1..=bits.len() + 1 {
-            prop_assert_eq!(rs.select1(q), naive_select(&bits, true, q));
-            prop_assert_eq!(rs.select0(q), naive_select(&bits, false, q));
+            assert_eq!(
+                rs.select1(q),
+                ones.get(q - 1).copied(),
+                "case {case}, select1({q})"
+            );
+            assert_eq!(
+                rs.select0(q),
+                zeros.get(q - 1).copied(),
+                "case {case}, select0({q})"
+            );
         }
     }
+}
 
-    #[test]
-    fn rrr_matches_naive(bits in prop::collection::vec(any::<bool>(), 0..1500)) {
+#[test]
+fn rrr_matches_naive() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("rrr_matches_naive", case);
+        let bits = random_bools(&mut rng, 1500);
         let rrr = RrrVec::new(&BitVec::from_bools(&bits));
+        let ranks = prefix_ranks(&bits);
+        let ones = positions_of(&bits, true);
+        let zeros = positions_of(&bits, false);
         for (i, &b) in bits.iter().enumerate() {
-            prop_assert_eq!(rrr.get(i), b);
+            assert_eq!(rrr.get(i), b, "case {case}, get({i})");
         }
-        for i in 0..=bits.len() {
-            prop_assert_eq!(rrr.rank1(i), naive_rank1(&bits, i));
+        for (i, &r) in ranks.iter().enumerate() {
+            assert_eq!(rrr.rank1(i), r, "case {case}, rank1({i})");
         }
         for q in 1..=bits.len() + 1 {
-            prop_assert_eq!(rrr.select1(q), naive_select(&bits, true, q));
-            prop_assert_eq!(rrr.select0(q), naive_select(&bits, false, q));
+            assert_eq!(
+                rrr.select1(q),
+                ones.get(q - 1).copied(),
+                "case {case}, select1({q})"
+            );
+            assert_eq!(
+                rrr.select0(q),
+                zeros.get(q - 1).copied(),
+                "case {case}, select0({q})"
+            );
         }
     }
+}
 
-    #[test]
-    fn rrr_biased_density_roundtrips(
-        seed in any::<u64>(),
-        // density in 1/64ths so sparse and dense regimes are both hit
-        density in 0u64..=64,
-        len in 0usize..3000,
-    ) {
-        let mut x = seed | 1;
-        let bits: Vec<bool> = (0..len).map(|_| {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
-            (x % 64) < density
-        }).collect();
+#[test]
+fn rrr_biased_density_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("rrr_biased_density_roundtrips", case);
+        // Density in 1/64ths so sparse and dense regimes are both hit.
+        let density: u64 = rng.random_range(0..=64);
+        let len: usize = rng.random_range(0..3000);
+        let bits: Vec<bool> = (0..len)
+            .map(|_| rng.random_range(0..64u64) < density)
+            .collect();
         let rrr = RrrVec::new(&BitVec::from_bools(&bits));
+        let ranks = prefix_ranks(&bits);
         let step = (len / 37).max(1);
         for i in (0..=len).step_by(step) {
-            prop_assert_eq!(rrr.rank1(i), naive_rank1(&bits, i));
+            assert_eq!(
+                rrr.rank1(i),
+                ranks[i],
+                "case {case}, density {density}, rank1({i})"
+            );
         }
     }
+}
 
-    #[test]
-    fn intvec_roundtrips(values in prop::collection::vec(any::<u64>(), 0..500), width_off in 0u32..8) {
+#[test]
+fn intvec_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("intvec_roundtrips", case);
+        let n: usize = rng.random_range(0..500);
+        let values: Vec<u64> = (0..n).map(|_| rng.random()).collect();
+        let width_off: u32 = rng.random_range(0..8);
         let max = values.iter().copied().max().unwrap_or(0);
         let width = (fib_succinct::ceil_log2(max.saturating_add(1)) + width_off).min(64);
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let masked: Vec<u64> = values.iter().map(|&v| v & mask).collect();
         let mut iv = IntVec::new(width);
         for &v in &masked {
             iv.push(v);
         }
         for (i, &v) in masked.iter().enumerate() {
-            prop_assert_eq!(iv.get(i), v);
+            assert_eq!(iv.get(i), v, "case {case}, width {width}, index {i}");
         }
     }
+}
 
-    #[test]
-    fn wavelet_access_rank_select_match_naive(
-        seq in prop::collection::vec(0u64..12, 0..600),
-        huffman in any::<bool>(),
-    ) {
-        let shape = if huffman { WaveletShape::Huffman } else { WaveletShape::Balanced };
+#[test]
+fn wavelet_access_rank_select_match_naive() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("wavelet_access_rank_select_match_naive", case);
+        let n: usize = rng.random_range(0..600);
+        let seq: Vec<u64> = (0..n).map(|_| rng.random_range(0..12u64)).collect();
+        let huffman: bool = rng.random();
+        let shape = if huffman {
+            WaveletShape::Huffman
+        } else {
+            WaveletShape::Balanced
+        };
         let wt = WaveletTree::new(&seq, 12, shape);
         for (i, &s) in seq.iter().enumerate() {
-            prop_assert_eq!(wt.access(i), s);
+            assert_eq!(wt.access(i), s, "case {case}, access({i})");
         }
         for sym in 0..12u64 {
             let mut count = 0;
             for (i, &actual) in seq.iter().enumerate() {
-                prop_assert_eq!(wt.rank_sym(sym, i), count);
+                assert_eq!(
+                    wt.rank_sym(sym, i),
+                    count,
+                    "case {case}, rank_sym({sym}, {i})"
+                );
                 if actual == sym {
                     count += 1;
-                    prop_assert_eq!(wt.select_sym(sym, count), Some(i));
+                    assert_eq!(
+                        wt.select_sym(sym, count),
+                        Some(i),
+                        "case {case}, select_sym({sym}, {count})"
+                    );
                 }
             }
-            prop_assert_eq!(wt.select_sym(sym, count + 1), None);
+            assert_eq!(
+                wt.select_sym(sym, count + 1),
+                None,
+                "case {case}, sym {sym}"
+            );
         }
     }
+}
 
-    #[test]
-    fn huffman_codes_decode_uniquely(freqs in prop::collection::vec(0u64..1000, 1..40)) {
+#[test]
+fn huffman_codes_decode_uniquely() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("huffman_codes_decode_uniquely", case);
+        let n: usize = rng.random_range(1..40);
+        let freqs: Vec<u64> = (0..n).map(|_| rng.random_range(0..1000u64)).collect();
         let codes = fib_succinct::huffman::build_codes(&freqs);
         let live: Vec<_> = codes.iter().filter(|c| c.len > 0).collect();
         // Prefix-freeness: no live code is a prefix of another.
         for (i, a) in live.iter().enumerate() {
             for b in live.iter().skip(i + 1) {
                 let min_len = a.len.min(b.len);
-                prop_assert_ne!(a.bits >> (a.len - min_len), b.bits >> (b.len - min_len));
+                assert_ne!(
+                    a.bits >> (a.len - min_len),
+                    b.bits >> (b.len - min_len),
+                    "case {case}: code is a prefix of another"
+                );
             }
         }
         // Kraft equality for ≥2 live symbols (Huffman trees are complete).
         if live.len() >= 2 {
             let kraft: f64 = live.iter().map(|c| (0.5f64).powi(i32::from(c.len))).sum();
-            prop_assert!((kraft - 1.0).abs() < 1e-9, "kraft sum {}", kraft);
+            assert!((kraft - 1.0).abs() < 1e-9, "case {case}: kraft sum {kraft}");
         }
     }
+}
 
-    #[test]
-    fn bitvec_push_bits_concatenation(fields in prop::collection::vec((any::<u64>(), 1u32..=64), 0..60)) {
+#[test]
+fn bitvec_push_bits_concatenation() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("bitvec_push_bits_concatenation", case);
+        let n: usize = rng.random_range(0..60);
+        let fields: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.random(), rng.random_range(1..=64u32)))
+            .collect();
         let mut bv = BitVec::new();
         let mut positions = Vec::new();
         for &(v, w) in &fields {
@@ -136,7 +230,7 @@ proptest! {
         }
         for (&(v, w), &pos) in fields.iter().zip(&positions) {
             let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-            prop_assert_eq!(bv.get_bits(pos, w), v & mask);
+            assert_eq!(bv.get_bits(pos, w), v & mask, "case {case}, field at {pos}");
         }
     }
 }

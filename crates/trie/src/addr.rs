@@ -157,7 +157,11 @@ impl<A: Address> Prefix<A> {
     /// Panics if `len > A::WIDTH`.
     #[must_use]
     pub fn new(addr: A, len: u8) -> Self {
-        assert!(len <= A::WIDTH, "prefix length {len} exceeds width {}", A::WIDTH);
+        assert!(
+            len <= A::WIDTH,
+            "prefix length {len} exceeds width {}",
+            A::WIDTH
+        );
         Self {
             addr: addr.mask(len),
             len,
@@ -277,7 +281,9 @@ impl FromStr for Prefix<u32> {
         if len > 32 {
             return Err(ParsePrefixError(s.to_string()));
         }
-        let addr: Ipv4Addr = addr_s.parse().map_err(|_| ParsePrefixError(s.to_string()))?;
+        let addr: Ipv4Addr = addr_s
+            .parse()
+            .map_err(|_| ParsePrefixError(s.to_string()))?;
         Ok(Self::new(u32::from(addr), len))
     }
 }
@@ -298,7 +304,9 @@ impl FromStr for Prefix<u128> {
         if len > 128 {
             return Err(ParsePrefixError(s.to_string()));
         }
-        let addr: Ipv6Addr = addr_s.parse().map_err(|_| ParsePrefixError(s.to_string()))?;
+        let addr: Ipv6Addr = addr_s
+            .parse()
+            .map_err(|_| ParsePrefixError(s.to_string()))?;
         Ok(Self::new(u128::from(addr), len))
     }
 }

@@ -336,14 +336,20 @@ impl<'a, A: Address> NodeRef<'a, A> {
     #[must_use]
     pub fn left(self) -> Option<NodeRef<'a, A>> {
         let c = self.trie.nodes[self.idx as usize].left;
-        (c != NONE).then_some(NodeRef { trie: self.trie, idx: c })
+        (c != NONE).then_some(NodeRef {
+            trie: self.trie,
+            idx: c,
+        })
     }
 
     /// The 1-child, if present.
     #[must_use]
     pub fn right(self) -> Option<NodeRef<'a, A>> {
         let c = self.trie.nodes[self.idx as usize].right;
-        (c != NONE).then_some(NodeRef { trie: self.trie, idx: c })
+        (c != NONE).then_some(NodeRef {
+            trie: self.trie,
+            idx: c,
+        })
     }
 
     /// Whether this node has no children.
@@ -458,9 +464,18 @@ mod tests {
         let mut t: BinaryTrie<u32> = BinaryTrie::new();
         t.insert(p("1.2.3.4/32"), nh(1));
         t.insert(p("1.2.3.5/32"), nh(2));
-        assert_eq!(t.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 4))), Some(nh(1)));
-        assert_eq!(t.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 5))), Some(nh(2)));
-        assert_eq!(t.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 6))), None);
+        assert_eq!(
+            t.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 4))),
+            Some(nh(1))
+        );
+        assert_eq!(
+            t.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 5))),
+            Some(nh(2))
+        );
+        assert_eq!(
+            t.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 6))),
+            None
+        );
     }
 
     #[test]
@@ -493,8 +508,14 @@ mod tests {
         let p2: Prefix6 = "2001:db8:ffff::/48".parse().unwrap();
         t.insert(p1, nh(1));
         t.insert(p2, nh(2));
-        let in_p2: u128 = "2001:db8:ffff::1".parse::<std::net::Ipv6Addr>().unwrap().into();
-        let in_p1: u128 = "2001:db8:1::1".parse::<std::net::Ipv6Addr>().unwrap().into();
+        let in_p2: u128 = "2001:db8:ffff::1"
+            .parse::<std::net::Ipv6Addr>()
+            .unwrap()
+            .into();
+        let in_p1: u128 = "2001:db8:1::1"
+            .parse::<std::net::Ipv6Addr>()
+            .unwrap()
+            .into();
         let outside: u128 = "2002::1".parse::<std::net::Ipv6Addr>().unwrap().into();
         assert_eq!(t.lookup(in_p2), Some(nh(2)));
         assert_eq!(t.lookup(in_p1), Some(nh(1)));

@@ -48,7 +48,11 @@ impl fmt::Display for ParseRoutesError {
                 write!(f, "line {}: invalid next-hop '{s}'", self.line)
             }
             ParseRoutesErrorKind::BadShape(s) => {
-                write!(f, "line {}: expected '<prefix> <next-hop>', got '{s}'", self.line)
+                write!(
+                    f,
+                    "line {}: expected '<prefix> <next-hop>', got '{s}'",
+                    self.line
+                )
             }
         }
     }
@@ -80,10 +84,12 @@ where
                 kind: ParseRoutesErrorKind::BadShape(content.to_string()),
             });
         };
-        let prefix = prefix_s.parse::<Prefix<A>>().map_err(|e| ParseRoutesError {
-            line,
-            kind: ParseRoutesErrorKind::BadPrefix(e),
-        })?;
+        let prefix = prefix_s
+            .parse::<Prefix<A>>()
+            .map_err(|e| ParseRoutesError {
+                line,
+                kind: ParseRoutesErrorKind::BadPrefix(e),
+            })?;
         let hop = hop_s.parse::<u32>().map_err(|_| ParseRoutesError {
             line,
             kind: ParseRoutesErrorKind::BadNextHop(hop_s.to_string()),
@@ -175,7 +181,9 @@ mod tests {
     #[test]
     fn empty_and_comment_only_inputs() {
         assert!(parse_routes::<u32>("").unwrap().is_empty());
-        assert!(parse_routes::<u32>("# nothing\n   \n#more\n").unwrap().is_empty());
+        assert!(parse_routes::<u32>("# nothing\n   \n#more\n")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -21,8 +21,6 @@ use crate::binary::BinaryTrie;
 use crate::leafpush::{ProperNode, ProperTrie};
 use crate::nexthop::NextHop;
 
-
-
 #[derive(Clone, Copy, Debug)]
 enum LcNode {
     /// Leaf with pushed-down label (`None` = no route).
@@ -365,9 +363,18 @@ mod tests {
         trie.insert(p("10.1.3.0/32"), nh(3));
         let lc = LcTrie::from_trie(&trie);
         assert_equivalent(&trie, &lc, 2000);
-        assert_eq!(lc.lookup(u32::from(std::net::Ipv4Addr::new(10, 1, 2, 200))), Some(nh(2)));
-        assert_eq!(lc.lookup(u32::from(std::net::Ipv4Addr::new(10, 1, 3, 0))), Some(nh(3)));
-        assert_eq!(lc.lookup(u32::from(std::net::Ipv4Addr::new(10, 1, 3, 1))), Some(nh(0)));
+        assert_eq!(
+            lc.lookup(u32::from(std::net::Ipv4Addr::new(10, 1, 2, 200))),
+            Some(nh(2))
+        );
+        assert_eq!(
+            lc.lookup(u32::from(std::net::Ipv4Addr::new(10, 1, 3, 0))),
+            Some(nh(3))
+        );
+        assert_eq!(
+            lc.lookup(u32::from(std::net::Ipv4Addr::new(10, 1, 3, 1))),
+            Some(nh(0))
+        );
     }
 
     #[test]
@@ -388,7 +395,10 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            trie.insert(Prefix4::new((x >> 32) as u32, (x % 33) as u8), nh((x % 6) as u32));
+            trie.insert(
+                Prefix4::new((x >> 32) as u32, (x % 33) as u8),
+                nh((x % 6) as u32),
+            );
         }
         for max_stride in [1u8, 4, 8, 16] {
             let lc = LcTrie::with_params(&trie, 0.5, max_stride);
@@ -404,8 +414,14 @@ mod tests {
         trie.insert(p1, nh(1));
         trie.insert(p2, nh(2));
         let lc = LcTrie::from_trie(&trie);
-        let a1: u128 = "2001:db8:1::1".parse::<std::net::Ipv6Addr>().unwrap().into();
-        let a2: u128 = "2001:db8:aaaa::1".parse::<std::net::Ipv6Addr>().unwrap().into();
+        let a1: u128 = "2001:db8:1::1"
+            .parse::<std::net::Ipv6Addr>()
+            .unwrap()
+            .into();
+        let a2: u128 = "2001:db8:aaaa::1"
+            .parse::<std::net::Ipv6Addr>()
+            .unwrap()
+            .into();
         let a3: u128 = "2002::".parse::<std::net::Ipv6Addr>().unwrap().into();
         assert_eq!(lc.lookup(a1), Some(nh(1)));
         assert_eq!(lc.lookup(a2), Some(nh(2)));

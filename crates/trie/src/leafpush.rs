@@ -62,7 +62,12 @@ impl<A: Address> ProperTrie<A> {
     }
 
     /// Push-down and coalesce in one post-order pass.
-    fn build(&mut self, node: Option<NodeRef<'_, A>>, inherited: Option<NextHop>, depth: u8) -> u32 {
+    fn build(
+        &mut self,
+        node: Option<NodeRef<'_, A>>,
+        inherited: Option<NextHop>,
+        depth: u8,
+    ) -> u32 {
         let Some(node) = node else {
             return self.push_leaf(inherited);
         };
@@ -359,9 +364,19 @@ mod tests {
         let pt = ProperTrie::from_trie(&trie);
         pt.assert_invariants();
         assert_eq!(pt.max_depth(), 32);
-        assert_eq!(pt.n_leaves(), 33, "one leaf per disagreeing level plus host");
-        assert_eq!(pt.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 4))), Some(nh(2)));
-        assert_eq!(pt.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 5))), Some(nh(1)));
+        assert_eq!(
+            pt.n_leaves(),
+            33,
+            "one leaf per disagreeing level plus host"
+        );
+        assert_eq!(
+            pt.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 4))),
+            Some(nh(2))
+        );
+        assert_eq!(
+            pt.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 5))),
+            Some(nh(1))
+        );
     }
 
     #[test]

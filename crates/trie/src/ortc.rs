@@ -291,7 +291,10 @@ mod tests {
         // 10/8 + 11/8 with the same next-hop merge into 10.0.0.0/7.
         assert_eq!(ortc.len(), 1);
         assert_eq!(ortc.routes()[0].0, p("10.0.0.0/7"));
-        assert_eq!(ortc.lookup(u32::from(std::net::Ipv4Addr::new(9, 0, 0, 0))), None);
+        assert_eq!(
+            ortc.lookup(u32::from(std::net::Ipv4Addr::new(9, 0, 0, 0))),
+            None
+        );
         assert_equivalent(&trie, &ortc, 1000);
     }
 
@@ -310,7 +313,10 @@ mod tests {
         assert_equivalent(&trie, &ortc, 4000);
         assert_eq!(ortc.len(), 2);
         assert_eq!(ortc.blackhole_count(), 1);
-        assert!(ortc.to_trie().is_none(), "blackholes are not trie-representable");
+        assert!(
+            ortc.to_trie().is_none(),
+            "blackholes are not trie-representable"
+        );
     }
 
     #[test]

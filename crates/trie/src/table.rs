@@ -158,8 +158,14 @@ mod tests {
     fn no_default_route_leaves_gaps() {
         let mut t = RouteTable::new();
         t.insert(p("10.0.0.0/8"), nh(1));
-        assert_eq!(t.lookup(u32::from(std::net::Ipv4Addr::new(10, 1, 1, 1))), Some(nh(1)));
-        assert_eq!(t.lookup(u32::from(std::net::Ipv4Addr::new(11, 1, 1, 1))), None);
+        assert_eq!(
+            t.lookup(u32::from(std::net::Ipv4Addr::new(10, 1, 1, 1))),
+            Some(nh(1))
+        );
+        assert_eq!(
+            t.lookup(u32::from(std::net::Ipv4Addr::new(11, 1, 1, 1))),
+            None
+        );
     }
 
     #[test]

@@ -10,10 +10,10 @@
 //! side.
 
 use fib_trie::BinaryTrie;
-use rand::SeedableRng;
 
 use crate::genfib::FibSpec;
 use crate::labels::LabelModel;
+use crate::rng::Xoshiro256;
 
 /// Which Table 1 block an instance belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,7 +102,7 @@ impl PaperInstance {
             },
             default_route: self.default_route,
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         spec.generate(&mut rng)
     }
 }
@@ -119,7 +119,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 4,
             h0: 1.00,
             default_route: false,
-            paper: PaperRow { i_kb: 94.0, e_kb: 56.0, xbw_kb: 63.0, pdag_kb: 178.0, nu: 3.17, eta_xbw: 1.12, eta_pdag: 3.47 },
+            paper: PaperRow {
+                i_kb: 94.0,
+                e_kb: 56.0,
+                xbw_kb: 63.0,
+                pdag_kb: 178.0,
+                nu: 3.17,
+                eta_xbw: 1.12,
+                eta_pdag: 3.47,
+            },
         },
         PaperInstance {
             name: "hbone",
@@ -128,7 +136,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 195,
             h0: 2.00,
             default_route: false,
-            paper: PaperRow { i_kb: 356.0, e_kb: 142.0, xbw_kb: 149.0, pdag_kb: 396.0, nu: 2.78, eta_xbw: 1.05, eta_pdag: 7.71 },
+            paper: PaperRow {
+                i_kb: 356.0,
+                e_kb: 142.0,
+                xbw_kb: 149.0,
+                pdag_kb: 396.0,
+                nu: 2.78,
+                eta_xbw: 1.05,
+                eta_pdag: 7.71,
+            },
         },
         PaperInstance {
             name: "access(d)",
@@ -137,7 +153,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 28,
             h0: 1.06,
             default_route: true,
-            paper: PaperRow { i_kb: 206.0, e_kb: 90.0, xbw_kb: 100.0, pdag_kb: 370.0, nu: 4.1, eta_xbw: 1.12, eta_pdag: 6.65 },
+            paper: PaperRow {
+                i_kb: 206.0,
+                e_kb: 90.0,
+                xbw_kb: 100.0,
+                pdag_kb: 370.0,
+                nu: 4.1,
+                eta_xbw: 1.12,
+                eta_pdag: 6.65,
+            },
         },
         PaperInstance {
             name: "access(v)",
@@ -146,7 +170,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 3,
             h0: 1.22,
             default_route: true,
-            paper: PaperRow { i_kb: 2.8, e_kb: 2.2, xbw_kb: 2.5, pdag_kb: 7.5, nu: 3.4, eta_xbw: 1.13, eta_pdag: 20.23 },
+            paper: PaperRow {
+                i_kb: 2.8,
+                e_kb: 2.2,
+                xbw_kb: 2.5,
+                pdag_kb: 7.5,
+                nu: 3.4,
+                eta_xbw: 1.13,
+                eta_pdag: 20.23,
+            },
         },
         PaperInstance {
             name: "mobile",
@@ -155,7 +187,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 16,
             h0: 1.08,
             default_route: true,
-            paper: PaperRow { i_kb: 0.8, e_kb: 0.4, xbw_kb: 1.1, pdag_kb: 3.6, nu: 8.71, eta_xbw: 2.36, eta_pdag: 1.35 },
+            paper: PaperRow {
+                i_kb: 0.8,
+                e_kb: 0.4,
+                xbw_kb: 1.1,
+                pdag_kb: 3.6,
+                nu: 8.71,
+                eta_xbw: 2.36,
+                eta_pdag: 1.35,
+            },
         },
         PaperInstance {
             name: "as1221",
@@ -164,7 +204,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 3,
             h0: 1.54,
             default_route: false,
-            paper: PaperRow { i_kb: 130.0, e_kb: 115.0, xbw_kb: 111.0, pdag_kb: 331.0, nu: 2.86, eta_xbw: 2.03, eta_pdag: 6.02 },
+            paper: PaperRow {
+                i_kb: 130.0,
+                e_kb: 115.0,
+                xbw_kb: 111.0,
+                pdag_kb: 331.0,
+                nu: 2.86,
+                eta_xbw: 2.03,
+                eta_pdag: 6.02,
+            },
         },
         PaperInstance {
             name: "as4637",
@@ -173,7 +221,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 3,
             h0: 1.12,
             default_route: false,
-            paper: PaperRow { i_kb: 52.0, e_kb: 41.0, xbw_kb: 44.0, pdag_kb: 129.0, nu: 3.13, eta_xbw: 1.62, eta_pdag: 4.69 },
+            paper: PaperRow {
+                i_kb: 52.0,
+                e_kb: 41.0,
+                xbw_kb: 44.0,
+                pdag_kb: 129.0,
+                nu: 3.13,
+                eta_xbw: 1.62,
+                eta_pdag: 4.69,
+            },
         },
         PaperInstance {
             name: "as6447",
@@ -182,7 +238,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 36,
             h0: 3.91,
             default_route: false,
-            paper: PaperRow { i_kb: 375.0, e_kb: 277.0, xbw_kb: 277.0, pdag_kb: 748.0, nu: 2.7, eta_xbw: 5.0, eta_pdag: 13.45 },
+            paper: PaperRow {
+                i_kb: 375.0,
+                e_kb: 277.0,
+                xbw_kb: 277.0,
+                pdag_kb: 748.0,
+                nu: 2.7,
+                eta_xbw: 5.0,
+                eta_pdag: 13.45,
+            },
         },
         PaperInstance {
             name: "as6730",
@@ -191,7 +255,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 186,
             h0: 2.98,
             default_route: false,
-            paper: PaperRow { i_kb: 421.0, e_kb: 209.0, xbw_kb: 213.0, pdag_kb: 545.0, nu: 2.6, eta_xbw: 3.91, eta_pdag: 9.96 },
+            paper: PaperRow {
+                i_kb: 421.0,
+                e_kb: 209.0,
+                xbw_kb: 213.0,
+                pdag_kb: 545.0,
+                nu: 2.6,
+                eta_xbw: 3.91,
+                eta_pdag: 9.96,
+            },
         },
         PaperInstance {
             name: "fib_600k",
@@ -200,7 +272,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 5,
             h0: 1.06,
             default_route: false,
-            paper: PaperRow { i_kb: 257.0, e_kb: 157.0, xbw_kb: 179.0, pdag_kb: 462.0, nu: 2.93, eta_xbw: 1.14, eta_pdag: 6.16 },
+            paper: PaperRow {
+                i_kb: 257.0,
+                e_kb: 157.0,
+                xbw_kb: 179.0,
+                pdag_kb: 462.0,
+                nu: 2.93,
+                eta_xbw: 1.14,
+                eta_pdag: 6.16,
+            },
         },
         PaperInstance {
             name: "fib_1m",
@@ -209,7 +289,15 @@ pub fn all() -> Vec<PaperInstance> {
             delta: 5,
             h0: 1.06,
             default_route: false,
-            paper: PaperRow { i_kb: 427.0, e_kb: 261.0, xbw_kb: 297.0, pdag_kb: 782.0, nu: 2.99, eta_xbw: 1.14, eta_pdag: 6.26 },
+            paper: PaperRow {
+                i_kb: 427.0,
+                e_kb: 261.0,
+                xbw_kb: 297.0,
+                pdag_kb: 782.0,
+                nu: 2.99,
+                eta_xbw: 1.14,
+                eta_pdag: 6.26,
+            },
         },
     ]
 }

@@ -1,7 +1,8 @@
 //! Next-hop label distributions.
 
 use fib_trie::NextHop;
-use rand::Rng;
+
+use crate::rng::Rng;
 
 /// A probability distribution over next-hop labels `0..δ`.
 ///
@@ -95,9 +96,9 @@ impl LabelModel {
     #[must_use]
     pub fn delta(&self) -> usize {
         match self {
-            Self::Uniform { delta } | Self::TruncPoisson { delta, .. } | Self::Geometric { delta, .. } => {
-                *delta as usize
-            }
+            Self::Uniform { delta }
+            | Self::TruncPoisson { delta, .. }
+            | Self::Geometric { delta, .. } => *delta as usize,
             Self::Bernoulli { .. } => 2,
             Self::Weighted { weights } => weights.len(),
         }
@@ -185,7 +186,7 @@ impl LabelSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256;
 
     #[test]
     fn uniform_entropy_is_log_delta() {
@@ -204,7 +205,10 @@ mod tests {
 
     #[test]
     fn trunc_poisson_is_normalized_and_skewed() {
-        let m = LabelModel::TruncPoisson { lambda: 0.6, delta: 4 };
+        let m = LabelModel::TruncPoisson {
+            lambda: 0.6,
+            delta: 4,
+        };
         let probs = m.probabilities();
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(probs[0] > probs[1] && probs[1] > probs[2] && probs[2] > probs[3]);
@@ -232,8 +236,11 @@ mod tests {
 
     #[test]
     fn sampling_matches_distribution() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let m = LabelModel::TruncPoisson { lambda: 0.6, delta: 4 };
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let m = LabelModel::TruncPoisson {
+            lambda: 0.6,
+            delta: 4,
+        };
         let sampler = m.sampler();
         let mut counts = [0u64; 4];
         let n = 200_000;
@@ -253,8 +260,10 @@ mod tests {
 
     #[test]
     fn direct_sample_agrees_with_sampler() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let m = LabelModel::Weighted { weights: vec![1.0, 2.0, 3.0] };
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let m = LabelModel::Weighted {
+            weights: vec![1.0, 2.0, 3.0],
+        };
         for _ in 0..100 {
             let nh = m.sample(&mut rng);
             assert!(nh.index() < 3);

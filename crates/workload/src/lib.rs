@@ -25,6 +25,7 @@
 pub mod genfib;
 pub mod instances;
 pub mod labels;
+pub mod rng;
 pub mod traces;
 pub mod updates;
 

@@ -1,0 +1,346 @@
+//! Deterministic, dependency-free pseudo-randomness.
+//!
+//! The workspace must build with no registry access, so the usual `rand`
+//! stack is replaced by this module: a SplitMix64 seeder feeding a
+//! xoshiro256\*\* generator (Blackman–Vigna), plus just enough trait
+//! surface — [`Rng::random`], [`Rng::random_range`], [`Rng::choose`] — to
+//! express every workload, test and bench in the tree.
+//!
+//! Determinism is part of the contract: a given seed produces the same
+//! stream on every platform, every build and every run. Nothing here is
+//! cryptographic; it is a simulation-quality generator with 256 bits of
+//! state and full 64-bit output.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use fib_succinct::fnv1a;
+
+/// A deterministic source of pseudo-random bits.
+///
+/// Implementors only provide [`Rng::next_u64`]; everything else derives
+/// from it. Generic workload APIs take `R: Rng + ?Sized` so callers can
+/// pass any generator (or a `&mut` borrow of one).
+pub trait Rng {
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly over the whole domain of `T` (for floats:
+    /// uniformly on `[0, 1)`).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Samples uniformly from an integer range, half-open (`lo..hi`) or
+    /// inclusive (`lo..=hi`), without modulo bias.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_from(self)
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let idx = uniform_below(self, slice.len() as u64) as usize;
+            Some(&slice[idx])
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// SplitMix64 (Steele–Lea–Vigna): a tiny 64-bit generator whose main job
+/// here is expanding a single seed word into larger state, as the xoshiro
+/// authors recommend.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Every seed, including 0, is valid.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* (Blackman–Vigna): the workspace's standard generator.
+/// 256 bits of state, period 2²⁵⁶ − 1, excellent statistical quality, and
+/// a few nanoseconds per draw.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Builds the full 256-bit state from one seed word via SplitMix64
+    /// (the state can never end up all-zero this way).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Derives an independent stream for one case of a named seeded test:
+    /// the name separates tests, the case index separates their cases, so
+    /// any failing case reproduces in isolation without replaying a suite.
+    #[must_use]
+    pub fn for_case(name: &str, case: u64) -> Self {
+        Self::seed_from_u64(fnv1a(name.as_bytes()) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl Rng for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types [`Rng::random`] can sample uniformly over their whole domain.
+pub trait Random {
+    /// Draws one value.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Random for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                // Truncate from the top bits, which are the strongest in
+                // xoshiro256**-style generators.
+                (rng.next_u64() >> (64 - <$t>::BITS)) as $t
+            }
+        }
+    )*};
+}
+
+impl_random_uint!(u8, u16, u32, u64, usize);
+
+impl Random for u128 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → uniform on [0, 1).
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (rng.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+/// Draws uniformly from `[0, span)` without modulo bias (Lemire's
+/// multiply-shift rejection method).
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut x = rng.next_u64();
+    let mut m = u128::from(x) * u128::from(span);
+    if (m as u64) < span {
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            x = rng.next_u64();
+            m = u128::from(x) * u128::from(span);
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Range shapes [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi - lo) as u64;
+                let offset = if span == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    uniform_below(rng, span + 1)
+                };
+                lo.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        // First outputs for seed 1234567, from the reference C
+        // implementation (Vigna, prng.di.unimi.it).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6_457_827_717_110_365_317);
+        assert_eq!(sm.next_u64(), 3_203_168_211_198_807_973);
+        assert_eq!(sm.next_u64(), 9_817_491_932_198_370_423);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_values() {
+        // Offset basis for the empty string; "a" from the FNV reference.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn for_case_separates_tests_and_cases() {
+        let mut a = Xoshiro256::for_case("test_a", 0);
+        let mut a2 = Xoshiro256::for_case("test_a", 0);
+        let mut b = Xoshiro256::for_case("test_b", 0);
+        let mut a1 = Xoshiro256::for_case("test_a", 1);
+        let first = a.next_u64();
+        assert_eq!(first, a2.next_u64());
+        assert_ne!(first, b.next_u64());
+        assert_ne!(first, a1.next_u64());
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        let mut c = Xoshiro256::seed_from_u64(43);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!((0..100).any(|_| c.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let a: u8 = rng.random_range(0..=32);
+            assert!(a <= 32);
+            let b: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&b));
+            let c: u64 = rng.random_range(0..1);
+            assert_eq!(c, 0);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_is_supported() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        // Must not overflow or panic; over a few draws it must not be
+        // constant either.
+        let draws: Vec<u64> = (0..8).map(|_| rng.random_range(0..=u64::MAX)).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let _: u32 = rng.random_range(5..5);
+    }
+
+    #[test]
+    fn range_sampling_is_roughly_uniform() {
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000 per bucket; 5% tolerance is ~13 sigma.
+            assert!((9_500..10_500).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements_and_handles_empty() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let empty: [u32; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        let items = [1u32, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            let &x = rng.choose(&items).unwrap();
+            seen[x as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unsized_borrows_work_through_the_blanket_impl() {
+        fn takes_dyn(rng: &mut dyn FnMut() -> u64) -> u64 {
+            rng()
+        }
+        // The `&mut R` impl lets generic APIs take `&mut rng` by value.
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        fn draw<R: Rng>(mut r: R) -> u64 {
+            r.next_u64()
+        }
+        let a = draw(&mut rng);
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+        let _ = takes_dyn(&mut || 0);
+    }
+
+    #[test]
+    fn float_draws_fill_the_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

@@ -9,7 +9,8 @@
 //!   keep its hot paths resident; the Zipf model reproduces that effect.
 
 use fib_trie::{Address, BinaryTrie, Prefix};
-use rand::Rng;
+
+use crate::rng::Rng;
 
 /// Uniform random addresses.
 pub fn uniform<A: Address, R: Rng + ?Sized>(rng: &mut R, count: usize) -> Vec<A> {
@@ -38,14 +39,20 @@ impl<A: Address> ZipfTrace<A> {
     pub fn new(fib: &BinaryTrie<A>, s: f64) -> Self {
         assert!(s.is_finite() && s > 0.0, "zipf exponent must be positive");
         let prefixes: Vec<Prefix<A>> = fib.iter().map(|(p, _)| p).collect();
-        assert!(!prefixes.is_empty(), "cannot build a trace over an empty FIB");
+        assert!(
+            !prefixes.is_empty(),
+            "cannot build a trace over an empty FIB"
+        );
         let mut cumulative = Vec::with_capacity(prefixes.len());
         let mut acc = 0.0;
         for rank in 1..=prefixes.len() {
             acc += 1.0 / (rank as f64).powf(s);
             cumulative.push(acc);
         }
-        Self { prefixes, cumulative }
+        Self {
+            prefixes,
+            cumulative,
+        }
     }
 
     /// Draws one destination address: a Zipf-ranked prefix filled with
@@ -78,11 +85,11 @@ impl<A: Address> ZipfTrace<A> {
 mod tests {
     use super::*;
     use crate::genfib::FibSpec;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256;
     use std::collections::HashMap;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(seed)
     }
 
     #[test]
@@ -90,7 +97,10 @@ mod tests {
         let addrs: Vec<u32> = uniform(&mut rng(1), 10_000);
         assert_eq!(addrs.len(), 10_000);
         let top_set = addrs.iter().filter(|&&a| a >= 0x8000_0000).count();
-        assert!((4000..6000).contains(&top_set), "unbiased halves: {top_set}");
+        assert!(
+            (4000..6000).contains(&top_set),
+            "unbiased halves: {top_set}"
+        );
     }
 
     #[test]

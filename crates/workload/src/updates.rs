@@ -12,8 +12,8 @@
 
 use fib_trie::stats::route_label_histogram;
 use fib_trie::{Address, BinaryTrie, NextHop, Prefix};
-use rand::seq::IndexedRandom;
-use rand::Rng;
+
+use crate::rng::Rng;
 
 /// One routing-table change.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,7 +134,7 @@ pub fn bgp_sequence<R: Rng + ?Sized>(
         .map(|_| {
             let roll: f64 = rng.random();
             if roll < 0.85 && !prefixes.is_empty() {
-                let p = *prefixes.choose(rng).expect("non-empty");
+                let p = *rng.choose(&prefixes).expect("non-empty");
                 UpdateOp::Announce(p, sample_hop(rng))
             } else if roll < 0.925 || fresh.is_empty() {
                 let len = bgp_prefix_len(rng);
@@ -153,10 +153,10 @@ pub fn bgp_sequence<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::genfib::FibSpec;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(seed)
     }
 
     #[test]
@@ -167,14 +167,20 @@ mod tests {
             .iter()
             .filter(|op| matches!(op, UpdateOp::Announce(..)))
             .count();
-        assert!((700..900).contains(&announces), "≈80% announces, got {announces}");
+        assert!(
+            (700..900).contains(&announces),
+            "≈80% announces, got {announces}"
+        );
     }
 
     #[test]
     fn bgp_lengths_mean_matches_paper() {
         let mut r = rng(2);
         let n = 100_000;
-        let mean: f64 = (0..n).map(|_| f64::from(bgp_prefix_len(&mut r))).sum::<f64>() / f64::from(n);
+        let mean: f64 = (0..n)
+            .map(|_| f64::from(bgp_prefix_len(&mut r)))
+            .sum::<f64>()
+            / f64::from(n);
         assert!(
             (mean - 21.87).abs() < 0.8,
             "BGP mean length {mean} should be ≈ 21.87"
@@ -190,7 +196,10 @@ mod tests {
             .iter()
             .filter(|op| matches!(op, UpdateOp::Announce(p, _) if fib.exact_match(*p).is_some()))
             .count();
-        assert!(existing > 1500, "most updates hit existing prefixes: {existing}");
+        assert!(
+            existing > 1500,
+            "most updates hit existing prefixes: {existing}"
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use fibcomp::core::{FibEntropy, PrefixDag, SerializedDag, XbwFib, XbwStorage};
 use fibcomp::trie::{BinaryTrie, LcTrie};
+use fibcomp::workload::rng::Xoshiro256;
 use fibcomp::workload::{FibSpec, LabelModel};
-use rand::SeedableRng;
 
 const N: usize = 50_000;
 const DELTA: u32 = 16;
@@ -30,7 +30,7 @@ fn main() {
             spatial_correlation: 0.0,
             default_route: false,
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64((target * 1000.0) as u64);
+        let mut rng = Xoshiro256::seed_from_u64((target * 1000.0) as u64);
         let trie: BinaryTrie<u32> = spec.generate(&mut rng);
 
         let metrics = FibEntropy::of_trie(&trie);

@@ -8,8 +8,8 @@
 
 use fibcomp::core::{FibEntropy, PrefixDag, XbwFib, XbwStorage};
 use fibcomp::prelude::*;
+use fibcomp::workload::rng::{Rng, Xoshiro256};
 use fibcomp::workload::{FibSpec, LabelModel};
-use rand::SeedableRng;
 
 fn main() {
     // A synthetic IPv6 table: global unicast prefixes between /20 and /48.
@@ -17,13 +17,20 @@ fn main() {
         n_prefixes: 30_000,
         max_len: 48,
         depth_bias: 0.4,
-        labels: LabelModel::Geometric { ratio: 0.5, delta: 8 },
+        labels: LabelModel::Geometric {
+            ratio: 0.5,
+            delta: 8,
+        },
         spatial_correlation: 0.0,
         default_route: false,
     };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(66);
+    let mut rng = Xoshiro256::seed_from_u64(66);
     let trie: BinaryTrie<u128> = spec.generate(&mut rng);
-    println!("IPv6 FIB: {} prefixes, {} trie nodes", trie.len(), trie.node_count());
+    println!(
+        "IPv6 FIB: {} prefixes, {} trie nodes",
+        trie.len(),
+        trie.node_count()
+    );
 
     let metrics = FibEntropy::of_trie(&trie);
     println!(
@@ -50,7 +57,7 @@ fn main() {
     // Differential check over addresses inside and outside the table.
     let mut checked = 0u32;
     for _ in 0..50_000 {
-        let addr: u128 = rand::Rng::random(&mut rng);
+        let addr: u128 = rng.random();
         assert_eq!(dag.lookup(addr), trie.lookup(addr));
         assert_eq!(xbw.lookup(addr), trie.lookup(addr));
         checked += 1;
@@ -61,7 +68,10 @@ fn main() {
     let p: Prefix6 = "2001:db8:cafe::/48".parse().unwrap();
     let mut dag = dag;
     dag.insert(p, NextHop::new(7));
-    let probe: u128 = "2001:db8:cafe::1".parse::<std::net::Ipv6Addr>().unwrap().into();
+    let probe: u128 = "2001:db8:cafe::1"
+        .parse::<std::net::Ipv6Addr>()
+        .unwrap()
+        .into();
     assert_eq!(dag.lookup(probe), Some(NextHop::new(7)));
     println!("inserted 2001:db8:cafe::/48 → nh7 into the folded form ✓");
 }

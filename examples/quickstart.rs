@@ -23,13 +23,27 @@ fn main() {
         .iter()
         .map(|&(p, nh)| (Prefix4::from_str(p).unwrap(), NextHop::new(nh)))
         .collect();
-    println!("FIB with {} routes ({} trie nodes)", trie.len(), trie.node_count());
+    println!(
+        "FIB with {} routes ({} trie nodes)",
+        trie.len(),
+        trie.node_count()
+    );
 
     // 1. The compressibility metrics of Section 2.
     let metrics = FibEntropy::of_trie(&trie);
-    println!("\nnormal form: n = {} leaves, t = {} nodes, δ = {}", metrics.n_leaves, metrics.t_nodes, metrics.delta);
-    println!("information-theoretic bound I = {:.0} bits", metrics.info_bound_bits());
-    println!("FIB entropy               E = {:.1} bits (H0 = {:.3})", metrics.entropy_bits(), metrics.h0);
+    println!(
+        "\nnormal form: n = {} leaves, t = {} nodes, δ = {}",
+        metrics.n_leaves, metrics.t_nodes, metrics.delta
+    );
+    println!(
+        "information-theoretic bound I = {:.0} bits",
+        metrics.info_bound_bits()
+    );
+    println!(
+        "FIB entropy               E = {:.1} bits (H0 = {:.3})",
+        metrics.entropy_bits(),
+        metrics.h0
+    );
 
     // 2. Compress: XBW-b (entropy mode), prefix DAG (λ = 2), serialized DAG.
     let xbw = XbwFib::build(&trie, XbwStorage::Entropy);
@@ -47,7 +61,11 @@ fn main() {
     //    worked example: 0111… → next-hop 1.
     let addr = u32::from(std::net::Ipv4Addr::new(0b0111_0000, 0, 0, 1));
     let expected = trie.lookup(addr);
-    println!("\nlookup({}) = {:?}", std::net::Ipv4Addr::from(addr), expected);
+    println!(
+        "\nlookup({}) = {:?}",
+        std::net::Ipv4Addr::from(addr),
+        expected
+    );
     assert_eq!(expected, Some(NextHop::new(1)));
     for engine in [&trie as &dyn FibEngine<u32>, &lc, &xbw, &dag, &ser] {
         assert_eq!(engine.lookup(addr), expected, "{} disagrees", engine.name());

@@ -9,9 +9,9 @@
 
 use fibcomp::core::PrefixDag;
 use fibcomp::trie::BinaryTrie;
+use fibcomp::workload::rng::Xoshiro256;
 use fibcomp::workload::updates::{bgp_sequence, UpdateOp};
 use fibcomp::workload::{traces, FibSpec};
-use rand::SeedableRng;
 use std::time::Instant;
 
 const FIB_SIZE: usize = 150_000;
@@ -20,7 +20,7 @@ const UPDATES_PER_BATCH: usize = 2_000;
 const LOOKUPS_PER_BATCH: usize = 200_000;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let mut rng = Xoshiro256::seed_from_u64(2024);
     println!("building a {FIB_SIZE}-prefix DFZ-like FIB…");
     let trie: BinaryTrie<u32> = FibSpec::dfz_like(FIB_SIZE).generate(&mut rng);
 
@@ -71,7 +71,11 @@ fn main() {
 
         // Differential check against the control FIB.
         for &k in keys.iter().step_by(997) {
-            assert_eq!(dag.lookup(k), dag.control().lookup(k), "divergence at {k:#x}");
+            assert_eq!(
+                dag.lookup(k),
+                dag.control().lookup(k),
+                "divergence at {k:#x}"
+            );
         }
         println!(
             "batch {batch:>2}: {:>6.1} Kupd/s, {:>5.2} Mlookup/s, {} routes live",
@@ -81,8 +85,6 @@ fn main() {
         );
     }
 
-    println!(
-        "\nsurvived {total_updates} updates and {total_lookups} lookups with zero divergence"
-    );
+    println!("\nsurvived {total_updates} updates and {total_lookups} lookups with zero divergence");
     println!("final fold state: {:?}", dag.stats());
 }

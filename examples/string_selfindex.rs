@@ -26,9 +26,13 @@ fn main() {
     let stats = fs.stats();
     println!(
         "\n64 KiB periodic text → {} distinct nodes ({} interiors, {} leaves), λ = {}",
-        stats.live_nodes, stats.folded_interior, stats.folded_leaves, fs.lambda(),
+        stats.live_nodes,
+        stats.folded_interior,
+        stats.folded_leaves,
+        fs.lambda(),
     );
-    println!("model size: {} bytes ({}x smaller than raw)",
+    println!(
+        "model size: {} bytes ({}x smaller than raw)",
         fs.model_size_bits() / 8,
         symbols.len() * 8 * 8 / fs.model_size_bits().max(1),
     );

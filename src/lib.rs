@@ -52,9 +52,7 @@ pub use fib_workload as workload;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use fib_core::{
-        FibEntropy, FoldedString, PrefixDag, SerializedDag, XbwFib, XbwStorage,
-    };
+    pub use fib_core::{FibEntropy, FoldedString, PrefixDag, SerializedDag, XbwFib, XbwStorage};
     pub use fib_trie::{
         Address, BinaryTrie, LcTrie, NextHop, Prefix, Prefix4, Prefix6, ProperTrie, RouteTable,
     };

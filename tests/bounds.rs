@@ -4,17 +4,19 @@
 
 use fibcomp::core::{lambda, FibEntropy, FoldedString, PrefixDag, XbwFib, XbwStorage};
 use fibcomp::trie::BinaryTrie;
+use fibcomp::workload::rng::{Rng, Xoshiro256};
 use fibcomp::workload::{FibSpec, LabelModel};
-use rand::SeedableRng;
 
-fn rng(seed: u64) -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(seed)
+fn rng(seed: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(seed)
 }
 
 fn bernoulli_symbols(n: usize, p: f64, seed: u64) -> Vec<u16> {
     let sampler = LabelModel::Bernoulli { p }.sampler();
     let mut r = rng(seed);
-    (0..n).map(|_| sampler.sample(&mut r).index() as u16).collect()
+    (0..n)
+        .map(|_| sampler.sample(&mut r).index() as u16)
+        .collect()
 }
 
 #[test]
@@ -23,9 +25,7 @@ fn theorem1_info_bound_holds_across_alphabets() {
     let n = 1usize << 15;
     for delta in [2u64, 4, 8, 16] {
         let mut r = rng(delta);
-        let symbols: Vec<u16> = (0..n)
-            .map(|_| rand::Rng::random_range(&mut r, 0..delta) as u16)
-            .collect();
+        let symbols: Vec<u16> = (0..n).map(|_| r.random_range(0..delta) as u16).collect();
         let lam = lambda::barrier_info(n, delta as usize, 15);
         let fs = FoldedString::new(&symbols, lam);
         let bound = 4.0 * n as f64 * (delta as f64).log2();
@@ -174,7 +174,10 @@ fn lambda_formulas_land_in_the_papers_flat_region() {
     for n_leaves in [300_000usize, 700_000] {
         for h0 in [1.0f64, 2.0, 4.0] {
             let l = lambda::barrier_entropy(n_leaves, h0, 32);
-            assert!((5..=17).contains(&l), "λ = {l} for n = {n_leaves}, H0 = {h0}");
+            assert!(
+                (5..=17).contains(&l),
+                "λ = {l} for n = {n_leaves}, H0 = {h0}"
+            );
         }
     }
 }

@@ -4,11 +4,11 @@
 
 use fibcomp::core::{FibEngine, PrefixDag, SerializedDag, XbwFib, XbwStorage};
 use fibcomp::trie::{ortc, BinaryTrie, LcTrie, ProperTrie, RouteTable};
+use fibcomp::workload::rng::Xoshiro256;
 use fibcomp::workload::{traces, FibSpec, LabelModel};
-use rand::SeedableRng;
 
-fn rng(seed: u64) -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(seed)
+fn rng(seed: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(seed)
 }
 
 /// Builds every engine over `trie` and checks they agree on `keys`.
@@ -31,8 +31,7 @@ fn check_all_engines(trie: &BinaryTrie<u32>, keys: &[u32]) {
     let aggregated = ortc::compress(trie);
 
     let engines: Vec<&dyn FibEngine<u32>> = vec![
-        trie, &proper, &lc_half, &lc_full, &xbw_s, &xbw_e, &dag0, &dag11, &dag_eq3, &ser0,
-        &ser11,
+        trie, &proper, &lc_half, &lc_full, &xbw_s, &xbw_e, &dag0, &dag11, &dag_eq3, &ser0, &ser11,
     ];
     for &key in keys {
         let expected = table.lookup(key);
@@ -44,7 +43,11 @@ fn check_all_engines(trie: &BinaryTrie<u32>, keys: &[u32]) {
                 engine.name()
             );
         }
-        assert_eq!(aggregated.lookup(key), expected, "ORTC diverges at {key:#010x}");
+        assert_eq!(
+            aggregated.lookup(key),
+            expected,
+            "ORTC diverges at {key:#010x}"
+        );
     }
 }
 
@@ -111,12 +114,18 @@ fn tiny_fibs_and_degenerate_shapes() {
     check_all_engines(&t, &[0, u32::MAX, 42]);
     // One host route.
     let mut t = BinaryTrie::new();
-    t.insert("1.2.3.4/32".parse().unwrap(), fibcomp::trie::NextHop::new(2));
+    t.insert(
+        "1.2.3.4/32".parse().unwrap(),
+        fibcomp::trie::NextHop::new(2),
+    );
     check_all_engines(&t, &[0x0102_0304, 0x0102_0305, 0x0102_0303, 0]);
     // Two maximally separated routes.
     let mut t = BinaryTrie::new();
     t.insert("0.0.0.0/1".parse().unwrap(), fibcomp::trie::NextHop::new(1));
-    t.insert("128.0.0.0/1".parse().unwrap(), fibcomp::trie::NextHop::new(2));
+    t.insert(
+        "128.0.0.0/1".parse().unwrap(),
+        fibcomp::trie::NextHop::new(2),
+    );
     check_all_engines(&t, &[0, 0x7FFF_FFFF, 0x8000_0000, u32::MAX]);
 }
 
@@ -129,7 +138,9 @@ fn nested_chains_exercise_deep_paths() {
         let nh = fibcomp::trie::NextHop::new(u32::from(len % 2));
         t.insert(fibcomp::trie::Prefix4::new(0, len), nh);
     }
-    let keys: Vec<u32> = (0..33).map(|b| if b == 32 { 0 } else { 1u32 << b }).collect();
+    let keys: Vec<u32> = (0..33)
+        .map(|b| if b == 32 { 0 } else { 1u32 << b })
+        .collect();
     check_all_engines(&t, &keys);
 }
 

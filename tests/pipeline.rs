@@ -4,12 +4,12 @@
 
 use fibcomp::core::{PrefixDag, SerializedDag};
 use fibcomp::trie::{io, ortc, BinaryTrie};
+use fibcomp::workload::rng::Xoshiro256;
 use fibcomp::workload::{traces, FibSpec};
-use rand::SeedableRng;
 
 #[test]
 fn text_to_wire_image_roundtrip() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = Xoshiro256::seed_from_u64(99);
     let original: BinaryTrie<u32> = FibSpec::dfz_like(5_000).generate(&mut rng);
 
     // 1. Export to the tabular text format and re-import.
@@ -34,14 +34,18 @@ fn text_to_wire_image_roundtrip() {
     // 4. The decoded image forwards exactly like the original FIB.
     let keys = traces::uniform::<u32, _>(&mut rng, 5_000);
     for k in keys {
-        assert_eq!(wire.lookup(k), original.lookup(k), "divergence at {k:#010x}");
+        assert_eq!(
+            wire.lookup(k),
+            original.lookup(k),
+            "divergence at {k:#010x}"
+        );
     }
 }
 
 #[test]
 fn updates_survive_the_pipeline() {
     // Updates applied to the DAG must be visible after image export.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+    let mut rng = Xoshiro256::seed_from_u64(100);
     let base: BinaryTrie<u32> = FibSpec::dfz_like(2_000).generate(&mut rng);
     let mut dag = PrefixDag::from_trie(&base, 11);
     let updates = fibcomp::workload::updates::bgp_sequence(&mut rng, &base, 1_000);

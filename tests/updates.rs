@@ -4,17 +4,21 @@
 
 use fibcomp::core::{PrefixDag, SerializedDag};
 use fibcomp::trie::{BinaryTrie, NextHop, Prefix4, RouteTable};
+use fibcomp::workload::rng::{Rng, Xoshiro256};
 use fibcomp::workload::updates::{bgp_sequence, random_sequence, UpdateOp};
 use fibcomp::workload::{traces, FibSpec};
-use rand::SeedableRng;
 
-fn rng(seed: u64) -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(seed)
+fn rng(seed: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(seed)
 }
 
 fn assert_dag_tracks_control(dag: &PrefixDag<u32>, keys: &[u32]) {
     for &k in keys {
-        assert_eq!(dag.lookup(k), dag.control().lookup(k), "divergence at {k:#010x}");
+        assert_eq!(
+            dag.lookup(k),
+            dag.control().lookup(k),
+            "divergence at {k:#010x}"
+        );
     }
 }
 
@@ -77,9 +81,9 @@ fn dag_insert_remove_returns_match_route_table() {
     let mut table: RouteTable<u32> = RouteTable::new();
     let mut r = rng(7);
     for _ in 0..2_000 {
-        let p = Prefix4::new(rand::Rng::random(&mut r), rand::Rng::random_range(&mut r, 0..=32));
-        if rand::Rng::random::<f64>(&mut r) < 0.7 {
-            let nh = NextHop::new(rand::Rng::random_range(&mut r, 0..6));
+        let p = Prefix4::new(r.random(), r.random_range(0..=32));
+        if r.random::<f64>() < 0.7 {
+            let nh = NextHop::new(r.random_range(0..6));
             assert_eq!(dag.insert(p, nh), table.insert(p, nh), "insert {p}");
         } else {
             assert_eq!(dag.remove(p), table.remove(p), "remove {p}");
@@ -108,7 +112,11 @@ fn rebuild_equals_incremental() {
         }
     }
     let fresh = PrefixDag::from_trie(dag.control(), 9);
-    assert_eq!(dag.stats(), fresh.stats(), "incremental fold must be canonical");
+    assert_eq!(
+        dag.stats(),
+        fresh.stats(),
+        "incremental fold must be canonical"
+    );
     assert_eq!(dag.model_size_bits(), fresh.model_size_bits());
 }
 
@@ -123,7 +131,11 @@ fn idempotent_reannouncement_is_a_noop_structurally() {
         assert_eq!(dag.insert(p, nh), Some(nh));
     }
     dag.assert_invariants();
-    assert_eq!(dag.stats(), before, "identical announcements must not change the fold");
+    assert_eq!(
+        dag.stats(),
+        before,
+        "identical announcements must not change the fold"
+    );
 }
 
 #[test]
@@ -133,7 +145,7 @@ fn insert_then_remove_round_trips_to_baseline() {
     let baseline = dag.stats();
     let mut r = rng(12);
     let fresh: Vec<Prefix4> = (0..200)
-        .map(|_| Prefix4::new(rand::Rng::random(&mut r), rand::Rng::random_range(&mut r, 6..=32)))
+        .map(|_| Prefix4::new(r.random(), r.random_range(6..=32)))
         .filter(|p| base.exact_match(*p).is_none())
         .collect();
     for &p in &fresh {
@@ -143,5 +155,9 @@ fn insert_then_remove_round_trips_to_baseline() {
         dag.remove(p);
     }
     dag.assert_invariants();
-    assert_eq!(dag.stats(), baseline, "adding and removing must restore the fold");
+    assert_eq!(
+        dag.stats(),
+        baseline,
+        "adding and removing must restore the fold"
+    );
 }
