@@ -1,9 +1,11 @@
 //! Micro-benchmarks: longest-prefix-match throughput of every engine over
 //! uniform and locality-skewed key streams (the measurement behind
-//! Table 2's Mlookup/s rows).
+//! Table 2's Mlookup/s rows), for both the one-address-at-a-time path and
+//! the batched data-plane path (`FibLookup::lookup_batch`), whose
+//! interleaved multi-lane walks are the whole point of the batch API.
 
 use fib_bench::timing::BenchGroup;
-use fib_core::{FibEngine, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fib_core::{FibEngine, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage};
 use fib_trie::{BinaryTrie, LcTrie};
 use fib_workload::rng::Xoshiro256;
 use fib_workload::traces::{uniform, ZipfTrace};
@@ -22,6 +24,7 @@ fn engines_and_traces() {
     let xbw_entropy = XbwFib::build(&trie, XbwStorage::Entropy);
     let dag = PrefixDag::from_trie(&trie, 11);
     let ser = SerializedDag::from_dag(&dag);
+    let mb = MultibitDag::from_trie(&trie, 4);
 
     let rand_keys: Vec<u32> = uniform(&mut rng, BATCH);
     let zipf = ZipfTrace::new(&trie, 1.1);
@@ -34,6 +37,7 @@ fn engines_and_traces() {
         ("xbw-entropy", &xbw_entropy),
         ("pdag", &dag),
         ("pdag-serialized", &ser),
+        ("multibit-dag", &mb),
     ];
 
     for (trace_name, keys) in [("rand", &rand_keys), ("trace", &trace_keys)] {
@@ -49,6 +53,23 @@ fn engines_and_traces() {
                         ));
                     }
                     black_box(acc)
+                });
+            });
+        }
+    }
+
+    // The batched path: the flat-layout engines (serialized pDAG, LC-trie,
+    // multibit DAG) run their interleaved overrides; the rest exercise the
+    // default loop so regressions in either path show up side by side.
+    let mut out = vec![None; BATCH];
+    for (trace_name, keys) in [("rand", &rand_keys), ("trace", &trace_keys)] {
+        let group = BenchGroup::new(&format!("lookup_batch/{trace_name}"))
+            .throughput_elements(BATCH as u64);
+        for (name, engine) in &engines {
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    engine.lookup_batch(black_box(keys), &mut out);
+                    black_box(out.last().copied())
                 });
             });
         }

@@ -1,8 +1,11 @@
 //! Micro-benchmarks: FIB update cost — the prefix DAG across barrier
-//! settings (Fig. 5's y-axis) against the plain binary trie.
+//! settings (Fig. 5's y-axis) against the plain binary trie, plus churn
+//! through the router core (control-plane update + epoch snapshot
+//! publishing), which is the path a deployed software router runs.
 
 use fib_bench::timing::BenchGroup;
-use fib_core::PrefixDag;
+use fib_core::{BuildConfig, PrefixDag};
+use fib_router::{Router, RouterConfig};
 use fib_trie::BinaryTrie;
 use fib_workload::rng::Xoshiro256;
 use fib_workload::updates::{bgp_sequence, random_sequence, UpdateOp};
@@ -22,6 +25,16 @@ fn apply_dag(dag: &mut PrefixDag<u32>, seq: &[UpdateOp<u32>]) {
             }
         }
     }
+}
+
+fn apply_router(router: &mut Router<u32, PrefixDag<u32>>, seq: &[UpdateOp<u32>]) {
+    for op in seq {
+        match *op {
+            UpdateOp::Announce(p, nh) => router.announce(p, nh),
+            UpdateOp::Withdraw(p) => router.withdraw(p),
+        }
+    }
+    router.publish();
 }
 
 fn update_benches() {
@@ -46,6 +59,25 @@ fn update_benches() {
                         op.apply(&mut t);
                     }
                 },
+            );
+        });
+    }
+
+    // Churn under snapshots: absorb the feed through the router's control
+    // plane and cut one epoch at the end — in-place λ-barrier updates plus
+    // the engine clone + Arc swap of `publish`.
+    let router_config = RouterConfig {
+        build: BuildConfig::with_lambda(11),
+        publish_every: None,
+        degradation_threshold: 0.25,
+        background_rebuild: false,
+    };
+    let group = BenchGroup::new("router_churn").sample_size(10);
+    for (seq_name, seq) in [("random", &rand_seq), ("bgp", &bgp_seq)] {
+        group.bench_function(&format!("pdag-snapshots/{seq_name}"), |b| {
+            b.iter_batched(
+                || Router::<u32, PrefixDag<u32>>::new(trie.clone(), router_config),
+                |mut router| apply_router(&mut router, seq),
             );
         });
     }

@@ -14,7 +14,7 @@
 
 use fib_bench::{f, instance_fib, kb, scale_arg};
 use fib_core::{
-    lambda, FibEngine, FibEntropy, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage,
+    lambda, FibEntropy, FibLookup, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage,
 };
 use fib_succinct::shannon_entropy;
 use fib_trie::stats::{next_hop_count, route_label_histogram, PrefixLenHistogram};
@@ -96,8 +96,8 @@ fn main() {
     };
     row("binary trie", trie.size_bytes());
     row("fib_trie (kernel model)", lc.kernel_model_bytes());
-    row("XBW-b succinct", FibEngine::<u32>::size_bytes(&xbw_s));
-    row("XBW-b entropy", FibEngine::<u32>::size_bytes(&xbw));
+    row("XBW-b succinct", FibLookup::<u32>::size_bytes(&xbw_s));
+    row("XBW-b entropy", FibLookup::<u32>::size_bytes(&xbw));
     row(
         &format!("prefix DAG (λ={lam}, model)"),
         dag.model_size_bits() / 8,

@@ -7,7 +7,7 @@
 //! Run with `--scale=0.1` for a quick pass.
 
 use fib_bench::{f, instance_fib, kb, ns_per_call, print_table, scale_arg, write_tsv};
-use fib_core::{FibEngine, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fib_core::{FibEngine, FibLookup, PrefixDag, SerializedDag, XbwFib, XbwStorage};
 use fib_hwsim::{CacheSim, SramModel};
 use fib_trie::LcTrie;
 use fib_workload::rng::Xoshiro256;
@@ -90,10 +90,10 @@ fn main() {
     // Size and depth block.
     rows.push(vec![
         "size [KByte]".to_string(),
-        kb(FibEngine::<u32>::size_bytes(&xbw)),
-        kb(FibEngine::<u32>::size_bytes(&ser)),
-        kb(FibEngine::<u32>::size_bytes(&lc)),
-        kb(FibEngine::<u32>::size_bytes(&ser)),
+        kb(FibLookup::<u32>::size_bytes(&xbw)),
+        kb(FibLookup::<u32>::size_bytes(&ser)),
+        kb(FibLookup::<u32>::size_bytes(&lc)),
+        kb(FibLookup::<u32>::size_bytes(&ser)),
     ]);
     rows.push(vec![
         "avg depth".to_string(),

@@ -1,21 +1,133 @@
-//! A uniform interface over every FIB representation in the workspace, so
-//! the benchmark harnesses and differential tests treat them
-//! interchangeably.
+//! The engine trait family: a uniform interface over every FIB
+//! representation in the workspace, split along the control/data-plane
+//! seam of the paper's §5 router architecture.
+//!
+//! * [`FibLookup`] — the data-plane surface: single and batched
+//!   longest-prefix match, resident size, and the traced-lookup hooks the
+//!   cache/SRAM simulators consume. Engines with a flat memory layout
+//!   ([`SerializedDag`], [`MultibitDag`], [`LcTrie`]) override
+//!   [`FibLookup::lookup_batch`] with interleaved multi-lane walks.
+//! * [`FibBuild`] — the control-plane build step: every engine constructs
+//!   from the oracle [`BinaryTrie`] under one uniform [`BuildConfig`], so
+//!   a router can re-emit any representation from its control FIB.
+//! * [`FibUpdate`] — incremental updates with a [`RebuildNeeded`] escape
+//!   hatch: structures with native λ-barrier updates ([`PrefixDag`],
+//!   [`BinaryTrie`], [`RouteTable`]) apply them in place; static images
+//!   decline and let the router schedule a rebuild.
+//! * [`FibEngine`] — the legacy umbrella: a blanket supertrait of
+//!   [`FibLookup`], kept so existing differential tests and benchmark
+//!   harnesses keep compiling unchanged against trait objects.
 
-use fib_trie::{Address, BinaryTrie, LcTrie, NextHop, ProperTrie, RouteTable};
+use fib_trie::{Address, BinaryTrie, LcTrie, NextHop, Prefix, ProperTrie, RouteTable};
 
 use crate::multibit::MultibitDag;
 use crate::pdag::PrefixDag;
 use crate::serialized::SerializedDag;
-use crate::xbw::XbwFib;
+use crate::xbw::{XbwFib, XbwStorage};
 
-/// Anything that answers longest-prefix-match queries.
-pub trait FibEngine<A: Address> {
+/// Uniform construction parameters for [`FibBuild`].
+///
+/// Every engine reads the fields relevant to it and ignores the rest, so
+/// one config can drive a whole fleet of representations off the same
+/// control FIB.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildConfig {
+    /// Leaf-push barrier for the prefix DAGs; `None` selects the
+    /// entropy-derived barrier of Eq. (3).
+    pub lambda: Option<u8>,
+    /// Stride of the multibit DAG.
+    pub stride: u8,
+    /// LC-trie fill factor in `(0, 1]`.
+    pub fill: f64,
+    /// LC-trie maximum stride.
+    pub max_stride: u8,
+    /// Storage mode of the XBW-b transform.
+    pub xbw_storage: XbwStorage,
+}
+
+impl Default for BuildConfig {
+    /// The paper's evaluation defaults: λ = 11, byte-wide multibit nodes
+    /// would be 8 but the ablation sweet spot is 4, kernel-flavoured
+    /// LC-trie parameters, entropy-mode XBW-b.
+    fn default() -> Self {
+        Self {
+            lambda: Some(11),
+            stride: 4,
+            fill: 0.5,
+            max_stride: 12,
+            xbw_storage: XbwStorage::Entropy,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// A config with an explicit leaf-push barrier.
+    #[must_use]
+    pub fn with_lambda(lambda: u8) -> Self {
+        Self {
+            lambda: Some(lambda),
+            ..Self::default()
+        }
+    }
+
+    /// A config selecting the entropy-derived barrier of Eq. (3).
+    #[must_use]
+    pub fn entropy_barrier() -> Self {
+        Self {
+            lambda: None,
+            ..Self::default()
+        }
+    }
+
+    /// Resolves the barrier for a concrete FIB.
+    #[must_use]
+    pub fn lambda_for<A: Address>(&self, trie: &BinaryTrie<A>) -> u8 {
+        match self.lambda {
+            Some(l) => l.min(A::WIDTH),
+            None => {
+                let metrics = crate::entropy::FibEntropy::of_trie(trie);
+                crate::lambda::barrier_entropy(metrics.n_leaves, metrics.h0, A::WIDTH)
+            }
+        }
+    }
+}
+
+/// Returned by [`FibUpdate`] when a structure cannot absorb an update in
+/// place; the owner must rebuild it from the control FIB via [`FibBuild`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RebuildNeeded;
+
+impl std::fmt::Display for RebuildNeeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "engine requires a rebuild from the control FIB")
+    }
+}
+
+impl std::error::Error for RebuildNeeded {}
+
+/// The data-plane surface: anything that answers longest-prefix-match
+/// queries.
+pub trait FibLookup<A: Address> {
     /// Engine name for reports (e.g. `"pDAG"`, `"fib_trie"`).
     fn name(&self) -> &'static str;
 
     /// Longest-prefix-match lookup.
     fn lookup(&self, addr: A) -> Option<NextHop>;
+
+    /// Batched longest-prefix match: resolves `addrs[i]` into `out[i]`.
+    ///
+    /// The default implementation is a plain per-address loop; flat-layout
+    /// engines override it with interleaved multi-lane walks that overlap
+    /// the independent memory fetches of different packets.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+            *slot = self.lookup(*addr);
+        }
+    }
 
     /// Resident size in bytes of the lookup structure (the number Table 1
     /// and Table 2 report).
@@ -29,13 +141,58 @@ pub trait FibEngine<A: Address> {
         self.lookup(addr)
     }
 
-    /// Whether [`FibEngine::lookup_traced`] produces a real access stream.
+    /// Whether [`FibLookup::lookup_traced`] produces a real access stream.
     fn traces_memory(&self) -> bool {
         false
     }
 }
 
-impl<A: Address> FibEngine<A> for RouteTable<A> {
+/// The control-plane build step: construct an engine from the oracle trie.
+pub trait FibBuild<A: Address>: Sized {
+    /// Builds the engine from `trie` under `config`.
+    fn build(trie: &BinaryTrie<A>, config: &BuildConfig) -> Self;
+}
+
+/// Incremental route updates, with an escape hatch for static structures.
+pub trait FibUpdate<A: Address> {
+    /// Inserts or replaces a route in place, returning the previous
+    /// next-hop, or signals that the structure must be rebuilt.
+    ///
+    /// # Errors
+    /// [`RebuildNeeded`] if the engine has no in-place update path.
+    fn try_insert(
+        &mut self,
+        prefix: Prefix<A>,
+        next_hop: NextHop,
+    ) -> Result<Option<NextHop>, RebuildNeeded>;
+
+    /// Removes a route in place, returning its next-hop if it existed, or
+    /// signals that the structure must be rebuilt.
+    ///
+    /// # Errors
+    /// [`RebuildNeeded`] if the engine has no in-place update path.
+    fn try_remove(&mut self, prefix: Prefix<A>) -> Result<Option<NextHop>, RebuildNeeded>;
+
+    /// How far the structure has degraded from its freshly built form, in
+    /// `[0, 1]`. A router compares this against its rebuild threshold;
+    /// engines without a meaningful metric report 0.
+    fn degradation(&self) -> f64 {
+        0.0
+    }
+}
+
+/// The legacy umbrella trait: every [`FibLookup`] is a `FibEngine`, so
+/// pre-split call sites (`&dyn FibEngine<A>`, `E: FibEngine<A>` bounds)
+/// keep working.
+pub trait FibEngine<A: Address>: FibLookup<A> {}
+
+impl<A: Address, T: FibLookup<A> + ?Sized> FibEngine<A> for T {}
+
+// ---------------------------------------------------------------------
+// FibLookup implementations
+// ---------------------------------------------------------------------
+
+impl<A: Address> FibLookup<A> for RouteTable<A> {
     fn name(&self) -> &'static str {
         "tabular"
     }
@@ -49,7 +206,7 @@ impl<A: Address> FibEngine<A> for RouteTable<A> {
     }
 }
 
-impl<A: Address> FibEngine<A> for BinaryTrie<A> {
+impl<A: Address> FibLookup<A> for BinaryTrie<A> {
     fn name(&self) -> &'static str {
         "binary-trie"
     }
@@ -71,7 +228,7 @@ impl<A: Address> FibEngine<A> for BinaryTrie<A> {
     }
 }
 
-impl<A: Address> FibEngine<A> for ProperTrie<A> {
+impl<A: Address> FibLookup<A> for ProperTrie<A> {
     fn name(&self) -> &'static str {
         "leaf-pushed"
     }
@@ -83,15 +240,27 @@ impl<A: Address> FibEngine<A> for ProperTrie<A> {
     fn size_bytes(&self) -> usize {
         ProperTrie::size_bytes(self)
     }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        ProperTrie::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
 }
 
-impl<A: Address> FibEngine<A> for LcTrie<A> {
+impl<A: Address> FibLookup<A> for LcTrie<A> {
     fn name(&self) -> &'static str {
         "fib_trie"
     }
 
     fn lookup(&self, addr: A) -> Option<NextHop> {
         LcTrie::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        LcTrie::lookup_batch(self, addrs, out);
     }
 
     /// Reported under the kernel memory model — the paper compares against
@@ -109,7 +278,7 @@ impl<A: Address> FibEngine<A> for LcTrie<A> {
     }
 }
 
-impl<A: Address> FibEngine<A> for XbwFib<A> {
+impl<A: Address> FibLookup<A> for XbwFib<A> {
     fn name(&self) -> &'static str {
         "XBW-b"
     }
@@ -121,9 +290,17 @@ impl<A: Address> FibEngine<A> for XbwFib<A> {
     fn size_bytes(&self) -> usize {
         XbwFib::size_bytes(self)
     }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        XbwFib::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
 }
 
-impl<A: Address> FibEngine<A> for PrefixDag<A> {
+impl<A: Address> FibLookup<A> for PrefixDag<A> {
     fn name(&self) -> &'static str {
         "pDAG"
     }
@@ -137,13 +314,17 @@ impl<A: Address> FibEngine<A> for PrefixDag<A> {
     }
 }
 
-impl<A: Address> FibEngine<A> for SerializedDag<A> {
+impl<A: Address> FibLookup<A> for SerializedDag<A> {
     fn name(&self) -> &'static str {
         "pDAG-serialized"
     }
 
     fn lookup(&self, addr: A) -> Option<NextHop> {
         SerializedDag::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        SerializedDag::lookup_batch(self, addrs, out);
     }
 
     fn size_bytes(&self) -> usize {
@@ -159,13 +340,17 @@ impl<A: Address> FibEngine<A> for SerializedDag<A> {
     }
 }
 
-impl<A: Address> FibEngine<A> for MultibitDag<A> {
+impl<A: Address> FibLookup<A> for MultibitDag<A> {
     fn name(&self) -> &'static str {
         "multibit-dag"
     }
 
     fn lookup(&self, addr: A) -> Option<NextHop> {
         MultibitDag::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        MultibitDag::lookup_batch(self, addrs, out);
     }
 
     fn size_bytes(&self) -> usize {
@@ -180,6 +365,135 @@ impl<A: Address> FibEngine<A> for MultibitDag<A> {
         true
     }
 }
+
+// ---------------------------------------------------------------------
+// FibBuild implementations
+// ---------------------------------------------------------------------
+
+impl<A: Address> FibBuild<A> for BinaryTrie<A> {
+    fn build(trie: &BinaryTrie<A>, _config: &BuildConfig) -> Self {
+        trie.clone()
+    }
+}
+
+impl<A: Address> FibBuild<A> for RouteTable<A> {
+    fn build(trie: &BinaryTrie<A>, _config: &BuildConfig) -> Self {
+        trie.iter().collect()
+    }
+}
+
+impl<A: Address> FibBuild<A> for ProperTrie<A> {
+    fn build(trie: &BinaryTrie<A>, _config: &BuildConfig) -> Self {
+        ProperTrie::from_trie(trie)
+    }
+}
+
+impl<A: Address> FibBuild<A> for LcTrie<A> {
+    fn build(trie: &BinaryTrie<A>, config: &BuildConfig) -> Self {
+        LcTrie::with_params(trie, config.fill, config.max_stride)
+    }
+}
+
+impl<A: Address> FibBuild<A> for XbwFib<A> {
+    fn build(trie: &BinaryTrie<A>, config: &BuildConfig) -> Self {
+        XbwFib::build(trie, config.xbw_storage)
+    }
+}
+
+impl<A: Address> FibBuild<A> for PrefixDag<A> {
+    fn build(trie: &BinaryTrie<A>, config: &BuildConfig) -> Self {
+        PrefixDag::from_trie(trie, config.lambda_for(trie))
+    }
+}
+
+impl<A: Address> FibBuild<A> for SerializedDag<A> {
+    fn build(trie: &BinaryTrie<A>, config: &BuildConfig) -> Self {
+        SerializedDag::from_dag(&PrefixDag::from_trie(trie, config.lambda_for(trie)))
+    }
+}
+
+impl<A: Address> FibBuild<A> for MultibitDag<A> {
+    fn build(trie: &BinaryTrie<A>, config: &BuildConfig) -> Self {
+        MultibitDag::from_trie(trie, config.stride)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FibUpdate implementations
+// ---------------------------------------------------------------------
+
+impl<A: Address> FibUpdate<A> for BinaryTrie<A> {
+    fn try_insert(
+        &mut self,
+        prefix: Prefix<A>,
+        next_hop: NextHop,
+    ) -> Result<Option<NextHop>, RebuildNeeded> {
+        Ok(self.insert(prefix, next_hop))
+    }
+
+    fn try_remove(&mut self, prefix: Prefix<A>) -> Result<Option<NextHop>, RebuildNeeded> {
+        Ok(self.remove(prefix))
+    }
+}
+
+impl<A: Address> FibUpdate<A> for RouteTable<A> {
+    fn try_insert(
+        &mut self,
+        prefix: Prefix<A>,
+        next_hop: NextHop,
+    ) -> Result<Option<NextHop>, RebuildNeeded> {
+        Ok(self.insert(prefix, next_hop))
+    }
+
+    fn try_remove(&mut self, prefix: Prefix<A>) -> Result<Option<NextHop>, RebuildNeeded> {
+        Ok(self.remove(prefix))
+    }
+}
+
+impl<A: Address> FibUpdate<A> for PrefixDag<A> {
+    fn try_insert(
+        &mut self,
+        prefix: Prefix<A>,
+        next_hop: NextHop,
+    ) -> Result<Option<NextHop>, RebuildNeeded> {
+        Ok(self.insert(prefix, next_hop))
+    }
+
+    fn try_remove(&mut self, prefix: Prefix<A>) -> Result<Option<NextHop>, RebuildNeeded> {
+        Ok(self.remove(prefix))
+    }
+
+    /// Arena fragmentation: λ-barrier refolds leave free-list holes behind
+    /// and the data-plane walk loses locality as they accumulate.
+    fn degradation(&self) -> f64 {
+        self.fragmentation()
+    }
+}
+
+/// The static engines decline in-place updates: a router rebuilds them
+/// from its control FIB instead.
+macro_rules! static_engine_update {
+    ($($ty:ident),+) => {$(
+        impl<A: Address> FibUpdate<A> for $ty<A> {
+            fn try_insert(
+                &mut self,
+                _prefix: Prefix<A>,
+                _next_hop: NextHop,
+            ) -> Result<Option<NextHop>, RebuildNeeded> {
+                Err(RebuildNeeded)
+            }
+
+            fn try_remove(
+                &mut self,
+                _prefix: Prefix<A>,
+            ) -> Result<Option<NextHop>, RebuildNeeded> {
+                Err(RebuildNeeded)
+            }
+        }
+    )+};
+}
+
+static_engine_update!(ProperTrie, LcTrie, XbwFib, SerializedDag, MultibitDag);
 
 #[cfg(test)]
 mod tests {
@@ -226,12 +540,37 @@ mod tests {
     }
 
     #[test]
+    fn batch_agrees_with_scalar_for_every_engine() {
+        let trie = sample_trie();
+        let table: RouteTable<u32> = trie.iter().collect();
+        let proper = ProperTrie::from_trie(&trie);
+        let lc = LcTrie::from_trie(&trie);
+        let xbw = XbwFib::build(&trie, XbwStorage::Succinct);
+        let dag = PrefixDag::from_trie(&trie, 8);
+        let ser = SerializedDag::from_dag(&dag);
+        let mb = MultibitDag::from_trie(&trie, 4);
+        let engines: Vec<&dyn FibEngine<u32>> =
+            vec![&table, &trie, &proper, &lc, &xbw, &dag, &ser, &mb];
+        let addrs: Vec<u32> = (0..999u32).map(|i| i.wrapping_mul(0x0101_6B55)).collect();
+        let mut out = vec![None; addrs.len()];
+        for engine in &engines {
+            out.fill(Some(nh(u32::MAX - 1))); // poison: every slot must be written
+            engine.lookup_batch(&addrs, &mut out);
+            for (a, got) in addrs.iter().zip(&out) {
+                assert_eq!(*got, engine.lookup(*a), "{} at {a:#x}", engine.name());
+            }
+        }
+    }
+
+    #[test]
     fn traced_engines_report_accesses() {
         let trie = sample_trie();
         let dag = PrefixDag::from_trie(&trie, 8);
         let ser = SerializedDag::from_dag(&dag);
         let lc = LcTrie::from_trie(&trie);
-        for engine in [&ser as &dyn FibEngine<u32>, &lc, &trie] {
+        let proper = ProperTrie::from_trie(&trie);
+        let xbw = XbwFib::build(&trie, XbwStorage::Entropy);
+        for engine in [&ser as &dyn FibEngine<u32>, &lc, &trie, &proper, &xbw] {
             assert!(engine.traces_memory(), "{}", engine.name());
             let mut count = 0;
             let traced = engine.lookup_traced(0x0A40_0001, &mut |_, _| count += 1);
@@ -245,9 +584,86 @@ mod tests {
         let trie = sample_trie();
         let lc = LcTrie::from_trie(&trie);
         let dag = PrefixDag::from_trie(&trie, 4);
-        assert!(FibEngine::<u32>::size_bytes(&lc) > 0);
-        assert!(FibEngine::<u32>::size_bytes(&dag) > 0);
+        assert!(FibLookup::<u32>::size_bytes(&lc) > 0);
+        assert!(FibLookup::<u32>::size_bytes(&dag) > 0);
         // The kernel-modeled LC-trie is the memory hog of the line-up.
-        assert!(FibEngine::<u32>::size_bytes(&lc) > FibEngine::<u32>::size_bytes(&dag));
+        assert!(FibLookup::<u32>::size_bytes(&lc) > FibLookup::<u32>::size_bytes(&dag));
+    }
+
+    #[test]
+    fn build_config_drives_every_engine_off_one_control_fib() {
+        let trie = sample_trie();
+        let config = BuildConfig::with_lambda(6);
+        let dag: PrefixDag<u32> = FibBuild::build(&trie, &config);
+        assert_eq!(dag.lambda(), 6);
+        let ser: SerializedDag<u32> = FibBuild::build(&trie, &config);
+        assert_eq!(ser.lambda(), 6);
+        let mb: MultibitDag<u32> = FibBuild::build(&trie, &config);
+        assert_eq!(mb.stride(), config.stride);
+        let lc: LcTrie<u32> = FibBuild::build(&trie, &config);
+        let xbw: XbwFib<u32> = FibBuild::build(&trie, &config);
+        let table: RouteTable<u32> = FibBuild::build(&trie, &config);
+        let proper: ProperTrie<u32> = FibBuild::build(&trie, &config);
+        let copy: BinaryTrie<u32> = FibBuild::build(&trie, &config);
+        for i in 0..2000u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            let expected = trie.lookup(addr);
+            for engine in [
+                &dag as &dyn FibEngine<u32>,
+                &ser,
+                &mb,
+                &lc,
+                &xbw,
+                &table,
+                &proper,
+                &copy,
+            ] {
+                assert_eq!(engine.lookup(addr), expected, "{}", engine.name());
+            }
+        }
+        // Entropy-barrier configs resolve λ from the FIB itself.
+        let auto: PrefixDag<u32> = FibBuild::build(&trie, &BuildConfig::entropy_barrier());
+        assert!(auto.lambda() <= 32);
+    }
+
+    #[test]
+    fn update_capable_engines_apply_in_place_static_ones_decline() {
+        let trie = sample_trie();
+        let p: Prefix4 = "10.1.0.0/16".parse().unwrap();
+        let mut dag = PrefixDag::from_trie(&trie, 8);
+        assert_eq!(dag.try_insert(p, nh(7)), Ok(None));
+        assert_eq!(dag.try_remove(p), Ok(Some(nh(7))));
+        let mut bt = trie.clone();
+        assert_eq!(bt.try_insert(p, nh(7)), Ok(None));
+        let mut table: RouteTable<u32> = trie.iter().collect();
+        assert_eq!(table.try_insert(p, nh(7)), Ok(None));
+        let mut ser = SerializedDag::from_dag(&dag);
+        assert_eq!(ser.try_insert(p, nh(7)), Err(RebuildNeeded));
+        assert_eq!(ser.try_remove(p), Err(RebuildNeeded));
+        let mut lc = LcTrie::from_trie(&trie);
+        assert_eq!(lc.try_insert(p, nh(7)), Err(RebuildNeeded));
+        let mut xbw = XbwFib::build(&trie, XbwStorage::Succinct);
+        assert_eq!(xbw.try_remove(p), Err(RebuildNeeded));
+    }
+
+    #[test]
+    fn pdag_degradation_rises_with_churn_and_resets_on_rebuild() {
+        let mut dag = PrefixDag::from_trie(&sample_trie(), 8);
+        assert_eq!(FibUpdate::<u32>::degradation(&dag), 0.0);
+        // Insert-then-remove below the barrier leaves free-list holes.
+        for i in 0..200u32 {
+            let p = Prefix4::new(0x0A00_0000 | (i << 8), 28);
+            dag.insert(p, nh(4));
+        }
+        for i in 0..200u32 {
+            let p = Prefix4::new(0x0A00_0000 | (i << 8), 28);
+            dag.remove(p);
+        }
+        assert!(
+            FibUpdate::<u32>::degradation(&dag) > 0.0,
+            "churn must fragment the arena"
+        );
+        let rebuilt: PrefixDag<u32> = FibBuild::build(dag.control(), &BuildConfig::with_lambda(8));
+        assert_eq!(FibUpdate::<u32>::degradation(&rebuilt), 0.0);
     }
 }

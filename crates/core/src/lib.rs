@@ -18,8 +18,13 @@
 //! * [`FoldedString`] — trie-folding as a dynamic compressed string
 //!   self-index (the string model of §4.2, Figs. 4 and 7),
 //! * [`lambda`] — the Lambert-W barrier selection of Eqs. (2) and (3),
-//! * [`FibEngine`] — one trait over every representation for differential
-//!   testing and benchmarking.
+//! * the engine trait family — [`FibLookup`] (single + batched lookup,
+//!   traced lookup), [`FibBuild`] (uniform construction from the control
+//!   FIB under a [`BuildConfig`]), [`FibUpdate`] (incremental updates with
+//!   a [`RebuildNeeded`] escape hatch), and the [`FibEngine`] umbrella
+//!   supertrait that keeps pre-split call sites compiling. The `fib-router`
+//!   crate composes these into a control/data-plane router with epoch
+//!   snapshots.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,10 +38,10 @@ mod serialized;
 mod strmodel;
 mod xbw;
 
-pub use engine::FibEngine;
+pub use engine::{BuildConfig, FibBuild, FibEngine, FibLookup, FibUpdate, RebuildNeeded};
 pub use entropy::FibEntropy;
-pub use multibit::MultibitDag;
+pub use multibit::{MultibitDag, MB_BATCH_LANES};
 pub use pdag::{DagStats, PrefixDag};
-pub use serialized::SerializedDag;
+pub use serialized::{SerializedDag, SER_BATCH_LANES};
 pub use strmodel::FoldedString;
 pub use xbw::{SaStorage, SiStorage, XbwFib, XbwSizeReport, XbwStorage};

@@ -21,10 +21,13 @@
 use std::collections::HashMap;
 use std::marker::PhantomData;
 
-use fib_trie::{Address, BinaryTrie, NextHop, ProperNode, ProperTrie};
+use fib_trie::{Address, BinaryTrie, Depth, NextHop, ProperNode, ProperTrie};
 
 const LEAF_TAG: u32 = 0x8000_0000;
 const BOT: u32 = 0x7FFF_FFFF;
+
+/// Number of lookups [`MultibitDag::lookup_batch`] walks in lockstep.
+pub const MB_BATCH_LANES: usize = 4;
 
 /// A hash-consed multibit (stride-`s`) prefix DAG.
 #[derive(Clone, Debug)]
@@ -94,10 +97,10 @@ impl<A: Address> MultibitDag<A> {
 
     /// Lookup also returning the number of slot reads.
     #[must_use]
-    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, u32) {
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, Depth) {
         let mut reference = self.root;
         let mut offset = 0u8;
-        let mut hops = 0u32;
+        let mut hops: Depth = 0;
         loop {
             if reference & LEAF_TAG != 0 {
                 let label = reference & !LEAF_TAG;
@@ -113,6 +116,49 @@ impl<A: Address> MultibitDag<A> {
             reference = self.slots[reference as usize * (1 << self.stride) + slot as usize];
             offset += take;
             hops += 1;
+        }
+    }
+
+    /// Batched longest-prefix match: resolves `addrs[i]` into `out[i]`,
+    /// stepping [`MB_BATCH_LANES`] walks in lockstep so each round issues
+    /// one independent slot read per lane — the stride-`s` counterpart of
+    /// [`crate::SerializedDag::lookup_batch`].
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        // Trim so the exact-chunk remainders of both slices stay aligned
+        // when the caller hands in an oversized output buffer.
+        let out = &mut out[..addrs.len()];
+        let mut chunks = addrs.chunks_exact(MB_BATCH_LANES);
+        let mut outs = out.chunks_exact_mut(MB_BATCH_LANES);
+        let width = 1usize << self.stride;
+        for (chunk, slot_out) in (&mut chunks).zip(&mut outs) {
+            let mut reference = [self.root; MB_BATCH_LANES];
+            let mut offset = [0u8; MB_BATCH_LANES];
+            let mut live = reference.iter().filter(|&&r| r & LEAF_TAG == 0).count();
+            while live > 0 {
+                for lane in 0..MB_BATCH_LANES {
+                    if reference[lane] & LEAF_TAG != 0 {
+                        continue;
+                    }
+                    let take = self.stride.min(A::WIDTH - offset[lane]);
+                    let slot = chunk[lane].bits(offset[lane], take) << (self.stride - take);
+                    reference[lane] = self.slots[reference[lane] as usize * width + slot as usize];
+                    offset[lane] += take;
+                    if reference[lane] & LEAF_TAG != 0 {
+                        live -= 1;
+                    }
+                }
+            }
+            for lane in 0..MB_BATCH_LANES {
+                let label = reference[lane] & !LEAF_TAG;
+                slot_out[lane] = (label != BOT).then(|| NextHop::new(label));
+            }
+        }
+        for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *slot = self.lookup(*addr);
         }
     }
 
@@ -336,6 +382,29 @@ mod tests {
         assert_eq!(result, mb.lookup(0x6000_0000));
         let (_, hops) = mb.lookup_with_depth(0x6000_0000);
         assert_eq!(touches, hops);
+    }
+
+    #[test]
+    fn batch_lookup_matches_scalar_across_strides() {
+        let trie = fig1_trie();
+        for stride in [1u8, 3, 4, 8] {
+            let mb = MultibitDag::from_trie(&trie, stride);
+            for n in [0usize, 2, 4, 5, 9, 64] {
+                let addrs: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+                let mut out = vec![None; n];
+                mb.lookup_batch(&addrs, &mut out);
+                for (a, got) in addrs.iter().zip(&out) {
+                    assert_eq!(*got, mb.lookup(*a), "s={stride} addr {a:#x}");
+                }
+                // Oversized output buffer: every addressed slot must still
+                // be written (the tails of both chunk streams must align).
+                let mut big = vec![Some(NextHop::new(u32::MAX - 1)); n + 5];
+                mb.lookup_batch(&addrs, &mut big);
+                for (a, got) in addrs.iter().zip(&big) {
+                    assert_eq!(*got, mb.lookup(*a), "s={stride} oversized at {a:#x}");
+                }
+            }
+        }
     }
 
     #[test]

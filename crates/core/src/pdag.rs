@@ -37,7 +37,7 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 
 use fib_succinct::ceil_log2;
-use fib_trie::{Address, BinaryTrie, NextHop, NodeRef, Prefix};
+use fib_trie::{Address, BinaryTrie, Depth, NextHop, NodeRef, Prefix};
 
 pub(crate) const NONE: u32 = u32::MAX;
 
@@ -265,7 +265,7 @@ impl<A: Address> PrefixDag<A> {
 
     /// Lookup that also reports the number of edges traversed.
     #[must_use]
-    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, u8) {
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, Depth) {
         let mut idx = self.root;
         let mut last = NONE;
         let mut depth = 0u8;
@@ -288,7 +288,10 @@ impl<A: Address> PrefixDag<A> {
             idx = child;
             depth += 1;
         }
-        ((last != NONE).then(|| NextHop::new(last)), depth)
+        (
+            (last != NONE).then(|| NextHop::new(last)),
+            Depth::from(depth),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -577,6 +580,22 @@ impl<A: Address> PrefixDag<A> {
     #[must_use]
     pub fn size_bytes(&self) -> usize {
         (self.nodes.len() - self.free.len()) * std::mem::size_of::<DagNode>()
+    }
+
+    /// Fraction of arena slots sitting on the free list, in `[0, 1]`.
+    ///
+    /// A freshly folded DAG is fully compact (0.0); λ-barrier updates
+    /// recycle slots but leave holes behind, so locality of the data-plane
+    /// walk degrades as churn accumulates. A control plane watches this
+    /// number and schedules a compacting rebuild when it crosses a
+    /// threshold — the snapshot/re-emit lifecycle of the paper's §5.
+    #[must_use]
+    pub fn fragmentation(&self) -> f64 {
+        if self.nodes.is_empty() {
+            0.0
+        } else {
+            self.free.len() as f64 / self.nodes.len() as f64
+        }
     }
 
     /// Verifies internal consistency: reference counts match in-degrees,

@@ -23,12 +23,15 @@
 use std::marker::PhantomData;
 
 use fib_succinct::fnv1a;
-use fib_trie::{Address, NextHop};
+use fib_trie::{Address, Depth, NextHop};
 
 use crate::pdag::{PrefixDag, NONE};
 
 const LEAF_TAG: u32 = 0x8000_0000;
 const BOT: u32 = 0x7FFF_FFFF;
+
+/// Number of lookups [`SerializedDag::lookup_batch`] walks in lockstep.
+pub const SER_BATCH_LANES: usize = 4;
 
 #[derive(Clone, Copy, Debug)]
 struct RootEntry {
@@ -146,12 +149,12 @@ impl<A: Address> SerializedDag<A> {
     /// Lookup also returning the number of node records touched after the
     /// root array (Table 2's "depth" for the pDAG engine).
     #[must_use]
-    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, u32) {
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, Depth) {
         let v = addr.bits(0, self.lambda) as usize;
         let entry = self.entries[v];
         let mut reference = entry.slot;
         let mut depth = self.lambda;
-        let mut hops = 0u32;
+        let mut hops: Depth = 0;
         loop {
             if reference & LEAF_TAG != 0 {
                 let label = reference & !LEAF_TAG;
@@ -166,6 +169,69 @@ impl<A: Address> SerializedDag<A> {
             reference = record[usize::from(addr.bit(depth))];
             depth += 1;
             hops += 1;
+        }
+    }
+
+    /// Batched longest-prefix match: resolves `addrs[i]` into `out[i]`,
+    /// walking [`SER_BATCH_LANES`] addresses in lockstep. The root-array
+    /// reads of all lanes issue back-to-back before any node-record read,
+    /// and the per-hop record fetches of different lanes are independent,
+    /// so the memory-level parallelism of the flat image is actually used
+    /// instead of one pointer chase serializing the next.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        // Trim so the exact-chunk remainders of both slices stay aligned
+        // when the caller hands in an oversized output buffer.
+        let out = &mut out[..addrs.len()];
+        let mut chunks = addrs.chunks_exact(SER_BATCH_LANES);
+        let mut outs = out.chunks_exact_mut(SER_BATCH_LANES);
+        for (chunk, slot) in (&mut chunks).zip(&mut outs) {
+            // Stage 1: all root-array entries, no dependences between them.
+            let mut entry = [RootEntry {
+                slot: LEAF_TAG | BOT,
+                fallback: NONE,
+            }; SER_BATCH_LANES];
+            for lane in 0..SER_BATCH_LANES {
+                entry[lane] = self.entries[chunk[lane].bits(0, self.lambda) as usize];
+            }
+            // Stage 2: lockstep node-record walk; a lane parks once it
+            // resolves to a leaf reference.
+            let mut reference = [0u32; SER_BATCH_LANES];
+            let mut depth = [self.lambda; SER_BATCH_LANES];
+            let mut live = 0usize;
+            for lane in 0..SER_BATCH_LANES {
+                reference[lane] = entry[lane].slot;
+                if reference[lane] & LEAF_TAG == 0 {
+                    live += 1;
+                }
+            }
+            while live > 0 {
+                for lane in 0..SER_BATCH_LANES {
+                    if reference[lane] & LEAF_TAG != 0 {
+                        continue;
+                    }
+                    let record = self.nodes[reference[lane] as usize];
+                    reference[lane] = record[usize::from(chunk[lane].bit(depth[lane]))];
+                    depth[lane] += 1;
+                    if reference[lane] & LEAF_TAG != 0 {
+                        live -= 1;
+                    }
+                }
+            }
+            for lane in 0..SER_BATCH_LANES {
+                let label = reference[lane] & !LEAF_TAG;
+                slot[lane] = if label == BOT {
+                    (entry[lane].fallback != NONE).then(|| NextHop::new(entry[lane].fallback))
+                } else {
+                    Some(NextHop::new(label))
+                };
+            }
+        }
+        for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *slot = self.lookup(*addr);
         }
     }
 
@@ -519,6 +585,29 @@ mod tests {
             SerializedDag::<u32>::from_bytes(&bad),
             Err(BlobError::ChecksumMismatch) | Err(BlobError::Inconsistent(_))
         ));
+    }
+
+    #[test]
+    fn batch_lookup_matches_scalar_across_lambdas() {
+        let trie = fig1_trie();
+        for lambda in [0u8, 2, 5, 11] {
+            let ser = SerializedDag::from_dag(&PrefixDag::from_trie(&trie, lambda));
+            for n in [0usize, 1, 3, 4, 6, 8, 257] {
+                let addrs: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+                let mut out = vec![None; n];
+                ser.lookup_batch(&addrs, &mut out);
+                for (a, got) in addrs.iter().zip(&out) {
+                    assert_eq!(*got, ser.lookup(*a), "λ={lambda} addr {a:#x}");
+                }
+                // Oversized output buffer: every addressed slot must still
+                // be written (the tails of both chunk streams must align).
+                let mut big = vec![Some(NextHop::new(u32::MAX - 1)); n + 5];
+                ser.lookup_batch(&addrs, &mut big);
+                for (a, got) in addrs.iter().zip(&big) {
+                    assert_eq!(*got, ser.lookup(*a), "λ={lambda} oversized at {a:#x}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -303,6 +303,43 @@ impl<A: Address> XbwFib<A> {
         }
     }
 
+    /// Lookup reporting every memory touch as `(byte offset, byte size)`
+    /// for cache simulation, under a flat `[S_I | S_α | label map]` layout.
+    ///
+    /// The access model: each level of the walk reads the 8-byte `S_I`
+    /// word holding bit `i` (the `access` and the `rank` of §3.1 hit the
+    /// same word plus a directory entry that lives alongside it), and the
+    /// final label decode walks ≈`lg δ` wavelet-tree levels inside the
+    /// `S_α` region — one 8-byte touch per level, spread across the
+    /// per-level sub-arrays. Offsets are deterministic for a given query,
+    /// which is all the cache and SRAM replay harnesses need.
+    pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        let si_bytes = (self.si.size_bits().div_ceil(64) * 8) as u64;
+        let sa_bytes = (self.sa.size_bits().div_ceil(64) * 8).max(8) as u64;
+        let mut i = 0usize;
+        let mut q = 0u8;
+        loop {
+            sink((i as u64 / 64) * 8, 8);
+            if self.si.get(i) {
+                let leaf_rank = self.si.rank1(i);
+                let symbol = self.sa.access(leaf_rank);
+                // Wavelet walk: one level per code bit, each level owning
+                // roughly an equal slice of the S_α region.
+                let levels = fib_succinct::ceil_log2(self.label_map.len().max(2) as u64).max(1);
+                let slice = (sa_bytes / u64::from(levels)).max(8);
+                for level in 0..u64::from(levels) {
+                    let within = (leaf_rank as u64 / 8 * 8) % slice;
+                    sink(si_bytes + (level * slice + within) % sa_bytes, 8);
+                }
+                return self.label_map[symbol as usize];
+            }
+            debug_assert!(q < A::WIDTH, "interior node below maximum depth");
+            let r = self.si.rank0(i + 1);
+            i = 2 * r - 1 + usize::from(addr.bit(q));
+            q += 1;
+        }
+    }
+
     /// Number of leaves `n` of the underlying normal form.
     #[must_use]
     pub fn n_leaves(&self) -> usize {
@@ -525,6 +562,26 @@ mod tests {
             l < g,
             "per-level S_α ({l} bits) should beat single-tree ({g} bits) on depth-dependent labels"
         );
+    }
+
+    #[test]
+    fn traced_lookup_matches_plain_for_all_storages() {
+        let trie = fig1_trie();
+        for storage in ALL_STORAGES {
+            let xbw = XbwFib::build(&trie, storage);
+            for addr in [0u32, 0x2000_0000, 0x6000_0000, 0x9999_9999, u32::MAX] {
+                let mut touches = Vec::new();
+                let traced = xbw.lookup_traced(addr, &mut |off, sz| touches.push((off, sz)));
+                assert_eq!(traced, xbw.lookup(addr), "{storage:?} addr {addr:#x}");
+                assert!(!touches.is_empty(), "{storage:?} produced no accesses");
+                let total_bytes = (xbw.si.size_bits().div_ceil(64) * 8
+                    + (xbw.sa.size_bits().div_ceil(64) * 8).max(8))
+                    as u64;
+                for &(off, _) in &touches {
+                    assert!(off < total_bytes, "touch {off} outside the modeled image");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! A control/data-plane router core around the compressed FIB engines.
+//!
+//! The paper's §5 system model is a software router with two planes: a
+//! slow control CPU that absorbs BGP churn into an uncompressed oracle
+//! and applies λ-barrier updates to the folded structure, and a fast data
+//! plane that answers millions of lookups per second against an immutable
+//! compressed image, periodically re-emitted (arXiv:1402.1194 makes the
+//! split explicit; the prefix-DAG memory-bound follow-up assumes the
+//! snapshot lifecycle outright). This crate is that seam:
+//!
+//! * [`Router`] — control plane (oracle [`fib_trie::BinaryTrie`] + update
+//!   journal) and data plane (`Arc`-swapped [`EpochSnapshot`]s) over any
+//!   engine implementing the `fib-core` trait family. Engines with
+//!   in-place updates ([`fib_core::FibUpdate`]) absorb churn directly;
+//!   static images are rebuilt from the oracle at publish time. A
+//!   degradation policy (pDAG arena fragmentation from λ-barrier refolds)
+//!   triggers compacting rebuilds, on a background thread when configured,
+//!   with the journal replayed onto the fresh engine before it goes live.
+//! * [`DataPlane`] — the cloneable reader handle forwarding threads hold;
+//!   snapshot fetches take a lock only long enough to clone an `Arc`,
+//!   lookups are lock-free.
+//! * [`ShardedRouter`] — 256 first-byte shards, each an independent
+//!   [`Router`], with fan-out updates and a bucketed batch-lookup path.
+//!
+//! ```
+//! use fib_core::PrefixDag;
+//! use fib_router::{Router, RouterConfig};
+//! use fib_trie::{BinaryTrie, NextHop, Prefix4};
+//!
+//! let mut control: BinaryTrie<u32> = BinaryTrie::new();
+//! control.insert("0.0.0.0/0".parse::<Prefix4>().unwrap(), NextHop::new(1));
+//! control.insert("10.0.0.0/8".parse::<Prefix4>().unwrap(), NextHop::new(2));
+//!
+//! let mut router: Router<u32, PrefixDag<u32>> =
+//!     Router::new(control, RouterConfig::default());
+//! router.announce("10.1.0.0/16".parse().unwrap(), NextHop::new(3));
+//! let snapshot = router.publish();
+//!
+//! let mut out = [None; 2];
+//! snapshot.lookup_batch(&[0x0A01_0203u32, 0x0B00_0001], &mut out);
+//! assert_eq!(out, [Some(NextHop::new(3)), Some(NextHop::new(1))]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod router;
+mod sharded;
+
+pub use router::{DataPlane, EpochSnapshot, Router, RouterConfig, RouterStats};
+pub use sharded::{ShardedRouter, SHARD_BITS, SHARD_COUNT};

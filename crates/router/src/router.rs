@@ -1,0 +1,628 @@
+//! The single-shard router core: a control plane driving epoch-snapshotted
+//! data-plane engines.
+
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+use fib_core::{BuildConfig, FibBuild, FibLookup, FibUpdate};
+use fib_trie::{Address, BinaryTrie, NextHop, Prefix};
+
+/// Policy knobs of a [`Router`].
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// How data-plane engines are (re)built from the control FIB. The
+    /// λ barrier in here is the paper's update-cost/size dial: it decides
+    /// both how expensive in-place pDAG updates are and how much work a
+    /// full re-fold costs.
+    pub build: BuildConfig,
+    /// Auto-publish a new epoch snapshot after this many updates
+    /// (`None` = only on explicit [`Router::publish`] calls).
+    pub publish_every: Option<usize>,
+    /// When the working engine's [`FibUpdate::degradation`] exceeds this,
+    /// the router schedules a compacting rebuild. pDAG degradation is
+    /// arena fragmentation from λ-barrier refolds.
+    pub degradation_threshold: f64,
+    /// Run scheduled rebuilds on a background thread (the control CPU of
+    /// the paper's software router) instead of inline.
+    pub background_rebuild: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            build: BuildConfig::default(),
+            publish_every: Some(1024),
+            degradation_threshold: 0.25,
+            background_rebuild: true,
+        }
+    }
+}
+
+/// An immutable data-plane image: the engine state the router published at
+/// one epoch. Handed out as an [`Arc`], so packet-path readers keep a
+/// consistent view for as long as they hold it while the control plane
+/// swaps newer epochs in behind them.
+#[derive(Debug)]
+pub struct EpochSnapshot<E> {
+    epoch: u64,
+    routes: usize,
+    engine: E,
+}
+
+impl<E> EpochSnapshot<E> {
+    /// Monotonic epoch counter (0 = the initial build).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of routes in the control FIB when this epoch was cut.
+    #[must_use]
+    pub fn routes(&self) -> usize {
+        self.routes
+    }
+
+    /// The underlying engine.
+    #[must_use]
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Longest-prefix-match on the snapshot.
+    #[must_use]
+    pub fn lookup<A: Address>(&self, addr: A) -> Option<NextHop>
+    where
+        E: FibLookup<A>,
+    {
+        self.engine.lookup(addr)
+    }
+
+    /// Batched longest-prefix-match on the snapshot.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch<A: Address>(&self, addrs: &[A], out: &mut [Option<NextHop>])
+    where
+        E: FibLookup<A>,
+    {
+        self.engine.lookup_batch(addrs, out);
+    }
+}
+
+/// A cloneable reader handle onto a router's published snapshot — what a
+/// forwarding thread owns. [`DataPlane::snapshot`] takes the read lock
+/// only long enough to clone the inner [`Arc`]; lookups then run entirely
+/// lock-free on the snapshot.
+#[derive(Debug)]
+pub struct DataPlane<E> {
+    current: Arc<RwLock<Arc<EpochSnapshot<E>>>>,
+}
+
+impl<E> Clone for DataPlane<E> {
+    fn clone(&self) -> Self {
+        Self {
+            current: Arc::clone(&self.current),
+        }
+    }
+}
+
+impl<E> DataPlane<E> {
+    /// The currently published snapshot.
+    ///
+    /// # Panics
+    /// Panics if the publishing lock was poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<EpochSnapshot<E>> {
+        Arc::clone(&self.current.read().expect("publish lock poisoned"))
+    }
+}
+
+/// Counters describing what a [`Router`] has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Updates accepted by the control plane.
+    pub updates: u64,
+    /// Updates the working engine absorbed in place.
+    pub in_place: u64,
+    /// Updates the working engine declined ([`fib_core::RebuildNeeded`]).
+    pub declined: u64,
+    /// Epoch snapshots published.
+    pub epochs: u64,
+    /// Full engine rebuilds (inline and background).
+    pub rebuilds: u64,
+    /// Rebuilds that ran on a background thread.
+    pub background_rebuilds: u64,
+    /// Journal entries replayed onto freshly rebuilt engines.
+    pub replayed: u64,
+}
+
+/// One journaled control-plane change awaiting replay onto a rebuilt
+/// engine.
+#[derive(Clone, Copy, Debug)]
+enum JournalOp<A: Address> {
+    Announce(Prefix<A>, NextHop),
+    Withdraw(Prefix<A>),
+}
+
+struct RebuildJob<E> {
+    handle: JoinHandle<E>,
+}
+
+/// A software router split along the paper's §5 architecture: a slow
+/// control plane owning the oracle [`BinaryTrie`] plus an update journal,
+/// and a fast data plane serving immutable, `Arc`-swapped epoch snapshots
+/// of a compressed engine.
+///
+/// Updates flow control-first: every change lands in the control FIB, then
+/// the router tries the engine's in-place path ([`FibUpdate`]). Engines
+/// with λ-barrier updates (the prefix DAG) absorb them directly; static
+/// images decline and are rebuilt from the control FIB at the next
+/// [`publish`](Self::publish). When in-place churn degrades the working
+/// engine past [`RouterConfig::degradation_threshold`], a compacting
+/// rebuild is scheduled — on a background thread when configured — and the
+/// journal bridges the gap: operations accepted while the rebuild runs are
+/// replayed onto the new engine before it is published.
+pub struct Router<A: Address, E> {
+    config: RouterConfig,
+    control: BinaryTrie<A>,
+    working: E,
+    /// The working engine no longer reflects `control` (static engine
+    /// declined an update); it must be rebuilt before the next publish.
+    stale: bool,
+    /// Ops applied to `control` since the in-flight rebuild started.
+    journal: Vec<JournalOp<A>>,
+    rebuild: Option<RebuildJob<E>>,
+    published: Arc<RwLock<Arc<EpochSnapshot<E>>>>,
+    epoch: u64,
+    since_publish: usize,
+    stats: RouterStats,
+}
+
+impl<A, E> Router<A, E>
+where
+    A: Address + Send + Sync + 'static,
+    E: FibLookup<A> + FibBuild<A> + FibUpdate<A> + Clone + Send + 'static,
+{
+    /// Builds the initial engine from `control` and publishes epoch 0.
+    #[must_use]
+    pub fn new(control: BinaryTrie<A>, config: RouterConfig) -> Self {
+        let working = E::build(&control, &config.build);
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch: 0,
+            routes: control.len(),
+            engine: working.clone(),
+        });
+        Self {
+            config,
+            control,
+            working,
+            stale: false,
+            journal: Vec::new(),
+            rebuild: None,
+            published: Arc::new(RwLock::new(snapshot)),
+            epoch: 0,
+            since_publish: 0,
+            stats: RouterStats {
+                epochs: 1,
+                ..RouterStats::default()
+            },
+        }
+    }
+
+    /// The control-plane oracle.
+    #[must_use]
+    pub fn control(&self) -> &BinaryTrie<A> {
+        &self.control
+    }
+
+    /// Number of live routes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.control.len()
+    }
+
+    /// Whether the FIB holds no routes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.control.is_empty()
+    }
+
+    /// Epoch of the currently published snapshot.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Whether a background rebuild is currently in flight.
+    #[must_use]
+    pub fn rebuild_in_flight(&self) -> bool {
+        self.rebuild.is_some()
+    }
+
+    /// A reader handle for forwarding threads.
+    #[must_use]
+    pub fn data_plane(&self) -> DataPlane<E> {
+        DataPlane {
+            current: Arc::clone(&self.published),
+        }
+    }
+
+    /// The currently published snapshot.
+    ///
+    /// # Panics
+    /// Panics if the publishing lock was poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<EpochSnapshot<E>> {
+        Arc::clone(&self.published.read().expect("publish lock poisoned"))
+    }
+
+    /// Convenience lookup on the published snapshot. Forwarding threads
+    /// should hold a [`DataPlane`] instead and amortize the snapshot fetch
+    /// over whole batches.
+    #[must_use]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        self.snapshot().lookup(addr)
+    }
+
+    /// Announces (inserts or replaces) a route.
+    pub fn announce(&mut self, prefix: Prefix<A>, next_hop: NextHop) {
+        self.control.insert(prefix, next_hop);
+        if self.rebuild.is_some() {
+            self.journal.push(JournalOp::Announce(prefix, next_hop));
+        }
+        if !self.stale {
+            match self.working.try_insert(prefix, next_hop) {
+                Ok(_) => self.stats.in_place += 1,
+                Err(_) => {
+                    self.stale = true;
+                    self.stats.declined += 1;
+                }
+            }
+        } else {
+            self.stats.declined += 1;
+        }
+        self.after_update();
+    }
+
+    /// Withdraws a route.
+    pub fn withdraw(&mut self, prefix: Prefix<A>) {
+        self.control.remove(prefix);
+        if self.rebuild.is_some() {
+            self.journal.push(JournalOp::Withdraw(prefix));
+        }
+        if !self.stale {
+            match self.working.try_remove(prefix) {
+                Ok(_) => self.stats.in_place += 1,
+                Err(_) => {
+                    self.stale = true;
+                    self.stats.declined += 1;
+                }
+            }
+        } else {
+            self.stats.declined += 1;
+        }
+        self.after_update();
+    }
+
+    fn after_update(&mut self) {
+        self.stats.updates += 1;
+        self.since_publish += 1;
+        // Harvest a completed background rebuild eagerly (a cheap
+        // `is_finished` probe): the compacted engine replaces the working
+        // one right away and the journal stays bounded even for callers
+        // that stream updates and rarely publish.
+        if self.rebuild.is_some() {
+            self.finish_rebuild(false);
+        }
+        // λ-barrier-aware maintenance: in-place updates are cheap, but
+        // refolds fragment the arena; past the threshold, schedule a
+        // compacting rebuild while the working engine keeps serving.
+        if !self.stale
+            && self.rebuild.is_none()
+            && self.working.degradation() > self.config.degradation_threshold
+        {
+            self.start_rebuild();
+        }
+        if let Some(every) = self.config.publish_every {
+            if self.since_publish >= every {
+                self.publish();
+            }
+        }
+    }
+
+    /// Schedules a full rebuild from the control FIB: on a background
+    /// thread when [`RouterConfig::background_rebuild`] is set (journaling
+    /// subsequent updates for replay), inline otherwise.
+    pub fn start_rebuild(&mut self) {
+        if self.rebuild.is_some() {
+            return;
+        }
+        if self.config.background_rebuild {
+            let control = self.control.clone();
+            let build = self.config.build;
+            self.journal.clear();
+            self.rebuild = Some(RebuildJob {
+                handle: std::thread::spawn(move || E::build(&control, &build)),
+            });
+        } else {
+            self.working = E::build(&self.control, &self.config.build);
+            self.stale = false;
+            self.stats.rebuilds += 1;
+        }
+    }
+
+    /// Harvests a finished background rebuild, replaying the journal onto
+    /// the new engine. With `block`, waits for an unfinished one. Returns
+    /// whether a rebuilt engine was installed.
+    pub fn finish_rebuild(&mut self, block: bool) -> bool {
+        let finished = match &self.rebuild {
+            Some(job) => block || job.handle.is_finished(),
+            None => false,
+        };
+        if !finished {
+            return false;
+        }
+        let job = self.rebuild.take().expect("checked above");
+        let mut fresh = job.handle.join().expect("rebuild thread panicked");
+        // Bring the rebuilt engine up to date with the control FIB.
+        let mut replayed = 0u64;
+        let mut replay_ok = true;
+        for op in &self.journal {
+            let applied = match *op {
+                JournalOp::Announce(p, nh) => fresh.try_insert(p, nh).is_ok(),
+                JournalOp::Withdraw(p) => fresh.try_remove(p).is_ok(),
+            };
+            if applied {
+                replayed += 1;
+            } else {
+                replay_ok = false;
+                break;
+            }
+        }
+        // Only an installed engine counts toward the rebuild stats; a
+        // background build whose replay failed is discarded.
+        if replay_ok {
+            self.working = fresh;
+            self.stats.rebuilds += 1;
+            self.stats.background_rebuilds += 1;
+            self.stats.replayed += replayed;
+        } else {
+            // A static engine cannot replay; fold the journal in by
+            // rebuilding from the (already up-to-date) control FIB.
+            self.working = E::build(&self.control, &self.config.build);
+            self.stats.rebuilds += 1;
+        }
+        self.stale = false;
+        self.journal.clear();
+        true
+    }
+
+    /// Cuts and publishes a new epoch snapshot reflecting the control FIB
+    /// exactly as of this call.
+    ///
+    /// If the working engine went stale (static engine under churn), it is
+    /// rebuilt first — preferring a finished background rebuild plus
+    /// journal replay over a from-scratch build. A still-running
+    /// background rebuild is only waited on when correctness requires it.
+    ///
+    /// # Panics
+    /// Panics if the publishing lock was poisoned or a rebuild thread
+    /// panicked.
+    pub fn publish(&mut self) -> Arc<EpochSnapshot<E>> {
+        if self.rebuild.is_some() {
+            // Harvest if done; block only if the working engine is stale
+            // and the snapshot would otherwise diverge from control.
+            self.finish_rebuild(self.stale);
+        }
+        if self.stale {
+            self.working = E::build(&self.control, &self.config.build);
+            self.stale = false;
+            self.stats.rebuilds += 1;
+        }
+        // No-op publish (stale was cleared above): nothing changed since
+        // the last epoch, so reuse the published snapshot instead of
+        // cloning the engine again — `ShardedRouter::publish_all` hits
+        // this on every untouched shard.
+        if self.since_publish == 0 {
+            return self.snapshot();
+        }
+        self.epoch += 1;
+        self.since_publish = 0;
+        self.stats.epochs += 1;
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch: self.epoch,
+            routes: self.control.len(),
+            engine: self.working.clone(),
+        });
+        *self.published.write().expect("publish lock poisoned") = Arc::clone(&snapshot);
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_core::{PrefixDag, SerializedDag};
+    use fib_trie::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    fn base_fib() -> BinaryTrie<u32> {
+        let mut t = BinaryTrie::new();
+        t.insert(p("0.0.0.0/0"), nh(1));
+        t.insert(p("10.0.0.0/8"), nh(2));
+        t.insert(p("10.64.0.0/10"), nh(3));
+        t
+    }
+
+    fn config() -> RouterConfig {
+        RouterConfig {
+            publish_every: None,
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn initial_snapshot_matches_control() {
+        let router: Router<u32, PrefixDag<u32>> = Router::new(base_fib(), config());
+        let snap = router.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.routes(), 3);
+        for i in 0..2000u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            assert_eq!(snap.lookup(addr), router.control().lookup(addr));
+        }
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_later_updates() {
+        let mut router: Router<u32, PrefixDag<u32>> = Router::new(base_fib(), config());
+        let before = router.snapshot();
+        router.announce(p("10.64.0.0/10"), nh(9));
+        router.publish();
+        // The old snapshot still answers with the old next-hop.
+        assert_eq!(before.lookup(0x0A40_0001), Some(nh(3)));
+        assert_eq!(router.snapshot().lookup(0x0A40_0001), Some(nh(9)));
+        assert_eq!(router.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn pdag_router_applies_updates_in_place() {
+        let mut router: Router<u32, PrefixDag<u32>> = Router::new(base_fib(), config());
+        router.announce(p("192.168.0.0/16"), nh(7));
+        router.withdraw(p("10.64.0.0/10"));
+        let stats = router.stats();
+        assert_eq!(stats.in_place, 2);
+        assert_eq!(stats.declined, 0);
+        let snap = router.publish();
+        assert_eq!(snap.lookup(0xC0A8_0001), Some(nh(7)));
+        assert_eq!(snap.lookup(0x0A40_0001), Some(nh(2)), "withdrawn → /8");
+    }
+
+    #[test]
+    fn static_engine_router_rebuilds_on_publish() {
+        let mut router: Router<u32, SerializedDag<u32>> = Router::new(base_fib(), config());
+        router.announce(p("192.168.0.0/16"), nh(7));
+        let stats = router.stats();
+        assert_eq!(stats.in_place, 0);
+        assert_eq!(stats.declined, 1);
+        // Not yet published: the data plane still serves the old image.
+        assert_eq!(router.lookup(0xC0A8_0001), Some(nh(1)));
+        let snap = router.publish();
+        assert_eq!(snap.lookup(0xC0A8_0001), Some(nh(7)));
+        assert!(router.stats().rebuilds >= 1);
+    }
+
+    #[test]
+    fn auto_publish_cuts_epochs() {
+        let mut cfg = config();
+        cfg.publish_every = Some(4);
+        let mut router: Router<u32, PrefixDag<u32>> = Router::new(base_fib(), cfg);
+        for i in 0..8u32 {
+            router.announce(Prefix4::new(i << 24, 8), nh(i));
+        }
+        assert_eq!(router.epoch(), 2, "8 updates / publish_every 4");
+    }
+
+    #[test]
+    fn background_rebuild_compacts_and_preserves_equivalence() {
+        let mut cfg = config();
+        cfg.degradation_threshold = 0.01;
+        let mut router: Router<u32, PrefixDag<u32>> = Router::new(base_fib(), cfg);
+        // Churn deep prefixes to fragment the arena until a background
+        // rebuild fires, then keep updating while it runs.
+        let mut fired = false;
+        for i in 0..4000u32 {
+            let prefix = Prefix4::new(0x0A00_0000 | ((i % 97) << 10), 24);
+            if i % 3 == 2 {
+                router.withdraw(prefix);
+            } else {
+                router.announce(prefix, nh(i % 5));
+            }
+            fired |= router.rebuild_in_flight();
+        }
+        let snap = router.publish();
+        assert!(fired, "degradation threshold never tripped");
+        router.finish_rebuild(true);
+        assert!(router.stats().background_rebuilds >= 1);
+        for i in 0..3000u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            assert_eq!(snap.lookup(addr), router.control().lookup(addr));
+        }
+        // After the harvest the working engine is compact again.
+        let fresh = router.publish();
+        for i in 0..3000u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            assert_eq!(fresh.lookup(addr), router.control().lookup(addr));
+        }
+    }
+
+    #[test]
+    fn noop_publish_reuses_the_current_snapshot() {
+        let mut router: Router<u32, PrefixDag<u32>> = Router::new(base_fib(), config());
+        router.announce(p("192.168.0.0/16"), nh(7));
+        let first = router.publish();
+        assert_eq!(first.epoch(), 1);
+        // Nothing changed: no engine clone, no new epoch, same Arc.
+        let second = router.publish();
+        assert_eq!(second.epoch(), 1);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(router.stats().epochs, 2, "initial + one real publish");
+    }
+
+    #[test]
+    fn update_path_harvests_finished_background_rebuilds() {
+        let mut cfg = config();
+        cfg.degradation_threshold = 0.0001;
+        let mut router: Router<u32, PrefixDag<u32>> = Router::new(base_fib(), cfg);
+        // Enough churn that a rebuild both starts and finishes while
+        // updates keep streaming — without any publish() call.
+        for round in 0..200u32 {
+            let prefix = Prefix4::new(0x0A00_0000 | (round << 12), 24);
+            router.announce(prefix, nh(1));
+            router.withdraw(prefix);
+            if router.stats().background_rebuilds > 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        router.finish_rebuild(true);
+        assert!(
+            router.stats().background_rebuilds >= 1,
+            "the update path never harvested: {:?}",
+            router.stats()
+        );
+        assert!(!router.rebuild_in_flight() || router.stats().background_rebuilds >= 1);
+    }
+
+    #[test]
+    fn data_plane_handle_tracks_publishes_across_threads() {
+        let mut router: Router<u32, PrefixDag<u32>> = Router::new(base_fib(), config());
+        let dp = router.data_plane();
+        let reader = std::thread::spawn(move || {
+            // Spin until the writer publishes epoch 1, then answer.
+            loop {
+                let snap = dp.snapshot();
+                if snap.epoch() == 1 {
+                    return snap.lookup(0xC0A8_0001u32);
+                }
+                std::thread::yield_now();
+            }
+        });
+        router.announce(p("192.168.0.0/16"), nh(7));
+        router.publish();
+        assert_eq!(reader.join().expect("reader panicked"), Some(nh(7)));
+    }
+}

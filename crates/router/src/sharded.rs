@@ -1,0 +1,275 @@
+//! First-byte sharding: 256 independent routers covering one address
+//! space.
+//!
+//! Real deployments split the FIB across line cards or NUMA domains;
+//! sharding by the top address byte is the classic cut (every DFZ prefix
+//! of length ≥ 8 lands in exactly one shard). Short prefixes are
+//! replicated into every shard they cover, so each shard's control FIB
+//! answers longest-prefix match for its slice of the address space
+//! without consulting its neighbours: any route matching an address
+//! covers it, hence lives in that address's shard.
+
+use std::sync::Arc;
+
+use fib_core::{FibBuild, FibLookup, FibUpdate};
+use fib_trie::{Address, BinaryTrie, NextHop, Prefix};
+
+use crate::router::{EpochSnapshot, Router, RouterConfig, RouterStats};
+
+/// Number of address bits selecting the shard.
+pub const SHARD_BITS: u8 = 8;
+/// Number of shards (`2^SHARD_BITS`).
+pub const SHARD_COUNT: usize = 1 << SHARD_BITS;
+
+/// A [`Router`] per top address byte.
+pub struct ShardedRouter<A: Address, E> {
+    shards: Vec<Router<A, E>>,
+}
+
+impl<A, E> ShardedRouter<A, E>
+where
+    A: Address + Send + Sync + 'static,
+    E: FibLookup<A> + FibBuild<A> + FibUpdate<A> + Clone + Send + 'static,
+{
+    /// Partitions `control` by first byte and builds one router per shard,
+    /// replicating prefixes shorter than [`SHARD_BITS`] into every shard
+    /// they cover.
+    #[must_use]
+    pub fn new(control: &BinaryTrie<A>, config: RouterConfig) -> Self {
+        let mut tries: Vec<BinaryTrie<A>> = (0..SHARD_COUNT).map(|_| BinaryTrie::new()).collect();
+        for (prefix, nh) in control.iter() {
+            for shard in Self::shard_range(prefix) {
+                tries[shard].insert(prefix, nh);
+            }
+        }
+        Self {
+            shards: tries
+                .into_iter()
+                .map(|trie| Router::new(trie, config))
+                .collect(),
+        }
+    }
+
+    /// The shard owning `addr`.
+    #[must_use]
+    pub fn shard_of(addr: A) -> usize {
+        addr.bits(0, SHARD_BITS) as usize
+    }
+
+    /// The contiguous shard range a prefix covers.
+    fn shard_range(prefix: Prefix<A>) -> std::ops::Range<usize> {
+        if prefix.len() >= SHARD_BITS {
+            let shard = prefix.addr().bits(0, SHARD_BITS) as usize;
+            shard..shard + 1
+        } else {
+            let base = prefix.addr().bits(0, SHARD_BITS) as usize;
+            base..base + (1usize << (SHARD_BITS - prefix.len()))
+        }
+    }
+
+    /// Announces a route into every shard it covers.
+    pub fn announce(&mut self, prefix: Prefix<A>, next_hop: NextHop) {
+        for shard in Self::shard_range(prefix) {
+            self.shards[shard].announce(prefix, next_hop);
+        }
+    }
+
+    /// Withdraws a route from every shard it covers.
+    pub fn withdraw(&mut self, prefix: Prefix<A>) {
+        for shard in Self::shard_range(prefix) {
+            self.shards[shard].withdraw(prefix);
+        }
+    }
+
+    /// Publishes a fresh epoch on every shard.
+    pub fn publish_all(&mut self) {
+        for shard in &mut self.shards {
+            shard.publish();
+        }
+    }
+
+    /// Lookup through the owning shard's published snapshot.
+    #[must_use]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        self.shards[Self::shard_of(addr)].lookup(addr)
+    }
+
+    /// Batched lookup: addresses are bucketed per shard with one
+    /// counting-sort pass, each shard's run goes through its engine-native
+    /// [`FibLookup::lookup_batch`] (interleaved where the engine supports
+    /// it), and results scatter back into `out` in input order.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        // Counting sort by shard: `order` holds the input indices grouped
+        // by shard, `starts[s]..starts[s + 1]` delimiting shard s's run.
+        let mut counts = [0usize; SHARD_COUNT + 1];
+        for addr in addrs {
+            counts[Self::shard_of(*addr) + 1] += 1;
+        }
+        for s in 0..SHARD_COUNT {
+            counts[s + 1] += counts[s];
+        }
+        let starts = counts;
+        let mut cursor = starts;
+        let mut order = vec![0usize; addrs.len()];
+        for (i, addr) in addrs.iter().enumerate() {
+            let shard = Self::shard_of(*addr);
+            order[cursor[shard]] = i;
+            cursor[shard] += 1;
+        }
+        let mut gathered: Vec<A> = Vec::with_capacity(addrs.len());
+        let mut answers: Vec<Option<NextHop>> = Vec::new();
+        for shard in 0..SHARD_COUNT {
+            let run = &order[starts[shard]..starts[shard + 1]];
+            if run.is_empty() {
+                continue;
+            }
+            gathered.clear();
+            gathered.extend(run.iter().map(|&i| addrs[i]));
+            answers.clear();
+            answers.resize(run.len(), None);
+            let snapshot = self.shards[shard].snapshot();
+            snapshot.lookup_batch(&gathered, &mut answers);
+            for (&i, &answer) in run.iter().zip(&answers) {
+                out[i] = answer;
+            }
+        }
+    }
+
+    /// Access to a single shard (e.g. for its [`Router::data_plane`]).
+    #[must_use]
+    pub fn shard(&self, index: usize) -> &Router<A, E> {
+        &self.shards[index]
+    }
+
+    /// Snapshot of the shard owning `addr`.
+    #[must_use]
+    pub fn snapshot_for(&self, addr: A) -> Arc<EpochSnapshot<E>> {
+        self.shards[Self::shard_of(addr)].snapshot()
+    }
+
+    /// Sum of all shard counters.
+    #[must_use]
+    pub fn stats(&self) -> RouterStats {
+        let mut total = RouterStats::default();
+        for shard in &self.shards {
+            let s = shard.stats();
+            total.updates += s.updates;
+            total.in_place += s.in_place;
+            total.declined += s.declined;
+            total.epochs += s.epochs;
+            total.rebuilds += s.rebuilds;
+            total.background_rebuilds += s.background_rebuilds;
+            total.replayed += s.replayed;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_core::PrefixDag;
+    use fib_trie::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    fn config() -> RouterConfig {
+        RouterConfig {
+            publish_every: None,
+            ..RouterConfig::default()
+        }
+    }
+
+    fn sample_fib() -> BinaryTrie<u32> {
+        let mut t = BinaryTrie::new();
+        t.insert(p("0.0.0.0/0"), nh(1)); // replicated into all 256 shards
+        t.insert(p("10.0.0.0/8"), nh(2));
+        t.insert(p("10.64.0.0/10"), nh(3));
+        t.insert(p("96.0.0.0/3"), nh(4)); // covers 32 shards
+        t.insert(p("203.0.113.0/24"), nh(5));
+        t
+    }
+
+    #[test]
+    fn shard_range_math() {
+        assert_eq!(
+            ShardedRouter::<u32, PrefixDag<u32>>::shard_range(p("10.0.0.0/8")),
+            10..11
+        );
+        assert_eq!(
+            ShardedRouter::<u32, PrefixDag<u32>>::shard_range(p("10.1.2.0/24")),
+            10..11
+        );
+        assert_eq!(
+            ShardedRouter::<u32, PrefixDag<u32>>::shard_range(p("96.0.0.0/3")),
+            96..128
+        );
+        assert_eq!(
+            ShardedRouter::<u32, PrefixDag<u32>>::shard_range(p("0.0.0.0/0")),
+            0..256
+        );
+    }
+
+    #[test]
+    fn sharded_lookup_matches_flat_oracle() {
+        let flat = sample_fib();
+        let sharded: ShardedRouter<u32, PrefixDag<u32>> = ShardedRouter::new(&flat, config());
+        for i in 0..20_000u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9) ^ (i >> 5);
+            assert_eq!(sharded.lookup(addr), flat.lookup(addr), "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn sharded_batch_matches_scalar() {
+        let flat = sample_fib();
+        let sharded: ShardedRouter<u32, PrefixDag<u32>> = ShardedRouter::new(&flat, config());
+        let addrs: Vec<u32> = (0..4097u32).map(|i| i.wrapping_mul(0x0101_6B55)).collect();
+        let mut out = vec![None; addrs.len()];
+        sharded.lookup_batch(&addrs, &mut out);
+        for (a, got) in addrs.iter().zip(&out) {
+            assert_eq!(*got, flat.lookup(*a), "addr {a:#x}");
+        }
+    }
+
+    #[test]
+    fn publish_all_skips_untouched_shards() {
+        let mut sharded: ShardedRouter<u32, PrefixDag<u32>> =
+            ShardedRouter::new(&sample_fib(), config());
+        sharded.announce(p("203.0.113.128/25"), nh(9)); // exactly one shard
+        sharded.publish_all();
+        // 256 initial epochs plus one real publish; the other 255 shards
+        // reused their snapshots.
+        assert_eq!(sharded.stats().epochs, 257);
+    }
+
+    #[test]
+    fn updates_fan_out_to_covered_shards() {
+        let mut sharded: ShardedRouter<u32, PrefixDag<u32>> =
+            ShardedRouter::new(&sample_fib(), config());
+        // A /6 covers 4 shards; the default route update covers all 256.
+        sharded.announce(p("8.0.0.0/6"), nh(9));
+        sharded.announce(p("0.0.0.0/0"), nh(8));
+        sharded.withdraw(p("10.64.0.0/10"));
+        sharded.publish_all();
+        let mut oracle = sample_fib();
+        oracle.insert(p("8.0.0.0/6"), nh(9));
+        oracle.insert(p("0.0.0.0/0"), nh(8));
+        oracle.remove(p("10.64.0.0/10"));
+        for i in 0..20_000u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            assert_eq!(sharded.lookup(addr), oracle.lookup(addr), "addr {addr:#x}");
+        }
+        assert_eq!(sharded.stats().updates, 4 + 256 + 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Differential churn: a `Router<PrefixDag>` and an independent oracle
+//! trie absorb the same BGP-style update feed; every published epoch
+//! snapshot must agree with the oracle on a fixed lookup trace, including
+//! the epochs cut while a degradation-triggered background rebuild was in
+//! flight and the first epoch after its journal replay.
+
+use fib_core::{BuildConfig, PrefixDag, SerializedDag};
+use fib_router::{Router, RouterConfig};
+use fib_trie::BinaryTrie;
+use fib_workload::rng::Xoshiro256;
+use fib_workload::updates::{bgp_sequence, UpdateOp};
+use fib_workload::{traces, FibSpec};
+
+fn rng(seed: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(seed)
+}
+
+fn assert_snapshot_matches_oracle<E>(
+    snapshot: &fib_router::EpochSnapshot<E>,
+    oracle: &BinaryTrie<u32>,
+    trace: &[u32],
+) where
+    E: fib_core::FibLookup<u32>,
+{
+    let mut batched = vec![None; trace.len()];
+    snapshot.lookup_batch(trace, &mut batched);
+    for (&addr, &got) in trace.iter().zip(&batched) {
+        assert_eq!(
+            got,
+            oracle.lookup(addr),
+            "epoch {} diverges from the oracle at {addr:#010x}",
+            snapshot.epoch()
+        );
+    }
+}
+
+#[test]
+fn pdag_router_tracks_oracle_through_bgp_churn_and_rebuild() {
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(15_000).generate(&mut rng(1));
+    let updates = bgp_sequence(&mut rng(2), &base, 12_000);
+    let trace = traces::uniform::<u32, _>(&mut rng(3), 1_500);
+
+    let config = RouterConfig {
+        build: BuildConfig::with_lambda(11),
+        publish_every: None, // published explicitly every batch below
+        // Low threshold so the BGP feed provably crosses it mid-test.
+        degradation_threshold: 0.002,
+        background_rebuild: true,
+    };
+    let mut router: Router<u32, PrefixDag<u32>> = Router::new(base.clone(), config);
+    let mut oracle = base;
+
+    assert_snapshot_matches_oracle(&router.snapshot(), &oracle, &trace);
+
+    let mut saw_rebuild_in_flight = false;
+    let mut epochs_checked = 0usize;
+    for (i, op) in updates.iter().enumerate() {
+        match *op {
+            UpdateOp::Announce(p, nh) => {
+                oracle.insert(p, nh);
+                router.announce(p, nh);
+            }
+            UpdateOp::Withdraw(p) => {
+                oracle.remove(p);
+                router.withdraw(p);
+            }
+        }
+        saw_rebuild_in_flight |= router.rebuild_in_flight();
+        // Publish (and differentially check) every 500 updates — some of
+        // these epochs are cut while the background re-fold is running.
+        if (i + 1) % 500 == 0 {
+            let snapshot = router.publish();
+            assert_snapshot_matches_oracle(&snapshot, &oracle, &trace);
+            epochs_checked += 1;
+        }
+    }
+    // Drain any still-running rebuild and verify its journal replay.
+    router.finish_rebuild(true);
+    let last = router.publish();
+    assert_snapshot_matches_oracle(&last, &oracle, &trace);
+
+    let stats = router.stats();
+    assert_eq!(stats.updates, 12_000);
+    assert!(epochs_checked >= 24);
+    assert!(
+        saw_rebuild_in_flight,
+        "the degradation policy never started a background rebuild"
+    );
+    assert!(
+        stats.background_rebuilds >= 1,
+        "no background rebuild completed: {stats:?}"
+    );
+    assert_eq!(
+        stats.declined, 0,
+        "pDAG must absorb every update in place: {stats:?}"
+    );
+    assert_eq!(stats.in_place, stats.updates);
+}
+
+#[test]
+fn static_engine_router_matches_oracle_at_every_publish() {
+    // The serialized image has no in-place path: every epoch is a fresh
+    // re-emit of the control FIB — the snapshot lifecycle the follow-up
+    // papers assume. Smaller feed; each publish costs a full rebuild.
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(4_000).generate(&mut rng(4));
+    let updates = bgp_sequence(&mut rng(5), &base, 2_000);
+    let trace = traces::uniform::<u32, _>(&mut rng(6), 800);
+
+    let config = RouterConfig {
+        build: BuildConfig::with_lambda(11),
+        publish_every: Some(250),
+        degradation_threshold: 0.25,
+        background_rebuild: false,
+    };
+    let mut router: Router<u32, SerializedDag<u32>> = Router::new(base.clone(), config);
+    let mut oracle = base;
+    for op in &updates {
+        match *op {
+            UpdateOp::Announce(p, nh) => {
+                oracle.insert(p, nh);
+                router.announce(p, nh);
+            }
+            UpdateOp::Withdraw(p) => {
+                oracle.remove(p);
+                router.withdraw(p);
+            }
+        }
+    }
+    let snapshot = router.publish();
+    assert_snapshot_matches_oracle(&snapshot, &oracle, &trace);
+    let stats = router.stats();
+    assert_eq!(stats.in_place, 0);
+    assert!(stats.rebuilds >= 8, "{stats:?}");
+}

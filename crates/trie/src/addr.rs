@@ -5,6 +5,12 @@ use std::hash::Hash;
 use std::net::{Ipv4Addr, Ipv6Addr};
 use std::str::FromStr;
 
+/// Traversal depth of a lookup: the number of nodes, hops or slot reads a
+/// structure touched to answer a query. Every `lookup_with_depth` in the
+/// workspace returns this one type so depth statistics compose across
+/// engines (bit-level walkers used to say `u8`, multibit ones `u32`).
+pub type Depth = u32;
+
 /// An IP address viewed as a fixed-width bit string, most significant bit
 /// first.
 ///

@@ -2,7 +2,7 @@
 
 use std::marker::PhantomData;
 
-use crate::addr::{Address, Prefix};
+use crate::addr::{Address, Depth, Prefix};
 use crate::nexthop::NextHop;
 
 const NONE: u32 = u32::MAX;
@@ -176,7 +176,7 @@ impl<A: Address> BinaryTrie<A> {
     /// Longest-prefix-match lookup, also returning the number of nodes
     /// visited below the root (used by depth statistics).
     #[must_use]
-    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, u8) {
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, Depth) {
         let mut idx = 0u32;
         let mut best = self.nodes[0].label;
         let mut depth = 0u8;
@@ -195,7 +195,10 @@ impl<A: Address> BinaryTrie<A> {
                 best = label;
             }
         }
-        ((best != NONE).then(|| NextHop::new(best)), depth)
+        (
+            (best != NONE).then(|| NextHop::new(best)),
+            Depth::from(depth),
+        )
     }
 
     /// Lookup reporting every node touch as `(byte offset, byte size)`

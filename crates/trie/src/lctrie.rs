@@ -16,10 +16,13 @@
 
 use std::marker::PhantomData;
 
-use crate::addr::Address;
+use crate::addr::{Address, Depth};
 use crate::binary::BinaryTrie;
 use crate::leafpush::{ProperNode, ProperTrie};
 use crate::nexthop::NextHop;
+
+/// Number of lookups [`LcTrie::lookup_batch`] walks in lockstep.
+pub const LC_BATCH_LANES: usize = 4;
 
 #[derive(Clone, Copy, Debug)]
 enum LcNode {
@@ -143,10 +146,10 @@ impl<A: Address> LcTrie<A> {
     /// Lookup returning the number of branch nodes traversed (the paper's
     /// Table 2 "depth").
     #[must_use]
-    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, u32) {
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, Depth) {
         let mut idx = self.root;
         let mut offset = 0u8;
-        let mut hops = 0u32;
+        let mut hops: Depth = 0;
         loop {
             match self.nodes[idx as usize] {
                 LcNode::Leaf(label) => return (label, hops),
@@ -157,6 +160,51 @@ impl<A: Address> LcTrie<A> {
                     hops += 1;
                 }
             }
+        }
+    }
+
+    /// Batched longest-prefix match: resolves `addrs[i]` into `out[i]`,
+    /// walking [`LC_BATCH_LANES`] addresses in lockstep so the independent
+    /// branch-node fetches of different packets overlap in the memory
+    /// pipeline instead of serializing behind one another.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        // Trim so the exact-chunk remainders of both slices stay aligned
+        // when the caller hands in an oversized output buffer.
+        let out = &mut out[..addrs.len()];
+        let mut chunks = addrs.chunks_exact(LC_BATCH_LANES);
+        let mut outs = out.chunks_exact_mut(LC_BATCH_LANES);
+        for (chunk, slot) in (&mut chunks).zip(&mut outs) {
+            // One walk state per lane; a lane parks on its answer when it
+            // reaches a leaf while the others keep stepping.
+            let mut idx = [self.root; LC_BATCH_LANES];
+            let mut offset = [0u8; LC_BATCH_LANES];
+            let mut done = [false; LC_BATCH_LANES];
+            let mut live = LC_BATCH_LANES;
+            while live > 0 {
+                for lane in 0..LC_BATCH_LANES {
+                    if done[lane] {
+                        continue;
+                    }
+                    match self.nodes[idx[lane] as usize] {
+                        LcNode::Leaf(label) => {
+                            slot[lane] = label;
+                            done[lane] = true;
+                            live -= 1;
+                        }
+                        LcNode::Branch { bits, base } => {
+                            idx[lane] = base + chunk[lane].bits(offset[lane], bits);
+                            offset[lane] += bits;
+                        }
+                    }
+                }
+            }
+        }
+        for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *slot = self.lookup(*addr);
         }
     }
 
@@ -403,6 +451,39 @@ mod tests {
         for max_stride in [1u8, 4, 8, 16] {
             let lc = LcTrie::with_params(&trie, 0.5, max_stride);
             assert_equivalent(&trie, &lc, 3000);
+        }
+    }
+
+    #[test]
+    fn batch_lookup_matches_scalar() {
+        let mut trie: BinaryTrie<u32> = BinaryTrie::new();
+        let mut x: u64 = 0xFEED_FACE_CAFE_BEEF;
+        for _ in 0..400 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            trie.insert(
+                Prefix4::new((x >> 32) as u32, (x % 33) as u8),
+                nh((x % 7) as u32),
+            );
+        }
+        let lc = LcTrie::from_trie(&trie);
+        // Sizes around the lane width exercise both the lockstep core and
+        // the scalar remainder.
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 129] {
+            let addrs: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+            let mut out = vec![None; n];
+            lc.lookup_batch(&addrs, &mut out);
+            for (a, got) in addrs.iter().zip(&out) {
+                assert_eq!(*got, lc.lookup(*a), "batch diverges at {a:#x}");
+            }
+            // Oversized output buffer: every addressed slot must still be
+            // written (the tails of both chunk streams must align).
+            let mut big = vec![Some(nh(u32::MAX - 1)); n + 5];
+            lc.lookup_batch(&addrs, &mut big);
+            for (a, got) in addrs.iter().zip(&big) {
+                assert_eq!(*got, lc.lookup(*a), "oversized batch diverges at {a:#x}");
+            }
         }
     }
 

@@ -143,6 +143,26 @@ impl<A: Address> ProperTrie<A> {
         }
     }
 
+    /// Lookup reporting every node touch as `(byte offset, byte size)`
+    /// within the arena — the access stream for cache simulation. The
+    /// normal form is a plain array of [`ProperNode`] records, so each
+    /// level of the walk reads exactly one record.
+    pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        let node_bytes = std::mem::size_of::<ProperNode>() as u64;
+        let mut idx = self.root;
+        let mut depth = 0u8;
+        loop {
+            sink(u64::from(idx) * node_bytes, node_bytes as u32);
+            match self.nodes[idx as usize] {
+                ProperNode::Leaf(label) => return label,
+                ProperNode::Internal { left, right } => {
+                    idx = if addr.bit(depth) { right } else { left };
+                    depth += 1;
+                }
+            }
+        }
+    }
+
     /// Level-order (BFS) traversal of the nodes — the order the XBW-b
     /// transform serializes in.
     pub fn bfs(&self) -> impl Iterator<Item = &ProperNode> {
@@ -377,6 +397,17 @@ mod tests {
             pt.lookup(u32::from(std::net::Ipv4Addr::new(1, 2, 3, 5))),
             Some(nh(1))
         );
+    }
+
+    #[test]
+    fn traced_lookup_matches_plain_and_counts_levels() {
+        let pt = ProperTrie::from_trie(&fig1_trie());
+        for addr in [0u32, 0x2000_0000, 0x6000_0000, 0x8000_0000, u32::MAX] {
+            let mut touches = 0u32;
+            let traced = pt.lookup_traced(addr, &mut |_, _| touches += 1);
+            assert_eq!(traced, pt.lookup(addr), "addr {addr:#x}");
+            assert!(touches >= 1, "the root is always read");
+        }
     }
 
     #[test]

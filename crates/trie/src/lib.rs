@@ -42,9 +42,9 @@ pub mod ortc;
 pub mod stats;
 mod table;
 
-pub use addr::{Address, ParsePrefixError, Prefix, Prefix4, Prefix6};
+pub use addr::{Address, Depth, ParsePrefixError, Prefix, Prefix4, Prefix6};
 pub use binary::{BinaryTrie, NodeRef};
-pub use lctrie::LcTrie;
+pub use lctrie::{LcTrie, LC_BATCH_LANES};
 pub use leafpush::{ProperNode, ProperTrie};
 pub use nexthop::NextHop;
 pub use table::RouteTable;

@@ -1,25 +1,34 @@
 //! The tabular FIB of Fig. 1(a): a flat route list with linear-scan
 //! longest-prefix match.
 
+use std::collections::HashMap;
+
 use crate::addr::{Address, Prefix};
 use crate::nexthop::NextHop;
 
 /// A flat (prefix → next-hop) table.
 ///
-/// Lookup and update are O(N) — the paper's strawman — but the
-/// representation is trivially correct, which makes it the oracle every
-/// compressed structure is differentially tested against. Storage is
-/// `(W + lg δ)·N` bits, per Section 2.
+/// Lookup is O(N) — the paper's strawman — but the representation is
+/// trivially correct, which makes it the oracle every compressed structure
+/// is differentially tested against. Storage under the paper's model is
+/// `(W + lg δ)·N` bits, per Section 2; the prefix-keyed index is an
+/// implementation aid (it keeps building an N-route oracle O(N) instead of
+/// O(N²)) and is deliberately not part of the modeled size.
 #[derive(Clone, Debug, Default)]
 pub struct RouteTable<A: Address> {
     routes: Vec<(Prefix<A>, NextHop)>,
+    /// Position of each prefix in `routes`.
+    index: HashMap<Prefix<A>, usize>,
 }
 
 impl<A: Address> RouteTable<A> {
     /// Creates an empty table.
     #[must_use]
     pub fn new() -> Self {
-        Self { routes: Vec::new() }
+        Self {
+            routes: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     /// Number of routes.
@@ -35,27 +44,31 @@ impl<A: Address> RouteTable<A> {
     }
 
     /// Inserts or replaces the route for `prefix`, returning the previous
-    /// next-hop if one existed.
+    /// next-hop if one existed. O(1) expected.
     pub fn insert(&mut self, prefix: Prefix<A>, next_hop: NextHop) -> Option<NextHop> {
-        for entry in &mut self.routes {
-            if entry.0 == prefix {
-                return Some(std::mem::replace(&mut entry.1, next_hop));
-            }
+        if let Some(&pos) = self.index.get(&prefix) {
+            return Some(std::mem::replace(&mut self.routes[pos].1, next_hop));
         }
+        self.index.insert(prefix, self.routes.len());
         self.routes.push((prefix, next_hop));
         None
     }
 
-    /// Removes the route for `prefix`, returning its next-hop.
+    /// Removes the route for `prefix`, returning its next-hop. O(1)
+    /// expected.
     pub fn remove(&mut self, prefix: Prefix<A>) -> Option<NextHop> {
-        let pos = self.routes.iter().position(|e| e.0 == prefix)?;
-        Some(self.routes.swap_remove(pos).1)
+        let pos = self.index.remove(&prefix)?;
+        let removed = self.routes.swap_remove(pos);
+        if let Some(moved) = self.routes.get(pos) {
+            self.index.insert(moved.0, pos);
+        }
+        Some(removed.1)
     }
 
     /// The next-hop registered for exactly `prefix`, if any.
     #[must_use]
     pub fn exact_match(&self, prefix: Prefix<A>) -> Option<NextHop> {
-        self.routes.iter().find(|e| e.0 == prefix).map(|e| e.1)
+        self.index.get(&prefix).map(|&pos| self.routes[pos].1)
     }
 
     /// Longest-prefix-match lookup: scans every entry, keeps the most
@@ -191,6 +204,37 @@ mod tests {
         let t = fig1_table();
         // N = 6, W = 32, δ = 3 → lg 3 = 2 bits → 6 * 34 = 204.
         assert_eq!(t.model_size_bits(), 204);
+    }
+
+    #[test]
+    fn index_survives_interleaved_insert_remove() {
+        // Deterministic churn mirroring what the differential suites do at
+        // scale; the index must stay in sync with the route vector through
+        // swap_remove reshuffling.
+        let mut t: RouteTable<u32> = RouteTable::new();
+        let mut x: u64 = 0x0123_4567_89AB_CDEF;
+        let mut live: Vec<(Prefix4, NextHop)> = Vec::new();
+        for _ in 0..2_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 3 != 0 || live.is_empty() {
+                let p = Prefix4::new((x >> 32) as u32, (x % 33) as u8);
+                let hop = nh((x % 11) as u32);
+                if t.insert(p, hop).is_none() {
+                    live.push((p, hop));
+                } else if let Some(e) = live.iter_mut().find(|e| e.0 == p) {
+                    e.1 = hop;
+                }
+            } else {
+                let (p, hop) = live.swap_remove((x as usize) % live.len());
+                assert_eq!(t.remove(p), Some(hop), "remove {p}");
+            }
+        }
+        assert_eq!(t.len(), live.len());
+        for (p, hop) in &live {
+            assert_eq!(t.exact_match(*p), Some(*hop), "exact {p}");
+        }
     }
 
     #[test]

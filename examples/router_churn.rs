@@ -1,13 +1,17 @@
-//! A software router under BGP churn: a DFZ-sized FIB compressed with
-//! trie-folding serves lookups while absorbing a live update feed, and the
-//! folded form is differentially checked against the uncompressed control
-//! FIB throughout.
+//! A software router under BGP churn, on the control/data-plane split the
+//! paper's §5 describes: a DFZ-sized FIB compressed with trie-folding
+//! absorbs a live update feed through the control plane, the data plane
+//! serves batched lookups from immutable epoch snapshots, and arena
+//! fragmentation from λ-barrier refolds eventually triggers a background
+//! compacting rebuild — all differentially checked against the
+//! uncompressed control FIB throughout.
 //!
 //! ```sh
 //! cargo run --release --example router_churn
 //! ```
 
-use fibcomp::core::PrefixDag;
+use fibcomp::core::{BuildConfig, PrefixDag};
+use fibcomp::router::{Router, RouterConfig};
 use fibcomp::trie::BinaryTrie;
 use fibcomp::workload::rng::Xoshiro256;
 use fibcomp::workload::updates::{bgp_sequence, UpdateOp};
@@ -18,52 +22,60 @@ const FIB_SIZE: usize = 150_000;
 const CHURN_BATCHES: usize = 10;
 const UPDATES_PER_BATCH: usize = 2_000;
 const LOOKUPS_PER_BATCH: usize = 200_000;
+const LOOKUP_CHUNK: usize = 256;
 
 fn main() {
     let mut rng = Xoshiro256::seed_from_u64(2024);
     println!("building a {FIB_SIZE}-prefix DFZ-like FIB…");
     let trie: BinaryTrie<u32> = FibSpec::dfz_like(FIB_SIZE).generate(&mut rng);
 
-    let (dag, build) = {
-        let start = Instant::now();
-        let dag = PrefixDag::from_trie(&trie, 11);
-        (dag, start.elapsed())
+    let config = RouterConfig {
+        build: BuildConfig::with_lambda(11),
+        publish_every: None, // one epoch per churn batch below
+        degradation_threshold: 0.002,
+        background_rebuild: true,
     };
-    let stats = dag.stats();
+    let (mut router, build) = {
+        let start = Instant::now();
+        let router: Router<u32, PrefixDag<u32>> = Router::new(trie, config);
+        (router, start.elapsed())
+    };
     println!(
-        "folded in {:.0} ms: {} live nodes ({} shared interiors), model size {} KB",
+        "router up in {:.0} ms: epoch {} serving {} routes",
         build.as_secs_f64() * 1e3,
-        stats.live_nodes,
-        stats.folded_interior,
-        dag.model_size_bits() / 8 / 1024,
+        router.epoch(),
+        router.len(),
     );
+    let data_plane = router.data_plane();
 
-    let mut dag = dag;
     let mut total_updates = 0usize;
     let mut total_lookups = 0usize;
     for batch in 1..=CHURN_BATCHES {
-        // Absorb a burst of BGP updates.
-        let updates = bgp_sequence(&mut rng, dag.control(), UPDATES_PER_BATCH);
+        // Control plane: absorb a burst of BGP updates, then cut an epoch.
+        let updates = bgp_sequence(&mut rng, router.control(), UPDATES_PER_BATCH);
         let start = Instant::now();
         for op in &updates {
             match *op {
-                UpdateOp::Announce(p, nh) => {
-                    dag.insert(p, nh);
-                }
-                UpdateOp::Withdraw(p) => {
-                    dag.remove(p);
-                }
+                UpdateOp::Announce(p, nh) => router.announce(p, nh),
+                UpdateOp::Withdraw(p) => router.withdraw(p),
             }
         }
+        router.publish();
         let upd_secs = start.elapsed().as_secs_f64();
         total_updates += updates.len();
 
-        // Serve a burst of traffic.
+        // Data plane: serve a burst of traffic in batches off the newest
+        // snapshot (exactly what a forwarding thread would do).
         let keys = traces::uniform::<u32, _>(&mut rng, LOOKUPS_PER_BATCH);
+        let snapshot = data_plane.snapshot();
         let start = Instant::now();
         let mut acc = 0u64;
-        for &k in &keys {
-            acc = acc.wrapping_add(u64::from(dag.lookup(k).map_or(0, |nh| nh.index())));
+        let mut out = [None; LOOKUP_CHUNK];
+        for chunk in keys.chunks(LOOKUP_CHUNK) {
+            snapshot.lookup_batch(chunk, &mut out);
+            for nh in &out[..chunk.len()] {
+                acc = acc.wrapping_add(u64::from(nh.map_or(0, |nh| nh.index())));
+            }
         }
         std::hint::black_box(acc);
         let lk_secs = start.elapsed().as_secs_f64();
@@ -72,19 +84,30 @@ fn main() {
         // Differential check against the control FIB.
         for &k in keys.iter().step_by(997) {
             assert_eq!(
-                dag.lookup(k),
-                dag.control().lookup(k),
+                snapshot.lookup(k),
+                router.control().lookup(k),
                 "divergence at {k:#x}"
             );
         }
         println!(
-            "batch {batch:>2}: {:>6.1} Kupd/s, {:>5.2} Mlookup/s, {} routes live",
+            "batch {batch:>2}: epoch {:>2}, {:>6.1} Kupd/s, {:>5.2} Mlookup/s, {} routes live{}",
+            snapshot.epoch(),
             UPDATES_PER_BATCH as f64 / upd_secs / 1e3,
             LOOKUPS_PER_BATCH as f64 / lk_secs / 1e6,
-            dag.len(),
+            router.len(),
+            if router.rebuild_in_flight() {
+                " (background rebuild in flight)"
+            } else {
+                ""
+            },
         );
     }
+    router.finish_rebuild(true);
 
+    let stats = router.stats();
     println!("\nsurvived {total_updates} updates and {total_lookups} lookups with zero divergence");
-    println!("final fold state: {:?}", dag.stats());
+    println!(
+        "router stats: {} epochs, {} in-place updates, {} rebuilds ({} background, {} journal ops replayed)",
+        stats.epochs, stats.in_place, stats.rebuilds, stats.background_rebuilds, stats.replayed,
+    );
 }

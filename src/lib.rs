@@ -12,6 +12,16 @@
 //!   Section 2 (tabular, binary trie, leaf-pushing, ORTC, LC-trie),
 //! * [`core`] — the paper's contribution: FIB entropy bounds, the XBW-b
 //!   transform, and trie-folding prefix DAGs with λ-barrier updates,
+//!   behind the engine trait family ([`core::FibLookup`] for single and
+//!   batched lookup, [`core::FibBuild`] for uniform construction,
+//!   [`core::FibUpdate`] for incremental updates with a rebuild escape
+//!   hatch),
+//! * [`router`] — the control/data-plane router core of §5:
+//!   [`router::Router`] pairs an oracle control FIB and update journal
+//!   with `Arc`-swapped epoch snapshots, applies in-place pDAG updates
+//!   until arena fragmentation triggers a (background) compacting
+//!   rebuild, and [`router::ShardedRouter`] splits the address space
+//!   across 256 first-byte shards,
 //! * [`workload`] — synthetic FIB generators, BGP-like update sequences and
 //!   lookup traces standing in for the paper's proprietary datasets,
 //! * [`hwsim`] — SRAM/FPGA cycle model and cache-hierarchy simulator used
@@ -42,19 +52,43 @@
 //! assert_eq!(trie.lookup(addr), dag.lookup(addr));
 //! assert_eq!(trie.lookup(addr), xbw.lookup(addr));
 //! assert_eq!(dag.lookup(addr), Some(NextHop::new(1)));
+//!
+//! // The data plane consumes the flat serialized image and answers whole
+//! // packet batches at once (interleaved multi-lane walk).
+//! let ser = SerializedDag::from_dag(&dag);
+//! let batch = [addr, 0x0000_0001, 0x8123_4567];
+//! let mut next_hops = [None; 3];
+//! ser.lookup_batch(&batch, &mut next_hops);
+//! for (a, nh) in batch.iter().zip(&next_hops) {
+//!     assert_eq!(*nh, trie.lookup(*a));
+//! }
+//!
+//! // A router wraps the whole lifecycle: control-plane updates, epoch
+//! // snapshots, rebuild-on-degradation.
+//! let mut router: Router<u32, PrefixDag<u32>> =
+//!     Router::new(trie.clone(), RouterConfig::default());
+//! router.announce(Prefix4::from_str("96.0.0.0/11").unwrap(), NextHop::new(4));
+//! let snapshot = router.publish();
+//! assert_eq!(snapshot.lookup(addr), Some(NextHop::new(4)));
 //! ```
 
 pub use fib_core as core;
 pub use fib_hwsim as hwsim;
+pub use fib_router as router;
 pub use fib_succinct as succinct;
 pub use fib_trie as trie;
 pub use fib_workload as workload;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use fib_core::{FibEntropy, FoldedString, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+    pub use fib_core::{
+        BuildConfig, FibBuild, FibEngine, FibEntropy, FibLookup, FibUpdate, FoldedString,
+        PrefixDag, RebuildNeeded, SerializedDag, XbwFib, XbwStorage,
+    };
+    pub use fib_router::{Router, RouterConfig, ShardedRouter};
     pub use fib_trie::{
-        Address, BinaryTrie, LcTrie, NextHop, Prefix, Prefix4, Prefix6, ProperTrie, RouteTable,
+        Address, BinaryTrie, Depth, LcTrie, NextHop, Prefix, Prefix4, Prefix6, ProperTrie,
+        RouteTable,
     };
     pub use std::str::FromStr;
 }

@@ -2,8 +2,8 @@
 //! must compute the same longest-prefix-match function, on FIBs of every
 //! shape the workload generators can produce.
 
-use fibcomp::core::{FibEngine, PrefixDag, SerializedDag, XbwFib, XbwStorage};
-use fibcomp::trie::{ortc, BinaryTrie, LcTrie, ProperTrie, RouteTable};
+use fibcomp::core::{FibEngine, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fibcomp::trie::{ortc, BinaryTrie, LcTrie, NextHop, ProperTrie, RouteTable};
 use fibcomp::workload::rng::Xoshiro256;
 use fibcomp::workload::{traces, FibSpec, LabelModel};
 
@@ -11,7 +11,9 @@ fn rng(seed: u64) -> Xoshiro256 {
     Xoshiro256::seed_from_u64(seed)
 }
 
-/// Builds every engine over `trie` and checks they agree on `keys`.
+/// Builds every engine over `trie` and checks they agree on `keys`, both
+/// one address at a time and through the batched data-plane entry point
+/// (which the flat-layout engines override with interleaved walks).
 fn check_all_engines(trie: &BinaryTrie<u32>, keys: &[u32]) {
     let table: RouteTable<u32> = trie.iter().collect();
     let proper = ProperTrie::from_trie(trie);
@@ -28,10 +30,13 @@ fn check_all_engines(trie: &BinaryTrie<u32>, keys: &[u32]) {
     dag_eq3.assert_invariants();
     let ser0 = SerializedDag::from_dag(&dag0);
     let ser11 = SerializedDag::from_dag(&dag11);
+    let mb4 = MultibitDag::from_trie(trie, 4);
+    let mb8 = MultibitDag::from_trie(trie, 8);
     let aggregated = ortc::compress(trie);
 
     let engines: Vec<&dyn FibEngine<u32>> = vec![
         trie, &proper, &lc_half, &lc_full, &xbw_s, &xbw_e, &dag0, &dag11, &dag_eq3, &ser0, &ser11,
+        &mb4, &mb8,
     ];
     for &key in keys {
         let expected = table.lookup(key);
@@ -48,6 +53,25 @@ fn check_all_engines(trie: &BinaryTrie<u32>, keys: &[u32]) {
             expected,
             "ORTC diverges at {key:#010x}"
         );
+    }
+    // Batched lookups must agree with per-address lookups on every engine
+    // — including the RouteTable oracle running the default loop impl.
+    let mut out = vec![Some(NextHop::new(u32::MAX - 1)); keys.len()];
+    for engine in engines
+        .iter()
+        .copied()
+        .chain([&table as &dyn FibEngine<u32>])
+    {
+        out.fill(Some(NextHop::new(u32::MAX - 1))); // poison every slot
+        engine.lookup_batch(keys, &mut out);
+        for (&key, &got) in keys.iter().zip(&out) {
+            assert_eq!(
+                got,
+                engine.lookup(key),
+                "{} batch diverges at {key:#010x}",
+                engine.name()
+            );
+        }
     }
 }
 
