@@ -1,0 +1,116 @@
+//! `benchdump` — machine-readable lookup benchmark for the perf
+//! trajectory.
+//!
+//! Measures every engine's longest-prefix-match latency (scalar and
+//! batched) on a paper-instance FIB and writes `BENCH_lookup.json` at the
+//! repo root, so successive PRs can diff per-engine medians instead of
+//! re-reading prose. See README → "Benchmark trajectory" for the format.
+//!
+//! ```sh
+//! cargo run --release -p fib-bench --bin benchdump            # taz, scale 0.1
+//! cargo run --release -p fib-bench --bin benchdump -- --scale=0.05
+//! cargo run --release -p fib-bench --bin benchdump -- --out=/tmp/bench.json
+//! ```
+
+use fib_bench::timing::median;
+use fib_bench::{instance_fib, scale_arg};
+use fib_core::{FibEngine, FibLookup, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fib_trie::LcTrie;
+use fib_workload::rng::Xoshiro256;
+use fib_workload::traces::uniform;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Samples per engine; the median of an odd count is an order statistic.
+const SAMPLES: usize = 9;
+
+/// Median nanoseconds per scalar lookup over `SAMPLES` passes.
+fn scalar_ns<E: FibEngine<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
+    let mut passes = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for &a in addrs {
+            acc = acc.wrapping_add(u64::from(
+                engine.lookup(black_box(a)).map_or(0, |nh| nh.index()),
+            ));
+        }
+        black_box(acc);
+        passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
+    }
+    median(&passes)
+}
+
+/// Median nanoseconds per batched lookup over `SAMPLES` passes.
+fn batch_ns<E: FibEngine<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
+    let mut out = vec![None; addrs.len()];
+    let mut passes = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        engine.lookup_batch(black_box(addrs), &mut out);
+        black_box(&out);
+        passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
+    }
+    median(&passes)
+}
+
+fn main() {
+    let scale = scale_arg();
+    let out_path = std::env::args()
+        .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        .unwrap_or_else(|| {
+            // crates/bench → repo root.
+            format!("{}/../../BENCH_lookup.json", env!("CARGO_MANIFEST_DIR"))
+        });
+    let instance = "taz";
+    let trie = instance_fib(instance, scale, 0xF1B);
+
+    let xbw_s = XbwFib::build(&trie, XbwStorage::Succinct);
+    let xbw_e = XbwFib::build(&trie, XbwStorage::Entropy);
+    let dag = PrefixDag::from_trie(&trie, 11);
+    let ser = SerializedDag::from_dag(&dag);
+    let lc = LcTrie::from_trie(&trie);
+    let mb = MultibitDag::from_trie(&trie, 4);
+
+    let mut rng = Xoshiro256::seed_from_u64(0x7AB2);
+    let addrs: Vec<u32> = uniform(&mut rng, 65_536);
+
+    let engines: [(&str, &dyn FibEngine<u32>); 7] = [
+        ("binary-trie", &trie),
+        ("fib_trie", &lc),
+        ("xbw-succinct", &xbw_s),
+        ("xbw-entropy", &xbw_e),
+        ("pdag", &dag),
+        ("pdag-serialized", &ser),
+        ("multibit-dag", &mb),
+    ];
+
+    // Hand-rolled JSON: the workspace has no serializer dependency and
+    // the schema is flat.
+    let mut rows = Vec::new();
+    for (name, engine) in engines {
+        let scalar = scalar_ns(engine, &addrs);
+        let batch = batch_ns(engine, &addrs);
+        let size_bits = FibLookup::<u32>::size_bytes(engine) * 8;
+        println!("{name:<18} scalar {scalar:>8.1} ns  batch {batch:>8.1} ns  {size_bits} bits");
+        rows.push(format!(
+            "    {{\"engine\": \"{name}\", \"median_ns_per_lookup\": {scalar:.1}, \
+             \"median_ns_per_lookup_batch\": {batch:.1}, \"size_bits\": {size_bits}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"fibcomp-bench-lookup/v1\",\n  \"instance\": \"{instance}\",\n  \
+         \"scale\": {scale},\n  \"routes\": {},\n  \"keys\": \"uniform\",\n  \
+         \"key_count\": {},\n  \"engines\": [\n{}\n  ]\n}}\n",
+        trie.len(),
+        addrs.len(),
+        rows.join(",\n")
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("[wrote {out_path}]"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

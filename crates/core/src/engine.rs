@@ -5,8 +5,9 @@
 //! * [`FibLookup`] — the data-plane surface: single and batched
 //!   longest-prefix match, resident size, and the traced-lookup hooks the
 //!   cache/SRAM simulators consume. Engines with a flat memory layout
-//!   ([`SerializedDag`], [`MultibitDag`], [`LcTrie`]) override
-//!   [`FibLookup::lookup_batch`] with interleaved multi-lane walks.
+//!   ([`SerializedDag`], [`MultibitDag`], [`LcTrie`]) and the succinct
+//!   [`XbwFib`] override [`FibLookup::lookup_batch`] with interleaved
+//!   multi-lane walks.
 //! * [`FibBuild`] — the control-plane build step: every engine constructs
 //!   from the oracle [`BinaryTrie`] under one uniform [`BuildConfig`], so
 //!   a router can re-emit any representation from its control FIB.
@@ -285,6 +286,10 @@ impl<A: Address> FibLookup<A> for XbwFib<A> {
 
     fn lookup(&self, addr: A) -> Option<NextHop> {
         XbwFib::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        XbwFib::lookup_batch(self, addrs, out);
     }
 
     fn size_bytes(&self) -> usize {

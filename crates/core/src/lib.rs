@@ -44,4 +44,4 @@ pub use multibit::{MultibitDag, MB_BATCH_LANES};
 pub use pdag::{DagStats, PrefixDag};
 pub use serialized::{SerializedDag, SER_BATCH_LANES};
 pub use strmodel::FoldedString;
-pub use xbw::{SaStorage, SiStorage, XbwFib, XbwSizeReport, XbwStorage};
+pub use xbw::{SaStorage, SiStorage, XbwFib, XbwSizeReport, XbwStorage, XBW_BATCH_LANES};

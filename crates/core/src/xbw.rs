@@ -28,6 +28,9 @@ use fib_succinct::{BitVec, IntVec, RrrVec, RsBitVec, WaveletTree};
 use fib_trie::{Address, BinaryTrie, NextHop, ProperNode, ProperTrie};
 use std::marker::PhantomData;
 
+/// Number of lookups [`XbwFib::lookup_batch`] walks in lockstep.
+pub const XBW_BATCH_LANES: usize = 8;
+
 /// How the two XBW-b strings are stored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum XbwStorage {
@@ -86,27 +89,14 @@ enum SiStore {
 }
 
 impl SiStore {
+    /// Fused `(get(i), rank1(i))`: one interleaved-directory probe on the
+    /// plain backing, one block decode on RRR. The lookup walk derives
+    /// everything it needs per level from this pair.
     #[inline]
-    fn get(&self, i: usize) -> bool {
+    fn access_rank1(&self, i: usize) -> (bool, usize) {
         match self {
-            Self::Plain(v) => v.get(i),
-            Self::Rrr(v) => v.get(i),
-        }
-    }
-
-    #[inline]
-    fn rank1(&self, i: usize) -> usize {
-        match self {
-            Self::Plain(v) => v.rank1(i),
-            Self::Rrr(v) => v.rank1(i),
-        }
-    }
-
-    #[inline]
-    fn rank0(&self, i: usize) -> usize {
-        match self {
-            Self::Plain(v) => v.rank0(i),
-            Self::Rrr(v) => v.rank0(i),
+            Self::Plain(v) => v.access_rank1(i),
+            Self::Rrr(v) => v.access_rank1(i),
         }
     }
 
@@ -282,8 +272,13 @@ impl<A: Address> XbwFib<A> {
     }
 
     /// Longest-prefix match on the compressed form (§3.1's `lookup`): walk
-    /// the level-order encoding with one `access` + one `rank` per level,
-    /// O(W) in total.
+    /// the level-order encoding with one *fused* `access_rank1` probe per
+    /// level, O(W) in total.
+    ///
+    /// The paper's pseudo-code issues an `access` then a `rank0`/`rank1`
+    /// at each level; those hit the same `S_I` word and directory entry,
+    /// so the fused primitive answers both from one probe:
+    /// `rank0(i + 1) = i + 1 − rank1(i)` whenever bit `i` is 0.
     #[must_use]
     pub fn lookup(&self, addr: A) -> Option<NextHop> {
         // 0-based variant of the paper's pseudo-code: the children of the
@@ -291,15 +286,70 @@ impl<A: Address> XbwFib<A> {
         let mut i = 0usize;
         let mut q = 0u8;
         loop {
-            if self.si.get(i) {
-                let leaf_rank = self.si.rank1(i);
-                let symbol = self.sa.access(leaf_rank);
+            let (leaf, rank1) = self.si.access_rank1(i);
+            if leaf {
+                let symbol = self.sa.access(rank1);
                 return self.label_map[symbol as usize];
             }
             debug_assert!(q < A::WIDTH, "interior node below maximum depth");
-            let r = self.si.rank0(i + 1);
+            // Bit i is 0 here, so rank0(i + 1) follows from rank1(i).
+            let r = i + 1 - rank1;
             i = 2 * r - 1 + usize::from(addr.bit(q));
             q += 1;
+        }
+    }
+
+    /// Batched longest-prefix match: [`XBW_BATCH_LANES`] independent walks
+    /// advance in lockstep, so the directory and `S_α` cache misses of
+    /// different packets overlap instead of serializing — the same
+    /// interleaving the flat-layout engines use.
+    ///
+    /// Only the plain (`Succinct`) shape string takes the interleaved
+    /// path: its walk is memory-latency-bound, and overlapping eight
+    /// single-line probes measurably raises throughput. The RRR-backed
+    /// walk is bound by the serial combinatorial decode (ALU, not
+    /// misses), where lockstep bookkeeping only adds overhead, so it
+    /// stays scalar.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        let out = &mut out[..addrs.len()];
+        if matches!(self.si, SiStore::Rrr(_)) {
+            for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+                *slot = self.lookup(*addr);
+            }
+            return;
+        }
+        let mut chunks = addrs.chunks_exact(XBW_BATCH_LANES);
+        let mut outs = out.chunks_exact_mut(XBW_BATCH_LANES);
+        for (chunk, slot) in (&mut chunks).zip(&mut outs) {
+            let mut i = [0usize; XBW_BATCH_LANES];
+            let mut q = [0u8; XBW_BATCH_LANES];
+            let mut parked = [false; XBW_BATCH_LANES];
+            let mut live = XBW_BATCH_LANES;
+            while live > 0 {
+                for lane in 0..XBW_BATCH_LANES {
+                    if parked[lane] {
+                        continue;
+                    }
+                    let (leaf, rank1) = self.si.access_rank1(i[lane]);
+                    if leaf {
+                        let symbol = self.sa.access(rank1);
+                        slot[lane] = self.label_map[symbol as usize];
+                        parked[lane] = true;
+                        live -= 1;
+                    } else {
+                        let r = i[lane] + 1 - rank1;
+                        i[lane] = 2 * r - 1 + usize::from(chunk[lane].bit(q[lane]));
+                        q[lane] += 1;
+                    }
+                }
+            }
+        }
+        for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *slot = self.lookup(*addr);
         }
     }
 
@@ -320,8 +370,8 @@ impl<A: Address> XbwFib<A> {
         let mut q = 0u8;
         loop {
             sink((i as u64 / 64) * 8, 8);
-            if self.si.get(i) {
-                let leaf_rank = self.si.rank1(i);
+            let (leaf, leaf_rank) = self.si.access_rank1(i);
+            if leaf {
                 let symbol = self.sa.access(leaf_rank);
                 // Wavelet walk: one level per code bit, each level owning
                 // roughly an equal slice of the S_α region.
@@ -334,7 +384,7 @@ impl<A: Address> XbwFib<A> {
                 return self.label_map[symbol as usize];
             }
             debug_assert!(q < A::WIDTH, "interior node below maximum depth");
-            let r = self.si.rank0(i + 1);
+            let r = i + 1 - leaf_rank;
             i = 2 * r - 1 + usize::from(addr.bit(q));
             q += 1;
         }

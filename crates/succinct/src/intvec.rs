@@ -80,13 +80,38 @@ impl IntVec {
 
     /// Reads element `i`.
     ///
+    /// One bounds check, then a direct one- or two-word extraction — this
+    /// sits on the query hot path of the RRR class scan and the packed
+    /// XBW-b label string, so it bypasses the layered asserts of
+    /// [`BitVec::get_bits`].
+    ///
     /// # Panics
     /// Panics if `i >= len()`.
     #[must_use]
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
-        self.bits.get_bits(i * self.width as usize, self.width)
+        let width = self.width as usize;
+        if width == 0 {
+            return 0;
+        }
+        // i < len ⇒ the field lies fully inside the pushed bits, so the
+        // spill word exists whenever the field straddles a boundary.
+        let pos = i * width;
+        let (word, bit) = (pos / 64, pos % 64);
+        let words = self.bits.words();
+        let lo = words[word] >> bit;
+        let have = 64 - bit;
+        let raw = if width > have {
+            lo | (words[word + 1] << have)
+        } else {
+            lo
+        };
+        if width == 64 {
+            raw
+        } else {
+            raw & ((1u64 << width) - 1)
+        }
     }
 
     /// Overwrites element `i`.

@@ -6,16 +6,26 @@
 //!
 //! * [`BitVec`] — a plain bit vector over `u64` words with bit-granular
 //!   reads and writes,
-//! * [`RsBitVec`] — a bit vector with a two-level rank directory and
-//!   binary-search select (Jacobson-style, constant-time `rank`),
+//! * [`RsBitVec`] — a bit vector fully interleaved into aligned 64-byte
+//!   lines (cs-poppy / rank9 lineage: absolute count, packed per-word
+//!   sub-counts and six data words per line) plus a sampled select
+//!   directory: single-cache-line `rank`, O(1) expected `select`,
 //! * [`RrrVec`] — the RRR compressed bit vector of Raman, Raman and Rao
-//!   (SODA 2002): 15-bit blocks coded as (class, offset) pairs, `nH0 + o(n)`
-//!   bits, constant-time `rank`/`access`,
+//!   (SODA 2002): 63-bit blocks coded as (class, offset) pairs, `nH0 + o(n)`
+//!   bits, constant-time `rank`/`access` with a sub-sampled directory that
+//!   bounds every class scan to < 8 blocks,
+//! * [`broadword`] — branchless word-level select (Vigna's sideways
+//!   addition), the in-word finish of every select query,
 //! * [`IntVec`] — fixed-width packed integer arrays,
 //! * [`huffman`] — canonical Huffman codes over small alphabets,
 //! * [`WaveletTree`] — a pointer-based wavelet tree, either balanced
 //!   (`n·lg σ` bits) or Huffman-shaped (`n(H0+1) + o(n)` bits), supporting
 //!   `access`, `rank_sym` and `select_sym`.
+//!
+//! Both bit vectors additionally expose a fused `access_rank1(i)` →
+//! `(bit, rank)` primitive that answers "what is bit `i` and how many ones
+//! precede it" from a single directory probe; the wavelet-tree descent and
+//! the XBW-b lookup loop are built on it.
 //!
 //! # Conventions
 //!
@@ -33,13 +43,15 @@
 //!
 //! * Dynamic (updatable) compressed bit vectors (Mäkinen–Navarro) — the
 //!   paper only cites them as a possibility for XBW-b updates;
-//! * `select` in O(1): we use binary search over the rank directory, which
-//!   is O(log n) but branch-predictable and fast at FIB scale.
+//! * worst-case O(1) `select` (Clark/valence structures): the sampled
+//!   directory gives O(1) expected time on FIB-shaped inputs and O(log n)
+//!   only for pathologically clustered ones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bits;
+pub mod broadword;
 pub mod huffman;
 mod intvec;
 mod rrr;

@@ -6,10 +6,13 @@
 //! combinatorial number system. Low- and high-popcount blocks get short
 //! offsets, so the total is `n·H0 + o(n)` bits: this is the structure
 //! Lemma 2/3 of the paper uses to store the trie shape string `S_I` of
-//! XBW-b. A superblock directory (one rank count and one offset-stream
-//! position every 32 blocks, as two `u32`s) provides `rank`/`access` with a
-//! bounded scan — O(1) in the word-RAM sense, ~32 six-bit reads plus one
-//! 63-step block decode in practice.
+//! XBW-b. A two-level directory provides `rank`/`access` with a tightly
+//! bounded scan: one superblock entry (rank count + offset-stream position
+//! every 32 blocks, as two `u32`s) plus a packed sub-sample every 8 blocks,
+//! so a query scans at most 7 six-bit classes before decoding its block.
+//! Classes 0, 1, 2 and 63 skip the 63-step combinatorial decode entirely
+//! (zero/full blocks read nothing, near-empty blocks are resolved from the
+//! offset directly or a table).
 
 use std::sync::OnceLock;
 
@@ -20,6 +23,10 @@ use crate::intvec::IntVec;
 const BLOCK: usize = 63;
 /// Blocks per superblock.
 const SUPER: usize = 32;
+/// Blocks per sub-sample within a superblock.
+const SUB: usize = 8;
+/// Sub-samples stored per (full) superblock: before blocks 8, 16 and 24.
+const SUBS_PER_SUPER: usize = SUPER / SUB - 1;
 
 /// Pascal's triangle up to C(63, k), in `u64`.
 fn binomials() -> &'static [[u64; BLOCK + 1]; BLOCK + 1] {
@@ -46,6 +53,24 @@ fn offset_widths() -> &'static [u32; BLOCK + 1] {
             *entry = crate::ceil_log2(c[BLOCK][k]);
         }
         w
+    })
+}
+
+/// Offset → pattern table for class 2 (C(63,2) = 1953 entries): two-bit
+/// blocks are common in trie shape strings, and the table turns their
+/// 63-step decode into one load.
+fn class2_patterns() -> &'static Vec<u64> {
+    static TABLE: OnceLock<Vec<u64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let n = binomials()[BLOCK][2] as usize;
+        let mut t = vec![0u64; n];
+        for hi in 1..BLOCK {
+            for lo in 0..hi {
+                let pattern = (1u64 << hi) | (1u64 << lo);
+                t[encode_offset(pattern, 2) as usize] = pattern;
+            }
+        }
+        t
     })
 }
 
@@ -100,6 +125,11 @@ pub struct RrrVec {
     /// `offsets` where it starts. `u32` suffices for both at FIB scale and
     /// halves the directory overhead.
     sup: Vec<(u32, u32)>,
+    /// Per superblock, up to three packed sub-samples (before blocks 8, 16
+    /// and 24 of the superblock): `ones_within << 16 | offset_bits_within`,
+    /// both < 2016 so a `u32` holds the pair. Bounds the class scan of any
+    /// query to < [`SUB`] blocks.
+    sub: Vec<u32>,
     len: usize,
     ones: usize,
 }
@@ -120,10 +150,15 @@ impl RrrVec {
         let mut classes = IntVec::new(6);
         let mut offsets = BitVec::new();
         let mut sup = Vec::with_capacity(n_blocks / SUPER + 2);
+        let mut sub = Vec::with_capacity(n_blocks / SUB + 1);
         let mut ones: u64 = 0;
+        let (mut sup_ones, mut sup_pos) = (0u64, 0usize);
         for b in 0..n_blocks {
             if b % SUPER == 0 {
                 sup.push((ones as u32, offsets.len() as u32));
+                (sup_ones, sup_pos) = (ones, offsets.len());
+            } else if b % SUB == 0 {
+                sub.push((((ones - sup_ones) as u32) << 16) | (offsets.len() - sup_pos) as u32);
             }
             let start = b * BLOCK;
             let width = (bits.len() - start).min(BLOCK) as u32;
@@ -140,6 +175,7 @@ impl RrrVec {
             classes,
             offsets,
             sup,
+            sub,
             len: bits.len(),
             ones: ones as usize,
         }
@@ -169,20 +205,91 @@ impl RrrVec {
         self.len - self.ones
     }
 
-    /// Decodes block `b`, returning `(pattern, ones_before_block)`.
+    /// Decodes the pattern of a block whose class is `k` and whose offset
+    /// starts at bit `pos`, short-circuiting the cheap classes.
     #[inline]
-    fn decode_block(&self, b: usize) -> (u64, usize) {
+    fn pattern_at(&self, pos: usize, k: usize) -> u64 {
+        match k {
+            0 => 0,
+            // Offset of a one-bit block *is* the bit position (C(j,1) = j).
+            1 => 1u64 << self.offsets.get_bits(pos, 6),
+            2 => class2_patterns()[self.offsets.get_bits(pos, 11) as usize],
+            BLOCK => (1u64 << BLOCK) - 1,
+            _ => decode_offset(self.offsets.get_bits(pos, offset_widths()[k]), k),
+        }
+    }
+
+    /// Resolves `(bit value, ones strictly below bit)` inside the block
+    /// whose class is `k` and whose offset starts at `pos` — the partial
+    /// decode behind `get`/`rank1`/`access_rank1`.
+    ///
+    /// The combinatorial decode walks positions MSB → LSB, so it can stop
+    /// as soon as it reaches `bit`: the yet-unplaced ones (`remaining`)
+    /// are exactly the ones below it. Halves the decode work on average
+    /// versus reconstructing the full 63-bit pattern, on top of the
+    /// class fast paths.
+    #[inline]
+    fn block_access_rank(&self, pos: usize, k: usize, bit: usize) -> (bool, usize) {
+        match k {
+            0 => (false, 0),
+            1 => {
+                let p = self.offsets.get_bits(pos, 6) as usize;
+                (p == bit, usize::from(p < bit))
+            }
+            2 => {
+                let pattern = class2_patterns()[self.offsets.get_bits(pos, 11) as usize];
+                let below = (pattern & ((1u64 << bit) - 1)).count_ones() as usize;
+                ((pattern >> bit) & 1 == 1, below)
+            }
+            BLOCK => (true, bit),
+            _ => {
+                let mut offset = self.offsets.get_bits(pos, offset_widths()[k]);
+                let c = binomials();
+                let mut remaining = k;
+                let mut j = BLOCK;
+                while remaining > 0 && j > bit {
+                    j -= 1;
+                    let skip = c[j][remaining];
+                    if offset >= skip {
+                        offset -= skip;
+                        remaining -= 1;
+                        if j == bit {
+                            return (true, remaining);
+                        }
+                    } else if j == bit {
+                        return (false, remaining);
+                    }
+                }
+                // Either every one sits below `bit` (remaining of them) or
+                // the scan ran out of ones before reaching it.
+                (false, remaining)
+            }
+        }
+    }
+
+    /// Locates block `b` in the streams, returning `(ones_before_block,
+    /// offset_position, class)`.
+    ///
+    /// Directory walk: one superblock entry, one packed sub-sample, then a
+    /// scan of at most `SUB − 1 = 7` classes.
+    #[inline]
+    fn locate_block(&self, b: usize) -> (usize, usize, usize) {
         let widths = offset_widths();
         let s = b / SUPER;
         let (mut ones, mut pos) = (self.sup[s].0 as usize, self.sup[s].1 as usize);
-        for j in (s * SUPER)..b {
+        let t = (b % SUPER) / SUB;
+        if t > 0 {
+            let entry = self.sub[s * SUBS_PER_SUPER + t - 1] as usize;
+            ones += entry >> 16;
+            pos += entry & 0xFFFF;
+        }
+        for j in (s * SUPER + t * SUB)..b {
             let k = self.classes.get(j) as usize;
             ones += k;
             pos += widths[k] as usize;
         }
         let k = self.classes.get(b) as usize;
-        let off = self.offsets.get_bits(pos, widths[k]);
-        (decode_offset(off, k), ones)
+        (ones, pos, k)
     }
 
     /// Reads bit `i`.
@@ -196,8 +303,8 @@ impl RrrVec {
             "bit index {i} out of bounds (len {})",
             self.len
         );
-        let (pattern, _) = self.decode_block(i / BLOCK);
-        (pattern >> (i % BLOCK)) & 1 == 1
+        let (_, pos, k) = self.locate_block(i / BLOCK);
+        self.block_access_rank(pos, k, i % BLOCK).0
     }
 
     /// Number of set bits in `[0, i)`.
@@ -214,15 +321,33 @@ impl RrrVec {
         if i == self.len {
             return self.ones;
         }
-        let (pattern, ones) = self.decode_block(i / BLOCK);
-        let partial = pattern & ((1u64 << (i % BLOCK)) - 1);
-        ones + partial.count_ones() as usize
+        let (ones, pos, k) = self.locate_block(i / BLOCK);
+        ones + self.block_access_rank(pos, k, i % BLOCK).1
     }
 
     /// Number of clear bits in `[0, i)`.
     #[must_use]
     pub fn rank0(&self, i: usize) -> usize {
         i - self.rank1(i)
+    }
+
+    /// Fused `(get(i), rank1(i))` from a single block decode — the fast
+    /// path for wavelet-tree descent and the XBW-b lookup loop, which
+    /// always need the bit and its rank together.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn access_rank1(&self, i: usize) -> (bool, usize) {
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
+        let (ones, pos, k) = self.locate_block(i / BLOCK);
+        let (bit, below) = self.block_access_rank(pos, k, i % BLOCK);
+        (bit, ones + below)
     }
 
     /// Position of the `q`-th set bit (`q ≥ 1`), or `None`.
@@ -235,7 +360,7 @@ impl RrrVec {
         let mut lo = 0usize;
         let mut hi = self.sup.len() - 1;
         while lo + 1 < hi {
-            let mid = (lo + hi) / 2;
+            let mid = usize::midpoint(lo, hi);
             if self.sup[mid].0 < target {
                 lo = mid;
             } else {
@@ -247,11 +372,24 @@ impl RrrVec {
         let mut remaining = (target - self.sup[s].0) as usize;
         let mut pos = self.sup[s].1 as usize;
         let n_blocks = self.classes.len();
-        for b in (s * SUPER)..n_blocks.min((s + 1) * SUPER) {
+        // Jump over whole sub-sample strides before scanning classes.
+        let mut first = s * SUPER;
+        for t in (1..=SUBS_PER_SUPER).rev() {
+            if s * SUPER + t * SUB < n_blocks {
+                let entry = self.sub[s * SUBS_PER_SUPER + t - 1];
+                let sub_ones = (entry >> 16) as usize;
+                if sub_ones < remaining {
+                    remaining -= sub_ones;
+                    pos += (entry & 0xFFFF) as usize;
+                    first = s * SUPER + t * SUB;
+                    break;
+                }
+            }
+        }
+        for b in first..n_blocks.min((s + 1) * SUPER) {
             let k = self.classes.get(b) as usize;
             if remaining <= k {
-                let off = self.offsets.get_bits(pos, widths[k]);
-                let mut pattern = decode_offset(off, k);
+                let mut pattern = self.pattern_at(pos, k);
                 for _ in 1..remaining {
                     pattern &= pattern - 1;
                 }
@@ -276,7 +414,7 @@ impl RrrVec {
         let mut lo = 0usize;
         let mut hi = self.sup.len() - 1;
         while lo + 1 < hi {
-            let mid = (lo + hi) / 2;
+            let mid = usize::midpoint(lo, hi);
             if zeros_before(mid) < q {
                 lo = mid;
             } else {
@@ -288,16 +426,31 @@ impl RrrVec {
         let mut remaining = q - zeros_before(s);
         let mut pos = self.sup[s].1 as usize;
         let n_blocks = self.classes.len();
-        for b in (s * SUPER)..n_blocks.min((s + 1) * SUPER) {
+        // Jump over whole sub-sample strides; blocks before a stored
+        // sub-sample boundary are always full, so their zero count is
+        // exactly `t·SUB·BLOCK − ones_within`.
+        let mut first = s * SUPER;
+        for t in (1..=SUBS_PER_SUPER).rev() {
+            if s * SUPER + t * SUB < n_blocks {
+                let entry = self.sub[s * SUBS_PER_SUPER + t - 1];
+                let sub_zeros = t * SUB * BLOCK - (entry >> 16) as usize;
+                if sub_zeros < remaining {
+                    remaining -= sub_zeros;
+                    pos += (entry & 0xFFFF) as usize;
+                    first = s * SUPER + t * SUB;
+                    break;
+                }
+            }
+        }
+        for b in first..n_blocks.min((s + 1) * SUPER) {
             let k = self.classes.get(b) as usize;
             let block_bits = (self.len - b * BLOCK).min(BLOCK);
             let zeros_here = block_bits - k;
             if remaining <= zeros_here {
-                let off = self.offsets.get_bits(pos, widths[k]);
                 // Complement within the real (unpadded) width of this block;
                 // block_bits ≤ 63 so the shift is always in range.
                 let mask = (1u64 << block_bits) - 1;
-                let mut pattern = !decode_offset(off, k) & mask;
+                let mut pattern = !self.pattern_at(pos, k) & mask;
                 for _ in 1..remaining {
                     pattern &= pattern - 1;
                 }
@@ -309,12 +462,15 @@ impl RrrVec {
         unreachable!("select0: superblock directory inconsistent");
     }
 
-    /// Footprint in bits: classes, offsets and the superblock directory.
-    /// The universal binomial table (constant, shared per process) is
-    /// excluded, as is conventional.
+    /// Footprint in bits: classes, offsets and both directory levels.
+    /// The universal binomial and class-2 tables (constant, shared per
+    /// process) are excluded, as is conventional.
     #[must_use]
     pub fn size_bits(&self) -> usize {
-        self.classes.size_bits() + self.offsets.size_bits() + self.sup.len() * 64
+        self.classes.size_bits()
+            + self.offsets.size_bits()
+            + self.sup.len() * 64
+            + self.sub.len() * 32
     }
 }
 
@@ -357,6 +513,26 @@ mod tests {
     }
 
     #[test]
+    fn short_class_fast_paths_agree_with_decode() {
+        // Classes 0, 1, 2 and 63 take dedicated paths in pattern_at; pin
+        // them against the combinatorial decoder through the public API.
+        for k in [0usize, 1, 2, BLOCK] {
+            let bools: Vec<bool> = (0..BLOCK)
+                .map(|i| match k {
+                    0 => false,
+                    1 => i == 17,
+                    2 => i == 3 || i == 60,
+                    _ => true,
+                })
+                .collect();
+            let (_, rrr) = build(|i| bools[i % BLOCK], BLOCK * 3);
+            for i in 0..rrr.len() {
+                assert_eq!(rrr.get(i), bools[i % BLOCK], "class {k}, get({i})");
+            }
+        }
+    }
+
+    #[test]
     fn access_matches_original() {
         let (bools, rrr) = build(|i| (i * i) % 7 < 3, 3000);
         for (i, &b) in bools.iter().enumerate() {
@@ -378,6 +554,18 @@ mod tests {
         }
         assert_eq!(rrr.rank1(2500), ones);
         assert_eq!(rrr.count_ones(), ones);
+    }
+
+    #[test]
+    fn access_rank1_fuses_get_and_rank() {
+        let (bools, rrr) = build(|i| i % 7 == 0 || i % 5 == 2, 2500);
+        let mut ones = 0;
+        for (i, &b) in bools.iter().enumerate() {
+            let (bit, rank) = rrr.access_rank1(i);
+            assert_eq!(bit, b, "bit {i}");
+            assert_eq!(rank, ones, "rank at {i}");
+            ones += usize::from(b);
+        }
     }
 
     #[test]
@@ -461,6 +649,11 @@ mod tests {
             BLOCK - 1,
             BLOCK,
             BLOCK + 1,
+            BLOCK * SUB - 1,
+            BLOCK * SUB,
+            BLOCK * SUB + 1,
+            BLOCK * SUB * 2,
+            BLOCK * SUB * 3 + 5,
             BLOCK * SUPER - 1,
             BLOCK * SUPER,
             BLOCK * SUPER + 1,
@@ -482,5 +675,15 @@ mod tests {
         assert_eq!(c[4][2], 6);
         // C(63,31) is the largest entry and must not have overflowed.
         assert_eq!(c[63][31], 916_312_070_471_295_267);
+    }
+
+    #[test]
+    fn class2_table_is_a_bijection() {
+        let t = class2_patterns();
+        assert_eq!(t.len(), 1953);
+        for (off, &p) in t.iter().enumerate() {
+            assert_eq!(p.count_ones(), 2, "offset {off}");
+            assert_eq!(encode_offset(p, 2), off as u64);
+        }
     }
 }

@@ -42,12 +42,16 @@ impl NodeBits {
         }
     }
 
+    /// Fused `(bit, rank_bit(bit, i))` from a single directory probe (or a
+    /// single RRR block decode) — the descent step of `access` needs
+    /// exactly this pair.
     #[inline]
-    fn get(&self, i: usize) -> bool {
-        match self {
-            Self::Plain(v) => v.get(i),
-            Self::Rrr(v) => v.get(i),
-        }
+    fn access_rank(&self, i: usize) -> (bool, usize) {
+        let (bit, r1) = match self {
+            Self::Plain(v) => v.access_rank1(i),
+            Self::Rrr(v) => v.access_rank1(i),
+        };
+        (bit, if bit { r1 } else { i - r1 })
     }
 
     #[inline]
@@ -266,8 +270,8 @@ impl WaveletTree {
             match node_ref {
                 ChildRef::Node(n) => {
                     let node = &self.nodes[n as usize];
-                    let bit = node.bits.get(pos);
-                    pos = node.bits.rank_bit(bit, pos);
+                    let (bit, mapped) = node.bits.access_rank(pos);
+                    pos = mapped;
                     node_ref = if bit { node.right } else { node.left };
                 }
                 ChildRef::Leaf(s) => return s,

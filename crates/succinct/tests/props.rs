@@ -66,6 +66,101 @@ fn rsvec_rank_select_match_naive() {
     }
 }
 
+/// Length near word/line/superblock boundaries or plain random, with
+/// all-zeros / all-ones / random fill — the shapes that break rank
+/// directories.
+fn boundary_shaped_bools(rng: &mut impl Rng, max_len: usize) -> Vec<bool> {
+    let boundaries = [63, 64, 65, 383, 384, 385, 511, 512, 513, 2015, 2016, 2017];
+    let len = if rng.random() {
+        *rng.choose(&boundaries).unwrap()
+    } else {
+        rng.random_range(0..max_len)
+    };
+    match rng.random_range(0..4u32) {
+        0 => vec![false; len],
+        1 => vec![true; len],
+        _ => (0..len).map(|_| rng.random()).collect(),
+    }
+}
+
+#[test]
+fn rsvec_fused_access_rank1_matches_naive() {
+    // ~100 randomized vectors: the fused primitive must agree with the
+    // linear-scan reference bit-for-bit, including at the last index.
+    for case in 0..100 {
+        let mut rng = Xoshiro256::for_case("rsvec_fused_access_rank1_matches_naive", case);
+        let bits = boundary_shaped_bools(&mut rng, 3000);
+        let rs = RsBitVec::new(BitVec::from_bools(&bits));
+        let mut ones = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            let (bit, rank) = rs.access_rank1(i);
+            assert_eq!(bit, b, "case {case}, bit {i}");
+            assert_eq!(rank, ones, "case {case}, rank at {i}");
+            ones += usize::from(b);
+        }
+        assert_eq!(rs.rank1(bits.len()), ones, "case {case}, rank1(len)");
+    }
+}
+
+#[test]
+fn rrr_fused_access_rank1_matches_naive() {
+    for case in 0..100 {
+        let mut rng = Xoshiro256::for_case("rrr_fused_access_rank1_matches_naive", case);
+        let bits = boundary_shaped_bools(&mut rng, 3000);
+        let rrr = RrrVec::new(&BitVec::from_bools(&bits));
+        let mut ones = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            let (bit, rank) = rrr.access_rank1(i);
+            assert_eq!(bit, b, "case {case}, bit {i}");
+            assert_eq!(rank, ones, "case {case}, rank at {i}");
+            ones += usize::from(b);
+        }
+        assert_eq!(rrr.rank1(bits.len()), ones, "case {case}, rank1(len)");
+    }
+}
+
+#[test]
+fn rsvec_sampled_select_matches_naive_on_long_vectors() {
+    // Vectors long enough (up to ~24k ones/zeros) that the sampled select
+    // directory holds many hints and the binary search between two hints
+    // is exercised, at varying densities.
+    for case in 0..100 {
+        let mut rng =
+            Xoshiro256::for_case("rsvec_sampled_select_matches_naive_on_long_vectors", case);
+        let density: u64 = rng.random_range(1..=63);
+        let len: usize = rng.random_range(2000..48_000);
+        let bits: Vec<bool> = (0..len)
+            .map(|_| rng.random_range(0..64u64) < density)
+            .collect();
+        let rs = RsBitVec::new(BitVec::from_bools(&bits));
+        let ones = positions_of(&bits, true);
+        let zeros = positions_of(&bits, false);
+        // Probe around every sample boundary plus a pseudorandom spread.
+        let mut probes: Vec<usize> = (0..ones.len()).step_by(511).collect();
+        probes.extend((0..32).map(|_| rng.random_range(0..ones.len().max(1))));
+        for q0 in probes {
+            let q = q0 + 1;
+            assert_eq!(
+                rs.select1(q),
+                ones.get(q - 1).copied(),
+                "case {case}, select1({q})"
+            );
+        }
+        let mut probes: Vec<usize> = (0..zeros.len()).step_by(511).collect();
+        probes.extend((0..32).map(|_| rng.random_range(0..zeros.len().max(1))));
+        for q0 in probes {
+            let q = q0 + 1;
+            assert_eq!(
+                rs.select0(q),
+                zeros.get(q - 1).copied(),
+                "case {case}, select0({q})"
+            );
+        }
+        assert_eq!(rs.select1(ones.len() + 1), None, "case {case}");
+        assert_eq!(rs.select0(zeros.len() + 1), None, "case {case}");
+    }
+}
+
 #[test]
 fn rrr_matches_naive() {
     for case in 0..CASES {
