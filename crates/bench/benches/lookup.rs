@@ -74,6 +74,53 @@ fn engines_and_traces() {
             });
         }
     }
+
+    // Image-backed serving: the same engines, written to `fibimage/v1`
+    // bytes and answered through the zero-copy views. The acceptance bar
+    // is ≤ 5% of the owned engines above — views and owned engines run
+    // the same walk code over the same word encodings, so anything beyond
+    // noise here is a layout regression in the image path.
+    image_views(&trie, &rand_keys);
+}
+
+fn image_views(trie: &BinaryTrie<u32>, keys: &[u32]) {
+    use fib_core::{write_image, FibBuild, FibImage, FibLookup, ImageCodec};
+
+    fn bench_view<E: ImageCodec<u32> + FibBuild<u32>>(
+        group: &BenchGroup,
+        name: &str,
+        trie: &BinaryTrie<u32>,
+        config: &fib_core::BuildConfig,
+        keys: &[u32],
+    ) {
+        let engine = E::build(trie, config);
+        let bytes = write_image(&engine, None, 0).expect("image encodes");
+        let image = FibImage::from_bytes(&bytes).expect("image loads");
+        let view = E::view(&image).expect("view assembles");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &k in keys {
+                    acc = acc.wrapping_add(u64::from(
+                        view.lookup(black_box(k)).map_or(0, |nh| nh.index()),
+                    ));
+                }
+                black_box(acc)
+            });
+        });
+    }
+
+    let group = BenchGroup::new("lookup_image/rand").throughput_elements(BATCH as u64);
+    let config = fib_core::BuildConfig::default();
+    let succinct = fib_core::BuildConfig {
+        xbw_storage: XbwStorage::Succinct,
+        ..config
+    };
+    bench_view::<XbwFib<u32>>(&group, "xbw-succinct", trie, &succinct, keys);
+    bench_view::<XbwFib<u32>>(&group, "xbw-entropy", trie, &config, keys);
+    bench_view::<SerializedDag<u32>>(&group, "pdag-serialized", trie, &config, keys);
+    bench_view::<MultibitDag<u32>>(&group, "multibit-dag", trie, &config, keys);
+    bench_view::<LcTrie<u32>>(&group, "fib_trie", trie, &config, keys);
 }
 
 fn main() {

@@ -17,7 +17,7 @@ use fib_bench::{instance_fib, scale_arg};
 use fib_core::{FibEngine, FibLookup, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage};
 use fib_trie::LcTrie;
 use fib_workload::rng::Xoshiro256;
-use fib_workload::traces::uniform;
+use fib_workload::traces::{uniform, ZipfTrace};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -72,8 +72,18 @@ fn main() {
     let lc = LcTrie::from_trie(&trie);
     let mb = MultibitDag::from_trie(&trie, 4);
 
+    const KEY_COUNT: usize = 65_536;
     let mut rng = Xoshiro256::seed_from_u64(0x7AB2);
-    let addrs: Vec<u32> = uniform(&mut rng, 65_536);
+    let uniform_addrs: Vec<u32> = uniform(&mut rng, KEY_COUNT);
+    // CAIDA-trace stand-in: Zipf-ranked destinations over the FIB's own
+    // prefixes (exponent 1.0 ≈ measured traffic skew). Hot prefixes keep
+    // their walk paths cache-resident, so this bounds the *best* case the
+    // way uniform keys bound the worst.
+    let zipf_model = ZipfTrace::new(&trie, 1.0);
+    let mut zrng = Xoshiro256::seed_from_u64(0x21BF);
+    let zipf_addrs: Vec<u32> = (0..KEY_COUNT)
+        .map(|_| zipf_model.sample(&mut zrng))
+        .collect();
 
     let engines: [(&str, &dyn FibEngine<u32>); 7] = [
         ("binary-trie", &trie),
@@ -86,24 +96,29 @@ fn main() {
     ];
 
     // Hand-rolled JSON: the workspace has no serializer dependency and
-    // the schema is flat.
+    // the schema is flat. Schema v2: one row per (engine, key model).
     let mut rows = Vec::new();
     for (name, engine) in engines {
-        let scalar = scalar_ns(engine, &addrs);
-        let batch = batch_ns(engine, &addrs);
-        let size_bits = FibLookup::<u32>::size_bytes(engine) * 8;
-        println!("{name:<18} scalar {scalar:>8.1} ns  batch {batch:>8.1} ns  {size_bits} bits");
-        rows.push(format!(
-            "    {{\"engine\": \"{name}\", \"median_ns_per_lookup\": {scalar:.1}, \
-             \"median_ns_per_lookup_batch\": {batch:.1}, \"size_bits\": {size_bits}}}"
-        ));
+        for (keys, addrs) in [("uniform", &uniform_addrs), ("zipf", &zipf_addrs)] {
+            let scalar = scalar_ns(engine, addrs);
+            let batch = batch_ns(engine, addrs);
+            let size_bits = FibLookup::<u32>::size_bytes(engine) * 8;
+            println!(
+                "{name:<18} {keys:<8} scalar {scalar:>8.1} ns  batch {batch:>8.1} ns  \
+                 {size_bits} bits"
+            );
+            rows.push(format!(
+                "    {{\"engine\": \"{name}\", \"keys\": \"{keys}\", \
+                 \"median_ns_per_lookup\": {scalar:.1}, \
+                 \"median_ns_per_lookup_batch\": {batch:.1}, \"size_bits\": {size_bits}}}"
+            ));
+        }
     }
     let json = format!(
-        "{{\n  \"schema\": \"fibcomp-bench-lookup/v1\",\n  \"instance\": \"{instance}\",\n  \
-         \"scale\": {scale},\n  \"routes\": {},\n  \"keys\": \"uniform\",\n  \
-         \"key_count\": {},\n  \"engines\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"fibcomp-bench-lookup/v2\",\n  \"instance\": \"{instance}\",\n  \
+         \"scale\": {scale},\n  \"routes\": {},\n  \"key_count\": {KEY_COUNT},\n  \
+         \"engines\": [\n{}\n  ]\n}}\n",
         trie.len(),
-        addrs.len(),
         rows.join(",\n")
     );
     match std::fs::write(&out_path, &json) {

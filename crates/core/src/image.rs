@@ -1,0 +1,1095 @@
+//! `fibimage/v1` — the versioned, sectioned on-disk format for compiled
+//! FIBs, with zero-copy load.
+//!
+//! The paper's whole point is that a compressed FIB is a *flat string of
+//! bits*: the revised technical report ships the serialized prefix DAG
+//! directly into SRAM, and the pDAG memory-bounds work treats the encoded
+//! image as the deliverable. This module makes that the system's shape:
+//! every Table 2 engine serializes into one image file, and loading an
+//! image **borrows** the engine's words straight out of the single aligned
+//! read buffer — no per-section copies, no rebuild from the control trie.
+//!
+//! # Format
+//!
+//! Everything is little-endian `u64` words; the file length is a multiple
+//! of 64 bytes and every section starts on a 64-byte boundary, so
+//! cache-line layouts (the interleaved rank lines of
+//! [`fib_succinct::RsBitVec`]) keep their alignment guarantees when
+//! served from a loaded buffer:
+//!
+//! ```text
+//! word 0      magic "FIBIMG1\0"
+//! word 1      version u16 | family u8 << 16 | engine u8 << 24
+//!             | section-count u32 << 32
+//! word 2      route count (control-FIB routes at write time)
+//! word 3      epoch (router snapshot counter; 0 for standalone images)
+//! word 4      total file length in words
+//! word 5      engine resident size_bytes claim (inspect cross-checks it)
+//! word 6      prefix count (normal-form leaves; 0 when not applicable)
+//! word 7      FNV-1a checksum of the whole file with this word zeroed
+//! then        section table: 2 words per section, padded to a block —
+//!               word 0: section id (u32)
+//!               word 1: offset in words (u32) | length in words (u32 << 32)
+//! then        section payloads, each padded to a 64-byte boundary
+//! ```
+//!
+//! Engines store their structural parameters in a [`sections::PARAMS`]
+//! section and their payload words in engine-specific sections; an
+//! optional [`sections::ROUTES`] section carries the control FIB's routes
+//! (3 words per route) so a router can warm-restart from the image alone.
+//!
+//! # Zero-copy discipline
+//!
+//! [`FibImage::from_bytes`] performs exactly one copy: decoding the file
+//! bytes into a 64-byte-aligned [`Arena`]. Everything after that —
+//! [`FibImage::section`], [`ImageCodec::view`], [`any_view`] — hands out
+//! `&[u64]` sub-slices of that arena. The `images` integration tests
+//! assert this with pointer-range checks.
+
+use std::path::Path;
+
+use fib_succinct::{fnv1a, fnv1a_continue, Arena, StorageError};
+use fib_trie::{Address, BinaryTrie, LcTrie, LcTrieRef, NextHop, Prefix};
+
+use crate::multibit::{MultibitDag, MultibitDagRef};
+use crate::pdag::{PrefixDag, PrefixDagRef};
+use crate::serialized::{SerializedDag, SerializedDagRef};
+use crate::xbw::{XbwFib, XbwFibRef};
+use crate::FibLookup;
+
+/// Magic word: the bytes `FIBIMG1\0` read as a little-endian `u64`.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"FIBIMG1\0");
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Section identifiers of `fibimage/v1`.
+pub mod sections {
+    /// Engine-specific structural parameters.
+    pub const PARAMS: u32 = 0x01;
+    /// Control-FIB routes (3 words per route), optional.
+    pub const ROUTES: u32 = 0x02;
+    /// XBW-b shape string `S_I`.
+    pub const XBW_SI: u32 = 0x10;
+    /// XBW-b label string `S_α`.
+    pub const XBW_SA: u32 = 0x11;
+    /// XBW-b symbol → next-hop table.
+    pub const XBW_LABELS: u32 = 0x12;
+    /// Prefix-DAG packed node records.
+    pub const PDAG_NODES: u32 = 0x20;
+    /// Serialized-DAG root entries.
+    pub const SER_ENTRIES: u32 = 0x30;
+    /// Serialized-DAG interior records.
+    pub const SER_NODES: u32 = 0x31;
+    /// Multibit-DAG packed slot arrays.
+    pub const MB_SLOTS: u32 = 0x40;
+    /// LC-trie packed nodes.
+    pub const LC_NODES: u32 = 0x50;
+}
+
+const BLOCK_WORDS: usize = 8;
+
+/// The engine a FIB image encodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EngineKind {
+    /// XBW-b (`S_I` plain or RRR, `S_α` packed or wavelet).
+    Xbw = 1,
+    /// Pointer-machine prefix DAG, compacted.
+    PrefixDag = 2,
+    /// λ-collapsed serialized DAG.
+    SerializedDag = 3,
+    /// Stride-`s` multibit DAG.
+    MultibitDag = 4,
+    /// Level-compressed trie.
+    LcTrie = 5,
+}
+
+impl EngineKind {
+    /// Decodes the header byte.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(Self::Xbw),
+            2 => Some(Self::PrefixDag),
+            3 => Some(Self::SerializedDag),
+            4 => Some(Self::MultibitDag),
+            5 => Some(Self::LcTrie),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name (accepted by `fibc --engine`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Xbw => "xbw",
+            Self::PrefixDag => "pdag",
+            Self::SerializedDag => "serialized",
+            Self::MultibitDag => "multibit",
+            Self::LcTrie => "lctrie",
+        }
+    }
+
+    /// Parses [`Self::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "xbw" => Some(Self::Xbw),
+            "pdag" => Some(Self::PrefixDag),
+            "serialized" => Some(Self::SerializedDag),
+            "multibit" => Some(Self::MultibitDag),
+            "lctrie" => Some(Self::LcTrie),
+            _ => None,
+        }
+    }
+}
+
+/// Address family byte of the header.
+fn family_of<A: Address>() -> u8 {
+    if A::WIDTH == 32 {
+        4
+    } else {
+        6
+    }
+}
+
+/// Error loading or validating a FIB image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImageError {
+    /// Filesystem failure (message carries the OS error).
+    Io(String),
+    /// Fewer bytes than the header demands, or a length field pointing
+    /// past the end.
+    Truncated,
+    /// The magic word is not `FIBIMG1\0`.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// The image was compiled for a different address family.
+    FamilyMismatch {
+        /// Family recorded in the image (4 or 6).
+        image: u8,
+        /// Family of the requested address type.
+        expected: u8,
+    },
+    /// The image encodes a different engine than requested.
+    EngineMismatch {
+        /// Engine id recorded in the image.
+        image: u8,
+        /// Engine id the caller asked for.
+        expected: u8,
+    },
+    /// Unknown engine id in the header.
+    UnknownEngine(u8),
+    /// FNV-1a checksum over the file does not match.
+    ChecksumMismatch,
+    /// A section the engine requires is absent.
+    MissingSection(u32),
+    /// Structurally invalid contents.
+    Malformed(&'static str),
+    /// The engine configuration has no image encoding (e.g. the
+    /// ablation-only per-level XBW-b backend).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "image i/o error: {e}"),
+            Self::Truncated => write!(f, "image truncated"),
+            Self::BadMagic => write!(f, "not a fibimage file"),
+            Self::BadVersion(v) => write!(f, "unsupported fibimage version {v}"),
+            Self::FamilyMismatch { image, expected } => {
+                write!(f, "image is IPv{image}, expected IPv{expected}")
+            }
+            Self::EngineMismatch { image, expected } => {
+                write!(f, "image encodes engine {image}, expected {expected}")
+            }
+            Self::UnknownEngine(v) => write!(f, "unknown engine id {v}"),
+            Self::ChecksumMismatch => write!(f, "image checksum mismatch"),
+            Self::MissingSection(id) => write!(f, "missing section {id:#x}"),
+            Self::Malformed(what) => write!(f, "malformed image: {what}"),
+            Self::Unsupported(what) => write!(f, "unsupported configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<StorageError> for ImageError {
+    fn from(e: StorageError) -> Self {
+        Self::Malformed(e.0)
+    }
+}
+
+/// One entry of the section table.
+#[derive(Clone, Copy, Debug)]
+pub struct SectionEntry {
+    /// Section id (see [`sections`]).
+    pub id: u32,
+    /// Offset from the file start, in words (multiple of 8).
+    pub offset: usize,
+    /// Meaningful length in words (padding excluded).
+    pub len: usize,
+}
+
+/// A loaded FIB image: one aligned arena plus the parsed header and
+/// section table. All engine views borrow from it.
+#[derive(Clone, Debug)]
+pub struct FibImage {
+    arena: Arena,
+    section_table: Vec<SectionEntry>,
+    version: u16,
+    family: u8,
+    engine: u8,
+    route_count: u64,
+    prefix_count: u64,
+    epoch: u64,
+    claimed_size_bytes: u64,
+}
+
+impl FibImage {
+    /// Decodes and validates an image from bytes. This is the single copy
+    /// of the load path (file bytes → aligned arena); everything after
+    /// borrows.
+    ///
+    /// # Errors
+    /// Any [`ImageError`] variant; corrupt bytes never panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ImageError> {
+        if bytes.len() < 64 || bytes.len() % 64 != 0 {
+            // Check the magic first so a short prefix of a real image
+            // still reports what it is.
+            if bytes.len() >= 8
+                && u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) != MAGIC
+            {
+                return Err(ImageError::BadMagic);
+            }
+            return Err(ImageError::Truncated);
+        }
+        let arena = Arena::from_le_bytes(bytes).map_err(|_| ImageError::Truncated)?;
+        let words = arena.words();
+        if words[0] != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let version = (words[1] & 0xFFFF) as u16;
+        if version != VERSION {
+            return Err(ImageError::BadVersion(version));
+        }
+        let family = ((words[1] >> 16) & 0xFF) as u8;
+        let engine = ((words[1] >> 24) & 0xFF) as u8;
+        let section_count = (words[1] >> 32) as u32 as usize;
+        let total_words = words[4];
+        if total_words as usize != words.len() {
+            return Err(ImageError::Truncated);
+        }
+        // Checksum: the file with the checksum word zeroed — the same
+        // shared FNV-1a the writer uses, chained around the hole.
+        let stored = words[7];
+        let hash = fnv1a_continue(
+            fnv1a_continue(fib_succinct::fnv1a(&bytes[..56]), &[0u8; 8]),
+            &bytes[64..],
+        );
+        if hash != stored {
+            return Err(ImageError::ChecksumMismatch);
+        }
+        // Section table.
+        let table_words = section_count * 2;
+        if 8 + table_words > words.len() {
+            return Err(ImageError::Truncated);
+        }
+        let mut section_table = Vec::with_capacity(section_count);
+        for s in 0..section_count {
+            let id = words[8 + s * 2] as u32;
+            let loc = words[8 + s * 2 + 1];
+            let offset = (loc as u32) as usize;
+            let len = (loc >> 32) as usize;
+            if offset % BLOCK_WORDS != 0 {
+                return Err(ImageError::Malformed("section offset unaligned"));
+            }
+            if offset.checked_add(len).is_none_or(|end| end > words.len()) {
+                return Err(ImageError::Truncated);
+            }
+            section_table.push(SectionEntry { id, offset, len });
+        }
+        let (route_count, prefix_count, epoch, claimed_size_bytes) =
+            (words[2], words[6], words[3], words[5]);
+        Ok(Self {
+            arena,
+            section_table,
+            version,
+            family,
+            engine,
+            route_count,
+            prefix_count,
+            epoch,
+            claimed_size_bytes,
+        })
+    }
+
+    /// Reads and decodes an image file.
+    ///
+    /// # Errors
+    /// [`ImageError::Io`] on filesystem failure, else as
+    /// [`Self::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ImageError> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| ImageError::Io(format!("{}: {e}", path.as_ref().display())))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Format version.
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Address family (4 or 6).
+    #[must_use]
+    pub fn family(&self) -> u8 {
+        self.family
+    }
+
+    /// Raw engine id byte.
+    #[must_use]
+    pub fn engine_id(&self) -> u8 {
+        self.engine
+    }
+
+    /// The engine this image encodes.
+    ///
+    /// # Errors
+    /// [`ImageError::UnknownEngine`] for ids this build does not know.
+    pub fn engine(&self) -> Result<EngineKind, ImageError> {
+        EngineKind::from_u8(self.engine).ok_or(ImageError::UnknownEngine(self.engine))
+    }
+
+    /// Routes in the control FIB when the image was written.
+    #[must_use]
+    pub fn route_count(&self) -> u64 {
+        self.route_count
+    }
+
+    /// Normal-form leaves (0 when the engine does not track them).
+    #[must_use]
+    pub fn prefix_count(&self) -> u64 {
+        self.prefix_count
+    }
+
+    /// Router epoch the image snapshots (0 for standalone compiles).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The engine's claimed resident `size_bytes` at write time.
+    #[must_use]
+    pub fn claimed_size_bytes(&self) -> u64 {
+        self.claimed_size_bytes
+    }
+
+    /// The whole image as words (header + table + payloads).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        self.arena.words()
+    }
+
+    /// The parsed section table.
+    #[must_use]
+    pub fn section_table(&self) -> &[SectionEntry] {
+        &self.section_table
+    }
+
+    /// Borrows a section's payload words (zero-copy).
+    ///
+    /// # Errors
+    /// [`ImageError::MissingSection`] when absent.
+    pub fn section(&self, id: u32) -> Result<&[u64], ImageError> {
+        let entry = self
+            .section_table
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or(ImageError::MissingSection(id))?;
+        Ok(&self.arena.words()[entry.offset..entry.offset + entry.len])
+    }
+
+    /// Whether the image carries a routes section (needed for router warm
+    /// restart).
+    #[must_use]
+    pub fn has_routes(&self) -> bool {
+        self.section_table.iter().any(|e| e.id == sections::ROUTES)
+    }
+
+    /// Decodes the routes section into a control trie.
+    ///
+    /// # Errors
+    /// [`ImageError`] when the section is absent, malformed, or encodes a
+    /// different address family.
+    pub fn routes<A: Address>(&self) -> Result<BinaryTrie<A>, ImageError> {
+        if self.family != family_of::<A>() {
+            return Err(ImageError::FamilyMismatch {
+                image: self.family,
+                expected: family_of::<A>(),
+            });
+        }
+        let words = self.section(sections::ROUTES)?;
+        if words.len() % 3 != 0 {
+            return Err(ImageError::Malformed("routes section length"));
+        }
+        let mut trie = BinaryTrie::new();
+        for route in words.chunks_exact(3) {
+            let addr = (u128::from(route[0]) << 64) | u128::from(route[1]);
+            let len = (route[2] & 0xFF) as u8;
+            let nh = (route[2] >> 32) as u32;
+            if len > A::WIDTH {
+                return Err(ImageError::Malformed("route prefix length"));
+            }
+            if A::WIDTH < 128 && addr >> A::WIDTH != 0 {
+                return Err(ImageError::Malformed("route address width"));
+            }
+            trie.insert(Prefix::new(A::from_u128(addr), len), NextHop::new(nh));
+        }
+        Ok(trie)
+    }
+
+    /// Validates the header against the requested address type and engine.
+    fn expect<A: Address>(&self, engine: EngineKind) -> Result<(), ImageError> {
+        if self.family != family_of::<A>() {
+            return Err(ImageError::FamilyMismatch {
+                image: self.family,
+                expected: family_of::<A>(),
+            });
+        }
+        if self.engine != engine as u8 {
+            return Err(ImageError::EngineMismatch {
+                image: self.engine,
+                expected: engine as u8,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Incrementally assembles a `fibimage/v1` byte blob.
+pub struct ImageWriter {
+    engine: EngineKind,
+    family: u8,
+    route_count: u64,
+    prefix_count: u64,
+    epoch: u64,
+    claimed_size_bytes: u64,
+    /// Payload words, section-relative (assembled after the table).
+    payload: Vec<u64>,
+    /// `(id, payload offset, meaningful length)` per section.
+    entries: Vec<(u32, usize, usize)>,
+}
+
+impl ImageWriter {
+    /// Starts an image for `engine` over address type `A`.
+    #[must_use]
+    pub fn new<A: Address>(engine: EngineKind, route_count: u64, epoch: u64) -> Self {
+        Self {
+            engine,
+            family: family_of::<A>(),
+            route_count,
+            prefix_count: 0,
+            epoch,
+            claimed_size_bytes: 0,
+            payload: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records the normal-form prefix (leaf) count.
+    pub fn set_prefix_count(&mut self, count: u64) {
+        self.prefix_count = count;
+    }
+
+    /// Records the engine's resident size claim.
+    pub fn set_claimed_size_bytes(&mut self, bytes: u64) {
+        self.claimed_size_bytes = bytes;
+    }
+
+    /// Appends a section from a word slice.
+    pub fn section(&mut self, id: u32, words: &[u64]) {
+        self.section_with(id, |out| out.extend_from_slice(words));
+    }
+
+    /// Appends a section whose words are produced by `fill` (e.g. a
+    /// structure's `write_words`). The section starts on a 64-byte
+    /// boundary; the meaningful length is whatever `fill` appends, and
+    /// the writer pads the tail to a whole block.
+    pub fn section_with(&mut self, id: u32, fill: impl FnOnce(&mut Vec<u64>)) {
+        debug_assert_eq!(self.payload.len() % BLOCK_WORDS, 0);
+        let start = self.payload.len();
+        fill(&mut self.payload);
+        let len = self.payload.len() - start;
+        while self.payload.len() % BLOCK_WORDS != 0 {
+            self.payload.push(0);
+        }
+        self.entries.push((id, start, len));
+    }
+
+    /// Appends the routes section (3 words per route).
+    pub fn routes<A: Address>(&mut self, trie: &BinaryTrie<A>) {
+        self.section_with(sections::ROUTES, |out| {
+            for (prefix, nh) in trie.iter() {
+                let addr = prefix.addr().to_u128();
+                out.push((addr >> 64) as u64);
+                out.push(addr as u64);
+                out.push(u64::from(prefix.len()) | (u64::from(nh.index()) << 32));
+            }
+        });
+    }
+
+    /// Assembles the final image bytes (header, section table, payloads,
+    /// checksum).
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        let table_words = (self.entries.len() * 2).div_ceil(BLOCK_WORDS) * BLOCK_WORDS;
+        let payload_base = 8 + table_words;
+        let total_words = payload_base + self.payload.len();
+        let mut words = Vec::with_capacity(total_words);
+        words.push(MAGIC);
+        words.push(
+            u64::from(VERSION)
+                | (u64::from(self.family) << 16)
+                | ((self.engine as u64) << 24)
+                | ((self.entries.len() as u64) << 32),
+        );
+        words.push(self.route_count);
+        words.push(self.epoch);
+        words.push(total_words as u64);
+        words.push(self.claimed_size_bytes);
+        words.push(self.prefix_count);
+        words.push(0); // checksum, patched below
+        for &(id, start, len) in &self.entries {
+            words.push(u64::from(id));
+            let offset = payload_base + start;
+            words.push((offset as u64) | ((len as u64) << 32));
+        }
+        while words.len() < payload_base {
+            words.push(0);
+        }
+        words.extend_from_slice(&self.payload);
+        // Checksum with word 7 zeroed, then patch it in.
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let checksum = fnv1a(&bytes);
+        bytes[56..64].copy_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+}
+
+/// An engine that can serialize itself into a FIB image and serve lookups
+/// from a borrowed view of one.
+///
+/// `write_image(engine)` and `E::view(&image)` are inverses up to the
+/// forwarding function: the view answers every probe identically to the
+/// engine, borrowing — never copying — the image's section payloads.
+pub trait ImageCodec<A: Address>: FibLookup<A> + Sized {
+    /// The engine id stamped into the header.
+    const ENGINE: EngineKind;
+
+    /// Borrowed zero-copy view type.
+    type Ref<'i>: FibLookup<A> + Copy;
+
+    /// Writes the engine's parameter and payload sections.
+    ///
+    /// # Errors
+    /// [`ImageError::Unsupported`] when this configuration has no image
+    /// encoding.
+    fn write_sections(&self, writer: &mut ImageWriter) -> Result<(), ImageError>;
+
+    /// Assembles the zero-copy view over a loaded image.
+    ///
+    /// # Errors
+    /// Any [`ImageError`]; hostile images fail loudly, never panic.
+    fn view(image: &FibImage) -> Result<Self::Ref<'_>, ImageError>;
+
+    /// Like [`Self::view`], but engines may skip their per-element
+    /// reference scans (the O(n) part of validation). Only for images
+    /// that already passed a full [`Self::view`] — a [`FibImage`] is
+    /// immutable once loaded, so one validation covers its lifetime.
+    /// The router's image-backed snapshots use this on the lookup path.
+    ///
+    /// # Errors
+    /// Any [`ImageError`].
+    fn view_prevalidated(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        Self::view(image)
+    }
+
+    /// The resident size claim recorded in the header — the engine's own
+    /// byte accounting, which `fibc inspect` and the size-drift tests
+    /// compare against the actual payload bytes.
+    fn resident_size_bytes(&self) -> usize;
+}
+
+/// Serializes `engine` into `fibimage/v1` bytes. When `routes` is given,
+/// the control FIB rides along in a [`sections::ROUTES`] section so a
+/// router can warm-restart from the file.
+///
+/// # Errors
+/// [`ImageError::Unsupported`] for engine configurations with no image
+/// encoding.
+pub fn write_image<A: Address, E: ImageCodec<A>>(
+    engine: &E,
+    routes: Option<&BinaryTrie<A>>,
+    epoch: u64,
+) -> Result<Vec<u8>, ImageError> {
+    let route_count = routes.map_or(0, BinaryTrie::len) as u64;
+    let mut writer = ImageWriter::new::<A>(E::ENGINE, route_count, epoch);
+    writer.set_claimed_size_bytes(engine.resident_size_bytes() as u64);
+    engine.write_sections(&mut writer)?;
+    if let Some(trie) = routes {
+        writer.routes(trie);
+    }
+    Ok(writer.finish())
+}
+
+/// [`write_image`] straight to a file, atomically (write to a `.tmp`
+/// sibling, then rename).
+///
+/// # Errors
+/// [`ImageError::Io`] on filesystem failure.
+pub fn write_image_file<A: Address, E: ImageCodec<A>>(
+    engine: &E,
+    routes: Option<&BinaryTrie<A>>,
+    epoch: u64,
+    path: impl AsRef<Path>,
+) -> Result<(), ImageError> {
+    let bytes = write_image(engine, routes, epoch)?;
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    let io = |e: std::io::Error| ImageError::Io(format!("{}: {e}", path.display()));
+    std::fs::write(&tmp, &bytes).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)?;
+    Ok(())
+}
+
+/// Loads an image file and hands the typed view to `f` (the view borrows
+/// the image, so it cannot outlive this call — hold a [`FibImage`]
+/// yourself for longer-lived serving).
+///
+/// # Errors
+/// Any [`ImageError`].
+pub fn load_image<A: Address, E: ImageCodec<A>, T>(
+    path: impl AsRef<Path>,
+    f: impl FnOnce(E::Ref<'_>) -> T,
+) -> Result<T, ImageError> {
+    let image = FibImage::load(path)?;
+    let view = E::view(&image)?;
+    Ok(f(view))
+}
+
+// ---------------------------------------------------------------------
+// Codec implementations
+// ---------------------------------------------------------------------
+
+impl<A: Address> ImageCodec<A> for SerializedDag<A> {
+    const ENGINE: EngineKind = EngineKind::SerializedDag;
+    type Ref<'i> = SerializedDagRef<'i, A>;
+
+    fn write_sections(&self, writer: &mut ImageWriter) -> Result<(), ImageError> {
+        writer.section(sections::PARAMS, &[u64::from(self.lambda())]);
+        writer.section(sections::SER_ENTRIES, self.entry_words());
+        writer.section(sections::SER_NODES, self.node_words());
+        Ok(())
+    }
+
+    fn view(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let params = image.section(sections::PARAMS)?;
+        let lambda = u8::try_from(*params.first().ok_or(ImageError::Malformed("params"))?)
+            .map_err(|_| ImageError::Malformed("λ out of range"))?;
+        SerializedDagRef::from_parts(
+            lambda,
+            image.section(sections::SER_ENTRIES)?,
+            image.section(sections::SER_NODES)?,
+        )
+        .map_err(ImageError::Malformed)
+    }
+
+    fn view_prevalidated(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let params = image.section(sections::PARAMS)?;
+        let lambda = u8::try_from(*params.first().ok_or(ImageError::Malformed("params"))?)
+            .map_err(|_| ImageError::Malformed("λ out of range"))?;
+        SerializedDagRef::from_parts_trusted(
+            lambda,
+            image.section(sections::SER_ENTRIES)?,
+            image.section(sections::SER_NODES)?,
+        )
+        .map_err(ImageError::Malformed)
+    }
+
+    fn resident_size_bytes(&self) -> usize {
+        self.size_bytes()
+    }
+}
+
+impl<A: Address> ImageCodec<A> for MultibitDag<A> {
+    const ENGINE: EngineKind = EngineKind::MultibitDag;
+    type Ref<'i> = MultibitDagRef<'i, A>;
+
+    fn write_sections(&self, writer: &mut ImageWriter) -> Result<(), ImageError> {
+        writer.section(
+            sections::PARAMS,
+            &[
+                u64::from(self.stride()),
+                u64::from(self.root_ref()),
+                self.slot_count() as u64,
+            ],
+        );
+        writer.section(sections::MB_SLOTS, self.slot_words());
+        Ok(())
+    }
+
+    fn view(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let params = image.section(sections::PARAMS)?;
+        if params.len() < 3 {
+            return Err(ImageError::Malformed("params"));
+        }
+        let stride =
+            u8::try_from(params[0]).map_err(|_| ImageError::Malformed("stride out of range"))?;
+        let root =
+            u32::try_from(params[1]).map_err(|_| ImageError::Malformed("root out of range"))?;
+        let n_slots = usize::try_from(params[2])
+            .map_err(|_| ImageError::Malformed("slot count out of range"))?;
+        MultibitDagRef::from_parts(stride, image.section(sections::MB_SLOTS)?, n_slots, root)
+            .map_err(ImageError::Malformed)
+    }
+
+    fn view_prevalidated(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let params = image.section(sections::PARAMS)?;
+        if params.len() < 3 {
+            return Err(ImageError::Malformed("params"));
+        }
+        let stride =
+            u8::try_from(params[0]).map_err(|_| ImageError::Malformed("stride out of range"))?;
+        let root =
+            u32::try_from(params[1]).map_err(|_| ImageError::Malformed("root out of range"))?;
+        let n_slots = usize::try_from(params[2])
+            .map_err(|_| ImageError::Malformed("slot count out of range"))?;
+        MultibitDagRef::from_parts_trusted(
+            stride,
+            image.section(sections::MB_SLOTS)?,
+            n_slots,
+            root,
+        )
+        .map_err(ImageError::Malformed)
+    }
+
+    fn resident_size_bytes(&self) -> usize {
+        self.size_bytes()
+    }
+}
+
+impl<A: Address> ImageCodec<A> for LcTrie<A> {
+    const ENGINE: EngineKind = EngineKind::LcTrie;
+    type Ref<'i> = LcTrieRef<'i, A>;
+
+    fn write_sections(&self, writer: &mut ImageWriter) -> Result<(), ImageError> {
+        writer.section(sections::PARAMS, &[u64::from(self.root())]);
+        writer.section(sections::LC_NODES, self.packed_nodes());
+        Ok(())
+    }
+
+    fn view(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let params = image.section(sections::PARAMS)?;
+        let root = u32::try_from(*params.first().ok_or(ImageError::Malformed("params"))?)
+            .map_err(|_| ImageError::Malformed("root out of range"))?;
+        LcTrieRef::from_parts(image.section(sections::LC_NODES)?, root)
+            .map_err(ImageError::Malformed)
+    }
+
+    fn view_prevalidated(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let params = image.section(sections::PARAMS)?;
+        let root = u32::try_from(*params.first().ok_or(ImageError::Malformed("params"))?)
+            .map_err(|_| ImageError::Malformed("root out of range"))?;
+        LcTrieRef::from_parts_trusted(image.section(sections::LC_NODES)?, root)
+            .map_err(ImageError::Malformed)
+    }
+
+    /// The *packed arena* bytes, deliberately not the kernel memory model
+    /// that [`FibLookup::size_bytes`] reports for Table 2 — the image
+    /// stores the packed form, so that is what the size claim must track.
+    fn resident_size_bytes(&self) -> usize {
+        LcTrie::size_bytes(self)
+    }
+}
+
+impl<A: Address> ImageCodec<A> for PrefixDag<A> {
+    const ENGINE: EngineKind = EngineKind::PrefixDag;
+    type Ref<'i> = PrefixDagRef<'i, A>;
+
+    fn write_sections(&self, writer: &mut ImageWriter) -> Result<(), ImageError> {
+        let (words, root) = self.write_packed();
+        writer.section(
+            sections::PARAMS,
+            &[u64::from(root), u64::from(self.lambda())],
+        );
+        writer.section(sections::PDAG_NODES, &words);
+        Ok(())
+    }
+
+    fn view(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let params = image.section(sections::PARAMS)?;
+        let root = u32::try_from(*params.first().ok_or(ImageError::Malformed("params"))?)
+            .map_err(|_| ImageError::Malformed("root out of range"))?;
+        PrefixDagRef::from_parts(image.section(sections::PDAG_NODES)?, root)
+            .map_err(ImageError::Malformed)
+    }
+
+    fn view_prevalidated(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let params = image.section(sections::PARAMS)?;
+        let root = u32::try_from(*params.first().ok_or(ImageError::Malformed("params"))?)
+            .map_err(|_| ImageError::Malformed("root out of range"))?;
+        PrefixDagRef::from_parts_trusted(image.section(sections::PDAG_NODES)?, root)
+            .map_err(ImageError::Malformed)
+    }
+
+    /// The compacted arena bytes (16 per live node) — the exact payload
+    /// the image stores, matching [`PrefixDag::size_bytes`].
+    fn resident_size_bytes(&self) -> usize {
+        self.size_bytes()
+    }
+}
+
+impl<A: Address> ImageCodec<A> for XbwFib<A> {
+    const ENGINE: EngineKind = EngineKind::Xbw;
+    type Ref<'i> = XbwFibRef<'i, A>;
+
+    fn write_sections(&self, writer: &mut ImageWriter) -> Result<(), ImageError> {
+        let (si_kind, sa_kind) = self.image_kind_codes().ok_or(ImageError::Unsupported(
+            "per-level XBW-b has no image encoding",
+        ))?;
+        let (n_leaves, t_nodes) = self.image_counts();
+        writer.set_prefix_count(n_leaves);
+        writer.section(sections::PARAMS, &[si_kind, sa_kind, n_leaves, t_nodes]);
+        writer.section_with(sections::XBW_SI, |out| self.write_si_words(out));
+        writer.section_with(sections::XBW_SA, |out| self.write_sa_words(out));
+        writer.section(sections::XBW_LABELS, &self.label_words());
+        Ok(())
+    }
+
+    fn view(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let params = image.section(sections::PARAMS)?;
+        if params.len() < 2 {
+            return Err(ImageError::Malformed("params"));
+        }
+        XbwFibRef::from_parts(
+            params[0],
+            params[1],
+            image.section(sections::XBW_SI)?,
+            image.section(sections::XBW_SA)?,
+            image.section(sections::XBW_LABELS)?,
+        )
+        .map_err(ImageError::from)
+    }
+
+    fn resident_size_bytes(&self) -> usize {
+        self.size_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------
+// FibLookup for the zero-copy views
+// ---------------------------------------------------------------------
+
+impl<A: Address> FibLookup<A> for SerializedDagRef<'_, A> {
+    fn name(&self) -> &'static str {
+        "pDAG-serialized/image"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        SerializedDagRef::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        SerializedDagRef::lookup_batch(self, addrs, out);
+    }
+
+    fn size_bytes(&self) -> usize {
+        SerializedDagRef::size_bytes(self)
+    }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        SerializedDagRef::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
+}
+
+impl<A: Address> FibLookup<A> for MultibitDagRef<'_, A> {
+    fn name(&self) -> &'static str {
+        "multibit-dag/image"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        MultibitDagRef::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        MultibitDagRef::lookup_batch(self, addrs, out);
+    }
+
+    fn size_bytes(&self) -> usize {
+        MultibitDagRef::size_bytes(self)
+    }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        MultibitDagRef::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
+}
+
+impl<A: Address> FibLookup<A> for LcTrieRef<'_, A> {
+    fn name(&self) -> &'static str {
+        "fib_trie/image"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        LcTrieRef::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        LcTrieRef::lookup_batch(self, addrs, out);
+    }
+
+    /// The packed arena bytes (what the image actually serves), not the
+    /// kernel model the owned engine reports for Table 2.
+    fn size_bytes(&self) -> usize {
+        LcTrieRef::size_bytes(self)
+    }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        LcTrieRef::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
+}
+
+impl<A: Address> FibLookup<A> for PrefixDagRef<'_, A> {
+    fn name(&self) -> &'static str {
+        "pDAG/image"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        PrefixDagRef::lookup(self, addr)
+    }
+
+    fn size_bytes(&self) -> usize {
+        PrefixDagRef::size_bytes(self)
+    }
+}
+
+impl<A: Address> FibLookup<A> for XbwFibRef<'_, A> {
+    fn name(&self) -> &'static str {
+        "XBW-b/image"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        XbwFibRef::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        XbwFibRef::lookup_batch(self, addrs, out);
+    }
+
+    fn size_bytes(&self) -> usize {
+        // The borrowed payloads' words — the image-resident footprint.
+        self.payload_words() * 8
+    }
+}
+
+/// A type-erased view over whatever engine an image encodes — what `fibc
+/// serve` and inspection tooling dispatch on.
+#[derive(Clone, Copy, Debug)]
+pub enum AnyView<'a, A: Address> {
+    /// XBW-b image.
+    Xbw(XbwFibRef<'a, A>),
+    /// Prefix-DAG image.
+    PrefixDag(PrefixDagRef<'a, A>),
+    /// Serialized-DAG image.
+    SerializedDag(SerializedDagRef<'a, A>),
+    /// Multibit-DAG image.
+    MultibitDag(MultibitDagRef<'a, A>),
+    /// LC-trie image.
+    LcTrie(LcTrieRef<'a, A>),
+}
+
+/// Assembles the engine-appropriate view for whatever `image` encodes.
+///
+/// # Errors
+/// Any [`ImageError`].
+pub fn any_view<A: Address>(image: &FibImage) -> Result<AnyView<'_, A>, ImageError> {
+    Ok(match image.engine()? {
+        EngineKind::Xbw => AnyView::Xbw(<XbwFib<A> as ImageCodec<A>>::view(image)?),
+        EngineKind::PrefixDag => AnyView::PrefixDag(<PrefixDag<A> as ImageCodec<A>>::view(image)?),
+        EngineKind::SerializedDag => {
+            AnyView::SerializedDag(<SerializedDag<A> as ImageCodec<A>>::view(image)?)
+        }
+        EngineKind::MultibitDag => {
+            AnyView::MultibitDag(<MultibitDag<A> as ImageCodec<A>>::view(image)?)
+        }
+        EngineKind::LcTrie => AnyView::LcTrie(<LcTrie<A> as ImageCodec<A>>::view(image)?),
+    })
+}
+
+impl<A: Address> FibLookup<A> for AnyView<'_, A> {
+    fn name(&self) -> &'static str {
+        match self {
+            Self::Xbw(v) => FibLookup::<A>::name(v),
+            Self::PrefixDag(v) => FibLookup::<A>::name(v),
+            Self::SerializedDag(v) => FibLookup::<A>::name(v),
+            Self::MultibitDag(v) => FibLookup::<A>::name(v),
+            Self::LcTrie(v) => FibLookup::<A>::name(v),
+        }
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        match self {
+            Self::Xbw(v) => v.lookup(addr),
+            Self::PrefixDag(v) => v.lookup(addr),
+            Self::SerializedDag(v) => v.lookup(addr),
+            Self::MultibitDag(v) => v.lookup(addr),
+            Self::LcTrie(v) => v.lookup(addr),
+        }
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        match self {
+            Self::Xbw(v) => v.lookup_batch(addrs, out),
+            Self::PrefixDag(v) => FibLookup::lookup_batch(v, addrs, out),
+            Self::SerializedDag(v) => v.lookup_batch(addrs, out),
+            Self::MultibitDag(v) => v.lookup_batch(addrs, out),
+            Self::LcTrie(v) => v.lookup_batch(addrs, out),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            Self::Xbw(v) => FibLookup::<A>::size_bytes(v),
+            Self::PrefixDag(v) => FibLookup::<A>::size_bytes(v),
+            Self::SerializedDag(v) => FibLookup::<A>::size_bytes(v),
+            Self::MultibitDag(v) => FibLookup::<A>::size_bytes(v),
+            Self::LcTrie(v) => FibLookup::<A>::size_bytes(v),
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 mod engine;
 mod entropy;
+pub mod image;
 pub mod lambda;
 mod multibit;
 mod pdag;
@@ -40,8 +41,14 @@ mod xbw;
 
 pub use engine::{BuildConfig, FibBuild, FibEngine, FibLookup, FibUpdate, RebuildNeeded};
 pub use entropy::FibEntropy;
-pub use multibit::{MultibitDag, MB_BATCH_LANES};
-pub use pdag::{DagStats, PrefixDag};
-pub use serialized::{SerializedDag, SER_BATCH_LANES};
+pub use image::{
+    any_view, load_image, write_image, write_image_file, AnyView, EngineKind, FibImage, ImageCodec,
+    ImageError, ImageWriter,
+};
+pub use multibit::{MultibitDag, MultibitDagRef, MB_BATCH_LANES};
+pub use pdag::{DagStats, PrefixDag, PrefixDagRef};
+pub use serialized::{SerializedDag, SerializedDagRef, SER_BATCH_LANES};
 pub use strmodel::FoldedString;
-pub use xbw::{SaStorage, SiStorage, XbwFib, XbwSizeReport, XbwStorage, XBW_BATCH_LANES};
+pub use xbw::{
+    SaStorage, SiStorage, XbwFib, XbwFibRef, XbwSizeReport, XbwStorage, XBW_BATCH_LANES,
+};

@@ -15,12 +15,19 @@
 //! hops but fewer identical subtries and more slot duplication. The
 //! `ablation` harness sweeps it.
 //!
+//! Slot arrays are stored as packed `u64` words (two tagged 32-bit slots
+//! per word; every node's array is word-aligned because 2^s is even), so
+//! the engine is one flat word string shared verbatim by the owned
+//! [`MultibitDag`] and the zero-copy [`MultibitDagRef`] a FIB image
+//! borrows.
+//!
 //! This structure is static (rebuild on update); incremental multibit
 //! folding is genuinely open research beyond the paper.
 
 use std::collections::HashMap;
 use std::marker::PhantomData;
 
+use fib_succinct::storage::get_u32 as slot_at;
 use fib_trie::{Address, BinaryTrie, Depth, NextHop, ProperNode, ProperTrie};
 
 const LEAF_TAG: u32 = 0x8000_0000;
@@ -29,15 +36,29 @@ const BOT: u32 = 0x7FFF_FFFF;
 /// Number of lookups [`MultibitDag::lookup_batch`] walks in lockstep.
 pub const MB_BATCH_LANES: usize = 4;
 
-/// A hash-consed multibit (stride-`s`) prefix DAG.
+/// A hash-consed multibit (stride-`s`) prefix DAG (owned builder; queries
+/// run on the borrowed [`MultibitDagRef`]).
 #[derive(Clone, Debug)]
 pub struct MultibitDag<A: Address> {
     stride: u8,
-    /// Slot arrays, 2^stride tagged references each, flattened.
-    slots: Vec<u32>,
+    /// Slot arrays, 2^stride tagged references each, flattened and packed
+    /// two per word.
+    words: Vec<u64>,
+    /// Number of slots (tagged references) stored in `words`.
+    n_slots: usize,
     /// Tagged reference to the root.
     root: u32,
     node_count: usize,
+    _marker: PhantomData<A>,
+}
+
+/// Borrowed zero-copy view of a [`MultibitDag`].
+#[derive(Clone, Copy, Debug)]
+pub struct MultibitDagRef<'a, A: Address> {
+    stride: u8,
+    words: &'a [u64],
+    n_slots: usize,
+    root: u32,
     _marker: PhantomData<A>,
 }
 
@@ -61,9 +82,19 @@ impl<A: Address> MultibitDag<A> {
         };
         let root = builder.encode(proper.root_idx());
         let node_count = builder.interner.len();
+        let n_slots = builder.slots.len();
+        // Pack two tagged 32-bit slots per word; 2^stride is even, so
+        // every node's slot array starts on a word boundary.
+        let mut words = Vec::with_capacity(n_slots.div_ceil(2));
+        for pair in builder.slots.chunks(2) {
+            let lo = u64::from(pair[0]);
+            let hi = pair.get(1).map_or(0, |&s| u64::from(s));
+            words.push(lo | (hi << 32));
+        }
         Self {
             stride,
-            slots: builder.slots,
+            words,
+            n_slots,
             root,
             node_count,
             _marker: PhantomData,
@@ -85,7 +116,169 @@ impl<A: Address> MultibitDag<A> {
     /// Footprint in bytes: 4 bytes per slot.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.slots.len() * 4
+        self.n_slots * 4
+    }
+
+    /// The borrowed view all queries run on.
+    #[must_use]
+    #[inline]
+    pub fn view(&self) -> MultibitDagRef<'_, A> {
+        MultibitDagRef {
+            stride: self.stride,
+            words: &self.words,
+            n_slots: self.n_slots,
+            root: self.root,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The packed slot words (two tagged references per word).
+    #[must_use]
+    pub fn slot_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of slots (tagged references).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.n_slots
+    }
+
+    /// The tagged root reference.
+    #[must_use]
+    pub fn root_ref(&self) -> u32 {
+        self.root
+    }
+
+    /// Longest-prefix-match lookup in `⌈W/s⌉` slot reads worst case.
+    #[must_use]
+    #[inline]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        self.view().lookup(addr)
+    }
+
+    /// Lookup also returning the number of slot reads.
+    #[must_use]
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, Depth) {
+        self.view().lookup_with_depth(addr)
+    }
+
+    /// Batched longest-prefix match: resolves `addrs[i]` into `out[i]`,
+    /// stepping [`MB_BATCH_LANES`] walks in lockstep so each round issues
+    /// one independent slot read per lane — the stride-`s` counterpart of
+    /// [`crate::SerializedDag::lookup_batch`].
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        self.view().lookup_batch(addrs, out);
+    }
+
+    /// Lookup reporting each slot read as `(byte offset, size)` for the
+    /// cache and SRAM models.
+    pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        self.view().lookup_traced(addr, sink)
+    }
+
+    /// Average and maximum slot reads over the address space, weighting
+    /// each slot by the address fraction it covers.
+    #[must_use]
+    pub fn depth_stats(&self) -> (f64, u32) {
+        // The DAG is small; walk it treating shared nodes per-path. Use an
+        // iterative stack over (ref, hops, fraction).
+        let mut avg = 0.0;
+        let mut max = 0u32;
+        let width = 1usize << self.stride;
+        let mut stack = vec![(self.root, 0u32, 1.0f64)];
+        while let Some((reference, hops, frac)) = stack.pop() {
+            if reference & LEAF_TAG != 0 {
+                avg += f64::from(hops) * frac;
+                max = max.max(hops);
+                continue;
+            }
+            let child_frac = frac / width as f64;
+            let base = reference as usize * width;
+            for slot in 0..width {
+                stack.push((slot_at(&self.words, base + slot), hops + 1, child_frac));
+            }
+        }
+        (avg, max)
+    }
+}
+
+impl<'a, A: Address> MultibitDagRef<'a, A> {
+    /// Assembles a view over packed slot words, validating that every
+    /// interior reference's slot array lies inside the arena so the walk
+    /// cannot index out of bounds.
+    ///
+    /// # Errors
+    /// A static message naming the structural violation.
+    pub fn from_parts(
+        stride: u8,
+        words: &'a [u64],
+        n_slots: usize,
+        root: u32,
+    ) -> Result<Self, &'static str> {
+        let view = Self::from_parts_trusted(stride, words, n_slots, root)?;
+        let n_nodes = n_slots >> stride;
+        let check_ref = |r: u32| -> Result<(), &'static str> {
+            if r & LEAF_TAG == 0 && r as usize >= n_nodes {
+                return Err("reference past slot region");
+            }
+            Ok(())
+        };
+        check_ref(root)?;
+        for j in 0..n_slots {
+            check_ref(slot_at(words, j))?;
+        }
+        Ok(view)
+    }
+
+    /// [`Self::from_parts`] minus the O(n) slot scan — only for words
+    /// that already passed a full validation (a loaded image is
+    /// immutable, so one scan covers its lifetime).
+    pub fn from_parts_trusted(
+        stride: u8,
+        words: &'a [u64],
+        n_slots: usize,
+        root: u32,
+    ) -> Result<Self, &'static str> {
+        if !(1..=16).contains(&stride) {
+            return Err("stride out of [1, 16]");
+        }
+        if n_slots.div_ceil(2) != words.len() {
+            return Err("slot count does not match word count");
+        }
+        if n_slots % (1usize << stride) != 0 {
+            return Err("slot count not a multiple of the node width");
+        }
+        Ok(Self {
+            stride,
+            words,
+            n_slots,
+            root,
+            _marker: PhantomData,
+        })
+    }
+
+    /// The pointer range of the borrowed words, for zero-copy assertions
+    /// in tests.
+    #[must_use]
+    pub fn payload_ptr_range(&self) -> std::ops::Range<usize> {
+        let start = self.words.as_ptr() as usize;
+        start..start + std::mem::size_of_val(self.words)
+    }
+
+    /// The stride `s`.
+    #[must_use]
+    pub fn stride(&self) -> u8 {
+        self.stride
+    }
+
+    /// Footprint in bytes: 4 bytes per slot.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.n_slots * 4
     }
 
     /// Longest-prefix-match lookup in `⌈W/s⌉` slot reads worst case.
@@ -113,16 +306,16 @@ impl<A: Address> MultibitDag<A> {
             // cannot occur because expansion stops at leaf-tagged refs at
             // depth W (proper tries never descend past W).
             let slot = addr.bits(offset, take) << (self.stride - take);
-            reference = self.slots[reference as usize * (1 << self.stride) + slot as usize];
+            reference = slot_at(
+                self.words,
+                reference as usize * (1 << self.stride) + slot as usize,
+            );
             offset += take;
             hops += 1;
         }
     }
 
-    /// Batched longest-prefix match: resolves `addrs[i]` into `out[i]`,
-    /// stepping [`MB_BATCH_LANES`] walks in lockstep so each round issues
-    /// one independent slot read per lane — the stride-`s` counterpart of
-    /// [`crate::SerializedDag::lookup_batch`].
+    /// Batched longest-prefix match (see [`MultibitDag::lookup_batch`]).
     ///
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
@@ -145,7 +338,8 @@ impl<A: Address> MultibitDag<A> {
                     }
                     let take = self.stride.min(A::WIDTH - offset[lane]);
                     let slot = chunk[lane].bits(offset[lane], take) << (self.stride - take);
-                    reference[lane] = self.slots[reference[lane] as usize * width + slot as usize];
+                    reference[lane] =
+                        slot_at(self.words, reference[lane] as usize * width + slot as usize);
                     offset[lane] += take;
                     if reference[lane] & LEAF_TAG != 0 {
                         live -= 1;
@@ -176,34 +370,9 @@ impl<A: Address> MultibitDag<A> {
             let slot = addr.bits(offset, take) << (self.stride - take);
             let index = reference as usize * (1 << self.stride) + slot as usize;
             sink(index as u64 * 4, 4);
-            reference = self.slots[index];
+            reference = slot_at(self.words, index);
             offset += take;
         }
-    }
-
-    /// Average and maximum slot reads over the address space, weighting
-    /// each slot by the address fraction it covers.
-    #[must_use]
-    pub fn depth_stats(&self) -> (f64, u32) {
-        // The DAG is small; walk it treating shared nodes per-path. Use an
-        // iterative stack over (ref, hops, fraction).
-        let mut avg = 0.0;
-        let mut max = 0u32;
-        let width = 1usize << self.stride;
-        let mut stack = vec![(self.root, 0u32, 1.0f64)];
-        while let Some((reference, hops, frac)) = stack.pop() {
-            if reference & LEAF_TAG != 0 {
-                avg += f64::from(hops) * frac;
-                max = max.max(hops);
-                continue;
-            }
-            let child_frac = frac / width as f64;
-            let base = reference as usize * width;
-            for slot in 0..width {
-                stack.push((self.slots[base + slot], hops + 1, child_frac));
-            }
-        }
-        (avg, max)
     }
 }
 

@@ -664,6 +664,144 @@ impl<A: Address> PrefixDag<A> {
             "interner size does not match reachable folded nodes"
         );
     }
+
+    /// Serializes the DAG as a compact packed word image: reachable nodes
+    /// are renumbered in BFS order (dropping free-list holes and the
+    /// refcounts the read-only data plane never needs) into two words per
+    /// node — `left | right << 32` and the label. Returns the words and
+    /// the remapped root index.
+    ///
+    /// Shared folded nodes are emitted once; the sharing survives because
+    /// the remap is by node identity.
+    #[must_use]
+    pub fn write_packed(&self) -> (Vec<u64>, u32) {
+        if self.root == NONE {
+            return (Vec::new(), NONE);
+        }
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut order: Vec<u32> = Vec::new();
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        remap.insert(self.root, 0);
+        order.push(self.root);
+        while let Some(idx) = queue.pop_front() {
+            let node = self.nodes[idx as usize];
+            for child in [node.left, node.right] {
+                if child != NONE && !remap.contains_key(&child) {
+                    remap.insert(child, order.len() as u32);
+                    order.push(child);
+                    queue.push_back(child);
+                }
+            }
+        }
+        let mut words = Vec::with_capacity(order.len() * 2);
+        for &idx in &order {
+            let node = self.nodes[idx as usize];
+            let left = node.left;
+            let right = node.right;
+            let ml = if left == NONE { NONE } else { remap[&left] };
+            let mr = if right == NONE { NONE } else { remap[&right] };
+            words.push(u64::from(ml) | (u64::from(mr) << 32));
+            words.push(u64::from(node.label));
+        }
+        (words, 0)
+    }
+}
+
+/// Borrowed zero-copy view of a packed [`PrefixDag`] image: plain trie
+/// traversal with label fall-through over two-word node records
+/// (`left | right << 32`, `label`).
+#[derive(Clone, Copy, Debug)]
+pub struct PrefixDagRef<'a, A: Address> {
+    words: &'a [u64],
+    root: u32,
+    _marker: PhantomData<A>,
+}
+
+impl<'a, A: Address> PrefixDagRef<'a, A> {
+    /// Assembles a view over packed node words, validating that every
+    /// child reference resolves inside the arena. (The walk terminates on
+    /// any input because it consumes one address bit per hop, W at most.)
+    ///
+    /// # Errors
+    /// A static message naming the structural violation.
+    pub fn from_parts(words: &'a [u64], root: u32) -> Result<Self, &'static str> {
+        let view = Self::from_parts_trusted(words, root)?;
+        let n_nodes = words.len() / 2;
+        for i in 0..n_nodes {
+            let children = words[2 * i];
+            for child in [children as u32, (children >> 32) as u32] {
+                if child != NONE && child as usize >= n_nodes {
+                    return Err("pdag child out of range");
+                }
+            }
+        }
+        Ok(view)
+    }
+
+    /// [`Self::from_parts`] minus the O(n) child scan — only for words
+    /// that already passed a full validation (a loaded image is
+    /// immutable, so one scan covers its lifetime). The walk is
+    /// depth-bounded by `A::WIDTH` either way.
+    pub fn from_parts_trusted(words: &'a [u64], root: u32) -> Result<Self, &'static str> {
+        if words.len() % 2 != 0 {
+            return Err("pdag image word count is odd");
+        }
+        if root != NONE && root as usize >= words.len() / 2 {
+            return Err("pdag root out of range");
+        }
+        Ok(Self {
+            words,
+            root,
+            _marker: PhantomData,
+        })
+    }
+
+    /// The pointer range of the borrowed words, for zero-copy assertions
+    /// in tests.
+    #[must_use]
+    pub fn payload_ptr_range(&self) -> std::ops::Range<usize> {
+        let start = self.words.as_ptr() as usize;
+        start..start + std::mem::size_of_val(self.words)
+    }
+
+    /// Image footprint in bytes (16 per node).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Longest-prefix-match lookup — the same standard trie traversal as
+    /// [`PrefixDag::lookup`] (Lemma 5), over the packed image.
+    #[must_use]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        if self.root == NONE {
+            return None;
+        }
+        let mut idx = self.root;
+        let mut last = NONE;
+        let mut depth = 0u8;
+        loop {
+            let children = self.words[2 * idx as usize];
+            let label = self.words[2 * idx as usize + 1] as u32;
+            if label != NONE {
+                last = label;
+            }
+            if depth >= A::WIDTH {
+                break;
+            }
+            let child = if addr.bit(depth) {
+                (children >> 32) as u32
+            } else {
+                children as u32
+            };
+            if child == NONE {
+                break;
+            }
+            idx = child;
+            depth += 1;
+        }
+        (last != NONE).then(|| NextHop::new(last))
+    }
 }
 
 /// Structure counters of a [`PrefixDag`].

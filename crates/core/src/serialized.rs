@@ -14,6 +14,12 @@
 //! [ RootEntry × 2^λ ][ [u32; 2] × interior-count ]
 //! ```
 //!
+//! Both regions are stored as packed `u64` words — a root entry is
+//! `slot | fallback << 32`, an interior record `left | right << 32` — so
+//! the whole engine is a flat word string: the owned [`SerializedDag`]
+//! and the zero-copy [`SerializedDagRef`] that FIB images borrow run the
+//! identical walk over the same encoding.
+//!
 //! A tagged reference is either `LEAF_TAG | label` (label `0x7FFF_FFFF` is
 //! ⊥) or the index of an interior record. Each root entry carries the
 //! reference for its λ-bit prefix plus the *fallback label*: the last
@@ -33,20 +39,43 @@ const BOT: u32 = 0x7FFF_FFFF;
 /// Number of lookups [`SerializedDag::lookup_batch`] walks in lockstep.
 pub const SER_BATCH_LANES: usize = 4;
 
-#[derive(Clone, Copy, Debug)]
-struct RootEntry {
-    /// Tagged reference for this λ-bit prefix.
-    slot: u32,
-    /// Label to fall back to when the walk ends on ⊥ (`NONE` = no route).
-    fallback: u32,
+#[inline]
+fn entry_slot(word: u64) -> u32 {
+    word as u32
 }
 
-/// A flat, read-only prefix DAG image with zero-allocation lookup.
+#[inline]
+fn entry_fallback(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+#[inline]
+fn record_child(word: u64, bit: bool) -> u32 {
+    if bit {
+        (word >> 32) as u32
+    } else {
+        word as u32
+    }
+}
+
+/// A flat, read-only prefix DAG image with zero-allocation lookup
+/// (owned builder; all queries run on the borrowed [`SerializedDagRef`]).
 #[derive(Clone, Debug)]
 pub struct SerializedDag<A: Address> {
     lambda: u8,
-    entries: Vec<RootEntry>,
-    nodes: Vec<[u32; 2]>,
+    /// Root entries, one word each: `slot | fallback << 32`.
+    entries: Vec<u64>,
+    /// Interior records, one word each: `left | right << 32`.
+    nodes: Vec<u64>,
+    _marker: PhantomData<A>,
+}
+
+/// Borrowed zero-copy view of a [`SerializedDag`].
+#[derive(Clone, Copy, Debug)]
+pub struct SerializedDagRef<'a, A: Address> {
+    lambda: u8,
+    entries: &'a [u64],
+    nodes: &'a [u64],
     _marker: PhantomData<A>,
 }
 
@@ -65,7 +94,7 @@ impl<A: Address> SerializedDag<A> {
         );
         // Compact interior numbering, assigned on first visit.
         let mut ser_idx: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-        let mut nodes: Vec<[u32; 2]> = Vec::new();
+        let mut nodes: Vec<u64> = Vec::new();
         let mut entries = Vec::with_capacity(1usize << lambda);
         for v in 0..(1u64 << lambda) {
             entries.push(Self::walk_top(dag, v, lambda, &mut ser_idx, &mut nodes));
@@ -78,15 +107,16 @@ impl<A: Address> SerializedDag<A> {
         }
     }
 
-    /// Walks the top tree along the λ bits of `v`, producing the root
-    /// entry and serializing the portal's folded subgraph on first visit.
+    /// Walks the top tree along the λ bits of `v`, producing the packed
+    /// root entry and serializing the portal's folded subgraph on first
+    /// visit.
     fn walk_top(
         dag: &PrefixDag<A>,
         v: u64,
         lambda: u8,
         ser_idx: &mut std::collections::HashMap<u32, u32>,
-        nodes: &mut Vec<[u32; 2]>,
-    ) -> RootEntry {
+        nodes: &mut Vec<u64>,
+    ) -> u64 {
         let mut idx = dag.root;
         let mut fallback = NONE;
         for depth in 0..lambda {
@@ -107,7 +137,7 @@ impl<A: Address> SerializedDag<A> {
             // itself). Serialize its folded structure.
             Self::encode(dag, idx, ser_idx, nodes)
         };
-        RootEntry { slot, fallback }
+        u64::from(slot) | (u64::from(fallback) << 32)
     }
 
     /// Recursively serializes a folded node into a tagged reference.
@@ -115,7 +145,7 @@ impl<A: Address> SerializedDag<A> {
         dag: &PrefixDag<A>,
         idx: u32,
         ser_idx: &mut std::collections::HashMap<u32, u32>,
-        nodes: &mut Vec<[u32; 2]>,
+        nodes: &mut Vec<u64>,
     ) -> u32 {
         let node = dag.nodes[idx as usize];
         if node.is_leaf() {
@@ -125,11 +155,11 @@ impl<A: Address> SerializedDag<A> {
             return existing;
         }
         let record = nodes.len() as u32;
-        nodes.push([0, 0]); // reserve before recursing (shared DAG, no cycles)
+        nodes.push(0); // reserve before recursing (shared DAG, no cycles)
         ser_idx.insert(idx, record);
         let left = Self::encode(dag, node.left, ser_idx, nodes);
         let right = Self::encode(dag, node.right, ser_idx, nodes);
-        nodes[record as usize] = [left, right];
+        nodes[record as usize] = u64::from(left) | (u64::from(right) << 32);
         record
     }
 
@@ -139,37 +169,42 @@ impl<A: Address> SerializedDag<A> {
         self.lambda
     }
 
+    /// The borrowed view all queries run on.
+    #[must_use]
+    #[inline]
+    pub fn view(&self) -> SerializedDagRef<'_, A> {
+        SerializedDagRef {
+            lambda: self.lambda,
+            entries: &self.entries,
+            nodes: &self.nodes,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The packed root-entry words.
+    #[must_use]
+    pub fn entry_words(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// The packed interior-record words.
+    #[must_use]
+    pub fn node_words(&self) -> &[u64] {
+        &self.nodes
+    }
+
     /// Longest-prefix-match lookup on the flat image.
     #[must_use]
     #[inline]
     pub fn lookup(&self, addr: A) -> Option<NextHop> {
-        self.lookup_with_depth(addr).0
+        self.view().lookup(addr)
     }
 
     /// Lookup also returning the number of node records touched after the
     /// root array (Table 2's "depth" for the pDAG engine).
     #[must_use]
     pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, Depth) {
-        let v = addr.bits(0, self.lambda) as usize;
-        let entry = self.entries[v];
-        let mut reference = entry.slot;
-        let mut depth = self.lambda;
-        let mut hops: Depth = 0;
-        loop {
-            if reference & LEAF_TAG != 0 {
-                let label = reference & !LEAF_TAG;
-                let result = if label == BOT {
-                    (entry.fallback != NONE).then(|| NextHop::new(entry.fallback))
-                } else {
-                    Some(NextHop::new(label))
-                };
-                return (result, hops);
-            }
-            let record = self.nodes[reference as usize];
-            reference = record[usize::from(addr.bit(depth))];
-            depth += 1;
-            hops += 1;
-        }
+        self.view().lookup_with_depth(addr)
     }
 
     /// Batched longest-prefix match: resolves `addrs[i]` into `out[i]`,
@@ -182,83 +217,14 @@ impl<A: Address> SerializedDag<A> {
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
-        assert!(out.len() >= addrs.len(), "output buffer too small");
-        // Trim so the exact-chunk remainders of both slices stay aligned
-        // when the caller hands in an oversized output buffer.
-        let out = &mut out[..addrs.len()];
-        let mut chunks = addrs.chunks_exact(SER_BATCH_LANES);
-        let mut outs = out.chunks_exact_mut(SER_BATCH_LANES);
-        for (chunk, slot) in (&mut chunks).zip(&mut outs) {
-            // Stage 1: all root-array entries, no dependences between them.
-            let mut entry = [RootEntry {
-                slot: LEAF_TAG | BOT,
-                fallback: NONE,
-            }; SER_BATCH_LANES];
-            for lane in 0..SER_BATCH_LANES {
-                entry[lane] = self.entries[chunk[lane].bits(0, self.lambda) as usize];
-            }
-            // Stage 2: lockstep node-record walk; a lane parks once it
-            // resolves to a leaf reference.
-            let mut reference = [0u32; SER_BATCH_LANES];
-            let mut depth = [self.lambda; SER_BATCH_LANES];
-            let mut live = 0usize;
-            for lane in 0..SER_BATCH_LANES {
-                reference[lane] = entry[lane].slot;
-                if reference[lane] & LEAF_TAG == 0 {
-                    live += 1;
-                }
-            }
-            while live > 0 {
-                for lane in 0..SER_BATCH_LANES {
-                    if reference[lane] & LEAF_TAG != 0 {
-                        continue;
-                    }
-                    let record = self.nodes[reference[lane] as usize];
-                    reference[lane] = record[usize::from(chunk[lane].bit(depth[lane]))];
-                    depth[lane] += 1;
-                    if reference[lane] & LEAF_TAG != 0 {
-                        live -= 1;
-                    }
-                }
-            }
-            for lane in 0..SER_BATCH_LANES {
-                let label = reference[lane] & !LEAF_TAG;
-                slot[lane] = if label == BOT {
-                    (entry[lane].fallback != NONE).then(|| NextHop::new(entry[lane].fallback))
-                } else {
-                    Some(NextHop::new(label))
-                };
-            }
-        }
-        for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
-            *slot = self.lookup(*addr);
-        }
+        self.view().lookup_batch(addrs, out);
     }
 
     /// Lookup reporting every memory touch as `(byte offset, byte size)`
     /// within the blob — the access stream consumed by the cache and SRAM
     /// models of `fib-hwsim`.
     pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
-        let v = addr.bits(0, self.lambda) as usize;
-        sink(v as u64 * 8, 8);
-        let entry = self.entries[v];
-        let node_base = self.entries.len() as u64 * 8;
-        let mut reference = entry.slot;
-        let mut depth = self.lambda;
-        loop {
-            if reference & LEAF_TAG != 0 {
-                let label = reference & !LEAF_TAG;
-                return if label == BOT {
-                    (entry.fallback != NONE).then(|| NextHop::new(entry.fallback))
-                } else {
-                    Some(NextHop::new(label))
-                };
-            }
-            sink(node_base + u64::from(reference) * 8, 8);
-            let record = self.nodes[reference as usize];
-            reference = record[usize::from(addr.bit(depth))];
-            depth += 1;
-        }
+        self.view().lookup_traced(addr, sink)
     }
 
     /// Blob size in bytes: 8 per root entry plus 8 per interior record.
@@ -289,13 +255,10 @@ impl<A: Address> SerializedDag<A> {
         out.push(A::WIDTH);
         out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
         out.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
-        for e in &self.entries {
-            out.extend_from_slice(&e.slot.to_le_bytes());
-            out.extend_from_slice(&e.fallback.to_le_bytes());
-        }
-        for n in &self.nodes {
-            out.extend_from_slice(&n[0].to_le_bytes());
-            out.extend_from_slice(&n[1].to_le_bytes());
+        // The packed words' little-endian bytes are exactly the legacy
+        // (slot u32, fallback u32) / (left u32, right u32) layout.
+        for w in self.entries.iter().chain(&self.nodes) {
+            out.extend_from_slice(&w.to_le_bytes());
         }
         let checksum = fnv1a(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
@@ -339,32 +302,14 @@ impl<A: Address> SerializedDag<A> {
         if fnv1a(&bytes[..body_end]) != stored {
             return Err(BlobError::ChecksumMismatch);
         }
-        let u32_at =
-            |pos: usize| u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
-        let check_ref = |r: u32| -> Result<(), BlobError> {
-            if r & LEAF_TAG == 0 && r as usize >= node_count {
-                return Err(BlobError::Inconsistent("reference past node region"));
-            }
-            Ok(())
-        };
-        let mut entries = Vec::with_capacity(entry_count);
-        for i in 0..entry_count {
-            let pos = 16 + i * 8;
-            let slot = u32_at(pos);
-            check_ref(slot)?;
-            entries.push(RootEntry {
-                slot,
-                fallback: u32_at(pos + 4),
-            });
-        }
-        let mut nodes = Vec::with_capacity(node_count);
-        for i in 0..node_count {
-            let pos = 16 + entry_count * 8 + i * 8;
-            let record = [u32_at(pos), u32_at(pos + 4)];
-            check_ref(record[0])?;
-            check_ref(record[1])?;
-            nodes.push(record);
-        }
+        let word_at =
+            |pos: usize| u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+        let entries: Vec<u64> = (0..entry_count).map(|i| word_at(16 + i * 8)).collect();
+        let nodes: Vec<u64> = (0..node_count)
+            .map(|i| word_at(16 + entry_count * 8 + i * 8))
+            .collect();
+        SerializedDagRef::<A>::from_parts(lambda, &entries, &nodes)
+            .map_err(BlobError::Inconsistent)?;
         Ok(Self {
             lambda,
             entries,
@@ -388,6 +333,193 @@ impl<A: Address> SerializedDag<A> {
             (0.0, 0)
         } else {
             (total as f64 / count as f64, max)
+        }
+    }
+}
+
+impl<'a, A: Address> SerializedDagRef<'a, A> {
+    /// Assembles a view over packed entry and record words, validating
+    /// the shape (entry count matches λ) and every tagged reference so
+    /// the walk cannot index out of bounds.
+    ///
+    /// # Errors
+    /// A static message naming the structural violation.
+    pub fn from_parts(
+        lambda: u8,
+        entries: &'a [u64],
+        nodes: &'a [u64],
+    ) -> Result<Self, &'static str> {
+        let view = Self::from_parts_trusted(lambda, entries, nodes)?;
+        let check_ref = |r: u32| -> Result<(), &'static str> {
+            if r & LEAF_TAG == 0 && r as usize >= nodes.len() {
+                return Err("reference past node region");
+            }
+            Ok(())
+        };
+        for &e in entries {
+            check_ref(entry_slot(e))?;
+        }
+        for &n in nodes {
+            check_ref(record_child(n, false))?;
+            check_ref(record_child(n, true))?;
+        }
+        Ok(view)
+    }
+
+    /// [`Self::from_parts`] minus the O(n) reference scan — only for
+    /// words that already passed a full validation (a loaded image is
+    /// immutable, so one scan covers its lifetime). An unvalidated
+    /// out-of-range reference would panic on lookup, never corrupt.
+    pub fn from_parts_trusted(
+        lambda: u8,
+        entries: &'a [u64],
+        nodes: &'a [u64],
+    ) -> Result<Self, &'static str> {
+        if lambda > 25 || entries.len() != 1usize << lambda {
+            return Err("entry count does not match λ");
+        }
+        Ok(Self {
+            lambda,
+            entries,
+            nodes,
+            _marker: PhantomData,
+        })
+    }
+
+    /// The pointer range of the borrowed words, for zero-copy assertions
+    /// in tests.
+    #[must_use]
+    pub fn payload_ptr_range(&self) -> std::ops::Range<usize> {
+        let start = self.entries.as_ptr() as usize;
+        let end = self.nodes.as_ptr() as usize + std::mem::size_of_val(self.nodes);
+        start..end
+    }
+
+    /// The collapsed stride λ.
+    #[must_use]
+    pub fn lambda(&self) -> u8 {
+        self.lambda
+    }
+
+    /// Blob size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * 8 + self.nodes.len() * 8
+    }
+
+    /// Longest-prefix-match lookup on the flat image.
+    #[must_use]
+    #[inline]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        self.lookup_with_depth(addr).0
+    }
+
+    /// Lookup also returning the number of node records touched after the
+    /// root array.
+    #[must_use]
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, Depth) {
+        let v = addr.bits(0, self.lambda) as usize;
+        let entry = self.entries[v];
+        let mut reference = entry_slot(entry);
+        let mut depth = self.lambda;
+        let mut hops: Depth = 0;
+        loop {
+            if reference & LEAF_TAG != 0 {
+                let label = reference & !LEAF_TAG;
+                let result = if label == BOT {
+                    let fallback = entry_fallback(entry);
+                    (fallback != NONE).then(|| NextHop::new(fallback))
+                } else {
+                    Some(NextHop::new(label))
+                };
+                return (result, hops);
+            }
+            let record = self.nodes[reference as usize];
+            reference = record_child(record, addr.bit(depth));
+            depth += 1;
+            hops += 1;
+        }
+    }
+
+    /// Batched longest-prefix match (see [`SerializedDag::lookup_batch`]).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        // Trim so the exact-chunk remainders of both slices stay aligned
+        // when the caller hands in an oversized output buffer.
+        let out = &mut out[..addrs.len()];
+        let mut chunks = addrs.chunks_exact(SER_BATCH_LANES);
+        let mut outs = out.chunks_exact_mut(SER_BATCH_LANES);
+        for (chunk, slot) in (&mut chunks).zip(&mut outs) {
+            // Stage 1: all root-array entries, no dependences between them.
+            let mut entry = [0u64; SER_BATCH_LANES];
+            for lane in 0..SER_BATCH_LANES {
+                entry[lane] = self.entries[chunk[lane].bits(0, self.lambda) as usize];
+            }
+            // Stage 2: lockstep node-record walk; a lane parks once it
+            // resolves to a leaf reference.
+            let mut reference = [0u32; SER_BATCH_LANES];
+            let mut depth = [self.lambda; SER_BATCH_LANES];
+            let mut live = 0usize;
+            for lane in 0..SER_BATCH_LANES {
+                reference[lane] = entry_slot(entry[lane]);
+                if reference[lane] & LEAF_TAG == 0 {
+                    live += 1;
+                }
+            }
+            while live > 0 {
+                for lane in 0..SER_BATCH_LANES {
+                    if reference[lane] & LEAF_TAG != 0 {
+                        continue;
+                    }
+                    let record = self.nodes[reference[lane] as usize];
+                    reference[lane] = record_child(record, chunk[lane].bit(depth[lane]));
+                    depth[lane] += 1;
+                    if reference[lane] & LEAF_TAG != 0 {
+                        live -= 1;
+                    }
+                }
+            }
+            for lane in 0..SER_BATCH_LANES {
+                let label = reference[lane] & !LEAF_TAG;
+                slot[lane] = if label == BOT {
+                    let fallback = entry_fallback(entry[lane]);
+                    (fallback != NONE).then(|| NextHop::new(fallback))
+                } else {
+                    Some(NextHop::new(label))
+                };
+            }
+        }
+        for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *slot = self.lookup(*addr);
+        }
+    }
+
+    /// Lookup reporting every memory touch as `(byte offset, byte size)`
+    /// within the blob.
+    pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        let v = addr.bits(0, self.lambda) as usize;
+        sink(v as u64 * 8, 8);
+        let entry = self.entries[v];
+        let node_base = self.entries.len() as u64 * 8;
+        let mut reference = entry_slot(entry);
+        let mut depth = self.lambda;
+        loop {
+            if reference & LEAF_TAG != 0 {
+                let label = reference & !LEAF_TAG;
+                return if label == BOT {
+                    let fallback = entry_fallback(entry);
+                    (fallback != NONE).then(|| NextHop::new(fallback))
+                } else {
+                    Some(NextHop::new(label))
+                };
+            }
+            sink(node_base + u64::from(reference) * 8, 8);
+            let record = self.nodes[reference as usize];
+            reference = record_child(record, addr.bit(depth));
+            depth += 1;
         }
     }
 }
@@ -430,7 +562,6 @@ impl std::fmt::Display for BlobError {
 }
 
 impl std::error::Error for BlobError {}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,7 +24,10 @@
 //! variant via Mäkinen–Navarro indexes is cited but not evaluated there
 //! either.
 
-use fib_succinct::{BitVec, IntVec, RrrVec, RsBitVec, WaveletTree};
+use fib_succinct::{
+    BitVec, IntVec, IntVecRef, RrrVec, RrrVecRef, RsBitVec, RsBitVecRef, StorageError, WaveletTree,
+    WaveletTreeRef,
+};
 use fib_trie::{Address, BinaryTrie, NextHop, ProperNode, ProperTrie};
 use std::marker::PhantomData;
 
@@ -89,6 +92,16 @@ enum SiStore {
 }
 
 impl SiStore {
+    /// The borrowed view, hoisted out of walk loops so the per-query cost
+    /// is one construction instead of one per level.
+    #[inline]
+    fn as_view(&self) -> SiRef<'_> {
+        match self {
+            Self::Plain(v) => SiRef::Plain(v.view()),
+            Self::Rrr(v) => SiRef::Rrr(v.view()),
+        }
+    }
+
     /// Fused `(get(i), rank1(i))`: one interleaved-directory probe on the
     /// plain backing, one block decode on RRR. The lookup walk derives
     /// everything it needs per level from this pair.
@@ -282,11 +295,13 @@ impl<A: Address> XbwFib<A> {
     #[must_use]
     pub fn lookup(&self, addr: A) -> Option<NextHop> {
         // 0-based variant of the paper's pseudo-code: the children of the
-        // r-th interior node (1-based) sit at positions 2r−1 and 2r.
+        // r-th interior node (1-based) sit at positions 2r−1 and 2r. The
+        // S_I view is hoisted so the walk pays for it once, not per level.
+        let si = self.si.as_view();
         let mut i = 0usize;
         let mut q = 0u8;
         loop {
-            let (leaf, rank1) = self.si.access_rank1(i);
+            let (leaf, rank1) = si.access_rank1(i);
             if leaf {
                 let symbol = self.sa.access(rank1);
                 return self.label_map[symbol as usize];
@@ -322,6 +337,7 @@ impl<A: Address> XbwFib<A> {
             }
             return;
         }
+        let si = self.si.as_view();
         let mut chunks = addrs.chunks_exact(XBW_BATCH_LANES);
         let mut outs = out.chunks_exact_mut(XBW_BATCH_LANES);
         for (chunk, slot) in (&mut chunks).zip(&mut outs) {
@@ -334,7 +350,7 @@ impl<A: Address> XbwFib<A> {
                     if parked[lane] {
                         continue;
                     }
-                    let (leaf, rank1) = self.si.access_rank1(i[lane]);
+                    let (leaf, rank1) = si.access_rank1(i[lane]);
                     if leaf {
                         let symbol = self.sa.access(rank1);
                         slot[lane] = self.label_map[symbol as usize];
@@ -422,6 +438,263 @@ impl<A: Address> XbwFib<A> {
     #[must_use]
     pub fn size_bytes(&self) -> usize {
         self.size_report().total_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // FIB-image serialization (consumed by `crate::image`)
+    // ------------------------------------------------------------------
+
+    /// Storage kind codes for the image header: `(S_I kind, S_α kind)`
+    /// with 0 = plain/packed and 1 = RRR/wavelet. `None` when the engine
+    /// uses the per-level backend, which has no image encoding (it is an
+    /// ablation-only mode).
+    #[must_use]
+    pub(crate) fn image_kind_codes(&self) -> Option<(u64, u64)> {
+        let si = match self.si {
+            SiStore::Plain(_) => 0,
+            SiStore::Rrr(_) => 1,
+        };
+        let sa = match self.sa {
+            SaStore::Packed(_) => 0,
+            SaStore::Wavelet(_) => 1,
+            SaStore::PerLevel { .. } => return None,
+        };
+        Some((si, sa))
+    }
+
+    /// `(n_leaves, t_nodes)` for the image header.
+    #[must_use]
+    pub(crate) fn image_counts(&self) -> (u64, u64) {
+        (self.n_leaves as u64, self.t_nodes as u64)
+    }
+
+    /// Serializes the shape string `S_I`.
+    pub(crate) fn write_si_words(&self, out: &mut Vec<u64>) {
+        match &self.si {
+            SiStore::Plain(v) => v.write_words(out),
+            SiStore::Rrr(v) => v.write_words(out),
+        }
+    }
+
+    /// Serializes the label string `S_α`.
+    ///
+    /// # Panics
+    /// Panics on the per-level backend (callers gate on
+    /// [`Self::image_kind_codes`]).
+    pub(crate) fn write_sa_words(&self, out: &mut Vec<u64>) {
+        match &self.sa {
+            SaStore::Packed(v) => v.write_words(out),
+            SaStore::Wavelet(w) => w.write_words(out),
+            SaStore::PerLevel { .. } => unreachable!("per-level S_α has no image encoding"),
+        }
+    }
+
+    /// The symbol → next-hop table as one word per symbol (`u64::MAX` for
+    /// the ⊥ label).
+    #[must_use]
+    pub(crate) fn label_words(&self) -> Vec<u64> {
+        self.label_map
+            .iter()
+            .map(|l| l.map_or(u64::MAX, |nh| u64::from(nh.index())))
+            .collect()
+    }
+}
+
+/// Borrowed shape-string backing of an [`XbwFibRef`].
+#[derive(Clone, Copy, Debug)]
+enum SiRef<'a> {
+    Plain(RsBitVecRef<'a>),
+    Rrr(RrrVecRef<'a>),
+}
+
+impl SiRef<'_> {
+    #[inline]
+    fn access_rank1(&self, i: usize) -> (bool, usize) {
+        match self {
+            Self::Plain(v) => v.access_rank1(i),
+            Self::Rrr(v) => v.access_rank1(i),
+        }
+    }
+}
+
+/// Borrowed label-string backing of an [`XbwFibRef`].
+#[derive(Clone, Copy, Debug)]
+enum SaRef<'a> {
+    Packed(IntVecRef<'a>),
+    Wavelet(WaveletTreeRef<'a>),
+}
+
+impl SaRef<'_> {
+    #[inline]
+    fn access(&self, i: usize) -> u64 {
+        match self {
+            Self::Packed(v) => v.get(i),
+            Self::Wavelet(w) => w.access(i),
+        }
+    }
+}
+
+/// Borrowed zero-copy view of an [`XbwFib`] image: the §3.1 lookup walk
+/// over `S_I`/`S_α` sections parsed straight out of a loaded buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct XbwFibRef<'a, A: Address> {
+    si: SiRef<'a>,
+    sa: SaRef<'a>,
+    /// Symbol → next-hop words (`u64::MAX` = ⊥).
+    labels: &'a [u64],
+    /// Total borrowed payload words (for size reporting).
+    payload_words: usize,
+    _marker: PhantomData<A>,
+}
+
+impl<'a, A: Address> XbwFibRef<'a, A> {
+    /// Assembles a view from the three image sections, validating that
+    /// the strings agree (`S_α` holds exactly one symbol per `S_I` leaf).
+    ///
+    /// # Errors
+    /// [`StorageError`] on malformed sections or inconsistent strings.
+    pub fn from_parts(
+        si_kind: u64,
+        sa_kind: u64,
+        si_words: &'a [u64],
+        sa_words: &'a [u64],
+        labels: &'a [u64],
+    ) -> Result<Self, StorageError> {
+        let (si, si_len, si_ones, si_consumed) = match si_kind {
+            0 => {
+                let (v, used) = RsBitVecRef::from_words(si_words)?;
+                (SiRef::Plain(v), v.len(), v.count_ones(), used)
+            }
+            1 => {
+                let (v, used) = RrrVecRef::from_words(si_words)?;
+                (SiRef::Rrr(v), v.len(), v.count_ones(), used)
+            }
+            _ => return Err(StorageError("unknown S_I storage kind")),
+        };
+        let (sa, sa_len, sa_consumed) = match sa_kind {
+            0 => {
+                let (v, used) = IntVecRef::from_words(sa_words)?;
+                (SaRef::Packed(v), v.len(), used)
+            }
+            1 => {
+                let (w, used) = WaveletTreeRef::from_words(sa_words)?;
+                (SaRef::Wavelet(w), w.len(), used)
+            }
+            _ => return Err(StorageError("unknown S_α storage kind")),
+        };
+        if si_ones != sa_len {
+            return Err(StorageError("S_α length does not match S_I leaves"));
+        }
+        if si_len == 0 {
+            return Err(StorageError("S_I is empty"));
+        }
+        if labels.is_empty() {
+            return Err(StorageError("label map is empty"));
+        }
+        Ok(Self {
+            si,
+            sa,
+            labels,
+            payload_words: si_consumed + sa_consumed + labels.len(),
+            _marker: PhantomData,
+        })
+    }
+
+    /// Total borrowed payload words (`S_I` + `S_α` + label map).
+    #[must_use]
+    pub fn payload_words(&self) -> usize {
+        self.payload_words
+    }
+
+    /// The pointer ranges of every borrowed payload (`S_I`, `S_α`, label
+    /// map), for zero-copy assertions in tests.
+    #[must_use]
+    pub fn payload_ptr_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let labels_start = self.labels.as_ptr() as usize;
+        vec![
+            match &self.si {
+                SiRef::Plain(v) => v.payload_ptr_range(),
+                SiRef::Rrr(v) => v.payload_ptr_range(),
+            },
+            match &self.sa {
+                SaRef::Packed(v) => v.payload_ptr_range(),
+                SaRef::Wavelet(w) => w.payload_ptr_range(),
+            },
+            labels_start..labels_start + std::mem::size_of_val(self.labels),
+        ]
+    }
+
+    #[inline]
+    fn decode_label(&self, symbol: u64) -> Option<NextHop> {
+        let word = self.labels[symbol as usize];
+        (word != u64::MAX).then(|| NextHop::new(word as u32))
+    }
+
+    /// Longest-prefix match — the identical fused walk as
+    /// [`XbwFib::lookup`], over borrowed sections.
+    #[must_use]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        let mut i = 0usize;
+        let mut q = 0u8;
+        loop {
+            let (leaf, rank1) = self.si.access_rank1(i);
+            if leaf {
+                let symbol = self.sa.access(rank1);
+                return self.decode_label(symbol);
+            }
+            debug_assert!(q < A::WIDTH, "interior node below maximum depth");
+            // Bit i is 0 here, so rank0(i + 1) follows from rank1(i).
+            let r = i + 1 - rank1;
+            i = 2 * r - 1 + usize::from(addr.bit(q));
+            q += 1;
+        }
+    }
+
+    /// Batched longest-prefix match, interleaving [`XBW_BATCH_LANES`]
+    /// walks on the plain shape string exactly like
+    /// [`XbwFib::lookup_batch`] (RRR stays scalar — its decode is
+    /// ALU-bound).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        let out = &mut out[..addrs.len()];
+        if matches!(self.si, SiRef::Rrr(_)) {
+            for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+                *slot = self.lookup(*addr);
+            }
+            return;
+        }
+        let mut chunks = addrs.chunks_exact(XBW_BATCH_LANES);
+        let mut outs = out.chunks_exact_mut(XBW_BATCH_LANES);
+        for (chunk, slot) in (&mut chunks).zip(&mut outs) {
+            let mut i = [0usize; XBW_BATCH_LANES];
+            let mut q = [0u8; XBW_BATCH_LANES];
+            let mut parked = [false; XBW_BATCH_LANES];
+            let mut live = XBW_BATCH_LANES;
+            while live > 0 {
+                for lane in 0..XBW_BATCH_LANES {
+                    if parked[lane] {
+                        continue;
+                    }
+                    let (leaf, rank1) = self.si.access_rank1(i[lane]);
+                    if leaf {
+                        let symbol = self.sa.access(rank1);
+                        slot[lane] = self.decode_label(symbol);
+                        parked[lane] = true;
+                        live -= 1;
+                    } else {
+                        let r = i[lane] + 1 - rank1;
+                        i[lane] = 2 * r - 1 + usize::from(chunk[lane].bit(q[lane]));
+                        q[lane] += 1;
+                    }
+                }
+            }
+        }
+        for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *slot = self.lookup(*addr);
+        }
     }
 }
 

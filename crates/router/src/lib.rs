@@ -47,5 +47,5 @@
 mod router;
 mod sharded;
 
-pub use router::{DataPlane, EpochSnapshot, Router, RouterConfig, RouterStats};
+pub use router::{DataPlane, EpochSnapshot, RestartError, Router, RouterConfig, RouterStats};
 pub use sharded::{ShardedRouter, SHARD_BITS, SHARD_COUNT};

@@ -1,10 +1,16 @@
 //! The single-shard router core: a control plane driving epoch-snapshotted
-//! data-plane engines.
+//! data-plane engines, with optional FIB-image persistence and warm
+//! restart.
 
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 
-use fib_core::{BuildConfig, FibBuild, FibLookup, FibUpdate};
+use fib_core::{
+    write_image_file, BuildConfig, FibBuild, FibImage, FibLookup, FibUpdate, ImageCodec, ImageError,
+};
 use fib_trie::{Address, BinaryTrie, NextHop, Prefix};
 
 /// Policy knobs of a [`Router`].
@@ -38,6 +44,23 @@ impl Default for RouterConfig {
     }
 }
 
+/// What a published snapshot serves from: an owned engine (the normal
+/// path) or a loaded FIB image whose zero-copy view answers lookups (the
+/// warm-restart path, until the first rebuild replaces it).
+enum SnapEngine<E> {
+    Owned(E),
+    Image(Arc<FibImage>),
+}
+
+impl<E> std::fmt::Debug for SnapEngine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Owned(_) => f.write_str("SnapEngine::Owned"),
+            Self::Image(img) => write!(f, "SnapEngine::Image(epoch {})", img.epoch()),
+        }
+    }
+}
+
 /// An immutable data-plane image: the engine state the router published at
 /// one epoch. Handed out as an [`Arc`], so packet-path readers keep a
 /// consistent view for as long as they hold it while the control plane
@@ -46,7 +69,7 @@ impl Default for RouterConfig {
 pub struct EpochSnapshot<E> {
     epoch: u64,
     routes: usize,
-    engine: E,
+    engine: SnapEngine<E>,
 }
 
 impl<E> EpochSnapshot<E> {
@@ -62,30 +85,59 @@ impl<E> EpochSnapshot<E> {
         self.routes
     }
 
-    /// The underlying engine.
+    /// The underlying owned engine, or `None` when this snapshot serves
+    /// straight from a loaded FIB image (a warm-restarted router before
+    /// its first publish).
     #[must_use]
-    pub fn engine(&self) -> &E {
-        &self.engine
+    pub fn engine(&self) -> Option<&E> {
+        match &self.engine {
+            SnapEngine::Owned(e) => Some(e),
+            SnapEngine::Image(_) => None,
+        }
+    }
+
+    /// Whether lookups are served from a borrowed FIB image.
+    #[must_use]
+    pub fn is_image_backed(&self) -> bool {
+        matches!(self.engine, SnapEngine::Image(_))
     }
 
     /// Longest-prefix-match on the snapshot.
+    ///
+    /// # Panics
+    /// Panics if an image-backed snapshot's image stopped validating —
+    /// impossible for images installed by [`Router::warm_restart`], which
+    /// validates before publishing.
     #[must_use]
     pub fn lookup<A: Address>(&self, addr: A) -> Option<NextHop>
     where
-        E: FibLookup<A>,
+        E: ImageCodec<A>,
     {
-        self.engine.lookup(addr)
+        match &self.engine {
+            SnapEngine::Owned(e) => e.lookup(addr),
+            // The image passed a full E::view at restart and is immutable,
+            // so the per-lookup view skips the O(n) reference scans.
+            SnapEngine::Image(img) => E::view_prevalidated(img)
+                .expect("validated at restart")
+                .lookup(addr),
+        }
     }
 
-    /// Batched longest-prefix-match on the snapshot.
+    /// Batched longest-prefix-match on the snapshot (the image view is
+    /// assembled once per batch).
     ///
     /// # Panics
-    /// Panics if `out` is shorter than `addrs`.
+    /// Panics if `out` is shorter than `addrs`, or as [`Self::lookup`].
     pub fn lookup_batch<A: Address>(&self, addrs: &[A], out: &mut [Option<NextHop>])
     where
-        E: FibLookup<A>,
+        E: ImageCodec<A>,
     {
-        self.engine.lookup_batch(addrs, out);
+        match &self.engine {
+            SnapEngine::Owned(e) => e.lookup_batch(addrs, out),
+            SnapEngine::Image(img) => E::view_prevalidated(img)
+                .expect("validated at restart")
+                .lookup_batch(addrs, out),
+        }
     }
 }
 
@@ -132,8 +184,11 @@ pub struct RouterStats {
     pub rebuilds: u64,
     /// Rebuilds that ran on a background thread.
     pub background_rebuilds: u64,
-    /// Journal entries replayed onto freshly rebuilt engines.
+    /// Journal entries replayed onto freshly rebuilt engines (or, after a
+    /// warm restart, onto the restored control FIB).
     pub replayed: u64,
+    /// Epoch images spilled to the spool directory.
+    pub spills: u64,
 }
 
 /// One journaled control-plane change awaiting replay onto a rebuilt
@@ -146,6 +201,94 @@ enum JournalOp<A: Address> {
 
 struct RebuildJob<E> {
     handle: JoinHandle<E>,
+}
+
+/// Why a warm restart could not come up.
+#[derive(Debug)]
+pub enum RestartError {
+    /// The spool directory holds no loadable image with a routes section.
+    NoValidImage,
+    /// Filesystem failure scanning the spool.
+    Io(String),
+    /// The newest image failed to decode for the requested engine.
+    Image(ImageError),
+}
+
+impl std::fmt::Display for RestartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoValidImage => write!(f, "no valid FIB image in the spool directory"),
+            Self::Io(e) => write!(f, "spool i/o error: {e}"),
+            Self::Image(e) => write!(f, "spool image error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestartError {}
+
+/// On-disk journal record size: op (1) + prefix length (1) + pad (2) +
+/// next-hop (4) + address (16).
+const JOURNAL_RECORD: usize = 24;
+/// Journal header: magic (8) + base epoch (8).
+const JOURNAL_HEADER: usize = 16;
+const JOURNAL_MAGIC: &[u8; 8] = b"FIBJRNL1";
+
+/// Durable-spool state: where epoch images are spilled and the update
+/// journal that bridges the gap between the last spill and a crash.
+struct Spool {
+    dir: PathBuf,
+    journal: File,
+    /// Epoch the journal's records apply on top of.
+    journal_epoch: u64,
+    /// Newest epoch with a spilled image.
+    last_spilled: Option<u64>,
+    /// First write failure; once set, spooling stops (the router keeps
+    /// serving — persistence degrades, forwarding does not).
+    broken: Option<String>,
+}
+
+impl Spool {
+    fn image_path(dir: &Path, epoch: u64) -> PathBuf {
+        dir.join(format!("epoch-{epoch:016x}.img"))
+    }
+
+    fn journal_path(dir: &Path) -> PathBuf {
+        dir.join("journal.log")
+    }
+
+    /// Truncates the journal and stamps it with the epoch its future
+    /// records will apply on top of.
+    fn reset_journal(&mut self, epoch: u64) -> std::io::Result<()> {
+        let mut f = File::create(Self::journal_path(&self.dir))?;
+        f.write_all(JOURNAL_MAGIC)?;
+        f.write_all(&epoch.to_le_bytes())?;
+        f.flush()?;
+        self.journal = f;
+        self.journal_epoch = epoch;
+        Ok(())
+    }
+
+    fn append<A: Address>(&mut self, op: &JournalOp<A>) {
+        if self.broken.is_some() {
+            return;
+        }
+        let mut rec = [0u8; JOURNAL_RECORD];
+        let (tag, prefix, nh) = match op {
+            JournalOp::Announce(p, nh) => (b'A', p, nh.index()),
+            JournalOp::Withdraw(p) => (b'W', p, 0),
+        };
+        rec[0] = tag;
+        rec[1] = prefix.len();
+        rec[4..8].copy_from_slice(&nh.to_le_bytes());
+        rec[8..24].copy_from_slice(&prefix.addr().to_u128().to_le_bytes());
+        if let Err(e) = self
+            .journal
+            .write_all(&rec)
+            .and_then(|()| self.journal.flush())
+        {
+            self.broken = Some(e.to_string());
+        }
+    }
 }
 
 /// A software router split along the paper's §5 architecture: a slow
@@ -162,10 +305,27 @@ struct RebuildJob<E> {
 /// rebuild is scheduled — on a background thread when configured — and the
 /// journal bridges the gap: operations accepted while the rebuild runs are
 /// replayed onto the new engine before it is published.
+///
+/// With a spool enabled ([`Self::enable_spool`]), every published epoch is
+/// also spilled as a `fibimage/v1` file and every accepted update is
+/// journaled to disk, so [`Self::warm_restart`] can bring a dead router
+/// back in image-load time: the data plane serves the zero-copy image view
+/// immediately while the owned engine is rebuilt lazily at the next
+/// publish.
+///
+/// The engine bound includes [`ImageCodec`] unconditionally (not just on
+/// the spool methods) because [`EpochSnapshot::lookup`] must be able to
+/// dispatch into an image-backed snapshot: which variant a snapshot holds
+/// is a runtime property, so the capability has to be part of the type.
+/// Every Table 2 engine implements the codec; an engine without one can
+/// still serve as a plain [`FibLookup`] data plane outside the router.
 pub struct Router<A: Address, E> {
     config: RouterConfig,
     control: BinaryTrie<A>,
-    working: E,
+    /// The engine updates apply to. `None` after a warm restart: the data
+    /// plane serves the loaded image and the owned engine is built on the
+    /// next publish.
+    working: Option<E>,
     /// The working engine no longer reflects `control` (static engine
     /// declined an update); it must be rebuilt before the next publish.
     stale: bool,
@@ -176,12 +336,13 @@ pub struct Router<A: Address, E> {
     epoch: u64,
     since_publish: usize,
     stats: RouterStats,
+    spool: Option<Spool>,
 }
 
 impl<A, E> Router<A, E>
 where
     A: Address + Send + Sync + 'static,
-    E: FibLookup<A> + FibBuild<A> + FibUpdate<A> + Clone + Send + 'static,
+    E: FibLookup<A> + FibBuild<A> + FibUpdate<A> + ImageCodec<A> + Clone + Send + 'static,
 {
     /// Builds the initial engine from `control` and publishes epoch 0.
     #[must_use]
@@ -190,12 +351,12 @@ where
         let snapshot = Arc::new(EpochSnapshot {
             epoch: 0,
             routes: control.len(),
-            engine: working.clone(),
+            engine: SnapEngine::Owned(working.clone()),
         });
         Self {
             config,
             control,
-            working,
+            working: Some(working),
             stale: false,
             journal: Vec::new(),
             rebuild: None,
@@ -206,6 +367,237 @@ where
                 epochs: 1,
                 ..RouterStats::default()
             },
+            spool: None,
+        }
+    }
+
+    /// Rebuilds a router from the newest valid epoch image in `dir` plus
+    /// journal replay — the warm-restart path.
+    ///
+    /// The published snapshot serves lookups **directly from the loaded
+    /// image** (zero-copy view), so forwarding resumes in image-load time
+    /// instead of engine-rebuild time. The control FIB is restored from
+    /// the image's routes section; journaled updates recorded after the
+    /// spill are replayed onto it (they reach the data plane at the next
+    /// [`publish`](Self::publish), exactly like any other pending update).
+    /// Corrupt or truncated images are skipped in favour of older ones.
+    ///
+    /// # Errors
+    /// [`RestartError`] when the directory cannot be scanned or holds no
+    /// valid image for this engine and address family.
+    pub fn warm_restart(dir: impl AsRef<Path>, config: RouterConfig) -> Result<Self, RestartError> {
+        let dir = dir.as_ref();
+        let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| RestartError::Io(format!("{}: {e}", dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| RestartError::Io(e.to_string()))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(hex) = name
+                .strip_prefix("epoch-")
+                .and_then(|rest| rest.strip_suffix(".img"))
+            {
+                if let Ok(epoch) = u64::from_str_radix(hex, 16) {
+                    candidates.push((epoch, entry.path()));
+                }
+            }
+        }
+        candidates.sort_by_key(|&(epoch, _)| std::cmp::Reverse(epoch));
+        if candidates.is_empty() {
+            return Err(RestartError::NoValidImage);
+        }
+        let mut last_error: Option<ImageError> = None;
+        let mut picked: Option<(u64, FibImage)> = None;
+        for (epoch, path) in &candidates {
+            let validated = FibImage::load(path).and_then(|image| {
+                E::view(&image)?;
+                if !image.has_routes() {
+                    return Err(ImageError::MissingSection(
+                        fib_core::image::sections::ROUTES,
+                    ));
+                }
+                Ok(image)
+            });
+            match validated {
+                Ok(image) => {
+                    picked = Some((*epoch, image));
+                    break;
+                }
+                Err(e) => last_error = Some(e),
+            }
+        }
+        let Some((epoch, image)) = picked else {
+            return Err(last_error.map_or(RestartError::NoValidImage, RestartError::Image));
+        };
+        let mut control = image.routes::<A>().map_err(RestartError::Image)?;
+
+        // Journal replay: records apply on top of their stamped epoch.
+        // journal_epoch ≤ image epoch is safe regardless of newer (corrupt,
+        // skipped) image files: per-prefix last-writer-wins makes records a
+        // newer image already includes idempotent. A journal stamped
+        // *newer* than the image we restored cannot bridge the gap and is
+        // ignored (and restamped below).
+        let mut replayed = 0u64;
+        let journal_path = Spool::journal_path(dir);
+        let mut journal_epoch = epoch;
+        if let Ok(mut f) = File::open(&journal_path) {
+            let mut buf = Vec::new();
+            if f.read_to_end(&mut buf).is_ok()
+                && buf.len() >= JOURNAL_HEADER
+                && &buf[..8] == JOURNAL_MAGIC
+            {
+                journal_epoch = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+                if journal_epoch <= epoch {
+                    for rec in buf[JOURNAL_HEADER..].chunks_exact(JOURNAL_RECORD) {
+                        let len = rec[1];
+                        if len > A::WIDTH {
+                            break; // torn or corrupt tail
+                        }
+                        let nh = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+                        let addr = u128::from_le_bytes(rec[8..24].try_into().expect("16 bytes"));
+                        if A::WIDTH < 128 && addr >> A::WIDTH != 0 {
+                            break;
+                        }
+                        let prefix = Prefix::new(A::from_u128(addr), len);
+                        match rec[0] {
+                            b'A' => {
+                                control.insert(prefix, NextHop::new(nh));
+                            }
+                            b'W' => {
+                                control.remove(prefix);
+                            }
+                            _ => break,
+                        }
+                        replayed += 1;
+                    }
+                }
+            }
+        }
+
+        let routes = image.route_count() as usize;
+        let image = Arc::new(image);
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch,
+            routes,
+            engine: SnapEngine::Image(Arc::clone(&image)),
+        });
+        // Re-arm the spool in append mode: the existing journal keeps
+        // accumulating on top of the same base epoch until the next spill.
+        let journal = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&journal_path)
+            .map_err(|e| RestartError::Io(format!("{}: {e}", journal_path.display())))?;
+        let mut spool = Spool {
+            dir: dir.to_path_buf(),
+            journal,
+            journal_epoch,
+            last_spilled: Some(epoch),
+            broken: None,
+        };
+        // Restamp the journal unless it already applies on top of the
+        // restored image. A *newer* header (we fell back past a corrupt
+        // image) would make a second crash ignore everything appended
+        // from here on; an *older* one holds only records the image
+        // already includes. Either way the records on disk are dead
+        // weight relative to `epoch`, so start clean. (The normal
+        // journal_epoch == epoch case keeps the file: its records are in
+        // `control` but in no image yet.)
+        if journal_epoch != epoch
+            || std::fs::metadata(&journal_path).map_or(0, |m| m.len()) < JOURNAL_HEADER as u64
+        {
+            if let Err(e) = spool.reset_journal(epoch) {
+                spool.broken = Some(e.to_string());
+            }
+        }
+        let mut router = Self {
+            config,
+            control,
+            working: None,
+            stale: replayed > 0,
+            journal: Vec::new(),
+            rebuild: None,
+            published: Arc::new(RwLock::new(snapshot)),
+            epoch,
+            since_publish: usize::try_from(replayed).unwrap_or(usize::MAX),
+            stats: RouterStats {
+                epochs: 1,
+                replayed,
+                ..RouterStats::default()
+            },
+            spool: None,
+        };
+        router.spool = Some(spool);
+        Ok(router)
+    }
+
+    /// Arms FIB-image persistence: every published epoch is spilled to
+    /// `dir` as a `fibimage/v1` file (routes section included) and every
+    /// accepted update is appended to `dir/journal.log`. The current
+    /// state is spilled immediately, so a crash right after this call is
+    /// already recoverable via [`Self::warm_restart`].
+    ///
+    /// # Errors
+    /// The underlying filesystem error.
+    pub fn enable_spool(&mut self, dir: impl Into<PathBuf>) -> std::io::Result<()> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let journal = File::create(Spool::journal_path(&dir))?;
+        self.spool = Some(Spool {
+            dir,
+            journal,
+            journal_epoch: self.epoch,
+            last_spilled: None,
+            broken: None,
+        });
+        // Base spill: image + journal header for the *current* epoch.
+        self.spill_current();
+        if let Some(spool) = &self.spool {
+            if let Some(broken) = &spool.broken {
+                return Err(std::io::Error::other(broken.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// `Some(error)` after the first persistence failure (forwarding
+    /// continues, spooling stops); `None` while the spool is healthy or
+    /// absent.
+    #[must_use]
+    pub fn spool_error(&self) -> Option<&str> {
+        self.spool.as_ref().and_then(|s| s.broken.as_deref())
+    }
+
+    /// Spills the current control state + working engine as the current
+    /// epoch's image and restamps the journal. No-op without a spool or
+    /// when this epoch is already on disk.
+    fn spill_current(&mut self) {
+        let Some(spool) = &self.spool else {
+            return;
+        };
+        if spool.broken.is_some() || spool.last_spilled == Some(self.epoch) {
+            return;
+        }
+        // The spilled engine must reflect `control` exactly; materialize
+        // it if needed (same rule publish applies).
+        if self.stale || self.working.is_none() {
+            self.working = Some(E::build(&self.control, &self.config.build));
+            self.stale = false;
+            self.stats.rebuilds += 1;
+        }
+        let engine = self.working.as_ref().expect("just materialized");
+        let spool = self.spool.as_mut().expect("checked above");
+        let path = Spool::image_path(&spool.dir, self.epoch);
+        match write_image_file(engine, Some(&self.control), self.epoch, &path) {
+            Ok(()) => {
+                spool.last_spilled = Some(self.epoch);
+                self.stats.spills += 1;
+                if let Err(e) = spool.reset_journal(self.epoch) {
+                    spool.broken = Some(e.to_string());
+                }
+            }
+            Err(e) => spool.broken = Some(e.to_string()),
         }
     }
 
@@ -273,41 +665,52 @@ where
     /// Announces (inserts or replaces) a route.
     pub fn announce(&mut self, prefix: Prefix<A>, next_hop: NextHop) {
         self.control.insert(prefix, next_hop);
+        let op = JournalOp::Announce(prefix, next_hop);
+        if let Some(spool) = &mut self.spool {
+            spool.append(&op);
+        }
         if self.rebuild.is_some() {
-            self.journal.push(JournalOp::Announce(prefix, next_hop));
+            self.journal.push(op);
         }
-        if !self.stale {
-            match self.working.try_insert(prefix, next_hop) {
-                Ok(_) => self.stats.in_place += 1,
-                Err(_) => {
-                    self.stale = true;
-                    self.stats.declined += 1;
-                }
-            }
-        } else {
-            self.stats.declined += 1;
-        }
+        self.apply_to_working(|w| w.try_insert(prefix, next_hop).map(|_| ()));
         self.after_update();
     }
 
     /// Withdraws a route.
     pub fn withdraw(&mut self, prefix: Prefix<A>) {
         self.control.remove(prefix);
-        if self.rebuild.is_some() {
-            self.journal.push(JournalOp::Withdraw(prefix));
+        let op = JournalOp::Withdraw(prefix);
+        if let Some(spool) = &mut self.spool {
+            spool.append(&op);
         }
-        if !self.stale {
-            match self.working.try_remove(prefix) {
-                Ok(_) => self.stats.in_place += 1,
+        if self.rebuild.is_some() {
+            self.journal.push(op);
+        }
+        self.apply_to_working(|w| w.try_remove(prefix).map(|_| ()));
+        self.after_update();
+    }
+
+    /// Runs an in-place update against the working engine, tracking the
+    /// stale flag and counters. A missing engine (warm restart) counts as
+    /// declined.
+    fn apply_to_working(&mut self, f: impl FnOnce(&mut E) -> Result<(), fib_core::RebuildNeeded>) {
+        if self.stale {
+            self.stats.declined += 1;
+            return;
+        }
+        match self.working.as_mut() {
+            Some(w) => match f(w) {
+                Ok(()) => self.stats.in_place += 1,
                 Err(_) => {
                     self.stale = true;
                     self.stats.declined += 1;
                 }
+            },
+            None => {
+                self.stale = true;
+                self.stats.declined += 1;
             }
-        } else {
-            self.stats.declined += 1;
         }
-        self.after_update();
     }
 
     fn after_update(&mut self) {
@@ -325,7 +728,10 @@ where
         // compacting rebuild while the working engine keeps serving.
         if !self.stale
             && self.rebuild.is_none()
-            && self.working.degradation() > self.config.degradation_threshold
+            && self
+                .working
+                .as_ref()
+                .is_some_and(|w| w.degradation() > self.config.degradation_threshold)
         {
             self.start_rebuild();
         }
@@ -351,7 +757,7 @@ where
                 handle: std::thread::spawn(move || E::build(&control, &build)),
             });
         } else {
-            self.working = E::build(&self.control, &self.config.build);
+            self.working = Some(E::build(&self.control, &self.config.build));
             self.stale = false;
             self.stats.rebuilds += 1;
         }
@@ -388,14 +794,14 @@ where
         // Only an installed engine counts toward the rebuild stats; a
         // background build whose replay failed is discarded.
         if replay_ok {
-            self.working = fresh;
+            self.working = Some(fresh);
             self.stats.rebuilds += 1;
             self.stats.background_rebuilds += 1;
             self.stats.replayed += replayed;
         } else {
             // A static engine cannot replay; fold the journal in by
             // rebuilding from the (already up-to-date) control FIB.
-            self.working = E::build(&self.control, &self.config.build);
+            self.working = Some(E::build(&self.control, &self.config.build));
             self.stats.rebuilds += 1;
         }
         self.stale = false;
@@ -404,12 +810,13 @@ where
     }
 
     /// Cuts and publishes a new epoch snapshot reflecting the control FIB
-    /// exactly as of this call.
+    /// exactly as of this call, spilling it to the spool when armed.
     ///
-    /// If the working engine went stale (static engine under churn), it is
-    /// rebuilt first — preferring a finished background rebuild plus
-    /// journal replay over a from-scratch build. A still-running
-    /// background rebuild is only waited on when correctness requires it.
+    /// If the working engine went stale (static engine under churn) or is
+    /// absent (warm restart), it is (re)built first — preferring a
+    /// finished background rebuild plus journal replay over a
+    /// from-scratch build. A still-running background rebuild is only
+    /// waited on when correctness requires it.
     ///
     /// # Panics
     /// Panics if the publishing lock was poisoned or a rebuild thread
@@ -420,17 +827,19 @@ where
             // and the snapshot would otherwise diverge from control.
             self.finish_rebuild(self.stale);
         }
-        if self.stale {
-            self.working = E::build(&self.control, &self.config.build);
+        // No-op publish: nothing changed since the last epoch, so reuse
+        // the published snapshot instead of cloning the engine again —
+        // `ShardedRouter::publish_all` hits this on every untouched
+        // shard, as does a freshly warm-restarted router with no pending
+        // journal (whose snapshot keeps serving the image and whose owned
+        // engine stays unbuilt).
+        if self.since_publish == 0 && !self.stale {
+            return self.snapshot();
+        }
+        if self.stale || self.working.is_none() {
+            self.working = Some(E::build(&self.control, &self.config.build));
             self.stale = false;
             self.stats.rebuilds += 1;
-        }
-        // No-op publish (stale was cleared above): nothing changed since
-        // the last epoch, so reuse the published snapshot instead of
-        // cloning the engine again — `ShardedRouter::publish_all` hits
-        // this on every untouched shard.
-        if self.since_publish == 0 {
-            return self.snapshot();
         }
         self.epoch += 1;
         self.since_publish = 0;
@@ -438,13 +847,13 @@ where
         let snapshot = Arc::new(EpochSnapshot {
             epoch: self.epoch,
             routes: self.control.len(),
-            engine: self.working.clone(),
+            engine: SnapEngine::Owned(self.working.as_ref().expect("materialized").clone()),
         });
         *self.published.write().expect("publish lock poisoned") = Arc::clone(&snapshot);
+        self.spill_current();
         snapshot
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

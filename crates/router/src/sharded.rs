@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use fib_core::{FibBuild, FibLookup, FibUpdate};
+use fib_core::{FibBuild, FibLookup, FibUpdate, ImageCodec};
 use fib_trie::{Address, BinaryTrie, NextHop, Prefix};
 
 use crate::router::{EpochSnapshot, Router, RouterConfig, RouterStats};
@@ -29,7 +29,7 @@ pub struct ShardedRouter<A: Address, E> {
 impl<A, E> ShardedRouter<A, E>
 where
     A: Address + Send + Sync + 'static,
-    E: FibLookup<A> + FibBuild<A> + FibUpdate<A> + Clone + Send + 'static,
+    E: FibLookup<A> + FibBuild<A> + FibUpdate<A> + ImageCodec<A> + Clone + Send + 'static,
 {
     /// Partitions `control` by first byte and builds one router per shard,
     /// replicating prefixes shorter than [`SHARD_BITS`] into every shard

@@ -20,7 +20,7 @@ fn assert_snapshot_matches_oracle<E>(
     oracle: &BinaryTrie<u32>,
     trace: &[u32],
 ) where
-    E: fib_core::FibLookup<u32>,
+    E: fib_core::ImageCodec<u32>,
 {
     let mut batched = vec![None; trace.len()];
     snapshot.lookup_batch(trace, &mut batched);
@@ -131,4 +131,243 @@ fn static_engine_router_matches_oracle_at_every_publish() {
     let stats = router.stats();
     assert_eq!(stats.in_place, 0);
     assert!(stats.rebuilds >= 8, "{stats:?}");
+}
+
+// ---------------------------------------------------------------------
+// Warm restart: spool, journal replay, and the differential guarantee
+// ---------------------------------------------------------------------
+
+fn spool_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fib-spool-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create spool dir");
+    dir
+}
+
+/// The tentpole differential test: a router that crashed and warm-restarted
+/// must answer exactly like one that never died — both on the snapshot it
+/// comes back serving (the last spilled epoch image) and, after one
+/// publish, on the full control state including journal-replayed updates.
+#[test]
+fn warm_restart_answers_identically_to_a_router_that_never_died() {
+    let dir = spool_dir("pdag");
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(6_000).generate(&mut rng(21));
+    let updates = bgp_sequence(&mut rng(22), &base, 3_000);
+    let trace = traces::uniform::<u32, _>(&mut rng(23), 1_200);
+
+    let config = RouterConfig {
+        build: BuildConfig::with_lambda(11),
+        publish_every: None,
+        degradation_threshold: 0.25,
+        background_rebuild: false,
+    };
+    // The reference router lives through everything.
+    let mut survivor: Router<u32, PrefixDag<u32>> = Router::new(base.clone(), config);
+    // The victim spools, crashes after unpublished updates, and restarts.
+    let mut victim: Router<u32, PrefixDag<u32>> = Router::new(base, config);
+    victim.enable_spool(&dir).expect("spool arms");
+    assert!(victim.spool_error().is_none());
+
+    let (published_part, journaled_part) = updates.split_at(2_000);
+    for op in published_part {
+        match *op {
+            UpdateOp::Announce(p, nh) => {
+                survivor.announce(p, nh);
+                victim.announce(p, nh);
+            }
+            UpdateOp::Withdraw(p) => {
+                survivor.withdraw(p);
+                victim.withdraw(p);
+            }
+        }
+    }
+    survivor.publish();
+    victim.publish(); // spills epoch 1 + resets the journal
+    let spilled_epoch = victim.epoch();
+    for op in journaled_part {
+        match *op {
+            UpdateOp::Announce(p, nh) => {
+                survivor.announce(p, nh);
+                victim.announce(p, nh);
+            }
+            UpdateOp::Withdraw(p) => {
+                survivor.withdraw(p);
+                victim.withdraw(p);
+            }
+        }
+    }
+    // The survivor's *published* snapshot is still the pre-crash epoch;
+    // record its answers before anything else happens.
+    let survivor_published: Vec<Option<fib_trie::NextHop>> = {
+        let snap = survivor.snapshot();
+        trace.iter().map(|&a| snap.lookup(a)).collect()
+    };
+    drop(victim); // crash: the journal tail was never published or spilled
+
+    let restarted: Router<u32, PrefixDag<u32>> =
+        Router::warm_restart(&dir, config).expect("warm restart");
+    // (a) It comes back serving the last spilled image, zero-copy.
+    let snap = restarted.snapshot();
+    assert!(snap.is_image_backed(), "restart must serve the image");
+    assert_eq!(snap.epoch(), spilled_epoch);
+    for (&addr, expected) in trace.iter().zip(&survivor_published) {
+        assert_eq!(
+            snap.lookup(addr),
+            *expected,
+            "image-backed snapshot diverges at {addr:#010x}"
+        );
+    }
+    // (b) The journal replay restored every post-spill update into the
+    // control FIB.
+    assert_eq!(
+        restarted.stats().replayed,
+        journaled_part.len() as u64,
+        "every journaled op must replay"
+    );
+    let survivor_routes: std::collections::BTreeMap<_, _> = survivor.control().iter().collect();
+    let restarted_routes: std::collections::BTreeMap<_, _> = restarted.control().iter().collect();
+    assert_eq!(survivor_routes, restarted_routes, "control FIBs diverge");
+    // (c) After one publish, the restarted router equals the survivor's
+    // fresh publish — the full differential guarantee.
+    let mut restarted = restarted;
+    let snap_r = restarted.publish();
+    assert!(!snap_r.is_image_backed());
+    let snap_s = survivor.publish();
+    for &addr in &trace {
+        assert_eq!(
+            snap_r.lookup(addr),
+            snap_s.lookup(addr),
+            "restarted router diverges at {addr:#010x}"
+        );
+    }
+    // The restart spilled nothing yet beyond what publish just wrote.
+    assert!(restarted.spool_error().is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted newest image must not take the router down: warm restart
+/// falls back to the next-newest valid image (and skips the journal,
+/// which no longer bridges the gap).
+#[test]
+fn warm_restart_skips_corrupt_images() {
+    let dir = spool_dir("fallback");
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(2_000).generate(&mut rng(31));
+    let config = RouterConfig {
+        build: BuildConfig::with_lambda(11),
+        publish_every: None,
+        degradation_threshold: 0.25,
+        background_rebuild: false,
+    };
+    let mut router: Router<u32, SerializedDag<u32>> = Router::new(base, config);
+    router.enable_spool(&dir).expect("spool arms");
+    let first_epoch = router.epoch();
+    router.announce("203.0.113.0/24".parse().unwrap(), fib_trie::NextHop::new(9));
+    router.publish();
+    let second_epoch = router.epoch();
+    assert!(second_epoch > first_epoch);
+    drop(router);
+
+    // Flip one byte in the newest image: its checksum dies.
+    let newest = dir.join(format!("epoch-{second_epoch:016x}.img"));
+    let mut bytes = std::fs::read(&newest).expect("newest image");
+    bytes[200] ^= 0x40;
+    std::fs::write(&newest, &bytes).expect("corrupt newest");
+
+    let restarted: Router<u32, SerializedDag<u32>> =
+        Router::warm_restart(&dir, config).expect("fallback restart");
+    let snap = restarted.snapshot();
+    assert!(snap.is_image_backed());
+    assert_eq!(snap.epoch(), first_epoch, "fell back to the older image");
+    // The fallback serves the *older* forwarding state consistently.
+    assert_eq!(
+        snap.lookup(0xCB00_7101u32),
+        restarted.control().lookup(0xCB00_7101)
+    );
+
+    // Regression: after the fallback, the stale journal (stamped with the
+    // corrupt image's newer epoch) must be restamped, so updates accepted
+    // post-restart survive a SECOND crash instead of being skipped as
+    // unbridgeable.
+    let mut restarted = restarted;
+    restarted.announce(
+        "198.51.100.0/24".parse().unwrap(),
+        fib_trie::NextHop::new(77),
+    );
+    drop(restarted);
+    let twice: Router<u32, SerializedDag<u32>> =
+        Router::warm_restart(&dir, config).expect("second restart");
+    assert_eq!(
+        twice.stats().replayed,
+        1,
+        "post-fallback update must replay"
+    );
+    assert_eq!(
+        twice.control().lookup(0xC633_6401u32),
+        Some(fib_trie::NextHop::new(77))
+    );
+
+    // And with every image gone, restart reports a typed failure.
+    let empty = spool_dir("empty");
+    assert!(matches!(
+        Router::<u32, SerializedDag<u32>>::warm_restart(&empty, config),
+        Err(fib_router::RestartError::NoValidImage)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&empty);
+}
+
+/// IPv6 churn: the router tracks the oracle through a u128 update feed —
+/// the satellite coverage the IPv4-only suite was missing.
+#[test]
+fn ipv6_router_tracks_oracle_through_churn() {
+    let mut base: BinaryTrie<u128> = BinaryTrie::new();
+    base.insert(
+        "::/0".parse::<fib_trie::Prefix6>().unwrap(),
+        fib_trie::NextHop::new(1),
+    );
+    let mut r = rng(41);
+    for i in 0..2_000u64 {
+        let addr = (0x2001_0db8u128 << 96) | (u128::from(i) << 70);
+        base.insert(
+            fib_trie::Prefix::new(addr, 48),
+            fib_trie::NextHop::new((i % 7) as u32),
+        );
+    }
+    let updates = fib_workload::updates::random_sequence::<u128, _>(&mut r, 3_000, 9);
+    let trace = traces::uniform::<u128, _>(&mut rng(42), 800);
+
+    let config = RouterConfig {
+        build: BuildConfig::with_lambda(16),
+        publish_every: None,
+        degradation_threshold: 0.05,
+        background_rebuild: true,
+    };
+    let mut router: Router<u128, PrefixDag<u128>> = Router::new(base.clone(), config);
+    let mut oracle = base;
+    for (i, op) in updates.iter().enumerate() {
+        match *op {
+            UpdateOp::Announce(p, nh) => {
+                oracle.insert(p, nh);
+                router.announce(p, nh);
+            }
+            UpdateOp::Withdraw(p) => {
+                oracle.remove(p);
+                router.withdraw(p);
+            }
+        }
+        if (i + 1) % 500 == 0 {
+            let snapshot = router.publish();
+            let mut out = vec![None; trace.len()];
+            snapshot.lookup_batch(&trace, &mut out);
+            for (&addr, &got) in trace.iter().zip(&out) {
+                assert_eq!(got, oracle.lookup(addr), "IPv6 epoch {}", snapshot.epoch());
+            }
+        }
+    }
+    router.finish_rebuild(true);
+    let last = router.publish();
+    for &addr in &trace {
+        assert_eq!(last.lookup(addr), oracle.lookup(addr), "{addr:#034x}");
+    }
+    assert_eq!(router.stats().updates, 3_000);
 }

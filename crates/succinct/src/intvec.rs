@@ -1,6 +1,7 @@
 //! Fixed-width packed integer arrays.
 
 use crate::bits::BitVec;
+use crate::storage::{self, meta_usize, pad_to_block, StorageError, BLOCK_WORDS};
 
 /// A packed array of unsigned integers, each stored in exactly `width` bits.
 ///
@@ -129,10 +130,143 @@ impl IntVec {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// The backing words (the final word has unused high bits zeroed).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        self.bits.words()
+    }
+
+    /// The borrowed zero-copy view (all reads go through the same
+    /// extraction code whether the words are owned or loaded).
+    #[must_use]
+    #[inline]
+    pub fn view(&self) -> IntVecRef<'_> {
+        IntVecRef {
+            words: self.bits.words(),
+            width: self.width,
+            len: self.len,
+        }
+    }
+
+    /// Serializes as one 8-word meta block followed by the payload words,
+    /// padded to a 64-byte boundary.
+    pub fn write_words(&self, out: &mut Vec<u64>) {
+        debug_assert_eq!(out.len() % BLOCK_WORDS, 0, "section must start aligned");
+        out.extend_from_slice(&[self.width.into(), self.len as u64, 0, 0, 0, 0, 0, 0]);
+        out.extend_from_slice(self.bits.words());
+        pad_to_block(out);
+    }
+
     /// Payload footprint in bits.
     #[must_use]
     pub fn size_bits(&self) -> usize {
         self.bits.size_bits()
+    }
+}
+
+/// Borrowed zero-copy view of an [`IntVec`].
+#[derive(Clone, Copy, Debug)]
+pub struct IntVecRef<'a> {
+    words: &'a [u64],
+    width: u32,
+    len: usize,
+}
+
+impl<'a> IntVecRef<'a> {
+    /// Parses a view from words written by [`IntVec::write_words`],
+    /// borrowing — never copying — the payload. Returns the view and the
+    /// number of words consumed.
+    ///
+    /// # Errors
+    /// [`StorageError`] on truncated or structurally inconsistent input.
+    pub fn from_words(words: &'a [u64]) -> Result<(Self, usize), StorageError> {
+        let meta = storage::slice(words, 0, BLOCK_WORDS)?;
+        let width = u32::try_from(meta[0]).map_err(|_| StorageError("intvec width"))?;
+        let len = meta_usize(meta[1])?;
+        if width > 64 {
+            return Err(StorageError("intvec width > 64"));
+        }
+        let payload_words = len
+            .checked_mul(width as usize)
+            .ok_or(StorageError("intvec size overflows"))?
+            .div_ceil(64);
+        let payload = storage::slice(words, BLOCK_WORDS, payload_words)?;
+        let consumed = (BLOCK_WORDS + payload_words).div_ceil(BLOCK_WORDS) * BLOCK_WORDS;
+        if consumed > words.len() {
+            return Err(StorageError("intvec padding truncated"));
+        }
+        Ok((
+            Self {
+                words: payload,
+                width,
+                len,
+            },
+            consumed,
+        ))
+    }
+
+    /// The pointer range of the borrowed payload words, for zero-copy
+    /// assertions in tests.
+    #[must_use]
+    pub fn payload_ptr_range(&self) -> std::ops::Range<usize> {
+        let start = self.words.as_ptr() as usize;
+        start..start + std::mem::size_of_val(self.words)
+    }
+
+    /// Element width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads element `i` — one bounds check, then a direct one- or
+    /// two-word extraction (the query hot path of the RRR class scan and
+    /// the packed XBW-b label string).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let width = self.width as usize;
+        if width == 0 {
+            return 0;
+        }
+        // i < len ⇒ the field lies fully inside the pushed bits, so the
+        // spill word exists whenever the field straddles a boundary.
+        let pos = i * width;
+        let (word, bit) = (pos / 64, pos % 64);
+        let lo = self.words[word] >> bit;
+        let have = 64 - bit;
+        let raw = if width > have {
+            lo | (self.words[word + 1] << have)
+        } else {
+            lo
+        };
+        if width == 64 {
+            raw
+        } else {
+            raw & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Payload footprint in bits.
+    #[must_use]
+    pub fn size_bits(&self) -> usize {
+        self.words.len() * 64
     }
 }
 
@@ -203,5 +337,32 @@ mod tests {
     fn push_too_wide_panics() {
         let mut v = IntVec::new(4);
         v.push(16);
+    }
+
+    #[test]
+    fn serialized_view_answers_identically() {
+        let mut v = IntVec::new(13);
+        let values: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0x9E37) & 0x1FFF)
+            .collect();
+        for &x in &values {
+            v.push(x);
+        }
+        let mut words = Vec::new();
+        v.write_words(&mut words);
+        let (view, consumed) = IntVecRef::from_words(&words).unwrap();
+        assert_eq!(consumed, words.len());
+        assert_eq!(view.len(), v.len());
+        for (i, &x) in values.iter().enumerate() {
+            assert_eq!(view.get(i), x, "index {i}");
+        }
+        // Truncation and bad meta fail loudly.
+        assert!(IntVecRef::from_words(&words[..8]).is_err());
+        let mut bad = words.clone();
+        bad[0] = 65;
+        assert!(IntVecRef::from_words(&bad).is_err());
+        let mut bad = words;
+        bad[1] = u64::MAX;
+        assert!(IntVecRef::from_words(&bad).is_err());
     }
 }

@@ -56,13 +56,15 @@ pub mod huffman;
 mod intvec;
 mod rrr;
 mod rsvec;
+pub mod storage;
 mod wavelet;
 
 pub use bits::BitVec;
-pub use intvec::IntVec;
-pub use rrr::RrrVec;
-pub use rsvec::RsBitVec;
-pub use wavelet::{WaveletBacking, WaveletShape, WaveletTree};
+pub use intvec::{IntVec, IntVecRef};
+pub use rrr::{RrrVec, RrrVecRef};
+pub use rsvec::{RsBitVec, RsBitVecRef};
+pub use storage::{Arena, StorageError};
+pub use wavelet::{WaveletBacking, WaveletShape, WaveletTree, WaveletTreeRef};
 
 /// Number of bits needed to distinguish `count` values: `⌈log2(count)⌉`.
 ///
@@ -81,7 +83,14 @@ pub fn ceil_log2(count: u64) -> u32 {
 /// used for blob integrity checks, seed derivation and data fingerprints.
 #[must_use]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    fnv1a_continue(0xCBF2_9CE4_8422_2325, bytes)
+}
+
+/// Folds more bytes into an FNV-1a state, so multi-part inputs (e.g. a
+/// file hashed with one field zeroed) share the single implementation:
+/// `fnv1a(whole) == fnv1a_continue(fnv1a(head), tail)`.
+#[must_use]
+pub fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0100_0000_01B3);

@@ -13,11 +13,20 @@
 //! Classes 0, 1, 2 and 63 skip the 63-step combinatorial decode entirely
 //! (zero/full blocks read nothing, near-empty blocks are resolved from the
 //! offset directly or a table).
+//!
+//! Per the crate's storage discipline the type splits into the owned
+//! builder [`RrrVec`] — whose four streams (classes, offsets, superblocks,
+//! sub-samples) are frozen into one contiguous aligned [`Arena`] — and the
+//! zero-copy view [`RrrVecRef`] that carries all query code and can be
+//! parsed straight out of a loaded FIB image.
 
 use std::sync::OnceLock;
 
 use crate::bits::BitVec;
 use crate::intvec::IntVec;
+use crate::storage::{
+    self, meta_usize, pad_to_block, push_u32s, words_for_u32s, Arena, StorageError, BLOCK_WORDS,
+};
 
 /// Bits per RRR block. 63 keeps every offset and every binomial in a `u64`.
 const BLOCK: usize = 63;
@@ -115,23 +124,53 @@ fn decode_offset(mut offset: u64, k: usize) -> u64 {
 
 /// An immutable, entropy-compressed bit vector with constant-time `rank`
 /// and `access` and O(log n) `select`.
+///
+/// Owned builder; all queries forward to the zero-copy [`RrrVecRef`].
 #[derive(Clone, Debug)]
 pub struct RrrVec {
-    /// 6-bit class (popcount) of each block.
-    classes: IntVec,
-    /// Concatenated variable-width offsets.
-    offsets: BitVec,
-    /// Per superblock: ones strictly before it, and the bit position in
-    /// `offsets` where it starts. `u32` suffices for both at FIB scale and
-    /// halves the directory overhead.
-    sup: Vec<(u32, u32)>,
-    /// Per superblock, up to three packed sub-samples (before blocks 8, 16
-    /// and 24 of the superblock): `ones_within << 16 | offset_bits_within`,
-    /// both < 2016 so a `u32` holds the pair. Bounds the class scan of any
-    /// query to < [`SUB`] blocks.
-    sub: Vec<u32>,
+    arena: Arena,
     len: usize,
     ones: usize,
+    n_blocks: usize,
+    /// Length of the offset stream in bits.
+    off_bits: usize,
+    /// Superblock entries, sentinel included.
+    n_sup: usize,
+    /// Packed sub-sample entries.
+    n_sub: usize,
+}
+
+/// Borrowed zero-copy view of an [`RrrVec`].
+#[derive(Clone, Copy, Debug)]
+pub struct RrrVecRef<'a> {
+    /// The whole payload as one slice — 6-bit classes (packed, at word
+    /// 0), the variable-width offset stream, the superblock directory
+    /// (one word each: ones strictly before it in the low 32 bits, offset
+    /// bit position in the high 32), then the packed sub-samples
+    /// (`ones_within << 16 | offset_bits_within` per entry, two per
+    /// word). One slice + offsets keeps [`RrrVec::view`] nearly free,
+    /// which matters because every owned query goes through it.
+    words: &'a [u64],
+    /// Word offset of the offset stream.
+    off_off: usize,
+    /// Word offset of the superblock directory.
+    sup_off: usize,
+    /// Word offset of the sub-samples.
+    sub_off: usize,
+    len: usize,
+    ones: usize,
+    n_blocks: usize,
+    off_bits: usize,
+    n_sup: usize,
+}
+
+/// Expected stream sizes for a vector of `len` bits: `(n_blocks, n_sup,
+/// n_sub)`.
+fn stream_shape(len: usize) -> (usize, usize, usize) {
+    let n_blocks = len.div_ceil(BLOCK);
+    let n_sup = n_blocks.div_ceil(SUPER) + 1;
+    let n_sub = n_blocks.div_ceil(SUB) - n_blocks.div_ceil(SUPER);
+    (n_blocks, n_sup, n_sub)
 }
 
 impl RrrVec {
@@ -149,13 +188,13 @@ impl RrrVec {
         let n_blocks = bits.len().div_ceil(BLOCK);
         let mut classes = IntVec::new(6);
         let mut offsets = BitVec::new();
-        let mut sup = Vec::with_capacity(n_blocks / SUPER + 2);
-        let mut sub = Vec::with_capacity(n_blocks / SUB + 1);
+        let mut sup: Vec<u64> = Vec::with_capacity(n_blocks / SUPER + 2);
+        let mut sub: Vec<u32> = Vec::with_capacity(n_blocks / SUB + 1);
         let mut ones: u64 = 0;
         let (mut sup_ones, mut sup_pos) = (0u64, 0usize);
         for b in 0..n_blocks {
             if b % SUPER == 0 {
-                sup.push((ones as u32, offsets.len() as u32));
+                sup.push(ones | ((offsets.len() as u64) << 32));
                 (sup_ones, sup_pos) = (ones, offsets.len());
             } else if b % SUB == 0 {
                 sub.push((((ones - sup_ones) as u32) << 16) | (offsets.len() - sup_pos) as u32);
@@ -170,15 +209,62 @@ impl RrrVec {
             ones += k as u64;
         }
         // Sentinel superblock simplifies select's binary search.
-        sup.push((ones as u32, offsets.len() as u32));
+        sup.push(ones | ((offsets.len() as u64) << 32));
+
+        // Freeze the four streams into one contiguous arena.
+        let (n_sup, n_sub, off_bits) = (sup.len(), sub.len(), offsets.len());
+        let mut arena_words =
+            Vec::with_capacity(classes.words().len() + offsets.words().len() + n_sup + n_sub);
+        arena_words.extend_from_slice(classes.words());
+        arena_words.extend_from_slice(offsets.words());
+        arena_words.extend_from_slice(&sup);
+        push_u32s(&mut arena_words, sub);
         Self {
-            classes,
-            offsets,
-            sup,
-            sub,
+            arena: Arena::from_words(&arena_words),
             len: bits.len(),
             ones: ones as usize,
+            n_blocks,
+            off_bits,
+            n_sup,
+            n_sub,
         }
+    }
+
+    /// The borrowed view all queries run on.
+    #[must_use]
+    #[inline]
+    pub fn view(&self) -> RrrVecRef<'_> {
+        let cw = (self.n_blocks * 6).div_ceil(64);
+        let ow = self.off_bits.div_ceil(64);
+        RrrVecRef {
+            words: self.arena.words(),
+            off_off: cw,
+            sup_off: cw + ow,
+            sub_off: cw + ow + self.n_sup,
+            len: self.len,
+            ones: self.ones,
+            n_blocks: self.n_blocks,
+            off_bits: self.off_bits,
+            n_sup: self.n_sup,
+        }
+    }
+
+    /// Serializes as one 8-word meta block followed by the arena words,
+    /// padded to a 64-byte boundary.
+    pub fn write_words(&self, out: &mut Vec<u64>) {
+        debug_assert_eq!(out.len() % BLOCK_WORDS, 0, "section must start aligned");
+        out.extend_from_slice(&[
+            self.len as u64,
+            self.ones as u64,
+            self.off_bits as u64,
+            0,
+            0,
+            0,
+            0,
+            0,
+        ]);
+        out.extend_from_slice(self.arena.words());
+        pad_to_block(out);
     }
 
     /// Number of bits in the original vector.
@@ -205,6 +291,188 @@ impl RrrVec {
         self.len - self.ones
     }
 
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.view().get(i)
+    }
+
+    /// Number of set bits in `[0, i)`.
+    ///
+    /// # Panics
+    /// Panics if `i > len()`.
+    #[must_use]
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        self.view().rank1(i)
+    }
+
+    /// Number of clear bits in `[0, i)`.
+    #[must_use]
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        self.view().rank0(i)
+    }
+
+    /// Fused `(get(i), rank1(i))` from a single block decode.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn access_rank1(&self, i: usize) -> (bool, usize) {
+        self.view().access_rank1(i)
+    }
+
+    /// Position of the `q`-th set bit (`q ≥ 1`), or `None`.
+    #[must_use]
+    pub fn select1(&self, q: usize) -> Option<usize> {
+        self.view().select1(q)
+    }
+
+    /// Position of the `q`-th clear bit (`q ≥ 1`), or `None`.
+    #[must_use]
+    pub fn select0(&self, q: usize) -> Option<usize> {
+        self.view().select0(q)
+    }
+
+    /// Footprint in bits: classes, offsets and both directory levels.
+    /// The universal binomial and class-2 tables (constant, shared per
+    /// process) are excluded, as is conventional.
+    #[must_use]
+    pub fn size_bits(&self) -> usize {
+        (self.n_blocks * 6).div_ceil(64) * 64
+            + self.off_bits.div_ceil(64) * 64
+            + self.n_sup * 64
+            + self.n_sub * 32
+    }
+}
+
+impl<'a> RrrVecRef<'a> {
+    /// Parses a view from words written by [`RrrVec::write_words`],
+    /// borrowing — never copying — the payload. Returns the view and the
+    /// number of words consumed.
+    ///
+    /// # Errors
+    /// [`StorageError`] on truncated or structurally inconsistent input.
+    pub fn from_words(words: &'a [u64]) -> Result<(Self, usize), StorageError> {
+        let meta = storage::slice(words, 0, BLOCK_WORDS)?;
+        let len = meta_usize(meta[0])?;
+        let ones = meta_usize(meta[1])?;
+        let off_bits = meta_usize(meta[2])?;
+        if ones > len || len >= u32::MAX as usize {
+            return Err(StorageError("rrr counts inconsistent"));
+        }
+        let (n_blocks, n_sup, n_sub) = stream_shape(len);
+        let cw = (n_blocks * 6).div_ceil(64);
+        let ow = off_bits.div_ceil(64);
+        let payload_words = cw + ow + n_sup + words_for_u32s(n_sub);
+        let payload = storage::slice(words, BLOCK_WORDS, payload_words)?;
+        let consumed = (BLOCK_WORDS + payload_words).div_ceil(BLOCK_WORDS) * BLOCK_WORDS;
+        if consumed > words.len() {
+            return Err(StorageError("rrr padding truncated"));
+        }
+        Ok((
+            Self {
+                words: payload,
+                off_off: cw,
+                sup_off: cw + ow,
+                sub_off: cw + ow + n_sup,
+                len,
+                ones,
+                n_blocks,
+                off_bits,
+                n_sup,
+            },
+            consumed,
+        ))
+    }
+
+    /// The pointer range of the borrowed payload words, for zero-copy
+    /// assertions in tests.
+    #[must_use]
+    pub fn payload_ptr_range(&self) -> std::ops::Range<usize> {
+        let start = self.words.as_ptr() as usize;
+        start..start + std::mem::size_of_val(self.words)
+    }
+
+    /// Number of bits in the original vector.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the original vector was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Total number of clear bits.
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.ones
+    }
+
+    /// The 6-bit class of block `b` (classes start at word 0).
+    #[inline]
+    fn class(&self, b: usize) -> usize {
+        let pos = b * 6;
+        let (word, bit) = (pos / 64, pos % 64);
+        let lo = self.words[word] >> bit;
+        let raw = if bit > 58 {
+            lo | (self.words[word + 1] << (64 - bit))
+        } else {
+            lo
+        };
+        (raw & 0x3F) as usize
+    }
+
+    /// Reads `width ≤ 64` offset-stream bits starting at bit `pos`.
+    #[inline]
+    fn offset_bits(&self, pos: usize, width: u32) -> u64 {
+        if width == 0 {
+            return 0;
+        }
+        debug_assert!(pos + width as usize <= self.off_bits);
+        let (word, bit) = (self.off_off + pos / 64, pos % 64);
+        let lo = self.words[word] >> bit;
+        let have = 64 - bit;
+        let raw = if (width as usize) > have {
+            lo | (self.words[word + 1] << have)
+        } else {
+            lo
+        };
+        if width == 64 {
+            raw
+        } else {
+            raw & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Superblock `s` as `(ones_before, offset_stream_position)`.
+    #[inline]
+    fn sup_entry(&self, s: usize) -> (usize, usize) {
+        let w = self.words[self.sup_off + s];
+        ((w & 0xFFFF_FFFF) as usize, (w >> 32) as usize)
+    }
+
+    /// Packed sub-sample entry `j`.
+    #[inline]
+    fn sub_entry(&self, j: usize) -> u32 {
+        (self.words[self.sub_off + j / 2] >> (32 * (j % 2))) as u32
+    }
+
     /// Decodes the pattern of a block whose class is `k` and whose offset
     /// starts at bit `pos`, short-circuiting the cheap classes.
     #[inline]
@@ -212,10 +480,10 @@ impl RrrVec {
         match k {
             0 => 0,
             // Offset of a one-bit block *is* the bit position (C(j,1) = j).
-            1 => 1u64 << self.offsets.get_bits(pos, 6),
-            2 => class2_patterns()[self.offsets.get_bits(pos, 11) as usize],
+            1 => 1u64 << self.offset_bits(pos, 6),
+            2 => class2_patterns()[self.offset_bits(pos, 11) as usize],
             BLOCK => (1u64 << BLOCK) - 1,
-            _ => decode_offset(self.offsets.get_bits(pos, offset_widths()[k]), k),
+            _ => decode_offset(self.offset_bits(pos, offset_widths()[k]), k),
         }
     }
 
@@ -233,17 +501,17 @@ impl RrrVec {
         match k {
             0 => (false, 0),
             1 => {
-                let p = self.offsets.get_bits(pos, 6) as usize;
+                let p = self.offset_bits(pos, 6) as usize;
                 (p == bit, usize::from(p < bit))
             }
             2 => {
-                let pattern = class2_patterns()[self.offsets.get_bits(pos, 11) as usize];
+                let pattern = class2_patterns()[self.offset_bits(pos, 11) as usize];
                 let below = (pattern & ((1u64 << bit) - 1)).count_ones() as usize;
                 ((pattern >> bit) & 1 == 1, below)
             }
             BLOCK => (true, bit),
             _ => {
-                let mut offset = self.offsets.get_bits(pos, offset_widths()[k]);
+                let mut offset = self.offset_bits(pos, offset_widths()[k]);
                 let c = binomials();
                 let mut remaining = k;
                 let mut j = BLOCK;
@@ -276,19 +544,19 @@ impl RrrVec {
     fn locate_block(&self, b: usize) -> (usize, usize, usize) {
         let widths = offset_widths();
         let s = b / SUPER;
-        let (mut ones, mut pos) = (self.sup[s].0 as usize, self.sup[s].1 as usize);
+        let (mut ones, mut pos) = self.sup_entry(s);
         let t = (b % SUPER) / SUB;
         if t > 0 {
-            let entry = self.sub[s * SUBS_PER_SUPER + t - 1] as usize;
+            let entry = self.sub_entry(s * SUBS_PER_SUPER + t - 1) as usize;
             ones += entry >> 16;
             pos += entry & 0xFFFF;
         }
         for j in (s * SUPER + t * SUB)..b {
-            let k = self.classes.get(j) as usize;
+            let k = self.class(j);
             ones += k;
             pos += widths[k] as usize;
         }
-        let k = self.classes.get(b) as usize;
+        let k = self.class(b);
         (ones, pos, k)
     }
 
@@ -356,12 +624,12 @@ impl RrrVec {
         if q == 0 || q > self.ones {
             return None;
         }
-        let target = q as u32;
+        let target = q;
         let mut lo = 0usize;
-        let mut hi = self.sup.len() - 1;
+        let mut hi = self.n_sup - 1;
         while lo + 1 < hi {
             let mid = usize::midpoint(lo, hi);
-            if self.sup[mid].0 < target {
+            if self.sup_entry(mid).0 < target {
                 lo = mid;
             } else {
                 hi = mid;
@@ -369,14 +637,15 @@ impl RrrVec {
         }
         let widths = offset_widths();
         let s = lo;
-        let mut remaining = (target - self.sup[s].0) as usize;
-        let mut pos = self.sup[s].1 as usize;
-        let n_blocks = self.classes.len();
+        let (sup_ones, sup_pos) = self.sup_entry(s);
+        let mut remaining = target - sup_ones;
+        let mut pos = sup_pos;
+        let n_blocks = self.n_blocks;
         // Jump over whole sub-sample strides before scanning classes.
         let mut first = s * SUPER;
         for t in (1..=SUBS_PER_SUPER).rev() {
             if s * SUPER + t * SUB < n_blocks {
-                let entry = self.sub[s * SUBS_PER_SUPER + t - 1];
+                let entry = self.sub_entry(s * SUBS_PER_SUPER + t - 1);
                 let sub_ones = (entry >> 16) as usize;
                 if sub_ones < remaining {
                     remaining -= sub_ones;
@@ -387,7 +656,7 @@ impl RrrVec {
             }
         }
         for b in first..n_blocks.min((s + 1) * SUPER) {
-            let k = self.classes.get(b) as usize;
+            let k = self.class(b);
             if remaining <= k {
                 let mut pattern = self.pattern_at(pos, k);
                 for _ in 1..remaining {
@@ -409,10 +678,10 @@ impl RrrVec {
         }
         let zeros_before = |s: usize| -> usize {
             let bits_before = (s * SUPER * BLOCK).min(self.len);
-            bits_before - self.sup[s].0 as usize
+            bits_before - self.sup_entry(s).0
         };
         let mut lo = 0usize;
-        let mut hi = self.sup.len() - 1;
+        let mut hi = self.n_sup - 1;
         while lo + 1 < hi {
             let mid = usize::midpoint(lo, hi);
             if zeros_before(mid) < q {
@@ -424,15 +693,15 @@ impl RrrVec {
         let widths = offset_widths();
         let s = lo;
         let mut remaining = q - zeros_before(s);
-        let mut pos = self.sup[s].1 as usize;
-        let n_blocks = self.classes.len();
+        let mut pos = self.sup_entry(s).1;
+        let n_blocks = self.n_blocks;
         // Jump over whole sub-sample strides; blocks before a stored
         // sub-sample boundary are always full, so their zero count is
         // exactly `t·SUB·BLOCK − ones_within`.
         let mut first = s * SUPER;
         for t in (1..=SUBS_PER_SUPER).rev() {
             if s * SUPER + t * SUB < n_blocks {
-                let entry = self.sub[s * SUBS_PER_SUPER + t - 1];
+                let entry = self.sub_entry(s * SUBS_PER_SUPER + t - 1);
                 let sub_zeros = t * SUB * BLOCK - (entry >> 16) as usize;
                 if sub_zeros < remaining {
                     remaining -= sub_zeros;
@@ -443,7 +712,7 @@ impl RrrVec {
             }
         }
         for b in first..n_blocks.min((s + 1) * SUPER) {
-            let k = self.classes.get(b) as usize;
+            let k = self.class(b);
             let block_bits = (self.len - b * BLOCK).min(BLOCK);
             let zeros_here = block_bits - k;
             if remaining <= zeros_here {
@@ -462,15 +731,14 @@ impl RrrVec {
         unreachable!("select0: superblock directory inconsistent");
     }
 
-    /// Footprint in bits: classes, offsets and both directory levels.
-    /// The universal binomial and class-2 tables (constant, shared per
-    /// process) are excluded, as is conventional.
+    /// Footprint in bits (same accounting as [`RrrVec::size_bits`]).
     #[must_use]
     pub fn size_bits(&self) -> usize {
-        self.classes.size_bits()
-            + self.offsets.size_bits()
-            + self.sup.len() * 64
-            + self.sub.len() * 32
+        let n_sub = self.n_blocks.div_ceil(SUB) - self.n_blocks.div_ceil(SUPER);
+        (self.n_blocks * 6).div_ceil(64) * 64
+            + self.off_bits.div_ceil(64) * 64
+            + self.n_sup * 64
+            + n_sub * 32
     }
 }
 
@@ -664,6 +932,47 @@ mod tests {
             let naive = bools[..i].iter().filter(|&&b| b).count();
             assert_eq!(rrr.rank1(i), naive, "rank1({i})");
         }
+    }
+
+    #[test]
+    fn serialized_view_answers_identically_and_borrows() {
+        let (bools, rrr) = build(|i| i % 9 == 0 || i % 5 == 2, BLOCK * SUPER * 2 + 17);
+        let mut words = Vec::new();
+        rrr.write_words(&mut words);
+        assert_eq!(words.len() % BLOCK_WORDS, 0);
+        let arena = Arena::from_words(&words);
+        let (view, consumed) = RrrVecRef::from_words(arena.words()).unwrap();
+        assert_eq!(consumed, words.len());
+        let arena_range = arena.words().as_ptr_range();
+        let pr = view.payload_ptr_range();
+        assert!(pr.start >= arena_range.start as usize && pr.end <= arena_range.end as usize);
+        for i in (0..bools.len()).step_by(11) {
+            assert_eq!(view.get(i), bools[i], "get({i})");
+            assert_eq!(view.access_rank1(i), rrr.access_rank1(i), "fused({i})");
+        }
+        for q in (1..=view.count_ones()).step_by(97) {
+            assert_eq!(view.select1(q), rrr.select1(q));
+        }
+        for q in (1..=view.count_zeros()).step_by(97) {
+            assert_eq!(view.select0(q), rrr.select0(q));
+        }
+        assert_eq!(view.size_bits(), rrr.size_bits());
+    }
+
+    #[test]
+    fn from_words_rejects_corrupt_meta() {
+        let (_, rrr) = build(|i| i % 4 == 1, 4000);
+        let mut words = Vec::new();
+        rrr.write_words(&mut words);
+        for cut in [0usize, 3, 8, words.len() - 8] {
+            assert!(RrrVecRef::from_words(&words[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = words.clone();
+        bad[1] = bad[0] + 1; // ones > len
+        assert!(RrrVecRef::from_words(&bad).is_err());
+        let mut bad = words;
+        bad[0] = u64::from(u32::MAX); // len past the supported ceiling
+        assert!(RrrVecRef::from_words(&bad).is_err());
     }
 
     #[test]

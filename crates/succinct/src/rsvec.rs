@@ -1,7 +1,12 @@
-//! Bit vector with single-cache-line rank and sampled constant-time select.
+//! Bit vector with single-cache-line rank and sampled constant-time
+//! select, split into an owned builder ([`RsBitVec`]) and a zero-copy
+//! view ([`RsBitVecRef`]) per the crate's storage discipline.
 
 use crate::bits::BitVec;
 use crate::broadword::select_in_word;
+use crate::storage::{
+    self, meta_usize, pad_to_block, push_u32s, words_for_u32s, Arena, StorageError, BLOCK_WORDS,
+};
 
 /// Data bits per directory line.
 const LINE_BITS: usize = 384;
@@ -10,55 +15,79 @@ const LINE_WORDS: usize = LINE_BITS / 64;
 /// One select sample (a line hint) is kept per this many ones/zeros.
 const SELECT_SAMPLE: usize = 512;
 
-/// One 64-byte unit of the interleaved layout, forced onto a cache-line
-/// boundary so every rank query touches exactly one line.
+/// A static bit vector whose bits and rank directory are interleaved into
+/// aligned 64-byte lines (in the cs-poppy / rank9 lineage).
+///
+/// Each line is one 64-byte block of the backing [`Arena`]:
 ///
 /// * word 0 — ones strictly before this line's data bits (absolute),
 /// * word 1 — five 9-bit intra-line prefix counts (ones before data words
 ///   1..=5, packed LSB-first; bits 45–63 stay zero),
 /// * words 2–7 — the 384 data bits.
-#[derive(Clone, Copy, Debug)]
-#[repr(align(64))]
-struct Line([u64; 8]);
-
-/// A static bit vector whose bits and rank directory are interleaved into
-/// aligned 64-byte lines (in the cs-poppy / rank9 lineage).
 ///
-/// Each line carries its absolute rank, its packed per-word sub-counts
-/// and six data words, so `rank1`, `get` and the fused
-/// [`RsBitVec::access_rank1`] cost **one** cache-line touch — versus the
-/// previous two-array directory, whose superblock entry, per-word `u16`
-/// and bits word lived on three distinct lines.
-///
-/// `select1`/`select0` first consult a position hint sampled every 512
-/// ones (zeros), then binary-search only the handful of lines between two
-/// hints, and finish with a branchless in-word select
+/// The arena keeps every line on a cache-line boundary, so `rank1`, `get`
+/// and the fused [`RsBitVec::access_rank1`] cost **one** cache-line touch.
+/// After the lines come the two select-sample directories (`u32` line
+/// hints packed two per word): `select1`/`select0` consult the hint
+/// sampled every 512 ones (zeros), binary-search only the handful of
+/// lines between two hints, and finish with a branchless in-word select
 /// ([`select_in_word`]) — O(1) for any density that is not pathologically
 /// clustered, O(log n) worst case.
 ///
 /// Space: the in-line directory costs 2 words per 6 data words (33.3 %)
-/// and the select samples at most ≈6.3 % more (one `u32` per 512 bits,
-/// ones and zeros combined) — marginally above the old layout's 37.5 %,
-/// traded for the 3× fewer lines per query. This is the *plain* index;
-/// use [`crate::RrrVec`] when compression matters.
+/// and the select samples at most ≈6.3 % more — marginally above the old
+/// two-array layout's 37.5 %, traded for the 3× fewer lines per query.
+/// This is the *plain* index; use [`crate::RrrVec`] when compression
+/// matters.
 ///
-/// The structure is immutable after construction, which is exactly what
-/// the static FIB encodings need.
+/// All query code lives on the borrowed [`RsBitVecRef`]; this owned type
+/// freezes its words into an arena at construction and forwards, so the
+/// hot paths are identical whether the words came from this builder or
+/// from a loaded FIB image.
 #[derive(Clone, Debug)]
 pub struct RsBitVec {
-    lines: Vec<Line>,
-    /// `sel1[j]` = line containing the `(512·j + 1)`-th one.
-    sel1: Vec<u32>,
-    /// `sel0[j]` = line containing the `(512·j + 1)`-th zero.
-    sel0: Vec<u32>,
+    arena: Arena,
     len: usize,
     ones: usize,
+    n_lines: usize,
+    n_sel1: usize,
+    n_sel0: usize,
+}
+
+/// Borrowed zero-copy view of an [`RsBitVec`]: the query surface over any
+/// 64-byte-aligned word run, owned or loaded.
+#[derive(Clone, Copy, Debug)]
+pub struct RsBitVecRef<'a> {
+    /// The whole payload: interleaved lines (8 words each, 64-byte
+    /// aligned, starting at word 0) followed by the two packed-`u32`
+    /// select directories. One slice + offsets keeps [`RsBitVec::view`]
+    /// nearly free, which matters because every owned query goes through
+    /// it.
+    words: &'a [u64],
+    /// Word offset of `sel1` (`sel1[j]` = line of the `(512·j+1)`-th one).
+    sel1_off: usize,
+    /// Word offset of `sel0`.
+    sel0_off: usize,
+    n_lines: usize,
+    len: usize,
+    ones: usize,
+    n_sel1: usize,
+    n_sel0: usize,
 }
 
 #[cold]
 #[inline(never)]
 fn index_oob(i: usize, len: usize) -> ! {
     panic!("bit index {i} out of bounds (len {len})");
+}
+
+/// Select samples needed for `count` ones (or zeros).
+fn sel_entries(count: usize) -> usize {
+    if count == 0 {
+        0
+    } else {
+        (count - 1) / SELECT_SAMPLE + 1
+    }
 }
 
 impl RsBitVec {
@@ -68,11 +97,14 @@ impl RsBitVec {
         let words = bits.words();
         let len = bits.len();
         let n_lines = words.len().div_ceil(LINE_WORDS).max(1);
-        let mut lines = Vec::with_capacity(n_lines);
+        let mut arena_words = Vec::with_capacity(n_lines * BLOCK_WORDS);
         let mut total: u64 = 0;
+        let mut line_ones = Vec::with_capacity(n_lines + 1);
         for s in 0..n_lines {
-            let mut line = [0u64; 8];
-            line[0] = total;
+            line_ones.push(total as usize);
+            let base = arena_words.len();
+            arena_words.push(total);
+            arena_words.push(0); // subs, patched below
             let mut subs = 0u64;
             let mut within: u64 = 0;
             for w in 0..LINE_WORDS {
@@ -81,30 +113,25 @@ impl RsBitVec {
                 }
                 let wi = s * LINE_WORDS + w;
                 if wi < words.len() {
-                    line[2 + w] = words[wi];
+                    arena_words.push(words[wi]);
                     within += u64::from(words[wi].count_ones());
+                } else {
+                    arena_words.push(0);
                 }
             }
-            line[1] = subs;
-            lines.push(Line(line));
+            arena_words[base + 1] = subs;
             total += within;
         }
         let ones = total as usize;
+        line_ones.push(ones);
 
         // Select samples: the line holding every 512-th one/zero.
-        let ones_before = |s: usize| -> usize {
-            if s >= n_lines {
-                ones
-            } else {
-                lines[s].0[0] as usize
-            }
-        };
-        let mut sel1 = Vec::with_capacity(ones / SELECT_SAMPLE + 1);
-        let mut sel0 = Vec::with_capacity((len - ones) / SELECT_SAMPLE + 1);
+        let mut sel1 = Vec::with_capacity(sel_entries(ones));
+        let mut sel0 = Vec::with_capacity(sel_entries(len - ones));
         let mut next1 = 1usize;
         let mut next0 = 1usize;
         for s in 0..n_lines {
-            let ones_end = ones_before(s + 1);
+            let ones_end = line_ones[s + 1];
             while next1 <= ones_end {
                 sel1.push(s as u32);
                 next1 += SELECT_SAMPLE;
@@ -115,13 +142,53 @@ impl RsBitVec {
                 next0 += SELECT_SAMPLE;
             }
         }
+        let (n_sel1, n_sel0) = (sel1.len(), sel0.len());
+        push_u32s(&mut arena_words, sel1);
+        push_u32s(&mut arena_words, sel0);
         Self {
-            lines,
-            sel1,
-            sel0,
+            arena: Arena::from_words(&arena_words),
             len,
             ones,
+            n_lines,
+            n_sel1,
+            n_sel0,
         }
+    }
+
+    /// The borrowed view all queries run on.
+    #[must_use]
+    #[inline]
+    pub fn view(&self) -> RsBitVecRef<'_> {
+        let lines_end = self.n_lines * BLOCK_WORDS;
+        RsBitVecRef {
+            words: self.arena.words(),
+            sel1_off: lines_end,
+            sel0_off: lines_end + words_for_u32s(self.n_sel1),
+            n_lines: self.n_lines,
+            len: self.len,
+            ones: self.ones,
+            n_sel1: self.n_sel1,
+            n_sel0: self.n_sel0,
+        }
+    }
+
+    /// Serializes as one 8-word meta block followed by the arena words,
+    /// padded to a 64-byte boundary. If `out` starts the structure on a
+    /// 64-byte boundary, every line inside stays cache-line aligned.
+    pub fn write_words(&self, out: &mut Vec<u64>) {
+        debug_assert_eq!(out.len() % BLOCK_WORDS, 0, "section must start aligned");
+        out.extend_from_slice(&[
+            self.len as u64,
+            self.ones as u64,
+            self.n_lines as u64,
+            self.n_sel1 as u64,
+            self.n_sel0 as u64,
+            0,
+            0,
+            0,
+        ]);
+        out.extend_from_slice(self.arena.words());
+        pad_to_block(out);
     }
 
     /// Number of bits.
@@ -155,26 +222,168 @@ impl RsBitVec {
     #[must_use]
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        if i >= self.len {
-            index_oob(i, self.len);
-        }
-        let line = &self.lines[i / LINE_BITS].0;
-        (line[2 + (i % LINE_BITS) / 64] >> (i % 64)) & 1 == 1
+        self.view().get(i)
     }
 
-    /// Number of lines.
+    /// Number of set bits in `[0, i)`.
+    ///
+    /// # Panics
+    /// Panics if `i > len()`.
+    #[must_use]
     #[inline]
-    fn n_lines(&self) -> usize {
-        self.lines.len()
+    pub fn rank1(&self, i: usize) -> usize {
+        self.view().rank1(i)
+    }
+
+    /// Number of clear bits in `[0, i)`.
+    ///
+    /// # Panics
+    /// Panics if `i > len()`.
+    #[must_use]
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        self.view().rank0(i)
+    }
+
+    /// `rank1(i)` if `bit`, else `rank0(i)`.
+    #[must_use]
+    #[inline]
+    pub fn rank_bit(&self, bit: bool, i: usize) -> usize {
+        self.view().rank_bit(bit, i)
+    }
+
+    /// Fused `(get(i), rank1(i))` from the same single cache-line touch.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn access_rank1(&self, i: usize) -> (bool, usize) {
+        self.view().access_rank1(i)
+    }
+
+    /// Position of the `q`-th set bit (`q ≥ 1`), or `None`.
+    #[must_use]
+    pub fn select1(&self, q: usize) -> Option<usize> {
+        self.view().select1(q)
+    }
+
+    /// Position of the `q`-th clear bit (`q ≥ 1`), or `None`.
+    #[must_use]
+    pub fn select0(&self, q: usize) -> Option<usize> {
+        self.view().select0(q)
+    }
+
+    /// `select1(q)` if `bit`, else `select0(q)`.
+    #[must_use]
+    pub fn select_bit(&self, bit: bool, q: usize) -> Option<usize> {
+        self.view().select_bit(bit, q)
+    }
+
+    /// Footprint in bits: the interleaved lines (data + in-line
+    /// directory) plus the select samples — exactly the payload a
+    /// serialized form carries, so Table 2's size column tracks the real
+    /// structure.
+    #[must_use]
+    pub fn size_bits(&self) -> usize {
+        self.n_lines * 512 + (self.n_sel1 + self.n_sel0) * 32
+    }
+}
+
+impl<'a> RsBitVecRef<'a> {
+    /// Parses a view from words written by [`RsBitVec::write_words`],
+    /// borrowing — never copying — the payload. Returns the view and the
+    /// number of words consumed.
+    ///
+    /// # Errors
+    /// [`StorageError`] on truncated or structurally inconsistent input.
+    pub fn from_words(words: &'a [u64]) -> Result<(Self, usize), StorageError> {
+        let meta = storage::slice(words, 0, BLOCK_WORDS)?;
+        let len = meta_usize(meta[0])?;
+        let ones = meta_usize(meta[1])?;
+        let n_lines = meta_usize(meta[2])?;
+        let n_sel1 = meta_usize(meta[3])?;
+        let n_sel0 = meta_usize(meta[4])?;
+        if ones > len || len > n_lines.saturating_mul(LINE_BITS) {
+            return Err(StorageError("rank vector counts inconsistent"));
+        }
+        if n_sel1 != sel_entries(ones) || n_sel0 != sel_entries(len - ones) {
+            return Err(StorageError("select directory size inconsistent"));
+        }
+        let lines_words = n_lines
+            .checked_mul(BLOCK_WORDS)
+            .ok_or(StorageError("line count overflows"))?;
+        let sel1_off = lines_words;
+        let sel0_off = sel1_off + words_for_u32s(n_sel1);
+        let payload_words = sel0_off + words_for_u32s(n_sel0);
+        let payload = storage::slice(words, BLOCK_WORDS, payload_words)?;
+        let consumed = (BLOCK_WORDS + payload_words).div_ceil(BLOCK_WORDS) * BLOCK_WORDS;
+        if consumed > words.len() {
+            return Err(StorageError("rank vector padding truncated"));
+        }
+        Ok((
+            Self {
+                words: payload,
+                sel1_off,
+                sel0_off,
+                n_lines,
+                len,
+                ones,
+                n_sel1,
+                n_sel0,
+            },
+            consumed,
+        ))
+    }
+
+    /// The pointer range of the borrowed payload words, for zero-copy
+    /// assertions in tests.
+    #[must_use]
+    pub fn payload_ptr_range(&self) -> std::ops::Range<usize> {
+        let start = self.words.as_ptr() as usize;
+        start..start + std::mem::size_of_val(self.words)
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Total number of clear bits.
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.ones
+    }
+
+    /// The 8-word line `s`, bounds-checked once (lines start at word 0).
+    #[inline]
+    fn line(&self, s: usize) -> &'a [u64; 8] {
+        let base = s * BLOCK_WORDS;
+        self.words[base..base + BLOCK_WORDS]
+            .try_into()
+            .expect("8-word line")
     }
 
     /// Ones strictly before line `s`; `s == n_lines()` reads the total.
     #[inline]
     fn ones_before(&self, s: usize) -> usize {
-        if s >= self.n_lines() {
+        if s >= self.n_lines {
             self.ones
         } else {
-            self.lines[s].0[0] as usize
+            self.words[s * BLOCK_WORDS] as usize
         }
     }
 
@@ -184,6 +393,20 @@ impl RsBitVec {
     #[inline]
     fn sub_count(subs: u64, w: usize) -> usize {
         ((subs >> ((w.wrapping_sub(1) & 7) * 9)) & 0x1FF) as usize
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            index_oob(i, self.len);
+        }
+        let line = self.line(i / LINE_BITS);
+        (line[2 + (i % LINE_BITS) / 64] >> (i % 64)) & 1 == 1
     }
 
     /// Number of set bits in `[0, i)`.
@@ -201,12 +424,12 @@ impl RsBitVec {
             index_oob(i, self.len);
         }
         let s = i / LINE_BITS;
-        if s >= self.lines.len() {
+        if s >= self.n_lines {
             // Only reachable when i == len() and len() fills the lines
             // exactly.
             return self.ones;
         }
-        let line = &self.lines[s].0;
+        let line = self.line(s);
         let w = (i % LINE_BITS) / 64;
         let r = line[0] as usize + Self::sub_count(line[1], w);
         // `!(MAX << bit)` keeps the low `bit` bits; bit == 0 masks to 0.
@@ -247,7 +470,7 @@ impl RsBitVec {
         if i >= self.len {
             index_oob(i, self.len);
         }
-        let line = &self.lines[i / LINE_BITS].0;
+        let line = self.line(i / LINE_BITS);
         let w = (i % LINE_BITS) / 64;
         let word = line[2 + w];
         let bit = i % 64;
@@ -267,13 +490,15 @@ impl RsBitVec {
         if q == 0 || q > self.ones {
             return None;
         }
-        // Hint: the line of the nearest sampled one at or below q.
+        // Hint: the line of the nearest sampled one at or below q. Hints
+        // are clamped so a corrupted directory cannot index out of range.
         let j = (q - 1) / SELECT_SAMPLE;
-        let mut lo = self.sel1[j] as usize;
-        let mut hi = self
-            .sel1
-            .get(j + 1)
-            .map_or(self.n_lines(), |&s| s as usize + 1);
+        let mut lo = (self.sel_u32(self.sel1_off, j) as usize).min(self.n_lines - 1);
+        let mut hi = if j + 1 < self.n_sel1 {
+            (self.sel_u32(self.sel1_off, j + 1) as usize + 1).min(self.n_lines)
+        } else {
+            self.n_lines
+        };
         // Largest line s with ones_before(s) < q.
         while lo + 1 < hi {
             let mid = usize::midpoint(lo, hi);
@@ -284,7 +509,7 @@ impl RsBitVec {
             }
         }
         let s = lo;
-        let line = &self.lines[s].0;
+        let line = self.line(s);
         let remaining = q - line[0] as usize;
         // Walk the packed 9-bit prefix counts to the word holding the hit.
         let mut w = 0usize;
@@ -305,11 +530,12 @@ impl RsBitVec {
         let zeros_before =
             |s: usize| -> usize { (s * LINE_BITS).min(self.len) - self.ones_before(s) };
         let j = (q - 1) / SELECT_SAMPLE;
-        let mut lo = self.sel0[j] as usize;
-        let mut hi = self
-            .sel0
-            .get(j + 1)
-            .map_or(self.n_lines(), |&s| s as usize + 1);
+        let mut lo = (self.sel_u32(self.sel0_off, j) as usize).min(self.n_lines - 1);
+        let mut hi = if j + 1 < self.n_sel0 {
+            (self.sel_u32(self.sel0_off, j + 1) as usize + 1).min(self.n_lines)
+        } else {
+            self.n_lines
+        };
         while lo + 1 < hi {
             let mid = usize::midpoint(lo, hi);
             if zeros_before(mid) < q {
@@ -319,7 +545,7 @@ impl RsBitVec {
             }
         }
         let s = lo;
-        let line = &self.lines[s].0;
+        let line = self.line(s);
         let remaining = q - zeros_before(s);
         // Zeros before data word w+1 of the line = 64·(w+1) − ones there.
         // Phantom zeros past len() only inflate counts beyond the answer's
@@ -344,13 +570,16 @@ impl RsBitVec {
         }
     }
 
-    /// Footprint in bits: the interleaved lines (data + in-line
-    /// directory) plus the select samples — exactly the fields a
-    /// serialized form would carry, so Table 2's size column tracks the
-    /// real structure.
+    /// Footprint in bits (same accounting as [`RsBitVec::size_bits`]).
     #[must_use]
     pub fn size_bits(&self) -> usize {
-        self.lines.len() * 512 + (self.sel1.len() + self.sel0.len()) * 32
+        self.n_lines * 512 + (self.n_sel1 + self.n_sel0) * 32
+    }
+
+    /// Packed-`u32` read at `words[off + j/2]`.
+    #[inline]
+    fn sel_u32(&self, off: usize, j: usize) -> u32 {
+        (self.words[off + j / 2] >> (32 * (j % 2))) as u32
     }
 }
 
@@ -491,9 +720,63 @@ mod tests {
     }
 
     #[test]
-    fn lines_are_cache_aligned() {
-        assert_eq!(std::mem::size_of::<Line>(), 64);
-        assert_eq!(std::mem::align_of::<Line>(), 64);
+    fn arena_lines_are_cache_aligned() {
+        let (_, rs) = build(|i| i % 7 == 0, 10_000);
+        let view = rs.view();
+        assert_eq!(view.words.as_ptr() as usize % 64, 0, "first line");
+        assert!(view.n_lines * BLOCK_WORDS <= view.words.len());
+    }
+
+    #[test]
+    fn serialized_view_answers_identically_and_borrows() {
+        let (bools, rs) = build(|i| i % 5 == 0 || i % 31 == 3, 30_000);
+        let mut words = Vec::new();
+        rs.write_words(&mut words);
+        assert_eq!(words.len() % BLOCK_WORDS, 0);
+        let arena = Arena::from_words(&words);
+        let (view, consumed) = RsBitVecRef::from_words(arena.words()).unwrap();
+        assert_eq!(consumed, words.len());
+        // Zero copy: the view's payload lies inside the arena allocation.
+        let arena_range = arena.words().as_ptr_range();
+        let pr = view.payload_ptr_range();
+        assert!(pr.start >= arena_range.start as usize && pr.end <= arena_range.end as usize);
+        // Alignment survives the roundtrip.
+        assert_eq!(view.words.as_ptr() as usize % 64, 0);
+        for i in (0..bools.len()).step_by(37) {
+            assert_eq!(view.get(i), bools[i], "get({i})");
+            assert_eq!(view.rank1(i), naive_rank1(&bools, i), "rank1({i})");
+            assert_eq!(view.access_rank1(i), rs.access_rank1(i));
+        }
+        for q in (1..=view.count_ones()).step_by(501) {
+            assert_eq!(view.select1(q), rs.select1(q), "select1({q})");
+        }
+        for q in (1..=view.count_zeros()).step_by(501) {
+            assert_eq!(view.select0(q), rs.select0(q), "select0({q})");
+        }
+        assert_eq!(view.size_bits(), rs.size_bits());
+    }
+
+    #[test]
+    fn from_words_rejects_corrupt_meta() {
+        let (_, rs) = build(|i| i % 3 == 0, 5000);
+        let mut words = Vec::new();
+        rs.write_words(&mut words);
+        // Truncation below the payload end fails loudly.
+        for cut in [0, 4, 8, 16, words.len() - 8] {
+            assert!(RsBitVecRef::from_words(&words[..cut]).is_err(), "cut {cut}");
+        }
+        // ones > len.
+        let mut bad = words.clone();
+        bad[1] = bad[0] + 1;
+        assert!(RsBitVecRef::from_words(&bad).is_err());
+        // Select directory count mismatch.
+        let mut bad = words.clone();
+        bad[3] += 1;
+        assert!(RsBitVecRef::from_words(&bad).is_err());
+        // Gigantic line count.
+        let mut bad = words;
+        bad[2] = u64::MAX;
+        assert!(RsBitVecRef::from_words(&bad).is_err());
     }
 
     #[test]

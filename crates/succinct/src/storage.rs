@@ -1,0 +1,261 @@
+//! Aligned word arenas and the zero-copy storage conventions shared by
+//! every succinct structure in this crate.
+//!
+//! The FIB-image pipeline treats a compressed FIB as what the paper says
+//! it is: a flat string of bits. To serve lookups straight out of a loaded
+//! byte buffer, every query structure here follows one storage discipline:
+//!
+//! * the structure's backing words live in **one contiguous `u64` run**
+//!   whose first word sits on a **64-byte boundary** (an [`Arena`]), so
+//!   cache-line-granular layouts like [`crate::RsBitVec`]'s interleaved
+//!   rank lines keep their one-line-per-query guarantee when the words
+//!   come from a file instead of a `Vec`;
+//! * each structure splits into an **owned builder** (the existing
+//!   `RsBitVec`, `RrrVec`, … types, which construct and then freeze their
+//!   words into an arena) and a **borrowed view** (`RsBitVecRef`,
+//!   `RrrVecRef`, …) holding only `&[u64]` slices plus a few scalars. All
+//!   query code lives on the views; the owned types forward, so the hot
+//!   paths are byte-for-byte identical over owned and loaded memory;
+//! * a structure serializes as an 8-word (64-byte) **meta block** followed
+//!   by its payload words at stable offsets, and parses back with
+//!   [`Result`]-typed validation — no panics on hostile bytes. As long as
+//!   the serialized run starts on a 64-byte boundary, so does every
+//!   payload section inside it (`write_words` pads to whole meta blocks).
+//!
+//! The arena is built without `unsafe`: it over-allocates a plain
+//! `Vec<u64>` by one alignment block and starts the logical words at the
+//! first 64-byte boundary inside the allocation (computed with
+//! `pointer::align_offset`).
+
+use std::fmt;
+
+/// Words per 64-byte alignment block.
+pub const BLOCK_WORDS: usize = 8;
+
+/// Error validating serialized storage metadata.
+///
+/// Carried by every `*Ref::from_words` parser in this crate; the FIB image
+/// loader surfaces it as a typed load failure instead of a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageError(pub &'static str);
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid storage section: {}", self.0)
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// An immutable, 64-byte-aligned run of `u64` words.
+///
+/// This is the owned backing store of the frozen succinct structures and
+/// of loaded FIB images. The buffer over-allocates by one block and
+/// exposes its logical words starting at the first 64-byte boundary, so
+/// `words()[0]` — and therefore every offset that is a multiple of
+/// [`BLOCK_WORDS`] — sits on a cache-line boundary.
+#[derive(Debug, Default)]
+pub struct Arena {
+    buf: Vec<u64>,
+    start: usize,
+    len: usize,
+}
+
+impl Arena {
+    /// Freezes `words` into an aligned arena (one copy).
+    #[must_use]
+    pub fn from_words(words: &[u64]) -> Self {
+        let mut buf = vec![0u64; words.len() + BLOCK_WORDS];
+        // align_offset is in u64 elements; the Vec is 8-byte aligned, so
+        // the 64-byte boundary is at most 7 words in.
+        let start = buf.as_ptr().align_offset(64);
+        debug_assert!(start < BLOCK_WORDS);
+        buf[start..start + words.len()].copy_from_slice(words);
+        Self {
+            buf,
+            start,
+            len: words.len(),
+        }
+    }
+
+    /// Decodes little-endian bytes into an aligned arena (the single copy
+    /// a file load performs; everything downstream borrows).
+    ///
+    /// # Errors
+    /// [`StorageError`] if `bytes` is not a whole number of words.
+    pub fn from_le_bytes(bytes: &[u8]) -> Result<Self, StorageError> {
+        if bytes.len() % 8 != 0 {
+            return Err(StorageError("byte length not a multiple of 8"));
+        }
+        let n = bytes.len() / 8;
+        let mut buf = vec![0u64; n + BLOCK_WORDS];
+        let start = buf.as_ptr().align_offset(64);
+        debug_assert!(start < BLOCK_WORDS);
+        for (dst, chunk) in buf[start..start + n].iter_mut().zip(bytes.chunks_exact(8)) {
+            *dst = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        Ok(Self { buf, start, len: n })
+    }
+
+    /// The aligned words.
+    #[must_use]
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.buf[self.start..self.start + self.len]
+    }
+
+    /// Number of logical words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Clone for Arena {
+    /// Re-freezes the words: the clone computes its own alignment start
+    /// for its own allocation.
+    fn clone(&self) -> Self {
+        Self::from_words(self.words())
+    }
+}
+
+impl PartialEq for Arena {
+    fn eq(&self, other: &Self) -> bool {
+        self.words() == other.words()
+    }
+}
+
+impl Eq for Arena {}
+
+/// Pads `words` with zeros up to the next 64-byte (8-word) boundary.
+pub fn pad_to_block(words: &mut Vec<u64>) {
+    while words.len() % BLOCK_WORDS != 0 {
+        words.push(0);
+    }
+}
+
+/// Number of words needed to hold `n` packed `u32` values (two per word).
+#[must_use]
+pub fn words_for_u32s(n: usize) -> usize {
+    n.div_ceil(2)
+}
+
+/// Appends `values` packed two-per-word, little end first, then returns
+/// the number of words written.
+pub fn push_u32s(words: &mut Vec<u64>, values: impl IntoIterator<Item = u32>) -> usize {
+    let before = words.len();
+    let mut pending: Option<u32> = None;
+    for v in values {
+        match pending.take() {
+            None => pending = Some(v),
+            Some(lo) => words.push(u64::from(lo) | (u64::from(v) << 32)),
+        }
+    }
+    if let Some(lo) = pending {
+        words.push(u64::from(lo));
+    }
+    words.len() - before
+}
+
+/// Reads the `j`-th packed `u32` from a word run written by [`push_u32s`].
+#[must_use]
+#[inline]
+pub fn get_u32(words: &[u64], j: usize) -> u32 {
+    (words[j / 2] >> (32 * (j % 2))) as u32
+}
+
+/// Checked sub-slice: `words[offset..offset + len]` or a typed error.
+///
+/// # Errors
+/// [`StorageError`] if the range exceeds `words`.
+#[inline]
+pub fn slice(words: &[u64], offset: usize, len: usize) -> Result<&[u64], StorageError> {
+    words
+        .get(offset..offset.checked_add(len).ok_or(OVERFLOW)?)
+        .ok_or(StorageError("section range out of bounds"))
+}
+
+const OVERFLOW: StorageError = StorageError("section range overflows");
+
+/// Converts a `u64` read from a meta block into a `usize`, rejecting
+/// values that do not fit the platform.
+///
+/// # Errors
+/// [`StorageError`] if `v` exceeds `usize::MAX`.
+#[inline]
+pub fn meta_usize(v: u64) -> Result<usize, StorageError> {
+    usize::try_from(v).map_err(|_| StorageError("metadata value exceeds usize"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_is_64_byte_aligned() {
+        for n in [0usize, 1, 7, 8, 9, 1000] {
+            let words: Vec<u64> = (0..n as u64).collect();
+            let arena = Arena::from_words(&words);
+            assert_eq!(arena.words(), &words[..]);
+            if n > 0 {
+                assert_eq!(arena.words().as_ptr() as usize % 64, 0, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_clone_stays_aligned_and_equal() {
+        let words: Vec<u64> = (0..100u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let arena = Arena::from_words(&words);
+        let clone = arena.clone();
+        assert_eq!(arena, clone);
+        assert_eq!(clone.words().as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn le_bytes_roundtrip() {
+        let words: Vec<u64> = vec![0x0102_0304_0506_0708, u64::MAX, 0];
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let arena = Arena::from_le_bytes(&bytes).unwrap();
+        assert_eq!(arena.words(), &words[..]);
+        assert_eq!(arena.words().as_ptr() as usize % 64, 0);
+        assert!(Arena::from_le_bytes(&bytes[..5]).is_err());
+    }
+
+    #[test]
+    fn u32_packing_roundtrips() {
+        let mut words = Vec::new();
+        let values: Vec<u32> = (0..13u32).map(|i| i.wrapping_mul(0x0101_6B55)).collect();
+        let written = push_u32s(&mut words, values.iter().copied());
+        assert_eq!(written, words_for_u32s(values.len()));
+        for (j, &v) in values.iter().enumerate() {
+            assert_eq!(get_u32(&words, j), v, "value {j}");
+        }
+    }
+
+    #[test]
+    fn pad_reaches_block_boundary() {
+        let mut words = vec![1u64; 3];
+        pad_to_block(&mut words);
+        assert_eq!(words.len(), 8);
+        pad_to_block(&mut words);
+        assert_eq!(words.len(), 8);
+    }
+
+    #[test]
+    fn checked_slice_rejects_bad_ranges() {
+        let words = [0u64; 4];
+        assert!(slice(&words, 0, 4).is_ok());
+        assert!(slice(&words, 2, 3).is_err());
+        assert!(slice(&words, usize::MAX, 2).is_err());
+    }
+}

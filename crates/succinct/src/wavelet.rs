@@ -1,10 +1,19 @@
 //! Pointer-based wavelet trees, balanced or Huffman-shaped, with plain or
 //! RRR-compressed node bit vectors.
+//!
+//! For FIB images the tree serializes into one aligned word run
+//! ([`WaveletTree::write_words`]): a meta block, a fixed-width node table,
+//! and each node's bit vector as a nested storage section. The zero-copy
+//! [`WaveletTreeRef`] parses that run and answers `access` — the only
+//! primitive the XBW-b lookup walk needs — by descending the node table
+//! and materializing each node's [`crate::RsBitVecRef`]/[`crate::RrrVecRef`]
+//! on the fly from borrowed words (no allocation, no copies).
 
 use crate::bits::BitVec;
 use crate::huffman::{self, Code};
-use crate::rrr::RrrVec;
-use crate::rsvec::RsBitVec;
+use crate::rrr::{RrrVec, RrrVecRef};
+use crate::rsvec::{RsBitVec, RsBitVecRef};
+use crate::storage::{self, meta_usize, pad_to_block, StorageError, BLOCK_WORDS};
 
 /// Shape of the code tree a [`WaveletTree`] is built around.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -366,6 +375,233 @@ impl WaveletTree {
         let nodes: usize = self.nodes.iter().map(|n| n.bits.size_bits()).sum();
         nodes + self.codes.len() * (64 + 8)
     }
+
+    /// Serializes the tree as one aligned word run: an 8-word meta block,
+    /// a 4-word-per-node table (children + payload offset), then each
+    /// node's bit vector as a nested aligned section. Codes are *not*
+    /// serialized: the image view only answers `access`, which descends by
+    /// stored bits alone.
+    pub fn write_words(&self, out: &mut Vec<u64>) {
+        debug_assert_eq!(out.len() % BLOCK_WORDS, 0, "section must start aligned");
+        let base = out.len();
+        out.extend_from_slice(&[
+            self.len as u64,
+            self.nodes.len() as u64,
+            pack_child(self.root),
+            match self.single {
+                Some(s) => (1u64 << 63) | s,
+                None => 0,
+            },
+            match self.backing {
+                WaveletBacking::Plain => 0,
+                WaveletBacking::Rrr => 1,
+            },
+            0, // patched below: total words of this run
+            0,
+            0,
+        ]);
+        let table_at = out.len();
+        out.extend(std::iter::repeat_n(0u64, self.nodes.len() * 4));
+        pad_to_block(out);
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let payload_off = (out.len() - base) as u64;
+            match &node.bits {
+                NodeBits::Plain(v) => v.write_words(out),
+                NodeBits::Rrr(v) => v.write_words(out),
+            }
+            out[table_at + idx * 4] = pack_child(node.left);
+            out[table_at + idx * 4 + 1] = pack_child(node.right);
+            out[table_at + idx * 4 + 2] = payload_off;
+        }
+        out[base + 5] = (out.len() - base) as u64;
+    }
+}
+
+/// Child-reference packing for the serialized node table: tag in the top
+/// two bits (0 = none, 1 = node, 2 = leaf), value below.
+fn pack_child(c: ChildRef) -> u64 {
+    match c {
+        ChildRef::None => 0,
+        ChildRef::Node(n) => (1u64 << 62) | u64::from(n),
+        ChildRef::Leaf(s) => {
+            debug_assert!(s < (1u64 << 62));
+            (2u64 << 62) | s
+        }
+    }
+}
+
+fn unpack_child(w: u64) -> Result<ChildRef, StorageError> {
+    let value = w & ((1u64 << 62) - 1);
+    match w >> 62 {
+        0 => Ok(ChildRef::None),
+        1 => u32::try_from(value)
+            .map(ChildRef::Node)
+            .map_err(|_| StorageError("wavelet node index too large")),
+        2 => Ok(ChildRef::Leaf(value)),
+        _ => Err(StorageError("wavelet child tag invalid")),
+    }
+}
+
+/// A borrowed node bit vector, materialized on the fly during descent.
+enum NodeBitsRef<'a> {
+    Plain(RsBitVecRef<'a>),
+    Rrr(RrrVecRef<'a>),
+}
+
+impl<'a> NodeBitsRef<'a> {
+    #[inline]
+    fn access_rank(&self, i: usize) -> (bool, usize) {
+        let (bit, r1) = match self {
+            Self::Plain(v) => v.access_rank1(i),
+            Self::Rrr(v) => v.access_rank1(i),
+        };
+        (bit, if bit { r1 } else { i - r1 })
+    }
+}
+
+/// Borrowed zero-copy view of a serialized [`WaveletTree`], supporting
+/// `access` (the primitive the XBW-b lookup loop consumes).
+#[derive(Clone, Copy, Debug)]
+pub struct WaveletTreeRef<'a> {
+    /// The full serialized run (meta + table + payloads).
+    words: &'a [u64],
+    n_nodes: usize,
+    root: u64,
+    single: Option<u64>,
+    len: usize,
+    backing: WaveletBacking,
+}
+
+impl<'a> WaveletTreeRef<'a> {
+    /// Parses and validates a view from words written by
+    /// [`WaveletTree::write_words`], borrowing — never copying — the node
+    /// payloads. Validation parses every node once (children in range and
+    /// strictly decreasing, payload sections well-formed), so descent
+    /// cannot loop or panic on inputs that pass. Returns the view and the
+    /// number of words consumed.
+    ///
+    /// # Errors
+    /// [`StorageError`] on truncated or structurally inconsistent input.
+    pub fn from_words(words: &'a [u64]) -> Result<(Self, usize), StorageError> {
+        let meta = storage::slice(words, 0, BLOCK_WORDS)?;
+        let len = meta_usize(meta[0])?;
+        let n_nodes = meta_usize(meta[1])?;
+        let root = meta[2];
+        let single = (meta[3] >> 63 == 1).then_some(meta[3] & !(1u64 << 63));
+        let backing = match meta[4] {
+            0 => WaveletBacking::Plain,
+            1 => WaveletBacking::Rrr,
+            _ => return Err(StorageError("wavelet backing invalid")),
+        };
+        let consumed = meta_usize(meta[5])?;
+        if consumed > words.len() || consumed % BLOCK_WORDS != 0 {
+            return Err(StorageError("wavelet run truncated"));
+        }
+        let view = Self {
+            words: &words[..consumed],
+            n_nodes,
+            root,
+            single,
+            len,
+            backing,
+        };
+        // Structural validation: every child reference in range, node
+        // indices strictly decreasing parent → child (the builder pushes
+        // children first), every payload parseable and length-consistent.
+        storage::slice(words, BLOCK_WORDS, n_nodes * 4)?;
+        match unpack_child(root)? {
+            ChildRef::Node(n) if (n as usize) < n_nodes => {}
+            ChildRef::Node(_) => return Err(StorageError("wavelet root out of range")),
+            _ => {}
+        }
+        for idx in 0..n_nodes {
+            let (left, right, bits) = view.node(idx)?;
+            for child in [left, right] {
+                if let ChildRef::Node(c) = unpack_child(child)? {
+                    if c as usize >= idx {
+                        return Err(StorageError("wavelet child does not decrease"));
+                    }
+                }
+            }
+            let node_len = match &bits {
+                NodeBitsRef::Plain(v) => v.len(),
+                NodeBitsRef::Rrr(v) => v.len(),
+            };
+            if node_len == 0 {
+                return Err(StorageError("wavelet node is empty"));
+            }
+        }
+        if n_nodes == 0 && len > 0 && single.is_none() {
+            return Err(StorageError("wavelet sequence has no storage"));
+        }
+        Ok((view, consumed))
+    }
+
+    /// The pointer range of the borrowed run, for zero-copy assertions in
+    /// tests.
+    #[must_use]
+    pub fn payload_ptr_range(&self) -> std::ops::Range<usize> {
+        let start = self.words.as_ptr() as usize;
+        start..start + std::mem::size_of_val(self.words)
+    }
+
+    /// Node `idx`: `(packed left, packed right, bits view)`.
+    #[inline]
+    fn node(&self, idx: usize) -> Result<(u64, u64, NodeBitsRef<'a>), StorageError> {
+        if idx >= self.n_nodes {
+            return Err(StorageError("wavelet node index out of range"));
+        }
+        let rec = storage::slice(self.words, BLOCK_WORDS + idx * 4, 4)?;
+        let payload_off = meta_usize(rec[2])?;
+        let payload = self
+            .words
+            .get(payload_off..)
+            .ok_or(StorageError("wavelet payload offset out of range"))?;
+        let bits = match self.backing {
+            WaveletBacking::Plain => NodeBitsRef::Plain(RsBitVecRef::from_words(payload)?.0),
+            WaveletBacking::Rrr => NodeBitsRef::Rrr(RrrVecRef::from_words(payload)?.0),
+        };
+        Ok((rec[0], rec[1], bits))
+    }
+
+    /// Sequence length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The symbol at position `i` (same walk as [`WaveletTree::access`]).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn access(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        if let Some(s) = self.single {
+            return s;
+        }
+        let mut node_ref = unpack_child(self.root).expect("validated at parse");
+        let mut pos = i;
+        loop {
+            match node_ref {
+                ChildRef::Node(n) => {
+                    let (left, right, bits) = self.node(n as usize).expect("validated at parse");
+                    let (bit, mapped) = bits.access_rank(pos);
+                    pos = mapped;
+                    node_ref =
+                        unpack_child(if bit { right } else { left }).expect("validated at parse");
+                }
+                ChildRef::Leaf(s) => return s,
+                ChildRef::None => unreachable!("access walked into an empty branch"),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -536,5 +772,64 @@ mod tests {
         for (i, &s) in seq.iter().enumerate() {
             assert_eq!(wt.access(i), s);
         }
+    }
+
+    #[test]
+    fn serialized_view_access_matches_owned() {
+        for backing in [WaveletBacking::Plain, WaveletBacking::Rrr] {
+            for (n, sigma) in [(2000usize, 9u64), (700, 2), (64, 33)] {
+                let seq = pseudo_seq(n, sigma, 77);
+                let wt =
+                    WaveletTree::with_backing(&seq, sigma as usize, WaveletShape::Huffman, backing);
+                let mut words = Vec::new();
+                wt.write_words(&mut words);
+                assert_eq!(words.len() % 8, 0);
+                let arena = crate::storage::Arena::from_words(&words);
+                let (view, consumed) = WaveletTreeRef::from_words(arena.words()).unwrap();
+                assert_eq!(consumed, words.len());
+                let arena_range = arena.words().as_ptr_range();
+                let pr = view.payload_ptr_range();
+                assert!(
+                    pr.start >= arena_range.start as usize && pr.end <= arena_range.end as usize
+                );
+                for (i, &s) in seq.iter().enumerate() {
+                    assert_eq!(view.access(i), s, "{backing:?} access({i})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serialized_single_symbol_and_empty() {
+        for seq in [vec![5u64; 40], Vec::new()] {
+            let wt = WaveletTree::huffman(&seq, 8);
+            let mut words = Vec::new();
+            wt.write_words(&mut words);
+            let (view, _) = WaveletTreeRef::from_words(&words).unwrap();
+            assert_eq!(view.len(), seq.len());
+            for (i, &s) in seq.iter().enumerate() {
+                assert_eq!(view.access(i), s);
+            }
+        }
+    }
+
+    #[test]
+    fn serialized_view_rejects_corruption() {
+        let seq = pseudo_seq(900, 5, 3);
+        let wt = WaveletTree::with_backing(&seq, 5, WaveletShape::Huffman, WaveletBacking::Rrr);
+        let mut words = Vec::new();
+        wt.write_words(&mut words);
+        for cut in [0usize, 5, 8, 24, words.len() - 8] {
+            assert!(WaveletTreeRef::from_words(&words[..cut]).is_err(), "{cut}");
+        }
+        let mut bad = words.clone();
+        bad[4] = 7; // unknown backing
+        assert!(WaveletTreeRef::from_words(&bad).is_err());
+        let mut bad = words.clone();
+        bad[8] = (1u64 << 62) | u64::from(u32::MAX); // child points out of range
+        assert!(WaveletTreeRef::from_words(&bad).is_err());
+        let mut bad = words;
+        bad[5] = u64::MAX; // claimed length past the buffer
+        assert!(WaveletTreeRef::from_words(&bad).is_err());
     }
 }

@@ -13,6 +13,12 @@
 //! least `fill·2^k` of the depth-`k` descendants are real (the rest
 //! duplicate covering leaves), mirroring (statically) the kernel's
 //! inflate/halve heuristics.
+//!
+//! Storage is one packed `u64` per node (leaf tag + label, or stride +
+//! child base), so the whole arena is a flat word string: the owned
+//! [`LcTrie`] and the zero-copy [`LcTrieRef`] — which FIB images borrow
+//! straight out of a loaded buffer — run the identical lookup code over
+//! the same encoding.
 
 use std::marker::PhantomData;
 
@@ -24,20 +30,48 @@ use crate::nexthop::NextHop;
 /// Number of lookups [`LcTrie::lookup_batch`] walks in lockstep.
 pub const LC_BATCH_LANES: usize = 4;
 
-#[derive(Clone, Copy, Debug)]
-enum LcNode {
-    /// Leaf with pushed-down label (`None` = no route).
-    Leaf(Option<NextHop>),
-    /// 2^bits-way branch; children occupy `base .. base + 2^bits`.
-    Branch { bits: u8, base: u32 },
+/// Packed node encoding: bit 63 tags a leaf; a leaf stores `label + 1` in
+/// the low 33 bits (0 = no route); a branch stores the stride in bits
+/// 32–39 and the child base index in the low 32 bits. Children of a
+/// branch always live at higher indices than the branch itself, which is
+/// what makes the walk on untrusted (image-loaded) words terminate.
+const LEAF_TAG: u64 = 1 << 63;
+
+#[inline]
+fn pack_leaf(label: Option<NextHop>) -> u64 {
+    LEAF_TAG | label.map_or(0, |nh| u64::from(nh.index()) + 1)
 }
 
-/// A static level-compressed multibit trie.
+#[inline]
+fn unpack_leaf(word: u64) -> Option<NextHop> {
+    let raw = word & !LEAF_TAG;
+    if raw == 0 {
+        None
+    } else {
+        Some(NextHop::new((raw - 1) as u32))
+    }
+}
+
+#[inline]
+fn pack_branch(bits: u8, base: u32) -> u64 {
+    (u64::from(bits) << 32) | u64::from(base)
+}
+
+/// A static level-compressed multibit trie (owned builder).
 #[derive(Clone, Debug)]
 pub struct LcTrie<A: Address> {
-    nodes: Vec<LcNode>,
+    nodes: Vec<u64>,
     root: u32,
     max_stride: u8,
+    _marker: PhantomData<A>,
+}
+
+/// Borrowed zero-copy view of an [`LcTrie`]'s packed node words: the
+/// query surface over owned or image-loaded memory.
+#[derive(Clone, Copy, Debug)]
+pub struct LcTrieRef<'a, A: Address> {
+    nodes: &'a [u64],
+    root: u32,
     _marker: PhantomData<A>,
 }
 
@@ -66,32 +100,32 @@ impl<A: Address> LcTrie<A> {
             _marker: PhantomData,
         };
         // Reserve the root slot, then fill it.
-        lc.nodes.push(LcNode::Leaf(None));
+        lc.nodes.push(pack_leaf(None));
         let built = lc.build(&proper, proper.root_idx(), fill);
         lc.nodes[0] = built;
         lc
     }
 
-    /// Builds the [`LcNode`] for proper-trie node `idx`; children of branch
-    /// nodes are appended contiguously.
-    fn build(&mut self, proper: &ProperTrie<A>, idx: u32, fill: f64) -> LcNode {
+    /// Builds the packed node for proper-trie node `idx`; children of
+    /// branch nodes are appended contiguously (always above their parent).
+    fn build(&mut self, proper: &ProperTrie<A>, idx: u32, fill: f64) -> u64 {
         match *proper.node(idx) {
-            ProperNode::Leaf(label) => LcNode::Leaf(label),
+            ProperNode::Leaf(label) => pack_leaf(label),
             ProperNode::Internal { .. } => {
                 let bits = self.choose_stride(proper, idx, fill);
                 let width = 1usize << bits;
                 let base = self.nodes.len() as u32;
                 // Reserve the contiguous child array first.
                 self.nodes
-                    .extend(std::iter::repeat_n(LcNode::Leaf(None), width));
+                    .extend(std::iter::repeat_n(pack_leaf(None), width));
                 for slot in 0..width {
                     let child = self.descend(proper, idx, slot as u32, bits);
                     self.nodes[base as usize + slot] = match child {
                         Descend::Reached(node_idx) => self.build(proper, node_idx, fill),
-                        Descend::CutShort(label) => LcNode::Leaf(label),
+                        Descend::CutShort(label) => pack_leaf(label),
                     };
                 }
-                LcNode::Branch { bits, base }
+                pack_branch(bits, base)
             }
         }
     }
@@ -136,37 +170,234 @@ impl<A: Address> LcTrie<A> {
         Descend::Reached(idx)
     }
 
+    /// The borrowed view all queries run on.
+    #[must_use]
+    #[inline]
+    pub fn view(&self) -> LcTrieRef<'_, A> {
+        LcTrieRef {
+            nodes: &self.nodes,
+            root: self.root,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The packed node words (one per node). Serialize these plus
+    /// [`Self::root`] offsets to persist the trie; rebuild a queryable
+    /// view with [`LcTrieRef::from_parts`].
+    #[must_use]
+    pub fn packed_nodes(&self) -> &[u64] {
+        &self.nodes
+    }
+
+    /// Index of the root node.
+    #[must_use]
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
     /// Longest-prefix-match lookup.
     #[must_use]
     #[inline]
     pub fn lookup(&self, addr: A) -> Option<NextHop> {
-        self.lookup_with_depth(addr).0
+        self.view().lookup(addr)
     }
 
     /// Lookup returning the number of branch nodes traversed (the paper's
     /// Table 2 "depth").
     #[must_use]
     pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, Depth) {
-        let mut idx = self.root;
-        let mut offset = 0u8;
-        let mut hops: Depth = 0;
-        loop {
-            match self.nodes[idx as usize] {
-                LcNode::Leaf(label) => return (label, hops),
-                LcNode::Branch { bits, base } => {
-                    let slot = addr.bits(offset, bits);
-                    idx = base + slot;
-                    offset += bits;
-                    hops += 1;
-                }
-            }
-        }
+        self.view().lookup_with_depth(addr)
     }
 
     /// Batched longest-prefix match: resolves `addrs[i]` into `out[i]`,
     /// walking [`LC_BATCH_LANES`] addresses in lockstep so the independent
     /// branch-node fetches of different packets overlap in the memory
     /// pipeline instead of serializing behind one another.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        self.view().lookup_batch(addrs, out);
+    }
+
+    /// Lookup reporting every node touch as `(byte offset, byte size)`
+    /// within the arena — the access stream for cache simulation.
+    pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        self.view().lookup_traced(addr, sink)
+    }
+
+    /// Like [`Self::lookup_traced`], but with accesses laid out as the
+    /// *kernel* structure would be in memory: 40-byte node records (struct
+    /// header, alias list, next-hop info) instead of this crate's packed
+    /// 8-byte slots. This is the access stream to feed a cache simulator
+    /// when modeling the paper's 26 MB in-kernel `fib_trie`.
+    pub fn lookup_traced_kernel(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        const KERNEL_NODE_BYTES: u64 = 40;
+        let mut idx = self.root;
+        let mut offset = 0u8;
+        loop {
+            sink(u64::from(idx) * KERNEL_NODE_BYTES, KERNEL_NODE_BYTES as u32);
+            let word = self.nodes[idx as usize];
+            if word & LEAF_TAG != 0 {
+                return unpack_leaf(word);
+            }
+            let bits = ((word >> 32) & 0xFF) as u8;
+            idx = (word as u32) + addr.bits(offset, bits);
+            offset += bits;
+        }
+    }
+
+    /// Number of nodes (branch slots included).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Average and maximum traversal depth (branch hops) over the address
+    /// space, weighting each leaf by the fraction of addresses it covers.
+    #[must_use]
+    pub fn depth_stats(&self) -> (f64, u32) {
+        let mut avg = 0.0;
+        let mut max = 0u32;
+        // (node, hops, fraction of address space)
+        let mut stack = vec![(self.root, 0u32, 1.0f64)];
+        while let Some((idx, hops, frac)) = stack.pop() {
+            let word = self.nodes[idx as usize];
+            if word & LEAF_TAG != 0 {
+                avg += f64::from(hops) * frac;
+                max = max.max(hops);
+            } else {
+                let bits = ((word >> 32) & 0xFF) as u32;
+                let base = word as u32;
+                let child_frac = frac / f64::from(1u32 << bits);
+                for slot in 0..(1u32 << bits) {
+                    stack.push((base + slot, hops + 1, child_frac));
+                }
+            }
+        }
+        (avg, max)
+    }
+
+    /// Actual arena footprint in bytes (8 per packed node).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * 8
+    }
+
+    /// Footprint under a kernel-like memory model: 40 bytes per leaf (a
+    /// `struct leaf` plus a `fib_alias`/`fib_info` share) and `32 + 8·2^k`
+    /// bytes per 2^k-way tnode (struct header plus one 8-byte pointer per
+    /// child). This is the model behind the 26 MB `fib_trie` figure the
+    /// paper reports for a 410 K-prefix FIB.
+    #[must_use]
+    pub fn kernel_model_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for &word in &self.nodes {
+            total += if word & LEAF_TAG != 0 {
+                40
+            } else {
+                32 + 8 * (1usize << ((word >> 32) & 0xFF))
+            };
+        }
+        total
+    }
+
+    #[doc(hidden)]
+    #[must_use]
+    pub fn root_is_branch(&self) -> bool {
+        self.nodes[self.root as usize] & LEAF_TAG == 0
+    }
+}
+
+impl<'a, A: Address> LcTrieRef<'a, A> {
+    /// Assembles a view over packed node words, validating the encoding so
+    /// the walk can neither loop nor index out of bounds: every branch's
+    /// child array must lie fully inside `nodes` and strictly above the
+    /// branch itself, and strides must fit the address width.
+    ///
+    /// # Errors
+    /// A static message naming the structural violation.
+    pub fn from_parts(nodes: &'a [u64], root: u32) -> Result<Self, &'static str> {
+        let view = Self::from_parts_trusted(nodes, root)?;
+        for (idx, &word) in nodes.iter().enumerate() {
+            if word & LEAF_TAG != 0 {
+                continue;
+            }
+            let bits = (word >> 32) & 0xFF;
+            let base = (word as u32) as usize;
+            if bits == 0 || bits > u64::from(A::WIDTH) {
+                return Err("lc-trie stride out of range");
+            }
+            let width = 1usize << bits;
+            if base <= idx || base.saturating_add(width) > nodes.len() {
+                return Err("lc-trie child array out of range");
+            }
+        }
+        Ok(view)
+    }
+
+    /// [`Self::from_parts`] minus the O(n) node scan — only for words
+    /// that already passed a full validation (the scan is what proves the
+    /// walk terminates, so a loaded image must run it once; images are
+    /// immutable after load, so once is enough).
+    pub fn from_parts_trusted(nodes: &'a [u64], root: u32) -> Result<Self, &'static str> {
+        if nodes.is_empty() {
+            return Err("lc-trie has no nodes");
+        }
+        if root as usize >= nodes.len() {
+            return Err("lc-trie root out of range");
+        }
+        Ok(Self {
+            nodes,
+            root,
+            _marker: PhantomData,
+        })
+    }
+
+    /// The pointer range of the borrowed node words, for zero-copy
+    /// assertions in tests.
+    #[must_use]
+    pub fn payload_ptr_range(&self) -> std::ops::Range<usize> {
+        let start = self.nodes.as_ptr() as usize;
+        start..start + std::mem::size_of_val(self.nodes)
+    }
+
+    /// Longest-prefix-match lookup.
+    #[must_use]
+    #[inline]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        let mut idx = self.root;
+        let mut offset = 0u8;
+        loop {
+            let word = self.nodes[idx as usize];
+            if word & LEAF_TAG != 0 {
+                return unpack_leaf(word);
+            }
+            let bits = ((word >> 32) & 0xFF) as u8;
+            idx = (word as u32) + addr.bits(offset, bits);
+            offset += bits;
+        }
+    }
+
+    /// Lookup returning the number of branch nodes traversed.
+    #[must_use]
+    pub fn lookup_with_depth(&self, addr: A) -> (Option<NextHop>, Depth) {
+        let mut idx = self.root;
+        let mut offset = 0u8;
+        let mut hops: Depth = 0;
+        loop {
+            let word = self.nodes[idx as usize];
+            if word & LEAF_TAG != 0 {
+                return (unpack_leaf(word), hops);
+            }
+            let bits = ((word >> 32) & 0xFF) as u8;
+            idx = (word as u32) + addr.bits(offset, bits);
+            offset += bits;
+            hops += 1;
+        }
+    }
+
+    /// Batched longest-prefix match (see [`LcTrie::lookup_batch`]).
     ///
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
@@ -189,16 +420,15 @@ impl<A: Address> LcTrie<A> {
                     if done[lane] {
                         continue;
                     }
-                    match self.nodes[idx[lane] as usize] {
-                        LcNode::Leaf(label) => {
-                            slot[lane] = label;
-                            done[lane] = true;
-                            live -= 1;
-                        }
-                        LcNode::Branch { bits, base } => {
-                            idx[lane] = base + chunk[lane].bits(offset[lane], bits);
-                            offset[lane] += bits;
-                        }
+                    let word = self.nodes[idx[lane] as usize];
+                    if word & LEAF_TAG != 0 {
+                        slot[lane] = unpack_leaf(word);
+                        done[lane] = true;
+                        live -= 1;
+                    } else {
+                        let bits = ((word >> 32) & 0xFF) as u8;
+                        idx[lane] = (word as u32) + chunk[lane].bits(offset[lane], bits);
+                        offset[lane] += bits;
                     }
                 }
             }
@@ -211,102 +441,30 @@ impl<A: Address> LcTrie<A> {
     /// Lookup reporting every node touch as `(byte offset, byte size)`
     /// within the arena — the access stream for cache simulation.
     pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
-        let node_bytes = std::mem::size_of::<LcNode>() as u64;
         let mut idx = self.root;
         let mut offset = 0u8;
         loop {
-            sink(u64::from(idx) * node_bytes, node_bytes as u32);
-            match self.nodes[idx as usize] {
-                LcNode::Leaf(label) => return label,
-                LcNode::Branch { bits, base } => {
-                    let slot = addr.bits(offset, bits);
-                    idx = base + slot;
-                    offset += bits;
-                }
+            sink(u64::from(idx) * 8, 8);
+            let word = self.nodes[idx as usize];
+            if word & LEAF_TAG != 0 {
+                return unpack_leaf(word);
             }
+            let bits = ((word >> 32) & 0xFF) as u8;
+            idx = (word as u32) + addr.bits(offset, bits);
+            offset += bits;
         }
     }
 
-    /// Like [`Self::lookup_traced`], but with accesses laid out as the
-    /// *kernel* structure would be in memory: 40-byte node records (struct
-    /// header, alias list, next-hop info) instead of this crate's packed
-    /// 8-byte slots. This is the access stream to feed a cache simulator
-    /// when modeling the paper's 26 MB in-kernel `fib_trie`.
-    pub fn lookup_traced_kernel(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
-        const KERNEL_NODE_BYTES: u64 = 40;
-        let mut idx = self.root;
-        let mut offset = 0u8;
-        loop {
-            sink(u64::from(idx) * KERNEL_NODE_BYTES, KERNEL_NODE_BYTES as u32);
-            match self.nodes[idx as usize] {
-                LcNode::Leaf(label) => return label,
-                LcNode::Branch { bits, base } => {
-                    let slot = addr.bits(offset, bits);
-                    idx = base + slot;
-                    offset += bits;
-                }
-            }
-        }
-    }
-
-    /// Number of nodes (branch slots included).
+    /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
-    /// Average and maximum traversal depth (branch hops) over the address
-    /// space, weighting each leaf by the fraction of addresses it covers.
-    #[must_use]
-    pub fn depth_stats(&self) -> (f64, u32) {
-        let mut avg = 0.0;
-        let mut max = 0u32;
-        // (node, hops, fraction of address space)
-        let mut stack = vec![(self.root, 0u32, 1.0f64)];
-        while let Some((idx, hops, frac)) = stack.pop() {
-            match self.nodes[idx as usize] {
-                LcNode::Leaf(_) => {
-                    avg += f64::from(hops) * frac;
-                    max = max.max(hops);
-                }
-                LcNode::Branch { bits, base } => {
-                    let child_frac = frac / f64::from(1u32 << bits);
-                    for slot in 0..(1u32 << bits) {
-                        stack.push((base + slot, hops + 1, child_frac));
-                    }
-                }
-            }
-        }
-        (avg, max)
-    }
-
-    /// Actual arena footprint in bytes.
+    /// Arena footprint in bytes (8 per packed node).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.nodes.len() * std::mem::size_of::<LcNode>()
-    }
-
-    /// Footprint under a kernel-like memory model: 40 bytes per leaf (a
-    /// `struct leaf` plus a `fib_alias`/`fib_info` share) and `32 + 8·2^k`
-    /// bytes per 2^k-way tnode (struct header plus one 8-byte pointer per
-    /// child). This is the model behind the 26 MB `fib_trie` figure the
-    /// paper reports for a 410 K-prefix FIB.
-    #[must_use]
-    pub fn kernel_model_bytes(&self) -> usize {
-        let mut total = 0usize;
-        for node in &self.nodes {
-            total += match node {
-                LcNode::Leaf(_) => 40,
-                LcNode::Branch { bits, .. } => 32 + 8 * (1usize << bits),
-            };
-        }
-        total
-    }
-
-    #[doc(hidden)]
-    #[must_use]
-    pub fn root_is_branch(&self) -> bool {
-        matches!(self.nodes[self.root as usize], LcNode::Branch { .. })
+        self.nodes.len() * 8
     }
 }
 
@@ -316,7 +474,6 @@ enum Descend {
     /// The walk hit a leaf early; the slot duplicates that leaf's label.
     CutShort(Option<NextHop>),
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,324 @@
+//! `fibc` — the FIB image compiler/inspector/server.
+//!
+//! Drives the whole `fibimage/v1` pipeline from the shell:
+//!
+//! ```sh
+//! # Compile a routes file into an image (engine: xbw|pdag|serialized|multibit|lctrie).
+//! fibc compile --engine serialized --routes routes.txt --out fib.img
+//!
+//! # Or compile a synthetic paper instance (taz, hbone, …) at a scale.
+//! fibc compile --engine xbw --instance taz --scale 0.1 --out taz.img
+//!
+//! # What is in an image?
+//! fibc inspect fib.img
+//!
+//! # Serve lookups from the image (zero-copy view; no rebuild).
+//! echo 8.8.8.8 | fibc serve fib.img
+//! fibc serve fib.img --probe 100000        # deterministic benchmark probes
+//! ```
+//!
+//! Routes files are plain text: one `prefix next_hop_index` pair per line
+//! (`10.0.0.0/8 3`, `2001:db8::/32 1`), `#` comments allowed. The address
+//! family is inferred from the first route (or forced with `--v6`).
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use fibcomp::core::image::sections;
+use fibcomp::core::{
+    any_view, write_image, AnyView, BuildConfig, EngineKind, FibBuild, FibImage, FibLookup,
+    ImageCodec, ImageError, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage,
+};
+use fibcomp::trie::{Address, BinaryTrie, LcTrie, NextHop, Prefix};
+use fibcomp::workload::rng::Xoshiro256;
+use fibcomp::workload::traces;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => compile(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fibc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  fibc compile --engine <xbw|pdag|serialized|multibit|lctrie> \\
+               (--routes FILE | --instance NAME [--scale S] [--seed N]) \\
+               --out IMG [--v6] [--xbw-mode succinct|entropy] [--lambda N] \\
+               [--stride N] [--epoch N] [--no-routes]
+  fibc inspect IMG
+  fibc serve IMG [--probe N [--seed N]]   (without --probe: addresses on stdin)";
+
+/// `--key value` argument lookup.
+fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn parse_routes<A: Address>(path: &str) -> Result<BinaryTrie<A>, String>
+where
+    Prefix<A>: std::str::FromStr,
+    <Prefix<A> as std::str::FromStr>::Err: std::fmt::Display,
+{
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut trie = BinaryTrie::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(prefix), Some(nh)) = (parts.next(), parts.next()) else {
+            return Err(format!("{path}:{}: want 'prefix next_hop'", lineno + 1));
+        };
+        let prefix: Prefix<A> = prefix
+            .parse()
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let nh: u32 = nh
+            .parse()
+            .map_err(|e| format!("{path}:{}: bad next-hop: {e}", lineno + 1))?;
+        trie.insert(prefix, NextHop::new(nh));
+    }
+    Ok(trie)
+}
+
+fn build_config(args: &[String]) -> Result<BuildConfig, String> {
+    let mut config = BuildConfig::default();
+    if let Some(lambda) = opt(args, "--lambda") {
+        config.lambda = Some(lambda.parse().map_err(|e| format!("--lambda: {e}"))?);
+    }
+    if let Some(stride) = opt(args, "--stride") {
+        config.stride = stride.parse().map_err(|e| format!("--stride: {e}"))?;
+    }
+    config.xbw_storage = match opt(args, "--xbw-mode").unwrap_or("entropy") {
+        "succinct" => XbwStorage::Succinct,
+        "entropy" => XbwStorage::Entropy,
+        other => return Err(format!("--xbw-mode: unknown mode '{other}'")),
+    };
+    Ok(config)
+}
+
+fn compile(args: &[String]) -> Result<(), String> {
+    let engine = EngineKind::parse(opt(args, "--engine").ok_or("--engine is required")?)
+        .ok_or("unknown engine (want xbw|pdag|serialized|multibit|lctrie)")?;
+    let out = opt(args, "--out").ok_or("--out is required")?;
+    let epoch: u64 = opt(args, "--epoch")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|e| format!("--epoch: {e}"))?;
+    let config = build_config(args)?;
+    let with_routes = !flag(args, "--no-routes");
+
+    if flag(args, "--v6") {
+        let routes = opt(args, "--routes").ok_or("--routes is required with --v6")?;
+        let trie = parse_routes::<u128>(routes)?;
+        compile_trie(&trie, engine, &config, epoch, with_routes, out)
+    } else if let Some(routes) = opt(args, "--routes") {
+        let trie = parse_routes::<u32>(routes)?;
+        compile_trie(&trie, engine, &config, epoch, with_routes, out)
+    } else if let Some(name) = opt(args, "--instance") {
+        let scale: f64 = opt(args, "--scale")
+            .unwrap_or("1.0")
+            .parse()
+            .map_err(|e| format!("--scale: {e}"))?;
+        let seed: u64 = opt(args, "--seed")
+            .unwrap_or("3851")
+            .parse()
+            .map_err(|e| format!("--seed: {e}"))?;
+        let mut inst = fibcomp::workload::instances::by_name(name)
+            .ok_or_else(|| format!("unknown paper instance '{name}'"))?;
+        inst.n_prefixes = ((inst.n_prefixes as f64 * scale) as usize).max(64);
+        let trie = inst.build(seed);
+        compile_trie(&trie, engine, &config, epoch, with_routes, out)
+    } else {
+        Err("need --routes FILE or --instance NAME".into())
+    }
+}
+
+fn compile_trie<A: Address>(
+    trie: &BinaryTrie<A>,
+    engine: EngineKind,
+    config: &BuildConfig,
+    epoch: u64,
+    with_routes: bool,
+    out: &str,
+) -> Result<(), String> {
+    let routes = with_routes.then_some(trie);
+    let bytes = match engine {
+        EngineKind::Xbw => encode::<A, XbwFib<A>>(trie, config, routes, epoch),
+        EngineKind::PrefixDag => encode::<A, PrefixDag<A>>(trie, config, routes, epoch),
+        EngineKind::SerializedDag => encode::<A, SerializedDag<A>>(trie, config, routes, epoch),
+        EngineKind::MultibitDag => encode::<A, MultibitDag<A>>(trie, config, routes, epoch),
+        EngineKind::LcTrie => encode::<A, LcTrie<A>>(trie, config, routes, epoch),
+    }
+    .map_err(|e| e.to_string())?;
+    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "compiled {} routes -> {} ({} engine, {} bytes)",
+        trie.len(),
+        out,
+        engine.name(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn encode<A: Address, E: ImageCodec<A> + FibBuild<A>>(
+    trie: &BinaryTrie<A>,
+    config: &BuildConfig,
+    routes: Option<&BinaryTrie<A>>,
+    epoch: u64,
+) -> Result<Vec<u8>, ImageError> {
+    let engine = E::build(trie, config);
+    write_image(&engine, routes, epoch)
+}
+
+fn section_name(id: u32) -> &'static str {
+    match id {
+        sections::PARAMS => "params",
+        sections::ROUTES => "routes",
+        sections::XBW_SI => "xbw.s_i",
+        sections::XBW_SA => "xbw.s_alpha",
+        sections::XBW_LABELS => "xbw.labels",
+        sections::PDAG_NODES => "pdag.nodes",
+        sections::SER_ENTRIES => "serialized.entries",
+        sections::SER_NODES => "serialized.nodes",
+        sections::MB_SLOTS => "multibit.slots",
+        sections::LC_NODES => "lctrie.nodes",
+        _ => "unknown",
+    }
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: fibc inspect IMG")?;
+    let image = FibImage::load(path).map_err(|e| e.to_string())?;
+    let engine = image.engine().map(EngineKind::name).unwrap_or("<unknown>");
+    println!("fibimage v{}", image.version());
+    println!("  engine        {engine} (id {})", image.engine_id());
+    println!("  family        IPv{}", image.family());
+    println!("  routes        {}", image.route_count());
+    if image.prefix_count() > 0 {
+        println!("  leaves        {}", image.prefix_count());
+    }
+    println!("  epoch         {}", image.epoch());
+    println!("  file size     {} bytes", image.words().len() * 8);
+    println!("  sections      {}", image.section_table().len());
+    let mut engine_payload = 0usize;
+    for entry in image.section_table() {
+        let bytes = entry.len * 8;
+        if entry.id != sections::ROUTES && entry.id != sections::PARAMS {
+            engine_payload += bytes;
+        }
+        println!(
+            "    {:<20} id {:#04x}  offset {:>10} B  size {:>10} B",
+            section_name(entry.id),
+            entry.id,
+            entry.offset * 8,
+            bytes
+        );
+    }
+    let claimed = image.claimed_size_bytes();
+    println!("  engine payload  {engine_payload} bytes");
+    println!("  claimed size    {claimed} bytes (engine's own size_bytes at compile time)");
+    if claimed > 0 {
+        let drift = (engine_payload as f64 - claimed as f64) / claimed as f64 * 100.0;
+        println!("  accounting drift {drift:+.2}%");
+    }
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: fibc serve IMG [--probe N]")?;
+    let image = FibImage::load(path).map_err(|e| e.to_string())?;
+    match image.family() {
+        4 => serve_family::<u32>(&image, args),
+        6 => serve_family::<u128>(&image, args),
+        other => Err(format!("unknown address family {other}")),
+    }
+}
+
+fn serve_family<A: Address + AddrText>(image: &FibImage, args: &[String]) -> Result<(), String> {
+    let view: AnyView<'_, A> = any_view(image).map_err(|e| e.to_string())?;
+    if let Some(count) = opt(args, "--probe") {
+        let count: usize = count.parse().map_err(|e| format!("--probe: {e}"))?;
+        let seed_text = opt(args, "--seed").unwrap_or("31410");
+        let seed: u64 = match seed_text.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => seed_text.parse(),
+        }
+        .map_err(|e| format!("--seed: {e}"))?;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let addrs: Vec<A> = traces::uniform(&mut rng, count);
+        let mut out = vec![None; addrs.len()];
+        let start = std::time::Instant::now();
+        view.lookup_batch(&addrs, &mut out);
+        let elapsed = start.elapsed();
+        let matched = out.iter().filter(|o| o.is_some()).count();
+        println!(
+            "{} probes via {}: {} matched, {:.1} ns/lookup",
+            count,
+            FibLookup::<A>::name(&view),
+            matched,
+            elapsed.as_nanos() as f64 / count.max(1) as f64
+        );
+        return Ok(());
+    }
+    // Interactive/pipe mode: one address per line on stdin.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        match A::parse_addr(text) {
+            Ok(addr) => match view.lookup(addr) {
+                Some(nh) => println!("{text} -> {nh}"),
+                None => println!("{text} -> no route"),
+            },
+            Err(e) => eprintln!("{text}: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Textual address parsing per family (dotted quad / RFC 5952).
+trait AddrText: Sized {
+    fn parse_addr(text: &str) -> Result<Self, String>;
+}
+
+impl AddrText for u32 {
+    fn parse_addr(text: &str) -> Result<Self, String> {
+        text.parse::<std::net::Ipv4Addr>()
+            .map(u32::from)
+            .map_err(|e| e.to_string())
+    }
+}
+
+impl AddrText for u128 {
+    fn parse_addr(text: &str) -> Result<Self, String> {
+        text.parse::<std::net::Ipv6Addr>()
+            .map(u128::from)
+            .map_err(|e| e.to_string())
+    }
+}

@@ -15,13 +15,18 @@
 //!   behind the engine trait family ([`core::FibLookup`] for single and
 //!   batched lookup, [`core::FibBuild`] for uniform construction,
 //!   [`core::FibUpdate`] for incremental updates with a rebuild escape
-//!   hatch),
+//!   hatch), plus [`core::image`]: the versioned `fibimage/v1` on-disk
+//!   format with zero-copy load ([`core::ImageCodec`] writes every
+//!   Table 2 engine and borrows it back as a `*Ref` view; the `fibc`
+//!   binary drives the pipeline from the shell),
 //! * [`router`] — the control/data-plane router core of §5:
 //!   [`router::Router`] pairs an oracle control FIB and update journal
 //!   with `Arc`-swapped epoch snapshots, applies in-place pDAG updates
 //!   until arena fragmentation triggers a (background) compacting
-//!   rebuild, and [`router::ShardedRouter`] splits the address space
-//!   across 256 first-byte shards,
+//!   rebuild, spills every published epoch as a `fibimage/v1` file when
+//!   a spool is armed and warm-restarts from the newest valid image plus
+//!   journal replay, and [`router::ShardedRouter`] splits the address
+//!   space across 256 first-byte shards,
 //! * [`workload`] — synthetic FIB generators, BGP-like update sequences and
 //!   lookup traces standing in for the paper's proprietary datasets,
 //! * [`hwsim`] — SRAM/FPGA cycle model and cache-hierarchy simulator used

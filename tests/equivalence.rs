@@ -182,3 +182,101 @@ fn ortc_output_recompresses_equivalently() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// IPv6: the same differential guarantee over u128 addresses
+// ---------------------------------------------------------------------
+
+/// Builds every engine over a u128 trie and checks scalar + batched
+/// agreement — the coverage gap the IPv4-only suite above left open.
+fn check_all_engines_v6(trie: &fibcomp::trie::BinaryTrie<u128>, keys: &[u128]) {
+    use fibcomp::trie::BinaryTrie;
+    let table: RouteTable<u128> = trie.iter().collect();
+    let proper = ProperTrie::from_trie(trie);
+    let lc = LcTrie::with_params(trie, 0.5, 16);
+    let xbw_s = XbwFib::build(trie, XbwStorage::Succinct);
+    let xbw_e = XbwFib::build(trie, XbwStorage::Entropy);
+    let dag = PrefixDag::from_trie(trie, 24);
+    let ser = SerializedDag::from_dag(&dag);
+    let mb = MultibitDag::from_trie(trie, 8);
+    let engines: Vec<&dyn FibEngine<u128>> = vec![
+        trie as &BinaryTrie<u128>,
+        &proper,
+        &lc,
+        &xbw_s,
+        &xbw_e,
+        &dag,
+        &ser,
+        &mb,
+    ];
+    for &key in keys {
+        let expected = table.lookup(key);
+        for engine in &engines {
+            assert_eq!(
+                engine.lookup(key),
+                expected,
+                "{} diverges from the oracle at {key:#034x}",
+                engine.name()
+            );
+        }
+    }
+    let mut out = vec![Some(NextHop::new(u32::MAX - 1)); keys.len()];
+    for engine in &engines {
+        out.fill(Some(NextHop::new(u32::MAX - 1)));
+        engine.lookup_batch(keys, &mut out);
+        for (&key, &got) in keys.iter().zip(&out) {
+            assert_eq!(
+                got,
+                engine.lookup(key),
+                "{} batch diverges at {key:#034x}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ipv6_fib_all_engines() {
+    use fibcomp::workload::rng::Rng;
+    let mut trie: fibcomp::trie::BinaryTrie<u128> = fibcomp::trie::BinaryTrie::new();
+    trie.insert(
+        "::/0".parse::<fibcomp::trie::Prefix6>().unwrap(),
+        NextHop::new(0),
+    );
+    let mut r = rng(60);
+    for i in 0..4_000u64 {
+        // 2001:db8::/32-rooted allocations with BGP-ish v6 lengths.
+        let base = (0x2001_0db8u128 << 96) | (u128::from(i) << 72);
+        let len = [32u8, 40, 44, 48, 56, 64][(r.random::<u64>() % 6) as usize];
+        trie.insert(
+            fibcomp::trie::Prefix::new(base | (u128::from(r.random::<u64>()) << 16), len),
+            NextHop::new((r.random::<u64>() % 14) as u32),
+        );
+    }
+    let mut keys = traces::uniform::<u128, _>(&mut rng(61), 2_000);
+    // Half the probes inside the routed region, plus exact boundaries.
+    for (i, key) in keys.iter_mut().enumerate().take(1_000) {
+        *key = (0x2001_0db8u128 << 96) | ((i as u128) << 72) | (*key & ((1u128 << 72) - 1));
+    }
+    for (p, _) in trie.iter().take(300) {
+        keys.push(p.addr());
+        keys.push(p.addr().wrapping_sub(1));
+    }
+    check_all_engines_v6(&trie, &keys);
+}
+
+#[test]
+fn ipv6_host_routes_and_deep_chains() {
+    let mut trie: fibcomp::trie::BinaryTrie<u128> = fibcomp::trie::BinaryTrie::new();
+    for len in (0..=128u8).step_by(16) {
+        trie.insert(
+            fibcomp::trie::Prefix::new(u128::MAX, len),
+            NextHop::new(u32::from(len % 3)),
+        );
+    }
+    let keys: Vec<u128> = (0..128u32)
+        .map(|b| u128::MAX ^ (1u128 << b))
+        .chain([0u128, u128::MAX])
+        .collect();
+    check_all_engines_v6(&trie, &keys);
+}
