@@ -75,6 +75,23 @@ fn engines_and_traces() {
         }
     }
 
+    // The software-pipelined stream path: identical results to
+    // lookup_batch, plus a first-touch prefetch stage for structures
+    // beyond the cache-residency threshold (below it, the path delegates
+    // to lookup_batch, so this doubles as a delegation-overhead check).
+    for (trace_name, keys) in [("rand", &rand_keys), ("trace", &trace_keys)] {
+        let group = BenchGroup::new(&format!("lookup_stream/{trace_name}"))
+            .throughput_elements(BATCH as u64);
+        for (name, engine) in &engines {
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    engine.lookup_stream(black_box(keys), &mut out);
+                    black_box(out.last().copied())
+                });
+            });
+        }
+    }
+
     // Image-backed serving: the same engines, written to `fibimage/v1`
     // bytes and answered through the zero-copy views. The acceptance bar
     // is ≤ 5% of the owned engines above — views and owned engines run

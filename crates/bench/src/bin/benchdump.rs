@@ -1,25 +1,36 @@
-//! `benchdump` — machine-readable lookup benchmark for the perf
-//! trajectory.
+//! `benchdump` — machine-readable benchmarks for the perf trajectory.
 //!
-//! Measures every engine's longest-prefix-match latency (scalar and
-//! batched) on a paper-instance FIB and writes `BENCH_lookup.json` at the
-//! repo root, so successive PRs can diff per-engine medians instead of
-//! re-reading prose. See README → "Benchmark trajectory" for the format.
+//! Two modes, each writing one JSON artifact at the repo root so
+//! successive PRs can diff numbers instead of re-reading prose:
+//!
+//! * default (lookup): every engine's longest-prefix-match latency
+//!   (scalar, batched, and software-pipelined stream) on a paper-instance
+//!   FIB → `BENCH_lookup.json` (schema `fibcomp-bench-lookup/v2`). Key
+//!   models: `uniform`, `zipf`, and the `zipf-dedup` control that
+//!   separates popularity locality from depth bias (see README).
+//! * `--serve`: the multi-core forwarding runtime — engine ×
+//!   key-distribution × thread-count → aggregate Mlookups/s and p50/p99
+//!   ns/lookup → `BENCH_serve.json` (schema `fibcomp-bench-serve/v1`).
 //!
 //! ```sh
-//! cargo run --release -p fib-bench --bin benchdump            # taz, scale 0.1
-//! cargo run --release -p fib-bench --bin benchdump -- --scale=0.05
-//! cargo run --release -p fib-bench --bin benchdump -- --out=/tmp/bench.json
+//! cargo run --release -p fib-bench --bin benchdump            # lookup, taz 0.1
+//! cargo run --release -p fib-bench --bin benchdump -- --serve # serve matrix
+//! cargo run --release -p fib-bench --bin benchdump -- --scale=0.05 --out=/tmp/b.json
 //! ```
 
 use fib_bench::timing::median;
 use fib_bench::{instance_fib, scale_arg};
-use fib_core::{FibEngine, FibLookup, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage};
-use fib_trie::LcTrie;
+use fib_core::{
+    BuildConfig, FibBuild, FibEngine, FibLookup, FibUpdate, ImageCodec, MultibitDag, PrefixDag,
+    SerializedDag, XbwFib, XbwStorage,
+};
+use fib_router::{aggregate, Forwarder, ForwarderConfig, PacingMode, Router, RouterConfig};
+use fib_trie::{BinaryTrie, LcTrie};
+use fib_workload::loadgen::{AddrStream, KeyModel};
 use fib_workload::rng::Xoshiro256;
 use fib_workload::traces::{uniform, ZipfTrace};
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Samples per engine; the median of an odd count is an order statistic.
 const SAMPLES: usize = 9;
@@ -54,14 +65,43 @@ fn batch_ns<E: FibEngine<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
     median(&passes)
 }
 
+/// Median nanoseconds per software-pipelined stream lookup.
+fn stream_ns<E: FibEngine<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
+    let mut out = vec![None; addrs.len()];
+    let mut passes = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        engine.lookup_stream(black_box(addrs), &mut out);
+        black_box(&out);
+        passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
+    }
+    median(&passes)
+}
+
+fn arg(prefix: &str) -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix(prefix).map(str::to_string))
+}
+
+fn repo_root_path(file: &str) -> String {
+    // crates/bench → repo root.
+    format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--serve") {
+        serve_mode();
+    } else {
+        lookup_mode();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lookup mode (BENCH_lookup.json, schema v2)
+// ---------------------------------------------------------------------
+
+fn lookup_mode() {
     let scale = scale_arg();
-    let out_path = std::env::args()
-        .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
-        .unwrap_or_else(|| {
-            // crates/bench → repo root.
-            format!("{}/../../BENCH_lookup.json", env!("CARGO_MANIFEST_DIR"))
-        });
+    let out_path = arg("--out=").unwrap_or_else(|| repo_root_path("BENCH_lookup.json"));
     let instance = "taz";
     let trie = instance_fib(instance, scale, 0xF1B);
 
@@ -84,6 +124,12 @@ fn main() {
     let zipf_addrs: Vec<u32> = (0..KEY_COUNT)
         .map(|_| zipf_model.sample(&mut zrng))
         .collect();
+    // The dedup control: the same Zipf depth profile with every address
+    // distinct, so popularity locality is removed while depth bias stays.
+    // Comparing zipf / zipf-dedup / uniform attributes the zipf slowdown
+    // (see README → "Why zipf keys are slower than uniform").
+    let mut drng = Xoshiro256::seed_from_u64(0x5EED);
+    let dedup_addrs: Vec<u32> = zipf_model.generate_dedup(&mut drng, KEY_COUNT);
 
     let engines: [(&str, &dyn FibEngine<u32>); 7] = [
         ("binary-trie", &trie),
@@ -96,21 +142,28 @@ fn main() {
     ];
 
     // Hand-rolled JSON: the workspace has no serializer dependency and
-    // the schema is flat. Schema v2: one row per (engine, key model).
+    // the schema is flat. Schema v2: one row per (engine, key model);
+    // the `zipf-dedup` key model and the stream column are additive.
     let mut rows = Vec::new();
     for (name, engine) in engines {
-        for (keys, addrs) in [("uniform", &uniform_addrs), ("zipf", &zipf_addrs)] {
+        for (keys, addrs) in [
+            ("uniform", &uniform_addrs),
+            ("zipf", &zipf_addrs),
+            ("zipf-dedup", &dedup_addrs),
+        ] {
             let scalar = scalar_ns(engine, addrs);
             let batch = batch_ns(engine, addrs);
+            let stream = stream_ns(engine, addrs);
             let size_bits = FibLookup::<u32>::size_bytes(engine) * 8;
             println!(
-                "{name:<18} {keys:<8} scalar {scalar:>8.1} ns  batch {batch:>8.1} ns  \
-                 {size_bits} bits"
+                "{name:<18} {keys:<10} scalar {scalar:>8.1} ns  batch {batch:>8.1} ns  \
+                 stream {stream:>8.1} ns  {size_bits} bits"
             );
             rows.push(format!(
                 "    {{\"engine\": \"{name}\", \"keys\": \"{keys}\", \
                  \"median_ns_per_lookup\": {scalar:.1}, \
-                 \"median_ns_per_lookup_batch\": {batch:.1}, \"size_bits\": {size_bits}}}"
+                 \"median_ns_per_lookup_batch\": {batch:.1}, \
+                 \"median_ns_per_lookup_stream\": {stream:.1}, \"size_bits\": {size_bits}}}"
             ));
         }
     }
@@ -121,7 +174,135 @@ fn main() {
         trie.len(),
         rows.join(",\n")
     );
-    match std::fs::write(&out_path, &json) {
+    write_artifact(&out_path, &json);
+}
+
+// ---------------------------------------------------------------------
+// Serve mode (BENCH_serve.json, schema v1)
+// ---------------------------------------------------------------------
+
+/// One serve-matrix measurement.
+struct ServeCell {
+    engine: &'static str,
+    keys: &'static str,
+    threads: usize,
+    mlps: f64,
+    p50: f64,
+    p99: f64,
+    packets: u64,
+    drops: u64,
+}
+
+fn serve_engine<E>(
+    name: &'static str,
+    trie: &BinaryTrie<u32>,
+    build: BuildConfig,
+    duration: Duration,
+    cells: &mut Vec<ServeCell>,
+) where
+    E: FibLookup<u32>
+        + FibBuild<u32>
+        + FibUpdate<u32>
+        + ImageCodec<u32>
+        + Clone
+        + Send
+        + Sync
+        + 'static,
+{
+    let router: Router<u32, E> = Router::new(
+        trie.clone(),
+        RouterConfig {
+            build,
+            publish_every: None,
+            ..RouterConfig::default()
+        },
+    );
+    let pool = Forwarder::new();
+    for keys in ["uniform", "zipf", "bursty"] {
+        let model = KeyModel::parse(keys).expect("known model");
+        for threads in [1usize, 2, 4] {
+            let config = ForwarderConfig {
+                threads,
+                batch: 256,
+                duration,
+                pacing: PacingMode::Closed,
+            };
+            let reports = pool.run(router.snap_cell(), &config, |worker| {
+                let mut stream = AddrStream::new(model, trie, 0xD1A1, worker as u64);
+                move |buf: &mut Vec<u32>, n: usize| stream.fill(buf, n)
+            });
+            let (mlps, hist) = aggregate(&reports);
+            let packets: u64 = reports.iter().map(|r| r.packets).sum();
+            let drops: u64 = reports.iter().map(|r| r.drops).sum();
+            assert!(
+                reports.iter().all(|r| !r.epoch_regressed),
+                "torn snapshot during serve benchmark"
+            );
+            println!(
+                "{name:<18} {keys:<8} {threads} thr  {mlps:>7.2} Mlps  \
+                 p50 {:>7.1} ns  p99 {:>7.1} ns  {packets} pkts",
+                hist.p50(),
+                hist.p99()
+            );
+            cells.push(ServeCell {
+                engine: name,
+                keys,
+                threads,
+                mlps,
+                p50: hist.p50(),
+                p99: hist.p99(),
+                packets,
+                drops,
+            });
+        }
+    }
+}
+
+fn serve_mode() {
+    let scale = scale_arg();
+    let out_path = arg("--out=").unwrap_or_else(|| repo_root_path("BENCH_serve.json"));
+    let duration_s: f64 = arg("--duration=").map_or(0.2, |s| {
+        s.parse().expect("--duration=SECONDS must be a number")
+    });
+    let duration = Duration::from_secs_f64(duration_s);
+    let instance = "taz";
+    let trie = instance_fib(instance, scale, 0xF1B);
+
+    let base = BuildConfig::default();
+    let succinct = BuildConfig {
+        xbw_storage: XbwStorage::Succinct,
+        ..base
+    };
+    let mut cells = Vec::new();
+    serve_engine::<SerializedDag<u32>>("pdag-serialized", &trie, base, duration, &mut cells);
+    serve_engine::<MultibitDag<u32>>("multibit-dag", &trie, base, duration, &mut cells);
+    serve_engine::<LcTrie<u32>>("fib_trie", &trie, base, duration, &mut cells);
+    serve_engine::<XbwFib<u32>>("xbw-succinct", &trie, succinct, duration, &mut cells);
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"engine\": \"{}\", \"keys\": \"{}\", \"threads\": {}, \
+                 \"mlookups_per_s\": {:.3}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
+                 \"packets\": {}, \"drops\": {}}}",
+                c.engine, c.keys, c.threads, c.mlps, c.p50, c.p99, c.packets, c.drops
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"fibcomp-bench-serve/v1\",\n  \"instance\": \"{instance}\",\n  \
+         \"scale\": {scale},\n  \"routes\": {},\n  \"batch\": 256,\n  \
+         \"duration_s\": {duration_s},\n  \"host_cores\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        trie.len(),
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        rows.join(",\n")
+    );
+    write_artifact(&out_path, &json);
+}
+
+fn write_artifact(out_path: &str, json: &str) {
+    match std::fs::write(out_path, json) {
         Ok(()) => println!("[wrote {out_path}]"),
         Err(e) => {
             eprintln!("cannot write {out_path}: {e}");

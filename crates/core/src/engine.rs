@@ -130,6 +130,31 @@ pub trait FibLookup<A: Address> {
         }
     }
 
+    /// Hints the prefetcher at the first cache line `addr`'s walk will
+    /// touch, without performing the lookup. Engines whose first touch is
+    /// pure bit arithmetic on the address (flat root arrays, stride
+    /// tables) override this; the default is a no-op.
+    ///
+    /// This is the software-pipelining hook: issue `prefetch` for packet
+    /// `i + k` while packet `i` resolves and the first-touch miss of the
+    /// later packet overlaps the walk of the earlier one.
+    #[inline]
+    fn prefetch(&self, addr: A) {
+        let _ = addr;
+    }
+
+    /// Software-pipelined batched lookup: same results as
+    /// [`FibLookup::lookup_batch`], but engines with a real
+    /// [`FibLookup::prefetch`] overlap the next lane group's first-touch
+    /// line fetches with the current group's walk. The default forwards
+    /// to `lookup_batch`.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        self.lookup_batch(addrs, out);
+    }
+
     /// Resident size in bytes of the lookup structure (the number Table 1
     /// and Table 2 report).
     fn size_bytes(&self) -> usize;
@@ -264,6 +289,14 @@ impl<A: Address> FibLookup<A> for LcTrie<A> {
         LcTrie::lookup_batch(self, addrs, out);
     }
 
+    fn prefetch(&self, addr: A) {
+        LcTrie::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        LcTrie::lookup_stream(self, addrs, out);
+    }
+
     /// Reported under the kernel memory model — the paper compares against
     /// the kernel structure's footprint, not an idealized packed array.
     fn size_bytes(&self) -> usize {
@@ -290,6 +323,14 @@ impl<A: Address> FibLookup<A> for XbwFib<A> {
 
     fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         XbwFib::lookup_batch(self, addrs, out);
+    }
+
+    fn prefetch(&self, addr: A) {
+        XbwFib::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        XbwFib::lookup_stream(self, addrs, out);
     }
 
     fn size_bytes(&self) -> usize {
@@ -332,6 +373,14 @@ impl<A: Address> FibLookup<A> for SerializedDag<A> {
         SerializedDag::lookup_batch(self, addrs, out);
     }
 
+    fn prefetch(&self, addr: A) {
+        SerializedDag::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        SerializedDag::lookup_stream(self, addrs, out);
+    }
+
     fn size_bytes(&self) -> usize {
         SerializedDag::size_bytes(self)
     }
@@ -356,6 +405,14 @@ impl<A: Address> FibLookup<A> for MultibitDag<A> {
 
     fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         MultibitDag::lookup_batch(self, addrs, out);
+    }
+
+    fn prefetch(&self, addr: A) {
+        MultibitDag::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        MultibitDag::lookup_stream(self, addrs, out);
     }
 
     fn size_bytes(&self) -> usize {

@@ -918,6 +918,14 @@ impl<A: Address> FibLookup<A> for SerializedDagRef<'_, A> {
         SerializedDagRef::lookup_batch(self, addrs, out);
     }
 
+    fn prefetch(&self, addr: A) {
+        SerializedDagRef::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        SerializedDagRef::lookup_stream(self, addrs, out);
+    }
+
     fn size_bytes(&self) -> usize {
         SerializedDagRef::size_bytes(self)
     }
@@ -944,6 +952,14 @@ impl<A: Address> FibLookup<A> for MultibitDagRef<'_, A> {
         MultibitDagRef::lookup_batch(self, addrs, out);
     }
 
+    fn prefetch(&self, addr: A) {
+        MultibitDagRef::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        MultibitDagRef::lookup_stream(self, addrs, out);
+    }
+
     fn size_bytes(&self) -> usize {
         MultibitDagRef::size_bytes(self)
     }
@@ -968,6 +984,14 @@ impl<A: Address> FibLookup<A> for LcTrieRef<'_, A> {
 
     fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         LcTrieRef::lookup_batch(self, addrs, out);
+    }
+
+    fn prefetch(&self, addr: A) {
+        LcTrieRef::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        LcTrieRef::lookup_stream(self, addrs, out);
     }
 
     /// The packed arena bytes (what the image actually serves), not the
@@ -1010,6 +1034,14 @@ impl<A: Address> FibLookup<A> for XbwFibRef<'_, A> {
 
     fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         XbwFibRef::lookup_batch(self, addrs, out);
+    }
+
+    fn prefetch(&self, addr: A) {
+        XbwFibRef::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        XbwFibRef::lookup_stream(self, addrs, out);
     }
 
     fn size_bytes(&self) -> usize {
@@ -1080,6 +1112,26 @@ impl<A: Address> FibLookup<A> for AnyView<'_, A> {
             Self::SerializedDag(v) => v.lookup_batch(addrs, out),
             Self::MultibitDag(v) => v.lookup_batch(addrs, out),
             Self::LcTrie(v) => v.lookup_batch(addrs, out),
+        }
+    }
+
+    fn prefetch(&self, addr: A) {
+        match self {
+            Self::Xbw(v) => v.prefetch(addr),
+            Self::PrefixDag(_) => {}
+            Self::SerializedDag(v) => v.prefetch(addr),
+            Self::MultibitDag(v) => v.prefetch(addr),
+            Self::LcTrie(v) => v.prefetch(addr),
+        }
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        match self {
+            Self::Xbw(v) => v.lookup_stream(addrs, out),
+            Self::PrefixDag(v) => FibLookup::lookup_batch(v, addrs, out),
+            Self::SerializedDag(v) => v.lookup_stream(addrs, out),
+            Self::MultibitDag(v) => v.lookup_stream(addrs, out),
+            Self::LcTrie(v) => v.lookup_stream(addrs, out),
         }
     }
 

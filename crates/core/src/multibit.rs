@@ -174,6 +174,22 @@ impl<A: Address> MultibitDag<A> {
         self.view().lookup_batch(addrs, out);
     }
 
+    /// Prefetches the first-level slot `addr` will read (see
+    /// [`MultibitDagRef::prefetch`]).
+    #[inline]
+    pub fn prefetch(&self, addr: A) {
+        self.view().prefetch(addr);
+    }
+
+    /// Software-pipelined batched lookup (see
+    /// [`MultibitDagRef::lookup_stream`]).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        self.view().lookup_stream(addrs, out);
+    }
+
     /// Lookup reporting each slot read as `(byte offset, size)` for the
     /// cache and SRAM models.
     pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
@@ -326,33 +342,80 @@ impl<'a, A: Address> MultibitDagRef<'a, A> {
         let out = &mut out[..addrs.len()];
         let mut chunks = addrs.chunks_exact(MB_BATCH_LANES);
         let mut outs = out.chunks_exact_mut(MB_BATCH_LANES);
-        let width = 1usize << self.stride;
         for (chunk, slot_out) in (&mut chunks).zip(&mut outs) {
-            let mut reference = [self.root; MB_BATCH_LANES];
-            let mut offset = [0u8; MB_BATCH_LANES];
-            let mut live = reference.iter().filter(|&&r| r & LEAF_TAG == 0).count();
-            while live > 0 {
-                for lane in 0..MB_BATCH_LANES {
-                    if reference[lane] & LEAF_TAG != 0 {
-                        continue;
-                    }
-                    let take = self.stride.min(A::WIDTH - offset[lane]);
-                    let slot = chunk[lane].bits(offset[lane], take) << (self.stride - take);
-                    reference[lane] =
-                        slot_at(self.words, reference[lane] as usize * width + slot as usize);
-                    offset[lane] += take;
-                    if reference[lane] & LEAF_TAG != 0 {
-                        live -= 1;
-                    }
-                }
-            }
-            for lane in 0..MB_BATCH_LANES {
-                let label = reference[lane] & !LEAF_TAG;
-                slot_out[lane] = (label != BOT).then(|| NextHop::new(label));
-            }
+            self.resolve_lanes(chunk, slot_out);
         }
         for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
             *slot = self.lookup(*addr);
+        }
+    }
+
+    /// Prefetches the first-level slot `addr` will read: the slot index
+    /// under the root is pure bit arithmetic on the address, so the hint
+    /// needs no memory access at all.
+    #[inline]
+    pub fn prefetch(&self, addr: A) {
+        if self.root & LEAF_TAG != 0 {
+            return;
+        }
+        let take = self.stride.min(A::WIDTH);
+        let slot = addr.bits(0, take) << (self.stride - take);
+        let index = self.root as usize * (1usize << self.stride) + slot as usize;
+        // Two tagged slots per packed word.
+        fib_succinct::mem::prefetch_index(self.words, index / 2);
+    }
+
+    /// Software-pipelined batched lookup: identical results to
+    /// [`Self::lookup_batch`], with the next [`MB_BATCH_LANES`]-lane
+    /// group's first-level slot lines prefetched while the current group
+    /// walks.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        // Below the residency threshold the whole structure lives in
+        // cache and the prefetch stage is pure overhead — identical
+        // results either way, so take the plain interleaved path.
+        if self.size_bytes() < fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES {
+            return self.lookup_batch(addrs, out);
+        }
+        fib_succinct::mem::pipelined_stream(
+            MB_BATCH_LANES,
+            addrs,
+            out,
+            |addr| self.prefetch(addr),
+            |chunk, slot| self.resolve_lanes(chunk, slot),
+            |addr, slot| *slot = self.lookup(addr),
+        );
+    }
+
+    /// One lockstep [`MB_BATCH_LANES`]-lane group: the shared kernel of
+    /// [`Self::lookup_batch`] and [`Self::lookup_stream`]. Both slices
+    /// must be exactly [`MB_BATCH_LANES`] long.
+    #[inline]
+    fn resolve_lanes(&self, chunk: &[A], slot_out: &mut [Option<NextHop>]) {
+        let width = 1usize << self.stride;
+        let mut reference = [self.root; MB_BATCH_LANES];
+        let mut offset = [0u8; MB_BATCH_LANES];
+        let mut live = reference.iter().filter(|&&r| r & LEAF_TAG == 0).count();
+        while live > 0 {
+            for lane in 0..MB_BATCH_LANES {
+                if reference[lane] & LEAF_TAG != 0 {
+                    continue;
+                }
+                let take = self.stride.min(A::WIDTH - offset[lane]);
+                let slot = chunk[lane].bits(offset[lane], take) << (self.stride - take);
+                reference[lane] =
+                    slot_at(self.words, reference[lane] as usize * width + slot as usize);
+                offset[lane] += take;
+                if reference[lane] & LEAF_TAG != 0 {
+                    live -= 1;
+                }
+            }
+        }
+        for lane in 0..MB_BATCH_LANES {
+            let label = reference[lane] & !LEAF_TAG;
+            slot_out[lane] = (label != BOT).then(|| NextHop::new(label));
         }
     }
 

@@ -220,6 +220,22 @@ impl<A: Address> SerializedDag<A> {
         self.view().lookup_batch(addrs, out);
     }
 
+    /// Prefetches the root-array entry `addr` touches first (see
+    /// [`SerializedDagRef::prefetch`]).
+    #[inline]
+    pub fn prefetch(&self, addr: A) {
+        self.view().prefetch(addr);
+    }
+
+    /// Software-pipelined batched lookup (see
+    /// [`SerializedDagRef::lookup_stream`]).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        self.view().lookup_stream(addrs, out);
+    }
+
     /// Lookup reporting every memory touch as `(byte offset, byte size)`
     /// within the blob — the access stream consumed by the cache and SRAM
     /// models of `fib-hwsim`.
@@ -453,47 +469,88 @@ impl<'a, A: Address> SerializedDagRef<'a, A> {
         let mut chunks = addrs.chunks_exact(SER_BATCH_LANES);
         let mut outs = out.chunks_exact_mut(SER_BATCH_LANES);
         for (chunk, slot) in (&mut chunks).zip(&mut outs) {
-            // Stage 1: all root-array entries, no dependences between them.
-            let mut entry = [0u64; SER_BATCH_LANES];
-            for lane in 0..SER_BATCH_LANES {
-                entry[lane] = self.entries[chunk[lane].bits(0, self.lambda) as usize];
-            }
-            // Stage 2: lockstep node-record walk; a lane parks once it
-            // resolves to a leaf reference.
-            let mut reference = [0u32; SER_BATCH_LANES];
-            let mut depth = [self.lambda; SER_BATCH_LANES];
-            let mut live = 0usize;
-            for lane in 0..SER_BATCH_LANES {
-                reference[lane] = entry_slot(entry[lane]);
-                if reference[lane] & LEAF_TAG == 0 {
-                    live += 1;
-                }
-            }
-            while live > 0 {
-                for lane in 0..SER_BATCH_LANES {
-                    if reference[lane] & LEAF_TAG != 0 {
-                        continue;
-                    }
-                    let record = self.nodes[reference[lane] as usize];
-                    reference[lane] = record_child(record, chunk[lane].bit(depth[lane]));
-                    depth[lane] += 1;
-                    if reference[lane] & LEAF_TAG != 0 {
-                        live -= 1;
-                    }
-                }
-            }
-            for lane in 0..SER_BATCH_LANES {
-                let label = reference[lane] & !LEAF_TAG;
-                slot[lane] = if label == BOT {
-                    let fallback = entry_fallback(entry[lane]);
-                    (fallback != NONE).then(|| NextHop::new(fallback))
-                } else {
-                    Some(NextHop::new(label))
-                };
-            }
+            self.resolve_lanes(chunk, slot);
         }
         for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
             *slot = self.lookup(*addr);
+        }
+    }
+
+    /// Prefetches the root-array entry `addr` touches first. The entry
+    /// index is pure bit arithmetic on the address, so the hint can be
+    /// issued a whole pipeline stage before the walk starts.
+    #[inline]
+    pub fn prefetch(&self, addr: A) {
+        fib_succinct::mem::prefetch_index(self.entries, addr.bits(0, self.lambda) as usize);
+    }
+
+    /// Software-pipelined batched lookup: identical results to
+    /// [`Self::lookup_batch`], but while one [`SER_BATCH_LANES`]-lane
+    /// group resolves, the *next* group's root-array lines are already
+    /// being prefetched, so its first-touch misses overlap the current
+    /// group's walk instead of serializing behind it.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        // Below the residency threshold the whole structure lives in
+        // cache and the prefetch stage is pure overhead — identical
+        // results either way, so take the plain interleaved path.
+        if self.size_bytes() < fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES {
+            return self.lookup_batch(addrs, out);
+        }
+        fib_succinct::mem::pipelined_stream(
+            SER_BATCH_LANES,
+            addrs,
+            out,
+            |addr| self.prefetch(addr),
+            |chunk, slot| self.resolve_lanes(chunk, slot),
+            |addr, slot| *slot = self.lookup(addr),
+        );
+    }
+
+    /// One lockstep [`SER_BATCH_LANES`]-lane group: the shared kernel of
+    /// [`Self::lookup_batch`] and [`Self::lookup_stream`]. Both slices
+    /// must be exactly [`SER_BATCH_LANES`] long.
+    #[inline]
+    fn resolve_lanes(&self, chunk: &[A], slot: &mut [Option<NextHop>]) {
+        // Stage 1: all root-array entries, no dependences between them.
+        let mut entry = [0u64; SER_BATCH_LANES];
+        for lane in 0..SER_BATCH_LANES {
+            entry[lane] = self.entries[chunk[lane].bits(0, self.lambda) as usize];
+        }
+        // Stage 2: lockstep node-record walk; a lane parks once it
+        // resolves to a leaf reference.
+        let mut reference = [0u32; SER_BATCH_LANES];
+        let mut depth = [self.lambda; SER_BATCH_LANES];
+        let mut live = 0usize;
+        for lane in 0..SER_BATCH_LANES {
+            reference[lane] = entry_slot(entry[lane]);
+            if reference[lane] & LEAF_TAG == 0 {
+                live += 1;
+            }
+        }
+        while live > 0 {
+            for lane in 0..SER_BATCH_LANES {
+                if reference[lane] & LEAF_TAG != 0 {
+                    continue;
+                }
+                let record = self.nodes[reference[lane] as usize];
+                reference[lane] = record_child(record, chunk[lane].bit(depth[lane]));
+                depth[lane] += 1;
+                if reference[lane] & LEAF_TAG != 0 {
+                    live -= 1;
+                }
+            }
+        }
+        for lane in 0..SER_BATCH_LANES {
+            let label = reference[lane] & !LEAF_TAG;
+            slot[lane] = if label == BOT {
+                let fallback = entry_fallback(entry[lane]);
+                (fallback != NONE).then(|| NextHop::new(fallback))
+            } else {
+                Some(NextHop::new(label))
+            };
         }
     }
 

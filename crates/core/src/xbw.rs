@@ -337,6 +337,14 @@ impl<A: Address> XbwFib<A> {
             }
             return;
         }
+        self.interleaved_walk::<false>(addrs, out);
+    }
+
+    /// The shared lockstep walk kernel of [`Self::lookup_batch`]
+    /// (`PREFETCH = false`) and [`Self::lookup_stream`] (`true`: each
+    /// lane's next `S_I` line is requested the moment its position is
+    /// known). Plain backing only; callers handle the RRR fallback.
+    fn interleaved_walk<const PREFETCH: bool>(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         let si = self.si.as_view();
         let mut chunks = addrs.chunks_exact(XBW_BATCH_LANES);
         let mut outs = out.chunks_exact_mut(XBW_BATCH_LANES);
@@ -360,6 +368,9 @@ impl<A: Address> XbwFib<A> {
                         let r = i[lane] + 1 - rank1;
                         i[lane] = 2 * r - 1 + usize::from(chunk[lane].bit(q[lane]));
                         q[lane] += 1;
+                        if PREFETCH {
+                            si.prefetch(i[lane]);
+                        }
                     }
                 }
             }
@@ -367,6 +378,45 @@ impl<A: Address> XbwFib<A> {
         for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
             *slot = self.lookup(*addr);
         }
+    }
+
+    /// Hints the prefetcher at the top of the shape string. The XBW walk
+    /// starts at a fixed position, so unlike the flat engines there is no
+    /// address-dependent first touch to request early; the useful
+    /// prefetches happen *inside* [`Self::lookup_stream`], where each
+    /// lane's next `S_I` line is requested as soon as its position is
+    /// known, while the remaining lanes still resolve.
+    #[inline]
+    pub fn prefetch(&self, _addr: A) {
+        self.si.as_view().prefetch(0);
+    }
+
+    /// Software-pipelined batched lookup: identical results to
+    /// [`Self::lookup_batch`]. On the plain backing every lane issues a
+    /// prefetch for its *next* level's `S_I` line the moment that
+    /// position is computed, so by the time the lockstep loop returns to
+    /// the lane its line fetch has been in flight for seven other lanes'
+    /// worth of work. RRR stays scalar (decode-bound, like the batch
+    /// path).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        let out = &mut out[..addrs.len()];
+        if matches!(self.si, SiStore::Rrr(_)) {
+            for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+                *slot = self.lookup(*addr);
+            }
+            return;
+        }
+        // Below the residency threshold the whole shape string lives in
+        // cache and the in-walk prefetch is pure overhead — identical
+        // results either way, so take the plain interleaved path.
+        if self.size_bytes() < fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES {
+            return self.lookup_batch(addrs, out);
+        }
+        self.interleaved_walk::<true>(addrs, out);
     }
 
     /// Lookup reporting every memory touch as `(byte offset, byte size)`
@@ -513,6 +563,16 @@ impl SiRef<'_> {
         match self {
             Self::Plain(v) => v.access_rank1(i),
             Self::Rrr(v) => v.access_rank1(i),
+        }
+    }
+
+    /// Hints the prefetcher at the line a future `access_rank1(i)` will
+    /// touch. Only the plain backing prefetches: RRR's decode is
+    /// ALU-bound, so a hint buys nothing.
+    #[inline]
+    fn prefetch(&self, i: usize) {
+        if let Self::Plain(v) = self {
+            v.prefetch(i);
         }
     }
 }
@@ -666,6 +726,12 @@ impl<'a, A: Address> XbwFibRef<'a, A> {
             }
             return;
         }
+        self.interleaved_walk::<false>(addrs, out);
+    }
+
+    /// The shared lockstep walk kernel of [`Self::lookup_batch`] and
+    /// [`Self::lookup_stream`] (see [`XbwFib::interleaved_walk`]).
+    fn interleaved_walk<const PREFETCH: bool>(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         let mut chunks = addrs.chunks_exact(XBW_BATCH_LANES);
         let mut outs = out.chunks_exact_mut(XBW_BATCH_LANES);
         for (chunk, slot) in (&mut chunks).zip(&mut outs) {
@@ -688,6 +754,9 @@ impl<'a, A: Address> XbwFibRef<'a, A> {
                         let r = i[lane] + 1 - rank1;
                         i[lane] = 2 * r - 1 + usize::from(chunk[lane].bit(q[lane]));
                         q[lane] += 1;
+                        if PREFETCH {
+                            self.si.prefetch(i[lane]);
+                        }
                     }
                 }
             }
@@ -695,6 +764,36 @@ impl<'a, A: Address> XbwFibRef<'a, A> {
         for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
             *slot = self.lookup(*addr);
         }
+    }
+
+    /// Hints the prefetcher at the top of the shape string (see
+    /// [`XbwFib::prefetch`]).
+    #[inline]
+    pub fn prefetch(&self, _addr: A) {
+        self.si.prefetch(0);
+    }
+
+    /// Software-pipelined batched lookup over borrowed sections (see
+    /// [`XbwFib::lookup_stream`]).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        let out = &mut out[..addrs.len()];
+        if matches!(self.si, SiRef::Rrr(_)) {
+            for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+                *slot = self.lookup(*addr);
+            }
+            return;
+        }
+        // Below the residency threshold the whole shape string lives in
+        // cache and the in-walk prefetch is pure overhead — identical
+        // results either way, so take the plain interleaved path.
+        if self.payload_words * 8 < fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES {
+            return self.lookup_batch(addrs, out);
+        }
+        self.interleaved_walk::<true>(addrs, out);
     }
 }
 

@@ -9,18 +9,27 @@
 //! snapshot lifecycle outright). This crate is that seam:
 //!
 //! * [`Router`] — control plane (oracle [`fib_trie::BinaryTrie`] + update
-//!   journal) and data plane (`Arc`-swapped [`EpochSnapshot`]s) over any
-//!   engine implementing the `fib-core` trait family. Engines with
-//!   in-place updates ([`fib_core::FibUpdate`]) absorb churn directly;
-//!   static images are rebuilt from the oracle at publish time. A
-//!   degradation policy (pDAG arena fragmentation from λ-barrier refolds)
-//!   triggers compacting rebuilds, on a background thread when configured,
-//!   with the journal replayed onto the fresh engine before it goes live.
-//! * [`DataPlane`] — the cloneable reader handle forwarding threads hold;
-//!   snapshot fetches take a lock only long enough to clone an `Arc`,
-//!   lookups are lock-free.
+//!   journal) and data plane ([`EpochSnapshot`]s published through a
+//!   wait-free [`SnapCell`]) over any engine implementing the `fib-core`
+//!   trait family. Engines with in-place updates
+//!   ([`fib_core::FibUpdate`]) absorb churn directly; static images are
+//!   rebuilt from the oracle at publish time. A degradation policy (pDAG
+//!   arena fragmentation from λ-barrier refolds) triggers compacting
+//!   rebuilds, on a background thread when configured, with the journal
+//!   replayed onto the fresh engine before it goes live.
+//! * [`SnapCell`] — home-grown single-writer snapshot publication:
+//!   `AtomicPtr` + generation counter + hazard-slot deferred
+//!   reclamation. The reader fast path is one atomic load; no reader
+//!   ever blocks on a lock.
+//! * [`DataPlane`] — the cloneable reader handle forwarding threads
+//!   hold: a cached snapshot refreshed on a generation bump.
+//! * [`Forwarder`] / [`UpdateBus`] (module [`runtime`]) — the multi-core
+//!   forwarding runtime: N worker threads with private traffic sources
+//!   and per-worker stats (packets, drops, ns/lookup histogram with
+//!   p50/p99), plus the MPSC bus the control plane drains.
 //! * [`ShardedRouter`] — 256 first-byte shards, each an independent
-//!   [`Router`], with fan-out updates and a bucketed batch-lookup path.
+//!   [`Router`], with fan-out updates and an allocation-free, wait-free
+//!   bucketed batch-lookup handle ([`ShardedDataPlane`]).
 //!
 //! ```
 //! use fib_core::PrefixDag;
@@ -41,11 +50,21 @@
 //! assert_eq!(out, [Some(NextHop::new(3)), Some(NextHop::new(1))]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `snapcell` module carries the crate's
+// only `#[allow]` — the AtomicPtr publication + hazard-slot reclamation
+// that makes packet-path snapshot reads lock-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod router;
+pub mod runtime;
 mod sharded;
+mod snapcell;
 
 pub use router::{DataPlane, EpochSnapshot, RestartError, Router, RouterConfig, RouterStats};
-pub use sharded::{ShardedRouter, SHARD_BITS, SHARD_COUNT};
+pub use runtime::{
+    aggregate, AddressSource, Forwarder, ForwarderConfig, LatencyHistogram, PacingMode,
+    RouteUpdate, UpdateBus, WorkerReport,
+};
+pub use sharded::{ShardedDataPlane, ShardedRouter, SHARD_BITS, SHARD_COUNT};
+pub use snapcell::{SnapCell, SnapReader};

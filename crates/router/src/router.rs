@@ -5,8 +5,10 @@
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use crate::snapcell::{SnapCell, SnapReader};
 
 use fib_core::{
     write_image_file, BuildConfig, FibBuild, FibImage, FibLookup, FibUpdate, ImageCodec, ImageError,
@@ -139,33 +141,70 @@ impl<E> EpochSnapshot<E> {
                 .lookup_batch(addrs, out),
         }
     }
+
+    /// Software-pipelined batched lookup on the snapshot (see
+    /// [`FibLookup::lookup_stream`]): the engine prefetches the next lane
+    /// group's first cache lines while the current group resolves.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`, or as [`Self::lookup`].
+    pub fn lookup_stream<A: Address>(&self, addrs: &[A], out: &mut [Option<NextHop>])
+    where
+        E: ImageCodec<A>,
+    {
+        match &self.engine {
+            SnapEngine::Owned(e) => e.lookup_stream(addrs, out),
+            SnapEngine::Image(img) => E::view_prevalidated(img)
+                .expect("validated at restart")
+                .lookup_stream(addrs, out),
+        }
+    }
 }
 
 /// A cloneable reader handle onto a router's published snapshot — what a
-/// forwarding thread owns. [`DataPlane::snapshot`] takes the read lock
-/// only long enough to clone the inner [`Arc`]; lookups then run entirely
-/// lock-free on the snapshot.
+/// forwarding thread owns. The packet path is **lock-free**: while no new
+/// epoch has been published, [`DataPlane::current`] is one atomic
+/// generation-counter load returning the cached snapshot; after a publish
+/// the refresh goes through the hazard-slot protocol of
+/// [`SnapCell`](crate::SnapCell), still without ever blocking on a lock.
+///
+/// The handle caches state, so the methods take `&mut self`: each
+/// forwarding thread owns its own (cheap) clone instead of sharing one
+/// behind a reference.
 #[derive(Debug)]
 pub struct DataPlane<E> {
-    current: Arc<RwLock<Arc<EpochSnapshot<E>>>>,
+    reader: SnapReader<EpochSnapshot<E>>,
 }
 
 impl<E> Clone for DataPlane<E> {
     fn clone(&self) -> Self {
         Self {
-            current: Arc::clone(&self.current),
+            reader: self.reader.clone(),
         }
     }
 }
 
 impl<E> DataPlane<E> {
-    /// The currently published snapshot.
-    ///
-    /// # Panics
-    /// Panics if the publishing lock was poisoned.
+    /// The currently published snapshot, as a borrowed handle (the
+    /// wait-free fast path — no `Arc` refcount traffic while the
+    /// generation is unchanged).
     #[must_use]
-    pub fn snapshot(&self) -> Arc<EpochSnapshot<E>> {
-        Arc::clone(&self.current.read().expect("publish lock poisoned"))
+    pub fn current(&mut self) -> &Arc<EpochSnapshot<E>> {
+        self.reader.get()
+    }
+
+    /// The currently published snapshot, as an owned `Arc` (compatibility
+    /// shape; prefer [`Self::current`] on the packet path).
+    #[must_use]
+    pub fn snapshot(&mut self) -> Arc<EpochSnapshot<E>> {
+        Arc::clone(self.reader.get())
+    }
+
+    /// The publication generation of the snapshot [`Self::current`] would
+    /// return (monotonic; starts at 1).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.reader.generation()
     }
 }
 
@@ -332,7 +371,7 @@ pub struct Router<A: Address, E> {
     /// Ops applied to `control` since the in-flight rebuild started.
     journal: Vec<JournalOp<A>>,
     rebuild: Option<RebuildJob<E>>,
-    published: Arc<RwLock<Arc<EpochSnapshot<E>>>>,
+    published: SnapCell<EpochSnapshot<E>>,
     epoch: u64,
     since_publish: usize,
     stats: RouterStats,
@@ -360,7 +399,7 @@ where
             stale: false,
             journal: Vec::new(),
             rebuild: None,
-            published: Arc::new(RwLock::new(snapshot)),
+            published: SnapCell::new(snapshot),
             epoch: 0,
             since_publish: 0,
             stats: RouterStats {
@@ -518,7 +557,7 @@ where
             stale: replayed > 0,
             journal: Vec::new(),
             rebuild: None,
-            published: Arc::new(RwLock::new(snapshot)),
+            published: SnapCell::new(snapshot),
             epoch,
             since_publish: usize::try_from(replayed).unwrap_or(usize::MAX),
             stats: RouterStats {
@@ -637,21 +676,26 @@ where
         self.rebuild.is_some()
     }
 
-    /// A reader handle for forwarding threads.
+    /// A reader handle for forwarding threads (lock-free snapshot reads).
     #[must_use]
     pub fn data_plane(&self) -> DataPlane<E> {
         DataPlane {
-            current: Arc::clone(&self.published),
+            reader: self.published.reader(),
         }
     }
 
-    /// The currently published snapshot.
-    ///
-    /// # Panics
-    /// Panics if the publishing lock was poisoned.
+    /// The publication cell itself, for runtimes that want to register
+    /// readers directly (see [`crate::Forwarder`]).
+    #[must_use]
+    pub fn snap_cell(&self) -> &SnapCell<EpochSnapshot<E>> {
+        &self.published
+    }
+
+    /// The currently published snapshot (control-path read; forwarding
+    /// threads should hold a [`DataPlane`]).
     #[must_use]
     pub fn snapshot(&self) -> Arc<EpochSnapshot<E>> {
-        Arc::clone(&self.published.read().expect("publish lock poisoned"))
+        self.published.load()
     }
 
     /// Convenience lookup on the published snapshot. Forwarding threads
@@ -819,8 +863,7 @@ where
     /// waited on when correctness requires it.
     ///
     /// # Panics
-    /// Panics if the publishing lock was poisoned or a rebuild thread
-    /// panicked.
+    /// Panics if a rebuild thread panicked.
     pub fn publish(&mut self) -> Arc<EpochSnapshot<E>> {
         if self.rebuild.is_some() {
             // Harvest if done; block only if the working engine is stale
@@ -849,7 +892,7 @@ where
             routes: self.control.len(),
             engine: SnapEngine::Owned(self.working.as_ref().expect("materialized").clone()),
         });
-        *self.published.write().expect("publish lock poisoned") = Arc::clone(&snapshot);
+        self.published.publish(Arc::clone(&snapshot));
         self.spill_current();
         snapshot
     }
@@ -1019,7 +1062,7 @@ mod tests {
     #[test]
     fn data_plane_handle_tracks_publishes_across_threads() {
         let mut router: Router<u32, PrefixDag<u32>> = Router::new(base_fib(), config());
-        let dp = router.data_plane();
+        let mut dp = router.data_plane();
         let reader = std::thread::spawn(move || {
             // Spin until the writer publishes epoch 1, then answer.
             loop {

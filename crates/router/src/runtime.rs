@@ -1,0 +1,598 @@
+//! The multi-core forwarding runtime: N worker threads serving lookups
+//! off wait-free snapshot readers, an MPSC update bus draining into the
+//! control plane, and per-worker statistics (packets, drops, ns/lookup
+//! histogram).
+//!
+//! The shape follows the paper's §5 software router: one control CPU
+//! absorbs churn and periodically publishes an immutable compressed
+//! image; every other core runs a tight forward loop — refill a batch
+//! from its traffic source, pick up the current snapshot (one atomic
+//! generation check via [`SnapCell`]), resolve the batch through the
+//! engine's software-pipelined [`lookup_stream`] path, record latency.
+//! Workers never take a lock and never contend with each other; the only
+//! cross-core traffic on the packet path is the generation counter line,
+//! which is read-shared until the (rare) publish invalidates it.
+//!
+//! [`lookup_stream`]: fib_core::FibLookup::lookup_stream
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use fib_core::ImageCodec;
+use fib_trie::{Address, NextHop, Prefix};
+
+use crate::router::{EpochSnapshot, Router};
+use crate::snapcell::SnapCell;
+
+// ---------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------
+
+/// Number of power-of-two buckets; bucket 47 tops out at 2^47/16 ns ≈ 2.4
+/// hours per lookup, far beyond anything observable.
+const HIST_BUCKETS: usize = 48;
+/// Fixed-point scale: histogram values are in 1/16 ns, so sub-nanosecond
+/// per-lookup latencies (large batches on small engines) stay resolvable.
+const HIST_SCALE: f64 = 16.0;
+
+/// A log₂-bucketed ns/lookup histogram: fixed size, merge-friendly, no
+/// allocation on the record path.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records `count` lookups that each took `ns_per_lookup`.
+    pub fn record(&mut self, ns_per_lookup: f64, count: u64) {
+        let fixed = (ns_per_lookup * HIST_SCALE).max(1.0) as u64;
+        let bucket = (63 - fixed.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket] += count;
+        self.count += count;
+    }
+
+    /// Total recorded lookups.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds another histogram in.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in nanoseconds, as the geometric
+    /// midpoint of the bucket holding that rank; 0.0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket b covers fixed-point [2^b, 2^{b+1}): midpoint 1.5·2^b.
+                return (1.5 * (1u64 << bucket) as f64) / HIST_SCALE;
+            }
+        }
+        unreachable!("rank within count")
+    }
+
+    /// Median ns/lookup.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile ns/lookup.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker reports
+// ---------------------------------------------------------------------
+
+/// What one forwarding worker did during a run.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Lookups performed.
+    pub packets: u64,
+    /// Packets dropped by open-loop pacing (arrivals the worker could not
+    /// keep up with once its queue overflowed). Always 0 in closed loop.
+    pub drops: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Lookups that matched a route.
+    pub matched: u64,
+    /// Snapshot refreshes observed (publication generation bumps).
+    pub refreshes: u64,
+    /// First epoch served.
+    pub first_epoch: u64,
+    /// Last epoch served.
+    pub last_epoch: u64,
+    /// Whether a later batch ever saw an *older* epoch than an earlier
+    /// one — must stay `false`; the churn tests assert it.
+    pub epoch_regressed: bool,
+    /// Wall-clock the worker actually ran.
+    pub elapsed: Duration,
+    /// Per-batch ns/lookup distribution.
+    pub hist: LatencyHistogram,
+}
+
+impl WorkerReport {
+    fn new(worker: usize) -> Self {
+        Self {
+            worker,
+            packets: 0,
+            drops: 0,
+            batches: 0,
+            matched: 0,
+            refreshes: 0,
+            first_epoch: u64::MAX,
+            last_epoch: 0,
+            epoch_regressed: false,
+            elapsed: Duration::ZERO,
+            hist: LatencyHistogram::default(),
+        }
+    }
+
+    /// Throughput in million lookups per second over the worker's run.
+    #[must_use]
+    pub fn mlookups_per_s(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.packets as f64 / secs / 1e6
+        }
+    }
+}
+
+/// Sums a pool's reports into aggregate throughput plus a merged
+/// latency histogram.
+#[must_use]
+pub fn aggregate(reports: &[WorkerReport]) -> (f64, LatencyHistogram) {
+    let mut hist = LatencyHistogram::default();
+    let mut mlps = 0.0;
+    for r in reports {
+        hist.merge(&r.hist);
+        mlps += r.mlookups_per_s();
+    }
+    (mlps, hist)
+}
+
+// ---------------------------------------------------------------------
+// Pacing and configuration
+// ---------------------------------------------------------------------
+
+/// How workers source load.
+#[derive(Clone, Copy, Debug)]
+pub enum PacingMode {
+    /// Closed loop: the next batch starts the moment the previous one
+    /// finishes — measures capacity.
+    Closed,
+    /// Open loop: packets arrive at `rate_pps` per worker regardless of
+    /// service speed; arrivals beyond `queue` outstanding packets are
+    /// dropped — measures behavior under offered load.
+    Open {
+        /// Arrival rate per worker, packets per second.
+        rate_pps: u64,
+        /// Queue capacity before arrivals drop.
+        queue: u64,
+    },
+}
+
+/// Forwarder pool parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ForwarderConfig {
+    /// Number of forwarding threads.
+    pub threads: usize,
+    /// Lookups per batch (the unit of snapshot pickup and timing).
+    pub batch: usize,
+    /// How long the pool runs.
+    pub duration: Duration,
+    /// Closed or open loop.
+    pub pacing: PacingMode,
+}
+
+impl Default for ForwarderConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            batch: 256,
+            duration: Duration::from_millis(250),
+            pacing: PacingMode::Closed,
+        }
+    }
+}
+
+/// A worker's traffic source: fills `buf` with exactly `n` addresses.
+/// Blanket-implemented for closures, so any generator (uniform, Zipf,
+/// bursty — see `fib_workload::loadgen`) plugs in without this crate
+/// depending on the workload crate.
+pub trait AddressSource<A>: Send {
+    /// Replaces `buf`'s contents with the next `n` addresses.
+    fn fill(&mut self, buf: &mut Vec<A>, n: usize);
+}
+
+impl<A, F> AddressSource<A> for F
+where
+    F: FnMut(&mut Vec<A>, usize) + Send,
+{
+    fn fill(&mut self, buf: &mut Vec<A>, n: usize) {
+        self(buf, n);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The forwarder pool
+// ---------------------------------------------------------------------
+
+/// A multi-core forwarding runtime over a [`SnapCell`]: spawns
+/// [`ForwarderConfig::threads`] workers, each owning a wait-free snapshot
+/// reader and a private traffic source, and joins them after the
+/// configured duration (or [`Forwarder::stop`]).
+#[derive(Debug, Default)]
+pub struct Forwarder {
+    stop: AtomicBool,
+}
+
+impl Forwarder {
+    /// A pool handle (reusable across runs).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asks an in-flight [`Forwarder::run`] (on another thread) to wind
+    /// down before its duration elapses.
+    pub fn stop(&self) {
+        self.stop.store(true, Relaxed);
+    }
+
+    /// Runs the pool to completion against `cell`, building each worker's
+    /// traffic source with `make_source(worker_index)`. Blocks until all
+    /// workers finish; returns one report per worker.
+    ///
+    /// # Panics
+    /// Panics if a worker thread panicked.
+    pub fn run<A, E, S>(
+        &self,
+        cell: &SnapCell<EpochSnapshot<E>>,
+        config: &ForwarderConfig,
+        make_source: impl Fn(usize) -> S + Sync,
+    ) -> Vec<WorkerReport>
+    where
+        A: Address + Send + Sync,
+        E: ImageCodec<A> + Send + Sync,
+        S: AddressSource<A>,
+    {
+        self.stop.store(false, Relaxed);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.threads.max(1))
+                .map(|worker| {
+                    let source = make_source(worker);
+                    scope.spawn(move || self.worker_loop(cell, config, worker, source))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("forwarding worker panicked"))
+                .collect()
+        })
+    }
+
+    fn worker_loop<A, E, S>(
+        &self,
+        cell: &SnapCell<EpochSnapshot<E>>,
+        config: &ForwarderConfig,
+        worker: usize,
+        mut source: S,
+    ) -> WorkerReport
+    where
+        A: Address,
+        E: ImageCodec<A>,
+        S: AddressSource<A>,
+    {
+        let mut reader = cell.reader();
+        let mut report = WorkerReport::new(worker);
+        let mut last_gen = reader.generation();
+        let batch = config.batch.max(1);
+        let mut buf: Vec<A> = Vec::with_capacity(batch);
+        let mut out: Vec<Option<NextHop>> = vec![None; batch];
+        let start = Instant::now();
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= config.duration || self.stop.load(Relaxed) {
+                report.elapsed = elapsed;
+                break;
+            }
+            // Pacing: how many packets are due right now?
+            let due = match config.pacing {
+                PacingMode::Closed => batch as u64,
+                PacingMode::Open { rate_pps, queue } => {
+                    let arrived = (elapsed.as_secs_f64() * rate_pps as f64) as u64;
+                    let mut backlog = arrived.saturating_sub(report.packets + report.drops);
+                    if backlog == 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    if backlog > queue {
+                        // The queue overflowed while we were busy: the
+                        // excess arrivals were never enqueued.
+                        report.drops += backlog - queue;
+                        backlog = queue;
+                    }
+                    backlog.min(batch as u64)
+                }
+            };
+            let n = due as usize;
+            source.fill(&mut buf, n);
+            debug_assert_eq!(buf.len(), n, "source must fill exactly n");
+            let snap = reader.get();
+            let epoch = snap.epoch();
+            if epoch < report.last_epoch {
+                report.epoch_regressed = true;
+            }
+            report.first_epoch = report.first_epoch.min(epoch);
+            report.last_epoch = report.last_epoch.max(epoch);
+            let t0 = Instant::now();
+            snap.lookup_stream(&buf, &mut out[..n]);
+            let dt = t0.elapsed().as_nanos() as f64;
+            let gen = reader.generation();
+            if gen != last_gen {
+                report.refreshes += 1;
+                last_gen = gen;
+            }
+            report.packets += n as u64;
+            report.batches += 1;
+            report.matched += out[..n].iter().filter(|o| o.is_some()).count() as u64;
+            report.hist.record(dt / n as f64, n as u64);
+        }
+        report
+    }
+}
+
+// ---------------------------------------------------------------------
+// The update bus
+// ---------------------------------------------------------------------
+
+/// One control-plane change in flight on the update bus.
+#[derive(Clone, Copy, Debug)]
+pub enum RouteUpdate<A: Address> {
+    /// Insert or replace a route.
+    Announce(Prefix<A>, NextHop),
+    /// Remove a route.
+    Withdraw(Prefix<A>),
+}
+
+/// The cloneable producer half of the MPSC update bus: BGP sessions,
+/// CLIs, test drivers — anything that generates churn — send updates
+/// here; the control-plane thread drains them into its [`Router`] with
+/// [`Router::drain_updates`].
+#[derive(Clone, Debug)]
+pub struct UpdateBus<A: Address> {
+    tx: mpsc::Sender<RouteUpdate<A>>,
+}
+
+impl<A: Address> UpdateBus<A> {
+    /// A connected bus: the sender handle plus the receiver the control
+    /// plane owns.
+    #[must_use]
+    pub fn channel() -> (Self, mpsc::Receiver<RouteUpdate<A>>) {
+        let (tx, rx) = mpsc::channel();
+        (Self { tx }, rx)
+    }
+
+    /// Queues an announce; `false` if the control plane hung up.
+    pub fn announce(&self, prefix: Prefix<A>, next_hop: NextHop) -> bool {
+        self.tx
+            .send(RouteUpdate::Announce(prefix, next_hop))
+            .is_ok()
+    }
+
+    /// Queues a withdraw; `false` if the control plane hung up.
+    pub fn withdraw(&self, prefix: Prefix<A>) -> bool {
+        self.tx.send(RouteUpdate::Withdraw(prefix)).is_ok()
+    }
+}
+
+impl<A, E> Router<A, E>
+where
+    A: Address + Send + Sync + 'static,
+    E: fib_core::FibLookup<A>
+        + fib_core::FibBuild<A>
+        + fib_core::FibUpdate<A>
+        + ImageCodec<A>
+        + Clone
+        + Send
+        + 'static,
+{
+    /// Drains every update currently queued on the bus into the control
+    /// plane (non-blocking) and returns how many were applied. Publishing
+    /// follows the router's normal policy ([`crate::RouterConfig::
+    /// publish_every`] or an explicit [`Router::publish`]).
+    pub fn drain_updates(&mut self, rx: &mpsc::Receiver<RouteUpdate<A>>) -> usize {
+        let mut applied = 0;
+        while let Ok(update) = rx.try_recv() {
+            match update {
+                RouteUpdate::Announce(p, nh) => self.announce(p, nh),
+                RouteUpdate::Withdraw(p) => self.withdraw(p),
+            }
+            applied += 1;
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_core::SerializedDag;
+    use fib_trie::{BinaryTrie, Prefix4};
+
+    use crate::router::RouterConfig;
+
+    fn base_fib() -> BinaryTrie<u32> {
+        let mut t = BinaryTrie::new();
+        t.insert("0.0.0.0/0".parse::<Prefix4>().unwrap(), NextHop::new(1));
+        t.insert("10.0.0.0/8".parse::<Prefix4>().unwrap(), NextHop::new(2));
+        t.insert("10.64.0.0/10".parse::<Prefix4>().unwrap(), NextHop::new(3));
+        t
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_plausible() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(50.0, 1);
+        }
+        for _ in 0..10 {
+            h.record(900.0, 1);
+        }
+        assert_eq!(h.count(), 100);
+        let (p50, p99) = (h.p50(), h.p99());
+        assert!((32.0..=96.0).contains(&p50), "p50 = {p50}");
+        assert!((512.0..=1536.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        // Sub-nanosecond values stay resolvable.
+        let mut tiny = LatencyHistogram::default();
+        tiny.record(0.25, 4);
+        assert!(tiny.p50() > 0.0 && tiny.p50() < 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::default();
+        a.record(10.0, 5);
+        let mut b = LatencyHistogram::default();
+        b.record(1000.0, 5);
+        a.merge(&b);
+        assert_eq!(a.count(), 10);
+        assert!(a.p99() > 500.0);
+    }
+
+    #[test]
+    fn closed_loop_pool_serves_and_reports() {
+        let router: Router<u32, SerializedDag<u32>> = Router::new(
+            base_fib(),
+            RouterConfig {
+                publish_every: None,
+                ..RouterConfig::default()
+            },
+        );
+        let pool = Forwarder::new();
+        let config = ForwarderConfig {
+            threads: 2,
+            batch: 64,
+            duration: Duration::from_millis(40),
+            pacing: PacingMode::Closed,
+        };
+        let reports = pool.run(router.snap_cell(), &config, |worker| {
+            let mut x = 0x9E37_79B9u32.wrapping_mul(worker as u32 + 1);
+            move |buf: &mut Vec<u32>, n: usize| {
+                buf.clear();
+                for _ in 0..n {
+                    x = x.wrapping_mul(0x0101_6B55).wrapping_add(1);
+                    buf.push(x);
+                }
+            }
+        });
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.packets > 0, "worker {} did nothing", r.worker);
+            assert_eq!(r.drops, 0, "closed loop never drops");
+            assert_eq!(r.matched, r.packets, "default route matches all");
+            assert!(!r.epoch_regressed);
+            assert!(r.hist.count() == r.packets);
+        }
+        let (mlps, hist) = aggregate(&reports);
+        assert!(mlps > 0.0);
+        assert!(hist.p99() >= hist.p50());
+    }
+
+    #[test]
+    fn open_loop_pacing_drops_when_oversubscribed() {
+        let router: Router<u32, SerializedDag<u32>> = Router::new(
+            base_fib(),
+            RouterConfig {
+                publish_every: None,
+                ..RouterConfig::default()
+            },
+        );
+        let pool = Forwarder::new();
+        // An absurd offered load with a tiny queue: drops must appear,
+        // and accounting must stay consistent (arrivals ≈ served+dropped).
+        let config = ForwarderConfig {
+            threads: 1,
+            batch: 32,
+            duration: Duration::from_millis(30),
+            pacing: PacingMode::Open {
+                rate_pps: 2_000_000_000,
+                queue: 64,
+            },
+        };
+        let reports = pool.run(router.snap_cell(), &config, |_| {
+            let mut x = 1u32;
+            move |buf: &mut Vec<u32>, n: usize| {
+                buf.clear();
+                for _ in 0..n {
+                    x = x.wrapping_mul(0x0101_6B55).wrapping_add(1);
+                    buf.push(x);
+                }
+            }
+        });
+        let r = &reports[0];
+        assert!(r.drops > 0, "2 Gpps into one core must drop");
+        assert!(r.packets > 0);
+    }
+
+    #[test]
+    fn update_bus_drains_into_the_control_plane() {
+        let mut router: Router<u32, SerializedDag<u32>> = Router::new(
+            base_fib(),
+            RouterConfig {
+                publish_every: None,
+                ..RouterConfig::default()
+            },
+        );
+        let (bus, rx) = UpdateBus::channel();
+        let bus2 = bus.clone();
+        assert!(bus.announce("192.168.0.0/16".parse().unwrap(), NextHop::new(7)));
+        assert!(bus2.withdraw("10.64.0.0/10".parse().unwrap()));
+        assert_eq!(router.drain_updates(&rx), 2);
+        router.publish();
+        assert_eq!(
+            router.snapshot().lookup(0xC0A8_0001u32),
+            Some(NextHop::new(7))
+        );
+        assert_eq!(
+            router.snapshot().lookup(0x0A40_0001u32),
+            Some(NextHop::new(2)),
+            "withdrawn /10 falls back to /8"
+        );
+        assert_eq!(router.drain_updates(&rx), 0, "bus is empty");
+    }
+}

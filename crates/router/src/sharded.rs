@@ -14,7 +14,13 @@ use std::sync::Arc;
 use fib_core::{FibBuild, FibLookup, FibUpdate, ImageCodec};
 use fib_trie::{Address, BinaryTrie, NextHop, Prefix};
 
-use crate::router::{EpochSnapshot, Router, RouterConfig, RouterStats};
+use crate::router::{DataPlane, EpochSnapshot, Router, RouterConfig, RouterStats};
+
+/// The shard owning `addr` (top [`SHARD_BITS`] address bits).
+#[inline]
+fn shard_index<A: Address>(addr: A) -> usize {
+    addr.bits(0, SHARD_BITS) as usize
+}
 
 /// Number of address bits selecting the shard.
 pub const SHARD_BITS: u8 = 8;
@@ -24,6 +30,106 @@ pub const SHARD_COUNT: usize = 1 << SHARD_BITS;
 /// A [`Router`] per top address byte.
 pub struct ShardedRouter<A: Address, E> {
     shards: Vec<Router<A, E>>,
+    /// The router's own data-plane handle: reusable scratch + wait-free
+    /// per-shard snapshot readers for [`Self::lookup_batch`].
+    plane: ShardedDataPlane<A, E>,
+}
+
+/// A forwarding thread's handle over all 256 shards: one wait-free
+/// [`DataPlane`] reader per shard plus the counting-sort scratch the
+/// batched path needs, so steady-state batches allocate nothing and
+/// never touch a lock.
+pub struct ShardedDataPlane<A, E> {
+    planes: Vec<DataPlane<E>>,
+    /// Input indices grouped by shard (counting-sort output).
+    order: Vec<usize>,
+    /// Per-shard gathered addresses (reused run by run).
+    gathered: Vec<A>,
+    /// Per-shard answers before scattering back.
+    answers: Vec<Option<NextHop>>,
+}
+
+impl<A: Address, E> Clone for ShardedDataPlane<A, E> {
+    fn clone(&self) -> Self {
+        Self {
+            planes: self.planes.clone(),
+            order: Vec::new(),
+            gathered: Vec::new(),
+            answers: Vec::new(),
+        }
+    }
+}
+
+/// Batches at or below this size skip the counting sort entirely and
+/// resolve scalar through the per-shard readers — the stack path for
+/// small batches, where bucketing overhead would dominate.
+const SMALL_BATCH: usize = 16;
+
+impl<A: Address, E> ShardedDataPlane<A, E> {
+    /// Lookup through the owning shard's cached snapshot (wait-free).
+    #[must_use]
+    pub fn lookup(&mut self, addr: A) -> Option<NextHop>
+    where
+        E: ImageCodec<A>,
+    {
+        self.planes[shard_index(addr)].current().lookup(addr)
+    }
+
+    /// Batched lookup: addresses are bucketed per shard with one
+    /// counting-sort pass over reusable scratch, each shard's run goes
+    /// through its engine's software-pipelined
+    /// [`lookup_stream`](fib_core::FibLookup::lookup_stream), and results
+    /// scatter back into `out` in input order. Steady state performs no
+    /// allocation and no locking.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_batch(&mut self, addrs: &[A], out: &mut [Option<NextHop>])
+    where
+        E: ImageCodec<A>,
+    {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        if addrs.len() <= SMALL_BATCH {
+            for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+                *slot = self.lookup(*addr);
+            }
+            return;
+        }
+        // Counting sort by shard: `order` holds the input indices grouped
+        // by shard, `starts[s]..starts[s + 1]` delimiting shard s's run.
+        let mut counts = [0usize; SHARD_COUNT + 1];
+        for addr in addrs {
+            counts[shard_index(*addr) + 1] += 1;
+        }
+        for s in 0..SHARD_COUNT {
+            counts[s + 1] += counts[s];
+        }
+        let starts = counts;
+        let mut cursor = starts;
+        self.order.clear();
+        self.order.resize(addrs.len(), 0);
+        for (i, addr) in addrs.iter().enumerate() {
+            let shard = shard_index(*addr);
+            self.order[cursor[shard]] = i;
+            cursor[shard] += 1;
+        }
+        for shard in 0..SHARD_COUNT {
+            let run = &self.order[starts[shard]..starts[shard + 1]];
+            if run.is_empty() {
+                continue;
+            }
+            self.gathered.clear();
+            self.gathered.extend(run.iter().map(|&i| addrs[i]));
+            self.answers.clear();
+            self.answers.resize(run.len(), None);
+            self.planes[shard]
+                .current()
+                .lookup_stream(&self.gathered, &mut self.answers);
+            for (&i, &answer) in run.iter().zip(&self.answers) {
+                out[i] = answer;
+            }
+        }
+    }
 }
 
 impl<A, E> ShardedRouter<A, E>
@@ -42,18 +148,35 @@ where
                 tries[shard].insert(prefix, nh);
             }
         }
-        Self {
-            shards: tries
-                .into_iter()
-                .map(|trie| Router::new(trie, config))
-                .collect(),
-        }
+        let shards: Vec<Router<A, E>> = tries
+            .into_iter()
+            .map(|trie| Router::new(trie, config))
+            .collect();
+        let plane = ShardedDataPlane {
+            planes: shards.iter().map(Router::data_plane).collect(),
+            order: Vec::new(),
+            gathered: Vec::new(),
+            answers: Vec::new(),
+        };
+        Self { shards, plane }
     }
 
     /// The shard owning `addr`.
     #[must_use]
     pub fn shard_of(addr: A) -> usize {
-        addr.bits(0, SHARD_BITS) as usize
+        shard_index(addr)
+    }
+
+    /// A forwarding thread's handle: wait-free per-shard snapshot readers
+    /// plus private batch scratch.
+    #[must_use]
+    pub fn data_plane(&self) -> ShardedDataPlane<A, E> {
+        ShardedDataPlane {
+            planes: self.shards.iter().map(Router::data_plane).collect(),
+            order: Vec::new(),
+            gathered: Vec::new(),
+            answers: Vec::new(),
+        }
     }
 
     /// The contiguous shard range a prefix covers.
@@ -94,49 +217,17 @@ where
         self.shards[Self::shard_of(addr)].lookup(addr)
     }
 
-    /// Batched lookup: addresses are bucketed per shard with one
-    /// counting-sort pass, each shard's run goes through its engine-native
-    /// [`FibLookup::lookup_batch`] (interleaved where the engine supports
-    /// it), and results scatter back into `out` in input order.
+    /// Batched lookup through the router's embedded
+    /// [`ShardedDataPlane`]: one counting-sort pass over reusable scratch
+    /// (no per-call allocation), wait-free per-shard snapshot reads, and
+    /// the engines' software-pipelined stream walk per shard run.
+    /// Forwarding threads should hold their own handle from
+    /// [`Self::data_plane`] instead.
     ///
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
-    pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
-        assert!(out.len() >= addrs.len(), "output buffer too small");
-        // Counting sort by shard: `order` holds the input indices grouped
-        // by shard, `starts[s]..starts[s + 1]` delimiting shard s's run.
-        let mut counts = [0usize; SHARD_COUNT + 1];
-        for addr in addrs {
-            counts[Self::shard_of(*addr) + 1] += 1;
-        }
-        for s in 0..SHARD_COUNT {
-            counts[s + 1] += counts[s];
-        }
-        let starts = counts;
-        let mut cursor = starts;
-        let mut order = vec![0usize; addrs.len()];
-        for (i, addr) in addrs.iter().enumerate() {
-            let shard = Self::shard_of(*addr);
-            order[cursor[shard]] = i;
-            cursor[shard] += 1;
-        }
-        let mut gathered: Vec<A> = Vec::with_capacity(addrs.len());
-        let mut answers: Vec<Option<NextHop>> = Vec::new();
-        for shard in 0..SHARD_COUNT {
-            let run = &order[starts[shard]..starts[shard + 1]];
-            if run.is_empty() {
-                continue;
-            }
-            gathered.clear();
-            gathered.extend(run.iter().map(|&i| addrs[i]));
-            answers.clear();
-            answers.resize(run.len(), None);
-            let snapshot = self.shards[shard].snapshot();
-            snapshot.lookup_batch(&gathered, &mut answers);
-            for (&i, &answer) in run.iter().zip(&answers) {
-                out[i] = answer;
-            }
-        }
+    pub fn lookup_batch(&mut self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        self.plane.lookup_batch(addrs, out);
     }
 
     /// Access to a single shard (e.g. for its [`Router::data_plane`]).
@@ -233,7 +324,7 @@ mod tests {
     #[test]
     fn sharded_batch_matches_scalar() {
         let flat = sample_fib();
-        let sharded: ShardedRouter<u32, PrefixDag<u32>> = ShardedRouter::new(&flat, config());
+        let mut sharded: ShardedRouter<u32, PrefixDag<u32>> = ShardedRouter::new(&flat, config());
         let addrs: Vec<u32> = (0..4097u32).map(|i| i.wrapping_mul(0x0101_6B55)).collect();
         let mut out = vec![None; addrs.len()];
         sharded.lookup_batch(&addrs, &mut out);

@@ -1,0 +1,636 @@
+//! A home-grown wait-free snapshot cell: single-writer publication of
+//! `Arc<T>` values that packet-path readers can pick up without ever
+//! touching a lock.
+//!
+//! # Why not `RwLock<Arc<T>>`
+//!
+//! The previous data plane cloned the published `Arc` under a read lock.
+//! Readers never blocked *each other*, but every packet batch still paid
+//! a shared-cache-line atomic on the lock word, and a publishing writer
+//! stalled behind every in-flight reader. With N forwarding cores hitting
+//! one cell millions of times per second, that lock word becomes the
+//! hottest line in the process. Here the reader fast path is **one
+//! relaxed-cost atomic load of a generation counter** that only the
+//! (rare) publish ever writes.
+//!
+//! # Design
+//!
+//! `AtomicPtr` publication with generation-counted deferred reclamation:
+//!
+//! * The cell holds `current: AtomicPtr<Arc<T>>` (a heap cell owning one
+//!   `Arc<T>`) and a `gen: AtomicU64` bumped on every publish.
+//! * Each [`SnapReader`] caches a cloned `Arc<T>` plus the generation it
+//!   was read at. [`SnapReader::get`] compares generations and returns
+//!   the cached clone — the wait-free fast path.
+//! * On a generation change the reader re-reads `current`. That is the
+//!   only dangerous step: the writer may concurrently retire the old
+//!   heap cell. Readers therefore *announce* the generation they are
+//!   reading at in a per-reader hazard slot before dereferencing, and the
+//!   writer only frees a retired cell once every announced slot has
+//!   moved past the cell's retirement generation.
+//!
+//! # Safety protocol
+//!
+//! All protocol atomics are `SeqCst`; publishes and refreshes are rare
+//! (the fast path never executes an ordered store), so the cost is
+//! irrelevant and the reasoning stays simple. Invariant:
+//!
+//! * writer order: swap `current` → bump `gen` to `t` → tag the old cell
+//!   `t` → scan hazard slots;
+//! * reader order: announce `a` (observed `gen`) → re-check `gen == a` →
+//!   load `current` → clone → set slot idle.
+//!
+//! A reader that validated at generation `a` loads `current` *after* the
+//! swap of any cell retired at tag `t ≤ a` (the bump to `t` precedes, in
+//! the `SeqCst` total order, the gen-load that returned `a ≥ t`), so the
+//! pointers it can dereference are exactly those retired at `t > a` —
+//! and for those its announced `a < t` is visible to the writer's scan,
+//! which then defers the free. A slot returns to idle only after the
+//! clone completed, at which point the reader holds its own strong
+//! reference and the heap cell may be dropped freely.
+//!
+//! This module carries the crate's only `unsafe` code; everything is
+//! expressed through the small step functions below so the deterministic
+//! interleaving tests can drive publish/read/reclaim schedules one step
+//! at a time.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Hazard-slot value meaning "not currently reading".
+const IDLE: u64 = u64::MAX;
+
+/// One reader's hazard slot: the generation it is (possibly) reading at.
+struct ReaderSlot {
+    announced: AtomicU64,
+}
+
+/// A retired heap cell awaiting quiescence.
+struct Retired<T> {
+    /// Generation at which the cell stopped being current.
+    gen: u64,
+    cell: *mut Arc<T>,
+}
+
+/// Writer-side state serialized by one mutex (publication is control
+/// plane; only the *reader* side must stay lock-free).
+struct WriterSide<T> {
+    retired: Vec<Retired<T>>,
+}
+
+struct Shared<T> {
+    /// Monotonic publication counter; starts at 1 so `IDLE` and "never
+    /// seen" cannot collide.
+    gen: AtomicU64,
+    /// The current snapshot: a heap cell owning one `Arc<T>`.
+    current: AtomicPtr<Arc<T>>,
+    /// Registered hazard slots, one per live [`SnapReader`].
+    readers: Mutex<Vec<Arc<ReaderSlot>>>,
+    writer: Mutex<WriterSide<T>>,
+}
+
+// SAFETY: the raw pointers in `current`/`retired` point at heap cells of
+// `Arc<T>` whose ownership is governed by the hazard protocol above; they
+// are only dereferenced for cloning (readers, protocol-protected) and
+// dropping (writer, after quiescence). Sharing the structure across
+// threads is exactly its purpose and is sound whenever `Arc<T>` itself
+// may move between threads.
+unsafe impl<T: Send + Sync> Send for Shared<T> {}
+unsafe impl<T: Send + Sync> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    /// Frees a retired cell tagged `t` only when every announced slot has
+    /// moved to a generation ≥ `t` (or is idle). Called under the writer
+    /// mutex.
+    fn reclaim_locked(&self, side: &mut WriterSide<T>) {
+        if side.retired.is_empty() {
+            return;
+        }
+        let floor = {
+            let readers = self.readers.lock().expect("reader registry poisoned");
+            readers
+                .iter()
+                .map(|slot| slot.announced.load(SeqCst))
+                .filter(|&a| a != IDLE)
+                .min()
+        };
+        side.retired.retain(|r| {
+            let quiesced = floor.is_none_or(|f| f >= r.gen);
+            if quiesced {
+                // SAFETY: every reader that could still dereference this
+                // cell would be announced at a generation < r.gen (see
+                // the module protocol); none is, so we hold the only
+                // path to the cell and may reconstitute and drop it.
+                drop(unsafe { Box::from_raw(r.cell) });
+            }
+            !quiesced
+        });
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // No readers can exist (they hold an `Arc<Shared>`), so every
+        // outstanding cell is exclusively ours.
+        let side = self.writer.get_mut().expect("writer mutex poisoned");
+        for r in side.retired.drain(..) {
+            // SAFETY: exclusive access per above.
+            drop(unsafe { Box::from_raw(r.cell) });
+        }
+        let current = *self.current.get_mut();
+        if !current.is_null() {
+            // SAFETY: exclusive access per above.
+            drop(unsafe { Box::from_raw(current) });
+        }
+    }
+}
+
+/// Single-writer, many-reader wait-free snapshot publication cell.
+///
+/// The writer half: [`publish`](Self::publish) installs a new snapshot;
+/// [`reader`](Self::reader) registers a new [`SnapReader`];
+/// [`load`](Self::load) is the writer-side (locking, control-path) read.
+pub struct SnapCell<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> SnapCell<T> {
+    /// Creates a cell publishing `initial` at generation 1.
+    #[must_use]
+    pub fn new(initial: Arc<T>) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                gen: AtomicU64::new(1),
+                current: AtomicPtr::new(Box::into_raw(Box::new(initial))),
+                readers: Mutex::new(Vec::new()),
+                writer: Mutex::new(WriterSide {
+                    retired: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// The current generation (bumped by every publish; starts at 1).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.shared.gen.load(SeqCst)
+    }
+
+    /// Publishes `next` as the new snapshot, retiring the previous one
+    /// and freeing any retired snapshots all readers have moved past.
+    ///
+    /// # Panics
+    /// Panics if another publisher poisoned the writer mutex.
+    pub fn publish(&self, next: Arc<T>) {
+        let mut side = self.shared.writer.lock().expect("writer mutex poisoned");
+        let fresh = Box::into_raw(Box::new(next));
+        let old = self.shared.current.swap(fresh, SeqCst);
+        let tag = self.shared.gen.fetch_add(1, SeqCst) + 1;
+        side.retired.push(Retired {
+            gen: tag,
+            cell: old,
+        });
+        self.shared.reclaim_locked(&mut side);
+    }
+
+    /// Frees whatever retired snapshots have quiesced. Publishes already
+    /// reclaim; this is for tests and long publish-free stretches.
+    ///
+    /// # Panics
+    /// Panics if another publisher poisoned the writer mutex.
+    pub fn reclaim(&self) {
+        let mut side = self.shared.writer.lock().expect("writer mutex poisoned");
+        self.shared.reclaim_locked(&mut side);
+    }
+
+    /// Number of retired snapshots still awaiting reader quiescence.
+    ///
+    /// # Panics
+    /// Panics if another publisher poisoned the writer mutex.
+    #[must_use]
+    pub fn retired_len(&self) -> usize {
+        self.shared
+            .writer
+            .lock()
+            .expect("writer mutex poisoned")
+            .retired
+            .len()
+    }
+
+    /// Writer-side read of the current snapshot. Takes the writer mutex —
+    /// correct from any thread, but the packet path should hold a
+    /// [`SnapReader`] instead.
+    ///
+    /// # Panics
+    /// Panics if another publisher poisoned the writer mutex.
+    #[must_use]
+    pub fn load(&self) -> Arc<T> {
+        self.load_with_gen().0
+    }
+
+    /// Coherent `(snapshot, generation)` pair, read under the writer
+    /// mutex (a publish holds the same mutex across its swap + bump).
+    fn load_with_gen(&self) -> (Arc<T>, u64) {
+        let _side = self.shared.writer.lock().expect("writer mutex poisoned");
+        let g = self.shared.gen.load(SeqCst);
+        let cell = self.shared.current.load(SeqCst);
+        // SAFETY: holding the writer mutex excludes any concurrent
+        // publish, so `cell` is the live current cell and cannot be
+        // retired (let alone freed) before we return.
+        (unsafe { (*cell).clone() }, g)
+    }
+
+    /// Registers a new lock-free reader handle, seeded with the current
+    /// snapshot.
+    ///
+    /// # Panics
+    /// Panics if a poisoned mutex is encountered.
+    #[must_use]
+    pub fn reader(&self) -> SnapReader<T> {
+        let slot = Arc::new(ReaderSlot {
+            announced: AtomicU64::new(IDLE),
+        });
+        self.shared
+            .readers
+            .lock()
+            .expect("reader registry poisoned")
+            .push(Arc::clone(&slot));
+        let (cached, cached_gen) = self.load_with_gen();
+        SnapReader {
+            shared: Arc::clone(&self.shared),
+            slot,
+            cached,
+            cached_gen,
+        }
+    }
+}
+
+/// A forwarding thread's handle: a cached snapshot refreshed on
+/// generation bumps. `get` is wait-free (one atomic load) while the
+/// generation is unchanged; a refresh is lock-free (bounded retries only
+/// if publishes keep landing mid-refresh).
+pub struct SnapReader<T> {
+    shared: Arc<Shared<T>>,
+    slot: Arc<ReaderSlot>,
+    cached: Arc<T>,
+    cached_gen: u64,
+}
+
+impl<T> SnapReader<T> {
+    /// The current snapshot: cached clone on the fast path, hazard-
+    /// protected re-read after a publish.
+    #[inline]
+    pub fn get(&mut self) -> &Arc<T> {
+        let g = self.shared.gen.load(SeqCst);
+        if g != self.cached_gen {
+            self.refresh();
+        }
+        &self.cached
+    }
+
+    /// The generation of the snapshot [`Self::get`] would return.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.cached_gen
+    }
+
+    #[cold]
+    fn refresh(&mut self) {
+        loop {
+            let g = self.shared.gen.load(SeqCst);
+            self.slot.announced.store(g, SeqCst);
+            if self.shared.gen.load(SeqCst) != g {
+                // A publish landed between announce and validate; the
+                // stale announcement only makes the writer conservative.
+                continue;
+            }
+            let cell = self.shared.current.load(SeqCst);
+            // SAFETY: we announced generation `g` and re-validated before
+            // loading `current`, so per the module protocol the writer
+            // cannot free this cell until our slot goes idle or advances.
+            self.cached = unsafe { (*cell).clone() };
+            self.cached_gen = g;
+            self.slot.announced.store(IDLE, SeqCst);
+            return;
+        }
+    }
+}
+
+impl<T> Clone for SnapReader<T> {
+    fn clone(&self) -> Self {
+        let slot = Arc::new(ReaderSlot {
+            announced: AtomicU64::new(IDLE),
+        });
+        self.shared
+            .readers
+            .lock()
+            .expect("reader registry poisoned")
+            .push(Arc::clone(&slot));
+        Self {
+            shared: Arc::clone(&self.shared),
+            slot,
+            cached: Arc::clone(&self.cached),
+            cached_gen: self.cached_gen,
+        }
+    }
+}
+
+impl<T> Drop for SnapReader<T> {
+    fn drop(&mut self) {
+        self.slot.announced.store(IDLE, SeqCst);
+        if let Ok(mut readers) = self.shared.readers.lock() {
+            readers.retain(|s| !Arc::ptr_eq(s, &self.slot));
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SnapCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapCell")
+            .field("generation", &self.generation())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for SnapReader<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapReader")
+            .field("generation", &self.cached_gen)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::Ordering::Relaxed;
+
+    /// Counts live instances so the tests can observe exactly when the
+    /// cell frees a retired snapshot.
+    struct Tracked {
+        live: Arc<AtomicUsize>,
+        value: u64,
+    }
+
+    impl Tracked {
+        fn new(live: &Arc<AtomicUsize>, value: u64) -> Arc<Self> {
+            live.fetch_add(1, Relaxed);
+            Arc::new(Self {
+                live: Arc::clone(live),
+                value,
+            })
+        }
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.live.fetch_sub(1, Relaxed);
+        }
+    }
+
+    #[test]
+    fn fast_path_returns_cached_snapshot() {
+        let cell = SnapCell::new(Arc::new(7u64));
+        let mut reader = cell.reader();
+        let a = Arc::clone(reader.get());
+        let b = Arc::clone(reader.get());
+        assert!(Arc::ptr_eq(&a, &b), "no publish → same Arc");
+        assert_eq!(*a, 7);
+    }
+
+    #[test]
+    fn publish_is_picked_up_and_generations_are_monotonic() {
+        let cell = SnapCell::new(Arc::new(0u64));
+        let mut reader = cell.reader();
+        let mut last_gen = reader.generation();
+        for v in 1..=100u64 {
+            cell.publish(Arc::new(v));
+            assert_eq!(**reader.get(), v);
+            assert!(reader.generation() > last_gen, "generation must advance");
+            last_gen = reader.generation();
+        }
+        assert_eq!(cell.generation(), 101);
+    }
+
+    #[test]
+    fn old_snapshots_survive_while_a_clone_is_held() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = SnapCell::new(Tracked::new(&live, 0));
+        let mut reader = cell.reader();
+        let pinned = Arc::clone(reader.get());
+        for v in 1..=10 {
+            cell.publish(Tracked::new(&live, v));
+        }
+        let _ = reader.get(); // reader moves to the newest snapshot
+        cell.reclaim();
+        // The pinned clone keeps value 0 alive; intermediate snapshots
+        // (1..=9) were freed, the current one (10) is live.
+        assert_eq!(pinned.value, 0);
+        assert_eq!(live.load(Relaxed), 2, "pinned + current only");
+        drop(pinned);
+        assert_eq!(live.load(Relaxed), 1, "only the current snapshot");
+    }
+
+    /// Loom-style deterministic interleavings: the reader's refresh is
+    /// driven one protocol step at a time (announce → validate → load →
+    /// clone → release) with publishes and reclaims injected between
+    /// steps, checking at each point that the writer never frees a cell
+    /// the reader may still dereference.
+    #[test]
+    fn interleaved_publish_read_reclaim_schedules() {
+        // Step driver mirroring SnapReader::refresh exactly, but pausable.
+        #[allow(clippy::redundant_allocation)]
+        struct StepReader<'a> {
+            shared: &'a Shared<Tracked>,
+            slot: Arc<ReaderSlot>,
+            announced_gen: Option<u64>,
+            loaded: Option<*mut Arc<Tracked>>,
+        }
+
+        impl<'a> StepReader<'a> {
+            fn announce(&mut self) {
+                let g = self.shared.gen.load(SeqCst);
+                self.slot.announced.store(g, SeqCst);
+                self.announced_gen = Some(g);
+            }
+
+            /// Re-validate; on failure the protocol re-announces.
+            fn validate(&mut self) -> bool {
+                let g = self.announced_gen.expect("announce first");
+                if self.shared.gen.load(SeqCst) == g {
+                    true
+                } else {
+                    self.announce();
+                    false
+                }
+            }
+
+            fn load(&mut self) {
+                self.loaded = Some(self.shared.current.load(SeqCst));
+            }
+
+            fn clone_and_release(&mut self) -> Arc<Tracked> {
+                let p = self.loaded.take().expect("load first");
+                // SAFETY: same protocol position as SnapReader::refresh —
+                // announced + validated before the load, still announced.
+                let value = unsafe { Arc::clone(&*p) };
+                self.slot.announced.store(IDLE, SeqCst);
+                value
+            }
+        }
+
+        // Schedule A: reader pinned mid-read across several publishes —
+        // nothing it may hold is freed until it releases.
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = SnapCell::new(Tracked::new(&live, 0));
+        let slot = Arc::new(ReaderSlot {
+            announced: AtomicU64::new(IDLE),
+        });
+        cell.shared.readers.lock().unwrap().push(Arc::clone(&slot));
+        let mut reader = StepReader {
+            shared: &cell.shared,
+            slot,
+            announced_gen: None,
+            loaded: None,
+        };
+
+        reader.announce();
+        assert!(reader.validate());
+        reader.load(); // holds the gen-1 cell, slot announced at 1
+        for v in 1..=3 {
+            cell.publish(Tracked::new(&live, v));
+        }
+        cell.reclaim();
+        assert_eq!(cell.retired_len(), 3, "announced reader blocks every free");
+        assert_eq!(live.load(Relaxed), 4, "0..=3 all alive");
+        let held = reader.clone_and_release(); // clone, then go idle
+        assert_eq!(held.value, 0, "reader saw the cell it loaded");
+        cell.reclaim();
+        assert_eq!(cell.retired_len(), 0, "idle reader unblocks reclaim");
+        assert_eq!(live.load(Relaxed), 2, "held clone + current");
+        drop(held);
+        assert_eq!(live.load(Relaxed), 1);
+
+        // Schedule B: publish lands between announce and validate — the
+        // reader must re-announce at the new generation and then load the
+        // *new* cell; the old cell frees because the stale announcement
+        // was superseded before any load.
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = SnapCell::new(Tracked::new(&live, 10));
+        let slot = Arc::new(ReaderSlot {
+            announced: AtomicU64::new(IDLE),
+        });
+        cell.shared.readers.lock().unwrap().push(Arc::clone(&slot));
+        let mut reader = StepReader {
+            shared: &cell.shared,
+            slot,
+            announced_gen: None,
+            loaded: None,
+        };
+        reader.announce(); // announces gen 1
+        cell.publish(Tracked::new(&live, 11)); // gen → 2
+        assert!(!reader.validate(), "stale announce must be caught");
+        assert_eq!(reader.announced_gen, Some(2), "re-announced at gen 2");
+        assert!(reader.validate());
+        reader.load();
+        let held = reader.clone_and_release();
+        assert_eq!(held.value, 11, "validated read sees the new snapshot");
+        cell.reclaim();
+        assert_eq!(cell.retired_len(), 0, "gen-1 cell freed");
+        assert_eq!(live.load(Relaxed), 1, "only snapshot 11 is alive");
+
+        // Schedule C: two readers pinned at different generations — the
+        // reclaim floor is the older announcement; releasing the older
+        // reader unblocks exactly the cells the younger one is past.
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = SnapCell::new(Tracked::new(&live, 20));
+        let make = |cell: &SnapCell<Tracked>| {
+            let slot = Arc::new(ReaderSlot {
+                announced: AtomicU64::new(IDLE),
+            });
+            cell.shared.readers.lock().unwrap().push(Arc::clone(&slot));
+            slot
+        };
+        let slot_a = make(&cell);
+        let slot_b = make(&cell);
+        let mut ra = StepReader {
+            shared: &cell.shared,
+            slot: slot_a,
+            announced_gen: None,
+            loaded: None,
+        };
+        ra.announce();
+        assert!(ra.validate());
+        ra.load(); // pinned at gen 1
+        cell.publish(Tracked::new(&live, 21)); // gen 2, retires gen-1 cell at tag 2
+        let mut rb = StepReader {
+            shared: &cell.shared,
+            slot: slot_b,
+            announced_gen: None,
+            loaded: None,
+        };
+        rb.announce();
+        assert!(rb.validate());
+        rb.load(); // pinned at gen 2
+        cell.publish(Tracked::new(&live, 22)); // gen 3, retires gen-2 cell at tag 3
+        cell.reclaim();
+        assert_eq!(cell.retired_len(), 2, "floor = 1 blocks both");
+        let a = ra.clone_and_release();
+        assert_eq!(a.value, 20);
+        cell.reclaim();
+        assert_eq!(
+            cell.retired_len(),
+            1,
+            "floor = 2 frees the tag-2 cell, keeps tag-3"
+        );
+        let b = rb.clone_and_release();
+        assert_eq!(b.value, 21);
+        cell.reclaim();
+        assert_eq!(cell.retired_len(), 0);
+        drop((a, b));
+        assert_eq!(live.load(Relaxed), 1, "only the current snapshot");
+    }
+
+    #[test]
+    fn concurrent_readers_and_publisher_agree() {
+        // A stress smoke on real threads: every observed value must be
+        // one the writer actually published, generations must be
+        // monotonic per reader, and nothing may crash or leak.
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(SnapCell::new(Tracked::new(&live, 0)));
+        let stop = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            let mut reader = cell.reader();
+            handles.push(std::thread::spawn(move || {
+                let mut last_gen = 0;
+                let mut last_value = 0;
+                while stop.load(SeqCst) == 0 {
+                    let value = reader.get().value;
+                    let gen = reader.generation();
+                    assert!(gen >= last_gen, "generation went backwards");
+                    assert!(value >= last_value, "stale snapshot resurfaced");
+                    last_gen = gen;
+                    last_value = value;
+                }
+            }));
+        }
+        for v in 1..=1000 {
+            cell.publish(Tracked::new(&live, v));
+            if v % 97 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(1, SeqCst);
+        for h in handles {
+            h.join().expect("reader panicked");
+        }
+        drop(cell);
+        assert_eq!(live.load(Relaxed), 0, "every snapshot freed");
+    }
+}

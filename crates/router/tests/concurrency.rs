@@ -1,0 +1,238 @@
+//! Concurrent churn: forwarding threads serve lookups off wait-free
+//! [`fib_router::DataPlane`] readers while the control plane absorbs a
+//! BGP feed, publishes epochs, crosses a degradation-triggered background
+//! rebuild, and finally dies and warm-restarts — asserting that no reader
+//! ever observes a torn snapshot:
+//!
+//! * **generation/epoch monotonicity** — a reader never sees an older
+//!   epoch after a newer one;
+//! * **oracle agreement** — every lookup a reader performs matches the
+//!   control-plane oracle *as of the epoch the reader was served*, so a
+//!   snapshot can never mix routes from two epochs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+use fib_core::{BuildConfig, PrefixDag, SerializedDag};
+use fib_router::{Router, RouterConfig};
+use fib_trie::BinaryTrie;
+use fib_workload::rng::{Rng, Xoshiro256};
+use fib_workload::updates::{bgp_sequence, UpdateOp};
+use fib_workload::FibSpec;
+
+fn rng(seed: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(seed)
+}
+
+/// Oracle states keyed by epoch: the writer records `control.clone()`
+/// *before* publishing that epoch, so any reader that sees epoch `e` is
+/// guaranteed to find `oracle[e]` present (the map insert
+/// happens-before the snapshot publication).
+type EpochOracles = Arc<Mutex<HashMap<u64, BinaryTrie<u32>>>>;
+
+fn reader_thread<E>(
+    mut plane: fib_router::DataPlane<E>,
+    oracles: EpochOracles,
+    stop: Arc<AtomicBool>,
+    seed: u64,
+) -> std::thread::JoinHandle<(u64, u64)>
+where
+    E: fib_core::ImageCodec<u32> + Send + Sync + 'static,
+{
+    std::thread::spawn(move || {
+        let mut r = rng(seed);
+        let mut last_epoch = 0u64;
+        let mut checked = 0u64;
+        let mut epochs_seen = 0u64;
+        let mut addrs = [0u32; 32];
+        let mut out = [None; 32];
+        while !stop.load(SeqCst) {
+            let snap = std::sync::Arc::clone(plane.current());
+            let epoch = snap.epoch();
+            assert!(
+                epoch >= last_epoch,
+                "torn publication order: epoch {epoch} after {last_epoch}"
+            );
+            if epoch != last_epoch {
+                epochs_seen += 1;
+            }
+            last_epoch = epoch;
+            for slot in &mut addrs {
+                *slot = r.random::<u32>();
+            }
+            snap.lookup_stream(&addrs, &mut out);
+            // Compare against the oracle for *this* epoch. The map is a
+            // test fixture; the lock is on the checker, not the router.
+            let oracles = oracles.lock().unwrap();
+            let oracle = oracles
+                .get(&epoch)
+                .unwrap_or_else(|| panic!("reader saw unpublished epoch {epoch}"));
+            for (&addr, &got) in addrs.iter().zip(&out) {
+                assert_eq!(
+                    got,
+                    oracle.lookup(addr),
+                    "epoch {epoch} snapshot diverges at {addr:#010x}"
+                );
+                checked += 1;
+            }
+        }
+        (checked, epochs_seen)
+    })
+}
+
+#[test]
+fn forwarding_threads_never_observe_torn_snapshots_under_churn() {
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(8_000).generate(&mut rng(1));
+    let updates = bgp_sequence(&mut rng(2), &base, 8_000);
+
+    let config = RouterConfig {
+        build: BuildConfig::with_lambda(11),
+        publish_every: None,
+        degradation_threshold: 0.002, // provably crossed mid-feed
+        background_rebuild: true,
+    };
+    let mut router: Router<u32, PrefixDag<u32>> = Router::new(base.clone(), config);
+
+    let oracles: EpochOracles = Arc::new(Mutex::new(HashMap::new()));
+    oracles.lock().unwrap().insert(0, base.clone());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..2)
+        .map(|i| {
+            reader_thread(
+                router.data_plane(),
+                Arc::clone(&oracles),
+                Arc::clone(&stop),
+                100 + i,
+            )
+        })
+        .collect();
+
+    let mut oracle = base;
+    let mut saw_rebuild = false;
+    for (i, op) in updates.iter().enumerate() {
+        match *op {
+            UpdateOp::Announce(p, nh) => {
+                oracle.insert(p, nh);
+                router.announce(p, nh);
+            }
+            UpdateOp::Withdraw(p) => {
+                oracle.remove(p);
+                router.withdraw(p);
+            }
+        }
+        saw_rebuild |= router.rebuild_in_flight();
+        if i % 500 == 499 {
+            // Record the oracle for the epoch about to be cut, then
+            // publish it. Readers move over at their own pace.
+            oracles
+                .lock()
+                .unwrap()
+                .insert(router.epoch() + 1, oracle.clone());
+            router.publish();
+        }
+    }
+    oracles
+        .lock()
+        .unwrap()
+        .insert(router.epoch() + 1, oracle.clone());
+    router.publish();
+    assert!(saw_rebuild, "degradation threshold never tripped");
+
+    // Let the readers chew on the final epoch too.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    stop.store(true, SeqCst);
+    let mut total_checked = 0;
+    for handle in readers {
+        let (checked, epochs_seen) = handle.join().expect("reader panicked");
+        assert!(checked > 0, "reader did no work");
+        assert!(epochs_seen > 0, "reader never saw a publish");
+        total_checked += checked;
+    }
+    assert!(total_checked > 1_000, "suspiciously little verification");
+}
+
+#[test]
+fn forwarding_threads_survive_a_warm_restart_cycle() {
+    let dir = std::env::temp_dir().join(format!("fib-spool-conc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create spool dir");
+
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(3_000).generate(&mut rng(7));
+    let config = RouterConfig {
+        publish_every: None,
+        ..RouterConfig::default()
+    };
+
+    // Phase 1: a spooling router serves readers, absorbs updates, dies.
+    let expected_final: BinaryTrie<u32> = {
+        let mut victim: Router<u32, SerializedDag<u32>> = Router::new(base.clone(), config);
+        victim.enable_spool(&dir).expect("spool arms");
+        let oracles: EpochOracles = Arc::new(Mutex::new(HashMap::new()));
+        oracles.lock().unwrap().insert(victim.epoch(), base.clone());
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = reader_thread(
+            victim.data_plane(),
+            Arc::clone(&oracles),
+            Arc::clone(&stop),
+            1000,
+        );
+        let mut oracle = base.clone();
+        for op in bgp_sequence(&mut rng(8), &base, 1_500) {
+            match op {
+                UpdateOp::Announce(p, nh) => {
+                    oracle.insert(p, nh);
+                    victim.announce(p, nh);
+                }
+                UpdateOp::Withdraw(p) => {
+                    oracle.remove(p);
+                    victim.withdraw(p);
+                }
+            }
+        }
+        oracles
+            .lock()
+            .unwrap()
+            .insert(victim.epoch() + 1, oracle.clone());
+        victim.publish();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        stop.store(true, SeqCst);
+        let (checked, _) = reader.join().expect("reader panicked");
+        assert!(checked > 0);
+        oracle
+        // victim dropped here: crash.
+    };
+
+    // Phase 2: warm restart; fresh readers serve the restored (image-
+    // backed) snapshot immediately and must agree with the pre-crash
+    // control state.
+    let restarted: Router<u32, SerializedDag<u32>> =
+        Router::warm_restart(&dir, config).expect("restart comes up");
+    assert!(restarted.snapshot().is_image_backed());
+    let restart_epoch = restarted.epoch();
+
+    let oracles: EpochOracles = Arc::new(Mutex::new(HashMap::new()));
+    oracles
+        .lock()
+        .unwrap()
+        .insert(restart_epoch, expected_final.clone());
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|i| {
+            reader_thread(
+                restarted.data_plane(),
+                Arc::clone(&oracles),
+                Arc::clone(&stop),
+                2000 + i,
+            )
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    stop.store(true, SeqCst);
+    for handle in readers {
+        let (checked, _) = handle.join().expect("post-restart reader panicked");
+        assert!(checked > 0, "post-restart reader did no work");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

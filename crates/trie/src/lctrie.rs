@@ -220,6 +220,22 @@ impl<A: Address> LcTrie<A> {
         self.view().lookup_batch(addrs, out);
     }
 
+    /// Prefetches the first branch target of `addr`'s walk (see
+    /// [`LcTrieRef::prefetch`]).
+    #[inline]
+    pub fn prefetch(&self, addr: A) {
+        self.view().prefetch(addr);
+    }
+
+    /// Software-pipelined batched lookup (see
+    /// [`LcTrieRef::lookup_stream`]).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        self.view().lookup_stream(addrs, out);
+    }
+
     /// Lookup reporting every node touch as `(byte offset, byte size)`
     /// within the arena — the access stream for cache simulation.
     pub fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
@@ -409,32 +425,78 @@ impl<'a, A: Address> LcTrieRef<'a, A> {
         let mut chunks = addrs.chunks_exact(LC_BATCH_LANES);
         let mut outs = out.chunks_exact_mut(LC_BATCH_LANES);
         for (chunk, slot) in (&mut chunks).zip(&mut outs) {
-            // One walk state per lane; a lane parks on its answer when it
-            // reaches a leaf while the others keep stepping.
-            let mut idx = [self.root; LC_BATCH_LANES];
-            let mut offset = [0u8; LC_BATCH_LANES];
-            let mut done = [false; LC_BATCH_LANES];
-            let mut live = LC_BATCH_LANES;
-            while live > 0 {
-                for lane in 0..LC_BATCH_LANES {
-                    if done[lane] {
-                        continue;
-                    }
-                    let word = self.nodes[idx[lane] as usize];
-                    if word & LEAF_TAG != 0 {
-                        slot[lane] = unpack_leaf(word);
-                        done[lane] = true;
-                        live -= 1;
-                    } else {
-                        let bits = ((word >> 32) & 0xFF) as u8;
-                        idx[lane] = (word as u32) + chunk[lane].bits(offset[lane], bits);
-                        offset[lane] += bits;
-                    }
-                }
-            }
+            self.resolve_lanes(chunk, slot);
         }
         for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
             *slot = self.lookup(*addr);
+        }
+    }
+
+    /// Prefetches the first branch target of `addr`'s walk. The root node
+    /// itself is one word that every lookup touches (always resident);
+    /// its child index is what actually varies per address, so that is
+    /// the line worth requesting early.
+    #[inline]
+    pub fn prefetch(&self, addr: A) {
+        let word = self.nodes[self.root as usize];
+        if word & LEAF_TAG == 0 {
+            let bits = ((word >> 32) & 0xFF) as u8;
+            let idx = (word as u32) + addr.bits(0, bits);
+            fib_succinct::mem::prefetch_index(self.nodes, idx as usize);
+        }
+    }
+
+    /// Software-pipelined batched lookup: identical results to
+    /// [`Self::lookup_batch`], with the next [`LC_BATCH_LANES`]-lane
+    /// group's first branch lines prefetched while the current group
+    /// walks.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `addrs`.
+    pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        // Below the residency threshold the whole structure lives in
+        // cache and the prefetch stage is pure overhead — identical
+        // results either way, so take the plain interleaved path.
+        if self.size_bytes() < fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES {
+            return self.lookup_batch(addrs, out);
+        }
+        fib_succinct::mem::pipelined_stream(
+            LC_BATCH_LANES,
+            addrs,
+            out,
+            |addr| self.prefetch(addr),
+            |chunk, slot| self.resolve_lanes(chunk, slot),
+            |addr, slot| *slot = self.lookup(addr),
+        );
+    }
+
+    /// One lockstep [`LC_BATCH_LANES`]-lane group: the shared kernel of
+    /// [`Self::lookup_batch`] and [`Self::lookup_stream`]. Both slices
+    /// must be exactly [`LC_BATCH_LANES`] long.
+    #[inline]
+    fn resolve_lanes(&self, chunk: &[A], slot: &mut [Option<NextHop>]) {
+        // One walk state per lane; a lane parks on its answer when it
+        // reaches a leaf while the others keep stepping.
+        let mut idx = [self.root; LC_BATCH_LANES];
+        let mut offset = [0u8; LC_BATCH_LANES];
+        let mut done = [false; LC_BATCH_LANES];
+        let mut live = LC_BATCH_LANES;
+        while live > 0 {
+            for lane in 0..LC_BATCH_LANES {
+                if done[lane] {
+                    continue;
+                }
+                let word = self.nodes[idx[lane] as usize];
+                if word & LEAF_TAG != 0 {
+                    slot[lane] = unpack_leaf(word);
+                    done[lane] = true;
+                    live -= 1;
+                } else {
+                    let bits = ((word >> 32) & 0xFF) as u8;
+                    idx[lane] = (word as u32) + chunk[lane].bits(offset[lane], bits);
+                    offset[lane] += bits;
+                }
+            }
         }
     }
 

@@ -14,8 +14,12 @@
 //! * [`instances`] — one stand-in per Table 1 row, carrying the published
 //!   numbers for side-by-side reporting,
 //! * [`updates`] — random and BGP-like update sequences (§5.1),
-//! * [`traces`] — uniform and locality-skewed (Zipf) lookup key streams
-//!   (§5.3's random keys and CAIDA-trace stand-in).
+//! * [`traces`] — uniform, locality-skewed (Zipf) and bursty
+//!   flow-locality lookup key streams (§5.3's random keys and
+//!   CAIDA-trace stand-in, plus a dedup control separating popularity
+//!   locality from depth bias),
+//! * [`loadgen`] — named key models turned into per-worker, seeded
+//!   address streams for the multi-core forwarding runtime.
 //!
 //! Everything is deterministic given a seed.
 
@@ -25,6 +29,7 @@
 pub mod genfib;
 pub mod instances;
 pub mod labels;
+pub mod loadgen;
 pub mod rng;
 pub mod traces;
 pub mod updates;

@@ -1,0 +1,223 @@
+//! The load generator feeding the multi-core forwarding runtime: named
+//! key models (uniform, Zipf, bursty flow-locality) turned into
+//! per-worker, independently-seeded address streams.
+//!
+//! Reproducibility contract: a `(model, fib, seed, worker)` tuple always
+//! produces the identical packet stream, and distinct workers get
+//! decorrelated streams from one base seed — so a multi-thread serve
+//! benchmark is exactly re-runnable.
+
+use fib_trie::{Address, BinaryTrie};
+
+use crate::rng::{Rng, Xoshiro256};
+use crate::traces::{uniform, BurstyTrace, ZipfTrace};
+
+/// A named lookup-key distribution (the serve benchmark's `keys` axis).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyModel {
+    /// Addresses uniform on the space — the paper's "rand." worst case.
+    Uniform,
+    /// Zipf-popularity destinations over the FIB's prefixes (CAIDA-trace
+    /// stand-in); exponent ≈ 1.0 matches measured skew.
+    Zipf {
+        /// Zipf exponent.
+        s: f64,
+    },
+    /// Flow bursts: Zipf-popular flows each emitting a geometric run of
+    /// packets to one address (temporal + popularity locality).
+    Bursty {
+        /// Zipf exponent for flow popularity.
+        s: f64,
+        /// Mean packets per flow burst (≥ 1).
+        mean_burst: f64,
+    },
+}
+
+impl KeyModel {
+    /// The benchmark-standard variants: `uniform`, `zipf` (s = 1.0),
+    /// `bursty` (s = 1.0, mean burst 8).
+    ///
+    /// Returns `None` for unknown names.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "uniform" => Some(Self::Uniform),
+            "zipf" => Some(Self::Zipf { s: 1.0 }),
+            "bursty" => Some(Self::Bursty {
+                s: 1.0,
+                mean_burst: 8.0,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The row label this model reports under.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Uniform => "uniform",
+            Self::Zipf { .. } => "zipf",
+            Self::Bursty { .. } => "bursty",
+        }
+    }
+}
+
+enum StreamKind<A: Address> {
+    Uniform,
+    Zipf(ZipfTrace<A>),
+    Bursty(BurstyTrace<A>),
+}
+
+/// One worker's reproducible address stream.
+pub struct AddrStream<A: Address> {
+    kind: StreamKind<A>,
+    rng: Xoshiro256,
+}
+
+impl<A: Address> AddrStream<A> {
+    /// A stream for `worker` under `model`, drawing destinations from
+    /// `fib`'s prefixes where the model needs them. Workers derive
+    /// decorrelated RNG streams from the one `seed`.
+    #[must_use]
+    pub fn new(model: KeyModel, fib: &BinaryTrie<A>, seed: u64, worker: u64) -> Self {
+        let rng = Self::worker_rng(seed, worker);
+        let kind = match model {
+            KeyModel::Uniform => StreamKind::Uniform,
+            KeyModel::Zipf { s } => StreamKind::Zipf(ZipfTrace::new(fib, s)),
+            KeyModel::Bursty { s, mean_burst } => {
+                StreamKind::Bursty(BurstyTrace::new(fib, s, mean_burst))
+            }
+        };
+        Self { kind, rng }
+    }
+
+    /// A uniform stream needing no FIB (e.g. serving an image whose
+    /// routes section was stripped).
+    #[must_use]
+    pub fn uniform(seed: u64, worker: u64) -> Self {
+        Self {
+            kind: StreamKind::Uniform,
+            rng: Self::worker_rng(seed, worker),
+        }
+    }
+
+    fn worker_rng(seed: u64, worker: u64) -> Xoshiro256 {
+        // Weyl-step the seed per worker so streams decorrelate without a
+        // jump function.
+        Xoshiro256::seed_from_u64(seed ^ (worker + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The next destination address.
+    pub fn next_addr(&mut self) -> A {
+        match &mut self.kind {
+            StreamKind::Uniform => {
+                A::from_u128(self.rng.random::<u128>() >> (128 - u32::from(A::WIDTH)))
+            }
+            StreamKind::Zipf(z) => z.sample(&mut self.rng),
+            StreamKind::Bursty(b) => b.next_addr(&mut self.rng),
+        }
+    }
+
+    /// Replaces `buf`'s contents with the next `n` addresses — the shape
+    /// the forwarding runtime's `AddressSource` expects.
+    pub fn fill(&mut self, buf: &mut Vec<A>, n: usize) {
+        buf.clear();
+        buf.reserve(n);
+        for _ in 0..n {
+            let addr = self.next_addr();
+            buf.push(addr);
+        }
+    }
+
+    /// Draws a whole trace (convenience for single-shot benchmarks).
+    pub fn take_vec(&mut self, n: usize) -> Vec<A> {
+        match &mut self.kind {
+            StreamKind::Uniform => uniform(&mut self.rng, n),
+            StreamKind::Zipf(z) => z.generate(&mut self.rng, n),
+            StreamKind::Bursty(b) => b.generate(&mut self.rng, n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genfib::FibSpec;
+
+    fn fib() -> BinaryTrie<u32> {
+        FibSpec::dfz_like(600).generate(&mut Xoshiro256::seed_from_u64(11))
+    }
+
+    #[test]
+    fn model_names_roundtrip() {
+        for name in ["uniform", "zipf", "bursty"] {
+            assert_eq!(KeyModel::parse(name).unwrap().name(), name);
+        }
+        assert_eq!(KeyModel::parse("nope"), None);
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_worker_decorrelated() {
+        let fib = fib();
+        for model in [
+            KeyModel::Uniform,
+            KeyModel::Zipf { s: 1.0 },
+            KeyModel::Bursty {
+                s: 1.0,
+                mean_burst: 8.0,
+            },
+        ] {
+            let a = AddrStream::new(model, &fib, 42, 0).take_vec(500);
+            let b = AddrStream::new(model, &fib, 42, 0).take_vec(500);
+            assert_eq!(a, b, "{model:?} must be reproducible");
+            let c = AddrStream::new(model, &fib, 42, 1).take_vec(500);
+            assert_ne!(a, c, "{model:?} workers must differ");
+        }
+    }
+
+    #[test]
+    fn fill_matches_next_addr() {
+        let fib = fib();
+        let mut s1 = AddrStream::new(KeyModel::Zipf { s: 1.0 }, &fib, 7, 3);
+        let mut s2 = AddrStream::new(KeyModel::Zipf { s: 1.0 }, &fib, 7, 3);
+        let mut buf = Vec::new();
+        s1.fill(&mut buf, 64);
+        let direct: Vec<u32> = (0..64).map(|_| s2.next_addr()).collect();
+        assert_eq!(buf, direct);
+    }
+
+    #[test]
+    fn bursty_stream_has_temporal_locality() {
+        let fib = fib();
+        let mut stream = AddrStream::new(
+            KeyModel::Bursty {
+                s: 1.0,
+                mean_burst: 8.0,
+            },
+            &fib,
+            9,
+            0,
+        );
+        let trace = stream.take_vec(20_000);
+        let repeats = trace.windows(2).filter(|w| w[0] == w[1]).count();
+        // Mean burst 8 → P(next == current) = 7/8; leave slack for noise.
+        let frac = repeats as f64 / (trace.len() - 1) as f64;
+        assert!(
+            (0.80..0.95).contains(&frac),
+            "repeat fraction {frac} outside bursty expectation"
+        );
+        // Every packet still lands inside the FIB.
+        for addr in trace.iter().take(500) {
+            assert!(fib.lookup(*addr).is_some());
+        }
+    }
+
+    #[test]
+    fn uniform_stream_has_no_temporal_locality() {
+        let fib = fib();
+        let mut stream = AddrStream::<u32>::new(KeyModel::Uniform, &fib, 9, 0);
+        let trace = stream.take_vec(20_000);
+        let repeats = trace.windows(2).filter(|w| w[0] == w[1]).count();
+        assert_eq!(repeats, 0, "u32-uniform back-to-back repeats ≈ never");
+    }
+}

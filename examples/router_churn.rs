@@ -46,7 +46,7 @@ fn main() {
         router.epoch(),
         router.len(),
     );
-    let data_plane = router.data_plane();
+    let mut data_plane = router.data_plane();
 
     let mut total_updates = 0usize;
     let mut total_lookups = 0usize;

@@ -21,7 +21,6 @@
 //! (`10.0.0.0/8 3`, `2001:db8::/32 1`), `#` comments allowed. The address
 //! family is inferred from the first route (or forced with `--v6`).
 
-use std::io::BufRead;
 use std::process::ExitCode;
 
 use fibcomp::core::image::sections;
@@ -29,9 +28,9 @@ use fibcomp::core::{
     any_view, write_image, AnyView, BuildConfig, EngineKind, FibBuild, FibImage, FibLookup,
     ImageCodec, ImageError, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage,
 };
+use fibcomp::router::LatencyHistogram;
 use fibcomp::trie::{Address, BinaryTrie, LcTrie, NextHop, Prefix};
-use fibcomp::workload::rng::Xoshiro256;
-use fibcomp::workload::traces;
+use fibcomp::workload::loadgen::{AddrStream, KeyModel};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,7 +60,9 @@ usage:
                --out IMG [--v6] [--xbw-mode succinct|entropy] [--lambda N] \\
                [--stride N] [--epoch N] [--no-routes]
   fibc inspect IMG
-  fibc serve IMG [--probe N [--seed N]]   (without --probe: addresses on stdin)";
+  fibc serve IMG [--probe N | --duration S] [--threads N] \
+                 [--keys uniform|zipf|bursty] [--batch N] [--seed N]
+                 (without --probe/--duration: addresses on stdin, batched)";
 
 /// `--key value` argument lookup.
 fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -248,7 +249,10 @@ fn inspect(args: &[String]) -> Result<(), String> {
 }
 
 fn serve(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: fibc serve IMG [--probe N]")?;
+    let path = args.first().ok_or(
+        "usage: fibc serve IMG [--probe N | --duration S] [--threads N] \
+         [--keys uniform|zipf|bursty] [--batch N] [--seed N]",
+    )?;
     let image = FibImage::load(path).map_err(|e| e.to_string())?;
     match image.family() {
         4 => serve_family::<u32>(&image, args),
@@ -257,48 +261,249 @@ fn serve(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn serve_family<A: Address + AddrText>(image: &FibImage, args: &[String]) -> Result<(), String> {
+fn parse_seed(args: &[String]) -> Result<u64, String> {
+    let seed_text = opt(args, "--seed").unwrap_or("31410");
+    match seed_text.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => seed_text.parse(),
+    }
+    .map_err(|e| format!("--seed: {e}"))
+}
+
+/// Builds one worker's address stream under the requested key model;
+/// Zipf and bursty models draw destinations from `fib` (the image's
+/// routes section, decoded once by the caller and shared by reference).
+fn worker_stream<A: Address>(
+    model: KeyModel,
+    fib: Option<&BinaryTrie<A>>,
+    seed: u64,
+    worker: u64,
+) -> AddrStream<A> {
+    match fib {
+        Some(fib) => AddrStream::new(model, fib, seed, worker),
+        None => AddrStream::uniform(seed, worker),
+    }
+}
+
+/// How long a benchmark worker runs: a fixed probe count or a wall-clock
+/// duration.
+#[derive(Clone, Copy)]
+enum ServeBudget {
+    Probes(usize),
+    Wall(std::time::Duration),
+}
+
+/// One worker's serve loop over a zero-copy image view: batches from its
+/// private stream through the software-pipelined `lookup_stream` path,
+/// with per-batch latency recorded in a log₂ histogram.
+fn serve_worker<A: Address + AddrText>(
+    image: &FibImage,
+    stream: &mut AddrStream<A>,
+    budget: ServeBudget,
+    batch: usize,
+) -> Result<(u64, u64, LatencyHistogram, f64), String> {
     let view: AnyView<'_, A> = any_view(image).map_err(|e| e.to_string())?;
+    let mut hist = LatencyHistogram::default();
+    let mut packets = 0u64;
+    let mut matched = 0u64;
+    let mut buf: Vec<A> = Vec::with_capacity(batch);
+    let mut out = vec![None; batch];
+    let start = std::time::Instant::now();
+    loop {
+        let n = match budget {
+            ServeBudget::Probes(total) => {
+                let left = total.saturating_sub(packets as usize);
+                if left == 0 {
+                    break;
+                }
+                left.min(batch)
+            }
+            ServeBudget::Wall(limit) => {
+                if start.elapsed() >= limit {
+                    break;
+                }
+                batch
+            }
+        };
+        stream.fill(&mut buf, n);
+        let t0 = std::time::Instant::now();
+        view.lookup_stream(&buf, &mut out[..n]);
+        let dt = t0.elapsed().as_nanos() as f64;
+        packets += n as u64;
+        matched += out[..n].iter().filter(|o| o.is_some()).count() as u64;
+        hist.record(dt / n as f64, n as u64);
+    }
+    Ok((packets, matched, hist, start.elapsed().as_secs_f64()))
+}
+
+/// Runs `threads` workers against the image and prints per-worker stats
+/// plus the aggregate.
+fn serve_bench<A: Address + AddrText + Sync>(
+    image: &FibImage,
+    args: &[String],
+    budget: ServeBudget,
+) -> Result<(), String> {
+    let threads: usize = opt(args, "--threads")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|e| format!("--threads: {e}"))?;
+    let threads = threads.max(1);
+    let batch: usize = opt(args, "--batch")
+        .unwrap_or("256")
+        .parse()
+        .map_err(|e| format!("--batch: {e}"))?;
+    let keys = opt(args, "--keys").unwrap_or("uniform");
+    let seed = parse_seed(args)?;
+    let Some(model) = KeyModel::parse(keys) else {
+        return Err(format!("--keys: unknown model '{keys}'"));
+    };
+    // Decode the routes section once; every worker shares it by
+    // reference (Zipf/bursty streams build their own popularity model,
+    // but the trie decode is the expensive part).
+    let fib: Option<BinaryTrie<A>> = if model == KeyModel::Uniform {
+        None
+    } else {
+        Some(image.routes().map_err(|e| {
+            format!("--keys {keys} needs the image's routes section ({e}); use --keys uniform")
+        })?)
+    };
+    let fib = fib.as_ref();
+    let engine = any_view::<A>(image)
+        .map(|v| FibLookup::<A>::name(&v))
+        .map_err(|e| e.to_string())?;
+
+    // --probe is fixed total work: split it across the pool (the first
+    // workers absorb the remainder) so `--probe N --threads T` always
+    // performs N lookups, enabling like-for-like thread comparisons.
+    let worker_budget = |worker: usize| match budget {
+        ServeBudget::Probes(total) => {
+            let share = total / threads + usize::from(worker < total % threads);
+            ServeBudget::Probes(share)
+        }
+        wall => wall,
+    };
+    let results: Vec<Result<(u64, u64, LatencyHistogram, f64), String>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let budget = worker_budget(worker);
+                    scope.spawn(move || {
+                        let mut stream = worker_stream::<A>(model, fib, seed, worker as u64);
+                        serve_worker(image, &mut stream, budget, batch)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect()
+        });
+
+    let mut total_hist = LatencyHistogram::default();
+    let mut total_packets = 0u64;
+    let mut total_matched = 0u64;
+    let mut total_mlps = 0.0;
+    for (worker, result) in results.into_iter().enumerate() {
+        let (packets, matched, hist, secs) = result?;
+        let mlps = if secs > 0.0 {
+            packets as f64 / secs / 1e6
+        } else {
+            0.0
+        };
+        println!(
+            "worker {worker}: {packets} pkts ({matched} matched), \
+             {mlps:.2} Mlps, p50 {:.1} ns, p99 {:.1} ns",
+            hist.p50(),
+            hist.p99()
+        );
+        total_hist.merge(&hist);
+        total_packets += packets;
+        total_matched += matched;
+        total_mlps += mlps;
+    }
+    println!(
+        "total via {engine} ({keys}, {threads} thr, batch {batch}): \
+         {total_packets} pkts ({total_matched} matched), {total_mlps:.2} Mlps, \
+         p50 {:.1} ns, p99 {:.1} ns",
+        total_hist.p50(),
+        total_hist.p99()
+    );
+    Ok(())
+}
+
+fn serve_family<A: Address + AddrText + Sync>(
+    image: &FibImage,
+    args: &[String],
+) -> Result<(), String> {
     if let Some(count) = opt(args, "--probe") {
         let count: usize = count.parse().map_err(|e| format!("--probe: {e}"))?;
-        let seed_text = opt(args, "--seed").unwrap_or("31410");
-        let seed: u64 = match seed_text.strip_prefix("0x") {
-            Some(hex) => u64::from_str_radix(hex, 16),
-            None => seed_text.parse(),
-        }
-        .map_err(|e| format!("--seed: {e}"))?;
-        let mut rng = Xoshiro256::seed_from_u64(seed);
-        let addrs: Vec<A> = traces::uniform(&mut rng, count);
-        let mut out = vec![None; addrs.len()];
-        let start = std::time::Instant::now();
-        view.lookup_batch(&addrs, &mut out);
-        let elapsed = start.elapsed();
-        let matched = out.iter().filter(|o| o.is_some()).count();
-        println!(
-            "{} probes via {}: {} matched, {:.1} ns/lookup",
-            count,
-            FibLookup::<A>::name(&view),
-            matched,
-            elapsed.as_nanos() as f64 / count.max(1) as f64
-        );
-        return Ok(());
+        return serve_bench::<A>(image, args, ServeBudget::Probes(count));
     }
-    // Interactive/pipe mode: one address per line on stdin.
+    if let Some(secs) = opt(args, "--duration") {
+        let secs: f64 = secs.parse().map_err(|e| format!("--duration: {e}"))?;
+        return serve_bench::<A>(
+            image,
+            args,
+            ServeBudget::Wall(std::time::Duration::from_secs_f64(secs)),
+        );
+    }
+    // Interactive/pipe mode: one address per line on stdin, resolved in
+    // batches through the interleaved lookup_batch path, answers in
+    // input order. Batching must never delay an answer a slow producer
+    // is waiting for (a terminal, a lockstep coprocess, `tail -f`), so
+    // the queue is flushed whenever the read buffer drains — a full pipe
+    // keeps batching, a line-at-a-time producer gets a line-at-a-time
+    // echo.
+    let view: AnyView<'_, A> = any_view(image).map_err(|e| e.to_string())?;
+    const STDIN_BATCH: usize = 1024;
+    let mut texts: Vec<String> = Vec::with_capacity(STDIN_BATCH);
+    let mut addrs: Vec<A> = Vec::with_capacity(STDIN_BATCH);
+    let mut out = vec![None; STDIN_BATCH];
+    let mut flush = |texts: &mut Vec<String>, addrs: &mut Vec<A>| {
+        view.lookup_batch(addrs, &mut out[..addrs.len()]);
+        for (text, nh) in texts.iter().zip(&out) {
+            match nh {
+                Some(nh) => println!("{text} -> {nh}"),
+                None => println!("{text} -> no route"),
+            }
+        }
+        texts.clear();
+        addrs.clear();
+    };
     let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| e.to_string())?;
+    let mut reader = std::io::BufReader::new(stdin.lock());
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = std::io::BufRead::read_line(&mut reader, &mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break;
+        }
         let text = line.trim();
+        let drained = reader.buffer().is_empty();
         if text.is_empty() {
+            if drained {
+                flush(&mut texts, &mut addrs);
+            }
             continue;
         }
         match A::parse_addr(text) {
-            Ok(addr) => match view.lookup(addr) {
-                Some(nh) => println!("{text} -> {nh}"),
-                None => println!("{text} -> no route"),
-            },
-            Err(e) => eprintln!("{text}: {e}"),
+            Ok(addr) => {
+                texts.push(text.to_string());
+                addrs.push(addr);
+                if drained || addrs.len() == STDIN_BATCH {
+                    flush(&mut texts, &mut addrs);
+                }
+            }
+            Err(e) => {
+                // Keep output order: answer everything queued, then the
+                // error.
+                flush(&mut texts, &mut addrs);
+                eprintln!("{text}: {e}");
+            }
         }
     }
+    flush(&mut texts, &mut addrs);
     Ok(())
 }
 

@@ -21,12 +21,17 @@
 //!   binary drives the pipeline from the shell),
 //! * [`router`] — the control/data-plane router core of §5:
 //!   [`router::Router`] pairs an oracle control FIB and update journal
-//!   with `Arc`-swapped epoch snapshots, applies in-place pDAG updates
-//!   until arena fragmentation triggers a (background) compacting
-//!   rebuild, spills every published epoch as a `fibimage/v1` file when
-//!   a spool is armed and warm-restarts from the newest valid image plus
-//!   journal replay, and [`router::ShardedRouter`] splits the address
-//!   space across 256 first-byte shards,
+//!   with epoch snapshots published through the wait-free
+//!   [`router::SnapCell`] (lock-free packet-path reads), applies
+//!   in-place pDAG updates until arena fragmentation triggers a
+//!   (background) compacting rebuild, spills every published epoch as a
+//!   `fibimage/v1` file when a spool is armed and warm-restarts from the
+//!   newest valid image plus journal replay;
+//!   [`router::Forwarder`] runs the multi-core forwarding runtime
+//!   (per-worker snapshot caches, an MPSC [`router::UpdateBus`] into the
+//!   control plane, per-worker latency histograms), and
+//!   [`router::ShardedRouter`] splits the address space across 256
+//!   first-byte shards,
 //! * [`workload`] — synthetic FIB generators, BGP-like update sequences and
 //!   lookup traces standing in for the paper's proprietary datasets,
 //! * [`hwsim`] — SRAM/FPGA cycle model and cache-hierarchy simulator used
