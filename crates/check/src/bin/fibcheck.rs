@@ -1,0 +1,60 @@
+//! `fibcheck` — repo-invariant linter for the fibcomp workspace.
+//!
+//! Usage: `fibcheck [--root PATH]`
+//!
+//! Scans the workspace's library sources and enforces the contracts
+//! documented in `fib_check::lint`: the `unsafe` allowlist, per-site
+//! atomic-ordering justifications, packet-path purity, and
+//! `deny(unsafe_code)` in every crate root. Exits non-zero when any
+//! rule fires, printing one `file:line: rule: message` per finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("fibcheck: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: fibcheck [--root PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("fibcheck: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "fibcheck: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match fib_check::lint::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("fibcheck: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("fibcheck: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fibcheck: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

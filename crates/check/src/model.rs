@@ -1,0 +1,922 @@
+//! The deterministic interleaving explorer: loom-style exhaustive model
+//! checking for the workspace's hand-rolled concurrency.
+//!
+//! # How it works
+//!
+//! [`explore`] runs a closure (the *body*) over and over. Each run is one
+//! **execution**: the body spawns model threads ([`spawn`]/[`JoinHandle`])
+//! and performs shared-memory operations through the `fib_check::sync`
+//! shim ([`crate::sync::ModelShim`]). Every shared operation — atomic
+//! load/store/RMW, mutex lock/unlock, heap-cell read/free — is a
+//! *scheduling point*: the thread parks, a deterministic scheduler picks
+//! who runs next, and only one model thread is ever executing between
+//! scheduling points. Two kinds of choices parameterize an execution:
+//!
+//! * **schedule choices** — which enabled thread performs its pending
+//!   operation next, subject to a CHESS-style preemption bound
+//!   (switching away from a still-runnable thread costs budget; forced
+//!   switches are free);
+//! * **value choices** — which store a weak atomic load observes, under
+//!   a simplified C11 model: per-location store histories, per-thread
+//!   views (coherence floors per location), release stores carrying the
+//!   writer's view, acquire loads joining it, RMWs reading the
+//!   modification-order maximum, and `SeqCst` loads reading no older
+//!   than the latest `SeqCst` store to that location.
+//!
+//! Choices are recorded in a trace; after each execution the explorer
+//! backtracks depth-first to the last choice with an untried
+//! alternative and replays. The space is exhausted when no alternative
+//! remains — the [`Report`] then says `complete: true` and how many
+//! distinct executions were visited.
+//!
+//! # What it catches
+//!
+//! The model heap is a slab with liveness flags, so use-after-free,
+//! double-free and leaks are *structural* violations — no real dangling
+//! pointers are ever created, which is why this whole crate can be
+//! `#![forbid(unsafe_code)]`. Deadlocks fall out of the scheduler (no
+//! enabled thread while some are blocked), and any panic inside a model
+//! thread (a failed assertion in the body) is reported as a violation
+//! with the panic message.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+// ---------------------------------------------------------------------
+// Views (per-location vector clocks)
+// ---------------------------------------------------------------------
+
+/// A view maps location id → minimum store index this thread/object may
+/// observe (its coherence floor), which doubles as the happens-before
+/// summary release stores carry.
+type View = Vec<usize>;
+
+fn view_get(v: &View, loc: usize) -> usize {
+    v.get(loc).copied().unwrap_or(0)
+}
+
+fn view_set(v: &mut View, loc: usize, idx: usize) {
+    if v.len() <= loc {
+        v.resize(loc + 1, 0);
+    }
+    if idx > v[loc] {
+        v[loc] = idx;
+    }
+}
+
+fn view_join(a: &mut View, b: &View) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (i, &x) in b.iter().enumerate() {
+        if x > a[i] {
+            a[i] = x;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public result types
+// ---------------------------------------------------------------------
+
+/// What went wrong in an execution, if anything did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// A heap cell was read after being freed.
+    UseAfterFree,
+    /// A heap cell was freed twice.
+    DoubleFree,
+    /// A heap cell was still live when the execution finished.
+    Leak,
+    /// No enabled thread while some were still blocked.
+    Deadlock,
+    /// A model thread panicked (failed assertion in the body).
+    Panic,
+}
+
+/// A property violation found during exploration, with the execution's
+/// choice trace so it can be replayed by eye.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What class of violation.
+    pub kind: ViolationKind,
+    /// Human-readable description.
+    pub message: String,
+    /// The choice sequence of the violating execution.
+    pub trace: Vec<u32>,
+}
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// CHESS-style preemption budget: how many times the scheduler may
+    /// switch away from a thread that could have continued. Forced
+    /// switches (the running thread blocked or finished) are free.
+    pub preemption_bound: usize,
+    /// Safety valve: stop (incomplete) after this many executions.
+    pub max_executions: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_executions: 5_000_000,
+        }
+    }
+}
+
+/// The outcome of an [`explore`] call.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Distinct executions (interleaving × value-choice combinations)
+    /// actually run.
+    pub executions: u64,
+    /// Whether the bounded space was exhausted (always `false` when a
+    /// violation stopped the search or `max_executions` was hit).
+    pub complete: bool,
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+    /// Length of the longest choice trace seen (a size-of-space proxy).
+    pub max_trace_len: usize,
+}
+
+impl Report {
+    /// Panics with a readable message if the exploration found a
+    /// violation or failed to exhaust the space.
+    pub fn assert_clean(&self) {
+        if let Some(v) = &self.violation {
+            panic!(
+                "model checker found {:?}: {} (trace {:?})",
+                v.kind, v.message, v.trace
+            );
+        }
+        assert!(
+            self.complete,
+            "exploration incomplete after {} executions",
+            self.executions
+        );
+    }
+
+    /// Panics unless the exploration found a violation — the mutant-kill
+    /// assertion.
+    pub fn assert_violated(&self, kind: ViolationKind) {
+        match &self.violation {
+            Some(v) => assert_eq!(
+                v.kind, kind,
+                "expected {kind:?}, model reported {:?}: {}",
+                v.kind, v.message
+            ),
+            None => panic!(
+                "mutant survived: {} executions, complete = {}, no violation",
+                self.executions, self.complete
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Registered, OS thread not yet parked at its begin point.
+    Spawning,
+    /// Parked at a scheduling point with a pending operation.
+    Parked,
+    /// The one thread currently executing user code.
+    Running,
+    /// Finished.
+    Done,
+}
+
+/// The operation a parked thread is waiting to perform — only what the
+/// scheduler needs for enabledness; the actual effect is the closure the
+/// thread itself runs once granted.
+#[derive(Clone, Copy, Debug)]
+enum PendingOp {
+    /// Initial park after spawn; a no-op once granted.
+    Begin,
+    /// An unconditional shared operation (atomic, slab, unlock).
+    Shared,
+    /// Blocks until the mutex is free.
+    Lock(usize),
+    /// Blocks until the target thread is done.
+    Join(usize),
+}
+
+struct ThreadSt {
+    status: Status,
+    pending: Option<PendingOp>,
+    view: View,
+}
+
+struct StoreRec {
+    value: u64,
+    /// For release-or-stronger stores: the writer's full view at the
+    /// store. For relaxed stores: only this store's own coherence
+    /// position, so acquiring it synchronizes nothing else.
+    view: View,
+}
+
+struct LocSt {
+    stores: Vec<StoreRec>,
+    /// Index of the newest `SeqCst` store; `SeqCst` loads may not read
+    /// older than this.
+    last_sc: usize,
+}
+
+struct MutexSt {
+    held_by: Option<usize>,
+    /// Happens-before baton: joined from the holder at unlock, into the
+    /// next holder at lock.
+    view: View,
+}
+
+struct SlabSlot {
+    value: Option<Box<dyn Any + Send>>,
+    live: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    n: u32,
+    picked: u32,
+}
+
+struct ExecSt {
+    threads: Vec<ThreadSt>,
+    locs: Vec<LocSt>,
+    mutexes: Vec<MutexSt>,
+    slab: Vec<SlabSlot>,
+    /// Forced choice prefix for this execution (DFS replay).
+    plan: Vec<u32>,
+    /// Choices actually made this execution.
+    trace: Vec<Choice>,
+    cursor: usize,
+    active: usize,
+    last_sched: Option<usize>,
+    preemptions: usize,
+    bound: usize,
+    live: usize,
+    violation: Option<Violation>,
+    aborting: bool,
+}
+
+struct Exec {
+    st: Mutex<ExecSt>,
+    cv: Condvar,
+}
+
+impl Exec {
+    fn lock(&self) -> MutexGuard<'_, ExecSt> {
+        // Tolerate poison: a panicking model thread must still be able to
+        // run its drops and mark itself done.
+        self.st
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Sentinel payload used to unwind model threads when an execution
+/// aborts (violation found elsewhere, or this thread hit one).
+struct ModelAbort;
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Exec>,
+    id: usize,
+}
+
+fn cur_ctx() -> Ctx {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("model synchronization used outside a model execution (run under fib_check::model::explore)")
+    })
+}
+
+fn abort_unwind() -> ! {
+    // resume_unwind rather than panic_any: the payload is control flow,
+    // not an error, and must not trip the user's panic hook.
+    panic::resume_unwind(Box::new(ModelAbort));
+}
+
+fn record_violation(st: &mut ExecSt, kind: ViolationKind, message: String) {
+    if st.violation.is_none() {
+        st.violation = Some(Violation {
+            kind,
+            message,
+            trace: st.trace.iter().map(|c| c.picked).collect(),
+        });
+    }
+    st.aborting = true;
+}
+
+// ---------------------------------------------------------------------
+// Choice machinery
+// ---------------------------------------------------------------------
+
+/// Consumes one DFS choice slot with `n` options; options are explored
+/// in index order, option 0 first. Unit choices don't consume a slot.
+fn decide(st: &mut ExecSt, n: u32) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    let picked = if st.cursor < st.plan.len() {
+        st.plan[st.cursor]
+    } else {
+        0
+    };
+    assert!(
+        picked < n,
+        "nondeterministic model execution: replay slot {} wants option {picked} of {n}",
+        st.cursor
+    );
+    st.trace.push(Choice { n, picked });
+    st.cursor += 1;
+    picked
+}
+
+fn is_enabled(st: &ExecSt, tid: usize) -> bool {
+    let t = &st.threads[tid];
+    if t.status != Status::Parked {
+        return false;
+    }
+    match t.pending {
+        Some(PendingOp::Lock(m)) => st.mutexes[m].held_by.is_none(),
+        Some(PendingOp::Join(j)) => st.threads[j].status == Status::Done,
+        Some(_) => true,
+        None => false,
+    }
+}
+
+/// Picks the next thread to run and stores it in `st.active`. `Ok(())`
+/// granted someone; `Err(())` means the execution is over (all done) or
+/// deadlocked (recorded as a violation).
+fn schedule(st: &mut ExecSt) -> Result<(), ()> {
+    let enabled: Vec<usize> = (0..st.threads.len())
+        .filter(|&t| is_enabled(st, t))
+        .collect();
+    if enabled.is_empty() {
+        if st.live > 0 {
+            let blocked: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| st.threads[t].status == Status::Parked)
+                .collect();
+            record_violation(
+                st,
+                ViolationKind::Deadlock,
+                format!("no enabled thread; blocked: {blocked:?}"),
+            );
+        }
+        return Err(());
+    }
+    // Option order: continuing the last-scheduled thread is option 0 (no
+    // preemption — the DFS default), everyone else in id order. When the
+    // preemption budget is spent and the last thread can continue, it is
+    // the only option.
+    let mut options = enabled.clone();
+    let last_runnable = st.last_sched.filter(|l| options.contains(l));
+    if let Some(last) = last_runnable {
+        options.retain(|&t| t != last);
+        options.insert(0, last);
+        if st.preemptions >= st.bound {
+            options.truncate(1);
+        }
+    }
+    let k = decide(st, options.len() as u32) as usize;
+    let chosen = options[k];
+    if let Some(last) = last_runnable {
+        if chosen != last {
+            st.preemptions += 1;
+        }
+    }
+    st.last_sched = Some(chosen);
+    st.active = chosen;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The scheduling point
+// ---------------------------------------------------------------------
+
+/// Parks the current thread with `pending`, hands the schedule to the
+/// explorer, and once granted runs `effect` on the locked state.
+fn sched_op<R>(pending: PendingOp, effect: impl FnOnce(&mut ExecSt, usize) -> R) -> R {
+    let ctx = cur_ctx();
+    let mut st = ctx.exec.lock();
+    if std::thread::panicking() || (st.aborting && st.threads[ctx.id].status == Status::Done) {
+        // Free-run mode: this thread is unwinding (abort or assertion),
+        // or it is already marked done on an aborting execution and is
+        // dropping a closure that never ran. Its drops still perform
+        // shim operations; apply effects directly — exploration of this
+        // execution is already over.
+        return effect(&mut st, ctx.id);
+    }
+    if st.aborting {
+        drop(st);
+        abort_unwind();
+    }
+    st.threads[ctx.id].status = Status::Parked;
+    st.threads[ctx.id].pending = Some(pending);
+    if schedule(&mut st).is_err() {
+        drop(st);
+        ctx.exec.cv.notify_all();
+        abort_unwind();
+    }
+    while st.active != ctx.id {
+        ctx.exec.cv.notify_all();
+        st = ctx
+            .exec
+            .cv
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.aborting {
+            drop(st);
+            ctx.exec.cv.notify_all();
+            abort_unwind();
+        }
+    }
+    st.threads[ctx.id].status = Status::Running;
+    st.threads[ctx.id].pending = None;
+    let r = effect(&mut st, ctx.id);
+    if st.aborting {
+        drop(st);
+        ctx.exec.cv.notify_all();
+        abort_unwind();
+    }
+    r
+}
+
+// ---------------------------------------------------------------------
+// Shim entry points (crate-internal; `sync` wraps them)
+// ---------------------------------------------------------------------
+
+fn ord_is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ord_is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Registers a new atomic location holding `init`. Not a scheduling
+/// point: registration happens while this thread is the only runner.
+pub(crate) fn loc_new(init: u64) -> usize {
+    let ctx = cur_ctx();
+    let mut st = ctx.exec.lock();
+    let loc = st.locs.len();
+    let mut view = View::new();
+    view_set(&mut view, loc, 0);
+    st.locs.push(LocSt {
+        stores: vec![StoreRec { value: init, view }],
+        last_sc: 0,
+    });
+    loc
+}
+
+pub(crate) fn atomic_load(loc: usize, order: Ordering) -> u64 {
+    sched_op(PendingOp::Shared, move |st, me| {
+        let floor = {
+            let coh = view_get(&st.threads[me].view, loc);
+            if order == Ordering::SeqCst {
+                coh.max(st.locs[loc].last_sc)
+            } else {
+                coh
+            }
+        };
+        let newest = st.locs[loc].stores.len() - 1;
+        // Option 0 reads the newest store (the SC-like execution comes
+        // first in DFS order); further options read progressively staler
+        // coherence-allowed stores.
+        let k = decide(st, (newest - floor + 1) as u32) as usize;
+        let idx = newest - k;
+        let store = &st.locs[loc].stores[idx];
+        let value = store.value;
+        if ord_is_acquire(order) {
+            let sview = store.view.clone();
+            view_join(&mut st.threads[me].view, &sview);
+        }
+        view_set(&mut st.threads[me].view, loc, idx);
+        value
+    })
+}
+
+pub(crate) fn atomic_store(loc: usize, value: u64, order: Ordering) {
+    sched_op(PendingOp::Shared, move |st, me| {
+        let idx = st.locs[loc].stores.len();
+        view_set(&mut st.threads[me].view, loc, idx);
+        let view = if ord_is_release(order) {
+            st.threads[me].view.clone()
+        } else {
+            let mut v = View::new();
+            view_set(&mut v, loc, idx);
+            v
+        };
+        st.locs[loc].stores.push(StoreRec { value, view });
+        if order == Ordering::SeqCst {
+            st.locs[loc].last_sc = idx;
+        }
+    });
+}
+
+/// RMW: reads the modification-order maximum, applies `f`, writes the
+/// result; returns the old value.
+pub(crate) fn atomic_rmw(loc: usize, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    sched_op(PendingOp::Shared, move |st, me| {
+        let read_idx = st.locs[loc].stores.len() - 1;
+        let old = st.locs[loc].stores[read_idx].value;
+        if ord_is_acquire(order) {
+            let sview = st.locs[loc].stores[read_idx].view.clone();
+            view_join(&mut st.threads[me].view, &sview);
+        }
+        let idx = read_idx + 1;
+        view_set(&mut st.threads[me].view, loc, idx);
+        let view = if ord_is_release(order) {
+            // Continue the release sequence: an acquire of this RMW also
+            // synchronizes with the store it replaced.
+            let mut v = st.threads[me].view.clone();
+            let prev = st.locs[loc].stores[read_idx].view.clone();
+            view_join(&mut v, &prev);
+            v
+        } else {
+            let mut v = View::new();
+            view_set(&mut v, loc, idx);
+            v
+        };
+        st.locs[loc].stores.push(StoreRec {
+            value: f(old),
+            view,
+        });
+        if order == Ordering::SeqCst {
+            st.locs[loc].last_sc = idx;
+        }
+        old
+    })
+}
+
+/// Registers a model mutex. Not a scheduling point.
+pub(crate) fn mutex_new() -> usize {
+    let ctx = cur_ctx();
+    let mut st = ctx.exec.lock();
+    let mid = st.mutexes.len();
+    st.mutexes.push(MutexSt {
+        held_by: None,
+        view: View::new(),
+    });
+    mid
+}
+
+pub(crate) fn mutex_lock(mid: usize) {
+    sched_op(PendingOp::Lock(mid), move |st, me| {
+        debug_assert!(
+            st.aborting || st.mutexes[mid].held_by.is_none(),
+            "granted a held mutex"
+        );
+        st.mutexes[mid].held_by = Some(me);
+        let mview = st.mutexes[mid].view.clone();
+        view_join(&mut st.threads[me].view, &mview);
+    });
+}
+
+pub(crate) fn mutex_unlock(mid: usize) {
+    sched_op(PendingOp::Shared, move |st, me| {
+        st.mutexes[mid].held_by = None;
+        let tview = st.threads[me].view.clone();
+        view_join(&mut st.mutexes[mid].view, &tview);
+    });
+}
+
+/// Moves `value` into a fresh slab cell. Not a scheduling point — the
+/// cell is unreachable to other threads until its id is published
+/// through an atomic.
+pub(crate) fn slab_alloc(value: Box<dyn Any + Send>) -> u64 {
+    let ctx = cur_ctx();
+    let mut st = ctx.exec.lock();
+    let id = st.slab.len() as u64;
+    st.slab.push(SlabSlot {
+        value: Some(value),
+        live: true,
+    });
+    id
+}
+
+pub(crate) fn slab_free(id: u64) {
+    sched_op(PendingOp::Shared, move |st, _me| {
+        let live = st.slab[id as usize].live;
+        if live {
+            st.slab[id as usize].live = false;
+            st.slab[id as usize].value = None;
+        } else if !st.aborting {
+            record_violation(
+                st,
+                ViolationKind::DoubleFree,
+                format!("heap cell {id} freed twice"),
+            );
+        }
+    });
+}
+
+pub(crate) fn slab_read<V: Clone + 'static>(id: u64) -> V {
+    sched_op(PendingOp::Shared, move |st, _me| {
+        if !st.slab[id as usize].live {
+            record_violation(
+                st,
+                ViolationKind::UseAfterFree,
+                format!("heap cell {id} read after free"),
+            );
+            return None;
+        }
+        let v = st.slab[id as usize]
+            .value
+            .as_ref()
+            .and_then(|b| b.downcast_ref::<V>())
+            .expect("slab cell type confusion")
+            .clone();
+        Some(v)
+    })
+    .expect("heap cell read after free during abort unwind")
+}
+
+// ---------------------------------------------------------------------
+// Model threads
+// ---------------------------------------------------------------------
+
+/// Handle to a model thread, like [`std::thread::JoinHandle`].
+pub struct JoinHandle<R> {
+    exec: Arc<Exec>,
+    id: usize,
+    os: Option<std::thread::JoinHandle<()>>,
+    result: Arc<Mutex<Option<R>>>,
+}
+
+impl<R> JoinHandle<R> {
+    /// Waits (as a scheduling point) for the thread to finish and
+    /// returns its closure's value.
+    pub fn join(mut self) -> R {
+        let id = self.id;
+        sched_op(PendingOp::Join(id), move |st, me| {
+            let child_view = st.threads[id].view.clone();
+            view_join(&mut st.threads[me].view, &child_view);
+        });
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        let _ = &self.exec;
+        self.result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("model thread finished without a result")
+    }
+}
+
+/// Spawns a model thread running `f`. Must be called from inside a model
+/// execution. The spawn synchronizes like [`std::thread::spawn`]: the
+/// child starts with the parent's happens-before view.
+pub fn spawn<F, R>(f: F) -> JoinHandle<R>
+where
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let ctx = cur_ctx();
+    let result = Arc::new(Mutex::new(None::<R>));
+    let result2 = Arc::clone(&result);
+    let id = {
+        let mut st = ctx.exec.lock();
+        let id = st.threads.len();
+        let view = st.threads[ctx.id].view.clone();
+        st.threads.push(ThreadSt {
+            status: Status::Spawning,
+            pending: None,
+            view,
+        });
+        st.live += 1;
+        id
+    };
+    let exec2 = Arc::clone(&ctx.exec);
+    let os = std::thread::Builder::new()
+        .name(format!("model-{id}"))
+        .spawn(move || {
+            run_model_thread(exec2, id, move || {
+                let r = f();
+                *result2
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+            });
+        })
+        .expect("failed to spawn model thread");
+    // Wait until the child is parked at its begin point so the thread
+    // set is deterministic at every scheduling decision.
+    {
+        let mut st = ctx.exec.lock();
+        while st.threads[id].status == Status::Spawning {
+            st = ctx
+                .exec
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    JoinHandle {
+        exec: Arc::clone(&ctx.exec),
+        id,
+        os: Some(os),
+        result,
+    }
+}
+
+fn run_model_thread(exec: Arc<Exec>, id: usize, f: impl FnOnce() + Send) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            id,
+        });
+    });
+    {
+        let mut st = exec.lock();
+        st.threads[id].status = Status::Parked;
+        st.threads[id].pending = Some(PendingOp::Begin);
+        exec.cv.notify_all();
+        let mut dead = false;
+        while st.active != id {
+            if st.aborting {
+                dead = true;
+                break;
+            }
+            st = exec
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if !dead {
+            st.threads[id].status = Status::Running;
+            st.threads[id].pending = None;
+        } else {
+            drop(st);
+            finish_thread(&exec, id, None);
+            // The closure never ran; its captures (readers, cells) may
+            // perform shim operations on drop. We are marked Done on an
+            // aborting execution, so those free-run — but CTX must still
+            // be set while they do.
+            drop(f);
+            CTX.with(|c| c.borrow_mut().take());
+            return;
+        }
+    }
+    let outcome = panic::catch_unwind(AssertUnwindSafe(f));
+    finish_thread(&exec, id, outcome.err());
+    CTX.with(|c| c.borrow_mut().take());
+}
+
+fn finish_thread(exec: &Arc<Exec>, id: usize, panic_payload: Option<Box<dyn Any + Send>>) {
+    let mut st = exec.lock();
+    if let Some(p) = panic_payload {
+        if !p.is::<ModelAbort>() {
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "model thread panicked".to_string());
+            record_violation(&mut st, ViolationKind::Panic, msg);
+        }
+    }
+    st.threads[id].status = Status::Done;
+    st.threads[id].pending = None;
+    st.live -= 1;
+    if !st.aborting && st.live > 0 {
+        let _ = schedule(&mut st);
+    }
+    drop(st);
+    exec.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------
+
+/// Exhaustively explores `body` under `config`. See the module docs.
+pub fn explore<F>(config: Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let mut plan: Vec<u32> = Vec::new();
+    let mut executions = 0u64;
+    let mut max_trace_len = 0usize;
+    loop {
+        let exec = Arc::new(Exec {
+            st: Mutex::new(ExecSt {
+                threads: vec![ThreadSt {
+                    status: Status::Spawning,
+                    pending: None,
+                    view: View::new(),
+                }],
+                locs: Vec::new(),
+                mutexes: Vec::new(),
+                slab: Vec::new(),
+                plan: std::mem::take(&mut plan),
+                trace: Vec::new(),
+                cursor: 0,
+                active: usize::MAX,
+                last_sched: None,
+                preemptions: 0,
+                bound: config.preemption_bound,
+                live: 1,
+                violation: None,
+                aborting: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let exec2 = Arc::clone(&exec);
+        let b = Arc::clone(&body);
+        let root = std::thread::Builder::new()
+            .name("model-0".to_string())
+            .spawn(move || run_model_thread(exec2, 0, move || b()))
+            .expect("failed to spawn model root thread");
+        {
+            let mut st = exec.lock();
+            while st.threads[0].status == Status::Spawning {
+                st = exec
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            st.active = 0;
+            st.last_sched = Some(0);
+        }
+        exec.cv.notify_all();
+        let (violation, trace) = {
+            let mut st = exec.lock();
+            while st.live > 0 {
+                st = exec
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if st.violation.is_none() {
+                let leaked: Vec<usize> = st
+                    .slab
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.live)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !leaked.is_empty() {
+                    record_violation(
+                        &mut st,
+                        ViolationKind::Leak,
+                        format!("heap cells never freed: {leaked:?}"),
+                    );
+                }
+            }
+            (st.violation.take(), std::mem::take(&mut st.trace))
+        };
+        let _ = root.join();
+        executions += 1;
+        max_trace_len = max_trace_len.max(trace.len());
+        if violation.is_some() {
+            return Report {
+                executions,
+                complete: false,
+                violation,
+                max_trace_len,
+            };
+        }
+        // Depth-first backtrack: bump the deepest choice with an untried
+        // alternative, drop everything after it.
+        let mut advanced = false;
+        for i in (0..trace.len()).rev() {
+            if trace[i].picked + 1 < trace[i].n {
+                plan = trace[..i].iter().map(|c| c.picked).collect();
+                plan.push(trace[i].picked + 1);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return Report {
+                executions,
+                complete: true,
+                violation: None,
+                max_trace_len,
+            };
+        }
+        if executions >= config.max_executions {
+            return Report {
+                executions,
+                complete: false,
+                violation: None,
+                max_trace_len,
+            };
+        }
+    }
+}

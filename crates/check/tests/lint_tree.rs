@@ -1,0 +1,234 @@
+//! The linter on trees: the real workspace must be clean, and each rule
+//! must fire on a synthetic tree seeded with exactly its violation.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use fib_check::lint::{self, Finding};
+
+/// The workspace root, two levels up from this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// The repo's own invariants hold — the same gate CI runs via the
+/// `fibcheck` binary, exercised as a library call.
+#[test]
+fn workspace_is_clean() {
+    let findings = lint::run(&repo_root()).expect("lint runs");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+static TREE_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// A throwaway workspace tree under the target-local temp dir. Removed
+/// on drop; a unique per-process sequence keeps parallel tests apart.
+struct Tree {
+    root: PathBuf,
+}
+
+impl Tree {
+    fn new() -> Self {
+        let seq = TREE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let root =
+            std::env::temp_dir().join(format!("fibcheck-lint-tree-{}-{seq}", std::process::id()));
+        fs::create_dir_all(&root).expect("create tree root");
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+        Self { root }
+    }
+
+    fn file(&self, rel: &str, contents: &str) -> &Self {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("rel has a parent")).expect("mkdir");
+        fs::write(path, contents).expect("write source");
+        self
+    }
+
+    fn run(&self) -> Vec<Finding> {
+        lint::run(&self.root).expect("lint runs on synthetic tree")
+    }
+}
+
+impl Drop for Tree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn unsafe_outside_allowlist_fires() {
+    let tree = Tree::new();
+    tree.file(
+        "crates/core/src/lib.rs",
+        "#![deny(unsafe_code)]\npub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    let findings = tree.run();
+    assert!(
+        rules_of(&findings).contains(&"unsafe-allowlist"),
+        "expected unsafe-allowlist, got {findings:?}"
+    );
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "unsafe-allowlist")
+        .expect("checked above");
+    assert_eq!(f.line, 3, "finding points at the unsafe block");
+}
+
+#[test]
+fn unsafe_inside_allowlist_is_permitted() {
+    let tree = Tree::new();
+    // snapcell.rs is on the allowlist; the keyword alone must not fire.
+    tree.file(
+        "crates/router/src/lib.rs",
+        "#![deny(unsafe_code)]\npub mod snapcell;\n",
+    );
+    tree.file(
+        "crates/router/src/snapcell.rs",
+        "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    let findings = tree.run();
+    assert!(
+        !rules_of(&findings).contains(&"unsafe-allowlist"),
+        "allowlisted file flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn unsafe_in_comments_and_strings_is_ignored() {
+    let tree = Tree::new();
+    tree.file(
+        "crates/core/src/lib.rs",
+        concat!(
+            "#![deny(unsafe_code)]\n",
+            "// unsafe in a comment\n",
+            "/* unsafe in /* a nested */ block comment */\n",
+            "pub const MSG: &str = \"unsafe in a string\";\n",
+            "pub const RAW: &str = r#\"unsafe in a raw string\"#;\n",
+        ),
+    );
+    let findings = tree.run();
+    assert!(
+        !rules_of(&findings).contains(&"unsafe-allowlist"),
+        "comment/string tokens flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn unjustified_ordering_fires_and_justified_passes() {
+    let tree = Tree::new();
+    tree.file(
+        "crates/router/src/lib.rs",
+        concat!(
+            "#![deny(unsafe_code)]\n",
+            "use std::sync::atomic::{AtomicU64, Ordering};\n",
+            "pub fn bad(a: &AtomicU64) -> u64 {\n",
+            "    a.load(Ordering::Acquire)\n",
+            "}\n",
+            "pub fn good(a: &AtomicU64) -> u64 {\n",
+            "    // ordering: pairs with the Release store in `publish`.\n",
+            "    a.load(Ordering::Acquire)\n",
+            "}\n",
+        ),
+    );
+    let findings = tree.run();
+    let ordering: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "ordering-justification")
+        .collect();
+    assert_eq!(
+        ordering.len(),
+        1,
+        "exactly the unjustified site fires: {findings:?}"
+    );
+    assert_eq!(ordering[0].line, 4);
+}
+
+#[test]
+fn hot_path_panic_fires_only_when_reachable() {
+    let tree = Tree::new();
+    tree.file(
+        "crates/core/src/lib.rs",
+        concat!(
+            "#![deny(unsafe_code)]\n",
+            "pub fn lookup_batch(xs: &[u32]) -> u32 {\n",
+            "    helper(xs)\n",
+            "}\n",
+            "fn helper(xs: &[u32]) -> u32 {\n",
+            "    xs.first().copied().unwrap()\n",
+            "}\n",
+            "pub fn build_only() {\n",
+            "    panic!(\"not reachable from a lookup root\");\n",
+            "}\n",
+        ),
+    );
+    let findings = tree.run();
+    let hot: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "hot-path-purity")
+        .collect();
+    assert_eq!(
+        hot.len(),
+        1,
+        "only the reachable unwrap fires: {findings:?}"
+    );
+    assert_eq!(hot[0].line, 6);
+}
+
+#[test]
+fn hot_path_allow_marker_suppresses() {
+    let tree = Tree::new();
+    tree.file(
+        "crates/core/src/lib.rs",
+        concat!(
+            "#![deny(unsafe_code)]\n",
+            "pub fn lookup_batch(xs: &[u32]) -> u32 {\n",
+            "    assert!(!xs.is_empty()); // fibcheck: allow(hot-path): once per batch\n",
+            "    xs[0]\n",
+            "}\n",
+        ),
+    );
+    let findings = tree.run();
+    assert!(
+        !rules_of(&findings).contains(&"hot-path-purity"),
+        "suppressed line still flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn missing_deny_unsafe_fires() {
+    let tree = Tree::new();
+    tree.file("crates/core/src/lib.rs", "pub fn f() {}\n");
+    let findings = tree.run();
+    assert!(
+        rules_of(&findings).contains(&"deny-unsafe-missing"),
+        "expected deny-unsafe-missing, got {findings:?}"
+    );
+}
+
+#[test]
+fn findings_render_as_file_line_rule() {
+    let tree = Tree::new();
+    tree.file("crates/core/src/lib.rs", "pub fn f() {}\n");
+    let findings = tree.run();
+    let rendered = findings[0].to_string();
+    assert!(
+        rendered.contains("lib.rs:1: deny-unsafe-missing:"),
+        "unexpected rendering: {rendered}"
+    );
+}

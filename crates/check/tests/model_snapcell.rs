@@ -1,0 +1,205 @@
+//! Exhaustive exploration of the `SnapCell` snapshot-publication
+//! protocol — the same `SnapCellCore` source the router ships, run on
+//! [`fib_check::sync::ModelShim`].
+//!
+//! These replace the hand-pinned interleaving schedules the router crate
+//! used to carry: instead of three adversarial schedules someone thought
+//! of, the explorer enumerates *every* schedule (bounded preemption) and
+//! every weak-memory read, and the slab heap turns use-after-free into a
+//! reported violation.
+//!
+//! Properties checked in every execution:
+//! * no snapshot cell is read after the writer reclaimed it (UAF),
+//! * no cell is freed twice or leaked (reclamation is exact),
+//! * each reader's observed generation is monotone,
+//! * each reader's observed snapshot value is monotone,
+//! * a reader's snapshot is never *staler* than its reported generation
+//!   (we publish the value `g` at generation `g`, so `value >= gen`).
+//!
+//! The last property is deliberately one-sided. The obvious stronger
+//! claim — `value == generation` — is false, and the explorer found the
+//! refutation: a publish's pointer swap can land between the reader's
+//! generation validate and its `current` load, handing the reader a
+//! *fresher* snapshot than the generation it just validated. That is
+//! memory-safe (the hazard handshake pins the cell either way) and
+//! self-heals on the next `get`, but it means `SnapReader::generation`
+//! is a lower bound, not an exact tag — which is what its docs now say.
+
+use std::sync::Arc;
+
+use fib_check::model::{self, Config};
+use fib_check::sync::ModelSnapCell;
+
+/// Full bound when `FIB_MODEL_FULL=1` (CI full job), smoke bound
+/// otherwise. The smoke bound already explores every single-preemption
+/// schedule plus all weak-memory value choices.
+fn bound() -> usize {
+    if std::env::var("FIB_MODEL_FULL").as_deref() == Ok("1") {
+        3
+    } else {
+        2
+    }
+}
+
+/// Drives one reader handle, asserting the protocol's contract at every
+/// `get`: monotone generations, monotone snapshot values, and a
+/// snapshot never staler than the generation the handle reports.
+fn run_reader(mut reader: fib_check::sync::ModelSnapReader<u64>, gets: usize) {
+    let mut last_gen = reader.generation();
+    let mut last_value = **reader.get();
+    for _ in 0..gets {
+        let value = **reader.get();
+        let generation = reader.generation();
+        assert!(
+            generation >= last_gen,
+            "reader generation went backwards: {last_gen} -> {generation}"
+        );
+        assert!(
+            value >= last_value,
+            "snapshot went backwards: {last_value} -> {value}"
+        );
+        assert!(
+            value >= generation,
+            "snapshot value {value} is staler than its claimed generation {generation}"
+        );
+        last_gen = generation;
+        last_value = value;
+    }
+}
+
+/// The headline scenario from the issue: two concurrent readers, one
+/// publisher, snapshot reclamation in the loop. Exhausts the bounded
+/// space and requires a non-trivial amount of it.
+#[test]
+fn two_readers_one_publisher_exhaustive() {
+    let report = model::explore(
+        Config {
+            preemption_bound: bound(),
+            max_executions: 40_000_000,
+        },
+        || {
+            let cell = Arc::new(ModelSnapCell::new(Arc::new(1u64)));
+            let r1 = cell.reader();
+            let r2 = cell.reader();
+            let publisher = {
+                let cell = Arc::clone(&cell);
+                model::spawn(move || {
+                    cell.publish(Arc::new(2));
+                })
+            };
+            let t1 = model::spawn(move || run_reader(r1, 1));
+            let t2 = model::spawn(move || run_reader(r2, 1));
+            t1.join();
+            t2.join();
+            publisher.join();
+            assert_eq!(*cell.load(), 2);
+            assert_eq!(cell.generation(), 2);
+            cell.reclaim();
+            // Readers are gone and announced idle: nothing may still be
+            // deferred. (The slab leak check additionally proves every
+            // cell is freed once the cell itself drops.)
+            assert_eq!(cell.retired_len(), 0, "quiesced cells not reclaimed");
+        },
+    );
+    report.assert_clean();
+    assert!(
+        report.executions >= 10_000,
+        "expected >= 10k distinct interleavings, explored {}",
+        report.executions
+    );
+    println!(
+        "2R/1P bound {}: {} executions, max trace {}",
+        bound(),
+        report.executions,
+        report.max_trace_len
+    );
+}
+
+/// Smaller space, deeper schedule freedom: one reader against a
+/// publisher at a higher preemption bound than the headline test.
+#[test]
+fn one_reader_one_publisher_deep_preemption() {
+    let report = model::explore(
+        Config {
+            preemption_bound: 4,
+            max_executions: 40_000_000,
+        },
+        || {
+            let cell = Arc::new(ModelSnapCell::new(Arc::new(1u64)));
+            let r = cell.reader();
+            let publisher = {
+                let cell = Arc::clone(&cell);
+                model::spawn(move || {
+                    cell.publish(Arc::new(2));
+                })
+            };
+            let t = model::spawn(move || run_reader(r, 2));
+            t.join();
+            publisher.join();
+        },
+    );
+    report.assert_clean();
+}
+
+/// A reader created, cloned, and dropped concurrently with publishes:
+/// exercises slot registration/deregistration against the hazard scan.
+#[test]
+fn reader_clone_and_drop_race_publisher() {
+    let report = model::explore(
+        Config {
+            preemption_bound: 2,
+            max_executions: 40_000_000,
+        },
+        || {
+            let cell = Arc::new(ModelSnapCell::new(Arc::new(1u64)));
+            let r = cell.reader();
+            let publisher = {
+                let cell = Arc::clone(&cell);
+                model::spawn(move || {
+                    cell.publish(Arc::new(2));
+                })
+            };
+            let t = model::spawn(move || {
+                let mut r2 = r.clone();
+                drop(r);
+                let value = **r2.get();
+                assert!(value >= r2.generation());
+            });
+            t.join();
+            publisher.join();
+        },
+    );
+    report.assert_clean();
+}
+
+/// Writer-side `load` (under the writer mutex) racing a publish from
+/// another handle must always return a coherent (value, generation)
+/// pair.
+#[test]
+fn control_path_load_is_coherent() {
+    let report = model::explore(
+        Config {
+            preemption_bound: 3,
+            max_executions: 40_000_000,
+        },
+        || {
+            let cell = Arc::new(ModelSnapCell::new(Arc::new(1u64)));
+            let publisher = {
+                let cell = Arc::clone(&cell);
+                model::spawn(move || {
+                    cell.publish(Arc::new(2));
+                })
+            };
+            let observer = {
+                let cell = Arc::clone(&cell);
+                model::spawn(move || {
+                    let value = *cell.load();
+                    assert!(value == 1 || value == 2, "torn control-path read: {value}");
+                })
+            };
+            observer.join();
+            publisher.join();
+        },
+    );
+    report.assert_clean();
+}

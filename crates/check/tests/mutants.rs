@@ -1,0 +1,112 @@
+//! Mutation-kill suite: every seeded protocol bug in
+//! [`fib_router::snapcell::Mutation`] must be flagged by the model
+//! checker. A checker that cannot kill known-bad variants of the
+//! protocol proves nothing about the good one.
+//!
+//! One scenario drives all kills: one reader refreshing against a
+//! publisher that publishes twice. The second publish is what makes the
+//! reclamation path dangerous — it retires the snapshot the reader may
+//! still be holding mid-refresh. The same scenario under
+//! [`Mutation::None`] is verified clean first, so a kill is evidence
+//! against the mutant, not against the scenario.
+
+use std::sync::Arc;
+
+use fib_check::model::{self, Config, Report, ViolationKind};
+use fib_check::sync::ModelSnapCell;
+use fib_router::snapcell::Mutation;
+
+fn explore_with(mutation: Mutation) -> Report {
+    model::explore(
+        Config {
+            preemption_bound: 2,
+            max_executions: 40_000_000,
+        },
+        move || {
+            let cell = Arc::new(ModelSnapCell::with_mutation(Arc::new(1u64), mutation));
+            let mut reader = cell.reader();
+            let publisher = {
+                let cell = Arc::clone(&cell);
+                model::spawn(move || {
+                    cell.publish(Arc::new(2));
+                    cell.publish(Arc::new(3));
+                })
+            };
+            let t = model::spawn(move || {
+                for _ in 0..2 {
+                    let value = **reader.get();
+                    let generation = reader.generation();
+                    assert!(
+                        value >= generation,
+                        "snapshot value {value} staler than generation {generation}"
+                    );
+                }
+            });
+            t.join();
+            publisher.join();
+        },
+    )
+}
+
+/// The scenario itself is clean under the correct protocol — kills
+/// below indict the mutants, not the harness.
+#[test]
+fn baseline_protocol_survives_the_kill_scenario() {
+    let report = explore_with(Mutation::None);
+    report.assert_clean();
+    println!(
+        "baseline: {} executions, max trace {}",
+        report.executions, report.max_trace_len
+    );
+}
+
+/// Reader dereferences `current` without re-validating the generation:
+/// a publish between announce and dereference frees the cell under it.
+#[test]
+fn kill_skip_validate() {
+    explore_with(Mutation::SkipValidate).assert_violated(ViolationKind::UseAfterFree);
+}
+
+/// Announce demoted to `Relaxed`: the writer's hazard scan can read the
+/// stale IDLE from before the announcement and free the pinned cell.
+#[test]
+fn kill_relaxed_announce() {
+    explore_with(Mutation::RelaxedAnnounce).assert_violated(ViolationKind::UseAfterFree);
+}
+
+/// Validate demoted to `Relaxed`: a stale generation read passes
+/// validation after a publish already retired and freed the cell.
+#[test]
+fn kill_stale_gen_read() {
+    explore_with(Mutation::StaleGenRead).assert_violated(ViolationKind::UseAfterFree);
+}
+
+/// Hazard floor off by one: the writer frees a cell whose generation is
+/// exactly one past the oldest announcement — the one still pinned.
+#[test]
+fn kill_reclaim_off_by_one() {
+    explore_with(Mutation::ReclaimOffByOne).assert_violated(ViolationKind::UseAfterFree);
+}
+
+/// Reclamation without scanning hazard slots at all.
+#[test]
+fn kill_skip_hazard_scan() {
+    explore_with(Mutation::SkipHazardScan).assert_violated(ViolationKind::UseAfterFree);
+}
+
+/// The same cell retired twice: the kill needs no reader at all — the
+/// first quiescent reclaim frees it twice.
+#[test]
+fn kill_double_retire() {
+    let report = model::explore(
+        Config {
+            preemption_bound: 2,
+            max_executions: 1_000_000,
+        },
+        || {
+            let cell = ModelSnapCell::with_mutation(Arc::new(1u64), Mutation::DoubleRetire);
+            cell.publish(Arc::new(2));
+        },
+    );
+    report.assert_violated(ViolationKind::DoubleFree);
+}

@@ -124,7 +124,7 @@ pub trait FibLookup<A: Address> {
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
-        assert!(out.len() >= addrs.len(), "output buffer too small");
+        assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
         for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
             *slot = self.lookup(*addr);
         }

@@ -33,6 +33,7 @@ mod engine;
 mod entropy;
 pub mod image;
 pub mod lambda;
+pub mod lint;
 mod multibit;
 mod pdag;
 mod serialized;

@@ -1,0 +1,625 @@
+//! Deep structural analysis of `fibimage/v1` files — the engine behind
+//! `fibc lint`.
+//!
+//! The load path ([`FibImage::from_bytes`] + the per-engine `view`
+//! constructors) validates what it must to serve lookups safely:
+//! header sanity, checksum, section bounds, child ranges. This module
+//! goes further, re-deriving redundant structure from the raw words and
+//! cross-checking it against the stored directories — on purpose
+//! *independently* of the loader, so a bug in the loader's parse cannot
+//! hide the same bug here:
+//!
+//! * section-table hygiene: duplicate ids, payloads overlapping each
+//!   other or the header/table blocks;
+//! * prefix-DAG shape: children in range, acyclicity (it is a *DAG*
+//!   claim), and reachability of every packed node from the root;
+//! * wavelet-tree shape: child tags valid, child indices strictly
+//!   decreasing (the builder pushes children first — any other order
+//!   can loop a descent);
+//! * rank directories: every `S_I`/wavelet-node plain bit vector's
+//!   line counts, intra-line prefix counts, select samples, and tail
+//!   padding recomputed from the data bits
+//!   ([`fib_succinct::RsBitVecRef::audit`]) — the showcase class,
+//!   because a corrupted count word passes every size check the loader
+//!   makes and then silently misroutes;
+//! * routes payload: prefix lengths and address widths within family;
+//! * header claims: route count vs the routes payload, prefix count vs
+//!   the engine's own parameters, the resident-size claim vs the actual
+//!   payload bytes.
+//!
+//! Every issue carries a stable kebab-case `code` so tooling (and the
+//! corpus tests) can assert on classes, not message strings.
+
+use fib_succinct::{IntVecRef, RrrVecRef, RsBitVecRef};
+
+use crate::image::{any_view, sections, EngineKind, FibImage, ImageError, SectionEntry};
+use crate::FibLookup;
+
+/// Word-size of the header and the alignment unit of section payloads.
+const BLOCK_WORDS: usize = 8;
+/// The packed prefix-DAG's null child reference.
+const PDAG_NONE: u32 = u32::MAX;
+
+/// One structural finding in a FIB image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintIssue {
+    /// Stable kebab-case class code (what tests and tooling match on).
+    pub code: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+fn issue(code: &'static str, detail: impl Into<String>) -> LintIssue {
+    LintIssue {
+        code,
+        detail: detail.into(),
+    }
+}
+
+/// Maps a load-path error to its stable lint code.
+#[must_use]
+pub fn load_error_code(e: &ImageError) -> &'static str {
+    match e {
+        ImageError::Io(_) => "image-io",
+        ImageError::Truncated => "image-truncated",
+        ImageError::BadMagic => "image-bad-magic",
+        ImageError::BadVersion(_) => "image-bad-version",
+        ImageError::FamilyMismatch { .. } => "image-family-mismatch",
+        ImageError::EngineMismatch { .. } => "image-engine-mismatch",
+        ImageError::UnknownEngine(_) => "image-unknown-engine",
+        ImageError::ChecksumMismatch => "image-checksum-mismatch",
+        ImageError::MissingSection(_) => "image-missing-section",
+        ImageError::Malformed(_) => "image-malformed",
+        ImageError::Unsupported(_) => "image-unsupported",
+    }
+}
+
+/// Lints raw image bytes: load errors become a single typed issue, a
+/// loadable image gets the full deep pass of [`lint_image`].
+#[must_use]
+pub fn lint_bytes(bytes: &[u8]) -> Vec<LintIssue> {
+    match FibImage::from_bytes(bytes) {
+        Ok(image) => lint_image(&image),
+        Err(e) => vec![issue(load_error_code(&e), e.to_string())],
+    }
+}
+
+/// Runs every deep pass over an already-loaded image. Returns all
+/// issues found (an empty vector is a clean bill).
+#[must_use]
+pub fn lint_image(image: &FibImage) -> Vec<LintIssue> {
+    let mut issues = Vec::new();
+    header_pass(image, &mut issues);
+    sections_pass(image, &mut issues);
+    routes_pass(image, &mut issues);
+    match image.engine() {
+        Ok(EngineKind::PrefixDag) => pdag_pass(image, &mut issues),
+        Ok(EngineKind::Xbw) => xbw_pass(image, &mut issues),
+        // serialized / multibit / lctrie structure is fully covered by
+        // their validating views, exercised in view_pass below.
+        Ok(_) | Err(_) => {}
+    }
+    view_pass(image, &mut issues);
+    issues
+}
+
+// ---------------------------------------------------------------------
+// Generic passes
+// ---------------------------------------------------------------------
+
+fn header_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
+    if !matches!(image.family(), 4 | 6) {
+        issues.push(issue(
+            "image-bad-family",
+            format!("family byte is {}, expected 4 or 6", image.family()),
+        ));
+    }
+    if let Err(e) = image.engine() {
+        issues.push(issue("image-unknown-engine", e.to_string()));
+    }
+}
+
+/// Padded word range a section occupies (payloads are block-aligned and
+/// block-padded by the writer).
+fn padded_range(e: &SectionEntry) -> (usize, usize) {
+    (
+        e.offset,
+        e.offset + e.len.div_ceil(BLOCK_WORDS) * BLOCK_WORDS,
+    )
+}
+
+fn sections_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
+    let table = image.section_table();
+    let table_blocks = (table.len() * 2).div_ceil(BLOCK_WORDS) * BLOCK_WORDS;
+    let payload_base = BLOCK_WORDS + table_blocks;
+    for (i, a) in table.iter().enumerate() {
+        if a.offset < payload_base {
+            issues.push(issue(
+                "section-in-header",
+                format!(
+                    "section {:#x} starts at word {} inside the header/table (payloads begin at {payload_base})",
+                    a.id, a.offset
+                ),
+            ));
+        }
+        for b in &table[i + 1..] {
+            if b.id == a.id {
+                issues.push(issue(
+                    "section-duplicate",
+                    format!("section id {:#x} appears more than once", a.id),
+                ));
+            }
+            let (a0, a1) = padded_range(a);
+            let (b0, b1) = padded_range(b);
+            if a0 < b1 && b0 < a1 && a.len > 0 && b.len > 0 {
+                issues.push(issue(
+                    "section-overlap",
+                    format!(
+                        "sections {:#x} (words {a0}..{a1}) and {:#x} (words {b0}..{b1}) overlap",
+                        a.id, b.id
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn routes_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
+    let Ok(words) = image.section(sections::ROUTES) else {
+        return;
+    };
+    if words.len() % 3 != 0 {
+        issues.push(issue(
+            "routes-malformed",
+            format!(
+                "routes section is {} words, not a multiple of 3",
+                words.len()
+            ),
+        ));
+        return;
+    }
+    let width: u32 = if image.family() == 4 { 32 } else { 128 };
+    for (i, route) in words.chunks_exact(3).enumerate() {
+        let addr = (u128::from(route[0]) << 64) | u128::from(route[1]);
+        let len = (route[2] & 0xFF) as u8;
+        if u32::from(len) > width {
+            issues.push(issue(
+                "routes-malformed",
+                format!("route {i}: prefix length {len} exceeds family width {width}"),
+            ));
+        }
+        if width < 128 && addr >> width != 0 {
+            issues.push(issue(
+                "routes-malformed",
+                format!("route {i}: address has bits above the family width"),
+            ));
+        }
+    }
+    let count = (words.len() / 3) as u64;
+    if count != image.route_count() {
+        issues.push(issue(
+            "route-count-mismatch",
+            format!(
+                "header claims {} routes, routes section carries {count}",
+                image.route_count()
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prefix-DAG: in-range children, acyclicity, reachability
+// ---------------------------------------------------------------------
+
+fn pdag_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
+    let (Ok(params), Ok(nodes)) = (
+        image.section(sections::PARAMS),
+        image.section(sections::PDAG_NODES),
+    ) else {
+        return; // view_pass reports the missing section
+    };
+    if nodes.len() % 2 != 0 {
+        issues.push(issue(
+            "image-malformed",
+            "pdag node section has an odd word count",
+        ));
+        return;
+    }
+    let n = nodes.len() / 2;
+    let Some(root) = params.first().and_then(|&r| u32::try_from(r).ok()) else {
+        issues.push(issue("image-malformed", "pdag params lack a root"));
+        return;
+    };
+    if root != PDAG_NONE && root as usize >= n {
+        issues.push(issue(
+            "pdag-root-out-of-range",
+            format!("root {root} with only {n} packed nodes"),
+        ));
+        return;
+    }
+    let child = |i: usize, right: bool| -> u32 {
+        let w = nodes[2 * i];
+        if right {
+            (w >> 32) as u32
+        } else {
+            w as u32
+        }
+    };
+    let mut out_of_range = 0usize;
+    for i in 0..n {
+        for r in [false, true] {
+            let c = child(i, r);
+            if c != PDAG_NONE && c as usize >= n {
+                out_of_range += 1;
+            }
+        }
+    }
+    if out_of_range > 0 {
+        issues.push(issue(
+            "pdag-child-out-of-range",
+            format!("{out_of_range} child reference(s) point past the {n} packed nodes"),
+        ));
+        return; // range violations make the walks below meaningless
+    }
+    if root == PDAG_NONE {
+        if n > 0 {
+            issues.push(issue(
+                "pdag-unreachable",
+                format!("root is ⊥ but {n} nodes are packed"),
+            ));
+        }
+        return;
+    }
+    // Iterative 3-color DFS: gray-hit ⇒ cycle; white-after ⇒ unreachable.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    // (node, next child to expand: 0 = left, 1 = right, 2 = retire)
+    let mut stack: Vec<(u32, u8)> = vec![(root, 0)];
+    color[root as usize] = GRAY;
+    let mut cycle = false;
+    while let Some((node, branch)) = stack.pop() {
+        if branch == 2 {
+            color[node as usize] = BLACK;
+            continue;
+        }
+        stack.push((node, branch + 1));
+        let c = child(node as usize, branch == 1);
+        if c == PDAG_NONE {
+            continue;
+        }
+        match color[c as usize] {
+            GRAY if !cycle => {
+                issues.push(issue(
+                    "pdag-cycle",
+                    format!("node {c} is its own ancestor (edge from node {node})"),
+                ));
+                cycle = true;
+            }
+            WHITE => {
+                color[c as usize] = GRAY;
+                stack.push((c, 0));
+            }
+            _ => {}
+        }
+    }
+    let unreached = color.iter().filter(|&&c| c == WHITE).count();
+    if unreached > 0 {
+        issues.push(issue(
+            "pdag-unreachable",
+            format!("{unreached} of {n} packed nodes unreachable from the root"),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// XBW-b: rank-directory audits, wavelet shape, string agreement
+// ---------------------------------------------------------------------
+
+fn xbw_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
+    let (Ok(params), Ok(si_words), Ok(sa_words)) = (
+        image.section(sections::PARAMS),
+        image.section(sections::XBW_SI),
+        image.section(sections::XBW_SA),
+    ) else {
+        return; // view_pass reports the missing section
+    };
+    if params.len() < 4 {
+        issues.push(issue("image-malformed", "xbw params section too short"));
+        return;
+    }
+    let (si_kind, sa_kind) = (params[0], params[1]);
+    if params[2] != image.prefix_count() {
+        issues.push(issue(
+            "prefix-count-mismatch",
+            format!(
+                "header claims {} leaves, xbw params record {}",
+                image.prefix_count(),
+                params[2]
+            ),
+        ));
+    }
+    let si_ones = match si_kind {
+        0 => match RsBitVecRef::from_words(si_words) {
+            Ok((view, _)) => {
+                if let Err(e) = view.audit() {
+                    issues.push(issue(
+                        "rank-directory-mismatch",
+                        format!("S_I rank directory: {}", e.0),
+                    ));
+                }
+                Some(view.count_ones())
+            }
+            Err(e) => {
+                issues.push(issue("view-malformed", format!("S_I: {}", e.0)));
+                None
+            }
+        },
+        1 => match RrrVecRef::from_words(si_words) {
+            Ok((view, _)) => Some(view.count_ones()),
+            Err(e) => {
+                issues.push(issue("view-malformed", format!("S_I (rrr): {}", e.0)));
+                None
+            }
+        },
+        k => {
+            issues.push(issue(
+                "image-malformed",
+                format!("unknown S_I storage kind {k}"),
+            ));
+            None
+        }
+    };
+    let sa_len = match sa_kind {
+        0 => match IntVecRef::from_words(sa_words) {
+            Ok((view, _)) => Some(view.len()),
+            Err(e) => {
+                issues.push(issue("view-malformed", format!("S_α: {}", e.0)));
+                None
+            }
+        },
+        1 => wavelet_pass(sa_words, issues),
+        k => {
+            issues.push(issue(
+                "image-malformed",
+                format!("unknown S_α storage kind {k}"),
+            ));
+            None
+        }
+    };
+    if let (Some(ones), Some(len)) = (si_ones, sa_len) {
+        if ones != len {
+            issues.push(issue(
+                "xbw-leaf-count-mismatch",
+                format!("S_I has {ones} leaves but S_α holds {len} symbols"),
+            ));
+        }
+    }
+}
+
+/// Raw re-parse of a serialized wavelet tree: meta block, 4-word node
+/// table, per-node payloads. Deliberately does not go through
+/// `WaveletTreeRef::from_words` first — the point is to name *which*
+/// invariant a corrupt table breaks, where the loader only refuses.
+/// Returns the sequence length when the shape is sound enough to know it.
+fn wavelet_pass(words: &[u64], issues: &mut Vec<LintIssue>) -> Option<usize> {
+    let before = issues.len();
+    if words.len() < BLOCK_WORDS {
+        issues.push(issue("view-malformed", "wavelet run shorter than its meta"));
+        return None;
+    }
+    let len = words[0] as usize;
+    let n_nodes = words[1] as usize;
+    let root = words[2];
+    let backing = words[4];
+    if backing > 1 {
+        issues.push(issue(
+            "view-malformed",
+            format!("wavelet backing code {backing} unknown"),
+        ));
+        return None;
+    }
+    let table_end = n_nodes
+        .checked_mul(4)
+        .and_then(|t| BLOCK_WORDS.checked_add(t));
+    if table_end.is_none_or(|end| end > words.len()) {
+        issues.push(issue("view-malformed", "wavelet node table truncated"));
+        return None;
+    }
+    let unpack = |w: u64| -> (u64, u64) { (w >> 62, w & ((1u64 << 62) - 1)) };
+    let (root_tag, root_val) = unpack(root);
+    match root_tag {
+        1 if root_val as usize >= n_nodes => {
+            issues.push(issue(
+                "wavelet-root-out-of-range",
+                format!("root node {root_val} with only {n_nodes} nodes"),
+            ));
+        }
+        3 => issues.push(issue("wavelet-child-tag", "root has an invalid tag")),
+        _ => {}
+    }
+    for idx in 0..n_nodes {
+        let rec = &words[BLOCK_WORDS + idx * 4..BLOCK_WORDS + idx * 4 + 4];
+        for (side, &packed) in ["left", "right"].iter().zip(&rec[..2]) {
+            let (tag, val) = unpack(packed);
+            match tag {
+                3 => issues.push(issue(
+                    "wavelet-child-tag",
+                    format!("node {idx}: {side} child has an invalid tag"),
+                )),
+                1 if val as usize >= idx => issues.push(issue(
+                    "wavelet-child-no-decrease",
+                    format!(
+                        "node {idx}: {side} child {val} does not strictly decrease — \
+                         a descent through it could revisit or loop"
+                    ),
+                )),
+                _ => {}
+            }
+        }
+        // Audit each node's payload; the rank directories inside the
+        // wavelet are exactly as able to misroute as the top-level S_I.
+        let payload_off = rec[2] as usize;
+        let Some(payload) = words.get(payload_off..) else {
+            issues.push(issue(
+                "view-malformed",
+                format!("node {idx}: payload offset {payload_off} out of range"),
+            ));
+            continue;
+        };
+        if backing == 0 {
+            match RsBitVecRef::from_words(payload) {
+                Ok((view, _)) => {
+                    if let Err(e) = view.audit() {
+                        issues.push(issue(
+                            "rank-directory-mismatch",
+                            format!("wavelet node {idx}: {}", e.0),
+                        ));
+                    }
+                }
+                Err(e) => issues.push(issue(
+                    "view-malformed",
+                    format!("wavelet node {idx}: {}", e.0),
+                )),
+            }
+        } else if let Err(e) = RrrVecRef::from_words(payload) {
+            issues.push(issue(
+                "view-malformed",
+                format!("wavelet node {idx} (rrr): {}", e.0),
+            ));
+        }
+    }
+    (issues.len() == before).then_some(len)
+}
+
+// ---------------------------------------------------------------------
+// View assembly + size-claim drift
+// ---------------------------------------------------------------------
+
+fn view_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
+    if image.engine().is_err() || !matches!(image.family(), 4 | 6) {
+        return; // already reported; a view cannot be built
+    }
+    let view_size = match image.family() {
+        4 => match any_view::<u32>(image) {
+            Ok(view) => FibLookup::<u32>::size_bytes(&view),
+            Err(e) => {
+                issues.push(issue("view-malformed", e.to_string()));
+                return;
+            }
+        },
+        _ => match any_view::<u128>(image) {
+            Ok(view) => FibLookup::<u128>::size_bytes(&view),
+            Err(e) => {
+                issues.push(issue("view-malformed", e.to_string()));
+                return;
+            }
+        },
+    };
+    // The header's resident-size claim must track the engine's actual
+    // view accounting. Small images carry fixed serialization overhead
+    // (select directories, node tables, block padding) that the resident
+    // estimate legitimately omits, so the tolerance is 50 % plus an
+    // absolute 1 KiB of slack — enough that only a corrupted or
+    // dishonest claim fires, not format overheads.
+    let claimed = image.claimed_size_bytes() as usize;
+    let drift = claimed.abs_diff(view_size);
+    if drift > view_size / 2 + 1024 {
+        issues.push(issue(
+            "size-claim-drift",
+            format!("header claims {claimed} resident bytes, the view accounts {view_size}"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::write_image;
+    use crate::{BuildConfig, FibBuild, PrefixDag, SerializedDag};
+    use fib_trie::{BinaryTrie, NextHop, Prefix};
+
+    fn small_fib() -> BinaryTrie<u32> {
+        let mut trie = BinaryTrie::new();
+        for (i, (addr, len)) in [
+            (0x0A00_0000u32, 8u8),
+            (0x0A01_0000, 16),
+            (0x0A01_0100, 24),
+            (0xC0A8_0000, 16),
+            (0x8000_0000, 1),
+        ]
+        .iter()
+        .enumerate()
+        {
+            trie.insert(Prefix::new(*addr, *len), NextHop::new(i as u32 % 3));
+        }
+        trie
+    }
+
+    fn repair_checksum(mut bytes: Vec<u8>) -> Vec<u8> {
+        bytes[56..64].fill(0);
+        let checksum = fib_succinct::fnv1a(&bytes);
+        bytes[56..64].copy_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn honest_images_lint_clean() {
+        let trie = small_fib();
+        let ser: SerializedDag<u32> = FibBuild::build(&trie, &BuildConfig::default());
+        let bytes = write_image(&ser, Some(&trie), 1).unwrap();
+        assert_eq!(lint_bytes(&bytes), Vec::new());
+    }
+
+    #[test]
+    fn load_errors_become_typed_issues() {
+        let issues = lint_bytes(&[0u8; 16]);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].code, "image-bad-magic");
+    }
+
+    #[test]
+    fn pdag_cycle_and_unreachable_are_detected() {
+        let trie = small_fib();
+        let dag: PrefixDag<u32> = FibBuild::build(&trie, &BuildConfig::default());
+        let good = write_image(&dag, None, 0).unwrap();
+        let image = FibImage::from_bytes(&good).unwrap();
+        let entry = image
+            .section_table()
+            .iter()
+            .find(|e| e.id == sections::PDAG_NODES)
+            .copied()
+            .unwrap();
+        assert!(entry.len >= 4, "need at least two packed nodes");
+
+        // Point the last node's left child back at the root: a cycle.
+        let mut bad = good.clone();
+        let last = (entry.offset + entry.len - 2) * 8;
+        bad[last..last + 4].copy_from_slice(&0u32.to_le_bytes());
+        let issues = lint_bytes(&repair_checksum(bad));
+        assert!(issues.iter().any(|i| i.code == "pdag-cycle"), "{issues:?}");
+
+        // Cut the root's children: the rest of the pack goes unreachable.
+        let mut bad = good;
+        let root_word = entry.offset * 8;
+        bad[root_word..root_word + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let issues = lint_bytes(&repair_checksum(bad));
+        assert!(
+            issues.iter().any(|i| i.code == "pdag-unreachable"),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn issue_renders_code_colon_detail() {
+        let i = issue("some-code", "what happened");
+        assert_eq!(i.to_string(), "some-code: what happened");
+    }
+}

@@ -336,9 +336,9 @@ impl<'a, A: Address> MultibitDagRef<'a, A> {
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
-        assert!(out.len() >= addrs.len(), "output buffer too small");
-        // Trim so the exact-chunk remainders of both slices stay aligned
-        // when the caller hands in an oversized output buffer.
+        assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
+                                                                      // Trim so the exact-chunk remainders of both slices stay aligned
+                                                                      // when the caller hands in an oversized output buffer.
         let out = &mut out[..addrs.len()];
         let mut chunks = addrs.chunks_exact(MB_BATCH_LANES);
         let mut outs = out.chunks_exact_mut(MB_BATCH_LANES);

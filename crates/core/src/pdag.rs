@@ -535,7 +535,7 @@ impl<A: Address> PrefixDag<A> {
         let mut labels: Vec<u32> = self
             .nodes_live()
             .filter_map(|n| (n.label != NONE).then_some(n.label))
-            .collect();
+            .collect(); // fibcheck: allow(hot-path): control-plane statistics; reached through a name-collision edge, not the lookup walk
         labels.sort_unstable();
         labels.dedup();
         labels.len()
@@ -543,7 +543,7 @@ impl<A: Address> PrefixDag<A> {
 
     fn nodes_live(&self) -> impl Iterator<Item = DagNode> + '_ {
         // Live nodes = reachable; free slots keep stale bits, so walk.
-        let mut seen = vec![false; self.nodes.len()];
+        let mut seen = vec![false; self.nodes.len()]; // fibcheck: allow(hot-path): control-plane statistics; reached through a name-collision edge, not the lookup walk
         let mut stack = Vec::new();
         if self.root != NONE {
             stack.push(self.root);

@@ -91,10 +91,11 @@ impl FoldedString {
     /// third character is fetched by looking up the key `2 = 010₂`).
     ///
     /// # Panics
-    /// Panics if `i >= len()`.
+    /// Panics in debug builds if `i >= len()`.
+    /// Release builds elide the check on the packet path.
     #[must_use]
     pub fn get(&self, i: usize) -> u16 {
-        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let key = if self.width == 0 {
             0
         } else {
@@ -103,7 +104,7 @@ impl FoldedString {
         let nh = self
             .dag
             .lookup(key)
-            .expect("complete string: every position has a symbol");
+            .expect("complete string: every position has a symbol"); // fibcheck: allow(hot-path): completeness is a construction invariant of StrModel
         nh.index() as u16
     }
 

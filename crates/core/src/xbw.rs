@@ -329,7 +329,7 @@ impl<A: Address> XbwFib<A> {
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
-        assert!(out.len() >= addrs.len(), "output buffer too small");
+        assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
         let out = &mut out[..addrs.len()];
         if matches!(self.si, SiStore::Rrr(_)) {
             for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
@@ -402,7 +402,7 @@ impl<A: Address> XbwFib<A> {
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
-        assert!(out.len() >= addrs.len(), "output buffer too small");
+        assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-stream contract, not per-packet
         let out = &mut out[..addrs.len()];
         if matches!(self.si, SiStore::Rrr(_)) {
             for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
@@ -718,7 +718,7 @@ impl<'a, A: Address> XbwFibRef<'a, A> {
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
-        assert!(out.len() >= addrs.len(), "output buffer too small");
+        assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
         let out = &mut out[..addrs.len()];
         if matches!(self.si, SiRef::Rrr(_)) {
             for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
@@ -779,7 +779,7 @@ impl<'a, A: Address> XbwFibRef<'a, A> {
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
-        assert!(out.len() >= addrs.len(), "output buffer too small");
+        assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-stream contract, not per-packet
         let out = &mut out[..addrs.len()];
         if matches!(self.si, SiRef::Rrr(_)) {
             for (addr, slot) in addrs.iter().zip(out.iter_mut()) {

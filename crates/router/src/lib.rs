@@ -59,12 +59,13 @@
 mod router;
 pub mod runtime;
 mod sharded;
-mod snapcell;
+pub mod shim;
+pub mod snapcell;
 
 pub use router::{DataPlane, EpochSnapshot, RestartError, Router, RouterConfig, RouterStats};
 pub use runtime::{
     aggregate, AddressSource, Forwarder, ForwarderConfig, LatencyHistogram, PacingMode,
-    RouteUpdate, UpdateBus, WorkerReport,
+    RouteUpdate, UpdateBus, UpdateReceiver, WorkerReport,
 };
 pub use sharded::{ShardedDataPlane, ShardedRouter, SHARD_BITS, SHARD_COUNT};
 pub use snapcell::{SnapCell, SnapReader};

@@ -172,11 +172,11 @@ impl<E> EpochSnapshot<E> {
 /// forwarding thread owns its own (cheap) clone instead of sharing one
 /// behind a reference.
 #[derive(Debug)]
-pub struct DataPlane<E> {
+pub struct DataPlane<E: Send + Sync + 'static> {
     reader: SnapReader<EpochSnapshot<E>>,
 }
 
-impl<E> Clone for DataPlane<E> {
+impl<E: Send + Sync + 'static> Clone for DataPlane<E> {
     fn clone(&self) -> Self {
         Self {
             reader: self.reader.clone(),
@@ -184,7 +184,7 @@ impl<E> Clone for DataPlane<E> {
     }
 }
 
-impl<E> DataPlane<E> {
+impl<E: Send + Sync + 'static> DataPlane<E> {
     /// The currently published snapshot, as a borrowed handle (the
     /// wait-free fast path — no `Arc` refcount traffic while the
     /// generation is unchanged).
@@ -358,7 +358,7 @@ impl Spool {
 /// is a runtime property, so the capability has to be part of the type.
 /// Every Table 2 engine implements the codec; an engine without one can
 /// still serve as a plain [`FibLookup`] data plane outside the router.
-pub struct Router<A: Address, E> {
+pub struct Router<A: Address, E: Send + Sync + 'static> {
     config: RouterConfig,
     control: BinaryTrie<A>,
     /// The engine updates apply to. `None` after a warm restart: the data
@@ -381,7 +381,7 @@ pub struct Router<A: Address, E> {
 impl<A, E> Router<A, E>
 where
     A: Address + Send + Sync + 'static,
-    E: FibLookup<A> + FibBuild<A> + FibUpdate<A> + ImageCodec<A> + Clone + Send + 'static,
+    E: FibLookup<A> + FibBuild<A> + FibUpdate<A> + ImageCodec<A> + Clone + Send + Sync + 'static,
 {
     /// Builds the initial engine from `control` and publishes epoch 0.
     #[must_use]

@@ -15,15 +15,17 @@
 //!
 //! [`lookup_stream`]: fib_core::FibLookup::lookup_stream
 
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
-use std::sync::mpsc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fib_core::ImageCodec;
 use fib_trie::{Address, NextHop, Prefix};
 
 use crate::router::{EpochSnapshot, Router};
-use crate::snapcell::SnapCell;
+use crate::shim::{MutexLike, Shim};
+use crate::snapcell::{RealShim, SnapCell};
 
 // ---------------------------------------------------------------------
 // Latency histogram
@@ -269,7 +271,10 @@ impl Forwarder {
     /// Asks an in-flight [`Forwarder::run`] (on another thread) to wind
     /// down before its duration elapses.
     pub fn stop(&self) {
-        self.stop.store(true, Relaxed);
+        // ordering: Relaxed — a pure shutdown flag: no data is published
+        // through it, workers only need to observe it eventually, and the
+        // scope join below synchronizes everything at the end of `run`.
+        self.stop.store(true, Ordering::Relaxed);
     }
 
     /// Runs the pool to completion against `cell`, building each worker's
@@ -289,7 +294,9 @@ impl Forwarder {
         E: ImageCodec<A> + Send + Sync,
         S: AddressSource<A>,
     {
-        self.stop.store(false, Relaxed);
+        // ordering: Relaxed — reset before any worker spawns; the spawn
+        // itself is the synchronization point that makes it visible.
+        self.stop.store(false, Ordering::Relaxed);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..config.threads.max(1))
                 .map(|worker| {
@@ -313,7 +320,7 @@ impl Forwarder {
     ) -> WorkerReport
     where
         A: Address,
-        E: ImageCodec<A>,
+        E: ImageCodec<A> + Send + Sync + 'static,
         S: AddressSource<A>,
     {
         let mut reader = cell.reader();
@@ -325,7 +332,9 @@ impl Forwarder {
         let start = Instant::now();
         loop {
             let elapsed = start.elapsed();
-            if elapsed >= config.duration || self.stop.load(Relaxed) {
+            // ordering: Relaxed — shutdown-flag poll; seeing the store one
+            // batch late is fine and no data rides on this load.
+            if elapsed >= config.duration || self.stop.load(Ordering::Relaxed) {
                 report.elapsed = elapsed;
                 break;
             }
@@ -388,34 +397,120 @@ pub enum RouteUpdate<A: Address> {
     Withdraw(Prefix<A>),
 }
 
+/// Shared state of one [`BusSenderCore`]/[`BusReceiverCore`] pair.
+struct BusState<T> {
+    queue: VecDeque<T>,
+    rx_alive: bool,
+}
+
+/// The cloneable producer half of the generic MPSC bus the update plane
+/// rides on. Generic over the [`Shim`] so the `fib-check` model checker
+/// can exhaustively explore the send/drain interleavings of the *same*
+/// queue the production [`UpdateBus`] alias uses.
+pub struct BusSenderCore<T: Send + 'static, S: Shim> {
+    inner: Arc<S::Mutex<BusState<T>>>,
+}
+
+/// The single-consumer half: the control plane polls it with
+/// [`BusReceiverCore::try_recv`]; dropping it hangs up the bus.
+pub struct BusReceiverCore<T: Send + 'static, S: Shim> {
+    inner: Arc<S::Mutex<BusState<T>>>,
+}
+
+/// A connected sender/receiver pair over shim `S`.
+#[must_use]
+pub fn bus_channel_core<T: Send + 'static, S: Shim>() -> (BusSenderCore<T, S>, BusReceiverCore<T, S>)
+{
+    let inner = Arc::new(S::Mutex::new(BusState {
+        queue: VecDeque::new(),
+        rx_alive: true,
+    }));
+    (
+        BusSenderCore {
+            inner: Arc::clone(&inner),
+        },
+        BusReceiverCore { inner },
+    )
+}
+
+impl<T: Send + 'static, S: Shim> BusSenderCore<T, S> {
+    /// Enqueues `value`; `false` if the receiver hung up.
+    pub fn send(&self, value: T) -> bool {
+        let mut state = self.inner.lock();
+        if !state.rx_alive {
+            return false;
+        }
+        state.queue.push_back(value);
+        true
+    }
+}
+
+impl<T: Send + 'static, S: Shim> Clone for BusSenderCore<T, S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send + 'static, S: Shim> BusReceiverCore<T, S> {
+    /// Dequeues the oldest pending value, if any (non-blocking).
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.lock().queue.pop_front()
+    }
+}
+
+impl<T: Send + 'static, S: Shim> Drop for BusReceiverCore<T, S> {
+    fn drop(&mut self) {
+        let mut state = self.inner.lock();
+        state.rx_alive = false;
+        state.queue.clear();
+    }
+}
+
 /// The cloneable producer half of the MPSC update bus: BGP sessions,
 /// CLIs, test drivers — anything that generates churn — send updates
 /// here; the control-plane thread drains them into its [`Router`] with
 /// [`Router::drain_updates`].
-#[derive(Clone, Debug)]
-pub struct UpdateBus<A: Address> {
-    tx: mpsc::Sender<RouteUpdate<A>>,
+#[derive(Clone)]
+pub struct UpdateBus<A: Address + Send + 'static> {
+    tx: BusSenderCore<RouteUpdate<A>, RealShim>,
 }
 
-impl<A: Address> UpdateBus<A> {
+/// The control plane's receiving half of the update bus.
+pub struct UpdateReceiver<A: Address + Send + 'static> {
+    rx: BusReceiverCore<RouteUpdate<A>, RealShim>,
+}
+
+impl<A: Address + Send + 'static> UpdateBus<A> {
     /// A connected bus: the sender handle plus the receiver the control
     /// plane owns.
     #[must_use]
-    pub fn channel() -> (Self, mpsc::Receiver<RouteUpdate<A>>) {
-        let (tx, rx) = mpsc::channel();
-        (Self { tx }, rx)
+    pub fn channel() -> (Self, UpdateReceiver<A>) {
+        let (tx, rx) = bus_channel_core();
+        (Self { tx }, UpdateReceiver { rx })
     }
 
     /// Queues an announce; `false` if the control plane hung up.
     pub fn announce(&self, prefix: Prefix<A>, next_hop: NextHop) -> bool {
-        self.tx
-            .send(RouteUpdate::Announce(prefix, next_hop))
-            .is_ok()
+        self.tx.send(RouteUpdate::Announce(prefix, next_hop))
     }
 
     /// Queues a withdraw; `false` if the control plane hung up.
     pub fn withdraw(&self, prefix: Prefix<A>) -> bool {
-        self.tx.send(RouteUpdate::Withdraw(prefix)).is_ok()
+        self.tx.send(RouteUpdate::Withdraw(prefix))
+    }
+}
+
+impl<A: Address + Send + 'static> std::fmt::Debug for UpdateBus<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateBus").finish_non_exhaustive()
+    }
+}
+
+impl<A: Address + Send + 'static> std::fmt::Debug for UpdateReceiver<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateReceiver").finish_non_exhaustive()
     }
 }
 
@@ -428,15 +523,16 @@ where
         + ImageCodec<A>
         + Clone
         + Send
+        + Sync
         + 'static,
 {
     /// Drains every update currently queued on the bus into the control
     /// plane (non-blocking) and returns how many were applied. Publishing
     /// follows the router's normal policy ([`crate::RouterConfig::
     /// publish_every`] or an explicit [`Router::publish`]).
-    pub fn drain_updates(&mut self, rx: &mpsc::Receiver<RouteUpdate<A>>) -> usize {
+    pub fn drain_updates(&mut self, rx: &UpdateReceiver<A>) -> usize {
         let mut applied = 0;
-        while let Ok(update) = rx.try_recv() {
+        while let Some(update) = rx.rx.try_recv() {
             match update {
                 RouteUpdate::Announce(p, nh) => self.announce(p, nh),
                 RouteUpdate::Withdraw(p) => self.withdraw(p),

@@ -28,7 +28,7 @@ pub const SHARD_BITS: u8 = 8;
 pub const SHARD_COUNT: usize = 1 << SHARD_BITS;
 
 /// A [`Router`] per top address byte.
-pub struct ShardedRouter<A: Address, E> {
+pub struct ShardedRouter<A: Address, E: Send + Sync + 'static> {
     shards: Vec<Router<A, E>>,
     /// The router's own data-plane handle: reusable scratch + wait-free
     /// per-shard snapshot readers for [`Self::lookup_batch`].
@@ -39,7 +39,7 @@ pub struct ShardedRouter<A: Address, E> {
 /// [`DataPlane`] reader per shard plus the counting-sort scratch the
 /// batched path needs, so steady-state batches allocate nothing and
 /// never touch a lock.
-pub struct ShardedDataPlane<A, E> {
+pub struct ShardedDataPlane<A, E: Send + Sync + 'static> {
     planes: Vec<DataPlane<E>>,
     /// Input indices grouped by shard (counting-sort output).
     order: Vec<usize>,
@@ -49,7 +49,7 @@ pub struct ShardedDataPlane<A, E> {
     answers: Vec<Option<NextHop>>,
 }
 
-impl<A: Address, E> Clone for ShardedDataPlane<A, E> {
+impl<A: Address, E: Send + Sync + 'static> Clone for ShardedDataPlane<A, E> {
     fn clone(&self) -> Self {
         Self {
             planes: self.planes.clone(),
@@ -65,7 +65,7 @@ impl<A: Address, E> Clone for ShardedDataPlane<A, E> {
 /// small batches, where bucketing overhead would dominate.
 const SMALL_BATCH: usize = 16;
 
-impl<A: Address, E> ShardedDataPlane<A, E> {
+impl<A: Address, E: Send + Sync + 'static> ShardedDataPlane<A, E> {
     /// Lookup through the owning shard's cached snapshot (wait-free).
     #[must_use]
     pub fn lookup(&mut self, addr: A) -> Option<NextHop>
@@ -135,7 +135,7 @@ impl<A: Address, E> ShardedDataPlane<A, E> {
 impl<A, E> ShardedRouter<A, E>
 where
     A: Address + Send + Sync + 'static,
-    E: FibLookup<A> + FibBuild<A> + FibUpdate<A> + ImageCodec<A> + Clone + Send + 'static,
+    E: FibLookup<A> + FibBuild<A> + FibUpdate<A> + ImageCodec<A> + Clone + Send + Sync + 'static,
 {
     /// Partitions `control` by first byte and builds one router per shard,
     /// replicating prefixes shorter than [`SHARD_BITS`] into every shard

@@ -10,15 +10,15 @@
 //! stalled behind every in-flight reader. With N forwarding cores hitting
 //! one cell millions of times per second, that lock word becomes the
 //! hottest line in the process. Here the reader fast path is **one
-//! relaxed-cost atomic load of a generation counter** that only the
+//! acquire-cost atomic load of a generation counter** that only the
 //! (rare) publish ever writes.
 //!
 //! # Design
 //!
 //! `AtomicPtr` publication with generation-counted deferred reclamation:
 //!
-//! * The cell holds `current: AtomicPtr<Arc<T>>` (a heap cell owning one
-//!   `Arc<T>`) and a `gen: AtomicU64` bumped on every publish.
+//! * The cell holds `current` (a heap cell owning one `Arc<T>`) and a
+//!   `gen` counter bumped on every publish.
 //! * Each [`SnapReader`] caches a cloned `Arc<T>` plus the generation it
 //!   was read at. [`SnapReader::get`] compares generations and returns
 //!   the cached clone — the wait-free fast path.
@@ -31,143 +31,199 @@
 //!
 //! # Safety protocol
 //!
-//! All protocol atomics are `SeqCst`; publishes and refreshes are rare
-//! (the fast path never executes an ordered store), so the cost is
-//! irrelevant and the reasoning stays simple. Invariant:
-//!
 //! * writer order: swap `current` → bump `gen` to `t` → tag the old cell
 //!   `t` → scan hazard slots;
 //! * reader order: announce `a` (observed `gen`) → re-check `gen == a` →
 //!   load `current` → clone → set slot idle.
 //!
 //! A reader that validated at generation `a` loads `current` *after* the
-//! swap of any cell retired at tag `t ≤ a` (the bump to `t` precedes, in
-//! the `SeqCst` total order, the gen-load that returned `a ≥ t`), so the
-//! pointers it can dereference are exactly those retired at `t > a` —
-//! and for those its announced `a < t` is visible to the writer's scan,
-//! which then defers the free. A slot returns to idle only after the
-//! clone completed, at which point the reader holds its own strong
-//! reference and the heap cell may be dropped freely.
+//! swap of any cell retired at tag `t ≤ a` (the bump to `t` happens-before
+//! the gen-load that returned `a ≥ t`), so the pointers it can
+//! dereference are exactly those retired at `t > a` — and for those its
+//! announced `a < t` is visible to the writer's scan, which then defers
+//! the free. The announce-store/scan-load and gen-bump/validate-load
+//! pairs form a Dekker handshake and stay `SeqCst`; every other site is
+//! downgraded to the weakest ordering the `fib-check` model checker
+//! passes exhaustively, with a `// ordering:` justification at each use.
 //!
-//! This module carries the crate's only `unsafe` code; everything is
-//! expressed through the small step functions below so the deterministic
-//! interleaving tests can drive publish/read/reclaim schedules one step
-//! at a time.
+//! # One source, two runtimes
+//!
+//! The protocol lives in [`SnapCellCore`]/[`SnapReaderCore`], generic
+//! over the [`crate::shim::Shim`] synchronization family. Production code
+//! uses the [`SnapCell`]/[`SnapReader`] aliases over [`RealShim`] (std
+//! atomics, `Box::into_raw` cells — this module carries the crate's only
+//! `unsafe`). The `fib-check` crate instantiates the *same* core with a
+//! model shim whose every operation is a scheduling point of an
+//! exhaustive DFS explorer, replacing the hand-pinned schedules this
+//! module used to carry. Seeded protocol bugs for the mutation-kill
+//! suite are injected through [`Mutation`] (test-only constructor).
 
 #![allow(unsafe_code)]
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use crate::shim::{AtomCell, AtomU64, MutexLike, Ordering, Shim};
+use std::sync::Arc;
 
 /// Hazard-slot value meaning "not currently reading".
 const IDLE: u64 = u64::MAX;
 
+/// Seeded protocol bugs for the `fib-check` mutation-kill suite. Each
+/// variant weakens exactly one protocol step; the model checker must
+/// report a violation for every one (a checker that can't kill mutants
+/// is decoration). Production cells are always [`Mutation::None`] — the
+/// injecting constructor is compiled only for tests and the `mutants`
+/// feature.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mutation {
+    /// The correct protocol.
+    #[default]
+    None,
+    /// Reader dereferences `current` without re-validating `gen` after
+    /// the announce (classic time-of-check/time-of-use).
+    SkipValidate,
+    /// Reader announces with `Relaxed` — the dropped fence lets the
+    /// announcement sit in a store buffer while the writer's scan reads
+    /// the stale `IDLE` and frees the cell mid-read.
+    RelaxedAnnounce,
+    /// Reader validates with a `Relaxed` generation load — a stale read
+    /// passes validation even though a publish already retired the cell.
+    StaleGenRead,
+    /// Writer frees cells one generation too eagerly
+    /// (reclaim-before-unpin off-by-one on the hazard floor).
+    ReclaimOffByOne,
+    /// Writer reclaims without scanning hazard slots at all.
+    SkipHazardScan,
+    /// Publish pushes the same retired cell twice (double-retire →
+    /// double-free once it quiesces).
+    DoubleRetire,
+}
+
 /// One reader's hazard slot: the generation it is (possibly) reading at.
-struct ReaderSlot {
-    announced: AtomicU64,
+struct ReaderSlot<S: Shim> {
+    announced: S::AtomicU64,
 }
 
 /// A retired heap cell awaiting quiescence.
-struct Retired<T> {
+struct Retired<T: Send + Sync + 'static, S: Shim> {
     /// Generation at which the cell stopped being current.
     gen: u64,
-    cell: *mut Arc<T>,
+    cell: S::Ptr<Arc<T>>,
 }
 
 /// Writer-side state serialized by one mutex (publication is control
 /// plane; only the *reader* side must stay lock-free).
-struct WriterSide<T> {
-    retired: Vec<Retired<T>>,
+struct WriterSide<T: Send + Sync + 'static, S: Shim> {
+    retired: Vec<Retired<T, S>>,
 }
 
-struct Shared<T> {
+struct SharedCore<T: Send + Sync + 'static, S: Shim> {
     /// Monotonic publication counter; starts at 1 so `IDLE` and "never
     /// seen" cannot collide.
-    gen: AtomicU64,
+    gen: S::AtomicU64,
     /// The current snapshot: a heap cell owning one `Arc<T>`.
-    current: AtomicPtr<Arc<T>>,
-    /// Registered hazard slots, one per live [`SnapReader`].
-    readers: Mutex<Vec<Arc<ReaderSlot>>>,
-    writer: Mutex<WriterSide<T>>,
+    current: S::Cell<Arc<T>>,
+    /// Registered hazard slots, one per live [`SnapReaderCore`].
+    readers: S::Mutex<Vec<Arc<ReaderSlot<S>>>>,
+    writer: S::Mutex<WriterSide<T, S>>,
+    /// Seeded bug, [`Mutation::None`] outside the mutation-kill suite.
+    mutation: Mutation,
 }
 
-// SAFETY: the raw pointers in `current`/`retired` point at heap cells of
-// `Arc<T>` whose ownership is governed by the hazard protocol above; they
-// are only dereferenced for cloning (readers, protocol-protected) and
-// dropping (writer, after quiescence). Sharing the structure across
-// threads is exactly its purpose and is sound whenever `Arc<T>` itself
-// may move between threads.
-unsafe impl<T: Send + Sync> Send for Shared<T> {}
-unsafe impl<T: Send + Sync> Sync for Shared<T> {}
-
-impl<T> Shared<T> {
+impl<T: Send + Sync + 'static, S: Shim> SharedCore<T, S> {
     /// Frees a retired cell tagged `t` only when every announced slot has
     /// moved to a generation ≥ `t` (or is idle). Called under the writer
     /// mutex.
-    fn reclaim_locked(&self, side: &mut WriterSide<T>) {
+    fn reclaim_locked(&self, side: &mut WriterSide<T, S>) {
         if side.retired.is_empty() {
             return;
         }
-        let floor = {
-            let readers = self.readers.lock().expect("reader registry poisoned");
+        let floor = if self.mutation == Mutation::SkipHazardScan {
+            None
+        } else {
+            let readers = self.readers.lock();
             readers
                 .iter()
-                .map(|slot| slot.announced.load(SeqCst))
+                // ordering: SeqCst — Dekker pair with the reader's SeqCst
+                // announce store in `refresh`: either this scan sees the
+                // announcement, or the reader's validate saw our gen bump
+                // and retried. A weaker load could miss an announcement
+                // whose validate also missed the bump, freeing a cell the
+                // reader is about to dereference.
+                .map(|slot| slot.announced.load(Ordering::SeqCst))
                 .filter(|&a| a != IDLE)
                 .min()
         };
+        let slack = u64::from(self.mutation == Mutation::ReclaimOffByOne);
         side.retired.retain(|r| {
-            let quiesced = floor.is_none_or(|f| f >= r.gen);
+            let quiesced = floor.is_none_or(|f| f + slack >= r.gen);
             if quiesced {
-                // SAFETY: every reader that could still dereference this
-                // cell would be announced at a generation < r.gen (see
-                // the module protocol); none is, so we hold the only
-                // path to the cell and may reconstitute and drop it.
-                drop(unsafe { Box::from_raw(r.cell) });
+                // Every reader that could still dereference this cell
+                // would be announced at a generation < r.gen (see the
+                // module protocol); none is, so this is the only path to
+                // the cell left.
+                S::free(r.cell);
             }
             !quiesced
         });
     }
 }
 
-impl<T> Drop for Shared<T> {
+impl<T: Send + Sync + 'static, S: Shim> Drop for SharedCore<T, S> {
     fn drop(&mut self) {
-        // No readers can exist (they hold an `Arc<Shared>`), so every
+        // No readers can exist (they hold an `Arc<SharedCore>`), so every
         // outstanding cell is exclusively ours.
-        let side = self.writer.get_mut().expect("writer mutex poisoned");
+        let side = self.writer.get_mut();
         for r in side.retired.drain(..) {
-            // SAFETY: exclusive access per above.
-            drop(unsafe { Box::from_raw(r.cell) });
+            S::free(r.cell);
         }
-        let current = *self.current.get_mut();
-        if !current.is_null() {
-            // SAFETY: exclusive access per above.
-            drop(unsafe { Box::from_raw(current) });
-        }
+        // ordering: Relaxed — `&mut self` proves exclusive access; there
+        // is no concurrent publisher or reader left to order against.
+        S::free(self.current.load(Ordering::Relaxed));
     }
 }
 
-/// Single-writer, many-reader wait-free snapshot publication cell.
+/// Single-writer, many-reader wait-free snapshot publication cell,
+/// generic over the [`Shim`] synchronization family. Use the
+/// [`SnapCell`] alias unless you are the model checker.
 ///
 /// The writer half: [`publish`](Self::publish) installs a new snapshot;
-/// [`reader`](Self::reader) registers a new [`SnapReader`];
+/// [`reader`](Self::reader) registers a new [`SnapReaderCore`];
 /// [`load`](Self::load) is the writer-side (locking, control-path) read.
-pub struct SnapCell<T> {
-    shared: Arc<Shared<T>>,
+pub struct SnapCellCore<T: Send + Sync + 'static, S: Shim> {
+    shared: Arc<SharedCore<T, S>>,
 }
 
-impl<T> SnapCell<T> {
+/// Production snapshot cell: [`SnapCellCore`] over real std atomics.
+pub type SnapCell<T> = SnapCellCore<T, RealShim>;
+
+/// Production reader handle: [`SnapReaderCore`] over real std atomics.
+pub type SnapReader<T> = SnapReaderCore<T, RealShim>;
+
+impl<T: Send + Sync + 'static, S: Shim> SnapCellCore<T, S> {
     /// Creates a cell publishing `initial` at generation 1.
     #[must_use]
     pub fn new(initial: Arc<T>) -> Self {
+        Self::build(initial, Mutation::None)
+    }
+
+    /// Creates a cell with a seeded protocol bug for the mutation-kill
+    /// suite. Never use outside the model checker: the mutants exist to
+    /// corrupt memory.
+    #[cfg(any(test, feature = "mutants"))]
+    #[must_use]
+    pub fn with_mutation(initial: Arc<T>, mutation: Mutation) -> Self {
+        Self::build(initial, mutation)
+    }
+
+    fn build(initial: Arc<T>, mutation: Mutation) -> Self {
         Self {
-            shared: Arc::new(Shared {
-                gen: AtomicU64::new(1),
-                current: AtomicPtr::new(Box::into_raw(Box::new(initial))),
-                readers: Mutex::new(Vec::new()),
-                writer: Mutex::new(WriterSide {
+            shared: Arc::new(SharedCore {
+                gen: S::AtomicU64::new(1),
+                current: S::Cell::new(S::alloc(initial)),
+                readers: S::Mutex::new(Vec::new()),
+                writer: S::Mutex::new(WriterSide {
                     retired: Vec::new(),
                 }),
+                mutation,
             }),
         }
     }
@@ -175,56 +231,59 @@ impl<T> SnapCell<T> {
     /// The current generation (bumped by every publish; starts at 1).
     #[must_use]
     pub fn generation(&self) -> u64 {
-        self.shared.gen.load(SeqCst)
+        // ordering: SeqCst — control-path observer whose value tests
+        // compare against the publish total order; it is never on the
+        // packet path, so the strongest order is the simplest correct one.
+        self.shared.gen.load(Ordering::SeqCst)
     }
 
     /// Publishes `next` as the new snapshot, retiring the previous one
     /// and freeing any retired snapshots all readers have moved past.
-    ///
-    /// # Panics
-    /// Panics if another publisher poisoned the writer mutex.
     pub fn publish(&self, next: Arc<T>) {
-        let mut side = self.shared.writer.lock().expect("writer mutex poisoned");
-        let fresh = Box::into_raw(Box::new(next));
-        let old = self.shared.current.swap(fresh, SeqCst);
-        let tag = self.shared.gen.fetch_add(1, SeqCst) + 1;
+        let mut side = self.shared.writer.lock();
+        let fresh = S::alloc(next);
+        // ordering: Release — pairs with the Acquire `current` load in
+        // `refresh` so the cell contents written by `alloc` are visible
+        // before the pointer is. No acquire needed for the old value:
+        // this thread is the only mutator (writer mutex held) and
+        // published it itself.
+        let old = self.shared.current.swap(fresh, Ordering::Release);
+        // ordering: SeqCst — Dekker pair with the reader's SeqCst
+        // validate load in `refresh`: either the validate sees this bump
+        // (and the reader retries), or the hazard scan in
+        // `reclaim_locked` sees the reader's announcement (and defers the
+        // free). Weakening either side lets both miss each other (store
+        // buffering) and frees a cell mid-read.
+        let tag = self.shared.gen.fetch_add(1, Ordering::SeqCst) + 1;
         side.retired.push(Retired {
             gen: tag,
             cell: old,
         });
+        if self.shared.mutation == Mutation::DoubleRetire {
+            side.retired.push(Retired {
+                gen: tag,
+                cell: old,
+            });
+        }
         self.shared.reclaim_locked(&mut side);
     }
 
     /// Frees whatever retired snapshots have quiesced. Publishes already
     /// reclaim; this is for tests and long publish-free stretches.
-    ///
-    /// # Panics
-    /// Panics if another publisher poisoned the writer mutex.
     pub fn reclaim(&self) {
-        let mut side = self.shared.writer.lock().expect("writer mutex poisoned");
+        let mut side = self.shared.writer.lock();
         self.shared.reclaim_locked(&mut side);
     }
 
     /// Number of retired snapshots still awaiting reader quiescence.
-    ///
-    /// # Panics
-    /// Panics if another publisher poisoned the writer mutex.
     #[must_use]
     pub fn retired_len(&self) -> usize {
-        self.shared
-            .writer
-            .lock()
-            .expect("writer mutex poisoned")
-            .retired
-            .len()
+        self.shared.writer.lock().retired.len()
     }
 
     /// Writer-side read of the current snapshot. Takes the writer mutex —
     /// correct from any thread, but the packet path should hold a
-    /// [`SnapReader`] instead.
-    ///
-    /// # Panics
-    /// Panics if another publisher poisoned the writer mutex.
+    /// [`SnapReaderCore`] instead.
     #[must_use]
     pub fn load(&self) -> Arc<T> {
         self.load_with_gen().0
@@ -233,32 +292,28 @@ impl<T> SnapCell<T> {
     /// Coherent `(snapshot, generation)` pair, read under the writer
     /// mutex (a publish holds the same mutex across its swap + bump).
     fn load_with_gen(&self) -> (Arc<T>, u64) {
-        let _side = self.shared.writer.lock().expect("writer mutex poisoned");
-        let g = self.shared.gen.load(SeqCst);
-        let cell = self.shared.current.load(SeqCst);
-        // SAFETY: holding the writer mutex excludes any concurrent
-        // publish, so `cell` is the live current cell and cannot be
-        // retired (let alone freed) before we return.
-        (unsafe { (*cell).clone() }, g)
+        let _side = self.shared.writer.lock();
+        // ordering: Relaxed — `gen` and `current` only change inside
+        // `publish`, which holds the writer mutex we hold here; the lock
+        // acquire supplies the happens-before edge, so no concurrent
+        // mutation can be mid-flight.
+        let g = self.shared.gen.load(Ordering::Relaxed);
+        // ordering: Relaxed — same writer-mutex argument as the `gen`
+        // load above; the cell cannot be retired while we hold the lock.
+        let cell = self.shared.current.load(Ordering::Relaxed);
+        (S::read(cell), g)
     }
 
     /// Registers a new lock-free reader handle, seeded with the current
     /// snapshot.
-    ///
-    /// # Panics
-    /// Panics if a poisoned mutex is encountered.
     #[must_use]
-    pub fn reader(&self) -> SnapReader<T> {
+    pub fn reader(&self) -> SnapReaderCore<T, S> {
         let slot = Arc::new(ReaderSlot {
-            announced: AtomicU64::new(IDLE),
+            announced: S::AtomicU64::new(IDLE),
         });
-        self.shared
-            .readers
-            .lock()
-            .expect("reader registry poisoned")
-            .push(Arc::clone(&slot));
+        self.shared.readers.lock().push(Arc::clone(&slot));
         let (cached, cached_gen) = self.load_with_gen();
-        SnapReader {
+        SnapReaderCore {
             shared: Arc::clone(&self.shared),
             slot,
             cached,
@@ -270,27 +325,39 @@ impl<T> SnapCell<T> {
 /// A forwarding thread's handle: a cached snapshot refreshed on
 /// generation bumps. `get` is wait-free (one atomic load) while the
 /// generation is unchanged; a refresh is lock-free (bounded retries only
-/// if publishes keep landing mid-refresh).
-pub struct SnapReader<T> {
-    shared: Arc<Shared<T>>,
-    slot: Arc<ReaderSlot>,
+/// if publishes keep landing mid-refresh). Use the [`SnapReader`] alias
+/// unless you are the model checker.
+pub struct SnapReaderCore<T: Send + Sync + 'static, S: Shim> {
+    shared: Arc<SharedCore<T, S>>,
+    slot: Arc<ReaderSlot<S>>,
     cached: Arc<T>,
     cached_gen: u64,
 }
 
-impl<T> SnapReader<T> {
+impl<T: Send + Sync + 'static, S: Shim> SnapReaderCore<T, S> {
     /// The current snapshot: cached clone on the fast path, hazard-
     /// protected re-read after a publish.
     #[inline]
     pub fn get(&mut self) -> &Arc<T> {
-        let g = self.shared.gen.load(SeqCst);
+        // ordering: Acquire — pure change detector: a stale read only
+        // delays noticing a publish until the next call, and `refresh`
+        // announces and re-validates with SeqCst before dereferencing
+        // anything, so no Dekker strength is needed here on the one load
+        // the packet path pays per batch.
+        let g = self.shared.gen.load(Ordering::Acquire);
         if g != self.cached_gen {
             self.refresh();
         }
         &self.cached
     }
 
-    /// The generation of the snapshot [`Self::get`] would return.
+    /// A lower bound on the generation of the snapshot [`Self::get`]
+    /// returns: the snapshot is never *staler* than this generation. It
+    /// can transiently be fresher — a publish's pointer swap may land
+    /// between the refresh's validate and its `current` load, handing
+    /// the reader the newer snapshot under the older tag (found by the
+    /// `fib-check` model checker, which verifies the bound holds). The
+    /// next [`Self::get`] observes the bumped generation and re-syncs.
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.cached_gen
@@ -299,35 +366,65 @@ impl<T> SnapReader<T> {
     #[cold]
     fn refresh(&mut self) {
         loop {
-            let g = self.shared.gen.load(SeqCst);
-            self.slot.announced.store(g, SeqCst);
-            if self.shared.gen.load(SeqCst) != g {
-                // A publish landed between announce and validate; the
-                // stale announcement only makes the writer conservative.
-                continue;
+            // ordering: Acquire — the value read here is only a candidate:
+            // it is announced and then re-validated with SeqCst below
+            // before anything is dereferenced, so a stale read costs one
+            // extra loop iteration, never safety.
+            let g = self.shared.gen.load(Ordering::Acquire);
+            let announce = if self.shared.mutation == Mutation::RelaxedAnnounce {
+                // ordering: mutant — deliberately dropped fence, exists to
+                // be killed by the model checker.
+                Ordering::Relaxed
+            } else {
+                // ordering: SeqCst — Dekker pair with the writer's SeqCst
+                // hazard-scan load in `reclaim_locked`; a weaker store can
+                // sit in a store buffer while the scan reads the old IDLE
+                // value and frees the cell we are about to load.
+                Ordering::SeqCst
+            };
+            self.slot.announced.store(g, announce);
+            if self.shared.mutation != Mutation::SkipValidate {
+                let validate = if self.shared.mutation == Mutation::StaleGenRead {
+                    // ordering: mutant — deliberately stale generation
+                    // read, exists to be killed by the model checker.
+                    Ordering::Relaxed
+                } else {
+                    // ordering: SeqCst — Dekker pair with the writer's
+                    // SeqCst gen bump in `publish`: a publish whose hazard
+                    // scan missed our announcement must be visible here so
+                    // we retry instead of loading a pointer the writer may
+                    // already have freed.
+                    Ordering::SeqCst
+                };
+                if self.shared.gen.load(validate) != g {
+                    // A publish landed between announce and validate; the
+                    // stale announcement only makes the writer conservative.
+                    continue;
+                }
             }
-            let cell = self.shared.current.load(SeqCst);
-            // SAFETY: we announced generation `g` and re-validated before
-            // loading `current`, so per the module protocol the writer
-            // cannot free this cell until our slot goes idle or advances.
-            self.cached = unsafe { (*cell).clone() };
+            // ordering: Acquire — pairs with the Release swap in `publish`
+            // so the heap cell's contents are visible; the announce +
+            // validate handshake above guarantees the writer cannot free
+            // this cell while our slot stays at `g`.
+            let cell = self.shared.current.load(Ordering::Acquire);
+            self.cached = S::read(cell);
             self.cached_gen = g;
-            self.slot.announced.store(IDLE, SeqCst);
+            // ordering: Release — keeps the snapshot clone above ordered
+            // before the slot goes idle; the writer's SeqCst scan load
+            // acquires it, so a writer that observes IDLE and frees the
+            // cell knows our clone already completed.
+            self.slot.announced.store(IDLE, Ordering::Release);
             return;
         }
     }
 }
 
-impl<T> Clone for SnapReader<T> {
+impl<T: Send + Sync + 'static, S: Shim> Clone for SnapReaderCore<T, S> {
     fn clone(&self) -> Self {
         let slot = Arc::new(ReaderSlot {
-            announced: AtomicU64::new(IDLE),
+            announced: S::AtomicU64::new(IDLE),
         });
-        self.shared
-            .readers
-            .lock()
-            .expect("reader registry poisoned")
-            .push(Arc::clone(&slot));
+        self.shared.readers.lock().push(Arc::clone(&slot));
         Self {
             shared: Arc::clone(&self.shared),
             slot,
@@ -337,16 +434,20 @@ impl<T> Clone for SnapReader<T> {
     }
 }
 
-impl<T> Drop for SnapReader<T> {
+impl<T: Send + Sync + 'static, S: Shim> Drop for SnapReaderCore<T, S> {
     fn drop(&mut self) {
-        self.slot.announced.store(IDLE, SeqCst);
-        if let Ok(mut readers) = self.shared.readers.lock() {
-            readers.retain(|s| !Arc::ptr_eq(s, &self.slot));
-        }
+        // ordering: Release — `&mut self` proves no refresh of ours is
+        // in flight; publish-order the idle store so a concurrent hazard
+        // scan that observes it may free retired cells immediately.
+        self.slot.announced.store(IDLE, Ordering::Release);
+        self.shared
+            .readers
+            .lock()
+            .retain(|s| !Arc::ptr_eq(s, &self.slot));
     }
 }
 
-impl<T: std::fmt::Debug> std::fmt::Debug for SnapCell<T> {
+impl<T: Send + Sync + 'static + std::fmt::Debug, S: Shim> std::fmt::Debug for SnapCellCore<T, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SnapCell")
             .field("generation", &self.generation())
@@ -354,7 +455,7 @@ impl<T: std::fmt::Debug> std::fmt::Debug for SnapCell<T> {
     }
 }
 
-impl<T> std::fmt::Debug for SnapReader<T> {
+impl<T: Send + Sync + 'static, S: Shim> std::fmt::Debug for SnapReaderCore<T, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SnapReader")
             .field("generation", &self.cached_gen)
@@ -362,11 +463,85 @@ impl<T> std::fmt::Debug for SnapReader<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// RealShim: the production instantiation over std atomics and raw heap
+// cells. This is the only unsafe in the crate; the generic core above and
+// everything the model checker explores is safe code.
+// ---------------------------------------------------------------------------
+
+/// Production [`Shim`]: std atomics, `Box::into_raw` heap cells.
+pub struct RealShim;
+
+/// A raw heap cell handle; `Copy + Eq` so the protocol core can treat it
+/// as an opaque token.
+pub struct RawCell<V>(*mut V);
+
+impl<V> Clone for RawCell<V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<V> Copy for RawCell<V> {}
+impl<V> PartialEq for RawCell<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<V> Eq for RawCell<V> {}
+
+// SAFETY: a `RawCell` is an owning/borrowing token for a heap cell of `V`
+// whose lifecycle is governed by the hazard protocol above; moving the
+// token between threads is sound whenever `V` itself may move between
+// threads.
+unsafe impl<V: Send + Sync> Send for RawCell<V> {}
+// SAFETY: shared references to the token only copy it; dereferencing is
+// gated by the protocol (see `Shim::read`/`Shim::free` callers).
+unsafe impl<V: Send + Sync> Sync for RawCell<V> {}
+
+/// `AtomicPtr` wrapped to trade in [`RawCell`] tokens.
+pub struct RealCell<V>(std::sync::atomic::AtomicPtr<V>);
+
+impl<V: Send + Sync + 'static> AtomCell<RawCell<V>> for RealCell<V> {
+    fn new(value: RawCell<V>) -> Self {
+        Self(std::sync::atomic::AtomicPtr::new(value.0))
+    }
+    fn load(&self, order: Ordering) -> RawCell<V> {
+        RawCell(self.0.load(order))
+    }
+    fn swap(&self, value: RawCell<V>, order: Ordering) -> RawCell<V> {
+        RawCell(self.0.swap(value.0, order))
+    }
+}
+
+impl Shim for RealShim {
+    type AtomicU64 = std::sync::atomic::AtomicU64;
+    type Cell<V: Send + Sync + 'static> = RealCell<V>;
+    type Mutex<T: Send> = std::sync::Mutex<T>;
+    type Ptr<V: Send + Sync + 'static> = RawCell<V>;
+
+    fn alloc<V: Send + Sync + 'static>(value: V) -> RawCell<V> {
+        RawCell(Box::into_raw(Box::new(value)))
+    }
+
+    fn free<V: Send + Sync + 'static>(ptr: RawCell<V>) {
+        // SAFETY: callers (the hazard protocol) guarantee `ptr` came from
+        // `alloc`, is live, and no other thread can still dereference it.
+        drop(unsafe { Box::from_raw(ptr.0) });
+    }
+
+    fn read<V: Clone + Send + Sync + 'static>(ptr: RawCell<V>) -> V {
+        // SAFETY: callers guarantee `ptr` is live for the duration of the
+        // call — readers hold an announced+validated hazard slot, the
+        // writer holds the writer mutex.
+        unsafe { (*ptr.0).clone() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
-    use std::sync::atomic::Ordering::Relaxed;
+    use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+    use std::sync::atomic::{AtomicU64, AtomicUsize};
 
     /// Counts live instances so the tests can observe exactly when the
     /// cell frees a retired snapshot.
@@ -434,171 +609,12 @@ mod tests {
         assert_eq!(live.load(Relaxed), 1, "only the current snapshot");
     }
 
-    /// Loom-style deterministic interleavings: the reader's refresh is
-    /// driven one protocol step at a time (announce → validate → load →
-    /// clone → release) with publishes and reclaims injected between
-    /// steps, checking at each point that the writer never frees a cell
-    /// the reader may still dereference.
-    #[test]
-    fn interleaved_publish_read_reclaim_schedules() {
-        // Step driver mirroring SnapReader::refresh exactly, but pausable.
-        #[allow(clippy::redundant_allocation)]
-        struct StepReader<'a> {
-            shared: &'a Shared<Tracked>,
-            slot: Arc<ReaderSlot>,
-            announced_gen: Option<u64>,
-            loaded: Option<*mut Arc<Tracked>>,
-        }
-
-        impl<'a> StepReader<'a> {
-            fn announce(&mut self) {
-                let g = self.shared.gen.load(SeqCst);
-                self.slot.announced.store(g, SeqCst);
-                self.announced_gen = Some(g);
-            }
-
-            /// Re-validate; on failure the protocol re-announces.
-            fn validate(&mut self) -> bool {
-                let g = self.announced_gen.expect("announce first");
-                if self.shared.gen.load(SeqCst) == g {
-                    true
-                } else {
-                    self.announce();
-                    false
-                }
-            }
-
-            fn load(&mut self) {
-                self.loaded = Some(self.shared.current.load(SeqCst));
-            }
-
-            fn clone_and_release(&mut self) -> Arc<Tracked> {
-                let p = self.loaded.take().expect("load first");
-                // SAFETY: same protocol position as SnapReader::refresh —
-                // announced + validated before the load, still announced.
-                let value = unsafe { Arc::clone(&*p) };
-                self.slot.announced.store(IDLE, SeqCst);
-                value
-            }
-        }
-
-        // Schedule A: reader pinned mid-read across several publishes —
-        // nothing it may hold is freed until it releases.
-        let live = Arc::new(AtomicUsize::new(0));
-        let cell = SnapCell::new(Tracked::new(&live, 0));
-        let slot = Arc::new(ReaderSlot {
-            announced: AtomicU64::new(IDLE),
-        });
-        cell.shared.readers.lock().unwrap().push(Arc::clone(&slot));
-        let mut reader = StepReader {
-            shared: &cell.shared,
-            slot,
-            announced_gen: None,
-            loaded: None,
-        };
-
-        reader.announce();
-        assert!(reader.validate());
-        reader.load(); // holds the gen-1 cell, slot announced at 1
-        for v in 1..=3 {
-            cell.publish(Tracked::new(&live, v));
-        }
-        cell.reclaim();
-        assert_eq!(cell.retired_len(), 3, "announced reader blocks every free");
-        assert_eq!(live.load(Relaxed), 4, "0..=3 all alive");
-        let held = reader.clone_and_release(); // clone, then go idle
-        assert_eq!(held.value, 0, "reader saw the cell it loaded");
-        cell.reclaim();
-        assert_eq!(cell.retired_len(), 0, "idle reader unblocks reclaim");
-        assert_eq!(live.load(Relaxed), 2, "held clone + current");
-        drop(held);
-        assert_eq!(live.load(Relaxed), 1);
-
-        // Schedule B: publish lands between announce and validate — the
-        // reader must re-announce at the new generation and then load the
-        // *new* cell; the old cell frees because the stale announcement
-        // was superseded before any load.
-        let live = Arc::new(AtomicUsize::new(0));
-        let cell = SnapCell::new(Tracked::new(&live, 10));
-        let slot = Arc::new(ReaderSlot {
-            announced: AtomicU64::new(IDLE),
-        });
-        cell.shared.readers.lock().unwrap().push(Arc::clone(&slot));
-        let mut reader = StepReader {
-            shared: &cell.shared,
-            slot,
-            announced_gen: None,
-            loaded: None,
-        };
-        reader.announce(); // announces gen 1
-        cell.publish(Tracked::new(&live, 11)); // gen → 2
-        assert!(!reader.validate(), "stale announce must be caught");
-        assert_eq!(reader.announced_gen, Some(2), "re-announced at gen 2");
-        assert!(reader.validate());
-        reader.load();
-        let held = reader.clone_and_release();
-        assert_eq!(held.value, 11, "validated read sees the new snapshot");
-        cell.reclaim();
-        assert_eq!(cell.retired_len(), 0, "gen-1 cell freed");
-        assert_eq!(live.load(Relaxed), 1, "only snapshot 11 is alive");
-
-        // Schedule C: two readers pinned at different generations — the
-        // reclaim floor is the older announcement; releasing the older
-        // reader unblocks exactly the cells the younger one is past.
-        let live = Arc::new(AtomicUsize::new(0));
-        let cell = SnapCell::new(Tracked::new(&live, 20));
-        let make = |cell: &SnapCell<Tracked>| {
-            let slot = Arc::new(ReaderSlot {
-                announced: AtomicU64::new(IDLE),
-            });
-            cell.shared.readers.lock().unwrap().push(Arc::clone(&slot));
-            slot
-        };
-        let slot_a = make(&cell);
-        let slot_b = make(&cell);
-        let mut ra = StepReader {
-            shared: &cell.shared,
-            slot: slot_a,
-            announced_gen: None,
-            loaded: None,
-        };
-        ra.announce();
-        assert!(ra.validate());
-        ra.load(); // pinned at gen 1
-        cell.publish(Tracked::new(&live, 21)); // gen 2, retires gen-1 cell at tag 2
-        let mut rb = StepReader {
-            shared: &cell.shared,
-            slot: slot_b,
-            announced_gen: None,
-            loaded: None,
-        };
-        rb.announce();
-        assert!(rb.validate());
-        rb.load(); // pinned at gen 2
-        cell.publish(Tracked::new(&live, 22)); // gen 3, retires gen-2 cell at tag 3
-        cell.reclaim();
-        assert_eq!(cell.retired_len(), 2, "floor = 1 blocks both");
-        let a = ra.clone_and_release();
-        assert_eq!(a.value, 20);
-        cell.reclaim();
-        assert_eq!(
-            cell.retired_len(),
-            1,
-            "floor = 2 frees the tag-2 cell, keeps tag-3"
-        );
-        let b = rb.clone_and_release();
-        assert_eq!(b.value, 21);
-        cell.reclaim();
-        assert_eq!(cell.retired_len(), 0);
-        drop((a, b));
-        assert_eq!(live.load(Relaxed), 1, "only the current snapshot");
-    }
-
     #[test]
     fn concurrent_readers_and_publisher_agree() {
-        // A stress smoke on real threads: every observed value must be
-        // one the writer actually published, generations must be
-        // monotonic per reader, and nothing may crash or leak.
+        // A stress smoke on real threads; the exhaustive interleaving
+        // coverage lives in `fib-check` (crates/check/tests), which runs
+        // this same protocol core on the model shim and explores every
+        // schedule up to the preemption bound.
         let live = Arc::new(AtomicUsize::new(0));
         let cell = Arc::new(SnapCell::new(Tracked::new(&live, 0)));
         let stop = Arc::new(AtomicU64::new(0));

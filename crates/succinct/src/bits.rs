@@ -73,11 +73,12 @@ impl BitVec {
     /// Reads bit `i`.
     ///
     /// # Panics
-    /// Panics if `i >= len()`.
+    /// Panics in debug builds if `i >= len()`.
+    /// Release builds elide the check on the packet path.
     #[must_use]
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(
+        debug_assert!(
             i < self.len,
             "bit index {i} out of bounds (len {})",
             self.len
@@ -326,6 +327,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "out of bounds")]
+    #[cfg(debug_assertions)]
     fn get_out_of_bounds_panics() {
         let bv = BitVec::zeros(8);
         let _ = bv.get(8);

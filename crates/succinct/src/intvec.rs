@@ -87,11 +87,12 @@ impl IntVec {
     /// [`BitVec::get_bits`].
     ///
     /// # Panics
-    /// Panics if `i >= len()`.
+    /// Panics in debug builds if `i >= len()`.
+    /// Release builds elide the check on the packet path.
     #[must_use]
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
-        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let width = self.width as usize;
         if width == 0 {
             return 0;
@@ -236,11 +237,12 @@ impl<'a> IntVecRef<'a> {
     /// the packed XBW-b label string).
     ///
     /// # Panics
-    /// Panics if `i >= len()`.
+    /// Panics in debug builds if `i >= len()`.
+    /// Release builds elide the check on the packet path.
     #[must_use]
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
-        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let width = self.width as usize;
         if width == 0 {
             return 0;

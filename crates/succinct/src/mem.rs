@@ -70,8 +70,8 @@ pub fn pipelined_stream<A: Copy, T>(
     mut resolve: impl FnMut(&[A], &mut [T]),
     mut scalar: impl FnMut(A, &mut T),
 ) {
-    assert!(out.len() >= addrs.len(), "output buffer too small");
-    assert!(lanes > 0, "need at least one lane");
+    assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-stream contract, not per-packet
+    assert!(lanes > 0, "need at least one lane"); // fibcheck: allow(hot-path): documented once-per-stream contract, not per-packet
     let out = &mut out[..addrs.len()];
     for addr in addrs.iter().take(lanes) {
         prefetch(*addr);

@@ -72,7 +72,7 @@ fn class2_patterns() -> &'static Vec<u64> {
     static TABLE: OnceLock<Vec<u64>> = OnceLock::new();
     TABLE.get_or_init(|| {
         let n = binomials()[BLOCK][2] as usize;
-        let mut t = vec![0u64; n];
+        let mut t = vec![0u64; n]; // fibcheck: allow(hot-path): one-time OnceLock table build, amortized to zero per probe
         for hi in 1..BLOCK {
             for lo in 0..hi {
                 let pattern = (1u64 << hi) | (1u64 << lo);
@@ -563,10 +563,11 @@ impl<'a> RrrVecRef<'a> {
     /// Reads bit `i`.
     ///
     /// # Panics
-    /// Panics if `i >= len()`.
+    /// Panics in debug builds if `i >= len()`.
+    /// Release builds elide the check on the packet path.
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
-        assert!(
+        debug_assert!(
             i < self.len,
             "bit index {i} out of bounds (len {})",
             self.len
@@ -604,11 +605,12 @@ impl<'a> RrrVecRef<'a> {
     /// always need the bit and its rank together.
     ///
     /// # Panics
-    /// Panics if `i >= len()`.
+    /// Panics in debug builds if `i >= len()`.
+    /// Release builds elide the check on the packet path.
     #[must_use]
     #[inline]
     pub fn access_rank1(&self, i: usize) -> (bool, usize) {
-        assert!(
+        debug_assert!(
             i < self.len,
             "bit index {i} out of bounds (len {})",
             self.len

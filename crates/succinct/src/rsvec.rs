@@ -596,6 +596,82 @@ impl<'a> RsBitVecRef<'a> {
     fn sel_u32(&self, off: usize, j: usize) -> u32 {
         (self.words[off + j / 2] >> (32 * (j % 2))) as u32
     }
+
+    /// Cross-validates every derived structure against the raw data
+    /// bits: each line's absolute rank word, the packed 9-bit intra-line
+    /// prefix counts, the total ones count, the zero padding past
+    /// `len()`, and both select-sample directories.
+    ///
+    /// [`Self::from_words`] checks only that the *sizes* are mutually
+    /// consistent — a corrupted count word parses fine and then silently
+    /// mis-answers every `rank`/`select` that touches it. This is the
+    /// deep pass `fibc lint` runs over image-resident rank directories.
+    ///
+    /// # Errors
+    /// [`StorageError`] naming the first inconsistency found; corrupt
+    /// input never panics.
+    pub fn audit(&self) -> Result<(), StorageError> {
+        let mut total: u64 = 0;
+        let mut next1 = 1usize;
+        let mut next0 = 1usize;
+        let mut at1 = 0usize;
+        let mut at0 = 0usize;
+        for s in 0..self.n_lines {
+            let line = self.line(s);
+            if line[0] != total {
+                return Err(StorageError("rank line disagrees with data popcount"));
+            }
+            let mut subs = 0u64;
+            let mut within: u64 = 0;
+            for w in 0..LINE_WORDS {
+                if w > 0 {
+                    subs |= within << (9 * (w - 1));
+                }
+                let word = line[2 + w];
+                let bit_base = s * LINE_BITS + w * 64;
+                let tail_ok = if bit_base >= self.len {
+                    word == 0
+                } else if self.len - bit_base < 64 {
+                    word >> (self.len - bit_base) == 0
+                } else {
+                    true
+                };
+                if !tail_ok {
+                    return Err(StorageError("rank vector tail padding not zero"));
+                }
+                within += u64::from(word.count_ones());
+            }
+            if line[1] != subs {
+                return Err(StorageError("rank sub-counts disagree with data popcount"));
+            }
+            total += within;
+            // Re-derive the select samples that land in this line, exactly
+            // as the builder does, and compare against the stored hints.
+            let ones_end = total as usize;
+            while next1 <= ones_end {
+                if at1 >= self.n_sel1 || self.sel_u32(self.sel1_off, at1) as usize != s {
+                    return Err(StorageError("select-1 sample points at the wrong line"));
+                }
+                at1 += 1;
+                next1 += SELECT_SAMPLE;
+            }
+            let zeros_end = ((s + 1) * LINE_BITS).min(self.len) - ones_end.min(self.len);
+            while next0 <= zeros_end {
+                if at0 >= self.n_sel0 || self.sel_u32(self.sel0_off, at0) as usize != s {
+                    return Err(StorageError("select-0 sample points at the wrong line"));
+                }
+                at0 += 1;
+                next0 += SELECT_SAMPLE;
+            }
+        }
+        if total as usize != self.ones {
+            return Err(StorageError("rank directory total disagrees with data"));
+        }
+        if at1 != self.n_sel1 || at0 != self.n_sel0 {
+            return Err(StorageError("select directory has surplus samples"));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -792,6 +868,44 @@ mod tests {
         let mut bad = words;
         bad[2] = u64::MAX;
         assert!(RsBitVecRef::from_words(&bad).is_err());
+    }
+
+    #[test]
+    fn audit_accepts_honest_and_rejects_corrupt_directories() {
+        let (_, rs) = build(|i| i % 7 == 0 || i % 13 == 2, 20_000);
+        let mut words = Vec::new();
+        rs.write_words(&mut words);
+        let (view, _) = RsBitVecRef::from_words(&words).unwrap();
+        view.audit().expect("honest directory audits clean");
+
+        // A bumped absolute rank word parses fine but audits dirty.
+        let mut bad = words.clone();
+        bad[BLOCK_WORDS + 2 * BLOCK_WORDS] += 1; // line 2, word 0
+        let (view, _) = RsBitVecRef::from_words(&bad).unwrap();
+        assert!(view.audit().unwrap_err().0.contains("rank line"));
+
+        // Corrupt intra-line sub-counts.
+        let mut bad = words.clone();
+        bad[BLOCK_WORDS + 3 * BLOCK_WORDS + 1] ^= 1 << 9; // line 3, word 1
+        let (view, _) = RsBitVecRef::from_words(&bad).unwrap();
+        assert!(view.audit().unwrap_err().0.contains("sub-counts"));
+
+        // A select-1 sample pointed at the wrong line.
+        let (sel1_off, n_lines) = {
+            let (v, _) = RsBitVecRef::from_words(&words).unwrap();
+            (v.sel1_off, v.n_lines)
+        };
+        let mut bad = words.clone();
+        bad[BLOCK_WORDS + sel1_off] += 1;
+        let (view, _) = RsBitVecRef::from_words(&bad).unwrap();
+        assert!(view.audit().unwrap_err().0.contains("select-1"));
+
+        // Nonzero bits past len.
+        let mut bad = words;
+        let last_line_word = BLOCK_WORDS + (n_lines - 1) * BLOCK_WORDS + 2 + LINE_WORDS - 1;
+        bad[last_line_word] |= 1 << 63; // 20_000 % 384 != 0, so this is tail
+        let (view, _) = RsBitVecRef::from_words(&bad).unwrap();
+        assert!(view.audit().unwrap_err().0.contains("tail"));
     }
 
     #[test]

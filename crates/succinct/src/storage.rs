@@ -65,9 +65,9 @@ impl Arena {
     /// Freezes `words` into an aligned arena (one copy).
     #[must_use]
     pub fn from_words(words: &[u64]) -> Self {
-        let mut buf = vec![0u64; words.len() + BLOCK_WORDS];
-        // align_offset is in u64 elements; the Vec is 8-byte aligned, so
-        // the 64-byte boundary is at most 7 words in.
+        let mut buf = vec![0u64; words.len() + BLOCK_WORDS]; // fibcheck: allow(hot-path): one-shot arena freeze at build/load time, not per-lookup
+                                                             // align_offset is in u64 elements; the Vec is 8-byte aligned, so
+                                                             // the 64-byte boundary is at most 7 words in.
         let start = buf.as_ptr().align_offset(64);
         debug_assert!(start < BLOCK_WORDS);
         buf[start..start + words.len()].copy_from_slice(words);

@@ -94,7 +94,7 @@ impl<A: Address> RouteTable<A> {
     #[must_use]
     pub fn model_size_bits(&self) -> usize {
         let delta = {
-            let mut hops: Vec<u32> = self.routes.iter().map(|e| e.1.index()).collect();
+            let mut hops: Vec<u32> = self.routes.iter().map(|e| e.1.index()).collect(); // fibcheck: allow(hot-path): control-plane size model, not on the lookup walk
             hops.sort_unstable();
             hops.dedup();
             hops.len() as u64

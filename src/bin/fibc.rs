@@ -24,6 +24,7 @@
 use std::process::ExitCode;
 
 use fibcomp::core::image::sections;
+use fibcomp::core::lint as image_lint;
 use fibcomp::core::{
     any_view, write_image, AnyView, BuildConfig, EngineKind, FibBuild, FibImage, FibLookup,
     ImageCodec, ImageError, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage,
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("compile") => compile(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{USAGE}");
@@ -60,6 +62,7 @@ usage:
                --out IMG [--v6] [--xbw-mode succinct|entropy] [--lambda N] \\
                [--stride N] [--epoch N] [--no-routes]
   fibc inspect IMG
+  fibc lint IMG
   fibc serve IMG [--probe N | --duration S] [--threads N] \
                  [--keys uniform|zipf|bursty] [--batch N] [--seed N]
                  (without --probe/--duration: addresses on stdin, batched)";
@@ -246,6 +249,25 @@ fn inspect(args: &[String]) -> Result<(), String> {
         println!("  accounting drift {drift:+.2}%");
     }
     Ok(())
+}
+
+/// Deep structural analysis: every issue as `code: detail`, one per
+/// line, non-zero exit when anything is wrong. Unlike `inspect`, this
+/// re-derives the image's redundant structure (rank directories, DAG
+/// shape, section layout) and cross-checks it — a file can pass the
+/// checksum and still fail lint.
+fn lint(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: fibc lint IMG")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let issues = image_lint::lint_bytes(&bytes);
+    if issues.is_empty() {
+        println!("lint: clean");
+        return Ok(());
+    }
+    for i in &issues {
+        println!("{i}");
+    }
+    Err(format!("{}: {} issue(s)", path, issues.len()))
 }
 
 fn serve(args: &[String]) -> Result<(), String> {

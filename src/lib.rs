@@ -82,6 +82,8 @@
 //! assert_eq!(snapshot.lookup(addr), Some(NextHop::new(4)));
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use fib_core as core;
 pub use fib_hwsim as hwsim;
 pub use fib_router as router;

@@ -1,0 +1,277 @@
+//! The lint corpus: committed hand-corrupted FIB images, each paired
+//! with the typed diagnostic `fibc lint` must produce for it.
+//!
+//! `tests/corpus/MANIFEST` lists `<file> <expected-code>` pairs
+//! (`clean` for images that must produce no issues). The corpus is
+//! *generated* — `FIB_CORPUS_REGEN=1 cargo test -q --test corpus`
+//! rebuilds every file deterministically — and *committed*, so the lint
+//! contract is pinned against whatever bytes are in the tree, not
+//! whatever the current builders emit.
+//!
+//! The star exhibit is `rank-directory.img`: its checksum is valid, the
+//! loader accepts it, every size check passes — but a rank-line count
+//! word is off by one, so lookups through it would silently misroute.
+//! Only the deep cross-validation pass catches it.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use fibcomp::core::image::sections;
+use fibcomp::core::lint::lint_bytes;
+use fibcomp::core::{
+    write_image, BuildConfig, FibBuild, FibImage, PrefixDag, SerializedDag, XbwFib, XbwStorage,
+};
+use fibcomp::trie::BinaryTrie;
+use fibcomp::workload::rng::Xoshiro256;
+use fibcomp::workload::FibSpec;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn repair_checksum(mut bytes: Vec<u8>) -> Vec<u8> {
+    bytes[56..64].fill(0);
+    let checksum = fibcomp::succinct::fnv1a(&bytes);
+    bytes[56..64].copy_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Byte offset of a section's payload, in the image the bytes encode.
+fn section_byte_offset(bytes: &[u8], id: u32) -> usize {
+    let image = FibImage::from_bytes(bytes).expect("base image loads");
+    image
+        .section_table()
+        .iter()
+        .find(|e| e.id == id)
+        .unwrap_or_else(|| panic!("section {id:#x} present"))
+        .offset
+        * 8
+}
+
+fn read_word(bytes: &[u8], byte_off: usize) -> u64 {
+    u64::from_le_bytes(bytes[byte_off..byte_off + 8].try_into().expect("8 bytes"))
+}
+
+fn write_word(bytes: &mut [u8], byte_off: usize, value: u64) {
+    bytes[byte_off..byte_off + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+/// Builds the whole corpus deterministically: `(file, bytes, expected)`
+/// where `expected` is a lint code or `"clean"`.
+fn build_corpus() -> Vec<(&'static str, Vec<u8>, &'static str)> {
+    let trie: BinaryTrie<u32> =
+        FibSpec::dfz_like(600).generate(&mut Xoshiro256::seed_from_u64(0x0C0F_FEE0));
+    let config = BuildConfig::default();
+    let ser: SerializedDag<u32> = FibBuild::build(&trie, &config);
+    let ser_img = write_image(&ser, Some(&trie), 1).unwrap();
+    let xbw_s: XbwFib<u32> = XbwFib::build(&trie, XbwStorage::Succinct);
+    let xbw_s_img = write_image(&xbw_s, None, 1).unwrap();
+    let xbw_e: XbwFib<u32> = XbwFib::build(&trie, XbwStorage::Entropy);
+    let xbw_e_img = write_image(&xbw_e, None, 1).unwrap();
+    let dag: PrefixDag<u32> = FibBuild::build(&trie, &config);
+    let pdag_img = write_image(&dag, None, 1).unwrap();
+
+    let mut corpus = vec![
+        ("clean-serialized.img", ser_img.clone(), "clean"),
+        ("clean-xbw-succinct.img", xbw_s_img.clone(), "clean"),
+        ("clean-xbw-entropy.img", xbw_e_img.clone(), "clean"),
+        ("clean-pdag.img", pdag_img.clone(), "clean"),
+    ];
+
+    // Load-path classes: each stops at its own typed error.
+    corpus.push(("truncated.img", ser_img[..128].to_vec(), "image-truncated"));
+    let mut bad = ser_img.clone();
+    bad[0] ^= 0xFF;
+    corpus.push(("bad-magic.img", bad, "image-bad-magic"));
+    let mut bad = ser_img.clone();
+    bad[8] = 0xEE; // version byte inside header word 1
+    corpus.push(("bad-version.img", repair_checksum(bad), "image-bad-version"));
+    let mut bad = ser_img.clone();
+    bad[200] ^= 0x10;
+    corpus.push(("checksum-flip.img", bad, "image-checksum-mismatch"));
+    let mut bad = ser_img.clone();
+    bad[11] = 0x7F; // engine byte inside header word 1
+    corpus.push((
+        "unknown-engine.img",
+        repair_checksum(bad),
+        "image-unknown-engine",
+    ));
+
+    // Section-table hygiene: slide the second section onto the first.
+    let mut bad = ser_img.clone();
+    let loc0 = read_word(&bad, (8 + 1) * 8);
+    let loc1 = read_word(&bad, (8 + 3) * 8);
+    write_word(
+        &mut bad,
+        (8 + 3) * 8,
+        (loc0 & 0xFFFF_FFFF) | (loc1 & !0xFFFF_FFFF),
+    );
+    corpus.push((
+        "section-overlap.img",
+        repair_checksum(bad),
+        "section-overlap",
+    ));
+
+    // The showcase: bump one rank-line absolute count inside S_I. The
+    // checksum is repaired, the loader's size checks all pass, lookups
+    // would misroute — only the deep audit sees it.
+    let mut bad = xbw_s_img.clone();
+    let si = section_byte_offset(&xbw_s_img, sections::XBW_SI);
+    let line1_word0 = si + 8 * 8 + 8 * 8; // skip rsvec meta block, then line 0
+    let v = read_word(&bad, line1_word0);
+    write_word(&mut bad, line1_word0, v + 1);
+    corpus.push((
+        "rank-directory.img",
+        repair_checksum(bad),
+        "rank-directory-mismatch",
+    ));
+
+    // Wavelet child that fails to strictly decrease (self-loop).
+    let mut bad = xbw_e_img.clone();
+    let sa = section_byte_offset(&xbw_e_img, sections::XBW_SA);
+    let n_nodes = read_word(&bad, sa + 8) as usize;
+    assert!(n_nodes >= 2, "entropy image has a real wavelet tree");
+    let idx = n_nodes - 1;
+    let rec = sa + 8 * 8 + idx * 4 * 8;
+    write_word(&mut bad, rec, (1u64 << 62) | idx as u64);
+    corpus.push((
+        "wavelet-child.img",
+        repair_checksum(bad),
+        "wavelet-child-no-decrease",
+    ));
+
+    // pDAG with a back edge: last packed node's left child -> root.
+    let mut bad = pdag_img.clone();
+    let nodes = section_byte_offset(&pdag_img, sections::PDAG_NODES);
+    let image = FibImage::from_bytes(&pdag_img).unwrap();
+    let entry = image
+        .section_table()
+        .iter()
+        .find(|e| e.id == sections::PDAG_NODES)
+        .copied()
+        .unwrap();
+    let last_children = nodes + (entry.len - 2) * 8;
+    let v = read_word(&bad, last_children);
+    write_word(&mut bad, last_children, v & !0xFFFF_FFFF); // left = 0 (root)
+    corpus.push(("pdag-cycle.img", repair_checksum(bad), "pdag-cycle"));
+
+    // pDAG whose root has no children: the rest of the pack is orphaned.
+    let mut bad = pdag_img.clone();
+    write_word(&mut bad, nodes, u64::MAX);
+    corpus.push((
+        "pdag-unreachable.img",
+        repair_checksum(bad),
+        "pdag-unreachable",
+    ));
+
+    // A route with an impossible prefix length.
+    let mut bad = ser_img.clone();
+    let routes = section_byte_offset(&ser_img, sections::ROUTES);
+    let v = read_word(&bad, routes + 2 * 8);
+    write_word(&mut bad, routes + 2 * 8, (v & !0xFF) | 200);
+    corpus.push((
+        "routes-malformed.img",
+        repair_checksum(bad),
+        "routes-malformed",
+    ));
+
+    // A resident-size claim wildly off the actual payload.
+    let mut bad = ser_img;
+    let claimed = read_word(&bad, 5 * 8);
+    write_word(&mut bad, 5 * 8, claimed * 4 + 1024);
+    corpus.push(("size-drift.img", repair_checksum(bad), "size-claim-drift"));
+
+    corpus
+}
+
+fn assert_lints_to(name: &str, bytes: &[u8], expected: &str) {
+    let issues = lint_bytes(bytes);
+    if expected == "clean" {
+        assert!(issues.is_empty(), "{name}: expected clean, got {issues:?}");
+    } else {
+        assert!(
+            issues.iter().any(|i| i.code == expected),
+            "{name}: expected a `{expected}` issue, got {issues:?}"
+        );
+    }
+}
+
+/// The generator's own expectations hold — independent of what is on
+/// disk, every constructed corruption produces its intended diagnostic.
+#[test]
+fn generated_corpus_lints_as_expected() {
+    for (name, bytes, expected) in build_corpus() {
+        assert_lints_to(name, &bytes, expected);
+    }
+}
+
+/// Regenerates `tests/corpus/` when `FIB_CORPUS_REGEN=1`; otherwise
+/// verifies every committed file against the MANIFEST. The committed
+/// bytes are the contract: lint behavior is pinned against them even if
+/// the builders' output drifts.
+#[test]
+fn committed_corpus_matches_manifest() {
+    let dir = corpus_dir();
+    if std::env::var("FIB_CORPUS_REGEN").as_deref() == Ok("1") {
+        fs::create_dir_all(&dir).unwrap();
+        let mut manifest = String::new();
+        for (name, bytes, expected) in build_corpus() {
+            fs::write(dir.join(name), &bytes).unwrap();
+            manifest.push_str(&format!("{name} {expected}\n"));
+        }
+        fs::write(dir.join("MANIFEST"), manifest).unwrap();
+        return;
+    }
+    let manifest = fs::read_to_string(dir.join("MANIFEST"))
+        .expect("tests/corpus/MANIFEST is committed (regen with FIB_CORPUS_REGEN=1)");
+    let mut entries = 0;
+    for line in manifest.lines().filter(|l| !l.trim().is_empty()) {
+        let (name, expected) = line
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("malformed MANIFEST line: {line}"));
+        let bytes = fs::read(dir.join(name))
+            .unwrap_or_else(|e| panic!("corpus file {name} unreadable: {e}"));
+        assert_lints_to(name, &bytes, expected);
+        entries += 1;
+    }
+    assert!(entries >= 10, "corpus has shrunk to {entries} entries");
+}
+
+/// The `fibc lint` binary agrees with the library: exit 0 + "clean" on
+/// honest images, non-zero + the typed code on corrupt ones.
+#[test]
+fn fibc_lint_binary_agrees_with_library() {
+    let dir = corpus_dir();
+    if !dir.join("MANIFEST").exists() {
+        panic!("tests/corpus/MANIFEST missing (regen with FIB_CORPUS_REGEN=1)");
+    }
+    let fibc = env!("CARGO_BIN_EXE_fibc");
+
+    let clean = Command::new(fibc)
+        .args(["lint"])
+        .arg(dir.join("clean-serialized.img"))
+        .output()
+        .expect("fibc runs");
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert!(clean.status.success(), "clean image failed lint: {stdout}");
+    assert!(
+        stdout.contains("lint: clean"),
+        "unexpected output: {stdout}"
+    );
+
+    let dirty = Command::new(fibc)
+        .args(["lint"])
+        .arg(dir.join("rank-directory.img"))
+        .output()
+        .expect("fibc runs");
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(
+        !dirty.status.success(),
+        "corrupt image passed lint: {stdout}"
+    );
+    assert!(
+        stdout.contains("rank-directory-mismatch"),
+        "expected typed code in output, got: {stdout}"
+    );
+}
