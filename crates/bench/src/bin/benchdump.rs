@@ -5,9 +5,14 @@
 //!
 //! * default (lookup): every engine's longest-prefix-match latency
 //!   (scalar, batched, and software-pipelined stream) on a paper-instance
-//!   FIB → `BENCH_lookup.json` (schema `fibcomp-bench-lookup/v2`). Key
+//!   FIB → `BENCH_lookup.json` (schema `fibcomp-bench-lookup/v3`). Key
 //!   models: `uniform`, `zipf`, and the `zipf-dedup` control that
-//!   separates popularity locality from depth bias (see README).
+//!   separates popularity locality from depth bias (see README). Each
+//!   (engine, keys) pair gets a `layout: "base"` row and a
+//!   `layout: "hot"` row — the latter serving behind a hot slab compiled
+//!   from the zipf traffic — and the top level records the SIMD gather
+//!   dispatch (`avx2` or `scalar`). `FIB_BENCH_ASSERT=1` makes the run
+//!   fail if any engine's base batch path regresses scalar by >10 %.
 //! * `--serve`: the multi-core forwarding runtime — engine ×
 //!   key-distribution × thread-count → aggregate Mlookups/s and p50/p99
 //!   ns/lookup → `BENCH_serve.json` (schema `fibcomp-bench-serve/v1`).
@@ -21,14 +26,16 @@
 use fib_bench::timing::median;
 use fib_bench::{instance_fib, scale_arg};
 use fib_core::{
-    BuildConfig, FibBuild, FibEngine, FibLookup, FibUpdate, ImageCodec, MultibitDag, PrefixDag,
-    SerializedDag, XbwFib, XbwStorage,
+    slab_batch, BuildConfig, FibBuild, FibEngine, FibLookup, FibUpdate, HotConfig, HotSlab,
+    ImageCodec, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage,
 };
 use fib_router::{aggregate, Forwarder, ForwarderConfig, PacingMode, Router, RouterConfig};
+use fib_succinct::simd::simd_label;
 use fib_trie::{BinaryTrie, LcTrie};
 use fib_workload::loadgen::{AddrStream, KeyModel};
 use fib_workload::rng::Xoshiro256;
 use fib_workload::traces::{uniform, ZipfTrace};
+use fib_workload::HeatSummary;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -72,6 +79,56 @@ fn stream_ns<E: FibEngine<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
     for _ in 0..SAMPLES {
         let start = Instant::now();
         engine.lookup_stream(black_box(addrs), &mut out);
+        black_box(&out);
+        passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
+    }
+    median(&passes)
+}
+
+/// The hot-layout counterparts: the same slab-first dispatch the
+/// `HotFib` wrapper and hot image views use, measured over a borrowed
+/// engine (a slab probe, then the engine on misses).
+fn hot_scalar_ns<E: FibEngine<u32> + ?Sized>(engine: &E, slab: &HotSlab, addrs: &[u32]) -> f64 {
+    let view = slab.as_ref();
+    let mut passes = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for &a in addrs {
+            let hop = match view.probe_addr(black_box(a)) {
+                Some(answer) => answer,
+                None => engine.lookup(a),
+            };
+            acc = acc.wrapping_add(u64::from(hop.map_or(0, |nh| nh.index())));
+        }
+        black_box(acc);
+        passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
+    }
+    median(&passes)
+}
+
+fn hot_batch_ns<E: FibEngine<u32> + ?Sized>(engine: &E, slab: &HotSlab, addrs: &[u32]) -> f64 {
+    let mut out = vec![None; addrs.len()];
+    let mut passes = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        slab_batch(slab.as_ref(), black_box(addrs), &mut out, |a, o| {
+            engine.lookup_batch(a, o);
+        });
+        black_box(&out);
+        passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
+    }
+    median(&passes)
+}
+
+fn hot_stream_ns<E: FibEngine<u32> + ?Sized>(engine: &E, slab: &HotSlab, addrs: &[u32]) -> f64 {
+    let mut out = vec![None; addrs.len()];
+    let mut passes = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        slab_batch(slab.as_ref(), black_box(addrs), &mut out, |a, o| {
+            engine.lookup_stream(a, o);
+        });
         black_box(&out);
         passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
     }
@@ -141,9 +198,29 @@ fn lookup_mode() {
         ("multibit-dag", &mb),
     ];
 
+    // Traffic heat for the hot layout: the zipf key stream *is* the
+    // traffic model, so sample it into a block summary and compile the
+    // hottest pure blocks into one shared slab (what a router's
+    // `publish_hot` does online).
+    let hot_config = HotConfig::for_width(32);
+    let heat = HeatSummary::sample_addrs(hot_config.depth, zipf_addrs.iter().copied());
+    let (slab, hot_stats) = HotSlab::compile(&trie, heat.entries(), &hot_config);
+    println!(
+        "hot slab: depth {} entries {} ({} impure, {} dropped) coverage {:.3}",
+        slab.depth(),
+        slab.occupied(),
+        hot_stats.impure,
+        hot_stats.dropped,
+        hot_stats.coverage
+    );
+
     // Hand-rolled JSON: the workspace has no serializer dependency and
-    // the schema is flat. Schema v2: one row per (engine, key model);
-    // the `zipf-dedup` key model and the stream column are additive.
+    // the schema is flat. Schema v3: one row per (engine, key model,
+    // layout). `layout: "base"` rows are the v2 rows verbatim;
+    // `layout: "hot"` rows serve the same engine behind the shared
+    // traffic-compiled slab, and the top level records the SIMD dispatch
+    // the gather kernels resolved to.
+    let assert_batch = std::env::var("FIB_BENCH_ASSERT").as_deref() == Ok("1");
     let mut rows = Vec::new();
     for (name, engine) in engines {
         for (keys, addrs) in [
@@ -151,27 +228,64 @@ fn lookup_mode() {
             ("zipf", &zipf_addrs),
             ("zipf-dedup", &dedup_addrs),
         ] {
-            let scalar = scalar_ns(engine, addrs);
-            let batch = batch_ns(engine, addrs);
+            let mut scalar = scalar_ns(engine, addrs);
+            let mut batch = batch_ns(engine, addrs);
+            if assert_batch {
+                // Timing is noisy at the few-ns scale where the gated
+                // batch path is the scalar walk plus call overhead; give
+                // a marginal reading a couple of fresh measurements
+                // before declaring a structural regression.
+                for _ in 0..2 {
+                    if batch <= scalar * 1.1 {
+                        break;
+                    }
+                    scalar = scalar_ns(engine, addrs);
+                    batch = batch_ns(engine, addrs);
+                }
+                assert!(
+                    batch <= scalar * 1.1,
+                    "{name}/{keys}: batch path {batch:.1} ns regresses scalar {scalar:.1} ns"
+                );
+            }
             let stream = stream_ns(engine, addrs);
             let size_bits = FibLookup::<u32>::size_bytes(engine) * 8;
             println!(
-                "{name:<18} {keys:<10} scalar {scalar:>8.1} ns  batch {batch:>8.1} ns  \
+                "{name:<18} {keys:<10} base scalar {scalar:>8.1} ns  batch {batch:>8.1} ns  \
                  stream {stream:>8.1} ns  {size_bits} bits"
             );
             rows.push(format!(
-                "    {{\"engine\": \"{name}\", \"keys\": \"{keys}\", \
+                "    {{\"engine\": \"{name}\", \"keys\": \"{keys}\", \"layout\": \"base\", \
                  \"median_ns_per_lookup\": {scalar:.1}, \
                  \"median_ns_per_lookup_batch\": {batch:.1}, \
                  \"median_ns_per_lookup_stream\": {stream:.1}, \"size_bits\": {size_bits}}}"
             ));
+
+            let hscalar = hot_scalar_ns(engine, &slab, addrs);
+            let hbatch = hot_batch_ns(engine, &slab, addrs);
+            let hstream = hot_stream_ns(engine, &slab, addrs);
+            let hot_bits = (FibLookup::<u32>::size_bytes(engine) + slab.size_bytes()) * 8;
+            println!(
+                "{name:<18} {keys:<10} hot  scalar {hscalar:>8.1} ns  batch {hbatch:>8.1} ns  \
+                 stream {hstream:>8.1} ns  {hot_bits} bits"
+            );
+            rows.push(format!(
+                "    {{\"engine\": \"{name}\", \"keys\": \"{keys}\", \"layout\": \"hot\", \
+                 \"median_ns_per_lookup\": {hscalar:.1}, \
+                 \"median_ns_per_lookup_batch\": {hbatch:.1}, \
+                 \"median_ns_per_lookup_stream\": {hstream:.1}, \"size_bits\": {hot_bits}}}"
+            ));
         }
     }
     let json = format!(
-        "{{\n  \"schema\": \"fibcomp-bench-lookup/v2\",\n  \"instance\": \"{instance}\",\n  \
+        "{{\n  \"schema\": \"fibcomp-bench-lookup/v3\",\n  \"instance\": \"{instance}\",\n  \
          \"scale\": {scale},\n  \"routes\": {},\n  \"key_count\": {KEY_COUNT},\n  \
-         \"engines\": [\n{}\n  ]\n}}\n",
+         \"dispatch\": \"{}\",\n  \"hot_slab\": {{\"depth\": {}, \"entries\": {}, \
+         \"coverage\": {:.4}}},\n  \"engines\": [\n{}\n  ]\n}}\n",
         trie.len(),
+        simd_label(),
+        slab.depth(),
+        slab.occupied(),
+        hot_stats.coverage,
         rows.join(",\n")
     );
     write_artifact(&out_path, &json);

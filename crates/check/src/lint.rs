@@ -59,6 +59,7 @@ impl fmt::Display for Finding {
 const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/succinct/src/storage.rs",
     "crates/succinct/src/mem.rs",
+    "crates/succinct/src/simd.rs",
     "crates/router/src/snapcell.rs",
 ];
 

@@ -84,6 +84,9 @@ pub mod sections {
     pub const MB_SLOTS: u32 = 0x40;
     /// LC-trie packed nodes.
     pub const LC_NODES: u32 = 0x50;
+    /// Optional traffic-aware hot slab (any engine): meta block + slot
+    /// words, see [`crate::hot::HotSlab::write_words`].
+    pub const HOT_SLAB: u32 = 0x60;
 }
 
 const BLOCK_WORDS: usize = 8;
@@ -267,6 +270,12 @@ impl FibImage {
             return Err(ImageError::Truncated);
         }
         let arena = Arena::from_le_bytes(bytes).map_err(|_| ImageError::Truncated)?;
+        // DFZ-scale images are walked with random access on the packet
+        // path; ask the kernel to back the arena with transparent huge
+        // pages so the walk spends TLB entries 512× more slowly. Purely
+        // advisory: small arenas and non-Linux hosts return `false` and
+        // the image serves identically from 4 KiB pages.
+        let _ = arena.advise_hugepages();
         let words = arena.words();
         if words[0] != MAGIC {
             return Err(ImageError::BadMagic);
@@ -642,6 +651,30 @@ pub fn write_image<A: Address, E: ImageCodec<A>>(
     let mut writer = ImageWriter::new::<A>(E::ENGINE, route_count, epoch);
     writer.set_claimed_size_bytes(engine.resident_size_bytes() as u64);
     engine.write_sections(&mut writer)?;
+    if let Some(trie) = routes {
+        writer.routes(trie);
+    }
+    Ok(writer.finish())
+}
+
+/// [`write_image`] plus a [`sections::HOT_SLAB`] section carrying a
+/// compiled traffic-aware hot slab, so any view assembled over the image
+/// (see [`hot_any_view`]) serves the pinned blocks without recompilation.
+///
+/// # Errors
+/// [`ImageError::Unsupported`] for engine configurations with no image
+/// encoding.
+pub fn write_image_hot<A: Address, E: ImageCodec<A>>(
+    engine: &E,
+    routes: Option<&BinaryTrie<A>>,
+    epoch: u64,
+    slab: &crate::hot::HotSlab,
+) -> Result<Vec<u8>, ImageError> {
+    let route_count = routes.map_or(0, BinaryTrie::len) as u64;
+    let mut writer = ImageWriter::new::<A>(E::ENGINE, route_count, epoch);
+    writer.set_claimed_size_bytes((engine.resident_size_bytes() + slab.size_bytes()) as u64);
+    engine.write_sections(&mut writer)?;
+    writer.section_with(sections::HOT_SLAB, |out| slab.write_words(out));
     if let Some(trie) = routes {
         writer.routes(trie);
     }
@@ -1143,5 +1176,102 @@ impl<A: Address> FibLookup<A> for AnyView<'_, A> {
             Self::MultibitDag(v) => FibLookup::<A>::size_bytes(v),
             Self::LcTrie(v) => FibLookup::<A>::size_bytes(v),
         }
+    }
+}
+
+impl FibImage {
+    /// Borrows the optional [`sections::HOT_SLAB`] section as a validated
+    /// slab view; `Ok(None)` when the image carries no slab.
+    ///
+    /// # Errors
+    /// [`ImageError::Malformed`] when a slab section is present but fails
+    /// validation.
+    pub fn hot_slab(&self) -> Result<Option<crate::hot::HotSlabRef<'_>>, ImageError> {
+        match self.section(sections::HOT_SLAB) {
+            Err(ImageError::MissingSection(_)) => Ok(None),
+            Err(e) => Err(e),
+            Ok(words) => crate::hot::HotSlabRef::from_words(words)
+                .map(Some)
+                .map_err(|e| ImageError::Malformed(e.0)),
+        }
+    }
+}
+
+/// A type-erased image view with the image's hot slab (if any) pinned in
+/// front — the composition `fibc serve` and the bench dispatch on when an
+/// image was compiled `--heat`.
+#[derive(Clone, Copy, Debug)]
+pub struct HotAnyView<'a, A: Address> {
+    slab: Option<crate::hot::HotSlabRef<'a>>,
+    inner: AnyView<'a, A>,
+}
+
+/// Assembles [`any_view`] plus the image's optional hot slab, so images
+/// written by [`write_image_hot`] get their traffic-aware layout for free.
+///
+/// # Errors
+/// Any [`ImageError`].
+pub fn hot_any_view<A: Address>(image: &FibImage) -> Result<HotAnyView<'_, A>, ImageError> {
+    Ok(HotAnyView {
+        slab: image.hot_slab()?,
+        inner: any_view(image)?,
+    })
+}
+
+impl<'a, A: Address> HotAnyView<'a, A> {
+    /// The slab view, when the image carries one.
+    #[must_use]
+    pub fn slab(&self) -> Option<crate::hot::HotSlabRef<'a>> {
+        self.slab
+    }
+
+    /// The underlying engine view.
+    #[must_use]
+    pub fn inner(&self) -> AnyView<'a, A> {
+        self.inner
+    }
+}
+
+impl<A: Address> FibLookup<A> for HotAnyView<'_, A> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    #[inline]
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        if let Some(slab) = self.slab {
+            if let Some(answer) = slab.probe_addr(addr) {
+                return answer;
+            }
+        }
+        self.inner.lookup(addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
+        match self.slab {
+            Some(slab) => crate::hot::slab_batch(slab, addrs, out, |a, o| {
+                self.inner.lookup_batch(a, o);
+            }),
+            None => self.inner.lookup_batch(addrs, out),
+        }
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
+        match self.slab {
+            Some(slab) => crate::hot::slab_batch(slab, addrs, out, |a, o| {
+                self.inner.lookup_stream(a, o);
+            }),
+            None => self.inner.lookup_stream(addrs, out),
+        }
+    }
+
+    fn prefetch(&self, addr: A) {
+        self.inner.prefetch(addr);
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes() + self.slab.map_or(0, |s| s.size_bytes())
     }
 }

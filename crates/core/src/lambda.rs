@@ -73,6 +73,51 @@ pub fn barrier_entropy(n: usize, h0: f64, width: u8) -> u8 {
     clamp_lambda(lambert_w(z) / std::f64::consts::LN_2, width)
 }
 
+/// Traffic-weighted barrier: extends the uniform choice of Eqs. (2)/(3)
+/// with a *measured* access distribution.
+///
+/// The uniform analysis weights every address equally, so it balances the
+/// direct-indexed top table (`2^λ` slots) against the worst-case walk of
+/// the compressed bottom. Under real traffic the walk cost below the
+/// barrier is paid in proportion to the mass of lookups whose match sits
+/// deeper than λ. Starting from the uniform barrier `base`, this raises λ
+/// one level at a time while the marginal gain — the traffic fraction
+/// still resolving below the candidate barrier — outweighs the marginal
+/// table cost `θ·2^λ/n` (the relative growth of the top table per route,
+/// the same currency Eq. (2) trades in):
+///
+/// `λ* = max { λ ≥ base : P[match depth > λ'] ≥ θ·2^λ'/n  ∀ λ' ∈ [base, λ) }`
+///
+/// `depth_mass[d]` is the fraction of traffic whose longest-prefix match
+/// sits at depth `d` (see `crate::hot::depth_mass_from_heat`); `theta`
+/// tunes memory-versus-speed (1.0 is neutral; larger values hold λ down).
+/// Uniform traffic over a real FIB concentrates mass at ≤ 24, so the rule
+/// leaves `base` alone; zipf-skewed deep traffic pushes λ up until the
+/// table-growth term wins.
+#[must_use]
+pub fn barrier_traffic(n: usize, depth_mass: &[f64], base: u8, theta: f64, width: u8) -> u8 {
+    if n == 0 || depth_mass.is_empty() {
+        return base.min(width);
+    }
+    let deeper = |l: u8| -> f64 {
+        depth_mass
+            .iter()
+            .skip(usize::from(l) + 1)
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    };
+    let mut lambda = base.min(width);
+    while lambda < width {
+        let gain = deeper(lambda);
+        let cost = theta * (2f64.powi(i32::from(lambda) + 1)) / n as f64;
+        if gain <= 0.0 || gain < cost {
+            break;
+        }
+        lambda += 1;
+    }
+    lambda
+}
+
 fn clamp_lambda(lambda: f64, width: u8) -> u8 {
     if lambda <= 0.0 {
         0
@@ -128,6 +173,33 @@ mod tests {
         assert_eq!(barrier_info(1000, 1, 32), 0);
         // Huge n clamps to the address width.
         assert_eq!(barrier_entropy(usize::MAX / 2, 8.0, 32), 32);
+    }
+
+    #[test]
+    fn traffic_barrier_tracks_depth_mass() {
+        let n = 500_000;
+        // All mass at depth ≤ 8: nothing to gain, λ stays at base.
+        let mut shallow = vec![0.0; 33];
+        shallow[8] = 1.0;
+        assert_eq!(barrier_traffic(n, &shallow, 11, 1.0, 32), 11);
+        // Heavy mass at depth 24: λ climbs toward it, then the 2^λ/n
+        // table-growth cost stops the climb before the address width.
+        let mut deep = vec![0.0; 33];
+        deep[24] = 0.9;
+        deep[8] = 0.1;
+        let l = barrier_traffic(n, &deep, 11, 1.0, 32);
+        assert!(l > 11 && l <= 24, "λ = {l}");
+        // Deeper mass never lowers λ, and more mass never lowers it.
+        let mut deeper = vec![0.0; 33];
+        deeper[28] = 1.0;
+        assert!(barrier_traffic(n, &deeper, 11, 1.0, 32) >= l);
+        // A bigger θ (memory-tighter) holds λ down.
+        assert!(barrier_traffic(n, &deep, 11, 100.0, 32) <= l);
+        // Degenerate inputs fall back to base.
+        assert_eq!(barrier_traffic(0, &deep, 11, 1.0, 32), 11);
+        assert_eq!(barrier_traffic(n, &[], 11, 1.0, 32), 11);
+        // Clamped to the width.
+        assert_eq!(barrier_traffic(n, &deep, 40, 1.0, 32), 32);
     }
 
     #[test]

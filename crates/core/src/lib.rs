@@ -31,6 +31,7 @@
 
 mod engine;
 mod entropy;
+pub mod hot;
 pub mod image;
 pub mod lambda;
 pub mod lint;
@@ -42,9 +43,12 @@ mod xbw;
 
 pub use engine::{BuildConfig, FibBuild, FibEngine, FibLookup, FibUpdate, RebuildNeeded};
 pub use entropy::FibEntropy;
+pub use hot::{
+    depth_mass_from_heat, hot_key, slab_batch, HotConfig, HotFib, HotSlab, HotSlabRef, HotStats,
+};
 pub use image::{
-    any_view, load_image, write_image, write_image_file, AnyView, EngineKind, FibImage, ImageCodec,
-    ImageError, ImageWriter,
+    any_view, hot_any_view, load_image, write_image, write_image_file, write_image_hot, AnyView,
+    EngineKind, FibImage, HotAnyView, ImageCodec, ImageError, ImageWriter,
 };
 pub use multibit::{MultibitDag, MultibitDagRef, MB_BATCH_LANES};
 pub use pdag::{DagStats, PrefixDag, PrefixDagRef};

@@ -23,6 +23,10 @@
 //!   because a corrupted count word passes every size check the loader
 //!   makes and then silently misroutes;
 //! * routes payload: prefix lengths and address widths within family;
+//! * hot-slab payload: the [`sections::HOT_SLAB`] parse invariants plus
+//!   semantic cross-validation — every pinned `(block, next hop)` entry
+//!   is re-derived from the routes payload (block purity *and* answer)
+//!   and, independently, compared against the engine view's own lookup;
 //! * header claims: route count vs the routes payload, prefix count vs
 //!   the engine's own parameters, the resident-size claim vs the actual
 //!   payload bytes.
@@ -31,7 +35,9 @@
 //! corpus tests) can assert on classes, not message strings.
 
 use fib_succinct::{IntVecRef, RrrVecRef, RsBitVecRef};
+use fib_trie::Address;
 
+use crate::hot::{key_addr, HotSlabRef};
 use crate::image::{any_view, sections, EngineKind, FibImage, ImageError, SectionEntry};
 use crate::FibLookup;
 
@@ -106,6 +112,11 @@ pub fn lint_image(image: &FibImage) -> Vec<LintIssue> {
         Ok(_) | Err(_) => {}
     }
     view_pass(image, &mut issues);
+    match image.family() {
+        4 => hot_slab_pass::<u32>(image, &mut issues),
+        6 => hot_slab_pass::<u128>(image, &mut issues),
+        _ => {}
+    }
     issues
 }
 
@@ -523,6 +534,13 @@ fn view_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
             }
         },
     };
+    // A hot slab rides along in the resident-size claim (it is served,
+    // not decoded away); parse failures are hot_slab_pass's to report.
+    let view_size = view_size
+        + match image.hot_slab() {
+            Ok(Some(slab)) => slab.size_bytes(),
+            _ => 0,
+        };
     // The header's resident-size claim must track the engine's actual
     // view accounting. Small images carry fixed serialization overhead
     // (select directories, node tables, block padding) that the resident
@@ -536,6 +554,82 @@ fn view_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
             "size-claim-drift",
             format!("header claims {claimed} resident bytes, the view accounts {view_size}"),
         ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hot slab: parse hygiene + entry/next-hop cross-validation
+// ---------------------------------------------------------------------
+
+/// Deep pass over an optional [`sections::HOT_SLAB`] payload.
+///
+/// Hygiene first: the section must satisfy every [`HotSlabRef`] parse
+/// invariant (`hot-slab-malformed`) and its block depth must fit the
+/// image family's address width. Then semantics: a slab answer is a
+/// *claim* that one next hop covers an entire depth-`D` address block,
+/// so each pinned entry is re-derived from the routes payload — the
+/// block must still be pure (`hot-slab-impure-block`) and resolve to the
+/// stored hop (`hot-slab-answer-mismatch`) — and, independently of the
+/// routes, checked against the engine view's own lookup of the block
+/// base (`hot-slab-answer-mismatch` again): a slab that disagrees with
+/// the structure it fronts would short-circuit lookups to wrong hops.
+fn hot_slab_pass<A: Address>(image: &FibImage, issues: &mut Vec<LintIssue>) {
+    let Ok(words) = image.section(sections::HOT_SLAB) else {
+        return; // the section is optional
+    };
+    let slab = match HotSlabRef::from_words(words) {
+        Ok(slab) => slab,
+        Err(e) => {
+            issues.push(issue("hot-slab-malformed", e.0));
+            return;
+        }
+    };
+    if slab.depth() > A::WIDTH {
+        issues.push(issue(
+            "hot-slab-malformed",
+            format!(
+                "slab depth {} exceeds family width {}",
+                slab.depth(),
+                A::WIDTH
+            ),
+        ));
+        return;
+    }
+    let routes = image.routes::<A>().ok();
+    let view = any_view::<A>(image).ok();
+    for (key, hop) in slab.entries() {
+        let base: A = key_addr(key);
+        if let Some(trie) = &routes {
+            match trie.block_resolution(base, slab.depth()) {
+                None => issues.push(issue(
+                    "hot-slab-impure-block",
+                    format!(
+                        "slab block {key:#018x}/{} spans more than one answer in the routes payload",
+                        slab.depth()
+                    ),
+                )),
+                Some(want) if want != hop => issues.push(issue(
+                    "hot-slab-answer-mismatch",
+                    format!(
+                        "slab block {key:#018x}/{} pins {hop:?}, routes resolve {want:?}",
+                        slab.depth()
+                    ),
+                )),
+                Some(_) => {}
+            }
+        }
+        if let Some(view) = &view {
+            let want = view.lookup(base);
+            if want != hop {
+                issues.push(issue(
+                    "hot-slab-answer-mismatch",
+                    format!(
+                        "slab block {key:#018x}/{} pins {hop:?}, the engine view answers {want:?}",
+                        slab.depth()
+                    ),
+                ));
+            }
+        }
     }
 }
 

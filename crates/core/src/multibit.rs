@@ -27,6 +27,7 @@
 use std::collections::HashMap;
 use std::marker::PhantomData;
 
+use fib_succinct::simd::gather4_u32;
 use fib_succinct::storage::get_u32 as slot_at;
 use fib_trie::{Address, BinaryTrie, Depth, NextHop, ProperNode, ProperTrie};
 
@@ -340,6 +341,16 @@ impl<'a, A: Address> MultibitDagRef<'a, A> {
                                                                       // Trim so the exact-chunk remainders of both slices stay aligned
                                                                       // when the caller hands in an oversized output buffer.
         let out = &mut out[..addrs.len()];
+        // A cache-resident table has no misses for the lockstep walk (or
+        // its gathers) to overlap — lane bookkeeping is pure overhead
+        // there, so small tables walk scalar, like the stream path's
+        // prefetch gate below.
+        if self.size_bytes() < fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES {
+            for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+                *slot = self.lookup(*addr);
+            }
+            return;
+        }
         let mut chunks = addrs.chunks_exact(MB_BATCH_LANES);
         let mut outs = out.chunks_exact_mut(MB_BATCH_LANES);
         for (chunk, slot_out) in (&mut chunks).zip(&mut outs) {
@@ -394,20 +405,31 @@ impl<'a, A: Address> MultibitDagRef<'a, A> {
     /// must be exactly [`MB_BATCH_LANES`] long.
     #[inline]
     fn resolve_lanes(&self, chunk: &[A], slot_out: &mut [Option<NextHop>]) {
-        let width = 1usize << self.stride;
+        let width = 1u64 << self.stride;
         let mut reference = [self.root; MB_BATCH_LANES];
         let mut offset = [0u8; MB_BATCH_LANES];
         let mut live = reference.iter().filter(|&&r| r & LEAF_TAG == 0).count();
+        // Each step gathers all four lanes' stride-table slots in one
+        // SIMD gather over the packed-u32 word array (scalar fallback
+        // inside `gather4_u32`); parked lanes re-read slot 0.
         while live > 0 {
+            let mut take = [0u8; MB_BATCH_LANES];
+            let mut gidx = [0u64; MB_BATCH_LANES];
             for lane in 0..MB_BATCH_LANES {
                 if reference[lane] & LEAF_TAG != 0 {
                     continue;
                 }
-                let take = self.stride.min(A::WIDTH - offset[lane]);
-                let slot = chunk[lane].bits(offset[lane], take) << (self.stride - take);
-                reference[lane] =
-                    slot_at(self.words, reference[lane] as usize * width + slot as usize);
-                offset[lane] += take;
+                take[lane] = self.stride.min(A::WIDTH - offset[lane]);
+                let slot = chunk[lane].bits(offset[lane], take[lane]) << (self.stride - take[lane]);
+                gidx[lane] = u64::from(reference[lane]) * width + u64::from(slot);
+            }
+            let slots = gather4_u32(self.words, gidx);
+            for lane in 0..MB_BATCH_LANES {
+                if reference[lane] & LEAF_TAG != 0 {
+                    continue;
+                }
+                reference[lane] = slots[lane];
+                offset[lane] += take[lane];
                 if reference[lane] & LEAF_TAG != 0 {
                     live -= 1;
                 }

@@ -29,6 +29,7 @@
 use std::marker::PhantomData;
 
 use fib_succinct::fnv1a;
+use fib_succinct::simd::gather4;
 use fib_trie::{Address, Depth, NextHop};
 
 use crate::pdag::{PrefixDag, NONE};
@@ -466,6 +467,16 @@ impl<'a, A: Address> SerializedDagRef<'a, A> {
                                                                       // Trim so the exact-chunk remainders of both slices stay aligned
                                                                       // when the caller hands in an oversized output buffer.
         let out = &mut out[..addrs.len()];
+        // A cache-resident blob has no misses for the lockstep walk (or
+        // its gathers) to overlap — lane bookkeeping is pure overhead
+        // there, so small images walk scalar, like the stream path's
+        // prefetch gate below.
+        if self.size_bytes() < fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES {
+            for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+                *slot = self.lookup(*addr);
+            }
+            return;
+        }
         let mut chunks = addrs.chunks_exact(SER_BATCH_LANES);
         let mut outs = out.chunks_exact_mut(SER_BATCH_LANES);
         for (chunk, slot) in (&mut chunks).zip(&mut outs) {
@@ -514,13 +525,21 @@ impl<'a, A: Address> SerializedDagRef<'a, A> {
     /// must be exactly [`SER_BATCH_LANES`] long.
     #[inline]
     fn resolve_lanes(&self, chunk: &[A], slot: &mut [Option<NextHop>]) {
-        // Stage 1: all root-array entries, no dependences between them.
-        let mut entry = [0u64; SER_BATCH_LANES];
-        for lane in 0..SER_BATCH_LANES {
-            entry[lane] = self.entries[chunk[lane].bits(0, self.lambda) as usize];
-        }
+        // Stage 1: all root-array entries in one SIMD gather (scalar
+        // fallback inside `gather4` when AVX2 is absent or forced off).
+        let entry = gather4(
+            self.entries,
+            [
+                u64::from(chunk[0].bits(0, self.lambda)),
+                u64::from(chunk[1].bits(0, self.lambda)),
+                u64::from(chunk[2].bits(0, self.lambda)),
+                u64::from(chunk[3].bits(0, self.lambda)),
+            ],
+        );
         // Stage 2: lockstep node-record walk; a lane parks once it
-        // resolves to a leaf reference.
+        // resolves to a leaf reference. Parked lanes keep gathering
+        // record 0 (in bounds whenever any lane is live) so each step
+        // stays one gather for the whole group.
         let mut reference = [0u32; SER_BATCH_LANES];
         let mut depth = [self.lambda; SER_BATCH_LANES];
         let mut live = 0usize;
@@ -531,12 +550,18 @@ impl<'a, A: Address> SerializedDagRef<'a, A> {
             }
         }
         while live > 0 {
+            let mut gidx = [0u64; SER_BATCH_LANES];
+            for lane in 0..SER_BATCH_LANES {
+                if reference[lane] & LEAF_TAG == 0 {
+                    gidx[lane] = u64::from(reference[lane]);
+                }
+            }
+            let records = gather4(self.nodes, gidx);
             for lane in 0..SER_BATCH_LANES {
                 if reference[lane] & LEAF_TAG != 0 {
                     continue;
                 }
-                let record = self.nodes[reference[lane] as usize];
-                reference[lane] = record_child(record, chunk[lane].bit(depth[lane]));
+                reference[lane] = record_child(records[lane], chunk[lane].bit(depth[lane]));
                 depth[lane] += 1;
                 if reference[lane] & LEAF_TAG != 0 {
                     live -= 1;

@@ -32,7 +32,24 @@ use fib_trie::{Address, BinaryTrie, NextHop, ProperNode, ProperTrie};
 use std::marker::PhantomData;
 
 /// Number of lookups [`XbwFib::lookup_batch`] walks in lockstep.
+///
+/// Lane-width sweep on a DFZ-scale shape string (out-of-cache, uniform
+/// keys, median ns/lookup of the interleaved walk): 4 lanes leave load
+/// latency on the table (~0.88× scalar), 8 lanes saturate the walk's
+/// useful memory-level parallelism (~0.74×), and 16 lanes give back the
+/// gain to register spills in the lockstep state (~0.80×). 8 is the
+/// plateau, so it stays. On *cache-resident* strings interleaving at any
+/// width only adds bookkeeping — that case is dispatched to the scalar
+/// walk by the [`XBW_BATCH_SCALAR_BYTES`] gate instead of re-tuned here.
 pub const XBW_BATCH_LANES: usize = 8;
+
+/// Shape strings smaller than this walk scalar in `lookup_batch`:
+/// cache-resident walks have no misses to overlap, so the lockstep
+/// bookkeeping is pure overhead (~1.3× scalar on the taz 0.1 instance,
+/// which is why the v2 benchmark showed the batch path *losing* on
+/// `xbw-succinct`). The threshold reuses the residency bound the stream
+/// path already trusts for its prefetch decision.
+pub const XBW_BATCH_SCALAR_BYTES: usize = fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES;
 
 /// How the two XBW-b strings are stored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -319,19 +336,21 @@ impl<A: Address> XbwFib<A> {
     /// different packets overlap instead of serializing — the same
     /// interleaving the flat-layout engines use.
     ///
-    /// Only the plain (`Succinct`) shape string takes the interleaved
-    /// path: its walk is memory-latency-bound, and overlapping eight
-    /// single-line probes measurably raises throughput. The RRR-backed
-    /// walk is bound by the serial combinatorial decode (ALU, not
-    /// misses), where lockstep bookkeeping only adds overhead, so it
-    /// stays scalar.
+    /// Only the plain (`Succinct`) shape string, and only once it
+    /// outgrows the cache ([`XBW_BATCH_SCALAR_BYTES`]), takes the
+    /// interleaved path: that walk is memory-latency-bound, and
+    /// overlapping eight single-line probes measurably raises
+    /// throughput. The RRR-backed walk is bound by the serial
+    /// combinatorial decode (ALU, not misses), and a cache-resident
+    /// plain string has no misses to overlap — in both cases lockstep
+    /// bookkeeping only adds overhead, so they stay scalar.
     ///
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
         let out = &mut out[..addrs.len()];
-        if matches!(self.si, SiStore::Rrr(_)) {
+        if matches!(self.si, SiStore::Rrr(_)) || self.size_bytes() < XBW_BATCH_SCALAR_BYTES {
             for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
                 *slot = self.lookup(*addr);
             }
@@ -711,16 +730,16 @@ impl<'a, A: Address> XbwFibRef<'a, A> {
     }
 
     /// Batched longest-prefix match, interleaving [`XBW_BATCH_LANES`]
-    /// walks on the plain shape string exactly like
-    /// [`XbwFib::lookup_batch`] (RRR stays scalar — its decode is
-    /// ALU-bound).
+    /// walks on an out-of-cache plain shape string exactly like
+    /// [`XbwFib::lookup_batch`] (RRR and cache-resident strings stay
+    /// scalar — decode-bound and miss-free respectively).
     ///
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
         let out = &mut out[..addrs.len()];
-        if matches!(self.si, SiRef::Rrr(_)) {
+        if matches!(self.si, SiRef::Rrr(_)) || self.payload_words * 8 < XBW_BATCH_SCALAR_BYTES {
             for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
                 *slot = self.lookup(*addr);
             }

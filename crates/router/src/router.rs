@@ -11,9 +11,11 @@ use std::thread::JoinHandle;
 use crate::snapcell::{SnapCell, SnapReader};
 
 use fib_core::{
-    write_image_file, BuildConfig, FibBuild, FibImage, FibLookup, FibUpdate, ImageCodec, ImageError,
+    slab_batch, write_image_file, BuildConfig, FibBuild, FibImage, FibLookup, FibUpdate, HotConfig,
+    HotSlab, HotStats, ImageCodec, ImageError,
 };
 use fib_trie::{Address, BinaryTrie, NextHop, Prefix};
+use fib_workload::{HeatMap, HeatSummary};
 
 /// Policy knobs of a [`Router`].
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +74,9 @@ pub struct EpochSnapshot<E> {
     epoch: u64,
     routes: usize,
     engine: SnapEngine<E>,
+    /// Traffic-pinned hot blocks consulted before the engine walk
+    /// ([`Router::publish_hot`] attaches one; plain publishes carry none).
+    hot: Option<HotSlab>,
 }
 
 impl<E> EpochSnapshot<E> {
@@ -104,6 +109,13 @@ impl<E> EpochSnapshot<E> {
         matches!(self.engine, SnapEngine::Image(_))
     }
 
+    /// The traffic-pinned hot slab this epoch serves from, if the
+    /// publish attached one (see [`Router::publish_hot`]).
+    #[must_use]
+    pub fn hot_slab(&self) -> Option<&HotSlab> {
+        self.hot.as_ref()
+    }
+
     /// Longest-prefix-match on the snapshot.
     ///
     /// # Panics
@@ -115,6 +127,11 @@ impl<E> EpochSnapshot<E> {
     where
         E: ImageCodec<A>,
     {
+        if let Some(slab) = &self.hot {
+            if let Some(answer) = slab.as_ref().probe_addr(addr) {
+                return answer;
+            }
+        }
         match &self.engine {
             SnapEngine::Owned(e) => e.lookup(addr),
             // The image passed a full E::view at restart and is immutable,
@@ -134,6 +151,19 @@ impl<E> EpochSnapshot<E> {
     where
         E: ImageCodec<A>,
     {
+        if let Some(slab) = &self.hot {
+            assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
+            match &self.engine {
+                SnapEngine::Owned(e) => slab_batch(slab.as_ref(), addrs, out, |a, o| {
+                    e.lookup_batch(a, o);
+                }),
+                SnapEngine::Image(img) => {
+                    let view = E::view_prevalidated(img).expect("validated at restart");
+                    slab_batch(slab.as_ref(), addrs, out, |a, o| view.lookup_batch(a, o));
+                }
+            }
+            return;
+        }
         match &self.engine {
             SnapEngine::Owned(e) => e.lookup_batch(addrs, out),
             SnapEngine::Image(img) => E::view_prevalidated(img)
@@ -152,6 +182,19 @@ impl<E> EpochSnapshot<E> {
     where
         E: ImageCodec<A>,
     {
+        if let Some(slab) = &self.hot {
+            assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
+            match &self.engine {
+                SnapEngine::Owned(e) => slab_batch(slab.as_ref(), addrs, out, |a, o| {
+                    e.lookup_stream(a, o);
+                }),
+                SnapEngine::Image(img) => {
+                    let view = E::view_prevalidated(img).expect("validated at restart");
+                    slab_batch(slab.as_ref(), addrs, out, |a, o| view.lookup_stream(a, o));
+                }
+            }
+            return;
+        }
         match &self.engine {
             SnapEngine::Owned(e) => e.lookup_stream(addrs, out),
             SnapEngine::Image(img) => E::view_prevalidated(img)
@@ -391,6 +434,7 @@ where
             epoch: 0,
             routes: control.len(),
             engine: SnapEngine::Owned(working.clone()),
+            hot: None,
         });
         Self {
             config,
@@ -520,6 +564,7 @@ where
             epoch,
             routes,
             engine: SnapEngine::Image(Arc::clone(&image)),
+            hot: None,
         });
         // Re-arm the spool in append mode: the existing journal keeps
         // accumulating on top of the same base epoch until the next spill.
@@ -865,6 +910,50 @@ where
     /// # Panics
     /// Panics if a rebuild thread panicked.
     pub fn publish(&mut self) -> Arc<EpochSnapshot<E>> {
+        self.publish_with(None)
+    }
+
+    /// Merges a forwarding pool's per-worker heat sketches and cuts a
+    /// *hot* epoch: the hottest pure address blocks of the sampled
+    /// traffic are compiled into a [`HotSlab`] (against the control FIB
+    /// as of this call) and attached to the published snapshot, whose
+    /// lookups consult the slab before the engine walk. The merged
+    /// traffic profile also re-tunes the build config's λ barrier via
+    /// [`fib_core::lambda::barrier_traffic`], so subsequent rebuilds
+    /// fold for the traffic actually seen, and the sketches are reset so
+    /// the next publish interval samples fresh.
+    ///
+    /// Returns the snapshot, the merged interval summary, and the slab
+    /// compilation stats.
+    ///
+    /// # Panics
+    /// Panics if a rebuild thread panicked, or if `hot_config` is out of
+    /// range for the address family (see [`HotSlab::compile`]).
+    pub fn publish_hot(
+        &mut self,
+        heat: &HeatMap,
+        hot_config: &HotConfig,
+    ) -> (Arc<EpochSnapshot<E>>, HeatSummary, HotStats) {
+        let summary = heat.merged();
+        heat.reset();
+        let (slab, stats) = HotSlab::compile(&self.control, summary.entries(), hot_config);
+        let mass = fib_core::depth_mass_from_heat(&self.control, summary.entries());
+        let base = self.config.build.lambda_for(&self.control);
+        self.config.build.lambda = Some(fib_core::lambda::barrier_traffic(
+            self.control.len(),
+            &mass,
+            base,
+            1.0,
+            A::WIDTH,
+        ));
+        let snapshot = self.publish_with(Some(slab));
+        (snapshot, summary, stats)
+    }
+
+    /// The shared publish path: [`Self::publish`] attaches no slab; a
+    /// hot publish always cuts a fresh epoch (its slab is new state even
+    /// when no route changed), a plain one reuses an unchanged snapshot.
+    fn publish_with(&mut self, hot: Option<HotSlab>) -> Arc<EpochSnapshot<E>> {
         if self.rebuild.is_some() {
             // Harvest if done; block only if the working engine is stale
             // and the snapshot would otherwise diverge from control.
@@ -876,7 +965,7 @@ where
         // shard, as does a freshly warm-restarted router with no pending
         // journal (whose snapshot keeps serving the image and whose owned
         // engine stays unbuilt).
-        if self.since_publish == 0 && !self.stale {
+        if self.since_publish == 0 && !self.stale && hot.is_none() {
             return self.snapshot();
         }
         if self.stale || self.working.is_none() {
@@ -891,6 +980,7 @@ where
             epoch: self.epoch,
             routes: self.control.len(),
             engine: SnapEngine::Owned(self.working.as_ref().expect("materialized").clone()),
+            hot,
         });
         self.published.publish(Arc::clone(&snapshot));
         self.spill_current();
@@ -948,6 +1038,60 @@ mod tests {
         assert_eq!(before.lookup(0x0A40_0001), Some(nh(3)));
         assert_eq!(router.snapshot().lookup(0x0A40_0001), Some(nh(9)));
         assert_eq!(router.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn hot_publish_pins_blocks_and_stays_equivalent() {
+        let mut router: Router<u32, SerializedDag<u32>> = Router::new(base_fib(), config());
+        let heat = HeatMap::new(1, 24, 2048);
+        let mut x = 1u32;
+        for _ in 0..8192 {
+            x = x.wrapping_mul(0x0101_6B55).wrapping_add(1);
+            // Zipf-ish skew: three quarters of the traffic inside 10.64/10.
+            let addr = if x % 4 == 0 {
+                x
+            } else {
+                0x0A40_0000 | (x & 0x003F_FFFF)
+            };
+            heat.sketch(0).record(addr);
+        }
+        let before = router.epoch();
+        let (snap, summary, stats) = router.publish_hot(&heat, &HotConfig::for_width(32));
+        assert!(summary.total() > 0, "sampled traffic reached the summary");
+        assert!(stats.promoted > 0, "skewed traffic pinned hot blocks");
+        assert!(snap.hot_slab().is_some());
+        assert!(
+            snap.epoch() > before,
+            "a hot publish cuts a fresh epoch even without route churn"
+        );
+        assert_eq!(
+            heat.merged().total(),
+            0,
+            "sketches reset for the next interval"
+        );
+
+        // The slab is a pure cache: single, batch, and stream answers all
+        // agree with the control FIB on hot and cold addresses alike.
+        let mut x = 123u32;
+        let mut addrs = Vec::new();
+        for _ in 0..1024 {
+            x = x.wrapping_mul(0x9E37_79B9).wrapping_add(7);
+            addrs.push(if x % 2 == 0 {
+                x
+            } else {
+                0x0A40_0000 | (x & 0x003F_FFFF)
+            });
+        }
+        let mut batch = vec![None; addrs.len()];
+        snap.lookup_batch(&addrs, &mut batch);
+        let mut stream = vec![None; addrs.len()];
+        snap.lookup_stream(&addrs, &mut stream);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let want = router.control().lookup(addr);
+            assert_eq!(snap.lookup(addr), want, "single lookup at {addr:#x}");
+            assert_eq!(batch[i], want, "batch lookup at {addr:#x}");
+            assert_eq!(stream[i], want, "stream lookup at {addr:#x}");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use fib_core::ImageCodec;
 use fib_trie::{Address, NextHop, Prefix};
+use fib_workload::{HeatMap, HeatSketch};
 
 use crate::router::{EpochSnapshot, Router};
 use crate::shim::{MutexLike, Shim};
@@ -294,6 +295,45 @@ impl Forwarder {
         E: ImageCodec<A> + Send + Sync,
         S: AddressSource<A>,
     {
+        self.run_inner(cell, config, make_source, None)
+    }
+
+    /// [`Self::run`] with traffic sampling: each worker records every
+    /// looked-up address into its own lock-free sketch of `heat`
+    /// (worker `i` owns sketch `i % heat.workers()`, so sizing the map
+    /// for `config.threads` keeps the sketches contention-free). The
+    /// control plane merges the sketches at publish time
+    /// ([`crate::Router::publish_hot`]).
+    ///
+    /// # Panics
+    /// Panics if a worker thread panicked.
+    pub fn run_sampled<A, E, S>(
+        &self,
+        cell: &SnapCell<EpochSnapshot<E>>,
+        config: &ForwarderConfig,
+        make_source: impl Fn(usize) -> S + Sync,
+        heat: &HeatMap,
+    ) -> Vec<WorkerReport>
+    where
+        A: Address + Send + Sync,
+        E: ImageCodec<A> + Send + Sync,
+        S: AddressSource<A>,
+    {
+        self.run_inner(cell, config, make_source, Some(heat))
+    }
+
+    fn run_inner<A, E, S>(
+        &self,
+        cell: &SnapCell<EpochSnapshot<E>>,
+        config: &ForwarderConfig,
+        make_source: impl Fn(usize) -> S + Sync,
+        heat: Option<&HeatMap>,
+    ) -> Vec<WorkerReport>
+    where
+        A: Address + Send + Sync,
+        E: ImageCodec<A> + Send + Sync,
+        S: AddressSource<A>,
+    {
         // ordering: Relaxed — reset before any worker spawns; the spawn
         // itself is the synchronization point that makes it visible.
         self.stop.store(false, Ordering::Relaxed);
@@ -301,7 +341,8 @@ impl Forwarder {
             let handles: Vec<_> = (0..config.threads.max(1))
                 .map(|worker| {
                     let source = make_source(worker);
-                    scope.spawn(move || self.worker_loop(cell, config, worker, source))
+                    let sketch = heat.map(|h| h.sketch(worker % h.workers()));
+                    scope.spawn(move || self.worker_loop(cell, config, worker, source, sketch))
                 })
                 .collect();
             handles
@@ -317,6 +358,7 @@ impl Forwarder {
         config: &ForwarderConfig,
         worker: usize,
         mut source: S,
+        sketch: Option<&HeatSketch>,
     ) -> WorkerReport
     where
         A: Address,
@@ -370,6 +412,13 @@ impl Forwarder {
             let t0 = Instant::now();
             snap.lookup_stream(&buf, &mut out[..n]);
             let dt = t0.elapsed().as_nanos() as f64;
+            // Sample heat outside the timed window: the sketch is this
+            // worker's own, so the records are uncontended fetch-adds.
+            if let Some(sketch) = sketch {
+                for &addr in &buf[..n] {
+                    sketch.record(addr);
+                }
+            }
             let gen = reader.generation();
             if gen != last_gen {
                 report.refreshes += 1;
@@ -627,6 +676,59 @@ mod tests {
         let (mlps, hist) = aggregate(&reports);
         assert!(mlps > 0.0);
         assert!(hist.p99() >= hist.p50());
+    }
+
+    #[test]
+    fn sampled_pool_feeds_a_hot_publish() {
+        let mut router: Router<u32, SerializedDag<u32>> = Router::new(
+            base_fib(),
+            RouterConfig {
+                publish_every: None,
+                ..RouterConfig::default()
+            },
+        );
+        let pool = Forwarder::new();
+        let config = ForwarderConfig {
+            threads: 2,
+            batch: 64,
+            duration: Duration::from_millis(30),
+            pacing: PacingMode::Closed,
+        };
+        let heat = fib_workload::HeatMap::new(config.threads, 24, 4096);
+        let reports = pool.run_sampled(
+            router.snap_cell(),
+            &config,
+            |worker| {
+                let mut x = 0x9E37_79B9u32.wrapping_mul(worker as u32 + 1);
+                move |buf: &mut Vec<u32>, n: usize| {
+                    buf.clear();
+                    for _ in 0..n {
+                        x = x.wrapping_mul(0x0101_6B55).wrapping_add(1);
+                        // Concentrate on 10.64/10 so hot blocks emerge.
+                        buf.push(0x0A40_0000 | (x & 0x003F_FFFF));
+                    }
+                }
+            },
+            &heat,
+        );
+        let packets: u64 = reports.iter().map(|r| r.packets).sum();
+        assert!(packets > 0);
+        let merged = heat.merged();
+        assert_eq!(
+            merged.total() + merged.missed(),
+            packets,
+            "every looked-up address was sampled (or counted as missed)"
+        );
+        let (snap, summary, stats) = router.publish_hot(&heat, &fib_core::HotConfig::for_width(32));
+        assert_eq!(summary.total() + summary.missed(), packets);
+        assert!(stats.promoted > 0, "concentrated traffic pinned blocks");
+        let slab = snap.hot_slab().expect("hot publish attaches the slab");
+        assert!(slab.occupied() > 0);
+        // The hot snapshot keeps answering exactly like the control FIB.
+        for i in 0..2048u32 {
+            let addr = 0x0A40_0000 | i.wrapping_mul(0x9E37);
+            assert_eq!(snap.lookup(addr), router.control().lookup(addr));
+        }
     }
 
     #[test]

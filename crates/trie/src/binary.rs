@@ -275,6 +275,73 @@ impl<A: Address> BinaryTrie<A> {
         NodeRef { trie: self, idx: 0 }
     }
 
+    /// Resolves the whole `depth`-bit block containing `addr` at once:
+    /// `Some(answer)` when every address in the block shares one
+    /// longest-prefix-match answer (the block is *pure*), `None` when a
+    /// route longer than `depth` splits it.
+    ///
+    /// This is the purity oracle behind the traffic-aware hot slab in
+    /// `fib-core`: a pure block's answer can be pinned in a flat
+    /// direct-index table and served without walking the compressed
+    /// structure, while remaining bit-identical to the full walk.
+    ///
+    /// # Panics
+    /// Panics if `depth` exceeds the address width.
+    #[must_use]
+    pub fn block_resolution(&self, addr: A, depth: u8) -> Option<Option<NextHop>> {
+        assert!(depth <= A::WIDTH, "block depth beyond address width");
+        let mut idx = 0u32;
+        let mut best = self.nodes[0].label;
+        for d in 0..depth {
+            let child = self.child(idx, addr.bit(d));
+            if child == NONE {
+                // The walk falls off the trie above the block boundary:
+                // no route longer than `d` covers any address in the
+                // block, so the answer is constant across it.
+                return Some((best != NONE).then(|| NextHop::new(best)));
+            }
+            idx = child;
+            let label = self.nodes[idx as usize].label;
+            if label != NONE {
+                best = label;
+            }
+        }
+        // The walk reached the block's root node. Any labeled strict
+        // descendant is a longer route that splits the block.
+        if self.has_labeled_descendant(idx) {
+            None
+        } else {
+            Some((best != NONE).then(|| NextHop::new(best)))
+        }
+    }
+
+    /// Whether any strict descendant of `idx` carries a label.
+    fn has_labeled_descendant(&self, idx: u32) -> bool {
+        let node = self.nodes[idx as usize];
+        let mut stack = [0u32; 256];
+        let mut top = 0usize;
+        for child in [node.left, node.right] {
+            if child != NONE {
+                stack[top] = child;
+                top += 1;
+            }
+        }
+        while top > 0 {
+            top -= 1;
+            let n = self.nodes[stack[top] as usize];
+            if n.label != NONE {
+                return true;
+            }
+            for child in [n.left, n.right] {
+                if child != NONE {
+                    stack[top] = child;
+                    top += 1;
+                }
+            }
+        }
+        false
+    }
+
     /// Approximate heap footprint in bytes (12 bytes per arena slot).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
@@ -524,6 +591,32 @@ mod tests {
         assert_eq!(t.lookup(in_p1), Some(nh(1)));
         assert_eq!(t.lookup(outside), None);
         assert_eq!(t.max_depth(), 48);
+    }
+
+    #[test]
+    fn block_resolution_agrees_with_lookup() {
+        let t: BinaryTrie<u32> = fig1_routes().into_iter().collect();
+        // Deepest route is /3, so every depth-3 block is pure and its
+        // answer matches a pointwise lookup anywhere inside the block.
+        for block in 0u32..8 {
+            let base = block << 29;
+            let res = t.block_resolution(base, 3);
+            assert_eq!(res, Some(t.lookup(base)), "block {block}");
+            assert_eq!(res, Some(t.lookup(base | 0x1FFF_FFFF)));
+        }
+        // A shallower block cut by a longer route is impure…
+        assert_eq!(t.block_resolution(96 << 24, 2), None);
+        // …while one whose walk falls off the trie early is pure.
+        assert_eq!(t.block_resolution(0xFF00_0000, 8), Some(Some(nh(2))));
+        // Purity flips when a longer route lands inside a block.
+        let mut t = t;
+        t.insert(p("96.1.0.0/16"), nh(9));
+        assert_eq!(t.block_resolution(96 << 24, 8), None);
+        assert_eq!(t.block_resolution(96 << 24, 16), Some(Some(nh(1))));
+        assert_eq!(t.block_resolution(0x6001_0000, 16), Some(Some(nh(9))));
+        // v6: pure everywhere on an empty trie (default answer None).
+        let t6: BinaryTrie<u128> = BinaryTrie::new();
+        assert_eq!(t6.block_resolution(0, 48), Some(None));
     }
 
     #[test]

@@ -22,6 +22,8 @@
 
 use std::marker::PhantomData;
 
+use fib_succinct::simd::gather4;
+
 use crate::addr::{Address, Depth};
 use crate::binary::BinaryTrie;
 use crate::leafpush::{ProperNode, ProperTrie};
@@ -422,6 +424,16 @@ impl<'a, A: Address> LcTrieRef<'a, A> {
                                                                       // Trim so the exact-chunk remainders of both slices stay aligned
                                                                       // when the caller hands in an oversized output buffer.
         let out = &mut out[..addrs.len()];
+        // A cache-resident arena has no misses for the lockstep walk (or
+        // its gathers) to overlap — lane bookkeeping is pure overhead
+        // there, so small tries walk scalar, like the stream path's
+        // prefetch gate below.
+        if self.size_bytes() < fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES {
+            for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+                *slot = self.lookup(*addr);
+            }
+            return;
+        }
         let mut chunks = addrs.chunks_exact(LC_BATCH_LANES);
         let mut outs = out.chunks_exact_mut(LC_BATCH_LANES);
         for (chunk, slot) in (&mut chunks).zip(&mut outs) {
@@ -476,17 +488,26 @@ impl<'a, A: Address> LcTrieRef<'a, A> {
     #[inline]
     fn resolve_lanes(&self, chunk: &[A], slot: &mut [Option<NextHop>]) {
         // One walk state per lane; a lane parks on its answer when it
-        // reaches a leaf while the others keep stepping.
+        // reaches a leaf while the others keep stepping. Each step reads
+        // all four lanes' node words with one SIMD gather (scalar
+        // fallback inside `gather4`); parked lanes re-read node 0.
         let mut idx = [self.root; LC_BATCH_LANES];
         let mut offset = [0u8; LC_BATCH_LANES];
         let mut done = [false; LC_BATCH_LANES];
         let mut live = LC_BATCH_LANES;
         while live > 0 {
+            let mut gidx = [0u64; LC_BATCH_LANES];
+            for lane in 0..LC_BATCH_LANES {
+                if !done[lane] {
+                    gidx[lane] = u64::from(idx[lane]);
+                }
+            }
+            let words = gather4(self.nodes, gidx);
             for lane in 0..LC_BATCH_LANES {
                 if done[lane] {
                     continue;
                 }
-                let word = self.nodes[idx[lane] as usize];
+                let word = words[lane];
                 if word & LEAF_TAG != 0 {
                     slot[lane] = unpack_leaf(word);
                     done[lane] = true;

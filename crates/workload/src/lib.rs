@@ -19,7 +19,9 @@
 //!   CAIDA-trace stand-in, plus a dedup control separating popularity
 //!   locality from depth bias),
 //! * [`loadgen`] — named key models turned into per-worker, seeded
-//!   address streams for the multi-core forwarding runtime.
+//!   address streams for the multi-core forwarding runtime,
+//! * [`heat`] — lock-free per-worker traffic heat sketches and the merged
+//!   summaries that drive traffic-aware compilation in `fib-core`.
 //!
 //! Everything is deterministic given a seed.
 
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod genfib;
+pub mod heat;
 pub mod instances;
 pub mod labels;
 pub mod loadgen;
@@ -35,5 +38,6 @@ pub mod traces;
 pub mod updates;
 
 pub use genfib::FibSpec;
+pub use heat::{heat_key, HeatMap, HeatSketch, HeatSummary};
 pub use instances::{InstanceGroup, PaperInstance, PaperRow};
 pub use labels::LabelModel;

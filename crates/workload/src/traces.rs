@@ -69,6 +69,10 @@ impl<A: Address> ZipfTrace<A> {
         let host_bits = u32::from(A::WIDTH - prefix.len());
         let noise = if host_bits == 0 {
             0u128
+        } else if host_bits >= 128 {
+            // A default route leaves every bit free; `1 << 128` would
+            // overflow, so take the whole word.
+            rng.random::<u128>()
         } else {
             rng.random::<u128>() & ((1u128 << host_bits) - 1)
         };

@@ -26,12 +26,15 @@ use std::process::ExitCode;
 use fibcomp::core::image::sections;
 use fibcomp::core::lint as image_lint;
 use fibcomp::core::{
-    any_view, write_image, AnyView, BuildConfig, EngineKind, FibBuild, FibImage, FibLookup,
-    ImageCodec, ImageError, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage,
+    any_view, write_image, write_image_hot, AnyView, BuildConfig, EngineKind, FibBuild, FibImage,
+    FibLookup, HotConfig, HotSlab, ImageCodec, ImageError, MultibitDag, PrefixDag, SerializedDag,
+    XbwFib, XbwStorage,
 };
 use fibcomp::router::LatencyHistogram;
 use fibcomp::trie::{Address, BinaryTrie, LcTrie, NextHop, Prefix};
 use fibcomp::workload::loadgen::{AddrStream, KeyModel};
+use fibcomp::workload::rng::Xoshiro256;
+use fibcomp::workload::{traces, HeatSummary};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,7 +63,8 @@ usage:
   fibc compile --engine <xbw|pdag|serialized|multibit|lctrie> \\
                (--routes FILE | --instance NAME [--scale S] [--seed N]) \\
                --out IMG [--v6] [--xbw-mode succinct|entropy] [--lambda N] \\
-               [--stride N] [--epoch N] [--no-routes]
+               [--stride N] [--epoch N] [--no-routes] \\
+               [--heat [--heat-samples N]]
   fibc inspect IMG
   fibc lint IMG
   fibc serve IMG [--probe N | --duration S] [--threads N] \
@@ -132,14 +136,27 @@ fn compile(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("--epoch: {e}"))?;
     let config = build_config(args)?;
     let with_routes = !flag(args, "--no-routes");
+    // --heat: sample a Zipf-skewed trace over the routes, compile a hot
+    // slab from it, and embed it as the image's HOT_SLAB section (image
+    // views then front every lookup with the slab for free).
+    let heat: Option<usize> = if flag(args, "--heat") {
+        Some(
+            opt(args, "--heat-samples")
+                .unwrap_or("65536")
+                .parse()
+                .map_err(|e| format!("--heat-samples: {e}"))?,
+        )
+    } else {
+        None
+    };
 
     if flag(args, "--v6") {
         let routes = opt(args, "--routes").ok_or("--routes is required with --v6")?;
         let trie = parse_routes::<u128>(routes)?;
-        compile_trie(&trie, engine, &config, epoch, with_routes, out)
+        compile_trie(&trie, engine, &config, epoch, with_routes, heat, out)
     } else if let Some(routes) = opt(args, "--routes") {
         let trie = parse_routes::<u32>(routes)?;
-        compile_trie(&trie, engine, &config, epoch, with_routes, out)
+        compile_trie(&trie, engine, &config, epoch, with_routes, heat, out)
     } else if let Some(name) = opt(args, "--instance") {
         let scale: f64 = opt(args, "--scale")
             .unwrap_or("1.0")
@@ -153,7 +170,7 @@ fn compile(args: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("unknown paper instance '{name}'"))?;
         inst.n_prefixes = ((inst.n_prefixes as f64 * scale) as usize).max(64);
         let trie = inst.build(seed);
-        compile_trie(&trie, engine, &config, epoch, with_routes, out)
+        compile_trie(&trie, engine, &config, epoch, with_routes, heat, out)
     } else {
         Err("need --routes FILE or --instance NAME".into())
     }
@@ -165,15 +182,40 @@ fn compile_trie<A: Address>(
     config: &BuildConfig,
     epoch: u64,
     with_routes: bool,
+    heat: Option<usize>,
     out: &str,
 ) -> Result<(), String> {
     let routes = with_routes.then_some(trie);
+    let slab = match heat {
+        None => None,
+        Some(samples) => {
+            let hot_config = HotConfig::for_width(A::WIDTH);
+            let zipf = traces::ZipfTrace::new(trie, 1.0);
+            let addrs = zipf.generate(&mut Xoshiro256::seed_from_u64(0x4EA7), samples);
+            let summary = HeatSummary::sample_addrs(hot_config.depth, addrs.iter().copied());
+            let (slab, stats) = HotSlab::compile(trie, summary.entries(), &hot_config);
+            println!(
+                "hot slab: depth {} promoted {} ({} impure, {} dropped), \
+                 coverage {:.3} of {} sampled packets",
+                slab.depth(),
+                stats.promoted,
+                stats.impure,
+                stats.dropped,
+                stats.coverage,
+                samples
+            );
+            Some(slab)
+        }
+    };
+    let slab = slab.as_ref();
     let bytes = match engine {
-        EngineKind::Xbw => encode::<A, XbwFib<A>>(trie, config, routes, epoch),
-        EngineKind::PrefixDag => encode::<A, PrefixDag<A>>(trie, config, routes, epoch),
-        EngineKind::SerializedDag => encode::<A, SerializedDag<A>>(trie, config, routes, epoch),
-        EngineKind::MultibitDag => encode::<A, MultibitDag<A>>(trie, config, routes, epoch),
-        EngineKind::LcTrie => encode::<A, LcTrie<A>>(trie, config, routes, epoch),
+        EngineKind::Xbw => encode::<A, XbwFib<A>>(trie, config, routes, epoch, slab),
+        EngineKind::PrefixDag => encode::<A, PrefixDag<A>>(trie, config, routes, epoch, slab),
+        EngineKind::SerializedDag => {
+            encode::<A, SerializedDag<A>>(trie, config, routes, epoch, slab)
+        }
+        EngineKind::MultibitDag => encode::<A, MultibitDag<A>>(trie, config, routes, epoch, slab),
+        EngineKind::LcTrie => encode::<A, LcTrie<A>>(trie, config, routes, epoch, slab),
     }
     .map_err(|e| e.to_string())?;
     std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
@@ -192,9 +234,13 @@ fn encode<A: Address, E: ImageCodec<A> + FibBuild<A>>(
     config: &BuildConfig,
     routes: Option<&BinaryTrie<A>>,
     epoch: u64,
+    slab: Option<&HotSlab>,
 ) -> Result<Vec<u8>, ImageError> {
     let engine = E::build(trie, config);
-    write_image(&engine, routes, epoch)
+    match slab {
+        Some(slab) => write_image_hot(&engine, routes, epoch, slab),
+        None => write_image(&engine, routes, epoch),
+    }
 }
 
 fn section_name(id: u32) -> &'static str {
@@ -209,6 +255,7 @@ fn section_name(id: u32) -> &'static str {
         sections::SER_NODES => "serialized.nodes",
         sections::MB_SLOTS => "multibit.slots",
         sections::LC_NODES => "lctrie.nodes",
+        sections::HOT_SLAB => "hot.slab",
         _ => "unknown",
     }
 }

@@ -20,10 +20,11 @@ use std::process::Command;
 use fibcomp::core::image::sections;
 use fibcomp::core::lint::lint_bytes;
 use fibcomp::core::{
-    write_image, BuildConfig, FibBuild, FibImage, PrefixDag, SerializedDag, XbwFib, XbwStorage,
+    hot_key, write_image, write_image_hot, BuildConfig, FibBuild, FibImage, HotConfig, HotSlab,
+    PrefixDag, SerializedDag, XbwFib, XbwStorage,
 };
 use fibcomp::trie::BinaryTrie;
-use fibcomp::workload::rng::Xoshiro256;
+use fibcomp::workload::rng::{Random, Xoshiro256};
 use fibcomp::workload::FibSpec;
 
 fn corpus_dir() -> PathBuf {
@@ -177,10 +178,43 @@ fn build_corpus() -> Vec<(&'static str, Vec<u8>, &'static str)> {
     ));
 
     // A resident-size claim wildly off the actual payload.
-    let mut bad = ser_img;
+    let mut bad = ser_img.clone();
     let claimed = read_word(&bad, 5 * 8);
     write_word(&mut bad, 5 * 8, claimed * 4 + 1024);
     corpus.push(("size-drift.img", repair_checksum(bad), "size-claim-drift"));
+
+    // Hot-slab classes: a serialized image with a pinned hot slab, and
+    // the same image with one pinned answer flipped — the slab then
+    // disagrees with both the routes payload and the engine view, which
+    // only the semantic cross-validation pass can see (the slab still
+    // parses and the checksum is repaired).
+    let mut rng = Xoshiro256::seed_from_u64(0x5EED_0707);
+    let config4 = HotConfig::for_width(32);
+    let mut counts = std::collections::BTreeMap::new();
+    for _ in 0..2048 {
+        let addr = u32::random(&mut rng);
+        *counts.entry(hot_key(addr, config4.depth)).or_insert(0u64) += 1;
+    }
+    let heat: Vec<(u64, u64)> = counts.into_iter().collect();
+    let (slab, stats) = HotSlab::compile(&trie, &heat, &config4);
+    assert!(stats.promoted > 0, "corpus slab pinned at least one block");
+    let hot_img = write_image_hot(&ser, Some(&trie), 1, &slab).unwrap();
+    corpus.push(("clean-hot-serialized.img", hot_img.clone(), "clean"));
+
+    let mut bad = hot_img;
+    let slab_off = section_byte_offset(&bad, sections::HOT_SLAB);
+    let cap = read_word(&bad, slab_off + 8) as usize;
+    let pinned = (0..cap)
+        .map(|i| slab_off + (8 + 2 * i) * 8)
+        .find(|&off| read_word(&bad, off) & 1 == 1 && read_word(&bad, off + 8) != u64::MAX)
+        .expect("slab has a pinned real next hop");
+    let hop = read_word(&bad, pinned + 8);
+    write_word(&mut bad, pinned + 8, hop + 1);
+    corpus.push((
+        "hot-slab-mismatch.img",
+        repair_checksum(bad),
+        "hot-slab-answer-mismatch",
+    ));
 
     corpus
 }
