@@ -1,0 +1,342 @@
+//! Exhaustive crash-recovery checking for the router's persistence
+//! protocol.
+//!
+//! The harness runs one deterministic churn workload against a
+//! [`FaultFs`] and enumerates **every** fallible filesystem operation as
+//! a crash point: for each `k`, the same workload is re-run with the
+//! filesystem configured to crash just before op `k`, the surviving
+//! durable state is "rebooted" ([`FaultFs::durable_clone`]), and
+//! `Router::warm_restart_with` must recover a control FIB equal to some
+//! oracle state **at or past the acknowledgement floor** — the last
+//! update after which the spool reported `Healthy` (a healthy spool
+//! means every accepted update so far is durable, either journaled or
+//! inside a spilled image).
+//!
+//! The same sweep doubles as a mutation-kill suite: re-running it with a
+//! seeded protocol mutant ([`SpoolMutant::SkipFsync`],
+//! [`SpoolMutant::RenameBeforeSync`], [`SpoolMutant::ReplayPastTail`])
+//! must surface at least one violation, or the harness would be too
+//! weak to notice the bug it exists to prevent.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fib_core::{BuildConfig, PrefixDag};
+use fib_router::spoolfs::{FaultConfig, FaultFs, SpoolFs, TailPolicy};
+use fib_router::{RestartError, Router, RouterConfig, SpoolConfig, SpoolMutant};
+use fib_trie::BinaryTrie;
+use fib_workload::rng::Xoshiro256;
+use fib_workload::updates::{bgp_sequence, UpdateOp};
+use fib_workload::{traces, FibSpec};
+
+/// Spool directory used inside the in-memory filesystem.
+const SPOOL_DIR: &str = "/spool";
+/// Updates per publish (each publish spills an image + resets journal).
+const PUBLISH_EVERY: usize = 20;
+
+/// The deterministic churn workload plus the oracle fingerprint of every
+/// intermediate control state.
+pub struct CrashScript {
+    /// Initial control FIB.
+    pub base: BinaryTrie<u32>,
+    /// The scripted update sequence.
+    pub updates: Vec<UpdateOp<u32>>,
+    /// Lookup trace the state fingerprints hash over.
+    pub trace: Vec<u32>,
+    /// `fingerprints[u]` = hash of the oracle state after `u` updates
+    /// (`fingerprints[0]` is the base state).
+    pub fingerprints: Vec<u64>,
+}
+
+/// Hashes a control state: route count plus its answers on the trace.
+fn state_hash(fib: &BinaryTrie<u32>, trace: &[u32]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+    };
+    eat(fib.len() as u64);
+    for &addr in trace {
+        eat(fib.lookup(addr).map_or(0, |nh| 1 + u64::from(nh.index())));
+    }
+    h
+}
+
+impl CrashScript {
+    /// Builds the scripted workload for `seed`: a DFZ-shaped base FIB,
+    /// a BGP-style update sequence, and per-state oracle fingerprints.
+    #[must_use]
+    pub fn new(seed: u64, n_routes: usize, n_updates: usize) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let base: BinaryTrie<u32> = FibSpec::dfz_like(n_routes).generate(&mut rng);
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5DEE_CE66);
+        let updates = bgp_sequence(&mut rng, &base, n_updates);
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x0BAD_CAFE);
+        let trace = traces::uniform::<u32, _>(&mut rng, 512);
+
+        let mut oracle = base.clone();
+        let mut fingerprints = Vec::with_capacity(updates.len() + 1);
+        fingerprints.push(state_hash(&oracle, &trace));
+        for op in &updates {
+            match *op {
+                UpdateOp::Announce(p, nh) => {
+                    oracle.insert(p, nh);
+                }
+                UpdateOp::Withdraw(p) => {
+                    oracle.remove(p);
+                }
+            }
+            fingerprints.push(state_hash(&oracle, &trace));
+        }
+        Self {
+            base,
+            updates,
+            trace,
+            fingerprints,
+        }
+    }
+}
+
+fn router_config() -> RouterConfig {
+    RouterConfig {
+        build: BuildConfig::default(),
+        publish_every: Some(PUBLISH_EVERY),
+        degradation_threshold: 0.25,
+        // Background threads would make op interleavings scheduler-
+        // dependent; the sweep needs every run bit-identical.
+        background_rebuild: false,
+    }
+}
+
+/// The spool policy every sweep run uses: shallow retention so pruning
+/// is exercised, and a virtual-milliseconds retry schedule so degraded
+/// spools retry (and recover or suspend) *within* the workload.
+#[must_use]
+pub fn sweep_spool_config(mutant: SpoolMutant) -> SpoolConfig {
+    SpoolConfig {
+        keep: 1,
+        retry_base: Duration::from_millis(1),
+        retry_max: Duration::from_millis(8),
+        max_retries: 4,
+        mutant,
+        ..SpoolConfig::default()
+    }
+}
+
+/// Outcome of one scripted run over a (possibly crashing) [`FaultFs`].
+pub struct CrashRun {
+    /// The filesystem after the run (crashed at the configured op, if any).
+    pub fs: FaultFs,
+    /// Acknowledgement floor: `Some(u)` = after update `u` the spool was
+    /// `Healthy`, so oracle state `u` is guaranteed durable (`Some(0)` =
+    /// at least the base spill is durable; `None` = nothing promised).
+    pub acked: Option<usize>,
+    /// Whether the final published snapshot (cut *after* the crash, from
+    /// in-memory state) still answers exactly like the final oracle
+    /// state — forwarding must survive a dead spool.
+    pub served_final_ok: bool,
+}
+
+/// Runs the scripted churn against a fresh [`FaultFs`] seeded with
+/// `seed` and configured with `faults`.
+#[must_use]
+pub fn run_churn(
+    script: &CrashScript,
+    seed: u64,
+    faults: FaultConfig,
+    spool: SpoolConfig,
+) -> CrashRun {
+    let fs = FaultFs::with_config(seed, faults);
+    let shared: Arc<dyn SpoolFs> = Arc::new(fs.clone());
+    let mut router: Router<u32, PrefixDag<u32>> = Router::new(script.base.clone(), router_config());
+    let _ = router.enable_spool_with(shared, SPOOL_DIR, spool);
+    let mut acked = router
+        .spool_health()
+        .is_some_and(|h| h.is_healthy())
+        .then_some(0);
+    for (i, op) in script.updates.iter().enumerate() {
+        match *op {
+            UpdateOp::Announce(p, nh) => router.announce(p, nh),
+            UpdateOp::Withdraw(p) => router.withdraw(p),
+        }
+        if router.spool_health().is_some_and(|h| h.is_healthy()) {
+            acked = Some(i + 1);
+        }
+    }
+    // Forwarding must keep working whatever happened to the spool: a
+    // final publish (in-memory engine build; its spill may fail) has to
+    // serve the exact final oracle state.
+    let snapshot = router.publish();
+    let served_final_ok = script
+        .trace
+        .iter()
+        .all(|&addr| snapshot.lookup(addr) == router.control().lookup(addr))
+        && state_hash(router.control(), &script.trace)
+            == *script.fingerprints.last().expect("nonempty");
+    CrashRun {
+        fs,
+        acked,
+        served_final_ok,
+    }
+}
+
+/// Reboots the durable state of `run` and checks that warm restart
+/// recovers an oracle-consistent FIB at or past the acknowledgement
+/// floor.
+///
+/// # Errors
+/// A human-readable violation description.
+pub fn verify_recovery(
+    script: &CrashScript,
+    run: &CrashRun,
+    spool: SpoolConfig,
+) -> Result<(), String> {
+    if !run.served_final_ok {
+        return Err("post-crash publish diverged from the oracle".to_string());
+    }
+    let boot = run.fs.durable_clone();
+    let shared: Arc<dyn SpoolFs> = Arc::new(boot);
+    match Router::<u32, PrefixDag<u32>>::warm_restart_with(
+        shared,
+        SPOOL_DIR,
+        router_config(),
+        spool,
+    ) {
+        Ok(recovered) => {
+            let h = state_hash(recovered.control(), &script.trace);
+            let floor = run.acked.unwrap_or(0);
+            if script.fingerprints[floor..].contains(&h) {
+                Ok(())
+            } else if script.fingerprints[..floor].contains(&h) {
+                Err(format!(
+                    "recovered an oracle state OLDER than the ack floor {floor} \
+                     (acknowledged updates lost)"
+                ))
+            } else {
+                Err(format!(
+                    "recovered state matches NO oracle state (floor {floor}): \
+                     corrupt data would be served"
+                ))
+            }
+        }
+        Err(RestartError::NoValidImage) if run.acked.is_none() => Ok(()),
+        Err(e) => {
+            if run.acked.is_none() {
+                // Nothing was ever acknowledged durable; a quarantined
+                // torn base image is a legal outcome.
+                Ok(())
+            } else {
+                Err(format!(
+                    "warm restart failed ({e}) despite ack floor {:?}",
+                    run.acked
+                ))
+            }
+        }
+    }
+}
+
+/// Appends one bit-rotted record past the acknowledged journal tail and
+/// reboots.
+///
+/// This is the deterministic kill for the replay-side guards: the
+/// correct protocol's per-record checksum stops replay at the rot and
+/// recovers exactly the acknowledged final state, while
+/// [`SpoolMutant::ReplayPastTail`] applies the garbage and is caught as
+/// an oracle divergence. (The crash-point sweep can also produce this
+/// situation — a torn sector that happens to be record-aligned — but
+/// only with seed luck; the probe makes the kill unconditional.)
+///
+/// # Errors
+/// A violation description (expected when `spool.mutant` is
+/// [`SpoolMutant::ReplayPastTail`]).
+pub fn replay_guard_probe(
+    script: &CrashScript,
+    seed: u64,
+    spool: SpoolConfig,
+) -> Result<(), String> {
+    let run = run_churn(script, seed, FaultConfig::default(), spool);
+    if run.acked != Some(script.updates.len()) {
+        return Err("probe precondition: fault-free run must end healthy".to_string());
+    }
+    // A record-aligned half-written sector: plausible framing, garbage
+    // checksum, an address the workload never announces.
+    let mut rec = [0u8; 24];
+    rec[0] = b'A';
+    rec[1] = 32;
+    rec[2] = 0xFF;
+    rec[3] = 0xFE;
+    rec[4..8].copy_from_slice(&777u32.to_le_bytes());
+    rec[8..24].copy_from_slice(&0xDEAD_BEEFu128.to_le_bytes());
+    let jpath = Path::new(SPOOL_DIR).join("journal.log");
+    let mut f = run
+        .fs
+        .open_append(&jpath)
+        .map_err(|e| format!("probe append: {e}"))?;
+    f.write_all(&rec).map_err(|e| format!("probe write: {e}"))?;
+    f.sync().map_err(|e| format!("probe sync: {e}"))?;
+    verify_recovery(script, &run, spool)
+}
+
+/// Result of a full crash-point enumeration.
+pub struct SweepReport {
+    /// Fallible filesystem operations in the fault-free run — the size
+    /// of the enumerated crash-point space.
+    pub crash_points: u64,
+    /// Distinct durable on-disk states observed across all crash points.
+    pub distinct_states: usize,
+    /// `(crash op, description)` for every oracle divergence.
+    pub violations: Vec<(u64, String)>,
+}
+
+/// Enumerates every crash point of the scripted workload under the given
+/// tail policy and protocol mutant, verifying recovery at each.
+#[must_use]
+pub fn sweep(
+    script: &CrashScript,
+    seed: u64,
+    tail: TailPolicy,
+    mutant: SpoolMutant,
+) -> SweepReport {
+    let spool = sweep_spool_config(mutant);
+    let clean = run_churn(
+        script,
+        seed,
+        FaultConfig {
+            tail,
+            ..FaultConfig::default()
+        },
+        spool,
+    );
+    let crash_points = clean.fs.op_count();
+    let mut distinct = BTreeSet::new();
+    let mut violations = Vec::new();
+    for k in 1..=crash_points {
+        let run = run_churn(
+            script,
+            seed.wrapping_add(k),
+            FaultConfig {
+                crash_at_op: Some(k),
+                tail,
+                ..FaultConfig::default()
+            },
+            spool,
+        );
+        distinct.insert(run.fs.fingerprint());
+        if let Err(v) = verify_recovery(script, &run, spool) {
+            if violations.len() < 8 {
+                violations.push((k, v));
+            } else {
+                violations.push((k, "…".to_string()));
+                break;
+            }
+        }
+    }
+    SweepReport {
+        crash_points,
+        distinct_states: distinct.len(),
+        violations,
+    }
+}

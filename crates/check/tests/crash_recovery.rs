@@ -1,0 +1,226 @@
+//! Exhaustive crash-point enumeration of the spool persistence
+//! protocol, plus the mutation-kill pass over the seeded protocol bugs.
+//!
+//! `FIB_FAULT_SEED` (default 1) varies the workload + tear randomness;
+//! `FIB_FAULT_MODE` (`drop` | `keep` | `torn`, default `drop`) picks the
+//! unsynced-tail semantics — CI sweeps the matrix.
+
+use fib_check::crash::{
+    replay_guard_probe, run_churn, sweep, sweep_spool_config, verify_recovery, CrashScript,
+};
+use fib_router::spoolfs::{FaultConfig, TailPolicy};
+use fib_router::{SpoolConfig, SpoolHealth, SpoolMutant};
+use std::time::Duration;
+
+fn env_seed() -> u64 {
+    std::env::var("FIB_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn env_tail() -> TailPolicy {
+    match std::env::var("FIB_FAULT_MODE").as_deref() {
+        Ok("keep") => TailPolicy::Keep,
+        Ok("torn") => TailPolicy::Torn,
+        _ => TailPolicy::Drop,
+    }
+}
+
+fn script() -> CrashScript {
+    CrashScript::new(env_seed(), 250, 160)
+}
+
+#[test]
+fn every_crash_point_recovers_an_oracle_consistent_fib() {
+    let script = script();
+    let report = sweep(&script, env_seed(), env_tail(), SpoolMutant::None);
+    assert!(
+        report.violations.is_empty(),
+        "oracle divergences at crash points: {:?}",
+        report.violations
+    );
+    assert!(
+        report.crash_points >= 200,
+        "workload too small to be exhaustive: {} ops",
+        report.crash_points
+    );
+    assert!(
+        report.distinct_states >= 200,
+        "only {} distinct durable crash states (need ≥ 200)",
+        report.distinct_states
+    );
+}
+
+#[test]
+fn torn_tails_never_reach_the_control_fib() {
+    // Regardless of the env-selected mode, the torn-tail policy (random
+    // partial survival + seeded bit flips in unsynced spans) must also
+    // be clean: the per-record journal checksum and the image lint are
+    // what stand between a half-written sector and the FIB.
+    let script = script();
+    let report = sweep(
+        &script,
+        env_seed() ^ 0xD15C,
+        TailPolicy::Torn,
+        SpoolMutant::None,
+    );
+    assert!(
+        report.violations.is_empty(),
+        "torn-tail divergences: {:?}",
+        report.violations
+    );
+}
+
+/// Each seeded protocol mutant must be caught by the same sweep that
+/// passes clean on the correct protocol — otherwise the harness is too
+/// weak to defend the invariant it claims to check.
+fn assert_mutant_caught(mutant: SpoolMutant, tail: TailPolicy) {
+    let script = script();
+    let report = sweep(&script, env_seed(), tail, mutant);
+    assert!(
+        !report.violations.is_empty(),
+        "{mutant:?} survived {} crash points undetected",
+        report.crash_points
+    );
+}
+
+#[test]
+fn mutant_skip_fsync_is_caught() {
+    assert_mutant_caught(SpoolMutant::SkipFsync, TailPolicy::Drop);
+}
+
+#[test]
+fn mutant_rename_before_sync_is_caught() {
+    assert_mutant_caught(SpoolMutant::RenameBeforeSync, TailPolicy::Drop);
+}
+
+#[test]
+fn mutant_replay_past_tail_is_caught() {
+    let script = script();
+    // Guard: the correct protocol tolerates a bit-rotted tail record —
+    // the per-record checksum stops replay there, recovering exactly the
+    // acknowledged state.
+    replay_guard_probe(&script, env_seed(), sweep_spool_config(SpoolMutant::None))
+        .expect("checksum guard must stop replay at the rotted record");
+    // The mutant applies the garbage and serves a FIB matching no
+    // oracle state.
+    let verdict = replay_guard_probe(
+        &script,
+        env_seed(),
+        sweep_spool_config(SpoolMutant::ReplayPastTail),
+    );
+    assert!(
+        verdict.is_err(),
+        "ReplayPastTail survived the rotted-tail probe"
+    );
+}
+
+#[test]
+fn transient_write_failure_degrades_then_recovers_with_respill() {
+    let script = script();
+    // Fail a window of operations mid-workload: the spool must degrade
+    // (not die), back off, re-spill the newest epoch once the window
+    // passes, and report Healthy again — with the recovery counted.
+    // Degraded retries consume roughly one filesystem op each, so the
+    // retry budget must outlast the op-indexed outage window.
+    let spool = SpoolConfig {
+        keep: 1,
+        retry_base: Duration::from_millis(1),
+        retry_max: Duration::from_millis(8),
+        max_retries: 8,
+        ..SpoolConfig::default()
+    };
+    let run = run_churn(
+        &script,
+        env_seed(),
+        FaultConfig {
+            fail_ops: Some((40, 44)),
+            ..FaultConfig::default()
+        },
+        spool,
+    );
+    assert!(
+        run.served_final_ok,
+        "forwarding must ride through the outage"
+    );
+    // The workload runs long past the outage, so the spool must have
+    // recovered and re-acked updates near the end.
+    let acked = run.acked.expect("spool recovered and acked updates");
+    assert!(
+        acked > script.updates.len() / 2,
+        "ack floor {acked} stuck before the outage window"
+    );
+    // And the recovered-on-reboot state honours that floor.
+    verify_recovery(&script, &run, spool)
+        .expect("post-recovery crash state must restore past the ack floor");
+}
+
+#[test]
+fn enospc_suspends_after_retries_and_full_state_still_recovers() {
+    let script = script();
+    let run = run_churn(
+        &script,
+        env_seed(),
+        FaultConfig {
+            // Enough budget for the base spill + some churn, then the
+            // disk is full for good.
+            enospc_after_bytes: Some(64 * 1024),
+            ..FaultConfig::default()
+        },
+        sweep_spool_config(SpoolMutant::None),
+    );
+    assert!(run.served_final_ok, "forwarding must outlive a full disk");
+    verify_recovery(&script, &run, sweep_spool_config(SpoolMutant::None))
+        .expect("durable prefix must stay recoverable after ENOSPC");
+}
+
+#[test]
+fn suspended_spool_resumes_to_healthy_after_operator_clears_fault() {
+    use fib_core::PrefixDag;
+    use fib_router::spoolfs::{FaultFs, SpoolFs};
+    use fib_router::{Router, RouterConfig};
+    use std::sync::Arc;
+
+    let script = script();
+    let fs = FaultFs::with_config(
+        7,
+        FaultConfig {
+            enospc_after_bytes: Some(24 * 1024),
+            ..FaultConfig::default()
+        },
+    );
+    let shared: Arc<dyn SpoolFs> = Arc::new(fs.clone());
+    let mut router: Router<u32, PrefixDag<u32>> = Router::new(
+        script.base.clone(),
+        RouterConfig {
+            publish_every: Some(20),
+            background_rebuild: false,
+            ..RouterConfig::default()
+        },
+    );
+    router
+        .enable_spool_with(shared, "/spool", sweep_spool_config(SpoolMutant::None))
+        .expect("spool dir");
+    for op in &script.updates {
+        match *op {
+            fib_workload::updates::UpdateOp::Announce(p, nh) => router.announce(p, nh),
+            fib_workload::updates::UpdateOp::Withdraw(p) => router.withdraw(p),
+        }
+    }
+    assert!(
+        matches!(router.spool_health(), Some(SpoolHealth::Suspended { .. })),
+        "retry budget must exhaust against a permanently full disk: {:?}",
+        router.spool_health()
+    );
+    // Operator frees the disk and resumes: one call re-spills the
+    // current epoch and the spool is healthy again.
+    fs.reconfigure(|c| c.enospc_after_bytes = None);
+    let health = router.resume_spool().expect("spool armed");
+    assert_eq!(
+        health,
+        SpoolHealth::Healthy,
+        "resume must re-spill and heal"
+    );
+    assert!(router.health().spool_recoveries >= 1);
+}

@@ -56,16 +56,24 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lifecycle;
 mod router;
 pub mod runtime;
 mod sharded;
 pub mod shim;
 pub mod snapcell;
+pub mod spoolfs;
 
-pub use router::{DataPlane, EpochSnapshot, RestartError, Router, RouterConfig, RouterStats};
+pub use lifecycle::{
+    scan_spool, SpoolConfig, SpoolHealth, SpoolImageStatus, SpoolMutant, SpoolStatus,
+};
+pub use router::{
+    DataPlane, EpochSnapshot, RestartError, Router, RouterConfig, RouterHealth, RouterStats,
+};
 pub use runtime::{
     aggregate, AddressSource, Forwarder, ForwarderConfig, LatencyHistogram, PacingMode,
     RouteUpdate, UpdateBus, UpdateReceiver, WorkerReport,
 };
 pub use sharded::{ShardedDataPlane, ShardedRouter, SHARD_BITS, SHARD_COUNT};
 pub use snapcell::{SnapCell, SnapReader};
+pub use spoolfs::{FaultConfig, FaultFs, SpoolFile, SpoolFs, StdFs, TailPolicy};

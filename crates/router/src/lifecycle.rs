@@ -1,0 +1,730 @@
+//! Durable-spool lifecycle: the crash-consistent write protocol, the
+//! journal format, the health state machine that replaces one-strike
+//! breakage, quarantine for corrupt images, and the offline status scan.
+//!
+//! # Write protocol
+//!
+//! Every epoch image lands via **temp file → `fsync` → atomic rename**,
+//! so the final `epoch-*.img` name only ever points at durable, complete
+//! bytes; a crash mid-spill leaves at worst a stray `.tmp` the next
+//! retention pass sweeps. The journal that bridges updates since the
+//! last spill is reset *after* the image rename: until the new image is
+//! durable, the old journal (stamped with the previous epoch) still
+//! covers every acknowledged update, and replay is idempotent
+//! (per-prefix last-writer-wins), so the overlap is harmless. Retention
+//! runs last and only ever deletes images older than the configured
+//! keep set — at every instant the newest durable image plus a journal
+//! that applies on top of it exist on disk.
+//!
+//! # Journal format (`FIBJRNL2`)
+//!
+//! Header: magic (8) + base epoch (8). Records are 24 bytes: tag (1),
+//! prefix length (1), FNV-folded checksum (2), next-hop (4), address
+//! (16). The per-record checksum is what lets replay stop at a torn or
+//! bit-flipped tail instead of applying garbage — `FIBJRNL1` had only a
+//! length sanity check, which random bytes pass 1 time in 5 for IPv4.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::spoolfs::{SpoolFile, SpoolFs};
+
+/// On-disk journal record size: op (1) + prefix length (1) + checksum
+/// (2) + next-hop (4) + address (16).
+pub(crate) const JOURNAL_RECORD: usize = 24;
+/// Journal header: magic (8) + base epoch (8).
+pub(crate) const JOURNAL_HEADER: usize = 16;
+pub(crate) const JOURNAL_MAGIC: &[u8; 8] = b"FIBJRNL2";
+
+/// Folds FNV-1a over a record's non-checksum bytes down to 16 bits.
+fn record_checksum(rec: &[u8; JOURNAL_RECORD]) -> u16 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for (i, &b) in rec.iter().enumerate() {
+        if i == 2 || i == 3 {
+            continue; // the checksum's own slot
+        }
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    (h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) as u16
+}
+
+/// Encodes one journal record (checksum stamped).
+pub(crate) fn encode_record(tag: u8, len: u8, nh: u32, addr: u128) -> [u8; JOURNAL_RECORD] {
+    let mut rec = [0u8; JOURNAL_RECORD];
+    rec[0] = tag;
+    rec[1] = len;
+    rec[4..8].copy_from_slice(&nh.to_le_bytes());
+    rec[8..24].copy_from_slice(&addr.to_le_bytes());
+    let sum = record_checksum(&rec);
+    rec[2..4].copy_from_slice(&sum.to_le_bytes());
+    rec
+}
+
+/// Decodes one journal record, verifying its checksum. Returns
+/// `(tag, len, nh, addr)`, or `None` for a torn/corrupt record (replay
+/// must stop there). The [`SpoolMutant::ReplayPastTail`] protocol
+/// mutant skips the verification — the bug the checksum exists to make
+/// detectable.
+pub(crate) fn decode_record(rec: &[u8], mutant: SpoolMutant) -> Option<(u8, u8, u32, u128)> {
+    let rec: &[u8; JOURNAL_RECORD] = rec.try_into().ok()?;
+    if mutant != SpoolMutant::ReplayPastTail {
+        let stored = u16::from_le_bytes([rec[2], rec[3]]);
+        if stored != record_checksum(rec) {
+            return None;
+        }
+    }
+    let nh = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+    let addr = u128::from_le_bytes(rec[8..24].try_into().expect("16 bytes"));
+    Some((rec[0], rec[1], nh, addr))
+}
+
+/// Seeded persistence-protocol bugs for the crash-recovery harness's
+/// mutation-kill pass. [`SpoolMutant::None`] in production; the others
+/// must each be caught by the `crates/check` crash enumeration.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SpoolMutant {
+    /// The correct protocol.
+    #[default]
+    None,
+    /// Never fsync — images and journal records ride on luck.
+    SkipFsync,
+    /// Rename the temp image into place *before* syncing its bytes, so
+    /// the durable name can point at volatile content.
+    RenameBeforeSync,
+    /// Replay journal records without checksum/width validation and do
+    /// not stop at the first bad record.
+    ReplayPastTail,
+}
+
+/// Spool lifecycle policy.
+#[derive(Clone, Copy, Debug)]
+pub struct SpoolConfig {
+    /// Checkpoint images retained *in addition to* the newest one
+    /// (retention keeps `keep + 1` epoch images total).
+    pub keep: usize,
+    /// When the on-disk journal exceeds this many bytes, the router
+    /// folds it into a fresh image at the next update (a publish).
+    pub journal_fold_bytes: u64,
+    /// First retry backoff after a persistence failure.
+    pub retry_base: Duration,
+    /// Backoff ceiling for the exponential schedule.
+    pub retry_max: Duration,
+    /// Consecutive failed retries before the spool suspends (manual
+    /// [`resume`](crate::Router::resume_spool) required).
+    pub max_retries: u32,
+    /// Protocol mutant under test ([`SpoolMutant::None`] in production).
+    #[doc(hidden)]
+    pub mutant: SpoolMutant,
+}
+
+impl Default for SpoolConfig {
+    fn default() -> Self {
+        Self {
+            keep: 2,
+            journal_fold_bytes: 1 << 20,
+            retry_base: Duration::from_millis(100),
+            retry_max: Duration::from_secs(10),
+            max_retries: 6,
+            mutant: SpoolMutant::None,
+        }
+    }
+}
+
+/// Spool persistence health, as seen by operators. Forwarding never
+/// stops in any state — what degrades is durability, not lookups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpoolHealth {
+    /// Appends and spills are landing.
+    Healthy,
+    /// A persistence operation failed; retries are scheduled with
+    /// exponential backoff. Updates made while degraded are *not*
+    /// journaled — recovery re-spills the full current epoch instead.
+    Degraded {
+        /// Consecutive failures so far.
+        retries: u32,
+        /// Current backoff delay before the next retry.
+        backoff: Duration,
+        /// The most recent failure.
+        error: String,
+    },
+    /// Retries exhausted; the spool stays down until
+    /// [`resume`](crate::Router::resume_spool) is called (e.g. after an
+    /// operator frees disk space).
+    Suspended {
+        /// The failure that exhausted the retry budget.
+        error: String,
+    },
+}
+
+impl SpoolHealth {
+    /// Whether the spool is accepting writes.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, Self::Healthy)
+    }
+}
+
+impl std::fmt::Display for SpoolHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Healthy => f.write_str("healthy"),
+            Self::Degraded {
+                retries, backoff, ..
+            } => {
+                write!(f, "degraded (retries {retries}, backoff {backoff:?})")
+            }
+            Self::Suspended { error } => write!(f, "suspended ({error})"),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HealthPhase {
+    Healthy,
+    Degraded,
+    Suspended,
+}
+
+/// The retry/backoff state machine behind [`SpoolHealth`].
+#[derive(Debug)]
+pub(crate) struct HealthState {
+    phase: HealthPhase,
+    retries: u32,
+    backoff: Duration,
+    /// Virtual-clock deadline of the next retry attempt.
+    next_retry: Duration,
+    last_error: Option<String>,
+    /// Degraded/Suspended → Healthy transitions (re-spill verified).
+    pub(crate) recoveries: u64,
+}
+
+impl HealthState {
+    pub(crate) fn new() -> Self {
+        Self {
+            phase: HealthPhase::Healthy,
+            retries: 0,
+            backoff: Duration::ZERO,
+            next_retry: Duration::ZERO,
+            last_error: None,
+            recoveries: 0,
+        }
+    }
+
+    pub(crate) fn view(&self) -> SpoolHealth {
+        match self.phase {
+            HealthPhase::Healthy => SpoolHealth::Healthy,
+            HealthPhase::Degraded => SpoolHealth::Degraded {
+                retries: self.retries,
+                backoff: self.backoff,
+                error: self.last_error.clone().unwrap_or_default(),
+            },
+            HealthPhase::Suspended => SpoolHealth::Suspended {
+                error: self.last_error.clone().unwrap_or_default(),
+            },
+        }
+    }
+
+    pub(crate) fn is_healthy(&self) -> bool {
+        self.phase == HealthPhase::Healthy
+    }
+
+    pub(crate) fn is_suspended(&self) -> bool {
+        self.phase == HealthPhase::Suspended
+    }
+
+    /// Records a persistence failure at virtual time `now`: bumps the
+    /// exponential backoff, suspends past the retry budget.
+    pub(crate) fn note_failure(&mut self, cfg: &SpoolConfig, now: Duration, error: String) {
+        self.retries = self.retries.saturating_add(1);
+        self.last_error = Some(error);
+        if self.retries > cfg.max_retries {
+            self.phase = HealthPhase::Suspended;
+            return;
+        }
+        let shift = self.retries.saturating_sub(1).min(20);
+        self.backoff = cfg.retry_max.min(cfg.retry_base.saturating_mul(1 << shift));
+        self.next_retry = now + self.backoff;
+        self.phase = HealthPhase::Degraded;
+    }
+
+    /// Records a successful persistence operation: an unhealthy spool
+    /// counts a recovery and returns to `Healthy`.
+    pub(crate) fn note_success(&mut self) {
+        if self.phase != HealthPhase::Healthy {
+            self.recoveries += 1;
+        }
+        self.phase = HealthPhase::Healthy;
+        self.retries = 0;
+        self.backoff = Duration::ZERO;
+        self.last_error = None;
+    }
+
+    /// Whether a degraded spool's backoff has elapsed (a retry is due).
+    pub(crate) fn retry_due(&self, now: Duration) -> bool {
+        self.phase == HealthPhase::Degraded && now >= self.next_retry
+    }
+
+    /// Operator re-arm: a suspended (or degraded) spool becomes
+    /// immediately retryable with a fresh retry budget.
+    pub(crate) fn resume(&mut self) {
+        if self.phase != HealthPhase::Healthy {
+            self.phase = HealthPhase::Degraded;
+            self.retries = 0;
+            self.backoff = Duration::ZERO;
+            self.next_retry = Duration::ZERO;
+        }
+    }
+}
+
+/// Durable-spool state: where epoch images are spilled, the update
+/// journal bridging the gap since the last spill, and the health
+/// machine deciding whether writes are attempted at all.
+pub(crate) struct Spool {
+    pub(crate) fs: Arc<dyn SpoolFs>,
+    pub(crate) dir: PathBuf,
+    pub(crate) cfg: SpoolConfig,
+    journal: Option<Box<dyn SpoolFile>>,
+    /// Epoch the journal's records apply on top of.
+    pub(crate) journal_epoch: u64,
+    /// Bytes in the journal file (header included).
+    pub(crate) journal_bytes: u64,
+    /// Newest epoch with a spilled image.
+    pub(crate) last_spilled: Option<u64>,
+    pub(crate) health: HealthState,
+    /// Images moved to quarantine by this router (restart + scrub).
+    pub(crate) quarantined: u64,
+}
+
+pub(crate) fn image_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("epoch-{epoch:016x}.img"))
+}
+
+pub(crate) fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("journal.log")
+}
+
+/// Parses `epoch-{hex}.img` names back to their epoch.
+pub(crate) fn parse_image_name(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let hex = name.strip_prefix("epoch-")?.strip_suffix(".img")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+impl Spool {
+    /// Arms a spool on `dir`. Only directory creation is fallible here;
+    /// journal/image write failures later degrade health instead.
+    pub(crate) fn arm(fs: Arc<dyn SpoolFs>, dir: PathBuf, cfg: SpoolConfig) -> io::Result<Self> {
+        fs.create_dir_all(&dir)?;
+        Ok(Self {
+            fs,
+            dir,
+            cfg,
+            journal: None,
+            journal_epoch: 0,
+            journal_bytes: 0,
+            last_spilled: None,
+            health: HealthState::new(),
+            quarantined: 0,
+        })
+    }
+
+    /// Truncates the journal and stamps it with the epoch its future
+    /// records apply on top of.
+    pub(crate) fn reset_journal(&mut self, epoch: u64) -> io::Result<()> {
+        let mut f = self.fs.create(&journal_path(&self.dir))?;
+        f.write_all(JOURNAL_MAGIC)?;
+        f.write_all(&epoch.to_le_bytes())?;
+        if self.cfg.mutant != SpoolMutant::SkipFsync {
+            f.sync()?;
+        }
+        self.journal = Some(f);
+        self.journal_epoch = epoch;
+        self.journal_bytes = JOURNAL_HEADER as u64;
+        Ok(())
+    }
+
+    /// Re-opens an existing journal in append mode (warm restart).
+    pub(crate) fn open_journal_append(&mut self, epoch: u64) -> io::Result<()> {
+        let path = journal_path(&self.dir);
+        let f = self.fs.open_append(&path)?;
+        self.journal = Some(f);
+        self.journal_epoch = epoch;
+        self.journal_bytes = self.fs.file_len(&path).unwrap_or(0);
+        Ok(())
+    }
+
+    /// Appends one record and makes it durable. The caller routes the
+    /// error through the health machine.
+    pub(crate) fn append(&mut self, rec: &[u8; JOURNAL_RECORD]) -> io::Result<()> {
+        let f = self
+            .journal
+            .as_mut()
+            .ok_or_else(|| io::Error::other("journal not armed"))?;
+        f.write_all(rec)?;
+        if self.cfg.mutant != SpoolMutant::SkipFsync {
+            f.sync()?;
+        }
+        self.journal_bytes += JOURNAL_RECORD as u64;
+        Ok(())
+    }
+
+    /// Whether the journal has outgrown the fold threshold (time to
+    /// compact it into a fresh image).
+    pub(crate) fn wants_fold(&self) -> bool {
+        self.journal_bytes > self.cfg.journal_fold_bytes + JOURNAL_HEADER as u64
+    }
+
+    /// Lands `bytes` as the durable image of `epoch` via the
+    /// crash-consistent protocol (temp file → fsync → rename), then
+    /// resets the journal onto the new base and prunes old checkpoints.
+    pub(crate) fn spill(&mut self, epoch: u64, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("epoch-{epoch:016x}.tmp"));
+        let fin = image_path(&self.dir, epoch);
+        let mut f = self.fs.create(&tmp)?;
+        f.write_all(bytes)?;
+        // The mutant that renames first keeps the handle and syncs only
+        // at the very end — after the journal reset that the durable
+        // image was supposed to license. A crash in between leaves the
+        // final name pointing at volatile bytes with the bridging
+        // journal already gone: exactly the torn-image data loss the
+        // correct order makes impossible.
+        let mut late_sync: Option<Box<dyn SpoolFile>> = None;
+        match self.cfg.mutant {
+            SpoolMutant::None | SpoolMutant::ReplayPastTail => {
+                f.sync()?;
+                drop(f);
+                self.fs.rename(&tmp, &fin)?;
+            }
+            SpoolMutant::SkipFsync => {
+                drop(f);
+                self.fs.rename(&tmp, &fin)?;
+            }
+            SpoolMutant::RenameBeforeSync => {
+                self.fs.rename(&tmp, &fin)?;
+                late_sync = Some(f);
+            }
+        }
+        self.last_spilled = Some(epoch);
+        self.reset_journal(epoch)?;
+        self.retention();
+        if let Some(mut f) = late_sync {
+            f.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Prunes epoch images beyond the newest `keep + 1` and sweeps
+    /// stray `.tmp` files. Best-effort: a retention failure never
+    /// degrades health (the spool is *over*-complete, not broken).
+    pub(crate) fn retention(&mut self) {
+        let Ok(entries) = self.fs.read_dir(&self.dir) else {
+            return;
+        };
+        let mut epochs: Vec<u64> = Vec::new();
+        for path in &entries {
+            if let Some(epoch) = parse_image_name(path) {
+                epochs.push(epoch);
+            } else if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = self.fs.remove_file(path);
+            }
+        }
+        epochs.sort_unstable_by(|a, b| b.cmp(a));
+        for &old in epochs.iter().skip(self.cfg.keep + 1) {
+            let _ = self.fs.remove_file(&image_path(&self.dir, old));
+        }
+    }
+}
+
+/// Moves a failed-validation image into `dir/quarantine/` and writes a
+/// `<name>.reason` file holding the typed lint code plus detail, so an
+/// operator (or `fibc spool-status`) can see *why* without re-linting.
+pub(crate) fn quarantine_image(
+    fs: &dyn SpoolFs,
+    dir: &Path,
+    path: &Path,
+    code: &str,
+    detail: &str,
+) -> io::Result<PathBuf> {
+    let qdir = dir.join("quarantine");
+    fs.create_dir_all(&qdir)?;
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other("image path has no file name"))?;
+    let dest = qdir.join(name);
+    fs.rename(path, &dest)?;
+    let mut reason_name = name.to_os_string();
+    reason_name.push(".reason");
+    let mut reason = fs.create(&qdir.join(reason_name))?;
+    reason.write_all(format!("{code}: {detail}\n").as_bytes())?;
+    reason.sync()?;
+    Ok(dest)
+}
+
+/// One image's entry in a [`SpoolStatus`] report.
+#[derive(Clone, Debug)]
+pub struct SpoolImageStatus {
+    /// Image file path.
+    pub path: PathBuf,
+    /// Epoch parsed from the file name.
+    pub epoch: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Lint verdicts (`code: detail`); empty means clean.
+    pub issues: Vec<String>,
+}
+
+/// Offline report of a spool directory's state — what
+/// `fibc spool-status` prints and the serve loop's health ticker reads.
+#[derive(Clone, Debug, Default)]
+pub struct SpoolStatus {
+    /// Every `epoch-*.img` found, newest first.
+    pub images: Vec<SpoolImageStatus>,
+    /// Total bytes across epoch images.
+    pub image_bytes: u64,
+    /// Newest epoch whose image lints clean.
+    pub newest_valid_epoch: Option<u64>,
+    /// Age of the newest valid image, when the filesystem knows it.
+    pub newest_age: Option<Duration>,
+    /// Journal base epoch (`None`: missing or bad header).
+    pub journal_epoch: Option<u64>,
+    /// Checksum-valid journal records.
+    pub journal_records: u64,
+    /// Journal bytes past the last valid record (torn tail).
+    pub journal_torn_bytes: u64,
+    /// Whether the journal applies on top of the newest valid image.
+    pub journal_bridges: bool,
+    /// Quarantined images (reason files excluded from the count).
+    pub quarantined: usize,
+    /// `file: code` lines from quarantine reason files.
+    pub quarantine_reasons: Vec<String>,
+}
+
+impl SpoolStatus {
+    /// A coarse health verdict derivable offline: `ok` when the newest
+    /// image lints clean and the journal bridges onto it.
+    #[must_use]
+    pub fn verdict(&self) -> &'static str {
+        if self.newest_valid_epoch.is_some() && self.journal_bridges {
+            "ok"
+        } else if self.newest_valid_epoch.is_some() {
+            "stale-journal"
+        } else {
+            "no-valid-image"
+        }
+    }
+}
+
+impl std::fmt::Display for SpoolStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spool {}: {} images ({} KiB), newest valid epoch {}, age {}, journal +{} recs{}, quarantine {}",
+            self.verdict(),
+            self.images.len(),
+            self.image_bytes / 1024,
+            self.newest_valid_epoch
+                .map_or_else(|| "-".to_string(), |e| e.to_string()),
+            self.newest_age
+                .map_or_else(|| "-".to_string(), |a| format!("{}s", a.as_secs())),
+            self.journal_records,
+            if self.journal_torn_bytes > 0 {
+                " (torn tail)"
+            } else {
+                ""
+            },
+            self.quarantined,
+        )
+    }
+}
+
+/// Scans a spool directory read-only: lints every image, decodes the
+/// journal, and counts quarantine. Never mutates the spool.
+///
+/// # Errors
+/// Only when the directory itself cannot be listed; per-file problems
+/// land in the report instead.
+pub fn scan_spool(fs: &dyn SpoolFs, dir: &Path) -> io::Result<SpoolStatus> {
+    let mut status = SpoolStatus::default();
+    let entries = fs.read_dir(dir)?;
+    for path in &entries {
+        let Some(epoch) = parse_image_name(path) else {
+            continue;
+        };
+        let bytes = fs.read(path).unwrap_or_default();
+        let issues: Vec<String> = fib_core::lint::lint_bytes(&bytes)
+            .into_iter()
+            .map(|i| i.to_string())
+            .collect();
+        status.image_bytes += bytes.len() as u64;
+        status.images.push(SpoolImageStatus {
+            path: path.clone(),
+            epoch,
+            bytes: bytes.len() as u64,
+            issues,
+        });
+    }
+    status.images.sort_by_key(|i| std::cmp::Reverse(i.epoch));
+    if let Some(best) = status.images.iter().find(|i| i.issues.is_empty()) {
+        status.newest_valid_epoch = Some(best.epoch);
+        status.newest_age = fs.age(&best.path);
+    }
+
+    if let Ok(buf) = fs.read(&journal_path(dir)) {
+        if buf.len() >= JOURNAL_HEADER && &buf[..8] == JOURNAL_MAGIC {
+            let epoch = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+            status.journal_epoch = Some(epoch);
+            let body = &buf[JOURNAL_HEADER..];
+            let mut consumed = 0usize;
+            for rec in body.chunks_exact(JOURNAL_RECORD) {
+                if decode_record(rec, SpoolMutant::None).is_none() {
+                    break;
+                }
+                status.journal_records += 1;
+                consumed += JOURNAL_RECORD;
+            }
+            status.journal_torn_bytes = (body.len() - consumed) as u64;
+            status.journal_bridges = status
+                .newest_valid_epoch
+                .is_some_and(|newest| epoch <= newest);
+        }
+    }
+
+    let qdir = dir.join("quarantine");
+    if fs.exists(&qdir) {
+        if let Ok(qentries) = fs.read_dir(&qdir) {
+            for path in &qentries {
+                if path.extension().is_some_and(|e| e == "reason") {
+                    let reason = fs
+                        .read(path)
+                        .ok()
+                        .and_then(|b| String::from_utf8(b).ok())
+                        .unwrap_or_default();
+                    let stem = path.file_stem().unwrap_or_default().to_string_lossy();
+                    status
+                        .quarantine_reasons
+                        .push(format!("{stem}: {}", reason.trim()));
+                } else {
+                    status.quarantined += 1;
+                }
+            }
+        }
+    }
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spoolfs::FaultFs;
+
+    #[test]
+    fn record_roundtrip_and_checksum_rejects_flips() {
+        let rec = encode_record(b'A', 24, 7, 0x0A00_0000);
+        assert_eq!(
+            decode_record(&rec, SpoolMutant::None),
+            Some((b'A', 24, 7, 0x0A00_0000))
+        );
+        for bit in 0..(JOURNAL_RECORD * 8) {
+            let mut bad = rec;
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                decode_record(&bad, SpoolMutant::None),
+                None,
+                "bit {bit} flip must be caught"
+            );
+        }
+        // The mutant is blind to the same flip.
+        let mut bad = rec;
+        bad[20] ^= 0x40;
+        assert!(decode_record(&bad, SpoolMutant::ReplayPastTail).is_some());
+    }
+
+    #[test]
+    fn health_machine_backs_off_exponentially_then_suspends() {
+        let cfg = SpoolConfig {
+            retry_base: Duration::from_millis(10),
+            retry_max: Duration::from_millis(50),
+            max_retries: 3,
+            ..SpoolConfig::default()
+        };
+        let mut h = HealthState::new();
+        assert!(h.is_healthy());
+        let mut now = Duration::from_millis(100);
+        h.note_failure(&cfg, now, "boom".into());
+        let SpoolHealth::Degraded { backoff, .. } = h.view() else {
+            panic!("expected degraded");
+        };
+        assert_eq!(backoff, Duration::from_millis(10));
+        assert!(!h.retry_due(now), "backoff not elapsed yet");
+        now += Duration::from_millis(10);
+        assert!(h.retry_due(now));
+        h.note_failure(&cfg, now, "boom".into());
+        let SpoolHealth::Degraded { backoff, .. } = h.view() else {
+            panic!("expected degraded");
+        };
+        assert_eq!(backoff, Duration::from_millis(20), "doubled");
+        h.note_failure(&cfg, now, "boom".into());
+        h.note_failure(&cfg, now, "boom".into());
+        assert!(h.is_suspended(), "4th failure > max_retries 3");
+        h.resume();
+        assert!(h.retry_due(now), "resume makes a retry immediately due");
+        h.note_success();
+        assert!(h.is_healthy());
+        assert_eq!(h.recoveries, 1);
+    }
+
+    #[test]
+    fn retention_keeps_newest_plus_k_and_sweeps_tmp() {
+        let fs = Arc::new(FaultFs::new(11));
+        let dir = PathBuf::from("/spool");
+        let cfg = SpoolConfig {
+            keep: 1,
+            ..SpoolConfig::default()
+        };
+        let mut spool = Spool::arm(fs.clone(), dir.clone(), cfg).unwrap();
+        for epoch in 1..=4u64 {
+            spool.spill(epoch, &[0xAB; 32]).unwrap();
+        }
+        let left: Vec<u64> = fs
+            .paths()
+            .iter()
+            .filter_map(|p| parse_image_name(p))
+            .collect();
+        assert_eq!(left, vec![3, 4], "newest + 1 checkpoint survive");
+        assert!(
+            !fs.paths()
+                .iter()
+                .any(|p| p.extension().is_some_and(|e| e == "tmp")),
+            "no stray temp files"
+        );
+        assert_eq!(spool.journal_epoch, 4);
+    }
+
+    #[test]
+    fn quarantine_moves_image_and_writes_typed_reason() {
+        let fs = FaultFs::new(12);
+        let dir = PathBuf::from("/spool");
+        fs.create_dir_all(&dir).unwrap();
+        let img = image_path(&dir, 9);
+        let mut f = fs.create(&img).unwrap();
+        f.write_all(b"junk").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let dest = quarantine_image(&fs, &dir, &img, "image-bad-magic", "not a fibimage").unwrap();
+        assert!(!fs.exists(&img));
+        assert!(fs.exists(&dest));
+        let reason = fs
+            .read(&dir.join("quarantine/epoch-0000000000000009.img.reason"))
+            .unwrap();
+        assert_eq!(reason, b"image-bad-magic: not a fibimage\n");
+        let status = scan_spool(&fs, &dir).unwrap();
+        assert_eq!(status.quarantined, 1);
+        assert_eq!(
+            status.quarantine_reasons,
+            vec!["epoch-0000000000000009.img: image-bad-magic: not a fibimage".to_string()]
+        );
+    }
+}

@@ -2,16 +2,19 @@
 //! data-plane engines, with optional FIB-image persistence and warm
 //! restart.
 
-use std::fs::File;
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::lifecycle::{
+    decode_record, encode_record, image_path, journal_path, parse_image_name, quarantine_image,
+    Spool, SpoolConfig, SpoolHealth, SpoolMutant, JOURNAL_HEADER, JOURNAL_MAGIC, JOURNAL_RECORD,
+};
 use crate::snapcell::{SnapCell, SnapReader};
+use crate::spoolfs::{SpoolFs, StdFs};
 
 use fib_core::{
-    slab_batch, write_image_file, BuildConfig, FibBuild, FibImage, FibLookup, FibUpdate, HotConfig,
+    slab_batch, write_image, BuildConfig, FibBuild, FibImage, FibLookup, FibUpdate, HotConfig,
     HotSlab, HotStats, ImageCodec, ImageError,
 };
 use fib_trie::{Address, BinaryTrie, NextHop, Prefix};
@@ -294,6 +297,9 @@ pub enum RestartError {
     Io(String),
     /// The newest image failed to decode for the requested engine.
     Image(ImageError),
+    /// Every candidate failed validation; the message is the typed lint
+    /// reason the last one was quarantined with.
+    Quarantined(String),
 }
 
 impl std::fmt::Display for RestartError {
@@ -302,75 +308,52 @@ impl std::fmt::Display for RestartError {
             Self::NoValidImage => write!(f, "no valid FIB image in the spool directory"),
             Self::Io(e) => write!(f, "spool i/o error: {e}"),
             Self::Image(e) => write!(f, "spool image error: {e}"),
+            Self::Quarantined(reason) => write!(f, "all spool images quarantined; last: {reason}"),
         }
     }
 }
 
 impl std::error::Error for RestartError {}
 
-/// On-disk journal record size: op (1) + prefix length (1) + pad (2) +
-/// next-hop (4) + address (16).
-const JOURNAL_RECORD: usize = 24;
-/// Journal header: magic (8) + base epoch (8).
-const JOURNAL_HEADER: usize = 16;
-const JOURNAL_MAGIC: &[u8; 8] = b"FIBJRNL1";
-
-/// Durable-spool state: where epoch images are spilled and the update
-/// journal that bridges the gap between the last spill and a crash.
-struct Spool {
-    dir: PathBuf,
-    journal: File,
-    /// Epoch the journal's records apply on top of.
-    journal_epoch: u64,
-    /// Newest epoch with a spilled image.
-    last_spilled: Option<u64>,
-    /// First write failure; once set, spooling stops (the router keeps
-    /// serving — persistence degrades, forwarding does not).
-    broken: Option<String>,
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "engine build panicked".to_string())
 }
 
-impl Spool {
-    fn image_path(dir: &Path, epoch: u64) -> PathBuf {
-        dir.join(format!("epoch-{epoch:016x}.img"))
-    }
+/// Encodes a journal op into its durable record form.
+fn record_of<A: Address>(op: &JournalOp<A>) -> [u8; JOURNAL_RECORD] {
+    let (tag, prefix, nh) = match op {
+        JournalOp::Announce(p, nh) => (b'A', p, nh.index()),
+        JournalOp::Withdraw(p) => (b'W', p, 0),
+    };
+    encode_record(tag, prefix.len(), nh, prefix.addr().to_u128())
+}
 
-    fn journal_path(dir: &Path) -> PathBuf {
-        dir.join("journal.log")
-    }
-
-    /// Truncates the journal and stamps it with the epoch its future
-    /// records will apply on top of.
-    fn reset_journal(&mut self, epoch: u64) -> std::io::Result<()> {
-        let mut f = File::create(Self::journal_path(&self.dir))?;
-        f.write_all(JOURNAL_MAGIC)?;
-        f.write_all(&epoch.to_le_bytes())?;
-        f.flush()?;
-        self.journal = f;
-        self.journal_epoch = epoch;
-        Ok(())
-    }
-
-    fn append<A: Address>(&mut self, op: &JournalOp<A>) {
-        if self.broken.is_some() {
-            return;
-        }
-        let mut rec = [0u8; JOURNAL_RECORD];
-        let (tag, prefix, nh) = match op {
-            JournalOp::Announce(p, nh) => (b'A', p, nh.index()),
-            JournalOp::Withdraw(p) => (b'W', p, 0),
-        };
-        rec[0] = tag;
-        rec[1] = prefix.len();
-        rec[4..8].copy_from_slice(&nh.to_le_bytes());
-        rec[8..24].copy_from_slice(&prefix.addr().to_u128().to_le_bytes());
-        if let Err(e) = self
-            .journal
-            .write_all(&rec)
-            .and_then(|()| self.journal.flush())
-        {
-            self.broken = Some(e.to_string());
-        }
-    }
+/// A point-in-time health report: spool persistence state, rebuild-panic
+/// bookkeeping, and whether the data plane is serving a stale epoch.
+/// Forwarding never stops in any of these states — the report describes
+/// what *durability and freshness* guarantees currently hold.
+#[derive(Clone, Debug, Default)]
+pub struct RouterHealth {
+    /// Spool persistence health (`None`: no spool armed).
+    pub spool: Option<SpoolHealth>,
+    /// Degraded/Suspended → Healthy transitions (each one re-spilled and
+    /// re-verified the newest epoch).
+    pub spool_recoveries: u64,
+    /// Images this router moved to `spool/quarantine/` (restart + scrub).
+    pub quarantined: u64,
+    /// Engine builds (inline or background) that panicked and were
+    /// contained instead of propagating.
+    pub rebuild_panics: u64,
+    /// Message of the most recent contained build panic.
+    pub last_rebuild_panic: Option<String>,
+    /// The published snapshot no longer reflects the control FIB because
+    /// the last attempt to materialize an engine panicked; the router
+    /// keeps serving the last good epoch.
+    pub serving_stale: bool,
 }
 
 /// A software router split along the paper's §5 architecture: a slow
@@ -419,6 +402,16 @@ pub struct Router<A: Address, E: Send + Sync + 'static> {
     since_publish: usize,
     stats: RouterStats,
     spool: Option<Spool>,
+    /// Contained engine-build panics (inline and background).
+    rebuild_panics: u64,
+    last_rebuild_panic: Option<String>,
+    /// Set after a build panic: no new rebuilds are scheduled until a
+    /// build succeeds again (prevents a panic storm on a poisoned
+    /// control state).
+    rebuild_suspended: bool,
+    /// The published snapshot lags the control FIB because materializing
+    /// a fresh engine panicked at the last publish.
+    serving_stale: bool,
 }
 
 impl<A, E> Router<A, E>
@@ -451,7 +444,25 @@ where
                 ..RouterStats::default()
             },
             spool: None,
+            rebuild_panics: 0,
+            last_rebuild_panic: None,
+            rebuild_suspended: false,
+            serving_stale: false,
         }
+    }
+
+    /// Runs `E::build` with panics contained: a panicking build becomes
+    /// an `Err` carrying the panic message instead of unwinding into the
+    /// control plane.
+    fn build_caught(control: &BinaryTrie<A>, build: &BuildConfig) -> Result<E, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| E::build(control, build)))
+            .map_err(|p| panic_message(&*p))
+    }
+
+    fn note_rebuild_panic(&mut self, msg: String) {
+        self.rebuild_panics += 1;
+        self.last_rebuild_panic = Some(msg);
+        self.rebuild_suspended = true;
     }
 
     /// Rebuilds a router from the newest valid epoch image in `dir` plus
@@ -463,87 +474,139 @@ where
     /// the image's routes section; journaled updates recorded after the
     /// spill are replayed onto it (they reach the data plane at the next
     /// [`publish`](Self::publish), exactly like any other pending update).
-    /// Corrupt or truncated images are skipped in favour of older ones.
+    /// Images that fail validation are moved to `spool/quarantine/` with
+    /// a typed reason file; images built for another engine or address
+    /// family are skipped in place.
     ///
     /// # Errors
     /// [`RestartError`] when the directory cannot be scanned or holds no
     /// valid image for this engine and address family.
     pub fn warm_restart(dir: impl AsRef<Path>, config: RouterConfig) -> Result<Self, RestartError> {
+        Self::warm_restart_with(StdFs::shared(), dir, config, SpoolConfig::default())
+    }
+
+    /// [`Self::warm_restart`] over an explicit filesystem and spool
+    /// policy — the seam the crash-recovery harness drives with a
+    /// [`FaultFs`](crate::spoolfs::FaultFs) frozen at an arbitrary crash
+    /// point.
+    ///
+    /// # Errors
+    /// [`RestartError`] when the directory cannot be scanned or holds no
+    /// valid image for this engine and address family.
+    pub fn warm_restart_with(
+        fs: Arc<dyn SpoolFs>,
+        dir: impl AsRef<Path>,
+        config: RouterConfig,
+        spool_cfg: SpoolConfig,
+    ) -> Result<Self, RestartError> {
         let dir = dir.as_ref();
-        let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
-        let entries = std::fs::read_dir(dir)
+        let entries = fs
+            .read_dir(dir)
             .map_err(|e| RestartError::Io(format!("{}: {e}", dir.display())))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| RestartError::Io(e.to_string()))?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if let Some(hex) = name
-                .strip_prefix("epoch-")
-                .and_then(|rest| rest.strip_suffix(".img"))
-            {
-                if let Ok(epoch) = u64::from_str_radix(hex, 16) {
-                    candidates.push((epoch, entry.path()));
-                }
-            }
-        }
+        let mut candidates: Vec<(u64, PathBuf)> = entries
+            .iter()
+            .filter_map(|path| parse_image_name(path).map(|epoch| (epoch, path.clone())))
+            .collect();
         candidates.sort_by_key(|&(epoch, _)| std::cmp::Reverse(epoch));
         if candidates.is_empty() {
             return Err(RestartError::NoValidImage);
         }
-        let mut last_error: Option<ImageError> = None;
+        let mut quarantined = 0u64;
+        let mut last_error: Option<RestartError> = None;
         let mut picked: Option<(u64, FibImage)> = None;
         for (epoch, path) in &candidates {
-            let validated = FibImage::load(path).and_then(|image| {
-                E::view(&image)?;
-                if !image.has_routes() {
-                    return Err(ImageError::MissingSection(
-                        fib_core::image::sections::ROUTES,
-                    ));
+            let bytes = match fs.read(path) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    last_error = Some(RestartError::Io(e.to_string()));
+                    continue;
                 }
-                Ok(image)
-            });
-            match validated {
-                Ok(image) => {
-                    picked = Some((*epoch, image));
-                    break;
+            };
+            // Full lint (container + deep passes): anything it flags is
+            // evidence of corruption, so the file is moved aside with a
+            // typed reason rather than silently skipped and re-tripped-over
+            // at every future restart.
+            let issues = fib_core::lint::lint_bytes(&bytes);
+            if let Some(first) = issues.first() {
+                if quarantine_image(fs.as_ref(), dir, path, first.code, &first.detail).is_ok() {
+                    quarantined += 1;
                 }
-                Err(e) => last_error = Some(e),
+                last_error = Some(RestartError::Quarantined(first.to_string()));
+                continue;
             }
+            let image = match FibImage::from_bytes(&bytes) {
+                Ok(image) => image,
+                Err(e) => {
+                    last_error = Some(RestartError::Image(e));
+                    continue;
+                }
+            };
+            // A lint-clean image that this engine cannot view belongs to a
+            // different engine/family: honest data, wrong consumer — skip
+            // it in place.
+            if let Err(e) = E::view(&image) {
+                last_error = Some(RestartError::Image(e));
+                continue;
+            }
+            if !image.has_routes() {
+                last_error = Some(RestartError::Image(ImageError::MissingSection(
+                    fib_core::image::sections::ROUTES,
+                )));
+                continue;
+            }
+            picked = Some((*epoch, image));
+            break;
         }
         let Some((epoch, image)) = picked else {
-            return Err(last_error.map_or(RestartError::NoValidImage, RestartError::Image));
+            return Err(last_error.unwrap_or(RestartError::NoValidImage));
         };
         let mut control = image.routes::<A>().map_err(RestartError::Image)?;
 
         // Journal replay: records apply on top of their stamped epoch.
         // journal_epoch ≤ image epoch is safe regardless of newer (corrupt,
-        // skipped) image files: per-prefix last-writer-wins makes records a
-        // newer image already includes idempotent. A journal stamped
-        // *newer* than the image we restored cannot bridge the gap and is
-        // ignored (and restamped below).
+        // quarantined) image files: per-prefix last-writer-wins makes
+        // records a newer image already includes idempotent. A journal
+        // stamped *newer* than the image we restored cannot bridge the gap
+        // and is ignored (and restamped below). Replay stops at the first
+        // record whose checksum or address-width guard fails — a torn or
+        // bit-flipped tail (the ReplayPastTail mutant disables exactly
+        // these stops).
+        let mutant = spool_cfg.mutant;
         let mut replayed = 0u64;
-        let journal_path = Spool::journal_path(dir);
+        let jpath = journal_path(dir);
         let mut journal_epoch = epoch;
-        if let Ok(mut f) = File::open(&journal_path) {
-            let mut buf = Vec::new();
-            if f.read_to_end(&mut buf).is_ok()
-                && buf.len() >= JOURNAL_HEADER
-                && &buf[..8] == JOURNAL_MAGIC
-            {
+        if let Ok(buf) = fs.read(&jpath) {
+            if buf.len() >= JOURNAL_HEADER && &buf[..8] == JOURNAL_MAGIC {
                 journal_epoch = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
                 if journal_epoch <= epoch {
                     for rec in buf[JOURNAL_HEADER..].chunks_exact(JOURNAL_RECORD) {
-                        let len = rec[1];
+                        let Some((tag, len, nh, addr)) = decode_record(rec, mutant) else {
+                            break;
+                        };
+                        if mutant == SpoolMutant::ReplayPastTail {
+                            let len = len.min(A::WIDTH);
+                            let addr = if A::WIDTH < 128 {
+                                addr & ((1u128 << A::WIDTH) - 1)
+                            } else {
+                                addr
+                            };
+                            let prefix = Prefix::new(A::from_u128(addr), len);
+                            if tag == b'W' {
+                                control.remove(prefix);
+                            } else {
+                                control.insert(prefix, NextHop::new(nh));
+                            }
+                            replayed += 1;
+                            continue;
+                        }
                         if len > A::WIDTH {
                             break; // torn or corrupt tail
                         }
-                        let nh = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
-                        let addr = u128::from_le_bytes(rec[8..24].try_into().expect("16 bytes"));
                         if A::WIDTH < 128 && addr >> A::WIDTH != 0 {
                             break;
                         }
                         let prefix = Prefix::new(A::from_u128(addr), len);
-                        match rec[0] {
+                        match tag {
                             b'A' => {
                                 control.insert(prefix, NextHop::new(nh));
                             }
@@ -566,34 +629,28 @@ where
             engine: SnapEngine::Image(Arc::clone(&image)),
             hot: None,
         });
-        // Re-arm the spool in append mode: the existing journal keeps
-        // accumulating on top of the same base epoch until the next spill.
-        let journal = std::fs::OpenOptions::new()
-            .append(true)
-            .create(true)
-            .open(&journal_path)
-            .map_err(|e| RestartError::Io(format!("{}: {e}", journal_path.display())))?;
-        let mut spool = Spool {
-            dir: dir.to_path_buf(),
-            journal,
-            journal_epoch,
-            last_spilled: Some(epoch),
-            broken: None,
-        };
+        let mut spool = Spool::arm(Arc::clone(&fs), dir.to_path_buf(), spool_cfg)
+            .map_err(|e| RestartError::Io(format!("{}: {e}", dir.display())))?;
+        spool.last_spilled = Some(epoch);
+        spool.quarantined = quarantined;
         // Restamp the journal unless it already applies on top of the
         // restored image. A *newer* header (we fell back past a corrupt
         // image) would make a second crash ignore everything appended
         // from here on; an *older* one holds only records the image
         // already includes. Either way the records on disk are dead
         // weight relative to `epoch`, so start clean. (The normal
-        // journal_epoch == epoch case keeps the file: its records are in
-        // `control` but in no image yet.)
-        if journal_epoch != epoch
-            || std::fs::metadata(&journal_path).map_or(0, |m| m.len()) < JOURNAL_HEADER as u64
-        {
-            if let Err(e) = spool.reset_journal(epoch) {
-                spool.broken = Some(e.to_string());
-            }
+        // journal_epoch == epoch case re-opens the file in append mode:
+        // its records are in `control` but in no image yet.)
+        let rearm =
+            if journal_epoch != epoch || fs.file_len(&jpath).unwrap_or(0) < JOURNAL_HEADER as u64 {
+                spool.reset_journal(epoch)
+            } else {
+                spool.open_journal_append(journal_epoch)
+            };
+        if let Err(e) = rearm {
+            let now = fs.now();
+            let cfg = spool.cfg;
+            spool.health.note_failure(&cfg, now, e.to_string());
         }
         let mut router = Self {
             config,
@@ -611,6 +668,10 @@ where
                 ..RouterStats::default()
             },
             spool: None,
+            rebuild_panics: 0,
+            last_rebuild_panic: None,
+            rebuild_suspended: false,
+            serving_stale: false,
         };
         router.spool = Some(spool);
         Ok(router)
@@ -623,65 +684,202 @@ where
     /// already recoverable via [`Self::warm_restart`].
     ///
     /// # Errors
-    /// The underlying filesystem error.
+    /// Only directory creation can fail hard; any later write failure
+    /// degrades [`Self::health`] instead of returning an error.
     pub fn enable_spool(&mut self, dir: impl Into<PathBuf>) -> std::io::Result<()> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        let journal = File::create(Spool::journal_path(&dir))?;
-        self.spool = Some(Spool {
-            dir,
-            journal,
-            journal_epoch: self.epoch,
-            last_spilled: None,
-            broken: None,
-        });
+        self.enable_spool_with(StdFs::shared(), dir, SpoolConfig::default())
+    }
+
+    /// [`Self::enable_spool`] over an explicit filesystem and spool
+    /// policy (retention depth, fold threshold, retry schedule).
+    ///
+    /// # Errors
+    /// Only directory creation can fail hard; any later write failure
+    /// degrades [`Self::health`] instead of returning an error.
+    pub fn enable_spool_with(
+        &mut self,
+        fs: Arc<dyn SpoolFs>,
+        dir: impl Into<PathBuf>,
+        cfg: SpoolConfig,
+    ) -> std::io::Result<()> {
+        let mut spool = Spool::arm(fs, dir.into(), cfg)?;
+        spool.journal_epoch = self.epoch;
+        self.spool = Some(spool);
         // Base spill: image + journal header for the *current* epoch.
-        self.spill_current();
-        if let Some(spool) = &self.spool {
-            if let Some(broken) = &spool.broken {
-                return Err(std::io::Error::other(broken.clone()));
-            }
-        }
+        self.spill_current(false);
         Ok(())
     }
 
-    /// `Some(error)` after the first persistence failure (forwarding
-    /// continues, spooling stops); `None` while the spool is healthy or
-    /// absent.
+    /// `Some(error)` while spool persistence is degraded or suspended
+    /// (forwarding continues; durability is catching up or down); `None`
+    /// while the spool is healthy or absent.
     #[must_use]
-    pub fn spool_error(&self) -> Option<&str> {
-        self.spool.as_ref().and_then(|s| s.broken.as_deref())
+    pub fn spool_error(&self) -> Option<String> {
+        match self.spool.as_ref().map(|s| s.health.view()) {
+            None | Some(SpoolHealth::Healthy) => None,
+            Some(SpoolHealth::Degraded { error, .. } | SpoolHealth::Suspended { error }) => {
+                Some(error)
+            }
+        }
+    }
+
+    /// Spool persistence health (`None`: no spool armed).
+    #[must_use]
+    pub fn spool_health(&self) -> Option<SpoolHealth> {
+        self.spool.as_ref().map(|s| s.health.view())
+    }
+
+    /// A point-in-time health report: spool state, recoveries,
+    /// quarantine count, contained rebuild panics, staleness.
+    #[must_use]
+    pub fn health(&self) -> RouterHealth {
+        RouterHealth {
+            spool: self.spool.as_ref().map(|s| s.health.view()),
+            spool_recoveries: self.spool.as_ref().map_or(0, |s| s.health.recoveries),
+            quarantined: self.spool.as_ref().map_or(0, |s| s.quarantined),
+            rebuild_panics: self.rebuild_panics,
+            last_rebuild_panic: self.last_rebuild_panic.clone(),
+            serving_stale: self.serving_stale,
+        }
+    }
+
+    /// Operator re-arm after a suspended (or degraded) spool's root
+    /// cause is fixed (disk freed, volume remounted): resets the retry
+    /// budget and immediately attempts a recovery re-spill of the
+    /// current epoch. Returns the resulting health (`None`: no spool).
+    pub fn resume_spool(&mut self) -> Option<SpoolHealth> {
+        self.spool.as_mut()?.health.resume();
+        self.try_spool_recovery();
+        self.spool_health()
+    }
+
+    /// Background scrub: lints every epoch image in the spool and moves
+    /// failures to `spool/quarantine/` with typed reasons. If the
+    /// current epoch's own image was among the casualties, it is
+    /// re-spilled. Returns how many images were quarantined.
+    pub fn scrub_spool(&mut self) -> usize {
+        let Some(spool) = &self.spool else {
+            return 0;
+        };
+        let fs = Arc::clone(&spool.fs);
+        let dir = spool.dir.clone();
+        let Ok(entries) = fs.read_dir(&dir) else {
+            return 0;
+        };
+        let mut moved = 0usize;
+        for path in &entries {
+            if parse_image_name(path).is_none() {
+                continue;
+            }
+            let Ok(bytes) = fs.read(path) else {
+                continue;
+            };
+            let issues = fib_core::lint::lint_bytes(&bytes);
+            if let Some(first) = issues.first() {
+                if quarantine_image(fs.as_ref(), &dir, path, first.code, &first.detail).is_ok() {
+                    moved += 1;
+                }
+            }
+        }
+        let spool = self.spool.as_mut().expect("checked above");
+        spool.quarantined += moved as u64;
+        // The scrub may have eaten the image backing the current epoch;
+        // restore full recoverability right away.
+        let lost_current = spool
+            .last_spilled
+            .is_some_and(|epoch| !fs.exists(&image_path(&dir, epoch)));
+        if lost_current {
+            self.spill_current(true);
+        }
+        moved
+    }
+
+    /// Journals one accepted update, routing failures through the health
+    /// machine: a healthy spool appends (and durably syncs) the record; a
+    /// degraded spool whose backoff elapsed attempts a recovery re-spill
+    /// instead; a suspended spool does nothing.
+    fn spool_append(&mut self, op: &JournalOp<A>) {
+        let Some(spool) = self.spool.as_mut() else {
+            return;
+        };
+        if spool.health.is_suspended() {
+            return;
+        }
+        if spool.health.is_healthy() {
+            let rec = record_of(op);
+            let now = spool.fs.now();
+            if let Err(e) = spool.append(&rec) {
+                let cfg = spool.cfg;
+                spool.health.note_failure(&cfg, now, e.to_string());
+            }
+            return;
+        }
+        let now = spool.fs.now();
+        if spool.health.retry_due(now) {
+            self.try_spool_recovery();
+        }
+    }
+
+    /// One recovery attempt for a degraded/resumed spool: re-spill the
+    /// *current* epoch (updates accepted while degraded were never
+    /// journaled, so only a fresh full image re-establishes durability),
+    /// which also resets the journal onto the new base. Success flips
+    /// health back to `Healthy`.
+    fn try_spool_recovery(&mut self) {
+        if self.spool.is_none() {
+            return;
+        }
+        self.spill_current(true);
     }
 
     /// Spills the current control state + working engine as the current
-    /// epoch's image and restamps the journal. No-op without a spool or
-    /// when this epoch is already on disk.
-    fn spill_current(&mut self) {
+    /// epoch's image via the crash-consistent protocol, restamping the
+    /// journal and pruning old checkpoints. `force` re-spills even when
+    /// this epoch is already on disk (the recovery path: the on-disk
+    /// image may predate updates lost while degraded). No-op without a
+    /// spool; failures degrade health.
+    fn spill_current(&mut self, force: bool) {
         let Some(spool) = &self.spool else {
             return;
         };
-        if spool.broken.is_some() || spool.last_spilled == Some(self.epoch) {
+        if !force && (!spool.health.is_healthy() || spool.last_spilled == Some(self.epoch)) {
+            return;
+        }
+        if spool.health.is_suspended() {
             return;
         }
         // The spilled engine must reflect `control` exactly; materialize
         // it if needed (same rule publish applies).
         if self.stale || self.working.is_none() {
-            self.working = Some(E::build(&self.control, &self.config.build));
-            self.stale = false;
-            self.stats.rebuilds += 1;
-        }
-        let engine = self.working.as_ref().expect("just materialized");
-        let spool = self.spool.as_mut().expect("checked above");
-        let path = Spool::image_path(&spool.dir, self.epoch);
-        match write_image_file(engine, Some(&self.control), self.epoch, &path) {
-            Ok(()) => {
-                spool.last_spilled = Some(self.epoch);
-                self.stats.spills += 1;
-                if let Err(e) = spool.reset_journal(self.epoch) {
-                    spool.broken = Some(e.to_string());
+            match Self::build_caught(&self.control, &self.config.build) {
+                Ok(engine) => {
+                    self.working = Some(engine);
+                    self.stale = false;
+                    self.stats.rebuilds += 1;
+                    self.rebuild_suspended = false;
+                }
+                Err(msg) => {
+                    self.note_rebuild_panic(msg);
+                    return;
                 }
             }
-            Err(e) => spool.broken = Some(e.to_string()),
+        }
+        let engine = self.working.as_ref().expect("just materialized");
+        let bytes = write_image(engine, Some(&self.control), self.epoch);
+        let spool = self.spool.as_mut().expect("checked above");
+        let now = spool.fs.now();
+        let outcome = bytes
+            .map_err(|e| std::io::Error::other(e.to_string()))
+            .and_then(|bytes| spool.spill(self.epoch, &bytes));
+        match outcome {
+            Ok(()) => {
+                spool.health.note_success();
+                self.stats.spills += 1;
+            }
+            Err(e) => {
+                let cfg = spool.cfg;
+                spool.health.note_failure(&cfg, now, e.to_string());
+            }
         }
     }
 
@@ -755,9 +953,7 @@ where
     pub fn announce(&mut self, prefix: Prefix<A>, next_hop: NextHop) {
         self.control.insert(prefix, next_hop);
         let op = JournalOp::Announce(prefix, next_hop);
-        if let Some(spool) = &mut self.spool {
-            spool.append(&op);
-        }
+        self.spool_append(&op);
         if self.rebuild.is_some() {
             self.journal.push(op);
         }
@@ -769,9 +965,7 @@ where
     pub fn withdraw(&mut self, prefix: Prefix<A>) {
         self.control.remove(prefix);
         let op = JournalOp::Withdraw(prefix);
-        if let Some(spool) = &mut self.spool {
-            spool.append(&op);
-        }
+        self.spool_append(&op);
         if self.rebuild.is_some() {
             self.journal.push(op);
         }
@@ -816,6 +1010,7 @@ where
         // refolds fragment the arena; past the threshold, schedule a
         // compacting rebuild while the working engine keeps serving.
         if !self.stale
+            && !self.rebuild_suspended
             && self.rebuild.is_none()
             && self
                 .working
@@ -827,7 +1022,18 @@ where
         if let Some(every) = self.config.publish_every {
             if self.since_publish >= every {
                 self.publish();
+                return;
             }
+        }
+        // Journal compaction: once the on-disk journal outgrows the fold
+        // threshold, cut an epoch — the spill writes a fresh image that
+        // subsumes every journaled record and resets the journal onto it.
+        if self
+            .spool
+            .as_ref()
+            .is_some_and(|s| s.health.is_healthy() && s.wants_fold())
+        {
+            self.publish();
         }
     }
 
@@ -846,15 +1052,28 @@ where
                 handle: std::thread::spawn(move || E::build(&control, &build)),
             });
         } else {
-            self.working = Some(E::build(&self.control, &self.config.build));
-            self.stale = false;
-            self.stats.rebuilds += 1;
+            match Self::build_caught(&self.control, &self.config.build) {
+                Ok(engine) => {
+                    self.working = Some(engine);
+                    self.stale = false;
+                    self.stats.rebuilds += 1;
+                    self.rebuild_suspended = false;
+                }
+                // An inline compaction that panicked is contained: the
+                // old working engine keeps serving.
+                Err(msg) => self.note_rebuild_panic(msg),
+            }
         }
     }
 
     /// Harvests a finished background rebuild, replaying the journal onto
     /// the new engine. With `block`, waits for an unfinished one. Returns
     /// whether a rebuilt engine was installed.
+    ///
+    /// A rebuild thread that panicked is contained here: the panic is
+    /// recorded in [`Self::health`], further rebuilds are suspended until
+    /// a build succeeds, and the router keeps serving the last good
+    /// epoch — the panic never propagates into the control plane.
     pub fn finish_rebuild(&mut self, block: bool) -> bool {
         let finished = match &self.rebuild {
             Some(job) => block || job.handle.is_finished(),
@@ -864,7 +1083,14 @@ where
             return false;
         }
         let job = self.rebuild.take().expect("checked above");
-        let mut fresh = job.handle.join().expect("rebuild thread panicked");
+        let mut fresh = match job.handle.join() {
+            Ok(engine) => engine,
+            Err(p) => {
+                self.note_rebuild_panic(panic_message(&*p));
+                self.journal.clear();
+                return false;
+            }
+        };
         // Bring the rebuilt engine up to date with the control FIB.
         let mut replayed = 0u64;
         let mut replay_ok = true;
@@ -890,11 +1116,21 @@ where
         } else {
             // A static engine cannot replay; fold the journal in by
             // rebuilding from the (already up-to-date) control FIB.
-            self.working = Some(E::build(&self.control, &self.config.build));
-            self.stats.rebuilds += 1;
+            match Self::build_caught(&self.control, &self.config.build) {
+                Ok(engine) => {
+                    self.working = Some(engine);
+                    self.stats.rebuilds += 1;
+                }
+                Err(msg) => {
+                    self.note_rebuild_panic(msg);
+                    self.journal.clear();
+                    return false;
+                }
+            }
         }
         self.stale = false;
         self.journal.clear();
+        self.rebuild_suspended = false;
         true
     }
 
@@ -907,8 +1143,9 @@ where
     /// from-scratch build. A still-running background rebuild is only
     /// waited on when correctness requires it.
     ///
-    /// # Panics
-    /// Panics if a rebuild thread panicked.
+    /// A build that panics is contained: the router keeps serving the
+    /// last good epoch, flags [`RouterHealth::serving_stale`], and
+    /// retries at the next publish.
     pub fn publish(&mut self) -> Arc<EpochSnapshot<E>> {
         self.publish_with(None)
     }
@@ -927,8 +1164,8 @@ where
     /// compilation stats.
     ///
     /// # Panics
-    /// Panics if a rebuild thread panicked, or if `hot_config` is out of
-    /// range for the address family (see [`HotSlab::compile`]).
+    /// Panics if `hot_config` is out of range for the address family
+    /// (see [`HotSlab::compile`]).
     pub fn publish_hot(
         &mut self,
         heat: &HeatMap,
@@ -969,10 +1206,27 @@ where
             return self.snapshot();
         }
         if self.stale || self.working.is_none() {
-            self.working = Some(E::build(&self.control, &self.config.build));
-            self.stale = false;
-            self.stats.rebuilds += 1;
+            match Self::build_caught(&self.control, &self.config.build) {
+                Ok(engine) => {
+                    self.working = Some(engine);
+                    self.stale = false;
+                    self.stats.rebuilds += 1;
+                    self.rebuild_suspended = false;
+                }
+                Err(msg) => {
+                    // Graceful degradation: keep serving the last good
+                    // epoch, surface the panic through health, and retry
+                    // the materialization at the next publish (auto-
+                    // publish cadence bounds the retry rate).
+                    self.note_rebuild_panic(msg);
+                    self.serving_stale = true;
+                    self.stale = true;
+                    self.since_publish = 0;
+                    return self.snapshot();
+                }
+            }
         }
+        self.serving_stale = false;
         self.epoch += 1;
         self.since_publish = 0;
         self.stats.epochs += 1;
@@ -983,7 +1237,7 @@ where
             hot,
         });
         self.published.publish(Arc::clone(&snapshot));
-        self.spill_current();
+        self.spill_current(false);
         snapshot
     }
 }

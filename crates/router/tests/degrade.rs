@@ -1,0 +1,227 @@
+//! Rebuild-panic containment: a deliberately panicking engine build
+//! must never take the control plane down. Inline rebuilds, background
+//! rebuild threads (the historical `join().expect` escalation path),
+//! and publish-time materialization all degrade to serving the last
+//! good epoch with the panic recorded in [`Router::health`], and a
+//! later successful build restores freshness.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use fib_core::{
+    BuildConfig, EngineKind, FibBuild, FibImage, FibLookup, FibUpdate, ImageCodec, ImageError,
+    ImageWriter, PrefixDag, RebuildNeeded,
+};
+use fib_router::{Router, RouterConfig};
+use fib_trie::{BinaryTrie, NextHop, Prefix};
+use fib_workload::rng::Xoshiro256;
+use fib_workload::{traces, FibSpec};
+
+/// When set, [`Flaky::build`] panics — simulating a rebuild bug.
+static PANIC_BUILD: AtomicBool = AtomicBool::new(false);
+/// When set, in-place updates decline, forcing the router stale so the
+/// next publish must materialize (and hit the panicking build).
+static FORCE_REBUILD: AtomicBool = AtomicBool::new(false);
+/// The toggles above are process globals; tests touching them must not
+/// interleave.
+static TOGGLES: Mutex<()> = Mutex::new(());
+
+/// A [`PrefixDag`] whose build panics on demand.
+#[derive(Clone)]
+struct Flaky(PrefixDag<u32>);
+
+impl FibLookup<u32> for Flaky {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn lookup(&self, addr: u32) -> Option<NextHop> {
+        self.0.lookup(addr)
+    }
+    fn size_bytes(&self) -> usize {
+        self.0.size_bytes()
+    }
+}
+
+impl FibBuild<u32> for Flaky {
+    fn build(trie: &BinaryTrie<u32>, config: &BuildConfig) -> Self {
+        // ordering: Relaxed — a test toggle, no data published across it.
+        if PANIC_BUILD.load(Ordering::Relaxed) {
+            panic!("deliberate rebuild panic (degrade test)");
+        }
+        Flaky(PrefixDag::build(trie, config))
+    }
+}
+
+impl FibUpdate<u32> for Flaky {
+    fn try_insert(
+        &mut self,
+        prefix: Prefix<u32>,
+        next_hop: NextHop,
+    ) -> Result<Option<NextHop>, RebuildNeeded> {
+        // ordering: Relaxed — a test toggle, no data published across it.
+        if FORCE_REBUILD.load(Ordering::Relaxed) {
+            return Err(RebuildNeeded);
+        }
+        self.0.try_insert(prefix, next_hop)
+    }
+    fn try_remove(&mut self, prefix: Prefix<u32>) -> Result<Option<NextHop>, RebuildNeeded> {
+        // ordering: Relaxed — a test toggle, no data published across it.
+        if FORCE_REBUILD.load(Ordering::Relaxed) {
+            return Err(RebuildNeeded);
+        }
+        self.0.try_remove(prefix)
+    }
+    fn degradation(&self) -> f64 {
+        self.0.degradation()
+    }
+}
+
+impl ImageCodec<u32> for Flaky {
+    const ENGINE: EngineKind = <PrefixDag<u32> as ImageCodec<u32>>::ENGINE;
+    type Ref<'i> = <PrefixDag<u32> as ImageCodec<u32>>::Ref<'i>;
+    fn write_sections(&self, writer: &mut ImageWriter) -> Result<(), ImageError> {
+        self.0.write_sections(writer)
+    }
+    fn view(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        <PrefixDag<u32> as ImageCodec<u32>>::view(image)
+    }
+    fn resident_size_bytes(&self) -> usize {
+        self.0.resident_size_bytes()
+    }
+}
+
+fn base(seed: u64) -> BinaryTrie<u32> {
+    FibSpec::dfz_like(400).generate(&mut Xoshiro256::seed_from_u64(seed))
+}
+
+fn assert_serves_control(router: &mut Router<u32, Flaky>, trace: &[u32]) {
+    let snapshot = router.publish();
+    for &addr in trace {
+        assert_eq!(
+            snapshot.lookup(addr),
+            router.control().lookup(addr),
+            "snapshot diverges from control at {addr:#010x}"
+        );
+    }
+}
+
+#[test]
+fn inline_rebuild_panic_is_contained_and_a_later_build_recovers() {
+    let _guard = TOGGLES.lock().unwrap_or_else(|p| p.into_inner());
+    PANIC_BUILD.store(false, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    FORCE_REBUILD.store(false, Ordering::Relaxed); // ordering: Relaxed — test toggle
+
+    let trace = traces::uniform::<u32, _>(&mut Xoshiro256::seed_from_u64(3), 256);
+    let mut router: Router<u32, Flaky> = Router::new(
+        base(1),
+        RouterConfig {
+            publish_every: None,
+            background_rebuild: false,
+            ..RouterConfig::default()
+        },
+    );
+    assert_serves_control(&mut router, &trace);
+
+    PANIC_BUILD.store(true, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    router.start_rebuild();
+    let health = router.health();
+    assert_eq!(health.rebuild_panics, 1, "panic must be recorded");
+    assert!(
+        health
+            .last_rebuild_panic
+            .as_deref()
+            .is_some_and(|m| m.contains("deliberate rebuild panic")),
+        "panic message must survive: {:?}",
+        health.last_rebuild_panic
+    );
+    // The old engine keeps serving and updates keep applying in place.
+    router.announce(Prefix::new(0x0A00_0000u32, 8), NextHop::new(42));
+    assert_serves_control(&mut router, &trace);
+
+    PANIC_BUILD.store(false, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    router.start_rebuild();
+    assert_eq!(router.health().rebuild_panics, 1, "no new panics");
+    assert_serves_control(&mut router, &trace);
+}
+
+#[test]
+fn background_rebuild_panic_does_not_propagate_through_join() {
+    let _guard = TOGGLES.lock().unwrap_or_else(|p| p.into_inner());
+    PANIC_BUILD.store(false, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    FORCE_REBUILD.store(false, Ordering::Relaxed); // ordering: Relaxed — test toggle
+
+    let trace = traces::uniform::<u32, _>(&mut Xoshiro256::seed_from_u64(4), 256);
+    let mut router: Router<u32, Flaky> = Router::new(
+        base(2),
+        RouterConfig {
+            publish_every: None,
+            background_rebuild: true,
+            ..RouterConfig::default()
+        },
+    );
+
+    PANIC_BUILD.store(true, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    router.start_rebuild();
+    // Before the fix this join escalated the worker's panic into the
+    // caller; now it must contain it and report through health.
+    assert!(
+        !router.finish_rebuild(true),
+        "panicked build installs nothing"
+    );
+    assert_eq!(router.health().rebuild_panics, 1);
+    assert_serves_control(&mut router, &trace);
+
+    PANIC_BUILD.store(false, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    router.start_rebuild();
+    assert!(router.finish_rebuild(true), "healthy build must install");
+    assert_eq!(router.health().rebuild_panics, 1, "no new panics");
+    assert_serves_control(&mut router, &trace);
+}
+
+#[test]
+fn publish_serves_stale_epoch_while_builds_panic_then_heals() {
+    let _guard = TOGGLES.lock().unwrap_or_else(|p| p.into_inner());
+    PANIC_BUILD.store(false, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    FORCE_REBUILD.store(false, Ordering::Relaxed); // ordering: Relaxed — test toggle
+
+    let trace = traces::uniform::<u32, _>(&mut Xoshiro256::seed_from_u64(5), 256);
+    let mut router: Router<u32, Flaky> = Router::new(
+        base(6),
+        RouterConfig {
+            publish_every: None,
+            background_rebuild: false,
+            ..RouterConfig::default()
+        },
+    );
+    assert_serves_control(&mut router, &trace);
+    let before = router.publish();
+
+    // Updates decline in place (stale), and every rebuild panics: the
+    // next publish must keep serving the previous epoch, flagged stale.
+    FORCE_REBUILD.store(true, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    PANIC_BUILD.store(true, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    let victim = Prefix::new(0xC0A8_0000u32, 16);
+    router.announce(victim, NextHop::new(7));
+    let during = router.publish();
+    assert!(router.health().serving_stale, "health must flag staleness");
+    assert!(router.health().rebuild_panics >= 1);
+    for &addr in &trace {
+        assert_eq!(
+            during.lookup(addr),
+            before.lookup(addr),
+            "stale snapshot must equal the last good epoch at {addr:#010x}"
+        );
+    }
+
+    // Builds work again: the next publish folds the pending update in
+    // and clears the staleness flag.
+    FORCE_REBUILD.store(false, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    PANIC_BUILD.store(false, Ordering::Relaxed); // ordering: Relaxed — test toggle
+    assert_serves_control(&mut router, &trace);
+    assert!(!router.health().serving_stale);
+    assert_eq!(
+        router.publish().lookup(0xC0A8_0101),
+        router.control().lookup(0xC0A8_0101),
+        "the update accepted during the outage must be served after recovery"
+    );
+}

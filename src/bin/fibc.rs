@@ -21,6 +21,7 @@
 //! (`10.0.0.0/8 3`, `2001:db8::/32 1`), `#` comments allowed. The address
 //! family is inferred from the first route (or forced with `--v6`).
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use fibcomp::core::image::sections;
@@ -30,7 +31,7 @@ use fibcomp::core::{
     FibLookup, HotConfig, HotSlab, ImageCodec, ImageError, MultibitDag, PrefixDag, SerializedDag,
     XbwFib, XbwStorage,
 };
-use fibcomp::router::LatencyHistogram;
+use fibcomp::router::{scan_spool, LatencyHistogram, StdFs};
 use fibcomp::trie::{Address, BinaryTrie, LcTrie, NextHop, Prefix};
 use fibcomp::workload::loadgen::{AddrStream, KeyModel};
 use fibcomp::workload::rng::Xoshiro256;
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         Some("inspect") => inspect(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("spool-status") => spool_status(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -69,7 +71,10 @@ usage:
   fibc lint IMG
   fibc serve IMG [--probe N | --duration S] [--threads N] \
                  [--keys uniform|zipf|bursty] [--batch N] [--seed N]
-                 (without --probe/--duration: addresses on stdin, batched)";
+                 (without --probe/--duration: addresses on stdin, batched)
+  fibc serve --spool DIR [--health-every S] [serve options]
+                 (newest valid spool image; health one-liner on stderr)
+  fibc spool-status DIR";
 
 /// `--key value` argument lookup.
 fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -318,6 +323,9 @@ fn lint(args: &[String]) -> Result<(), String> {
 }
 
 fn serve(args: &[String]) -> Result<(), String> {
+    if let Some(dir) = opt(args, "--spool") {
+        return serve_spool(dir, args);
+    }
     let path = args.first().ok_or(
         "usage: fibc serve IMG [--probe N | --duration S] [--threads N] \
          [--keys uniform|zipf|bursty] [--batch N] [--seed N]",
@@ -328,6 +336,81 @@ fn serve(args: &[String]) -> Result<(), String> {
         6 => serve_family::<u128>(&image, args),
         other => Err(format!("unknown address family {other}")),
     }
+}
+
+/// `fibc serve --spool DIR`: serves the newest image in the spool that
+/// lints clean (what a warm restart would pick), with a periodic
+/// one-line health snapshot on stderr so an operator tailing the log
+/// sees quarantine growth or a journal that stopped bridging.
+fn serve_spool(dir: &str, args: &[String]) -> Result<(), String> {
+    let fs = StdFs::shared();
+    let spool_dir = Path::new(dir).to_path_buf();
+    let status = scan_spool(fs.as_ref(), &spool_dir).map_err(|e| format!("{dir}: {e}"))?;
+    eprintln!("{status}");
+    let picked = status
+        .images
+        .iter()
+        .find(|i| i.issues.is_empty())
+        .ok_or_else(|| format!("{dir}: no image lints clean (verdict {})", status.verdict()))?;
+    let every: f64 = opt(args, "--health-every")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|e| format!("--health-every: {e}"))?;
+    if every > 0.0 {
+        let ticker_dir = spool_dir.clone();
+        // Detached on purpose: the ticker lives exactly as long as the
+        // serve loop's process and holds no state worth joining.
+        std::thread::spawn(move || {
+            let fs = StdFs::shared();
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs_f64(every));
+                match scan_spool(fs.as_ref(), &ticker_dir) {
+                    Ok(s) => eprintln!("{s}"),
+                    Err(e) => eprintln!("spool scan failed: {e}"),
+                }
+            }
+        });
+    }
+    let image = FibImage::load(&picked.path).map_err(|e| e.to_string())?;
+    match image.family() {
+        4 => serve_family::<u32>(&image, args),
+        6 => serve_family::<u128>(&image, args),
+        other => Err(format!("unknown address family {other}")),
+    }
+}
+
+/// Offline spool report: the one-line verdict, then per-image lint and
+/// quarantine detail. Exits non-zero when nothing in the spool could
+/// serve a warm restart.
+fn spool_status(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("usage: fibc spool-status DIR")?;
+    let fs = StdFs::shared();
+    let status = scan_spool(fs.as_ref(), Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+    println!("{status}");
+    for img in &status.images {
+        let verdict = if img.issues.is_empty() {
+            "clean"
+        } else {
+            "CORRUPT"
+        };
+        println!(
+            "  epoch {:>20}  {:>10} B  {:<7}  {}",
+            img.epoch,
+            img.bytes,
+            verdict,
+            img.path.display()
+        );
+        for issue in &img.issues {
+            println!("    {issue}");
+        }
+    }
+    for reason in &status.quarantine_reasons {
+        println!("  quarantined  {reason}");
+    }
+    if status.verdict() == "no-valid-image" {
+        return Err(format!("{dir}: no valid image in spool"));
+    }
+    Ok(())
 }
 
 fn parse_seed(args: &[String]) -> Result<u64, String> {
