@@ -1,6 +1,6 @@
 //! `benchdump` — machine-readable benchmarks for the perf trajectory.
 //!
-//! Two modes, each writing one JSON artifact at the repo root so
+//! Three modes, each writing one JSON artifact at the repo root so
 //! successive PRs can diff numbers instead of re-reading prose:
 //!
 //! * default (lookup): every engine's longest-prefix-match latency
@@ -9,32 +9,47 @@
 //!   models: `uniform`, `zipf`, and the `zipf-dedup` control that
 //!   separates popularity locality from depth bias (see README). Each
 //!   (engine, keys) pair gets a `layout: "base"` row and a
-//!   `layout: "hot"` row — the latter serving behind a hot slab compiled
-//!   from the zipf traffic — and the top level records the SIMD gather
-//!   dispatch (`avx2` or `scalar`). `FIB_BENCH_ASSERT=1` makes the run
-//!   fail if any engine's base batch path regresses scalar by >10 %.
+//!   `layout: "hot"` row — the latter serving through the adaptive
+//!   [`HotFib`] wrapper (slab probe gated by the measured hit rate, so
+//!   traffic the slab cannot help bypasses it) — and the top level
+//!   records the SIMD gather dispatch (`avx2` or `scalar`).
+//!   `FIB_BENCH_ASSERT=1` makes the run fail if any engine's base batch
+//!   path regresses scalar by >10 %, or if any hot row regresses its
+//!   base row by >10 % on any metric.
 //! * `--serve`: the multi-core forwarding runtime — engine ×
 //!   key-distribution × thread-count → aggregate Mlookups/s and p50/p99
 //!   ns/lookup → `BENCH_serve.json` (schema `fibcomp-bench-serve/v1`).
+//! * `--vrf`: the multi-tenant compiler — a 64-table fleet derived from
+//!   taz (90 % shared base, 10 % per-VRF churn) compiled into one shared
+//!   arena at 1/16/64 VRFs → dedup ratio, resident vs independent bytes
+//!   and mixed-VRF lookup throughput → `BENCH_vrf.json` (schema
+//!   `fibcomp-bench-vrf/v1`). Answers are checked against each VRF's
+//!   oracle before timing. `FIB_BENCH_ASSERT=1` additionally requires
+//!   the 64-VRF arena to be ≥30 % smaller than independent compiles.
 //!
 //! ```sh
 //! cargo run --release -p fib-bench --bin benchdump            # lookup, taz 0.1
 //! cargo run --release -p fib-bench --bin benchdump -- --serve # serve matrix
+//! cargo run --release -p fib-bench --bin benchdump -- --vrf   # VRF dedup + throughput
 //! cargo run --release -p fib-bench --bin benchdump -- --scale=0.05 --out=/tmp/b.json
 //! ```
 
 use fib_bench::timing::median;
 use fib_bench::{instance_fib, scale_arg};
 use fib_core::{
-    slab_batch, BuildConfig, FibBuild, FibEngine, FibLookup, FibUpdate, HotConfig, HotSlab,
-    ImageCodec, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage,
+    BuildConfig, FibBuild, FibEngine, FibLookup, FibUpdate, HotConfig, HotFib, HotSlab, ImageCodec,
+    MultibitDag, PrefixDag, SerializedDag, VrfPolicy, XbwFib, XbwStorage,
 };
-use fib_router::{aggregate, Forwarder, ForwarderConfig, PacingMode, Router, RouterConfig};
+use fib_router::{
+    aggregate, Forwarder, ForwarderConfig, PacingMode, Router, RouterConfig, VrfBatchScratch,
+    VrfSetRouter,
+};
 use fib_succinct::simd::simd_label;
 use fib_trie::{BinaryTrie, LcTrie};
 use fib_workload::loadgen::{AddrStream, KeyModel};
 use fib_workload::rng::Xoshiro256;
 use fib_workload::traces::{uniform, ZipfTrace};
+use fib_workload::vrf::{instance_fleet, mixed_keys};
 use fib_workload::HeatSummary;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -43,7 +58,7 @@ use std::time::{Duration, Instant};
 const SAMPLES: usize = 9;
 
 /// Median nanoseconds per scalar lookup over `SAMPLES` passes.
-fn scalar_ns<E: FibEngine<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
+fn scalar_ns<E: FibLookup<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
     let mut passes = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         let start = Instant::now();
@@ -60,7 +75,7 @@ fn scalar_ns<E: FibEngine<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
 }
 
 /// Median nanoseconds per batched lookup over `SAMPLES` passes.
-fn batch_ns<E: FibEngine<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
+fn batch_ns<E: FibLookup<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
     let mut out = vec![None; addrs.len()];
     let mut passes = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
@@ -73,62 +88,12 @@ fn batch_ns<E: FibEngine<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
 }
 
 /// Median nanoseconds per software-pipelined stream lookup.
-fn stream_ns<E: FibEngine<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
+fn stream_ns<E: FibLookup<u32> + ?Sized>(engine: &E, addrs: &[u32]) -> f64 {
     let mut out = vec![None; addrs.len()];
     let mut passes = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         let start = Instant::now();
         engine.lookup_stream(black_box(addrs), &mut out);
-        black_box(&out);
-        passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
-    }
-    median(&passes)
-}
-
-/// The hot-layout counterparts: the same slab-first dispatch the
-/// `HotFib` wrapper and hot image views use, measured over a borrowed
-/// engine (a slab probe, then the engine on misses).
-fn hot_scalar_ns<E: FibEngine<u32> + ?Sized>(engine: &E, slab: &HotSlab, addrs: &[u32]) -> f64 {
-    let view = slab.as_ref();
-    let mut passes = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
-        let start = Instant::now();
-        let mut acc = 0u64;
-        for &a in addrs {
-            let hop = match view.probe_addr(black_box(a)) {
-                Some(answer) => answer,
-                None => engine.lookup(a),
-            };
-            acc = acc.wrapping_add(u64::from(hop.map_or(0, |nh| nh.index())));
-        }
-        black_box(acc);
-        passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
-    }
-    median(&passes)
-}
-
-fn hot_batch_ns<E: FibEngine<u32> + ?Sized>(engine: &E, slab: &HotSlab, addrs: &[u32]) -> f64 {
-    let mut out = vec![None; addrs.len()];
-    let mut passes = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
-        let start = Instant::now();
-        slab_batch(slab.as_ref(), black_box(addrs), &mut out, |a, o| {
-            engine.lookup_batch(a, o);
-        });
-        black_box(&out);
-        passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
-    }
-    median(&passes)
-}
-
-fn hot_stream_ns<E: FibEngine<u32> + ?Sized>(engine: &E, slab: &HotSlab, addrs: &[u32]) -> f64 {
-    let mut out = vec![None; addrs.len()];
-    let mut passes = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
-        let start = Instant::now();
-        slab_batch(slab.as_ref(), black_box(addrs), &mut out, |a, o| {
-            engine.lookup_stream(a, o);
-        });
         black_box(&out);
         passes.push(start.elapsed().as_nanos() as f64 / addrs.len() as f64);
     }
@@ -147,6 +112,8 @@ fn repo_root_path(file: &str) -> String {
 fn main() {
     if std::env::args().any(|a| a == "--serve") {
         serve_mode();
+    } else if std::env::args().any(|a| a == "--vrf") {
+        vrf_mode();
     } else {
         lookup_mode();
     }
@@ -197,6 +164,10 @@ fn lookup_mode() {
         ("pdag-serialized", &ser),
         ("multibit-dag", &mb),
     ];
+    // Hot wrappers are monomorphized over the concrete engine (type
+    // erasure only at the measurement boundary, same as the base rows):
+    // the gate check and the inner walk inline together, so the bypass
+    // overhead measured here is what a real deployment pays.
 
     // Traffic heat for the hot layout: the zipf key stream *is* the
     // traffic model, so sample it into a block summary and compile the
@@ -220,9 +191,20 @@ fn lookup_mode() {
     // `layout: "hot"` rows serve the same engine behind the shared
     // traffic-compiled slab, and the top level records the SIMD dispatch
     // the gather kernels resolved to.
+    let hot_trie = HotFib::new(&trie, slab.clone());
+    let hot_lc = HotFib::new(&lc, slab.clone());
+    let hot_xbw_s = HotFib::new(&xbw_s, slab.clone());
+    let hot_xbw_e = HotFib::new(&xbw_e, slab.clone());
+    let hot_dag = HotFib::new(&dag, slab.clone());
+    let hot_ser = HotFib::new(&ser, slab.clone());
+    let hot_mb = HotFib::new(&mb, slab.clone());
+    let hot_engines: [&dyn FibLookup<u32>; 7] = [
+        &hot_trie, &hot_lc, &hot_xbw_s, &hot_xbw_e, &hot_dag, &hot_ser, &hot_mb,
+    ];
+
     let assert_batch = std::env::var("FIB_BENCH_ASSERT").as_deref() == Ok("1");
     let mut rows = Vec::new();
-    for (name, engine) in engines {
+    for (&(name, engine), &hot) in engines.iter().zip(hot_engines.iter()) {
         for (keys, addrs) in [
             ("uniform", &uniform_addrs),
             ("zipf", &zipf_addrs),
@@ -247,7 +229,37 @@ fn lookup_mode() {
                     "{name}/{keys}: batch path {batch:.1} ns regresses scalar {scalar:.1} ns"
                 );
             }
-            let stream = stream_ns(engine, addrs);
+            let mut stream = stream_ns(engine, addrs);
+
+            // The hot layout serves through the adaptive `HotFib`: the
+            // gate watches the measured slab hit rate and routes traffic
+            // the slab cannot help straight to the engine, so a hot
+            // image never costs more than the probe-sampling overhead.
+            let mut hscalar = scalar_ns(hot, addrs);
+            let mut hbatch = batch_ns(hot, addrs);
+            let mut hstream = stream_ns(hot, addrs);
+            if assert_batch {
+                // Base and hot are remeasured *together* on a marginal
+                // reading: machine noise between the two measurements
+                // otherwise dominates the few-ns gate overhead the guard
+                // is actually pinning.
+                for _ in 0..3 {
+                    if hscalar <= scalar * 1.1 && hbatch <= batch * 1.1 && hstream <= stream * 1.1 {
+                        break;
+                    }
+                    scalar = scalar_ns(engine, addrs);
+                    hscalar = scalar_ns(hot, addrs);
+                    batch = batch_ns(engine, addrs);
+                    hbatch = batch_ns(hot, addrs);
+                    stream = stream_ns(engine, addrs);
+                    hstream = stream_ns(hot, addrs);
+                }
+                assert!(
+                    hscalar <= scalar * 1.1 && hbatch <= batch * 1.1 && hstream <= stream * 1.1,
+                    "{name}/{keys}: hot layout ({hscalar:.1}/{hbatch:.1}/{hstream:.1} ns) \
+                     regresses base ({scalar:.1}/{batch:.1}/{stream:.1} ns) by >10 %"
+                );
+            }
             let size_bits = FibLookup::<u32>::size_bytes(engine) * 8;
             println!(
                 "{name:<18} {keys:<10} base scalar {scalar:>8.1} ns  batch {batch:>8.1} ns  \
@@ -259,10 +271,6 @@ fn lookup_mode() {
                  \"median_ns_per_lookup_batch\": {batch:.1}, \
                  \"median_ns_per_lookup_stream\": {stream:.1}, \"size_bits\": {size_bits}}}"
             ));
-
-            let hscalar = hot_scalar_ns(engine, &slab, addrs);
-            let hbatch = hot_batch_ns(engine, &slab, addrs);
-            let hstream = hot_stream_ns(engine, &slab, addrs);
             let hot_bits = (FibLookup::<u32>::size_bytes(engine) + slab.size_bytes()) * 8;
             println!(
                 "{name:<18} {keys:<10} hot  scalar {hscalar:>8.1} ns  batch {hbatch:>8.1} ns  \
@@ -410,6 +418,123 @@ fn serve_mode() {
          \"duration_s\": {duration_s},\n  \"host_cores\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
         trie.len(),
         std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        rows.join(",\n")
+    );
+    write_artifact(&out_path, &json);
+}
+
+// ---------------------------------------------------------------------
+// VRF mode (BENCH_vrf.json, schema v1)
+// ---------------------------------------------------------------------
+
+/// Dedup and throughput of the multi-tenant compiler at one fleet size.
+///
+/// The fleet is the standard acceptance workload: 64 tables derived from
+/// taz with 90 % shared base routes and 10 % per-VRF churn. Lookups run
+/// through the published [`fib_router::VrfSnapshot`] — the same bucketed
+/// batch path the data plane uses — and every answer is checked against
+/// the VRF's own oracle before any timing starts.
+fn vrf_mode() {
+    let scale = scale_arg();
+    let out_path = arg("--out=").unwrap_or_else(|| repo_root_path("BENCH_vrf.json"));
+    let overlap: f64 = arg("--overlap=").map_or(0.9, |s| {
+        s.parse().expect("--overlap=FRACTION must be a number")
+    });
+    const FLEET: usize = 64;
+    const SEED: u64 = 0xF1B;
+    const KEY_COUNT: usize = 65_536;
+    let assert_saving = std::env::var("FIB_BENCH_ASSERT").as_deref() == Ok("1");
+
+    let fleet =
+        instance_fleet("taz", scale, FLEET, overlap, SEED).expect("taz is a known instance");
+    let mut rows = Vec::new();
+    for n in [1usize, 16, FLEET] {
+        let mut router: VrfSetRouter<u32> =
+            VrfSetRouter::new(BuildConfig::default(), VrfPolicy::Shared);
+        for (v, trie) in fleet.iter().take(n).enumerate() {
+            router.insert_vrf(v as u32, trie.clone());
+        }
+        let compile_start = Instant::now();
+        let snapshot = router.publish();
+        let compile_s = compile_start.elapsed().as_secs_f64();
+        let stats = snapshot.set().stats;
+        let routes: u64 = fleet.iter().take(n).map(|t| t.len() as u64).sum();
+
+        let keys: Vec<(u32, u32)> = mixed_keys(n, None, 0x7AB2, KEY_COUNT);
+        for &(vrf, addr) in &keys {
+            assert_eq!(
+                snapshot.lookup(vrf, addr),
+                fleet[vrf as usize].lookup(addr),
+                "vrf {vrf} addr {addr:#x}: compiled set disagrees with its oracle"
+            );
+        }
+
+        let mut passes = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            let mut acc = 0u64;
+            for &(vrf, addr) in &keys {
+                acc = acc.wrapping_add(u64::from(
+                    snapshot
+                        .lookup(black_box(vrf), black_box(addr))
+                        .map_or(0, |nh| nh.index()),
+                ));
+            }
+            black_box(acc);
+            passes.push(start.elapsed().as_nanos() as f64 / keys.len() as f64);
+        }
+        let scalar = median(&passes);
+
+        let mut out = vec![None; keys.len()];
+        let mut scratch = VrfBatchScratch::new();
+        let mut passes = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            snapshot.lookup_batch(black_box(&keys), &mut out, &mut scratch);
+            black_box(&out);
+            passes.push(start.elapsed().as_nanos() as f64 / keys.len() as f64);
+        }
+        let batch = median(&passes);
+
+        let resident = stats.resident_bytes();
+        let independent = stats.independent_bytes;
+        let saved_pct = if independent == 0 {
+            0.0
+        } else {
+            100.0 * stats.bytes_saved() as f64 / independent as f64
+        };
+        println!(
+            "{n:>3} VRFs  {routes:>8} routes  sharing {:.2}x  resident {resident} B \
+             vs independent {independent} B ({saved_pct:.1} % saved)  \
+             scalar {:.1} Mlps  batch {:.1} Mlps  compile {compile_s:.2} s",
+            stats.sharing_ratio(),
+            1000.0 / scalar,
+            1000.0 / batch,
+        );
+        if assert_saving && n == FLEET {
+            assert!(
+                resident as f64 <= independent as f64 * 0.7,
+                "64-VRF arena {resident} B must be ≥30 % under independent compiles \
+                 {independent} B"
+            );
+        }
+        rows.push(format!(
+            "    {{\"vrfs\": {n}, \"routes\": {routes}, \"unique_nodes\": {}, \
+             \"total_nodes\": {}, \"sharing_ratio\": {:.4}, \"resident_bytes\": {resident}, \
+             \"independent_bytes\": {independent}, \"saved_pct\": {saved_pct:.2}, \
+             \"mlookups_per_s\": {:.3}, \"mlookups_per_s_batch\": {:.3}, \
+             \"compile_s\": {compile_s:.3}}}",
+            stats.unique_nodes,
+            stats.total_nodes,
+            stats.sharing_ratio(),
+            1000.0 / scalar,
+            1000.0 / batch,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"fibcomp-bench-vrf/v1\",\n  \"instance\": \"taz\",\n  \
+         \"scale\": {scale},\n  \"fleet\": {FLEET},\n  \"overlap\": {overlap},\n  \
+         \"seed\": {SEED},\n  \"key_count\": {KEY_COUNT},\n  \"points\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     write_artifact(&out_path, &json);

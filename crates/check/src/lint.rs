@@ -110,6 +110,10 @@ const EDGE_STOPLIST: &[&str] = &[
     "max",
     "iter",
     "index",
+    // Atomic accessors: `AtomicU64::load`/`store` on a packet path would
+    // otherwise alias load-time entry points like `FibImage::load`.
+    "load",
+    "store",
 ];
 
 // ---------------------------------------------------------------------

@@ -214,6 +214,45 @@ pub trait FibEngine<A: Address>: FibLookup<A> {}
 
 impl<A: Address, T: FibLookup<A> + ?Sized> FibEngine<A> for T {}
 
+/// References forward wholesale, so wrappers like [`crate::hot::HotFib`]
+/// can compose over a borrowed engine (including `&dyn` trait objects)
+/// without taking ownership.
+impl<A: Address, E: FibLookup<A> + ?Sized> FibLookup<A> for &E {
+    fn name(&self) -> &'static str {
+        E::name(self)
+    }
+
+    #[inline]
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        E::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        E::lookup_batch(self, addrs, out);
+    }
+
+    #[inline]
+    fn prefetch(&self, addr: A) {
+        E::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        E::lookup_stream(self, addrs, out);
+    }
+
+    fn size_bytes(&self) -> usize {
+        E::size_bytes(self)
+    }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        E::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        E::traces_memory(self)
+    }
+}
+
 // ---------------------------------------------------------------------
 // FibLookup implementations
 // ---------------------------------------------------------------------

@@ -415,6 +415,124 @@ impl<'a> HotSlabRef<'a> {
 /// inner engine's interleaved kernels fed, small enough for the stack.
 const HOT_CHUNK: usize = 64;
 
+/// Lookups per adaptive-gate measurement window while probing.
+const GATE_WINDOW: u64 = 4096;
+
+/// Sampled probes per re-arm evaluation while bypassed.
+const GATE_REARM_WINDOW: u64 = 512;
+
+/// While bypassed, 1 in this many *batched* lookups still probes the
+/// slab so the gate can re-arm when traffic shifts back onto pinned
+/// blocks. 64 keeps the bypassed-mode cost — probe time *and* the cache
+/// lines the probes drag in over the inner engine's working set — under
+/// a couple percent, while a full re-arm evaluation still fits in ~33k
+/// lookups (milliseconds at forwarding rates). The scalar path carries
+/// no sampling at all: its bypass budget is one load and one branch.
+const GATE_SAMPLE: u64 = 64;
+
+/// The runtime hit-rate gate in front of a slab probe.
+///
+/// BENCH_lookup's committed v3 run showed `layout=hot` *losing* to base
+/// on fast engines under keys that rarely hit the slab (binary-trie
+/// uniform: 64.4 ns hot vs 45.7 ns base): every lookup paid the probe,
+/// few were answered by it. The gate makes the probe conditional on its
+/// measured worth: cheap relaxed window counters track the slab hit
+/// rate, and when it drops below a engine-specific break-even threshold
+/// (calibrated at construction from the measured probe and inner-walk
+/// costs) the probe is bypassed entirely. While bypassed, the batch
+/// paths still probe 1 in [`GATE_SAMPLE`] lookups so a traffic shift
+/// back onto the pinned blocks re-arms the fast path (the scalar path
+/// stays sampling-free — see [`GATE_SAMPLE`]). Answers are bit-identical
+/// in both modes — the gate only decides *whether the probe is worth
+/// it*.
+#[derive(Debug)]
+struct Gate {
+    /// Probes observed in the current window.
+    probes: std::sync::atomic::AtomicU64,
+    /// Probe hits observed in the current window.
+    hits: std::sync::atomic::AtomicU64,
+    /// 1 when the probe is bypassed, 0 when probing.
+    bypassed: std::sync::atomic::AtomicU64,
+    /// Break-even slab hit rate ×1000: probe only while the measured
+    /// rate stays at or above it.
+    threshold_millis: u64,
+}
+
+impl Gate {
+    fn new(threshold_millis: u64) -> Self {
+        Self {
+            probes: std::sync::atomic::AtomicU64::new(0),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            bypassed: std::sync::atomic::AtomicU64::new(0),
+            threshold_millis,
+        }
+    }
+
+    #[inline]
+    fn is_bypassed(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.bypassed.load(Ordering::Relaxed) != 0 // ordering: Relaxed — heuristic mode flag; a stale read only delays the mode switch by one probe
+    }
+
+    /// Accounts `probes` slab probes of which `hits` hit, and flips the
+    /// mode at window boundaries. Concurrent window resets race benignly:
+    /// the counters are a heuristic rate estimate, not bookkeeping.
+    #[inline]
+    fn record(&self, probes: u64, hits: u64) {
+        use std::sync::atomic::Ordering;
+        let p = self.probes.fetch_add(probes, Ordering::Relaxed) + probes; // ordering: Relaxed — window counter; lost updates only stretch the window
+        let h = self.hits.fetch_add(hits, Ordering::Relaxed) + hits; // ordering: Relaxed — window counter; lost updates only stretch the window
+        let window = if self.is_bypassed() {
+            GATE_REARM_WINDOW
+        } else {
+            GATE_WINDOW
+        };
+        if p >= window {
+            let below = h.saturating_mul(1000) < self.threshold_millis.saturating_mul(p);
+            self.bypassed.store(u64::from(below), Ordering::Relaxed); // ordering: Relaxed — heuristic mode flag; readers tolerate staleness
+            self.probes.store(0, Ordering::Relaxed); // ordering: Relaxed — window reset; racing adds fold into the next window
+            self.hits.store(0, Ordering::Relaxed); // ordering: Relaxed — window reset; racing adds fold into the next window
+        }
+    }
+}
+
+/// Calibrates the gate's break-even hit rate for `slab` over `inner`:
+/// times ~1k slab probes against ~1k inner walks and returns the hit
+/// rate ×1000 below which probing costs more than it saves
+/// (`1.5 · t_probe / t_inner`, clamped to `[0.05, 0.95]` — the 1.5
+/// margin keeps the gate from flapping at exact break-even).
+fn calibrate_gate<A: Address, E: FibLookup<A>>(slab: &HotSlab, inner: &E) -> u64 {
+    const SAMPLES: u64 = 1024;
+    let view = slab.as_ref();
+    let start = std::time::Instant::now();
+    let mut acc = 0u64;
+    for i in 0..SAMPLES {
+        let key = mix(i) & (u64::MAX << (64 - u32::from(MAX_HOT_DEPTH)));
+        acc ^= match view.probe(key) {
+            Some(Some(nh)) => u64::from(nh.index()),
+            Some(None) => 1,
+            None => 2,
+        };
+    }
+    std::hint::black_box(acc);
+    let t_probe = start.elapsed().as_nanos().max(1) as f64 / SAMPLES as f64;
+    let mask = if A::WIDTH >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << A::WIDTH) - 1
+    };
+    let start = std::time::Instant::now();
+    let mut acc = 0u64;
+    for i in 0..SAMPLES {
+        let addr = A::from_u128(u128::from(mix(i | 1 << 60)) & mask);
+        acc ^= inner.lookup(addr).map_or(0, |nh| u64::from(nh.index()));
+    }
+    std::hint::black_box(acc);
+    let t_inner = start.elapsed().as_nanos().max(1) as f64 / SAMPLES as f64;
+    let ratio = (1.5 * t_probe / t_inner).clamp(0.05, 0.95);
+    (ratio * 1000.0) as u64
+}
+
 /// An engine with a hot slab pinned in front of it.
 ///
 /// Every lookup probes the slab first; hits answer in O(1) without
@@ -422,20 +540,41 @@ const HOT_CHUNK: usize = 64;
 /// unchanged. Compilation promotes only pure blocks, so the composite is
 /// extensionally equal to the inner engine — the equivalence tests pin
 /// this bit-for-bit.
-#[derive(Clone, Debug)]
+///
+/// An adaptive [`Gate`] watches the measured slab hit rate and bypasses
+/// the probe when it is not paying for itself, so `layout=hot` never
+/// loses to the bare engine on traffic the slab cannot serve.
+#[derive(Debug)]
 pub struct HotFib<A: Address, E: FibLookup<A>> {
     inner: E,
     slab: HotSlab,
+    gate: Gate,
     _marker: PhantomData<A>,
 }
 
+impl<A: Address, E: FibLookup<A> + Clone> Clone for HotFib<A, E> {
+    /// Clones carry the calibrated threshold but start with fresh window
+    /// counters in probing mode.
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            slab: self.slab.clone(),
+            gate: Gate::new(self.gate.threshold_millis),
+            _marker: PhantomData,
+        }
+    }
+}
+
 impl<A: Address, E: FibLookup<A>> HotFib<A, E> {
-    /// Wraps `inner` with a compiled slab.
+    /// Wraps `inner` with a compiled slab, calibrating the adaptive
+    /// probe gate from the measured probe and inner-walk costs.
     #[must_use]
     pub fn new(inner: E, slab: HotSlab) -> Self {
+        let threshold = calibrate_gate::<A, E>(&slab, &inner);
         Self {
             inner,
             slab,
+            gate: Gate::new(threshold),
             _marker: PhantomData,
         }
     }
@@ -456,6 +595,35 @@ impl<A: Address, E: FibLookup<A>> HotFib<A, E> {
     #[must_use]
     pub fn into_inner(self) -> E {
         self.inner
+    }
+
+    /// Whether the adaptive gate currently bypasses the slab probe.
+    #[must_use]
+    pub fn gate_bypassed(&self) -> bool {
+        self.gate.is_bypassed()
+    }
+
+    /// The calibrated break-even slab hit rate, ×1000.
+    #[must_use]
+    pub fn gate_threshold_millis(&self) -> u64 {
+        self.gate.threshold_millis
+    }
+
+    /// While bypassed, probes a 1-in-[`GATE_SAMPLE`] subsample of a batch
+    /// purely for the hit-rate estimate; answers still come from the
+    /// inner engine's batch kernel.
+    #[inline]
+    fn sampled_bypass_probe(&self, addrs: &[A]) {
+        let view = self.slab.as_ref();
+        let mut probes = 0u64;
+        let mut hits = 0u64;
+        for addr in addrs.iter().step_by(GATE_SAMPLE as usize) {
+            probes += 1;
+            hits += u64::from(view.probe(hot_key(*addr, self.slab.depth)).is_some());
+        }
+        if probes > 0 {
+            self.gate.record(probes, hits);
+        }
     }
 }
 
@@ -505,24 +673,58 @@ impl<A: Address, E: FibLookup<A>> FibLookup<A> for HotFib<A, E> {
 
     #[inline]
     fn lookup(&self, addr: A) -> Option<NextHop> {
+        if self.gate.is_bypassed() {
+            // No sampling here: the bypassed scalar path is exactly one
+            // relaxed load and a predicted branch in front of the inner
+            // walk — anything more (a counter RMW, even one multiply)
+            // measurably regresses the fastest engines past the ≤1.1×
+            // hot-layout budget. Re-arming is driven by the batch paths'
+            // stride sampling; a scalar-only workload that goes bypassed
+            // stays bypassed until traffic reaches a batch entry point.
+            return self.inner.lookup(addr);
+        }
         match self.slab.as_ref().probe(hot_key(addr, self.slab.depth)) {
-            Some(answer) => answer,
-            None => self.inner.lookup(addr),
+            Some(answer) => {
+                self.gate.record(1, 1);
+                answer
+            }
+            None => {
+                self.gate.record(1, 0);
+                self.inner.lookup(addr)
+            }
         }
     }
 
     fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
+        if self.gate.is_bypassed() {
+            self.sampled_bypass_probe(addrs);
+            self.inner.lookup_batch(addrs, out);
+            return;
+        }
+        let mut missed = 0u64;
         slab_batch(self.slab.as_ref(), addrs, out, |a, o| {
+            missed += a.len() as u64;
             self.inner.lookup_batch(a, o);
         });
+        self.gate
+            .record(addrs.len() as u64, addrs.len() as u64 - missed);
     }
 
     fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
+        if self.gate.is_bypassed() {
+            self.sampled_bypass_probe(addrs);
+            self.inner.lookup_stream(addrs, out);
+            return;
+        }
+        let mut missed = 0u64;
         slab_batch(self.slab.as_ref(), addrs, out, |a, o| {
+            missed += a.len() as u64;
             self.inner.lookup_stream(a, o);
         });
+        self.gate
+            .record(addrs.len() as u64, addrs.len() as u64 - missed);
     }
 
     #[inline]
@@ -689,6 +891,87 @@ mod tests {
         assert!((mass.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((mass[24] - 0.6).abs() < 1e-12);
         assert!((mass[0] - 0.4).abs() < 1e-12);
+    }
+
+    /// Builds a HotFib whose slab pins the 10.1.x.0/24 blocks, over the
+    /// folded sample trie.
+    fn gated_fib() -> HotFib<u32, PrefixDag<u32>> {
+        let trie = sample_trie();
+        let cfg = HotConfig {
+            depth: 24,
+            max_entries: 64,
+        };
+        let heat: Vec<(u64, u64)> = (0..=31u32)
+            .map(|b| (hot_key(0x0A01_0000u32 | (b << 8), 24), 10))
+            .collect();
+        let (slab, _) = HotSlab::compile(&trie, &heat, &cfg);
+        let dag = PrefixDag::build(&trie, &BuildConfig::default());
+        HotFib::new(dag, slab)
+    }
+
+    #[test]
+    fn gate_bypasses_on_cold_traffic_and_rearms_on_hot() {
+        let hot = gated_fib();
+        assert!(!hot.gate_bypassed(), "gate starts in probing mode");
+        let threshold = hot.gate_threshold_millis();
+        assert!(
+            (50..=950).contains(&threshold),
+            "threshold {threshold} clamped"
+        );
+        // All-miss traffic: after one window the probe is bypassed.
+        let cold: Vec<u32> = (0..GATE_WINDOW as u32 + 64)
+            .map(|i| 0xC000_0000 | i.wrapping_mul(0x9E37_79B9) >> 8)
+            .collect();
+        let mut out = vec![None; cold.len()];
+        hot.lookup_batch(&cold, &mut out);
+        assert!(hot.gate_bypassed(), "0% hit rate must bypass the probe");
+        // Answers stay bit-identical while bypassed.
+        for &addr in cold.iter().take(256) {
+            assert_eq!(hot.lookup(addr), hot.inner().lookup(addr));
+        }
+        // All-hit traffic: sampled probes see a 100% rate and re-arm.
+        let warm: Vec<u32> = (0..(GATE_REARM_WINDOW * GATE_SAMPLE) as u32 + 64)
+            .map(|i| 0x0A01_0000 | ((i & 31) << 8) | (i & 0xFF))
+            .collect();
+        let mut out = vec![None; warm.len()];
+        hot.lookup_batch(&warm, &mut out);
+        assert!(!hot.gate_bypassed(), "100% hit rate must re-arm the probe");
+        for &addr in warm.iter().take(256) {
+            assert_eq!(hot.lookup(addr), hot.inner().lookup(addr));
+        }
+    }
+
+    #[test]
+    fn gate_scalar_path_bypasses_and_stays_correct() {
+        let hot = gated_fib();
+        let trie = sample_trie();
+        // Scalar cold lookups flip the gate too (batch and scalar share
+        // the same window counters).
+        for i in 0..(GATE_WINDOW + 128) {
+            let addr = 0xC000_0000u32 | (i as u32).wrapping_mul(0x85EB_CA6B) >> 8;
+            assert_eq!(hot.lookup(addr), trie.lookup(addr));
+        }
+        assert!(hot.gate_bypassed());
+        // While bypassed, every answer still matches the oracle — both
+        // sampled-probe and straight-through lookups.
+        for i in 0..4096u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            assert_eq!(hot.lookup(addr), trie.lookup(addr), "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn gate_clone_resets_counters_keeps_threshold() {
+        let hot = gated_fib();
+        let cold: Vec<u32> = (0..GATE_WINDOW as u32 + 64)
+            .map(|i| 0xC000_0000 | i.wrapping_mul(0x9E37_79B9) >> 8)
+            .collect();
+        let mut out = vec![None; cold.len()];
+        hot.lookup_batch(&cold, &mut out);
+        assert!(hot.gate_bypassed());
+        let cloned = hot.clone();
+        assert!(!cloned.gate_bypassed(), "clone starts probing");
+        assert_eq!(cloned.gate_threshold_millis(), hot.gate_threshold_millis());
     }
 
     #[test]

@@ -87,6 +87,21 @@ pub mod sections {
     /// Optional traffic-aware hot slab (any engine): meta block + slot
     /// words, see [`crate::hot::HotSlab::write_words`].
     pub const HOT_SLAB: u32 = 0x60;
+    /// Multi-tenant VRF directory: `[table_count]` then 4 words per VRF
+    /// (`id | engine << 32`, root-or-section-base, route count, reachable
+    /// node count). See [`crate::vrf`].
+    pub const VRF_DIR: u32 = 0x70;
+    /// The shared hash-consed VRF arena: packed pDAG node records
+    /// (identical format to [`PDAG_NODES`]), one arena serving every
+    /// shared-placement table through its own root.
+    pub const VRF_PDAG: u32 = 0x71;
+    /// Base id for per-VRF dedicated-engine sections: table at directory
+    /// index `i` owns ids `VRF_TABLE_BASE + i·VRF_TABLE_STRIDE ..+ STRIDE`
+    /// (slot 0 = params, slots 1.. = the engine's payload sections in
+    /// their canonical order).
+    pub const VRF_TABLE_BASE: u32 = 0x1000;
+    /// Section-id stride per VRF table (see [`VRF_TABLE_BASE`]).
+    pub const VRF_TABLE_STRIDE: u32 = 8;
 }
 
 const BLOCK_WORDS: usize = 8;
@@ -105,6 +120,9 @@ pub enum EngineKind {
     MultibitDag = 4,
     /// Level-compressed trie.
     LcTrie = 5,
+    /// Multi-tenant VRF set: one shared hash-consed pDAG arena plus
+    /// per-table dedicated engines, keyed by VRF id (see [`crate::vrf`]).
+    VrfSet = 6,
 }
 
 impl EngineKind {
@@ -117,6 +135,7 @@ impl EngineKind {
             3 => Some(Self::SerializedDag),
             4 => Some(Self::MultibitDag),
             5 => Some(Self::LcTrie),
+            6 => Some(Self::VrfSet),
             _ => None,
         }
     }
@@ -130,6 +149,7 @@ impl EngineKind {
             Self::SerializedDag => "serialized",
             Self::MultibitDag => "multibit",
             Self::LcTrie => "lctrie",
+            Self::VrfSet => "vrfset",
         }
     }
 
@@ -142,6 +162,7 @@ impl EngineKind {
             "serialized" => Some(Self::SerializedDag),
             "multibit" => Some(Self::MultibitDag),
             "lctrie" => Some(Self::LcTrie),
+            "vrfset" => Some(Self::VrfSet),
             _ => None,
         }
     }
@@ -461,7 +482,7 @@ impl FibImage {
     }
 
     /// Validates the header against the requested address type and engine.
-    fn expect<A: Address>(&self, engine: EngineKind) -> Result<(), ImageError> {
+    pub(crate) fn expect<A: Address>(&self, engine: EngineKind) -> Result<(), ImageError> {
         if self.family != family_of::<A>() {
             return Err(ImageError::FamilyMismatch {
                 image: self.family,
@@ -536,6 +557,16 @@ impl ImageWriter {
             self.payload.push(0);
         }
         self.entries.push((id, start, len));
+    }
+
+    /// Re-emits every section of `sub` into this writer with ids passed
+    /// through `map` — how the VRF compiler nests a dedicated per-table
+    /// engine's sections (written by its ordinary [`ImageCodec`]) under
+    /// that table's private id block without the codec knowing.
+    pub fn import_remapped(&mut self, sub: ImageWriter, map: impl Fn(u32) -> u32) {
+        for (id, start, len) in sub.entries {
+            self.section(map(id), &sub.payload[start..start + len]);
+        }
     }
 
     /// Appends the routes section (3 words per route).
@@ -1114,6 +1145,11 @@ pub fn any_view<A: Address>(image: &FibImage) -> Result<AnyView<'_, A>, ImageErr
             AnyView::MultibitDag(<MultibitDag<A> as ImageCodec<A>>::view(image)?)
         }
         EngineKind::LcTrie => AnyView::LcTrie(<LcTrie<A> as ImageCodec<A>>::view(image)?),
+        EngineKind::VrfSet => {
+            return Err(ImageError::Unsupported(
+                "vrfset images are VRF-keyed; assemble a crate::vrf::VrfSetRef instead",
+            ))
+        }
     })
 }
 

@@ -39,6 +39,7 @@ mod multibit;
 mod pdag;
 mod serialized;
 mod strmodel;
+pub mod vrf;
 mod xbw;
 
 pub use engine::{BuildConfig, FibBuild, FibEngine, FibLookup, FibUpdate, RebuildNeeded};
@@ -54,6 +55,11 @@ pub use multibit::{MultibitDag, MultibitDagRef, MB_BATCH_LANES};
 pub use pdag::{DagStats, PrefixDag, PrefixDagRef};
 pub use serialized::{SerializedDag, SerializedDagRef, SER_BATCH_LANES};
 pub use strmodel::FoldedString;
+pub use vrf::{
+    compile_vrf_set, vrf_section_base, write_vrf_image, CompiledVrf, CompiledVrfSet, CostModel,
+    VrfEngineChoice, VrfEngineRef, VrfPolicy, VrfSetRef, VrfSetStats, VrfTable, VrfTableRef,
+    VRF_DIR_RECORD_WORDS,
+};
 pub use xbw::{
     SaStorage, SiStorage, XbwFib, XbwFibRef, XbwSizeReport, XbwStorage, XBW_BATCH_LANES,
 };

@@ -107,6 +107,7 @@ pub fn lint_image(image: &FibImage) -> Vec<LintIssue> {
     match image.engine() {
         Ok(EngineKind::PrefixDag) => pdag_pass(image, &mut issues),
         Ok(EngineKind::Xbw) => xbw_pass(image, &mut issues),
+        Ok(EngineKind::VrfSet) => vrf_pass(image, &mut issues),
         // serialized / multibit / lctrie structure is fully covered by
         // their validating views, exercised in view_pass below.
         Ok(_) | Err(_) => {}
@@ -511,12 +512,183 @@ fn wavelet_pass(words: &[u64], issues: &mut Vec<LintIssue>) -> Option<usize> {
 }
 
 // ---------------------------------------------------------------------
+// VRF set: directory hygiene, shared-arena shape, dedicated sections
+// ---------------------------------------------------------------------
+
+/// Deep pass over a [`EngineKind::VrfSet`] image. Re-derives the
+/// directory and shared-arena invariants from the raw words —
+/// independently of [`crate::vrf::VrfSetRef`]'s own load validation —
+/// then assembles the validating set view per family so every dedicated
+/// engine's structure gets its usual load-path scrutiny too.
+fn vrf_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
+    let Ok(dir) = image.section(sections::VRF_DIR) else {
+        issues.push(issue(
+            "vrf-dir-malformed",
+            "vrfset image lacks a VRF_DIR section",
+        ));
+        return;
+    };
+    let Ok(arena) = image.section(sections::VRF_PDAG) else {
+        issues.push(issue(
+            "vrf-dir-malformed",
+            "vrfset image lacks the shared VRF_PDAG arena",
+        ));
+        return;
+    };
+    let Some(&count) = dir.first() else {
+        issues.push(issue("vrf-dir-malformed", "directory has no count word"));
+        return;
+    };
+    let count = count as usize;
+    if dir.len() != 1 + count * crate::vrf::VRF_DIR_RECORD_WORDS {
+        issues.push(issue(
+            "vrf-dir-malformed",
+            format!(
+                "directory is {} words; {count} tables need {}",
+                dir.len(),
+                1 + count * crate::vrf::VRF_DIR_RECORD_WORDS
+            ),
+        ));
+        return;
+    }
+    if arena.len() % 2 != 0 {
+        issues.push(issue(
+            "vrf-arena-malformed",
+            "shared arena has an odd word count",
+        ));
+        return;
+    }
+    let n_nodes = arena.len() / 2;
+    let mut out_of_range = 0usize;
+    for node in arena.chunks_exact(2) {
+        for child in [node[0] as u32, (node[0] >> 32) as u32] {
+            if child != PDAG_NONE && child as usize >= n_nodes {
+                out_of_range += 1;
+            }
+        }
+    }
+    if out_of_range > 0 {
+        issues.push(issue(
+            "vrf-arena-malformed",
+            format!("{out_of_range} arena child reference(s) point past the {n_nodes} nodes"),
+        ));
+    }
+    let mut prev_id: Option<u32> = None;
+    let mut route_sum = 0u64;
+    for (index, record) in dir[1..]
+        .chunks_exact(crate::vrf::VRF_DIR_RECORD_WORDS)
+        .enumerate()
+    {
+        let id = record[0] as u32;
+        if prev_id.is_some_and(|p| p >= id) {
+            issues.push(issue(
+                "vrf-dir-malformed",
+                format!("table {index}: id {id} does not strictly ascend"),
+            ));
+        }
+        prev_id = Some(id);
+        route_sum += record[2];
+        let choice = u8::try_from(record[0] >> 32)
+            .ok()
+            .and_then(crate::vrf::VrfEngineChoice::from_u8);
+        let Some(choice) = choice else {
+            issues.push(issue(
+                "vrf-dir-malformed",
+                format!(
+                    "table {index} (vrf {id}): unknown engine choice {:#x}",
+                    record[0] >> 32
+                ),
+            ));
+            continue;
+        };
+        match choice {
+            crate::vrf::VrfEngineChoice::Shared => {
+                let root = record[1] as u32;
+                if root != PDAG_NONE && root as usize >= n_nodes {
+                    issues.push(issue(
+                        "vrf-root-out-of-range",
+                        format!(
+                            "table {index} (vrf {id}): root {root} with only {n_nodes} arena nodes"
+                        ),
+                    ));
+                }
+                if record[3] > n_nodes as u64 {
+                    issues.push(issue(
+                        "vrf-dir-malformed",
+                        format!(
+                            "table {index} (vrf {id}): claims {} reachable nodes of {n_nodes}",
+                            record[3]
+                        ),
+                    ));
+                }
+            }
+            crate::vrf::VrfEngineChoice::Serialized | crate::vrf::VrfEngineChoice::Xbw => {
+                let base = crate::vrf::vrf_section_base(index);
+                let slots = if choice == crate::vrf::VrfEngineChoice::Serialized {
+                    3
+                } else {
+                    4
+                };
+                for slot in 0..slots {
+                    if image.section(base + slot).is_err() {
+                        issues.push(issue(
+                            "vrf-dangling-section",
+                            format!(
+                                "table {index} (vrf {id}, {}): section {:#x} missing",
+                                choice.name(),
+                                base + slot
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if route_sum != image.route_count() {
+        issues.push(issue(
+            "route-count-mismatch",
+            format!(
+                "header claims {} routes, directory tables sum to {route_sum}",
+                image.route_count()
+            ),
+        ));
+    }
+    if !issues.is_empty() {
+        return; // view assembly below would only repeat the findings
+    }
+    // Validating view assembly + the size-claim drift check the plain
+    // engines get from view_pass.
+    let view_size = match image.family() {
+        4 => crate::vrf::VrfSetRef::<u32>::from_image(image).map(|v| v.stats().resident_bytes()),
+        _ => crate::vrf::VrfSetRef::<u128>::from_image(image).map(|v| v.stats().resident_bytes()),
+    };
+    match view_size {
+        Err(e) => issues.push(issue("view-malformed", e.to_string())),
+        Ok(resident) => {
+            let claimed = image.claimed_size_bytes();
+            let drift = claimed.abs_diff(resident);
+            if drift > resident / 2 + 1024 {
+                issues.push(issue(
+                    "size-claim-drift",
+                    format!(
+                        "header claims {claimed} resident bytes, the set view accounts {resident}"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // View assembly + size-claim drift
 // ---------------------------------------------------------------------
 
 fn view_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
     if image.engine().is_err() || !matches!(image.family(), 4 | 6) {
         return; // already reported; a view cannot be built
+    }
+    if image.engine() == Ok(EngineKind::VrfSet) {
+        return; // VRF-keyed; vrf_pass assembles and sizes the set view
     }
     let view_size = match image.family() {
         4 => match any_view::<u32>(image) {
@@ -715,5 +887,83 @@ mod tests {
     fn issue_renders_code_colon_detail() {
         let i = issue("some-code", "what happened");
         assert_eq!(i.to_string(), "some-code: what happened");
+    }
+
+    #[test]
+    fn vrf_images_lint_clean_and_catch_bad_roots() {
+        use crate::vrf::{compile_vrf_set, write_vrf_image, VrfPolicy, VrfTable};
+        let t1 = small_fib();
+        let mut t2 = small_fib();
+        t2.insert(Prefix::new(0x0B00_0000, 8), NextHop::new(1));
+        let tables = [VrfTable { id: 1, trie: &t1 }, VrfTable { id: 2, trie: &t2 }];
+        let set = compile_vrf_set(&tables, &BuildConfig::default(), &VrfPolicy::Shared);
+        let good = write_vrf_image(&set, 5).unwrap();
+        assert_eq!(lint_bytes(&good), Vec::new());
+
+        // Point table 1's root past the arena.
+        let image = FibImage::from_bytes(&good).unwrap();
+        let entry = image
+            .section_table()
+            .iter()
+            .find(|e| e.id == sections::VRF_DIR)
+            .copied()
+            .unwrap();
+        let root_word = (entry.offset + 1 + crate::vrf::VRF_DIR_RECORD_WORDS + 1) * 8;
+        let mut bad = good.clone();
+        bad[root_word..root_word + 8].copy_from_slice(&0xFFFF_FFF0u64.to_le_bytes());
+        let issues = lint_bytes(&repair_checksum(bad));
+        assert!(
+            issues.iter().any(|i| i.code == "vrf-root-out-of-range"),
+            "{issues:?}"
+        );
+
+        // Shrink the directory's count word: length no longer matches.
+        let mut bad = good;
+        let count_word = entry.offset * 8;
+        bad[count_word..count_word + 8].copy_from_slice(&7u64.to_le_bytes());
+        let issues = lint_bytes(&repair_checksum(bad));
+        assert!(
+            issues.iter().any(|i| i.code == "vrf-dir-malformed"),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn vrf_dangling_dedicated_section_is_detected() {
+        use crate::vrf::{compile_vrf_set, vrf_section_base, write_vrf_image, VrfPolicy, VrfTable};
+        let t1 = small_fib();
+        let t2 = small_fib();
+        let tables = [VrfTable { id: 1, trie: &t1 }, VrfTable { id: 2, trie: &t2 }];
+        // An extreme weight forces table 0 onto a dedicated engine.
+        let set = compile_vrf_set(
+            &tables,
+            &BuildConfig::default(),
+            &VrfPolicy::Auto {
+                weights: vec![0.99, 0.01],
+            },
+        );
+        assert!(
+            set.tables[0].choice != crate::vrf::VrfEngineChoice::Shared,
+            "weight 0.99 must place table 0 off the shared arena"
+        );
+        let good = write_vrf_image(&set, 0).unwrap();
+        assert_eq!(lint_bytes(&good), Vec::new());
+
+        // Rename the dedicated params section in the section table: the
+        // directory now references a section that is not there.
+        let image = FibImage::from_bytes(&good).unwrap();
+        let table_pos = image
+            .section_table()
+            .iter()
+            .position(|e| e.id == vrf_section_base(0))
+            .unwrap();
+        let id_word = (8 + table_pos * 2) * 8;
+        let mut bad = good;
+        bad[id_word..id_word + 8].copy_from_slice(&0x0FFFu64.to_le_bytes());
+        let issues = lint_bytes(&repair_checksum(bad));
+        assert!(
+            issues.iter().any(|i| i.code == "vrf-dangling-section"),
+            "{issues:?}"
+        );
     }
 }

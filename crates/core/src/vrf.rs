@@ -1,0 +1,1042 @@
+//! Multi-tenant VRF compilation: many logical forwarding tables folded
+//! into **one shared, hash-consed prefix-DAG arena**, with a measured
+//! cost model placing each table on the engine that serves it best.
+//!
+//! Production routers hold thousands of VRFs whose FIBs share most of
+//! their structure. The paper's trie-folding merges identical subtrees
+//! *within* one table; the "Memory size bounds of prefix DAGs" analysis
+//! shows the same argument applies *across* tables — a shared subtree
+//! collapses to one node regardless of which table points at it. The
+//! compiler here exploits exactly that:
+//!
+//! 1. Every table is folded by the ordinary [`PrefixDag`] compiler
+//!    (leaf-pushing below the λ barrier, within-table interning) and
+//!    packed by its `write_packed` compacting BFS.
+//! 2. A **cross-table canonical interner** re-keys every packed node on
+//!    `(left, right, label)` identity, post-order, so structurally
+//!    identical subtrees from *different* tables land on one arena slot.
+//! 3. A multi-root BFS (the `write_packed` remap, extended to one queue
+//!    seeded with every table's root) packs the interned nodes into a
+//!    single word arena in the exact two-word [`PrefixDagRef`] record
+//!    format — each VRF is served zero-copy by a `PrefixDagRef` with its
+//!    own root over the shared words.
+//!
+//! Not every table belongs in the shared arena. The [`CostModel`] —
+//! fitted from BENCH_lookup's measured size/speed points plus live
+//! traffic weight from the `HeatSketch` — places each table on one of
+//! three engines: the shared arena (charged only its *marginal* unique
+//! bytes), a dedicated [`SerializedDag`] (fastest, ~8 ns), or a
+//! dedicated entropy-mode [`XbwFib`] (smallest, ~1.3 bits/route). Hot
+//! tables land on pdag-serialized, cold tables on xbw-entropy,
+//! high-overlap tables stay shared.
+//!
+//! The whole set ships as one `fibimage/v1` file: a [`sections::VRF_DIR`]
+//! directory, the shared [`sections::VRF_PDAG`] arena, and per-table
+//! dedicated-engine sections in private id blocks. [`VrfSetRef`]
+//! reassembles the zero-copy per-VRF views from a loaded image.
+
+use std::collections::HashMap;
+
+use fib_trie::{Address, BinaryTrie, NextHop};
+
+use crate::engine::{BuildConfig, FibBuild, FibLookup};
+use crate::image::{sections, EngineKind, FibImage, ImageError, ImageWriter};
+use crate::pdag::{PrefixDag, PrefixDagRef};
+use crate::serialized::{SerializedDag, SerializedDagRef};
+use crate::xbw::{XbwFib, XbwFibRef, XbwStorage};
+
+const NONE: u32 = u32::MAX;
+
+/// Words per [`sections::VRF_DIR`] table record (after the count word).
+pub const VRF_DIR_RECORD_WORDS: usize = 6;
+
+/// The engine a VRF table is placed on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum VrfEngineChoice {
+    /// A root pointer into the shared hash-consed pDAG arena.
+    Shared = 0,
+    /// A dedicated λ-collapsed serialized DAG (fastest lookups).
+    Serialized = 1,
+    /// A dedicated entropy-mode XBW-b (smallest footprint).
+    Xbw = 2,
+}
+
+impl VrfEngineChoice {
+    /// Decodes the directory byte.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Self::Shared),
+            1 => Some(Self::Serialized),
+            2 => Some(Self::Xbw),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name (reports, `fibc inspect`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Shared => "shared-pdag",
+            Self::Serialized => "serialized",
+            Self::Xbw => "xbw-entropy",
+        }
+    }
+}
+
+/// Measured size/speed cost model for per-VRF engine placement.
+///
+/// Latency and density defaults are the committed BENCH_lookup.json
+/// points (taz, uniform keys, scalar lookups): pdag-serialized 8.1 ns at
+/// 11.49 bits/route, xbw-entropy 659.4 ns at 1.34 bits/route, the shared
+/// pDAG walk 38.2 ns with its bytes charged as the *marginal* unique
+/// arena bytes the table adds. Placement minimizes
+/// `traffic_weight · ns + byte_rent · bytes`.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Measured ns/lookup of a dedicated serialized DAG.
+    pub serialized_ns: f64,
+    /// Measured density of a dedicated serialized DAG, bits per route.
+    pub serialized_bits_per_route: f64,
+    /// Measured ns/lookup of a dedicated entropy-mode XBW-b.
+    pub xbw_ns: f64,
+    /// Measured density of entropy-mode XBW-b, bits per route.
+    pub xbw_bits_per_route: f64,
+    /// Measured ns/lookup of the shared packed pDAG walk.
+    pub shared_ns: f64,
+    /// Memory rent: the cost of one resident byte, in the same units as
+    /// one expected nanosecond of lookup latency.
+    pub byte_rent: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            serialized_ns: 8.1,
+            serialized_bits_per_route: 11.49,
+            xbw_ns: 659.4,
+            xbw_bits_per_route: 1.34,
+            shared_ns: 38.2,
+            byte_rent: 1e-4,
+        }
+    }
+}
+
+impl CostModel {
+    /// The placement cost of `choice` for a table with `routes` routes,
+    /// `marginal_shared_bytes` of arena bytes unique to it, and a
+    /// normalized traffic weight in `[0, 1]`.
+    #[must_use]
+    pub fn cost(
+        &self,
+        choice: VrfEngineChoice,
+        routes: u64,
+        marginal_shared_bytes: u64,
+        traffic_weight: f64,
+    ) -> f64 {
+        let (ns, bytes) = match choice {
+            VrfEngineChoice::Shared => (self.shared_ns, marginal_shared_bytes as f64),
+            VrfEngineChoice::Serialized => (
+                self.serialized_ns,
+                routes as f64 * self.serialized_bits_per_route / 8.0,
+            ),
+            VrfEngineChoice::Xbw => (self.xbw_ns, routes as f64 * self.xbw_bits_per_route / 8.0),
+        };
+        traffic_weight * ns + self.byte_rent * bytes
+    }
+
+    /// Picks the cheapest engine for one table. Hot tables (large
+    /// `traffic_weight`) land on serialized, cold low-overlap tables on
+    /// xbw-entropy, high-overlap tables on the shared arena.
+    #[must_use]
+    pub fn place(
+        &self,
+        routes: u64,
+        marginal_shared_bytes: u64,
+        traffic_weight: f64,
+    ) -> VrfEngineChoice {
+        let mut best = VrfEngineChoice::Shared;
+        let mut best_cost = self.cost(best, routes, marginal_shared_bytes, traffic_weight);
+        for choice in [VrfEngineChoice::Serialized, VrfEngineChoice::Xbw] {
+            let c = self.cost(choice, routes, marginal_shared_bytes, traffic_weight);
+            if c < best_cost {
+                best = choice;
+                best_cost = c;
+            }
+        }
+        best
+    }
+}
+
+/// Placement policy for [`compile_vrf_set`].
+#[derive(Clone, Debug)]
+pub enum VrfPolicy {
+    /// Every table on the shared arena — the pure-dedup configuration the
+    /// memory benchmarks measure.
+    Shared,
+    /// Cost-model placement. `weights` are per-table traffic weights
+    /// parallel to the input tables (normalized internally; empty means
+    /// uniform).
+    Auto {
+        /// Per-table traffic weights (e.g. live `HeatSketch` mass).
+        weights: Vec<f64>,
+    },
+}
+
+/// One logical table handed to the compiler.
+pub struct VrfTable<'t, A: Address> {
+    /// VRF id (unique within the set).
+    pub id: u32,
+    /// The table's control FIB.
+    pub trie: &'t BinaryTrie<A>,
+}
+
+/// Aggregate dedup statistics of a compiled set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VrfSetStats {
+    /// Logical tables in the set.
+    pub tables: usize,
+    /// Tables placed on the shared arena.
+    pub shared_tables: usize,
+    /// Σ over shared tables of nodes reachable from their roots — what
+    /// independent canonical compiles would have stored.
+    pub total_nodes: u64,
+    /// Unique nodes in the shared arena after cross-table interning.
+    pub unique_nodes: u64,
+    /// Shared arena footprint (16 bytes per unique node).
+    pub arena_bytes: u64,
+    /// Dedicated per-table engine footprints, summed.
+    pub dedicated_bytes: u64,
+    /// Σ over *all* tables of their standalone packed-pDAG image bytes —
+    /// the independent-compilation baseline.
+    pub independent_bytes: u64,
+}
+
+impl VrfSetStats {
+    /// `total_nodes / unique_nodes`: how many tables each arena node
+    /// serves on average (1.0 = no cross-table sharing).
+    #[must_use]
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.unique_nodes == 0 {
+            1.0
+        } else {
+            self.total_nodes as f64 / self.unique_nodes as f64
+        }
+    }
+
+    /// Resident bytes of the whole set (arena + dedicated engines).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.arena_bytes + self.dedicated_bytes
+    }
+
+    /// Bytes saved versus compiling every table independently.
+    #[must_use]
+    pub fn bytes_saved(&self) -> u64 {
+        self.independent_bytes.saturating_sub(self.resident_bytes())
+    }
+}
+
+/// One compiled table of a [`CompiledVrfSet`].
+pub struct CompiledVrf<A: Address> {
+    /// VRF id.
+    pub id: u32,
+    /// Engine placement.
+    pub choice: VrfEngineChoice,
+    /// Root index into the shared arena ([`VrfEngineChoice::Shared`]
+    /// only; `u32::MAX` otherwise, or for an empty table).
+    pub root: u32,
+    /// Routes in the table.
+    pub routes: u64,
+    /// Nodes reachable from `root` in the shared arena (0 for dedicated
+    /// placements).
+    pub reachable_nodes: u64,
+    /// This table's standalone packed-pDAG node count — the
+    /// independent-compilation baseline recorded in the directory.
+    pub solo_nodes: u64,
+    /// The dedicated engine, when placed off the shared arena.
+    pub serialized: Option<SerializedDag<A>>,
+    /// The dedicated engine, when placed off the shared arena.
+    pub xbw: Option<XbwFib<A>>,
+}
+
+/// A compiled multi-tenant set: the shared arena, per-table roots and
+/// dedicated engines, and dedup statistics.
+pub struct CompiledVrfSet<A: Address> {
+    /// The shared hash-consed arena, two packed words per node (the
+    /// [`PrefixDagRef`] record format).
+    pub arena: Vec<u64>,
+    /// Per-table results, sorted by VRF id.
+    pub tables: Vec<CompiledVrf<A>>,
+    /// Aggregate dedup statistics.
+    pub stats: VrfSetStats,
+}
+
+impl<A: Address> CompiledVrfSet<A> {
+    /// The compiled table for `vrf`, if present.
+    #[must_use]
+    pub fn table(&self, vrf: u32) -> Option<&CompiledVrf<A>> {
+        let i = self.tables.binary_search_by_key(&vrf, |t| t.id).ok()?;
+        self.tables.get(i)
+    }
+
+    /// VRF-keyed longest-prefix match against the compiled set.
+    #[must_use]
+    pub fn lookup(&self, vrf: u32, addr: A) -> Option<NextHop> {
+        let table = self.table(vrf)?;
+        match table.choice {
+            VrfEngineChoice::Shared => {
+                PrefixDagRef::<A>::from_parts_trusted(&self.arena, table.root)
+                    .ok()?
+                    .lookup(addr)
+            }
+            VrfEngineChoice::Serialized => table.serialized.as_ref()?.lookup(addr),
+            VrfEngineChoice::Xbw => table.xbw.as_ref()?.lookup(addr),
+        }
+    }
+}
+
+/// Cross-table canonical interner: one slot per distinct
+/// `(left, right, label)` triple, in first-interned order.
+struct ArenaInterner {
+    map: HashMap<(u32, u32, u32), u32>,
+    nodes: Vec<(u32, u32, u32)>,
+}
+
+impl ArenaInterner {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, left: u32, right: u32, label: u32) -> u32 {
+        if let Some(&id) = self.map.get(&(left, right, label)) {
+            return id;
+        }
+        let id = self.nodes.len() as u32;
+        self.map.insert((left, right, label), id);
+        self.nodes.push((left, right, label));
+        id
+    }
+
+    /// Interns every node of one table's packed pDAG, post-order, and
+    /// returns the table's canonical root. `memo` maps the table's local
+    /// node indices to canonical ids. Recursion depth is bounded by the
+    /// address width (packed pDAGs are depth-bounded DAGs).
+    fn intern_packed(&mut self, words: &[u64], root: u32) -> u32 {
+        if root == NONE {
+            return NONE;
+        }
+        let n = words.len() / 2;
+        let mut memo = vec![NONE; n];
+        self.intern_packed_at(words, root, &mut memo)
+    }
+
+    fn intern_packed_at(&mut self, words: &[u64], idx: u32, memo: &mut [u32]) -> u32 {
+        if memo[idx as usize] != NONE {
+            return memo[idx as usize];
+        }
+        let children = words[2 * idx as usize];
+        let label = words[2 * idx as usize + 1] as u32;
+        let (l, r) = (children as u32, (children >> 32) as u32);
+        let cl = if l == NONE {
+            NONE
+        } else {
+            self.intern_packed_at(words, l, memo)
+        };
+        let cr = if r == NONE {
+            NONE
+        } else {
+            self.intern_packed_at(words, r, memo)
+        };
+        let id = self.intern(cl, cr, label);
+        memo[idx as usize] = id;
+        id
+    }
+}
+
+/// Multi-root compacting BFS over the interner's nodes — `write_packed`'s
+/// remap extended to one queue seeded with every table's root. Returns
+/// the arena words (two per node) and each root remapped.
+fn pack_arena(nodes: &[(u32, u32, u32)], roots: &[u32]) -> (Vec<u64>, Vec<u32>) {
+    let mut remap = vec![NONE; nodes.len()];
+    let mut order: Vec<u32> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &root in roots {
+        if root != NONE && remap[root as usize] == NONE {
+            remap[root as usize] = order.len() as u32;
+            order.push(root);
+            queue.push_back(root);
+        }
+    }
+    while let Some(idx) = queue.pop_front() {
+        let (l, r, _) = nodes[idx as usize];
+        for child in [l, r] {
+            if child != NONE && remap[child as usize] == NONE {
+                remap[child as usize] = order.len() as u32;
+                order.push(child);
+                queue.push_back(child);
+            }
+        }
+    }
+    let mut words = Vec::with_capacity(order.len() * 2);
+    for &idx in &order {
+        let (l, r, label) = nodes[idx as usize];
+        let ml = if l == NONE { NONE } else { remap[l as usize] };
+        let mr = if r == NONE { NONE } else { remap[r as usize] };
+        words.push(u64::from(ml) | (u64::from(mr) << 32));
+        words.push(u64::from(label));
+    }
+    let packed_roots = roots
+        .iter()
+        .map(|&r| if r == NONE { NONE } else { remap[r as usize] })
+        .collect();
+    (words, packed_roots)
+}
+
+/// Nodes reachable from `root` over packed arena words.
+fn reachable_count(words: &[u64], root: u32) -> u64 {
+    if root == NONE {
+        return 0;
+    }
+    let n = words.len() / 2;
+    let mut seen = vec![false; n];
+    let mut stack = vec![root];
+    seen[root as usize] = true;
+    let mut count = 0u64;
+    while let Some(idx) = stack.pop() {
+        count += 1;
+        let children = words[2 * idx as usize];
+        for child in [children as u32, (children >> 32) as u32] {
+            if child != NONE && !seen[child as usize] {
+                seen[child as usize] = true;
+                stack.push(child);
+            }
+        }
+    }
+    count
+}
+
+/// Compiles `tables` into one shared arena plus dedicated engines per the
+/// placement policy. Tables are sorted by id in the result; ids must be
+/// unique.
+///
+/// # Panics
+/// Panics if two tables share an id, or if `VrfPolicy::Auto` weights are
+/// non-empty with a length different from `tables`.
+#[must_use]
+pub fn compile_vrf_set<A: Address>(
+    tables: &[VrfTable<'_, A>],
+    config: &BuildConfig,
+    policy: &VrfPolicy,
+) -> CompiledVrfSet<A> {
+    // Pair each table with its traffic weight, then sort by id.
+    let weights: Vec<f64> = match policy {
+        VrfPolicy::Shared => vec![0.0; tables.len()],
+        VrfPolicy::Auto { weights } if weights.is_empty() => {
+            vec![1.0 / tables.len().max(1) as f64; tables.len()]
+        }
+        VrfPolicy::Auto { weights } => {
+            assert_eq!(weights.len(), tables.len(), "one weight per table");
+            let total: f64 = weights.iter().sum();
+            if total > 0.0 {
+                weights.iter().map(|w| w / total).collect()
+            } else {
+                vec![1.0 / tables.len().max(1) as f64; tables.len()]
+            }
+        }
+    };
+    let mut indexed: Vec<(usize, &VrfTable<'_, A>)> = tables.iter().enumerate().collect();
+    indexed.sort_by_key(|(_, t)| t.id);
+    for pair in indexed.windows(2) {
+        assert!(
+            pair[0].1.id != pair[1].1.id,
+            "duplicate VRF id {}",
+            pair[0].1.id
+        );
+    }
+
+    // Fold and pack every table with the ordinary single-table compiler.
+    let packed: Vec<(Vec<u64>, u32)> = indexed
+        .iter()
+        .map(|(_, t)| PrefixDag::build(t.trie, config).write_packed())
+        .collect();
+
+    // Pass 1: trial cross-table interning in id order, recording each
+    // table's marginal node contribution for the cost model.
+    let mut trial = ArenaInterner::new();
+    let marginal_nodes: Vec<u64> = packed
+        .iter()
+        .map(|(words, root)| {
+            let before = trial.nodes.len();
+            trial.intern_packed(words, *root);
+            (trial.nodes.len() - before) as u64
+        })
+        .collect();
+
+    // Placement.
+    let model = CostModel::default();
+    let choices: Vec<VrfEngineChoice> = match policy {
+        VrfPolicy::Shared => vec![VrfEngineChoice::Shared; indexed.len()],
+        VrfPolicy::Auto { .. } => indexed
+            .iter()
+            .enumerate()
+            .map(|(pos, (orig, t))| {
+                model.place(
+                    t.trie.len() as u64,
+                    marginal_nodes[pos] * 16,
+                    weights[*orig],
+                )
+            })
+            .collect(),
+    };
+
+    // Pass 2: final interning over shared-placement tables only.
+    let mut interner = ArenaInterner::new();
+    let canon_roots: Vec<u32> = packed
+        .iter()
+        .zip(&choices)
+        .map(|((words, root), choice)| match choice {
+            VrfEngineChoice::Shared => interner.intern_packed(words, *root),
+            _ => NONE,
+        })
+        .collect();
+    let (arena, packed_roots) = pack_arena(&interner.nodes, &canon_roots);
+
+    // Assemble per-table results and statistics.
+    let mut stats = VrfSetStats {
+        tables: indexed.len(),
+        unique_nodes: (arena.len() / 2) as u64,
+        arena_bytes: arena.len() as u64 * 8,
+        ..VrfSetStats::default()
+    };
+    let mut out_tables = Vec::with_capacity(indexed.len());
+    for (pos, (_, t)) in indexed.iter().enumerate() {
+        let choice = choices[pos];
+        let solo_nodes = (packed[pos].0.len() / 2) as u64;
+        stats.independent_bytes += solo_nodes * 16;
+        let (root, reachable, serialized, xbw) = match choice {
+            VrfEngineChoice::Shared => {
+                let root = packed_roots[pos];
+                let reachable = reachable_count(&arena, root);
+                stats.shared_tables += 1;
+                stats.total_nodes += reachable;
+                (root, reachable, None, None)
+            }
+            VrfEngineChoice::Serialized => {
+                let dag = SerializedDag::build(t.trie, config);
+                stats.dedicated_bytes += dag.size_bytes() as u64;
+                (NONE, 0, Some(dag), None)
+            }
+            VrfEngineChoice::Xbw => {
+                let fib = XbwFib::build(t.trie, XbwStorage::Entropy);
+                stats.dedicated_bytes += fib.size_bytes() as u64;
+                (NONE, 0, None, Some(fib))
+            }
+        };
+        out_tables.push(CompiledVrf {
+            id: t.id,
+            choice,
+            root,
+            routes: t.trie.len() as u64,
+            reachable_nodes: reachable,
+            solo_nodes,
+            serialized,
+            xbw,
+        });
+    }
+    CompiledVrfSet {
+        arena,
+        tables: out_tables,
+        stats,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Image encoding
+// ---------------------------------------------------------------------
+
+/// First section id of the table at directory index `index`.
+#[must_use]
+pub fn vrf_section_base(index: usize) -> u32 {
+    sections::VRF_TABLE_BASE + index as u32 * sections::VRF_TABLE_STRIDE
+}
+
+/// Slot offset of a canonical engine section id inside a table's private
+/// id block: params at 0, payload sections at 1.. in their codec order.
+fn vrf_section_slot(id: u32) -> u32 {
+    match id {
+        sections::PARAMS => 0,
+        sections::SER_ENTRIES | sections::XBW_SI => 1,
+        sections::SER_NODES | sections::XBW_SA => 2,
+        sections::XBW_LABELS => 3,
+        other => {
+            debug_assert!(false, "unexpected dedicated-engine section {other:#x}");
+            4
+        }
+    }
+}
+
+/// Serializes a compiled set into one `fibimage/v1` blob: `VRF_DIR`
+/// directory, shared `VRF_PDAG` arena, and the dedicated engines'
+/// sections remapped into per-table id blocks.
+///
+/// # Errors
+/// [`ImageError::Unsupported`] if a dedicated engine configuration has
+/// no image encoding.
+pub fn write_vrf_image<A: Address>(
+    set: &CompiledVrfSet<A>,
+    epoch: u64,
+) -> Result<Vec<u8>, ImageError> {
+    let route_count: u64 = set.tables.iter().map(|t| t.routes).sum();
+    let mut writer = ImageWriter::new::<A>(EngineKind::VrfSet, route_count, epoch);
+    writer.set_claimed_size_bytes(set.stats.resident_bytes());
+    writer.section(
+        sections::PARAMS,
+        &[
+            set.tables.len() as u64,
+            set.stats.unique_nodes,
+            set.stats.total_nodes,
+        ],
+    );
+    writer.section_with(sections::VRF_DIR, |out| {
+        out.push(set.tables.len() as u64);
+        for t in &set.tables {
+            out.push(u64::from(t.id) | (u64::from(t.choice as u8) << 32));
+            out.push(u64::from(t.root));
+            out.push(t.routes);
+            out.push(t.reachable_nodes);
+            out.push(t.solo_nodes);
+            out.push(0);
+        }
+    });
+    writer.section(sections::VRF_PDAG, &set.arena);
+    for (index, t) in set.tables.iter().enumerate() {
+        let base = vrf_section_base(index);
+        let mut sub = ImageWriter::new::<A>(EngineKind::VrfSet, t.routes, epoch);
+        match t.choice {
+            VrfEngineChoice::Shared => continue,
+            VrfEngineChoice::Serialized => {
+                let dag = t
+                    .serialized
+                    .as_ref()
+                    .ok_or(ImageError::Malformed("serialized placement without engine"))?;
+                crate::image::ImageCodec::<A>::write_sections(dag, &mut sub)?;
+            }
+            VrfEngineChoice::Xbw => {
+                let fib = t
+                    .xbw
+                    .as_ref()
+                    .ok_or(ImageError::Malformed("xbw placement without engine"))?;
+                crate::image::ImageCodec::<A>::write_sections(fib, &mut sub)?;
+            }
+        }
+        writer.import_remapped(sub, |id| base + vrf_section_slot(id));
+    }
+    Ok(writer.finish())
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy view
+// ---------------------------------------------------------------------
+
+/// The per-table zero-copy engine view inside a VRF image.
+#[derive(Clone, Copy, Debug)]
+pub enum VrfEngineRef<'a, A: Address> {
+    /// Root over the shared arena.
+    Shared(PrefixDagRef<'a, A>),
+    /// Dedicated serialized DAG.
+    Serialized(SerializedDagRef<'a, A>),
+    /// Dedicated entropy-mode XBW-b.
+    Xbw(XbwFibRef<'a, A>),
+}
+
+impl<A: Address> VrfEngineRef<'_, A> {
+    /// Longest-prefix match against this table.
+    #[must_use]
+    #[inline]
+    pub fn lookup(&self, addr: A) -> Option<NextHop> {
+        match self {
+            Self::Shared(v) => v.lookup(addr),
+            Self::Serialized(v) => v.lookup(addr),
+            Self::Xbw(v) => v.lookup(addr),
+        }
+    }
+
+    /// Placement of this table.
+    #[must_use]
+    pub fn choice(&self) -> VrfEngineChoice {
+        match self {
+            Self::Shared(_) => VrfEngineChoice::Shared,
+            Self::Serialized(_) => VrfEngineChoice::Serialized,
+            Self::Xbw(_) => VrfEngineChoice::Xbw,
+        }
+    }
+}
+
+/// One table of a [`VrfSetRef`].
+#[derive(Clone, Copy, Debug)]
+pub struct VrfTableRef<'a, A: Address> {
+    /// VRF id.
+    pub id: u32,
+    /// Routes recorded in the directory.
+    pub routes: u64,
+    /// Reachable shared-arena nodes recorded in the directory.
+    pub reachable_nodes: u64,
+    /// Standalone packed-pDAG node count recorded in the directory.
+    pub solo_nodes: u64,
+    /// The table's engine view.
+    pub engine: VrfEngineRef<'a, A>,
+}
+
+/// Zero-copy VRF-keyed view over a loaded [`EngineKind::VrfSet`] image.
+pub struct VrfSetRef<'a, A: Address> {
+    tables: Vec<VrfTableRef<'a, A>>,
+    unique_nodes: u64,
+}
+
+impl<'a, A: Address> VrfSetRef<'a, A> {
+    /// Assembles the view, validating the directory (ids strictly
+    /// ascending, roots in range, dedicated sections present) and the
+    /// shared arena's child references.
+    ///
+    /// # Errors
+    /// Any [`ImageError`]; hostile images fail loudly, never panic.
+    pub fn from_image(image: &'a FibImage) -> Result<Self, ImageError> {
+        image.expect::<A>(EngineKind::VrfSet)?;
+        let dir = image.section(sections::VRF_DIR)?;
+        let arena = image.section(sections::VRF_PDAG)?;
+        let count = *dir.first().ok_or(ImageError::Malformed("vrf dir empty"))? as usize;
+        if dir.len() != 1 + count * VRF_DIR_RECORD_WORDS {
+            return Err(ImageError::Malformed("vrf dir length"));
+        }
+        // One full child-range scan over the shared arena covers every
+        // shared table; per-table views are then assembled trusted.
+        PrefixDagRef::<A>::from_parts(arena, if arena.is_empty() { NONE } else { 0 })
+            .map_err(ImageError::Malformed)?;
+        let n_nodes = (arena.len() / 2) as u64;
+        let mut tables = Vec::with_capacity(count);
+        let mut prev_id: Option<u32> = None;
+        for (index, record) in dir[1..].chunks_exact(VRF_DIR_RECORD_WORDS).enumerate() {
+            let id = record[0] as u32;
+            if prev_id.is_some_and(|p| p >= id) {
+                return Err(ImageError::Malformed("vrf ids not strictly ascending"));
+            }
+            prev_id = Some(id);
+            let choice = u8::try_from(record[0] >> 32)
+                .ok()
+                .and_then(VrfEngineChoice::from_u8)
+                .ok_or(ImageError::Malformed("vrf engine choice"))?;
+            let root = record[1] as u32;
+            let engine = match choice {
+                VrfEngineChoice::Shared => {
+                    if root != NONE && u64::from(root) >= n_nodes {
+                        return Err(ImageError::Malformed("vrf root out of range"));
+                    }
+                    VrfEngineRef::Shared(
+                        PrefixDagRef::from_parts_trusted(arena, root)
+                            .map_err(ImageError::Malformed)?,
+                    )
+                }
+                VrfEngineChoice::Serialized => {
+                    let base = vrf_section_base(index);
+                    let params = image.section(base)?;
+                    let lambda =
+                        u8::try_from(*params.first().ok_or(ImageError::Malformed("vrf params"))?)
+                            .map_err(|_| ImageError::Malformed("λ out of range"))?;
+                    VrfEngineRef::Serialized(
+                        SerializedDagRef::from_parts(
+                            lambda,
+                            image.section(base + 1)?,
+                            image.section(base + 2)?,
+                        )
+                        .map_err(ImageError::Malformed)?,
+                    )
+                }
+                VrfEngineChoice::Xbw => {
+                    let base = vrf_section_base(index);
+                    let params = image.section(base)?;
+                    if params.len() < 2 {
+                        return Err(ImageError::Malformed("vrf params"));
+                    }
+                    VrfEngineRef::Xbw(XbwFibRef::from_parts(
+                        params[0],
+                        params[1],
+                        image.section(base + 1)?,
+                        image.section(base + 2)?,
+                        image.section(base + 3)?,
+                    )?)
+                }
+            };
+            tables.push(VrfTableRef {
+                id,
+                routes: record[2],
+                reachable_nodes: record[3],
+                solo_nodes: record[4],
+                engine,
+            });
+        }
+        Ok(Self {
+            tables,
+            unique_nodes: n_nodes,
+        })
+    }
+
+    /// Number of tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the set holds no tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// All tables, sorted by VRF id.
+    #[must_use]
+    pub fn tables(&self) -> &[VrfTableRef<'a, A>] {
+        &self.tables
+    }
+
+    /// The table for `vrf`, if present.
+    #[must_use]
+    #[inline]
+    pub fn table(&self, vrf: u32) -> Option<&VrfTableRef<'a, A>> {
+        let i = self.tables.binary_search_by_key(&vrf, |t| t.id).ok()?;
+        self.tables.get(i)
+    }
+
+    /// VRF-keyed longest-prefix match. Unknown VRFs answer `None` (no
+    /// table, no routes).
+    #[must_use]
+    #[inline]
+    pub fn lookup(&self, vrf: u32, addr: A) -> Option<NextHop> {
+        self.table(vrf)?.engine.lookup(addr)
+    }
+
+    /// Unique nodes in the shared arena.
+    #[must_use]
+    pub fn unique_nodes(&self) -> u64 {
+        self.unique_nodes
+    }
+
+    /// Recomputes aggregate dedup statistics from the directory.
+    #[must_use]
+    pub fn stats(&self) -> VrfSetStats {
+        let mut stats = VrfSetStats {
+            tables: self.tables.len(),
+            unique_nodes: self.unique_nodes,
+            arena_bytes: self.unique_nodes * 16,
+            ..VrfSetStats::default()
+        };
+        for t in &self.tables {
+            stats.independent_bytes += t.solo_nodes * 16;
+            match t.engine {
+                VrfEngineRef::Shared(_) => {
+                    stats.shared_tables += 1;
+                    stats.total_nodes += t.reachable_nodes;
+                }
+                VrfEngineRef::Serialized(v) => {
+                    stats.dedicated_bytes += FibLookup::<A>::size_bytes(&v) as u64;
+                }
+                VrfEngineRef::Xbw(v) => {
+                    stats.dedicated_bytes += FibLookup::<A>::size_bytes(&v) as u64;
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_trie::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    fn base_table() -> BinaryTrie<u32> {
+        let mut t = BinaryTrie::new();
+        t.insert(p("0.0.0.0/0"), nh(1));
+        t.insert(p("10.0.0.0/8"), nh(2));
+        t.insert(p("10.1.0.0/16"), nh(3));
+        t.insert(p("192.168.0.0/16"), nh(2));
+        t.insert(p("192.168.7.0/24"), nh(1));
+        t
+    }
+
+    #[test]
+    fn identical_tables_share_everything() {
+        let t = base_table();
+        let tables = [
+            VrfTable { id: 1, trie: &t },
+            VrfTable { id: 2, trie: &t },
+            VrfTable { id: 9, trie: &t },
+        ];
+        let set = compile_vrf_set(&tables, &BuildConfig::default(), &VrfPolicy::Shared);
+        assert_eq!(set.stats.tables, 3);
+        assert_eq!(
+            set.stats.unique_nodes, set.tables[0].reachable_nodes,
+            "3 identical tables intern to one table's worth of nodes"
+        );
+        assert!((set.stats.sharing_ratio() - 3.0).abs() < 1e-9);
+        // All three roots are literally the same arena index.
+        assert_eq!(set.tables[0].root, set.tables[1].root);
+        assert_eq!(set.tables[1].root, set.tables[2].root);
+    }
+
+    #[test]
+    fn compiled_set_matches_oracle() {
+        let t1 = base_table();
+        let mut t2 = base_table();
+        t2.insert(p("10.2.0.0/16"), nh(4));
+        t2.remove(p("192.168.7.0/24"));
+        let tables = [VrfTable { id: 1, trie: &t1 }, VrfTable { id: 2, trie: &t2 }];
+        let set = compile_vrf_set(&tables, &BuildConfig::default(), &VrfPolicy::Shared);
+        for i in 0..4096u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            assert_eq!(set.lookup(1, addr), t1.lookup(addr), "vrf 1 addr {addr:#x}");
+            assert_eq!(set.lookup(2, addr), t2.lookup(addr), "vrf 2 addr {addr:#x}");
+        }
+        assert_eq!(set.lookup(7, 0), None, "unknown VRF answers None");
+    }
+
+    #[test]
+    fn empty_table_compiles_and_answers_none() {
+        let t1 = base_table();
+        let empty: BinaryTrie<u32> = BinaryTrie::new();
+        let tables = [
+            VrfTable { id: 1, trie: &t1 },
+            VrfTable {
+                id: 2,
+                trie: &empty,
+            },
+        ];
+        let set = compile_vrf_set(&tables, &BuildConfig::default(), &VrfPolicy::Shared);
+        assert_eq!(set.lookup(2, 0x0A00_0001), None);
+        assert_eq!(set.lookup(1, 0x0A00_0001), Some(nh(2)));
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_answers_and_stats() {
+        let t1 = base_table();
+        let mut t2 = base_table();
+        t2.insert(p("172.16.0.0/12"), nh(5));
+        let tables = [
+            VrfTable { id: 3, trie: &t1 },
+            VrfTable { id: 11, trie: &t2 },
+        ];
+        let set = compile_vrf_set(&tables, &BuildConfig::default(), &VrfPolicy::Shared);
+        let bytes = write_vrf_image(&set, 42).unwrap();
+        let image = FibImage::from_bytes(&bytes).unwrap();
+        assert_eq!(image.engine().unwrap(), EngineKind::VrfSet);
+        assert_eq!(image.epoch(), 42);
+        let view = VrfSetRef::<u32>::from_image(&image).unwrap();
+        assert_eq!(view.len(), 2);
+        for i in 0..4096u32 {
+            let addr = i.wrapping_mul(0x85EB_CA6B);
+            assert_eq!(view.lookup(3, addr), t1.lookup(addr));
+            assert_eq!(view.lookup(11, addr), t2.lookup(addr));
+        }
+        let stats = view.stats();
+        assert_eq!(stats.tables, 2);
+        assert_eq!(stats.unique_nodes, set.stats.unique_nodes);
+        assert_eq!(stats.total_nodes, set.stats.total_nodes);
+        assert!(stats.sharing_ratio() > 1.0, "overlapping tables share");
+    }
+
+    #[test]
+    fn cost_model_places_hot_on_serialized_cold_on_xbw() {
+        let model = CostModel::default();
+        let routes = 40_000u64;
+        // Hot table: latency dominates → serialized.
+        assert_eq!(
+            model.place(routes, 16 * 12_000, 0.25),
+            VrfEngineChoice::Serialized
+        );
+        // Cold, low overlap (big marginal arena cost) → xbw-entropy.
+        assert_eq!(
+            model.place(routes, 16 * 12_000, 0.0005),
+            VrfEngineChoice::Xbw
+        );
+        // Cold-ish, near-total overlap (tiny marginal bytes) → shared.
+        assert_eq!(model.place(routes, 16 * 40, 0.01), VrfEngineChoice::Shared);
+    }
+
+    #[test]
+    fn auto_policy_dedicated_engines_roundtrip() {
+        let t1 = base_table();
+        let mut t2 = base_table();
+        t2.insert(p("10.9.0.0/16"), nh(6));
+        let t3 = base_table();
+        let tables = [
+            VrfTable { id: 1, trie: &t1 },
+            VrfTable { id: 2, trie: &t2 },
+            VrfTable { id: 3, trie: &t3 },
+        ];
+        // Extreme weights force one hot (serialized) table; tiny tables
+        // otherwise stay shared (marginal bytes are small).
+        let set = compile_vrf_set(
+            &tables,
+            &BuildConfig::default(),
+            &VrfPolicy::Auto {
+                weights: vec![0.98, 0.01, 0.01],
+            },
+        );
+        assert_eq!(set.tables[0].choice, VrfEngineChoice::Serialized);
+        let bytes = write_vrf_image(&set, 0).unwrap();
+        let image = FibImage::from_bytes(&bytes).unwrap();
+        let view = VrfSetRef::<u32>::from_image(&image).unwrap();
+        for i in 0..2048u32 {
+            let addr = i.wrapping_mul(0xC2B2_AE35);
+            assert_eq!(view.lookup(1, addr), t1.lookup(addr));
+            assert_eq!(view.lookup(2, addr), t2.lookup(addr));
+            assert_eq!(view.lookup(3, addr), t3.lookup(addr));
+        }
+    }
+
+    #[test]
+    fn v6_set_compiles_and_roundtrips() {
+        let mut t1: BinaryTrie<u128> = BinaryTrie::new();
+        let p6 = |s: &str| s.parse::<fib_trie::Prefix6>().unwrap();
+        t1.insert(p6("2001:db8::/32"), nh(1));
+        t1.insert(p6("2001:db8:7::/48"), nh(2));
+        let mut t2 = t1.clone();
+        t2.insert(p6("2001:db8:9::/48"), nh(3));
+        let tables = [VrfTable { id: 5, trie: &t1 }, VrfTable { id: 6, trie: &t2 }];
+        let set = compile_vrf_set(&tables, &BuildConfig::default(), &VrfPolicy::Shared);
+        let bytes = write_vrf_image(&set, 0).unwrap();
+        let image = FibImage::from_bytes(&bytes).unwrap();
+        let view = VrfSetRef::<u128>::from_image(&image).unwrap();
+        let probe: u128 = "2001:db8:9::1"
+            .parse::<std::net::Ipv6Addr>()
+            .unwrap()
+            .into();
+        assert_eq!(view.lookup(5, probe), Some(nh(1)));
+        assert_eq!(view.lookup(6, probe), Some(nh(3)));
+    }
+
+    #[test]
+    fn vrf_image_rejects_plain_view_dispatch() {
+        let t = base_table();
+        let tables = [VrfTable { id: 1, trie: &t }];
+        let set = compile_vrf_set(&tables, &BuildConfig::default(), &VrfPolicy::Shared);
+        let bytes = write_vrf_image(&set, 0).unwrap();
+        let image = FibImage::from_bytes(&bytes).unwrap();
+        assert!(matches!(
+            crate::image::any_view::<u32>(&image),
+            Err(ImageError::Unsupported(_))
+        ));
+    }
+}

@@ -30,6 +30,11 @@
 //! * [`ShardedRouter`] — 256 first-byte shards, each an independent
 //!   [`Router`], with fan-out updates and an allocation-free, wait-free
 //!   bucketed batch-lookup handle ([`ShardedDataPlane`]).
+//! * [`VrfSetRouter`] (module [`vrf`]) — the multi-tenant control plane:
+//!   per-VRF oracles compiled into one cross-table-deduped
+//!   [`fib_core::CompiledVrfSet`], published atomically with per-VRF
+//!   epochs, plus [`VrfDataPlane`] with a VRF-bucketed, allocation-free
+//!   mixed batch path and staleness-checked background rebuilds.
 //!
 //! ```
 //! use fib_core::PrefixDag;
@@ -63,6 +68,7 @@ mod sharded;
 pub mod shim;
 pub mod snapcell;
 pub mod spoolfs;
+pub mod vrf;
 
 pub use lifecycle::{
     scan_spool, SpoolConfig, SpoolHealth, SpoolImageStatus, SpoolMutant, SpoolStatus,
@@ -77,3 +83,7 @@ pub use runtime::{
 pub use sharded::{ShardedDataPlane, ShardedRouter, SHARD_BITS, SHARD_COUNT};
 pub use snapcell::{SnapCell, SnapReader};
 pub use spoolfs::{FaultConfig, FaultFs, SpoolFile, SpoolFs, StdFs, TailPolicy};
+pub use vrf::{
+    VrfBatchScratch, VrfDataPlane, VrfInstallError, VrfRebuild, VrfRebuildJob, VrfSetRouter,
+    VrfSnapshot,
+};

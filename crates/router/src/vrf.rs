@@ -1,0 +1,609 @@
+//! Multi-tenant VRF runtime: per-VRF control oracles, one compiled
+//! shared-arena set, wait-free publication, and VRF-keyed batched
+//! lookups.
+//!
+//! The single-table [`crate::Router`] pairs one oracle with one engine.
+//! A provider-edge box runs hundreds of logical tables whose FIBs are
+//! mostly identical, so [`VrfSetRouter`] pairs a *map* of oracles with
+//! one [`CompiledVrfSet`] — every publish recompiles the set through the
+//! cross-table dedup compiler and swaps it in atomically through the
+//! same [`SnapCell`] machinery the single-table router uses. Readers
+//! ([`VrfDataPlane`]) therefore see all tables move in lock-step: one
+//! atomic load observes a consistent fleet, never VRF 7 from epoch 4
+//! next to VRF 9 from epoch 5.
+//!
+//! Epochs are tracked at two grains: the *set* epoch counts publishes,
+//! and each VRF carries the set epoch at which its table last changed —
+//! so a reader can tell "the fleet moved" apart from "my VRF moved".
+//!
+//! Batched lookups bucket a mixed `(vrf, addr)` stream by VRF id so each
+//! run goes through its table's engine batch path (the shared arena's
+//! interleaved walk, or a dedicated engine's lanes). The scratch the
+//! bucketing needs is caller-owned ([`VrfBatchScratch`]): steady-state
+//! forwarding does not allocate.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use fib_core::{
+    compile_vrf_set, BuildConfig, CompiledVrfSet, FibLookup, PrefixDagRef, VrfEngineChoice,
+    VrfPolicy,
+};
+use fib_trie::{Address, BinaryTrie, NextHop, Prefix};
+
+use crate::snapcell::{SnapCell, SnapReader};
+
+/// An immutable, published multi-tenant forwarding state: the compiled
+/// set plus set- and per-VRF epochs.
+pub struct VrfSnapshot<A: Address> {
+    set: CompiledVrfSet<A>,
+    epoch: u64,
+    /// `(vrf id, set epoch at which this table last changed)`, sorted by
+    /// id — parallel to `set.tables`.
+    vrf_epochs: Vec<(u32, u64)>,
+}
+
+impl<A: Address> VrfSnapshot<A> {
+    /// The set epoch (counts publishes; 0 = initial empty state).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The compiled set this snapshot serves from.
+    #[must_use]
+    pub fn set(&self) -> &CompiledVrfSet<A> {
+        &self.set
+    }
+
+    /// The set epoch at which `vrf`'s table last changed, or `None` for
+    /// an unknown VRF.
+    #[must_use]
+    pub fn vrf_epoch(&self, vrf: u32) -> Option<u64> {
+        let i = self
+            .vrf_epochs
+            .binary_search_by_key(&vrf, |&(id, _)| id)
+            .ok()?;
+        Some(self.vrf_epochs[i].1)
+    }
+
+    /// VRF-keyed longest-prefix match. Unknown VRFs answer `None`.
+    #[must_use]
+    #[inline]
+    pub fn lookup(&self, vrf: u32, addr: A) -> Option<NextHop> {
+        self.set.lookup(vrf, addr)
+    }
+
+    /// Resolves a mixed `(vrf, addr)` batch, answers in input order.
+    ///
+    /// Keys are bucketed by VRF id so every run flows through its
+    /// table's engine *batch* path instead of ping-ponging between
+    /// tables per packet. All working memory lives in `scratch`; after
+    /// its vectors have grown to the steady batch size this path does
+    /// not allocate.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `keys`.
+    pub fn lookup_batch(
+        &self,
+        keys: &[(u32, A)],
+        out: &mut [Option<NextHop>],
+        scratch: &mut VrfBatchScratch<A>,
+    ) {
+        assert!(out.len() >= keys.len(), "output buffer too small");
+        scratch.order.clear();
+        scratch.order.extend(0..keys.len() as u32);
+        scratch.order.sort_unstable_by_key(|&i| keys[i as usize].0);
+        let mut start = 0usize;
+        while start < scratch.order.len() {
+            let vrf = keys[scratch.order[start] as usize].0;
+            let mut end = start + 1;
+            while end < scratch.order.len() && keys[scratch.order[end] as usize].0 == vrf {
+                end += 1;
+            }
+            let run = &scratch.order[start..end];
+            scratch.addrs.clear();
+            scratch
+                .addrs
+                .extend(run.iter().map(|&i| keys[i as usize].1));
+            scratch.hops.clear();
+            scratch.hops.resize(run.len(), None);
+            self.run_table(vrf, &scratch.addrs, &mut scratch.hops);
+            for (&i, &hop) in run.iter().zip(scratch.hops.iter()) {
+                out[i as usize] = hop;
+            }
+            start = end;
+        }
+    }
+
+    /// One bucketed run against a single table's engine batch path.
+    fn run_table(&self, vrf: u32, addrs: &[A], hops: &mut [Option<NextHop>]) {
+        let Some(table) = self.set.table(vrf) else {
+            hops.fill(None);
+            return;
+        };
+        match table.choice {
+            VrfEngineChoice::Shared => {
+                match PrefixDagRef::<A>::from_parts_trusted(&self.set.arena, table.root) {
+                    Ok(view) => view.lookup_batch(addrs, hops),
+                    Err(_) => hops.fill(None),
+                }
+            }
+            VrfEngineChoice::Serialized => match &table.serialized {
+                Some(dag) => dag.lookup_batch(addrs, hops),
+                None => hops.fill(None),
+            },
+            VrfEngineChoice::Xbw => match &table.xbw {
+                Some(fib) => fib.lookup_batch(addrs, hops),
+                None => hops.fill(None),
+            },
+        }
+    }
+}
+
+/// Caller-owned working memory for [`VrfSnapshot::lookup_batch`]. Reuse
+/// one per worker; it grows to the batch size once and is then stable.
+#[derive(Default)]
+pub struct VrfBatchScratch<A: Address> {
+    order: Vec<u32>,
+    addrs: Vec<A>,
+    hops: Vec<Option<NextHop>>,
+}
+
+impl<A: Address> VrfBatchScratch<A> {
+    /// An empty scratch (vectors grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            order: Vec::new(),
+            addrs: Vec::new(),
+            hops: Vec::new(),
+        }
+    }
+}
+
+/// A finished background recompilation, ready to install.
+pub struct VrfRebuild<A: Address + Send + Sync + 'static> {
+    set: CompiledVrfSet<A>,
+    basis_version: u64,
+    dirty: BTreeSet<u32>,
+}
+
+/// A cloned control state handed to a background thread: run
+/// [`VrfRebuildJob::run`] anywhere, then hand the result back to
+/// [`VrfSetRouter::install`].
+pub struct VrfRebuildJob<A: Address + Send + Sync + 'static> {
+    oracles: Vec<(u32, BinaryTrie<A>)>,
+    config: BuildConfig,
+    policy: VrfPolicy,
+    basis_version: u64,
+    dirty: BTreeSet<u32>,
+}
+
+impl<A: Address + Send + Sync + 'static> VrfRebuildJob<A> {
+    /// Compiles the captured fleet. CPU-heavy; designed to run off the
+    /// control thread.
+    #[must_use]
+    pub fn run(self) -> VrfRebuild<A> {
+        let tables: Vec<fib_core::VrfTable<'_, A>> = self
+            .oracles
+            .iter()
+            .map(|(id, trie)| fib_core::VrfTable { id: *id, trie })
+            .collect();
+        // A fixed weight vector goes stale when tables come and go;
+        // fall back to uniform weights rather than panic in the
+        // compiler's shape check.
+        let policy = match &self.policy {
+            VrfPolicy::Auto { weights } if !weights.is_empty() && weights.len() != tables.len() => {
+                VrfPolicy::Auto {
+                    weights: Vec::new(),
+                }
+            }
+            other => other.clone(),
+        };
+        let set = compile_vrf_set(&tables, &self.config, &policy);
+        VrfRebuild {
+            set,
+            basis_version: self.basis_version,
+            dirty: self.dirty,
+        }
+    }
+}
+
+/// Why a finished rebuild could not be installed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum VrfInstallError {
+    /// The control plane changed after the rebuild was begun; installing
+    /// it would silently drop those updates. Begin a fresh rebuild.
+    Stale {
+        /// Version the rebuild was cut at.
+        built: u64,
+        /// Version the control plane is at now.
+        current: u64,
+    },
+}
+
+impl std::fmt::Display for VrfInstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Stale { built, current } => write!(
+                f,
+                "rebuild is stale: built at control version {built}, control is at {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VrfInstallError {}
+
+/// The multi-tenant control plane: per-VRF oracles, recompiled into one
+/// shared-arena set at publish time.
+pub struct VrfSetRouter<A: Address + Send + Sync + 'static> {
+    oracles: BTreeMap<u32, BinaryTrie<A>>,
+    /// VRFs whose oracle changed since the last publish.
+    dirty: BTreeSet<u32>,
+    config: BuildConfig,
+    policy: VrfPolicy,
+    /// Mutation counter (every control change bumps it) — the staleness
+    /// basis for background rebuilds.
+    version: u64,
+    epoch: u64,
+    vrf_epochs: BTreeMap<u32, u64>,
+    cell: SnapCell<VrfSnapshot<A>>,
+}
+
+impl<A: Address + Send + Sync + 'static> VrfSetRouter<A> {
+    /// An empty router (no tables) with the given build configuration
+    /// and placement policy. Epoch 0 is published immediately so readers
+    /// always have a snapshot.
+    #[must_use]
+    pub fn new(config: BuildConfig, policy: VrfPolicy) -> Self {
+        let set = compile_vrf_set::<A>(&[], &config, &VrfPolicy::Shared);
+        let initial = Arc::new(VrfSnapshot {
+            set,
+            epoch: 0,
+            vrf_epochs: Vec::new(),
+        });
+        Self {
+            oracles: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            config,
+            policy,
+            version: 0,
+            epoch: 0,
+            vrf_epochs: BTreeMap::new(),
+            cell: SnapCell::new(initial),
+        }
+    }
+
+    /// Number of logical tables.
+    #[must_use]
+    pub fn tables(&self) -> usize {
+        self.oracles.len()
+    }
+
+    /// The control oracle of `vrf`, if present.
+    #[must_use]
+    pub fn oracle(&self, vrf: u32) -> Option<&BinaryTrie<A>> {
+        self.oracles.get(&vrf)
+    }
+
+    /// Installs (or replaces) a whole table.
+    pub fn insert_vrf(&mut self, vrf: u32, table: BinaryTrie<A>) {
+        self.oracles.insert(vrf, table);
+        self.touch(vrf);
+    }
+
+    /// Removes a table. Returns whether it existed.
+    pub fn remove_vrf(&mut self, vrf: u32) -> bool {
+        let existed = self.oracles.remove(&vrf).is_some();
+        if existed {
+            // A removal is a fleet change: the next publish must
+            // recompile even though the id no longer has an oracle.
+            self.touch(vrf);
+        }
+        existed
+    }
+
+    /// Announces a route in `vrf` (creating the table if new). Returns
+    /// the previous next-hop for that exact prefix.
+    pub fn announce(&mut self, vrf: u32, prefix: Prefix<A>, next_hop: NextHop) -> Option<NextHop> {
+        let prev = self
+            .oracles
+            .entry(vrf)
+            .or_default()
+            .insert(prefix, next_hop);
+        self.touch(vrf);
+        prev
+    }
+
+    /// Withdraws a route from `vrf`. Returns the removed next-hop.
+    pub fn withdraw(&mut self, vrf: u32, prefix: Prefix<A>) -> Option<NextHop> {
+        let removed = self.oracles.get_mut(&vrf).and_then(|t| t.remove(prefix));
+        if removed.is_some() {
+            self.touch(vrf);
+        }
+        removed
+    }
+
+    fn touch(&mut self, vrf: u32) {
+        self.dirty.insert(vrf);
+        self.version += 1;
+    }
+
+    /// Recompiles the fleet and publishes a new epoch. A publish with no
+    /// control changes since the last one reuses the published snapshot
+    /// (no recompile, no epoch bump).
+    pub fn publish(&mut self) -> Arc<VrfSnapshot<A>> {
+        if self.dirty.is_empty() && self.epoch > 0 {
+            return self.cell.load();
+        }
+        let job = self.begin_rebuild();
+        let rebuild = job.run();
+        match self.install(rebuild) {
+            Ok(snapshot) => snapshot,
+            // Unreachable: nothing can touch `self` between begin and
+            // install on one `&mut self` call.
+            Err(e) => unreachable!("inline rebuild stale: {e}"),
+        }
+    }
+
+    /// Captures the control state for an off-thread recompile. The
+    /// router keeps serving and absorbing updates meanwhile; a rebuild
+    /// begun before further updates is rejected at install time.
+    #[must_use]
+    pub fn begin_rebuild(&self) -> VrfRebuildJob<A> {
+        VrfRebuildJob {
+            oracles: self
+                .oracles
+                .iter()
+                .map(|(id, t)| (*id, t.clone()))
+                .collect(),
+            config: self.config,
+            policy: self.policy.clone(),
+            basis_version: self.version,
+            dirty: self.dirty.clone(),
+        }
+    }
+
+    /// Installs a finished rebuild as the next epoch.
+    ///
+    /// # Errors
+    /// [`VrfInstallError::Stale`] when the control plane changed after
+    /// the rebuild was begun — the updates would otherwise be dropped.
+    pub fn install(
+        &mut self,
+        rebuild: VrfRebuild<A>,
+    ) -> Result<Arc<VrfSnapshot<A>>, VrfInstallError> {
+        if rebuild.basis_version != self.version {
+            return Err(VrfInstallError::Stale {
+                built: rebuild.basis_version,
+                current: self.version,
+            });
+        }
+        self.epoch += 1;
+        for &vrf in &rebuild.dirty {
+            self.vrf_epochs.insert(vrf, self.epoch);
+        }
+        self.dirty.clear();
+        // Drop epoch bookkeeping for ids no longer in the fleet.
+        let live: BTreeSet<u32> = rebuild.set.tables.iter().map(|t| t.id).collect();
+        self.vrf_epochs.retain(|id, _| live.contains(id));
+        let vrf_epochs: Vec<(u32, u64)> = rebuild
+            .set
+            .tables
+            .iter()
+            .map(|t| {
+                (
+                    t.id,
+                    self.vrf_epochs.get(&t.id).copied().unwrap_or(self.epoch),
+                )
+            })
+            .collect();
+        let snapshot = Arc::new(VrfSnapshot {
+            set: rebuild.set,
+            epoch: self.epoch,
+            vrf_epochs,
+        });
+        self.cell.publish(Arc::clone(&snapshot));
+        Ok(snapshot)
+    }
+
+    /// A wait-free reader handle for a forwarding worker.
+    #[must_use]
+    pub fn reader(&self) -> VrfDataPlane<A> {
+        VrfDataPlane {
+            reader: self.cell.reader(),
+        }
+    }
+
+    /// The set epoch of the latest publish.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// A cloneable packet-path handle: caches the current snapshot, refreshes
+/// on a generation bump with one atomic load.
+pub struct VrfDataPlane<A: Address + Send + Sync + 'static> {
+    reader: SnapReader<VrfSnapshot<A>>,
+}
+
+impl<A: Address + Send + Sync + 'static> VrfDataPlane<A> {
+    /// The current snapshot (cached; refreshed when the router publishes).
+    pub fn snapshot(&mut self) -> &Arc<VrfSnapshot<A>> {
+        self.reader.get()
+    }
+
+    /// VRF-keyed longest-prefix match against the current snapshot.
+    #[inline]
+    pub fn lookup(&mut self, vrf: u32, addr: A) -> Option<NextHop> {
+        self.reader.get().lookup(vrf, addr)
+    }
+
+    /// Mixed-VRF batched lookup against the current snapshot (see
+    /// [`VrfSnapshot::lookup_batch`]).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `keys`.
+    pub fn lookup_batch(
+        &mut self,
+        keys: &[(u32, A)],
+        out: &mut [Option<NextHop>],
+        scratch: &mut VrfBatchScratch<A>,
+    ) {
+        self.reader.get().lookup_batch(keys, out, scratch);
+    }
+}
+
+impl<A: Address + Send + Sync + 'static> Clone for VrfDataPlane<A> {
+    fn clone(&self) -> Self {
+        Self {
+            reader: self.reader.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_trie::Prefix4;
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn p(s: &str) -> Prefix4 {
+        s.parse().unwrap()
+    }
+
+    fn two_vrf_router() -> VrfSetRouter<u32> {
+        let mut router = VrfSetRouter::new(BuildConfig::default(), VrfPolicy::Shared);
+        for vrf in [1, 2] {
+            router.announce(vrf, p("0.0.0.0/0"), nh(1));
+            router.announce(vrf, p("10.0.0.0/8"), nh(2));
+        }
+        router.announce(2, p("10.7.0.0/16"), nh(7));
+        router
+    }
+
+    #[test]
+    fn publish_and_lookup_match_the_oracles() {
+        let mut router = two_vrf_router();
+        let snapshot = router.publish();
+        assert_eq!(snapshot.epoch(), 1);
+        for i in 0..2048u32 {
+            let addr = i.wrapping_mul(0x9E37_79B9);
+            for vrf in [1, 2] {
+                assert_eq!(
+                    snapshot.lookup(vrf, addr),
+                    router.oracle(vrf).unwrap().lookup(addr),
+                    "vrf {vrf} addr {addr:#x}"
+                );
+            }
+        }
+        assert_eq!(snapshot.lookup(9, 0x0A00_0001), None, "unknown VRF");
+    }
+
+    #[test]
+    fn per_vrf_epochs_bump_only_for_changed_tables() {
+        let mut router = two_vrf_router();
+        let first = router.publish();
+        assert_eq!(first.vrf_epoch(1), Some(1));
+        assert_eq!(first.vrf_epoch(2), Some(1));
+        router.announce(2, p("10.8.0.0/16"), nh(8));
+        let second = router.publish();
+        assert_eq!(second.epoch(), 2);
+        assert_eq!(second.vrf_epoch(1), Some(1), "vrf 1 did not change");
+        assert_eq!(second.vrf_epoch(2), Some(2), "vrf 2 changed");
+        // No-op publish reuses the snapshot.
+        let third = router.publish();
+        assert_eq!(third.epoch(), 2);
+    }
+
+    #[test]
+    fn batch_bucketing_matches_scalar_answers() {
+        let mut router = two_vrf_router();
+        // A third table on a dedicated engine exercises the non-shared
+        // run path too.
+        let mut hot = BinaryTrie::new();
+        hot.insert(p("0.0.0.0/0"), nh(3));
+        hot.insert(p("172.16.0.0/12"), nh(4));
+        router.insert_vrf(7, hot);
+        let router = {
+            let mut r = VrfSetRouter::new(
+                BuildConfig::default(),
+                VrfPolicy::Auto {
+                    weights: vec![0.005, 0.005, 0.99],
+                },
+            );
+            for (vrf, oracle) in [1, 2, 7].iter().zip([
+                router.oracle(1).unwrap().clone(),
+                router.oracle(2).unwrap().clone(),
+                router.oracle(7).unwrap().clone(),
+            ]) {
+                r.insert_vrf(*vrf, oracle);
+            }
+            r
+        };
+        let mut router = router;
+        let snapshot = router.publish();
+        let keys: Vec<(u32, u32)> = (0..1024u32)
+            .map(|i| {
+                let vrf = [1u32, 2, 7, 42][(i % 4) as usize];
+                (vrf, i.wrapping_mul(0x85EB_CA6B))
+            })
+            .collect();
+        let mut out = vec![None; keys.len()];
+        let mut scratch = VrfBatchScratch::new();
+        snapshot.lookup_batch(&keys, &mut out, &mut scratch);
+        for (&(vrf, addr), &got) in keys.iter().zip(&out) {
+            assert_eq!(got, snapshot.lookup(vrf, addr), "vrf {vrf} addr {addr:#x}");
+        }
+        // Reuse the same scratch: second batch must be just as right.
+        snapshot.lookup_batch(&keys[..100], &mut out[..100], &mut scratch);
+        for (&(vrf, addr), &got) in keys[..100].iter().zip(&out[..100]) {
+            assert_eq!(got, snapshot.lookup(vrf, addr));
+        }
+    }
+
+    #[test]
+    fn background_rebuild_installs_and_rejects_stale() {
+        let mut router = two_vrf_router();
+        router.publish();
+        router.announce(1, p("10.9.0.0/16"), nh(9));
+        let job = router.begin_rebuild();
+        let rebuild = job.run();
+        let snapshot = router.install(rebuild).expect("no interleaved updates");
+        assert_eq!(snapshot.epoch(), 2);
+        assert_eq!(snapshot.lookup(1, 0x0A09_0001), Some(nh(9)));
+
+        // An update between begin and install makes the rebuild stale.
+        let job = router.begin_rebuild();
+        router.announce(2, p("10.10.0.0/16"), nh(10));
+        let rebuild = job.run();
+        match router.install(rebuild) {
+            Err(VrfInstallError::Stale { built, current }) => assert!(built < current),
+            Ok(_) => panic!("stale rebuild must be rejected"),
+        }
+        // The dropped rebuild lost nothing: a fresh publish carries the
+        // interleaved update.
+        let snapshot = router.publish();
+        assert_eq!(snapshot.lookup(2, 0x0A0A_0001), Some(nh(10)));
+    }
+
+    #[test]
+    fn readers_see_new_epochs_and_removed_vrfs() {
+        let mut router = two_vrf_router();
+        router.publish();
+        let mut plane = router.reader();
+        assert_eq!(plane.lookup(2, 0x0A07_0001), Some(nh(7)));
+        router.remove_vrf(2);
+        router.publish();
+        assert_eq!(plane.lookup(2, 0x0A07_0001), None, "removed VRF vanishes");
+        assert_eq!(plane.snapshot().epoch(), 2);
+        let mut sibling = plane.clone();
+        assert_eq!(sibling.lookup(1, 0x0A00_0001), Some(nh(2)));
+    }
+}

@@ -21,7 +21,10 @@
 //! * [`loadgen`] — named key models turned into per-worker, seeded
 //!   address streams for the multi-core forwarding runtime,
 //! * [`heat`] — lock-free per-worker traffic heat sketches and the merged
-//!   summaries that drive traffic-aware compilation in `fib-core`.
+//!   summaries that drive traffic-aware compilation in `fib-core`,
+//! * [`vrf`] — multi-tenant VRF fleets derived from one base FIB (shared
+//!   base routes + per-VRF churn) and mixed-VRF probe streams for the
+//!   cross-table dedup compiler.
 //!
 //! Everything is deterministic given a seed.
 
@@ -36,8 +39,10 @@ pub mod loadgen;
 pub mod rng;
 pub mod traces;
 pub mod updates;
+pub mod vrf;
 
 pub use genfib::FibSpec;
 pub use heat::{heat_key, HeatMap, HeatSketch, HeatSummary};
 pub use instances::{InstanceGroup, PaperInstance, PaperRow};
 pub use labels::LabelModel;
+pub use vrf::{fleet_weights, instance_fleet, mixed_keys, VrfFleetSpec};

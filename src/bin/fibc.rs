@@ -27,14 +27,15 @@ use std::process::ExitCode;
 use fibcomp::core::image::sections;
 use fibcomp::core::lint as image_lint;
 use fibcomp::core::{
-    any_view, write_image, write_image_hot, AnyView, BuildConfig, EngineKind, FibBuild, FibImage,
-    FibLookup, HotConfig, HotSlab, ImageCodec, ImageError, MultibitDag, PrefixDag, SerializedDag,
-    XbwFib, XbwStorage,
+    any_view, compile_vrf_set, write_image, write_image_hot, write_vrf_image, AnyView, BuildConfig,
+    EngineKind, FibBuild, FibImage, FibLookup, HotConfig, HotSlab, ImageCodec, ImageError,
+    MultibitDag, PrefixDag, SerializedDag, VrfPolicy, VrfSetRef, VrfTable, XbwFib, XbwStorage,
 };
 use fibcomp::router::{scan_spool, LatencyHistogram, StdFs};
 use fibcomp::trie::{Address, BinaryTrie, LcTrie, NextHop, Prefix};
 use fibcomp::workload::loadgen::{AddrStream, KeyModel};
 use fibcomp::workload::rng::Xoshiro256;
+use fibcomp::workload::vrf::{fleet_weights, instance_fleet, mixed_keys};
 use fibcomp::workload::{traces, HeatSummary};
 
 fn main() -> ExitCode {
@@ -67,11 +68,15 @@ usage:
                --out IMG [--v6] [--xbw-mode succinct|entropy] [--lambda N] \\
                [--stride N] [--epoch N] [--no-routes] \\
                [--heat [--heat-samples N]]
+  fibc compile --vrfs N [--instance NAME] [--scale S] [--overlap F] \\
+               [--vrf-policy shared|auto] [--vrf-skew S] [--seed N] \\
+               --out IMG    (multi-tenant set: one shared dedup arena)
   fibc inspect IMG
   fibc lint IMG
   fibc serve IMG [--probe N | --duration S] [--threads N] \
                  [--keys uniform|zipf|bursty] [--batch N] [--seed N]
-                 (without --probe/--duration: addresses on stdin, batched)
+                 (without --probe/--duration: addresses on stdin, batched;
+                  vrfset images take 'VRF ADDR' lines / mixed-VRF probes)
   fibc serve --spool DIR [--health-every S] [serve options]
                  (newest valid spool image; health one-liner on stderr)
   fibc spool-status DIR";
@@ -132,6 +137,10 @@ fn build_config(args: &[String]) -> Result<BuildConfig, String> {
 }
 
 fn compile(args: &[String]) -> Result<(), String> {
+    if let Some(vrfs) = opt(args, "--vrfs") {
+        let vrfs: usize = vrfs.parse().map_err(|e| format!("--vrfs: {e}"))?;
+        return compile_vrfs(args, vrfs);
+    }
     let engine = EngineKind::parse(opt(args, "--engine").ok_or("--engine is required")?)
         .ok_or("unknown engine (want xbw|pdag|serialized|multibit|lctrie)")?;
     let out = opt(args, "--out").ok_or("--out is required")?;
@@ -221,6 +230,9 @@ fn compile_trie<A: Address>(
         }
         EngineKind::MultibitDag => encode::<A, MultibitDag<A>>(trie, config, routes, epoch, slab),
         EngineKind::LcTrie => encode::<A, LcTrie<A>>(trie, config, routes, epoch, slab),
+        EngineKind::VrfSet => {
+            return Err("vrfset images hold many tables; compile one with --vrfs N".into())
+        }
     }
     .map_err(|e| e.to_string())?;
     std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
@@ -248,7 +260,82 @@ fn encode<A: Address, E: ImageCodec<A> + FibBuild<A>>(
     }
 }
 
+/// `fibc compile --vrfs N`: derives a multi-tenant fleet from a paper
+/// instance (90% shared base / 10% per-VRF churn by default), compiles
+/// it into one shared dedup arena under the chosen placement policy, and
+/// reports the sharing ratio against independent compilation.
+fn compile_vrfs(args: &[String], vrfs: usize) -> Result<(), String> {
+    if vrfs == 0 {
+        return Err("--vrfs: need at least one table".into());
+    }
+    let out = opt(args, "--out").ok_or("--out is required")?;
+    let epoch: u64 = opt(args, "--epoch")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|e| format!("--epoch: {e}"))?;
+    let config = build_config(args)?;
+    let instance = opt(args, "--instance").unwrap_or("taz");
+    let scale: f64 = opt(args, "--scale")
+        .unwrap_or("1.0")
+        .parse()
+        .map_err(|e| format!("--scale: {e}"))?;
+    let overlap: f64 = opt(args, "--overlap")
+        .unwrap_or("0.9")
+        .parse()
+        .map_err(|e| format!("--overlap: {e}"))?;
+    if !(0.0..=1.0).contains(&overlap) {
+        return Err(format!("--overlap: want 0.0..=1.0, got {overlap}"));
+    }
+    let skew: f64 = opt(args, "--vrf-skew")
+        .unwrap_or("1.0")
+        .parse()
+        .map_err(|e| format!("--vrf-skew: {e}"))?;
+    let seed: u64 = opt(args, "--seed")
+        .unwrap_or("3851")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    let policy = match opt(args, "--vrf-policy").unwrap_or("shared") {
+        "shared" => VrfPolicy::Shared,
+        "auto" => VrfPolicy::Auto {
+            weights: fleet_weights(vrfs, skew),
+        },
+        other => return Err(format!("--vrf-policy: unknown policy '{other}'")),
+    };
+    let fleet = instance_fleet(instance, scale, vrfs, overlap, seed)
+        .ok_or_else(|| format!("unknown paper instance '{instance}'"))?;
+    let tables: Vec<VrfTable<'_, u32>> = fleet
+        .iter()
+        .enumerate()
+        .map(|(i, trie)| VrfTable { id: i as u32, trie })
+        .collect();
+    let set = compile_vrf_set(&tables, &config, &policy);
+    let bytes = write_vrf_image(&set, epoch).map_err(|e| e.to_string())?;
+    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    let stats = &set.stats;
+    println!(
+        "compiled {vrfs} VRFs from {instance} (overlap {overlap}) -> {out} ({} bytes)",
+        bytes.len()
+    );
+    println!(
+        "  shared arena   {} unique nodes for {} reachable ({:.2}x sharing, {} tables)",
+        stats.unique_nodes,
+        stats.total_nodes,
+        stats.sharing_ratio(),
+        stats.shared_tables
+    );
+    println!(
+        "  resident       {} B vs {} B independent ({:.1}% saved)",
+        stats.resident_bytes(),
+        stats.independent_bytes,
+        stats.bytes_saved() as f64 / stats.independent_bytes.max(1) as f64 * 100.0
+    );
+    Ok(())
+}
+
 fn section_name(id: u32) -> &'static str {
+    if id >= sections::VRF_TABLE_BASE {
+        return "vrf.table";
+    }
     match id {
         sections::PARAMS => "params",
         sections::ROUTES => "routes",
@@ -261,6 +348,8 @@ fn section_name(id: u32) -> &'static str {
         sections::MB_SLOTS => "multibit.slots",
         sections::LC_NODES => "lctrie.nodes",
         sections::HOT_SLAB => "hot.slab",
+        sections::VRF_DIR => "vrf.dir",
+        sections::VRF_PDAG => "vrf.pdag",
         _ => "unknown",
     }
 }
@@ -299,6 +388,48 @@ fn inspect(args: &[String]) -> Result<(), String> {
     if claimed > 0 {
         let drift = (engine_payload as f64 - claimed as f64) / claimed as f64 * 100.0;
         println!("  accounting drift {drift:+.2}%");
+    }
+    if image.engine() == Ok(EngineKind::VrfSet) {
+        match image.family() {
+            4 => inspect_vrfs::<u32>(&image)?,
+            6 => inspect_vrfs::<u128>(&image)?,
+            other => return Err(format!("unknown address family {other}")),
+        }
+    }
+    Ok(())
+}
+
+/// The vrfset half of `inspect`: aggregate dedup stats, then one row per
+/// VRF (placement, routes, and its share of the arena).
+fn inspect_vrfs<A: Address>(image: &FibImage) -> Result<(), String> {
+    let view = VrfSetRef::<A>::from_image(image).map_err(|e| e.to_string())?;
+    let stats = view.stats();
+    println!("  vrf set");
+    println!(
+        "    tables        {} ({} on the shared arena)",
+        stats.tables, stats.shared_tables
+    );
+    println!(
+        "    shared arena  {} unique nodes for {} reachable ({:.2}x sharing)",
+        stats.unique_nodes,
+        stats.total_nodes,
+        stats.sharing_ratio()
+    );
+    println!(
+        "    resident      {} B vs {} B independent ({:.1}% saved)",
+        stats.resident_bytes(),
+        stats.independent_bytes,
+        stats.bytes_saved() as f64 / stats.independent_bytes.max(1) as f64 * 100.0
+    );
+    for t in view.tables() {
+        println!(
+            "    vrf {:>5}  {:<12} {:>9} routes  {:>9} arena nodes ({:>9} solo)",
+            t.id,
+            t.engine.choice().name(),
+            t.routes,
+            t.reachable_nodes,
+            t.solo_nodes
+        );
     }
     Ok(())
 }
@@ -583,10 +714,94 @@ fn serve_bench<A: Address + AddrText + Sync>(
     Ok(())
 }
 
+/// `fibc serve` on a vrfset image: `--probe N` runs a deterministic
+/// mixed-VRF stream (uniform or Zipf-skewed across tables); stdin mode
+/// takes `VRF ADDR` lines and answers in input order.
+fn serve_vrf_family<A: Address + AddrText>(
+    image: &FibImage,
+    args: &[String],
+) -> Result<(), String> {
+    let view = VrfSetRef::<A>::from_image(image).map_err(|e| e.to_string())?;
+    if view.is_empty() {
+        return Err("vrf set holds no tables".into());
+    }
+    // Directory order → VRF id: the probe stream draws table *slots* so
+    // skew lands on real ids even when they are sparse.
+    let ids: Vec<u32> = view.tables().iter().map(|t| t.id).collect();
+    if let Some(count) = opt(args, "--probe") {
+        let count: usize = count.parse().map_err(|e| format!("--probe: {e}"))?;
+        let seed = parse_seed(args)?;
+        let keys = opt(args, "--keys").unwrap_or("uniform");
+        let weights = match keys {
+            "uniform" => None,
+            // Zipf/bursty skew lands on table popularity here; addresses
+            // stay uniform (per-table key locality is benchdump's job).
+            "zipf" | "bursty" => Some(fleet_weights(view.len(), 1.0)),
+            other => return Err(format!("--keys: unknown model '{other}'")),
+        };
+        let probes: Vec<(u32, A)> = mixed_keys(view.len(), weights.as_deref(), seed, count);
+        let start = std::time::Instant::now();
+        let mut matched = 0u64;
+        for &(slot, addr) in &probes {
+            if view.lookup(ids[slot as usize], addr).is_some() {
+                matched += 1;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let mlps = if secs > 0.0 {
+            count as f64 / secs / 1e6
+        } else {
+            0.0
+        };
+        println!(
+            "vrf probe ({keys}): {count} pkts over {} VRFs ({matched} matched), {mlps:.2} Mlps",
+            view.len()
+        );
+        return Ok(());
+    }
+    let stdin = std::io::stdin();
+    let mut reader = std::io::BufReader::new(stdin.lock());
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = std::io::BufRead::read_line(&mut reader, &mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break;
+        }
+        let text = line.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut parts = text.split_whitespace();
+        let (Some(vrf), Some(addr)) = (parts.next(), parts.next()) else {
+            eprintln!("{text}: want 'VRF ADDR'");
+            continue;
+        };
+        let vrf: u32 = match vrf.parse() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{text}: bad VRF id: {e}");
+                continue;
+            }
+        };
+        match A::parse_addr(addr) {
+            Ok(addr) => match view.lookup(vrf, addr) {
+                Some(nh) => println!("{text} -> {nh}"),
+                None => println!("{text} -> no route"),
+            },
+            Err(e) => eprintln!("{text}: {e}"),
+        }
+    }
+    Ok(())
+}
+
 fn serve_family<A: Address + AddrText + Sync>(
     image: &FibImage,
     args: &[String],
 ) -> Result<(), String> {
+    if image.engine() == Ok(EngineKind::VrfSet) {
+        return serve_vrf_family::<A>(image, args);
+    }
     if let Some(count) = opt(args, "--probe") {
         let count: usize = count.parse().map_err(|e| format!("--probe: {e}"))?;
         return serve_bench::<A>(image, args, ServeBudget::Probes(count));

@@ -20,8 +20,9 @@ use std::process::Command;
 use fibcomp::core::image::sections;
 use fibcomp::core::lint::lint_bytes;
 use fibcomp::core::{
-    hot_key, write_image, write_image_hot, BuildConfig, FibBuild, FibImage, HotConfig, HotSlab,
-    PrefixDag, SerializedDag, XbwFib, XbwStorage,
+    compile_vrf_set, hot_key, vrf_section_base, write_image, write_image_hot, write_vrf_image,
+    BuildConfig, FibBuild, FibImage, HotConfig, HotSlab, PrefixDag, SerializedDag, VrfEngineChoice,
+    VrfPolicy, VrfTable, XbwFib, XbwStorage,
 };
 use fibcomp::trie::BinaryTrie;
 use fibcomp::workload::rng::{Random, Xoshiro256};
@@ -214,6 +215,83 @@ fn build_corpus() -> Vec<(&'static str, Vec<u8>, &'static str)> {
         "hot-slab-mismatch.img",
         repair_checksum(bad),
         "hot-slab-answer-mismatch",
+    ));
+
+    // VRF-set classes: a three-tenant fleet sharing one arena. The clean
+    // image pins the VRF_DIR contract; the corrupt pair exercise the two
+    // failure modes the directory pass exists for — a root index pointing
+    // past the shared arena, and a dedicated table whose sections were
+    // dropped from the section table (id zapped, geometry intact, so only
+    // the directory walk notices).
+    let mut tenant_b = trie.clone();
+    let mut tenant_c = trie.clone();
+    for (i, (p, _)) in trie.iter().enumerate().take(40) {
+        if i % 2 == 0 {
+            tenant_b.insert(p, fibcomp::trie::NextHop::new(77));
+        } else {
+            tenant_c.remove(p);
+        }
+    }
+    let vrf_tables = [
+        VrfTable { id: 1, trie: &trie },
+        VrfTable {
+            id: 5,
+            trie: &tenant_b,
+        },
+        VrfTable {
+            id: 9,
+            trie: &tenant_c,
+        },
+    ];
+    let vrf_set = compile_vrf_set(&vrf_tables, &config, &VrfPolicy::Shared);
+    let vrf_img = write_vrf_image(&vrf_set, 1).unwrap();
+    corpus.push(("clean-vrfset.img", vrf_img.clone(), "clean"));
+
+    // Directory record 0's root word → one past the arena.
+    let mut bad = vrf_img.clone();
+    let dir_off = section_byte_offset(&vrf_img, sections::VRF_DIR);
+    let n_nodes = {
+        let image = FibImage::from_bytes(&vrf_img).unwrap();
+        image.section(sections::VRF_PDAG).unwrap().len() as u64 / 2
+    };
+    write_word(&mut bad, dir_off + 2 * 8, n_nodes + 17);
+    corpus.push((
+        "vrf-root-range.img",
+        repair_checksum(bad),
+        "vrf-root-out-of-range",
+    ));
+
+    // A fleet compiled under extreme traffic skew pins table 0 on a
+    // dedicated serialized engine; zapping its section-table ids leaves
+    // the directory claiming sections the image no longer exposes.
+    let hot_set = compile_vrf_set(
+        &vrf_tables,
+        &config,
+        &VrfPolicy::Auto {
+            weights: vec![0.98, 0.01, 0.01],
+        },
+    );
+    assert_eq!(
+        hot_set.tables[0].choice,
+        VrfEngineChoice::Serialized,
+        "corpus fleet pins a dedicated table"
+    );
+    let hot_vrf_img = write_vrf_image(&hot_set, 1).unwrap();
+    let mut bad = hot_vrf_img.clone();
+    let section_count = FibImage::from_bytes(&hot_vrf_img)
+        .unwrap()
+        .section_table()
+        .len();
+    let doomed = u64::from(vrf_section_base(0));
+    for s in 0..section_count {
+        if read_word(&bad, (8 + 2 * s) * 8) == doomed {
+            write_word(&mut bad, (8 + 2 * s) * 8, 0x0EEE);
+        }
+    }
+    corpus.push((
+        "vrf-dropped-section.img",
+        repair_checksum(bad),
+        "vrf-dangling-section",
     ));
 
     corpus

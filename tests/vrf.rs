@@ -1,0 +1,243 @@
+//! Multi-tenant VRF sets: canonical-form interning properties and
+//! differential checks of every VRF against its uncompressed oracle.
+//!
+//! Two families of guarantees back the shared-arena compiler:
+//!
+//! * **Interning counts** — hash-consing is observable through
+//!   [`fibcomp::core::VrfSetStats`]: a duplicated table contributes zero
+//!   new unique nodes and lands on the *same* arena root, and the unique
+//!   count never exceeds the sum of standalone folded sizes.
+//! * **Answer equivalence** — every compiled VRF answers bit-identically
+//!   to its own `BinaryTrie` oracle, for IPv4 and IPv6, under uniform and
+//!   Zipf key streams, both scalar and through the VRF-bucketed batch
+//!   path, and across a rebuild running on a background thread.
+
+use std::collections::BTreeMap;
+
+use fibcomp::core::{compile_vrf_set, BuildConfig, VrfPolicy, VrfTable};
+use fibcomp::router::{VrfBatchScratch, VrfSetRouter};
+use fibcomp::trie::{Address, BinaryTrie, NextHop, Prefix};
+use fibcomp::workload::rng::{Rng, Xoshiro256};
+use fibcomp::workload::traces::{self, ZipfTrace};
+use fibcomp::workload::{FibSpec, VrfFleetSpec};
+
+const CASES: u64 = 16;
+
+fn arb_prefix<A: Address>(rng: &mut impl Rng) -> Prefix<A> {
+    let addr = A::from_u128(rng.random::<u128>() >> (128 - u32::from(A::WIDTH)));
+    Prefix::new(addr, rng.random_range(0..=u32::from(A::WIDTH)) as u8)
+}
+
+fn arb_routes<A: Address>(rng: &mut impl Rng, max: usize) -> Vec<(Prefix<A>, NextHop)> {
+    let n = rng.random_range(1..max);
+    (0..n)
+        .map(|_| (arb_prefix(rng), NextHop::new(rng.random_range(0..6u32))))
+        .collect()
+}
+
+/// Folded node count of a table compiled on its own (a one-table set).
+fn solo_nodes<A: Address>(trie: &BinaryTrie<A>, config: &BuildConfig) -> u64 {
+    let tables = [VrfTable { id: 0, trie }];
+    compile_vrf_set(&tables, config, &VrfPolicy::Shared)
+        .stats
+        .unique_nodes
+}
+
+#[test]
+fn interning_counts_hold_for_arbitrary_overlapping_tables() {
+    let config = BuildConfig::default();
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("vrf_interning_counts", case);
+        // Three tables over a shared base plus private deltas, and a
+        // fourth that is an exact clone of the second.
+        let base: Vec<(Prefix<u32>, NextHop)> = arb_routes(&mut rng, 160);
+        let mut tries: Vec<BinaryTrie<u32>> = Vec::new();
+        for _ in 0..3 {
+            let mut t: BinaryTrie<u32> = base.iter().copied().collect();
+            for (p, nh) in arb_routes::<u32>(&mut rng, 24) {
+                t.insert(p, nh);
+            }
+            tries.push(t);
+        }
+        tries.push(tries[1].clone());
+
+        let tables: Vec<VrfTable<'_, u32>> = tries
+            .iter()
+            .enumerate()
+            .map(|(i, trie)| VrfTable { id: i as u32, trie })
+            .collect();
+        let set = compile_vrf_set(&tables, &config, &VrfPolicy::Shared);
+
+        // A duplicated table is a pure alias: same root, zero new nodes.
+        assert_eq!(
+            set.tables[1].root, set.tables[3].root,
+            "case {case}: clone of table 1 must intern to the same root"
+        );
+        let without_clone = compile_vrf_set(&tables[..3], &config, &VrfPolicy::Shared);
+        assert_eq!(
+            set.stats.unique_nodes, without_clone.stats.unique_nodes,
+            "case {case}: adding a clone must not grow the arena"
+        );
+
+        // Interning can only remove nodes relative to standalone folds,
+        // and the per-table view of the arena is exactly the standalone
+        // fold (canonical forms are unique).
+        let solo: u64 = tries.iter().map(|t| solo_nodes(t, &config)).sum();
+        assert!(
+            set.stats.unique_nodes <= solo,
+            "case {case}: unique {} exceeds standalone sum {solo}",
+            set.stats.unique_nodes
+        );
+        assert_eq!(
+            set.stats.total_nodes, solo,
+            "case {case}: per-table reachable counts must match standalone folds"
+        );
+        assert!(
+            set.stats.sharing_ratio() >= 1.0,
+            "case {case}: sharing ratio below 1"
+        );
+    }
+}
+
+#[test]
+fn identical_fleets_collapse_to_one_table() {
+    let mut rng = Xoshiro256::for_case("vrf_identical_fleet", 0);
+    let base: BinaryTrie<u32> = FibSpec::dfz_like(400).generate(&mut rng);
+    // overlap = 1.0 → zero churn events: every VRF is bit-identical.
+    let fleet = VrfFleetSpec {
+        tables: 6,
+        overlap: 1.0,
+        seed: 7,
+    }
+    .generate(&base);
+    let tables: Vec<VrfTable<'_, u32>> = fleet
+        .iter()
+        .enumerate()
+        .map(|(i, trie)| VrfTable { id: i as u32, trie })
+        .collect();
+    let set = compile_vrf_set(&tables, &BuildConfig::default(), &VrfPolicy::Shared);
+    assert_eq!(
+        set.stats.unique_nodes,
+        solo_nodes(&base, &BuildConfig::default())
+    );
+    for t in &set.tables[1..] {
+        assert_eq!(t.root, set.tables[0].root);
+    }
+    assert!((set.stats.sharing_ratio() - 6.0).abs() < 1e-9);
+}
+
+/// Uniform and per-table Zipf keys for a fleet, tagged with VRF ids.
+fn fleet_keys<A: Address>(
+    oracles: &BTreeMap<u32, BinaryTrie<A>>,
+    rng: &mut impl Rng,
+    per_vrf: usize,
+) -> Vec<(u32, A)> {
+    let mut keys = Vec::new();
+    for (&vrf, trie) in oracles {
+        for addr in traces::uniform::<A, _>(rng, per_vrf) {
+            keys.push((vrf, addr));
+        }
+        let zipf = ZipfTrace::new(trie, 1.0);
+        for _ in 0..per_vrf {
+            keys.push((vrf, zipf.sample(rng)));
+        }
+    }
+    // Shuffle so the batch path sees interleaved VRFs, not sorted runs.
+    for i in (1..keys.len()).rev() {
+        let j = rng.random_range(0..=i as u64) as usize;
+        keys.swap(i, j);
+    }
+    keys
+}
+
+/// Every key answered by the snapshot — scalar and batch — must match
+/// the uncompressed oracle for its VRF.
+fn assert_matches_oracles<A: Address + Send + Sync + 'static>(
+    snapshot: &fibcomp::router::VrfSnapshot<A>,
+    oracles: &BTreeMap<u32, BinaryTrie<A>>,
+    keys: &[(u32, A)],
+    tag: &str,
+) {
+    for &(vrf, addr) in keys {
+        assert_eq!(
+            snapshot.lookup(vrf, addr),
+            oracles[&vrf].lookup(addr),
+            "{tag}: vrf {vrf} addr {:#x}",
+            addr.to_u128()
+        );
+    }
+    let mut out = vec![None; keys.len()];
+    let mut scratch = VrfBatchScratch::new();
+    snapshot.lookup_batch(keys, &mut out, &mut scratch);
+    for (&(vrf, addr), got) in keys.iter().zip(&out) {
+        assert_eq!(
+            *got,
+            oracles[&vrf].lookup(addr),
+            "{tag} batch: vrf {vrf} addr {:#x}",
+            addr.to_u128()
+        );
+    }
+}
+
+fn differential_across_rebuild<A: Address + Send + Sync + 'static>(tag: &str) {
+    let mut rng = Xoshiro256::for_case("vrf_differential", 0);
+    let base: BinaryTrie<A> = FibSpec::dfz_like(500).generate(&mut rng);
+    let fleet = VrfFleetSpec {
+        tables: 6,
+        overlap: 0.9,
+        seed: 0xF1B,
+    }
+    .generate(&base);
+
+    let mut router: VrfSetRouter<A> = VrfSetRouter::new(BuildConfig::default(), VrfPolicy::Shared);
+    let mut oracles: BTreeMap<u32, BinaryTrie<A>> = BTreeMap::new();
+    for (i, table) in fleet.into_iter().enumerate() {
+        oracles.insert(i as u32, table.clone());
+        router.insert_vrf(i as u32, table);
+    }
+    let snapshot = router.publish();
+    let keys = fleet_keys(&oracles, &mut rng, 64);
+    assert_matches_oracles(&snapshot, &oracles, &keys, &format!("{tag} initial"));
+
+    // Mutate half the fleet, then compile the new set on a background
+    // thread while the published snapshot keeps serving the old answers.
+    for vrf in [0u32, 2, 4] {
+        for (p, nh) in arb_routes::<A>(&mut rng, 20) {
+            router.announce(vrf, p, nh);
+            oracles.get_mut(&vrf).unwrap().insert(p, nh);
+        }
+        let victim = oracles[&vrf].iter().next().map(|(p, _)| p);
+        if let Some(p) = victim {
+            router.withdraw(vrf, p);
+            oracles.get_mut(&vrf).unwrap().remove(p);
+        }
+    }
+    let job = router.begin_rebuild();
+    let worker = std::thread::spawn(move || job.run());
+    // Old snapshot stays valid mid-rebuild: re-check a slice of the keys
+    // against pre-mutation oracles via the snapshot we already hold.
+    for &(vrf, addr) in keys.iter().take(200) {
+        let _ = snapshot.lookup(vrf, addr); // must not tear or panic
+    }
+    let rebuilt = worker.join().expect("rebuild thread panicked");
+    router.install(rebuilt).expect("rebuild went stale");
+
+    let mut reader = router.reader();
+    let fresh_keys = fleet_keys(&oracles, &mut rng, 64);
+    assert_matches_oracles(
+        reader.snapshot(),
+        &oracles,
+        &fresh_keys,
+        &format!("{tag} post-rebuild"),
+    );
+}
+
+#[test]
+fn every_vrf_matches_its_oracle_across_a_background_rebuild_v4() {
+    differential_across_rebuild::<u32>("v4");
+}
+
+#[test]
+fn every_vrf_matches_its_oracle_across_a_background_rebuild_v6() {
+    differential_across_rebuild::<u128>("v6");
+}
