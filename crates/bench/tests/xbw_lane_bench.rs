@@ -1,0 +1,87 @@
+//! Microbench behind the PR-10 XBW batch retune: scalar vs interleaved
+//! walk on the *cache-resident* taz 0.1 shape string, where the v3
+//! numbers showed batch losing (85.1 ns vs 83.4 ns scalar) and the
+//! residency gate papering over it by dispatching to the scalar walk.
+//!
+//! The retuned kernel replaces the per-chunk lockstep (all eight lanes
+//! wait for the slowest chunk member) with a rolling lane refill, so the
+//! interleave overlaps the serial rank/access dependency chains even when
+//! every probe hits cache. Run it by hand to reproduce the numbers quoted
+//! in `XBW_BATCH_LANES`'s doc comment:
+//!
+//! ```text
+//! cargo test -p fib-bench --release --test xbw_lane_bench -- --ignored --nocapture
+//! ```
+//!
+//! Ignored by default: it is a measurement probe, not a pass/fail guard —
+//! `batch_guard.rs` owns the regression assertion.
+
+use std::time::Instant;
+
+use fib_bench::instance_fib;
+use fib_core::{XbwFib, XbwStorage};
+use fib_trie::NextHop;
+use fib_workload::rng::Xoshiro256;
+use fib_workload::traces;
+
+const SAMPLES: usize = 15;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn bench(label: &str, addrs: &[u32], mut run: impl FnMut(&[u32])) -> f64 {
+    let ns = median(
+        (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                run(addrs);
+                start.elapsed().as_nanos() as f64 / addrs.len() as f64
+            })
+            .collect(),
+    );
+    println!("  {label:<22} {ns:6.1} ns/lookup");
+    ns
+}
+
+#[test]
+#[ignore = "measurement probe; run with --ignored --nocapture"]
+fn xbw_batch_vs_scalar_cache_resident() {
+    let trie = instance_fib("taz", 0.1, 0xF1B);
+    let fib = XbwFib::build(&trie, XbwStorage::Succinct);
+    println!(
+        "xbw-succinct taz 0.1: {} bytes ({} leaves) — cache-resident",
+        fib.size_bytes(),
+        fib.n_leaves()
+    );
+
+    let mut rng = Xoshiro256::seed_from_u64(0xBA7C);
+    let uniform = traces::uniform::<u32, _>(&mut rng, 16384);
+    let zipf = traces::ZipfTrace::new(&trie, 1.0).generate(&mut rng, 16384);
+    let mut out = vec![None::<NextHop>; 16384];
+
+    for (name, addrs) in [("uniform", &uniform), ("zipf", &zipf)] {
+        println!("{name}:");
+        let scalar = bench("scalar", addrs, |a| {
+            let mut acc = 0u64;
+            for &x in a {
+                acc = acc.wrapping_add(u64::from(fib.lookup(x).map_or(u32::MAX, |nh| nh.index())));
+            }
+            std::hint::black_box(acc);
+        });
+        let batch = bench("batch (refill)", addrs, |a| {
+            fib.lookup_batch(a, &mut out);
+            std::hint::black_box(&out[..]);
+        });
+        let stream = bench("stream", addrs, |a| {
+            fib.lookup_stream(a, &mut out);
+            std::hint::black_box(&out[..]);
+        });
+        println!(
+            "  batch/scalar {:.3}x, stream/scalar {:.3}x",
+            batch / scalar,
+            stream / scalar
+        );
+    }
+}

@@ -24,6 +24,7 @@ use fib_trie::{Address, BinaryTrie, LcTrie, NextHop, Prefix, ProperTrie, RouteTa
 use crate::multibit::MultibitDag;
 use crate::pdag::PrefixDag;
 use crate::serialized::SerializedDag;
+use crate::vsdag::{VarStrideDag, VsParams};
 use crate::xbw::{XbwFib, XbwStorage};
 
 /// Uniform construction parameters for [`FibBuild`].
@@ -44,6 +45,11 @@ pub struct BuildConfig {
     pub max_stride: u8,
     /// Storage mode of the XBW-b transform.
     pub xbw_storage: XbwStorage,
+    /// Widest per-node stride the variable-stride DP may choose.
+    pub vs_max_stride: u8,
+    /// Variable-stride slot budget as a multiple of the fixed stride-4
+    /// plan's pre-dedup slot mass (`f64::INFINITY` disables it).
+    pub vs_budget: f64,
 }
 
 impl Default for BuildConfig {
@@ -57,6 +63,19 @@ impl Default for BuildConfig {
             fill: 0.5,
             max_stride: 12,
             xbw_storage: XbwStorage::Entropy,
+            vs_max_stride: 12,
+            vs_budget: 0.6,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// The variable-stride DP knobs this config implies.
+    #[must_use]
+    pub fn vs_params(&self) -> VsParams {
+        VsParams {
+            max_stride: self.vs_max_stride,
+            budget: self.vs_budget,
         }
     }
 }
@@ -177,6 +196,31 @@ pub trait FibLookup<A: Address> {
 pub trait FibBuild<A: Address>: Sized {
     /// Builds the engine from `trie` under `config`.
     fn build(trie: &BinaryTrie<A>, config: &BuildConfig) -> Self;
+
+    /// Builds the engine with a measured traffic profile attached.
+    ///
+    /// `heat` is `(entries, depth)` in the workload `HeatSummary` shape —
+    /// MSB-aligned `u64` prefix keys truncated to `depth` bits with hit
+    /// counts. Traffic-aware engines (the variable-stride DAG) reshape
+    /// their layout around it; everything else ignores it and builds
+    /// uniformly, so a router can thread live heat through every rebuild
+    /// without knowing which engine it drives.
+    fn build_weighted(
+        trie: &BinaryTrie<A>,
+        config: &BuildConfig,
+        heat: Option<(&[(u64, u64)], u8)>,
+    ) -> Self {
+        let _ = heat;
+        Self::build(trie, config)
+    }
+
+    /// Whether [`Self::build_weighted`] actually consumes the heat
+    /// profile. Routers use this to decide if a fresh traffic interval
+    /// warrants a re-layout rebuild (re-striding) or only a hot-slab cut.
+    #[must_use]
+    fn heat_aware() -> bool {
+        false
+    }
 }
 
 /// Incremental route updates, with an escape hatch for static structures.
@@ -467,6 +511,40 @@ impl<A: Address> FibLookup<A> for MultibitDag<A> {
     }
 }
 
+impl<A: Address> FibLookup<A> for VarStrideDag<A> {
+    fn name(&self) -> &'static str {
+        "vsdag"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        VarStrideDag::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        VarStrideDag::lookup_batch(self, addrs, out);
+    }
+
+    fn prefetch(&self, addr: A) {
+        VarStrideDag::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        VarStrideDag::lookup_stream(self, addrs, out);
+    }
+
+    fn size_bytes(&self) -> usize {
+        VarStrideDag::size_bytes(self)
+    }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        VarStrideDag::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
+}
+
 // ---------------------------------------------------------------------
 // FibBuild implementations
 // ---------------------------------------------------------------------
@@ -516,6 +594,24 @@ impl<A: Address> FibBuild<A> for SerializedDag<A> {
 impl<A: Address> FibBuild<A> for MultibitDag<A> {
     fn build(trie: &BinaryTrie<A>, config: &BuildConfig) -> Self {
         MultibitDag::from_trie(trie, config.stride)
+    }
+}
+
+impl<A: Address> FibBuild<A> for VarStrideDag<A> {
+    fn build(trie: &BinaryTrie<A>, config: &BuildConfig) -> Self {
+        VarStrideDag::from_trie(trie, config.vs_params())
+    }
+
+    fn build_weighted(
+        trie: &BinaryTrie<A>,
+        config: &BuildConfig,
+        heat: Option<(&[(u64, u64)], u8)>,
+    ) -> Self {
+        VarStrideDag::from_trie_weighted(trie, config.vs_params(), heat)
+    }
+
+    fn heat_aware() -> bool {
+        true
     }
 }
 
@@ -594,7 +690,14 @@ macro_rules! static_engine_update {
     )+};
 }
 
-static_engine_update!(ProperTrie, LcTrie, XbwFib, SerializedDag, MultibitDag);
+static_engine_update!(
+    ProperTrie,
+    LcTrie,
+    XbwFib,
+    SerializedDag,
+    MultibitDag,
+    VarStrideDag
+);
 
 #[cfg(test)]
 mod tests {

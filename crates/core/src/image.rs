@@ -54,6 +54,7 @@ use fib_trie::{Address, BinaryTrie, LcTrie, LcTrieRef, NextHop, Prefix};
 use crate::multibit::{MultibitDag, MultibitDagRef};
 use crate::pdag::{PrefixDag, PrefixDagRef};
 use crate::serialized::{SerializedDag, SerializedDagRef};
+use crate::vsdag::{VarStrideDag, VarStrideDagRef};
 use crate::xbw::{XbwFib, XbwFibRef};
 use crate::FibLookup;
 
@@ -82,6 +83,12 @@ pub mod sections {
     pub const SER_NODES: u32 = 0x31;
     /// Multibit-DAG packed slot arrays.
     pub const MB_SLOTS: u32 = 0x40;
+    /// Variable-stride DAG node directory (`stride << 32 | slot_base`
+    /// per supernode).
+    pub const VS_NODES: u32 = 0x41;
+    /// Variable-stride DAG packed slot arrays (same tagged-u32 encoding
+    /// as [`MB_SLOTS`]).
+    pub const VS_SLOTS: u32 = 0x42;
     /// LC-trie packed nodes.
     pub const LC_NODES: u32 = 0x50;
     /// Optional traffic-aware hot slab (any engine): meta block + slot
@@ -123,6 +130,8 @@ pub enum EngineKind {
     /// Multi-tenant VRF set: one shared hash-consed pDAG arena plus
     /// per-table dedicated engines, keyed by VRF id (see [`crate::vrf`]).
     VrfSet = 6,
+    /// Traffic-weighted variable-stride multibit DAG.
+    VsDag = 7,
 }
 
 impl EngineKind {
@@ -136,6 +145,7 @@ impl EngineKind {
             4 => Some(Self::MultibitDag),
             5 => Some(Self::LcTrie),
             6 => Some(Self::VrfSet),
+            7 => Some(Self::VsDag),
             _ => None,
         }
     }
@@ -150,6 +160,7 @@ impl EngineKind {
             Self::MultibitDag => "multibit",
             Self::LcTrie => "lctrie",
             Self::VrfSet => "vrfset",
+            Self::VsDag => "vsdag",
         }
     }
 
@@ -163,6 +174,7 @@ impl EngineKind {
             "multibit" => Some(Self::MultibitDag),
             "lctrie" => Some(Self::LcTrie),
             "vrfset" => Some(Self::VrfSet),
+            "vsdag" => Some(Self::VsDag),
             _ => None,
         }
     }
@@ -852,6 +864,70 @@ impl<A: Address> ImageCodec<A> for MultibitDag<A> {
     }
 }
 
+impl<A: Address> ImageCodec<A> for VarStrideDag<A> {
+    const ENGINE: EngineKind = EngineKind::VsDag;
+    type Ref<'i> = VarStrideDagRef<'i, A>;
+
+    fn write_sections(&self, writer: &mut ImageWriter) -> Result<(), ImageError> {
+        writer.section(
+            sections::PARAMS,
+            &[
+                u64::from(self.root_ref()),
+                self.node_count() as u64,
+                self.slot_count() as u64,
+            ],
+        );
+        writer.section(sections::VS_NODES, self.node_words());
+        writer.section(sections::VS_SLOTS, self.slot_words());
+        Ok(())
+    }
+
+    fn view(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let (root, node_count, n_slots) = vsdag_params(image)?;
+        let nodes = image.section(sections::VS_NODES)?;
+        if nodes.len() != node_count {
+            return Err(ImageError::Malformed("node directory length mismatch"));
+        }
+        VarStrideDagRef::from_parts(nodes, image.section(sections::VS_SLOTS)?, n_slots, root)
+            .map_err(ImageError::Malformed)
+    }
+
+    fn view_prevalidated(image: &FibImage) -> Result<Self::Ref<'_>, ImageError> {
+        image.expect::<A>(Self::ENGINE)?;
+        let (root, node_count, n_slots) = vsdag_params(image)?;
+        let nodes = image.section(sections::VS_NODES)?;
+        if nodes.len() != node_count {
+            return Err(ImageError::Malformed("node directory length mismatch"));
+        }
+        VarStrideDagRef::from_parts_trusted(
+            nodes,
+            image.section(sections::VS_SLOTS)?,
+            n_slots,
+            root,
+        )
+        .map_err(ImageError::Malformed)
+    }
+
+    fn resident_size_bytes(&self) -> usize {
+        self.size_bytes()
+    }
+}
+
+/// Decodes the vsdag `PARAMS` triple `[root, node_count, slot_count]`.
+fn vsdag_params(image: &FibImage) -> Result<(u32, usize, usize), ImageError> {
+    let params = image.section(sections::PARAMS)?;
+    if params.len() < 3 {
+        return Err(ImageError::Malformed("params"));
+    }
+    let root = u32::try_from(params[0]).map_err(|_| ImageError::Malformed("root out of range"))?;
+    let node_count =
+        usize::try_from(params[1]).map_err(|_| ImageError::Malformed("node count out of range"))?;
+    let n_slots =
+        usize::try_from(params[2]).map_err(|_| ImageError::Malformed("slot count out of range"))?;
+    Ok((root, node_count, n_slots))
+}
+
 impl<A: Address> ImageCodec<A> for LcTrie<A> {
     const ENGINE: EngineKind = EngineKind::LcTrie;
     type Ref<'i> = LcTrieRef<'i, A>;
@@ -1037,6 +1113,40 @@ impl<A: Address> FibLookup<A> for MultibitDagRef<'_, A> {
     }
 }
 
+impl<A: Address> FibLookup<A> for VarStrideDagRef<'_, A> {
+    fn name(&self) -> &'static str {
+        "vsdag/image"
+    }
+
+    fn lookup(&self, addr: A) -> Option<NextHop> {
+        VarStrideDagRef::lookup(self, addr)
+    }
+
+    fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        VarStrideDagRef::lookup_batch(self, addrs, out);
+    }
+
+    fn prefetch(&self, addr: A) {
+        VarStrideDagRef::prefetch(self, addr);
+    }
+
+    fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
+        VarStrideDagRef::lookup_stream(self, addrs, out);
+    }
+
+    fn size_bytes(&self) -> usize {
+        VarStrideDagRef::size_bytes(self)
+    }
+
+    fn lookup_traced(&self, addr: A, sink: &mut dyn FnMut(u64, u32)) -> Option<NextHop> {
+        VarStrideDagRef::lookup_traced(self, addr, sink)
+    }
+
+    fn traces_memory(&self) -> bool {
+        true
+    }
+}
+
 impl<A: Address> FibLookup<A> for LcTrieRef<'_, A> {
     fn name(&self) -> &'static str {
         "fib_trie/image"
@@ -1128,6 +1238,8 @@ pub enum AnyView<'a, A: Address> {
     MultibitDag(MultibitDagRef<'a, A>),
     /// LC-trie image.
     LcTrie(LcTrieRef<'a, A>),
+    /// Variable-stride DAG image.
+    VsDag(VarStrideDagRef<'a, A>),
 }
 
 /// Assembles the engine-appropriate view for whatever `image` encodes.
@@ -1145,6 +1257,7 @@ pub fn any_view<A: Address>(image: &FibImage) -> Result<AnyView<'_, A>, ImageErr
             AnyView::MultibitDag(<MultibitDag<A> as ImageCodec<A>>::view(image)?)
         }
         EngineKind::LcTrie => AnyView::LcTrie(<LcTrie<A> as ImageCodec<A>>::view(image)?),
+        EngineKind::VsDag => AnyView::VsDag(<VarStrideDag<A> as ImageCodec<A>>::view(image)?),
         EngineKind::VrfSet => {
             return Err(ImageError::Unsupported(
                 "vrfset images are VRF-keyed; assemble a crate::vrf::VrfSetRef instead",
@@ -1161,6 +1274,7 @@ impl<A: Address> FibLookup<A> for AnyView<'_, A> {
             Self::SerializedDag(v) => FibLookup::<A>::name(v),
             Self::MultibitDag(v) => FibLookup::<A>::name(v),
             Self::LcTrie(v) => FibLookup::<A>::name(v),
+            Self::VsDag(v) => FibLookup::<A>::name(v),
         }
     }
 
@@ -1171,6 +1285,7 @@ impl<A: Address> FibLookup<A> for AnyView<'_, A> {
             Self::SerializedDag(v) => v.lookup(addr),
             Self::MultibitDag(v) => v.lookup(addr),
             Self::LcTrie(v) => v.lookup(addr),
+            Self::VsDag(v) => v.lookup(addr),
         }
     }
 
@@ -1181,6 +1296,7 @@ impl<A: Address> FibLookup<A> for AnyView<'_, A> {
             Self::SerializedDag(v) => v.lookup_batch(addrs, out),
             Self::MultibitDag(v) => v.lookup_batch(addrs, out),
             Self::LcTrie(v) => v.lookup_batch(addrs, out),
+            Self::VsDag(v) => v.lookup_batch(addrs, out),
         }
     }
 
@@ -1191,6 +1307,7 @@ impl<A: Address> FibLookup<A> for AnyView<'_, A> {
             Self::SerializedDag(v) => v.prefetch(addr),
             Self::MultibitDag(v) => v.prefetch(addr),
             Self::LcTrie(v) => v.prefetch(addr),
+            Self::VsDag(v) => v.prefetch(addr),
         }
     }
 
@@ -1201,6 +1318,7 @@ impl<A: Address> FibLookup<A> for AnyView<'_, A> {
             Self::SerializedDag(v) => v.lookup_stream(addrs, out),
             Self::MultibitDag(v) => v.lookup_stream(addrs, out),
             Self::LcTrie(v) => v.lookup_stream(addrs, out),
+            Self::VsDag(v) => v.lookup_stream(addrs, out),
         }
     }
 
@@ -1211,6 +1329,7 @@ impl<A: Address> FibLookup<A> for AnyView<'_, A> {
             Self::SerializedDag(v) => FibLookup::<A>::size_bytes(v),
             Self::MultibitDag(v) => FibLookup::<A>::size_bytes(v),
             Self::LcTrie(v) => FibLookup::<A>::size_bytes(v),
+            Self::VsDag(v) => FibLookup::<A>::size_bytes(v),
         }
     }
 }

@@ -99,16 +99,12 @@ pub fn barrier_traffic(n: usize, depth_mass: &[f64], base: u8, theta: f64, width
     if n == 0 || depth_mass.is_empty() {
         return base.min(width);
     }
-    let deeper = |l: u8| -> f64 {
-        depth_mass
-            .iter()
-            .skip(usize::from(l) + 1)
-            .sum::<f64>()
-            .clamp(0.0, 1.0)
-    };
     let mut lambda = base.min(width);
     while lambda < width {
-        let gain = deeper(lambda);
+        // Marginal gain of raising the barrier one level: exactly the
+        // expected-walk-depth drop E(λ) − E(λ+1) = P[match depth > λ].
+        let gain =
+            expected_walk_depth(depth_mass, lambda) - expected_walk_depth(depth_mass, lambda + 1);
         let cost = theta * (2f64.powi(i32::from(lambda) + 1)) / n as f64;
         if gain <= 0.0 || gain < cost {
             break;
@@ -116,6 +112,28 @@ pub fn barrier_traffic(n: usize, depth_mass: &[f64], base: u8, theta: f64, width
         lambda += 1;
     }
     lambda
+}
+
+/// Expected traffic-weighted walk depth below a barrier λ:
+/// `E(λ) = Σ_d depth_mass[d] · max(0, d − λ)`.
+///
+/// This is the objective the barrier rules trade against table growth —
+/// and, evaluated per *node* instead of once globally, exactly the cost
+/// the [`crate::VarStrideDag`] dynamic program minimizes: a single
+/// global λ (direct-indexed top, unit strides below) is one point in
+/// that DP's search space, so `barrier_traffic` is the degenerate
+/// one-decision special case of the per-node stride placement.
+///
+/// `depth_mass[d]` is the fraction of traffic whose longest-prefix
+/// match sits at depth `d` (see [`crate::depth_mass_from_heat`]).
+#[must_use]
+pub fn expected_walk_depth(depth_mass: &[f64], lambda: u8) -> f64 {
+    depth_mass
+        .iter()
+        .enumerate()
+        .skip(usize::from(lambda) + 1)
+        .map(|(d, &m)| m.max(0.0) * (d - usize::from(lambda)) as f64)
+        .sum()
 }
 
 fn clamp_lambda(lambda: f64, width: u8) -> u8 {
@@ -200,6 +218,28 @@ mod tests {
         assert_eq!(barrier_traffic(n, &[], 11, 1.0, 32), 11);
         // Clamped to the width.
         assert_eq!(barrier_traffic(n, &deep, 40, 1.0, 32), 32);
+    }
+
+    #[test]
+    fn expected_walk_depth_is_the_barrier_objective() {
+        let mut dm = vec![0.0; 33];
+        dm[8] = 0.25;
+        dm[16] = 0.5;
+        dm[24] = 0.25;
+        // Direct evaluation at a few barriers.
+        assert!(
+            (expected_walk_depth(&dm, 0) - (0.25 * 8.0 + 0.5 * 16.0 + 0.25 * 24.0)).abs() < 1e-12
+        );
+        assert!((expected_walk_depth(&dm, 16) - 0.25 * 8.0).abs() < 1e-12);
+        assert_eq!(expected_walk_depth(&dm, 24), 0.0);
+        // Monotone non-increasing in λ, and each unit step drops by
+        // exactly the mass still matching deeper than λ.
+        for l in 0u8..32 {
+            let (e0, e1) = (expected_walk_depth(&dm, l), expected_walk_depth(&dm, l + 1));
+            assert!(e1 <= e0 + 1e-12);
+            let deeper: f64 = dm.iter().skip(usize::from(l) + 1).sum();
+            assert!((e0 - e1 - deeper).abs() < 1e-12, "λ = {l}");
+        }
     }
 
     #[test]

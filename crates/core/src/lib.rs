@@ -40,6 +40,7 @@ mod pdag;
 mod serialized;
 mod strmodel;
 pub mod vrf;
+mod vsdag;
 mod xbw;
 
 pub use engine::{BuildConfig, FibBuild, FibEngine, FibLookup, FibUpdate, RebuildNeeded};
@@ -53,13 +54,14 @@ pub use image::{
 };
 pub use multibit::{MultibitDag, MultibitDagRef, MB_BATCH_LANES};
 pub use pdag::{DagStats, PrefixDag, PrefixDagRef};
-pub use serialized::{SerializedDag, SerializedDagRef, SER_BATCH_LANES};
+pub use serialized::{SerializedDag, SerializedDagRef, SER_BATCH_LANES, SER_REFILL_LANES};
 pub use strmodel::FoldedString;
 pub use vrf::{
     compile_vrf_set, vrf_section_base, write_vrf_image, CompiledVrf, CompiledVrfSet, CostModel,
     VrfEngineChoice, VrfEngineRef, VrfPolicy, VrfSetRef, VrfSetStats, VrfTable, VrfTableRef,
     VRF_DIR_RECORD_WORDS,
 };
+pub use vsdag::{VarStrideDag, VarStrideDagRef, VsParams, VS_BATCH_LANES, VS_REFILL_LANES};
 pub use xbw::{
     SaStorage, SiStorage, XbwFib, XbwFibRef, XbwSizeReport, XbwStorage, XBW_BATCH_LANES,
 };

@@ -22,6 +22,11 @@
 //!   ([`fib_succinct::RsBitVecRef::audit`]) — the showcase class,
 //!   because a corrupted count word passes every size check the loader
 //!   makes and then silently misroutes;
+//! * variable-stride DAG shape: every directory entry's stride within
+//!   the legal `[1, 16]` band and the slot spans tiling the slot table
+//!   contiguously (base words re-derived from the running stride sum, so
+//!   a corrupted base or a truncated slot section is named, not just
+//!   refused);
 //! * routes payload: prefix lengths and address widths within family;
 //! * hot-slab payload: the [`sections::HOT_SLAB`] parse invariants plus
 //!   semantic cross-validation — every pinned `(block, next hop)` entry
@@ -108,6 +113,7 @@ pub fn lint_image(image: &FibImage) -> Vec<LintIssue> {
         Ok(EngineKind::PrefixDag) => pdag_pass(image, &mut issues),
         Ok(EngineKind::Xbw) => xbw_pass(image, &mut issues),
         Ok(EngineKind::VrfSet) => vrf_pass(image, &mut issues),
+        Ok(EngineKind::VsDag) => vsdag_pass(image, &mut issues),
         // serialized / multibit / lctrie structure is fully covered by
         // their validating views, exercised in view_pass below.
         Ok(_) | Err(_) => {}
@@ -512,6 +518,85 @@ fn wavelet_pass(words: &[u64], issues: &mut Vec<LintIssue>) -> Option<usize> {
 }
 
 // ---------------------------------------------------------------------
+// Variable-stride DAG: stride bounds + slot-table coverage
+// ---------------------------------------------------------------------
+
+/// Legal stride band for a vsdag directory entry.
+const VS_MAX_STRIDE: u64 = 16;
+
+/// Deep pass over a [`EngineKind::VsDag`] image. Re-derives the slot
+/// layout from the raw directory words — independently of
+/// [`crate::VarStrideDagRef`]'s load validation — so a corrupt image the
+/// view refuses still yields the *named* class of damage:
+///
+/// * `vsdag-stride-out-of-range` — a directory entry's stride field is
+///   outside `[1, 16]`; the builder can never emit one, so this is
+///   always corruption (the corpus pins exactly this mutation);
+/// * `vsdag-slot-coverage` — the per-node spans `2^stride` do not tile
+///   the slot table contiguously: a base word off the running sum, a
+///   span past the declared slot count, or a slot section holding fewer
+///   words than the declared slots need (truncation).
+fn vsdag_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
+    let (Ok(params), Ok(nodes), Ok(slots)) = (
+        image.section(sections::PARAMS),
+        image.section(sections::VS_NODES),
+        image.section(sections::VS_SLOTS),
+    ) else {
+        return; // view_pass reports the missing section
+    };
+    if params.len() < 3 {
+        issues.push(issue("image-malformed", "vsdag params section too short"));
+        return;
+    }
+    let n_slots = params[2];
+    if slots.len() as u64 != n_slots.div_ceil(2) {
+        issues.push(issue(
+            "vsdag-slot-coverage",
+            format!(
+                "slot section holds {} words, the declared {n_slots} slots need {}",
+                slots.len(),
+                n_slots.div_ceil(2)
+            ),
+        ));
+    }
+    let mut expected_base = 0u64;
+    for (i, &node) in nodes.iter().enumerate() {
+        let stride = node >> 32;
+        let base = u64::from(node as u32);
+        if stride == 0 || stride > VS_MAX_STRIDE {
+            issues.push(issue(
+                "vsdag-stride-out-of-range",
+                format!("node {i}: stride field {stride} outside [1, {VS_MAX_STRIDE}]"),
+            ));
+            return; // span accounting below is meaningless now
+        }
+        if base != expected_base {
+            issues.push(issue(
+                "vsdag-slot-coverage",
+                format!(
+                    "node {i}: slot base {base} breaks the contiguous tiling (expected {expected_base})"
+                ),
+            ));
+            return;
+        }
+        expected_base += 1u64 << stride;
+        if expected_base > n_slots {
+            issues.push(issue(
+                "vsdag-slot-coverage",
+                format!("node {i}: span ends at slot {expected_base}, past the declared {n_slots}"),
+            ));
+            return;
+        }
+    }
+    if expected_base != n_slots {
+        issues.push(issue(
+            "vsdag-slot-coverage",
+            format!("node spans tile {expected_base} slots, the image declares {n_slots}"),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
 // VRF set: directory hygiene, shared-arena shape, dedicated sections
 // ---------------------------------------------------------------------
 
@@ -622,12 +707,16 @@ fn vrf_pass(image: &FibImage, issues: &mut Vec<LintIssue>) {
                     ));
                 }
             }
-            crate::vrf::VrfEngineChoice::Serialized | crate::vrf::VrfEngineChoice::Xbw => {
+            crate::vrf::VrfEngineChoice::Serialized
+            | crate::vrf::VrfEngineChoice::Xbw
+            | crate::vrf::VrfEngineChoice::VsDag => {
                 let base = crate::vrf::vrf_section_base(index);
-                let slots = if choice == crate::vrf::VrfEngineChoice::Serialized {
-                    3
-                } else {
+                // Params plus payload sections: serialized and vsdag
+                // carry two payloads, xbw three.
+                let slots = if choice == crate::vrf::VrfEngineChoice::Xbw {
                     4
+                } else {
+                    3
                 };
                 for slot in 0..slots {
                     if image.section(base + slot).is_err() {
@@ -924,6 +1013,50 @@ mod tests {
         let issues = lint_bytes(&repair_checksum(bad));
         assert!(
             issues.iter().any(|i| i.code == "vrf-dir-malformed"),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn vsdag_images_lint_clean_and_name_their_damage() {
+        use crate::vsdag::{VarStrideDag, VsParams};
+        let trie = small_fib();
+        let dag = VarStrideDag::from_trie(&trie, VsParams::default());
+        let good = write_image(&dag, Some(&trie), 1).unwrap();
+        assert_eq!(lint_bytes(&good), Vec::new());
+
+        let image = FibImage::from_bytes(&good).unwrap();
+        let entry = image
+            .section_table()
+            .iter()
+            .find(|e| e.id == sections::VS_NODES)
+            .copied()
+            .unwrap();
+
+        // Blow the first node's stride field out of the legal band.
+        let mut bad = good.clone();
+        let stride_bytes = entry.offset * 8 + 4;
+        bad[stride_bytes..stride_bytes + 4].copy_from_slice(&0x3Fu32.to_le_bytes());
+        let issues = lint_bytes(&repair_checksum(bad));
+        assert!(
+            issues.iter().any(|i| i.code == "vsdag-stride-out-of-range"),
+            "{issues:?}"
+        );
+
+        // Shrink the slot section's declared length: truncation.
+        let slots_pos = image
+            .section_table()
+            .iter()
+            .position(|e| e.id == sections::VS_SLOTS)
+            .unwrap();
+        let len_word = (8 + slots_pos * 2 + 1) * 8;
+        let mut bad = good;
+        let packed = u64::from_le_bytes(bad[len_word..len_word + 8].try_into().unwrap());
+        let shrunk = (packed & 0xFFFF_FFFF) | ((packed >> 32).saturating_sub(1) << 32);
+        bad[len_word..len_word + 8].copy_from_slice(&shrunk.to_le_bytes());
+        let issues = lint_bytes(&repair_checksum(bad));
+        assert!(
+            issues.iter().any(|i| i.code == "vsdag-slot-coverage"),
             "{issues:?}"
         );
     }

@@ -37,8 +37,17 @@ use crate::pdag::{PrefixDag, NONE};
 const LEAF_TAG: u32 = 0x8000_0000;
 const BOT: u32 = 0x7FFF_FFFF;
 
-/// Number of lookups [`SerializedDag::lookup_batch`] walks in lockstep.
+/// Number of lookups the gather kernel behind
+/// [`SerializedDag::lookup_stream`] walks in lockstep — sized to the
+/// 4-wide SIMD gather the dispatch resolves to.
 pub const SER_BATCH_LANES: usize = 4;
+
+/// In-flight walks of the rolling-refill kernel behind
+/// [`SerializedDag::lookup_batch`]. Each slot owns one walk and takes
+/// the next address the moment its walk resolves, overlapping the
+/// serial root-entry → node-record dependency chains even when every
+/// probe hits cache; eight matches the XBW retune's lane sweep.
+pub const SER_REFILL_LANES: usize = 8;
 
 #[inline]
 fn entry_slot(word: u64) -> u32 {
@@ -208,12 +217,11 @@ impl<A: Address> SerializedDag<A> {
         self.view().lookup_with_depth(addr)
     }
 
-    /// Batched longest-prefix match: resolves `addrs[i]` into `out[i]`,
-    /// walking [`SER_BATCH_LANES`] addresses in lockstep. The root-array
-    /// reads of all lanes issue back-to-back before any node-record read,
-    /// and the per-hop record fetches of different lanes are independent,
-    /// so the memory-level parallelism of the flat image is actually used
-    /// instead of one pointer chase serializing the next.
+    /// Batched longest-prefix match: resolves `addrs[i]` into `out[i]`
+    /// with [`SER_REFILL_LANES`] rolling-refill walks in flight, so the
+    /// per-hop record fetches of independent lookups overlap instead of
+    /// one pointer chase serializing the next (see
+    /// [`SerializedDagRef::lookup_batch`]).
     ///
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
@@ -458,32 +466,75 @@ impl<'a, A: Address> SerializedDagRef<'a, A> {
         }
     }
 
-    /// Batched longest-prefix match (see [`SerializedDag::lookup_batch`]).
+    /// Batched longest-prefix match (see [`SerializedDag::lookup_batch`]):
+    /// a rolling-refill walk with up to [`SER_REFILL_LANES`] node-record
+    /// chases in flight. Lookups that resolve at their root-array entry
+    /// — the vast majority under uniform keys, where lane bookkeeping
+    /// would be pure overhead — are peeled inline by the refill pull
+    /// loop at plain scalar-walk cost; only walks that survive into the
+    /// record chain occupy a lane, so the serial per-hop fetches of
+    /// deep (zipf-popular) lookups overlap instead of one pointer chase
+    /// serializing the next.
     ///
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
-                                                                      // Trim so the exact-chunk remainders of both slices stay aligned
-                                                                      // when the caller hands in an oversized output buffer.
-        let out = &mut out[..addrs.len()];
-        // A cache-resident blob has no misses for the lockstep walk (or
-        // its gathers) to overlap — lane bookkeeping is pure overhead
-        // there, so small images walk scalar, like the stream path's
-        // prefetch gate below.
-        if self.size_bytes() < fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES {
-            for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
-                *slot = self.lookup(*addr);
+        let n = addrs.len();
+        let out = &mut out[..n];
+        let resolve = |entry: u64, reference: u32| {
+            let label = reference & !LEAF_TAG;
+            if label == BOT {
+                let fallback = entry_fallback(entry);
+                (fallback != NONE).then(|| NextHop::new(fallback))
+            } else {
+                Some(NextHop::new(label))
             }
-            return;
-        }
-        let mut chunks = addrs.chunks_exact(SER_BATCH_LANES);
-        let mut outs = out.chunks_exact_mut(SER_BATCH_LANES);
-        for (chunk, slot) in (&mut chunks).zip(&mut outs) {
-            self.resolve_lanes(chunk, slot);
-        }
-        for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
-            *slot = self.lookup(*addr);
+        };
+        let mut entry = [0u64; SER_REFILL_LANES];
+        let mut reference = [0u32; SER_REFILL_LANES];
+        let mut depth = [0u8; SER_REFILL_LANES];
+        // Index into `addrs` each lane is walking; `usize::MAX` = empty.
+        let mut job = [usize::MAX; SER_REFILL_LANES];
+        let mut live = 0usize;
+        let mut next = 0usize;
+        while live > 0 || next < n {
+            for lane in 0..SER_REFILL_LANES {
+                let mut j = job[lane];
+                if j != usize::MAX {
+                    let r = reference[lane];
+                    if r & LEAF_TAG == 0 {
+                        reference[lane] =
+                            record_child(self.nodes[r as usize], addrs[j].bit(depth[lane]));
+                        depth[lane] += 1;
+                        continue;
+                    }
+                    out[j] = resolve(entry[lane], r);
+                    job[lane] = usize::MAX;
+                    live -= 1;
+                    j = usize::MAX;
+                }
+                if j == usize::MAX {
+                    // Pull: resolve entry-level leaves inline, park the
+                    // first walk that survives into the record chain.
+                    while next < n {
+                        let e = self.entries[addrs[next].bits(0, self.lambda) as usize];
+                        let r0 = entry_slot(e);
+                        let idx = next;
+                        next += 1;
+                        if r0 & LEAF_TAG != 0 {
+                            out[idx] = resolve(e, r0);
+                        } else {
+                            job[lane] = idx;
+                            entry[lane] = e;
+                            reference[lane] = r0;
+                            depth[lane] = self.lambda;
+                            live += 1;
+                            break;
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -506,7 +557,7 @@ impl<'a, A: Address> SerializedDagRef<'a, A> {
     pub fn lookup_stream(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         // Below the residency threshold the whole structure lives in
         // cache and the prefetch stage is pure overhead — identical
-        // results either way, so take the plain interleaved path.
+        // results either way, so take the rolling-refill batch kernel.
         if self.size_bytes() < fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES {
             return self.lookup_batch(addrs, out);
         }
@@ -520,9 +571,9 @@ impl<'a, A: Address> SerializedDagRef<'a, A> {
         );
     }
 
-    /// One lockstep [`SER_BATCH_LANES`]-lane group: the shared kernel of
-    /// [`Self::lookup_batch`] and [`Self::lookup_stream`]. Both slices
-    /// must be exactly [`SER_BATCH_LANES`] long.
+    /// One lockstep [`SER_BATCH_LANES`]-lane group: the gather kernel of
+    /// [`Self::lookup_stream`]'s out-of-cache path. Both slices must be
+    /// exactly [`SER_BATCH_LANES`] long.
     #[inline]
     fn resolve_lanes(&self, chunk: &[A], slot: &mut [Option<NextHop>]) {
         // Stage 1: all root-array entries in one SIMD gather (scalar

@@ -43,6 +43,7 @@ use crate::engine::{BuildConfig, FibBuild, FibLookup};
 use crate::image::{sections, EngineKind, FibImage, ImageError, ImageWriter};
 use crate::pdag::{PrefixDag, PrefixDagRef};
 use crate::serialized::{SerializedDag, SerializedDagRef};
+use crate::vsdag::{VarStrideDag, VarStrideDagRef};
 use crate::xbw::{XbwFib, XbwFibRef, XbwStorage};
 
 const NONE: u32 = u32::MAX;
@@ -56,10 +57,14 @@ pub const VRF_DIR_RECORD_WORDS: usize = 6;
 pub enum VrfEngineChoice {
     /// A root pointer into the shared hash-consed pDAG arena.
     Shared = 0,
-    /// A dedicated λ-collapsed serialized DAG (fastest lookups).
+    /// A dedicated λ-collapsed serialized DAG (dense flat layout,
+    /// lowest latency after vsdag in the v4 cost model).
     Serialized = 1,
     /// A dedicated entropy-mode XBW-b (smallest footprint).
     Xbw = 2,
+    /// A dedicated variable-stride multibit DAG (the speed/size middle
+    /// ground: near-serialized latency at a fraction of the slots).
+    VsDag = 3,
 }
 
 impl VrfEngineChoice {
@@ -70,6 +75,7 @@ impl VrfEngineChoice {
             0 => Some(Self::Shared),
             1 => Some(Self::Serialized),
             2 => Some(Self::Xbw),
+            3 => Some(Self::VsDag),
             _ => None,
         }
     }
@@ -81,6 +87,7 @@ impl VrfEngineChoice {
             Self::Shared => "shared-pdag",
             Self::Serialized => "serialized",
             Self::Xbw => "xbw-entropy",
+            Self::VsDag => "vsdag",
         }
     }
 }
@@ -88,11 +95,12 @@ impl VrfEngineChoice {
 /// Measured size/speed cost model for per-VRF engine placement.
 ///
 /// Latency and density defaults are the committed BENCH_lookup.json
-/// points (taz, uniform keys, scalar lookups): pdag-serialized 8.1 ns at
-/// 11.49 bits/route, xbw-entropy 659.4 ns at 1.34 bits/route, the shared
-/// pDAG walk 38.2 ns with its bytes charged as the *marginal* unique
-/// arena bytes the table adds. Placement minimizes
-/// `traffic_weight · ns + byte_rent · bytes`.
+/// points (schema v4: taz, uniform keys, scalar lookups with stored
+/// results): pdag-serialized 7.9 ns at 11.49 bits/route, xbw-entropy
+/// 585.3 ns at 1.34 bits/route, the heat-compiled vsdag 7.1 ns at
+/// 25.65 bits/route, the shared pDAG walk 37.7 ns with its bytes
+/// charged as the *marginal* unique arena bytes the table adds.
+/// Placement minimizes `traffic_weight · ns + byte_rent · bytes`.
 #[derive(Clone, Copy, Debug)]
 pub struct CostModel {
     /// Measured ns/lookup of a dedicated serialized DAG.
@@ -103,6 +111,11 @@ pub struct CostModel {
     pub xbw_ns: f64,
     /// Measured density of entropy-mode XBW-b, bits per route.
     pub xbw_bits_per_route: f64,
+    /// Measured ns/lookup of a dedicated variable-stride DAG.
+    pub vsdag_ns: f64,
+    /// Measured density of a dedicated variable-stride DAG, bits per
+    /// route.
+    pub vsdag_bits_per_route: f64,
     /// Measured ns/lookup of the shared packed pDAG walk.
     pub shared_ns: f64,
     /// Memory rent: the cost of one resident byte, in the same units as
@@ -113,11 +126,13 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         Self {
-            serialized_ns: 8.1,
+            serialized_ns: 7.9,
             serialized_bits_per_route: 11.49,
-            xbw_ns: 659.4,
+            xbw_ns: 585.3,
             xbw_bits_per_route: 1.34,
-            shared_ns: 38.2,
+            vsdag_ns: 7.1,
+            vsdag_bits_per_route: 25.65,
+            shared_ns: 37.7,
             byte_rent: 1e-4,
         }
     }
@@ -142,6 +157,10 @@ impl CostModel {
                 routes as f64 * self.serialized_bits_per_route / 8.0,
             ),
             VrfEngineChoice::Xbw => (self.xbw_ns, routes as f64 * self.xbw_bits_per_route / 8.0),
+            VrfEngineChoice::VsDag => (
+                self.vsdag_ns,
+                routes as f64 * self.vsdag_bits_per_route / 8.0,
+            ),
         };
         traffic_weight * ns + self.byte_rent * bytes
     }
@@ -158,7 +177,11 @@ impl CostModel {
     ) -> VrfEngineChoice {
         let mut best = VrfEngineChoice::Shared;
         let mut best_cost = self.cost(best, routes, marginal_shared_bytes, traffic_weight);
-        for choice in [VrfEngineChoice::Serialized, VrfEngineChoice::Xbw] {
+        for choice in [
+            VrfEngineChoice::Serialized,
+            VrfEngineChoice::Xbw,
+            VrfEngineChoice::VsDag,
+        ] {
             let c = self.cost(choice, routes, marginal_shared_bytes, traffic_weight);
             if c < best_cost {
                 best = choice;
@@ -181,6 +204,12 @@ pub enum VrfPolicy {
     Auto {
         /// Per-table traffic weights (e.g. live `HeatSketch` mass).
         weights: Vec<f64>,
+    },
+    /// Explicit placement, one choice per input table — operator
+    /// overrides and deterministic tests bypass the cost model.
+    Pinned {
+        /// Per-table engine choices, parallel to the input tables.
+        choices: Vec<VrfEngineChoice>,
     },
 }
 
@@ -259,6 +288,8 @@ pub struct CompiledVrf<A: Address> {
     pub serialized: Option<SerializedDag<A>>,
     /// The dedicated engine, when placed off the shared arena.
     pub xbw: Option<XbwFib<A>>,
+    /// The dedicated engine, when placed off the shared arena.
+    pub vsdag: Option<VarStrideDag<A>>,
 }
 
 /// A compiled multi-tenant set: the shared arena, per-table roots and
@@ -293,6 +324,7 @@ impl<A: Address> CompiledVrfSet<A> {
             }
             VrfEngineChoice::Serialized => table.serialized.as_ref()?.lookup(addr),
             VrfEngineChoice::Xbw => table.xbw.as_ref()?.lookup(addr),
+            VrfEngineChoice::VsDag => table.vsdag.as_ref()?.lookup(addr),
         }
     }
 }
@@ -435,7 +467,7 @@ pub fn compile_vrf_set<A: Address>(
 ) -> CompiledVrfSet<A> {
     // Pair each table with its traffic weight, then sort by id.
     let weights: Vec<f64> = match policy {
-        VrfPolicy::Shared => vec![0.0; tables.len()],
+        VrfPolicy::Shared | VrfPolicy::Pinned { .. } => vec![0.0; tables.len()],
         VrfPolicy::Auto { weights } if weights.is_empty() => {
             vec![1.0 / tables.len().max(1) as f64; tables.len()]
         }
@@ -481,6 +513,10 @@ pub fn compile_vrf_set<A: Address>(
     let model = CostModel::default();
     let choices: Vec<VrfEngineChoice> = match policy {
         VrfPolicy::Shared => vec![VrfEngineChoice::Shared; indexed.len()],
+        VrfPolicy::Pinned { choices } => {
+            assert_eq!(choices.len(), tables.len(), "one choice per table");
+            indexed.iter().map(|(orig, _)| choices[*orig]).collect()
+        }
         VrfPolicy::Auto { .. } => indexed
             .iter()
             .enumerate()
@@ -518,23 +554,28 @@ pub fn compile_vrf_set<A: Address>(
         let choice = choices[pos];
         let solo_nodes = (packed[pos].0.len() / 2) as u64;
         stats.independent_bytes += solo_nodes * 16;
-        let (root, reachable, serialized, xbw) = match choice {
+        let (root, reachable, serialized, xbw, vsdag) = match choice {
             VrfEngineChoice::Shared => {
                 let root = packed_roots[pos];
                 let reachable = reachable_count(&arena, root);
                 stats.shared_tables += 1;
                 stats.total_nodes += reachable;
-                (root, reachable, None, None)
+                (root, reachable, None, None, None)
             }
             VrfEngineChoice::Serialized => {
                 let dag = SerializedDag::build(t.trie, config);
                 stats.dedicated_bytes += dag.size_bytes() as u64;
-                (NONE, 0, Some(dag), None)
+                (NONE, 0, Some(dag), None, None)
             }
             VrfEngineChoice::Xbw => {
                 let fib = XbwFib::build(t.trie, XbwStorage::Entropy);
                 stats.dedicated_bytes += fib.size_bytes() as u64;
-                (NONE, 0, None, Some(fib))
+                (NONE, 0, None, Some(fib), None)
+            }
+            VrfEngineChoice::VsDag => {
+                let dag = VarStrideDag::from_trie(t.trie, config.vs_params());
+                stats.dedicated_bytes += dag.size_bytes() as u64;
+                (NONE, 0, None, None, Some(dag))
             }
         };
         out_tables.push(CompiledVrf {
@@ -546,6 +587,7 @@ pub fn compile_vrf_set<A: Address>(
             solo_nodes,
             serialized,
             xbw,
+            vsdag,
         });
     }
     CompiledVrfSet {
@@ -570,8 +612,8 @@ pub fn vrf_section_base(index: usize) -> u32 {
 fn vrf_section_slot(id: u32) -> u32 {
     match id {
         sections::PARAMS => 0,
-        sections::SER_ENTRIES | sections::XBW_SI => 1,
-        sections::SER_NODES | sections::XBW_SA => 2,
+        sections::SER_ENTRIES | sections::XBW_SI | sections::VS_NODES => 1,
+        sections::SER_NODES | sections::XBW_SA | sections::VS_SLOTS => 2,
         sections::XBW_LABELS => 3,
         other => {
             debug_assert!(false, "unexpected dedicated-engine section {other:#x}");
@@ -633,6 +675,13 @@ pub fn write_vrf_image<A: Address>(
                     .ok_or(ImageError::Malformed("xbw placement without engine"))?;
                 crate::image::ImageCodec::<A>::write_sections(fib, &mut sub)?;
             }
+            VrfEngineChoice::VsDag => {
+                let dag = t
+                    .vsdag
+                    .as_ref()
+                    .ok_or(ImageError::Malformed("vsdag placement without engine"))?;
+                crate::image::ImageCodec::<A>::write_sections(dag, &mut sub)?;
+            }
         }
         writer.import_remapped(sub, |id| base + vrf_section_slot(id));
     }
@@ -652,6 +701,8 @@ pub enum VrfEngineRef<'a, A: Address> {
     Serialized(SerializedDagRef<'a, A>),
     /// Dedicated entropy-mode XBW-b.
     Xbw(XbwFibRef<'a, A>),
+    /// Dedicated variable-stride DAG.
+    VsDag(VarStrideDagRef<'a, A>),
 }
 
 impl<A: Address> VrfEngineRef<'_, A> {
@@ -663,6 +714,7 @@ impl<A: Address> VrfEngineRef<'_, A> {
             Self::Shared(v) => v.lookup(addr),
             Self::Serialized(v) => v.lookup(addr),
             Self::Xbw(v) => v.lookup(addr),
+            Self::VsDag(v) => v.lookup(addr),
         }
     }
 
@@ -673,6 +725,7 @@ impl<A: Address> VrfEngineRef<'_, A> {
             Self::Shared(_) => VrfEngineChoice::Shared,
             Self::Serialized(_) => VrfEngineChoice::Serialized,
             Self::Xbw(_) => VrfEngineChoice::Xbw,
+            Self::VsDag(_) => VrfEngineChoice::VsDag,
         }
     }
 }
@@ -770,6 +823,32 @@ impl<'a, A: Address> VrfSetRef<'a, A> {
                         image.section(base + 3)?,
                     )?)
                 }
+                VrfEngineChoice::VsDag => {
+                    let base = vrf_section_base(index);
+                    let params = image.section(base)?;
+                    if params.len() < 3 {
+                        return Err(ImageError::Malformed("vrf params"));
+                    }
+                    let vs_root = u32::try_from(params[0])
+                        .map_err(|_| ImageError::Malformed("vsdag root out of range"))?;
+                    let node_count = usize::try_from(params[1])
+                        .map_err(|_| ImageError::Malformed("vsdag node count out of range"))?;
+                    let n_slots = usize::try_from(params[2])
+                        .map_err(|_| ImageError::Malformed("vsdag slot count out of range"))?;
+                    let nodes = image.section(base + 1)?;
+                    if nodes.len() != node_count {
+                        return Err(ImageError::Malformed("vsdag node directory length"));
+                    }
+                    VrfEngineRef::VsDag(
+                        VarStrideDagRef::from_parts(
+                            nodes,
+                            image.section(base + 2)?,
+                            n_slots,
+                            vs_root,
+                        )
+                        .map_err(ImageError::Malformed)?,
+                    )
+                }
             };
             tables.push(VrfTableRef {
                 id,
@@ -845,6 +924,9 @@ impl<'a, A: Address> VrfSetRef<'a, A> {
                     stats.dedicated_bytes += FibLookup::<A>::size_bytes(&v) as u64;
                 }
                 VrfEngineRef::Xbw(v) => {
+                    stats.dedicated_bytes += FibLookup::<A>::size_bytes(&v) as u64;
+                }
+                VrfEngineRef::VsDag(v) => {
                     stats.dedicated_bytes += FibLookup::<A>::size_bytes(&v) as u64;
                 }
             }
@@ -985,8 +1067,11 @@ mod tests {
             VrfTable { id: 2, trie: &t2 },
             VrfTable { id: 3, trie: &t3 },
         ];
-        // Extreme weights force one hot (serialized) table; tiny tables
-        // otherwise stay shared (marginal bytes are small).
+        // Extreme weights force one hot dedicated table; with v4 cost
+        // defaults the latency-dominated pick is vsdag (7.1 ns beats
+        // serialized's 7.9 and this table is too small for its
+        // bits/route premium to matter). Tiny tables otherwise stay
+        // shared (marginal bytes are small).
         let set = compile_vrf_set(
             &tables,
             &BuildConfig::default(),
@@ -994,7 +1079,7 @@ mod tests {
                 weights: vec![0.98, 0.01, 0.01],
             },
         );
-        assert_eq!(set.tables[0].choice, VrfEngineChoice::Serialized);
+        assert_eq!(set.tables[0].choice, VrfEngineChoice::VsDag);
         let bytes = write_vrf_image(&set, 0).unwrap();
         let image = FibImage::from_bytes(&bytes).unwrap();
         let view = VrfSetRef::<u32>::from_image(&image).unwrap();
@@ -1004,6 +1089,34 @@ mod tests {
             assert_eq!(view.lookup(2, addr), t2.lookup(addr));
             assert_eq!(view.lookup(3, addr), t3.lookup(addr));
         }
+    }
+
+    #[test]
+    fn pinned_vsdag_placement_roundtrips() {
+        let t1 = base_table();
+        let mut t2 = base_table();
+        t2.insert(p("172.16.0.0/12"), nh(5));
+        let tables = [VrfTable { id: 1, trie: &t1 }, VrfTable { id: 2, trie: &t2 }];
+        let set = compile_vrf_set(
+            &tables,
+            &BuildConfig::default(),
+            &VrfPolicy::Pinned {
+                choices: vec![VrfEngineChoice::VsDag, VrfEngineChoice::Shared],
+            },
+        );
+        assert_eq!(set.tables[0].choice, VrfEngineChoice::VsDag);
+        assert!(set.tables[0].vsdag.is_some());
+        let bytes = write_vrf_image(&set, 9).unwrap();
+        let image = FibImage::from_bytes(&bytes).unwrap();
+        let view = VrfSetRef::<u32>::from_image(&image).unwrap();
+        assert_eq!(view.tables()[0].engine.choice(), VrfEngineChoice::VsDag);
+        for i in 0..4096u32 {
+            let addr = i.wrapping_mul(0x85EB_CA6B);
+            assert_eq!(set.lookup(1, addr), t1.lookup(addr));
+            assert_eq!(view.lookup(1, addr), t1.lookup(addr));
+            assert_eq!(view.lookup(2, addr), t2.lookup(addr));
+        }
+        assert_eq!(crate::lint::lint_bytes(&bytes), Vec::new());
     }
 
     #[test]

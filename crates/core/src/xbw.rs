@@ -31,25 +31,26 @@ use fib_succinct::{
 use fib_trie::{Address, BinaryTrie, NextHop, ProperNode, ProperTrie};
 use std::marker::PhantomData;
 
-/// Number of lookups [`XbwFib::lookup_batch`] walks in lockstep.
+/// Number of lookups [`XbwFib::lookup_batch`] interleaves.
 ///
 /// Lane-width sweep on a DFZ-scale shape string (out-of-cache, uniform
 /// keys, median ns/lookup of the interleaved walk): 4 lanes leave load
 /// latency on the table (~0.88× scalar), 8 lanes saturate the walk's
 /// useful memory-level parallelism (~0.74×), and 16 lanes give back the
-/// gain to register spills in the lockstep state (~0.80×). 8 is the
-/// plateau, so it stays. On *cache-resident* strings interleaving at any
-/// width only adds bookkeeping — that case is dispatched to the scalar
-/// walk by the [`XBW_BATCH_SCALAR_BYTES`] gate instead of re-tuned here.
+/// gain to register spills in the lane state (~0.80×). 8 is the plateau,
+/// so it stays.
+///
+/// The original per-chunk *lockstep* kernel lost on cache-resident
+/// strings (~1.3× scalar on taz 0.1, hidden behind a residency gate
+/// that dispatched those tables to the scalar walk): a lane matching
+/// shallow idled until the whole chunk retired, so little of the serial
+/// rank/access dependency chain actually overlapped. The rolling-refill
+/// kernel keeps all 8 lanes busy across the stream and wins everywhere
+/// — 0.71× scalar uniform / 0.69× zipf on the cache-resident taz 0.1
+/// string (see `crates/bench/tests/xbw_lane_bench.rs` to reproduce), so
+/// the batch-side gate is gone and only the RRR backing stays scalar
+/// (its walk is decode-bound, not latency-bound).
 pub const XBW_BATCH_LANES: usize = 8;
-
-/// Shape strings smaller than this walk scalar in `lookup_batch`:
-/// cache-resident walks have no misses to overlap, so the lockstep
-/// bookkeeping is pure overhead (~1.3× scalar on the taz 0.1 instance,
-/// which is why the v2 benchmark showed the batch path *losing* on
-/// `xbw-succinct`). The threshold reuses the residency bound the stream
-/// path already trusts for its prefetch decision.
-pub const XBW_BATCH_SCALAR_BYTES: usize = fib_succinct::mem::PREFETCH_WORTHWHILE_BYTES;
 
 /// How the two XBW-b strings are stored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -331,26 +332,22 @@ impl<A: Address> XbwFib<A> {
         }
     }
 
-    /// Batched longest-prefix match: [`XBW_BATCH_LANES`] independent walks
-    /// advance in lockstep, so the directory and `S_α` cache misses of
-    /// different packets overlap instead of serializing — the same
-    /// interleaving the flat-layout engines use.
-    ///
-    /// Only the plain (`Succinct`) shape string, and only once it
-    /// outgrows the cache ([`XBW_BATCH_SCALAR_BYTES`]), takes the
-    /// interleaved path: that walk is memory-latency-bound, and
-    /// overlapping eight single-line probes measurably raises
-    /// throughput. The RRR-backed walk is bound by the serial
-    /// combinatorial decode (ALU, not misses), and a cache-resident
-    /// plain string has no misses to overlap — in both cases lockstep
-    /// bookkeeping only adds overhead, so they stay scalar.
+    /// Batched longest-prefix match: [`XBW_BATCH_LANES`] independent
+    /// walks advance interleaved with rolling lane refill, so the
+    /// directory and `S_α` accesses of different packets overlap instead
+    /// of serializing. Out of cache that hides miss latency; in cache it
+    /// still hides the serial rank/access dependency chain, so the
+    /// interleave wins at every table size (see [`XBW_BATCH_LANES`]).
+    /// Only the RRR-backed walk stays scalar: it is bound by the serial
+    /// combinatorial decode (ALU, not loads), which interleaving cannot
+    /// overlap.
     ///
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
         let out = &mut out[..addrs.len()];
-        if matches!(self.si, SiStore::Rrr(_)) || self.size_bytes() < XBW_BATCH_SCALAR_BYTES {
+        if matches!(self.si, SiStore::Rrr(_)) {
             for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
                 *slot = self.lookup(*addr);
             }
@@ -359,43 +356,62 @@ impl<A: Address> XbwFib<A> {
         self.interleaved_walk::<false>(addrs, out);
     }
 
-    /// The shared lockstep walk kernel of [`Self::lookup_batch`]
+    /// The shared rolling-refill walk kernel of [`Self::lookup_batch`]
     /// (`PREFETCH = false`) and [`Self::lookup_stream`] (`true`: each
     /// lane's next `S_I` line is requested the moment its position is
     /// known). Plain backing only; callers handle the RRR fallback.
     fn interleaved_walk<const PREFETCH: bool>(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         let si = self.si.as_view();
-        let mut chunks = addrs.chunks_exact(XBW_BATCH_LANES);
-        let mut outs = out.chunks_exact_mut(XBW_BATCH_LANES);
-        for (chunk, slot) in (&mut chunks).zip(&mut outs) {
-            let mut i = [0usize; XBW_BATCH_LANES];
-            let mut q = [0u8; XBW_BATCH_LANES];
-            let mut parked = [false; XBW_BATCH_LANES];
-            let mut live = XBW_BATCH_LANES;
-            while live > 0 {
-                for lane in 0..XBW_BATCH_LANES {
-                    if parked[lane] {
-                        continue;
-                    }
-                    let (leaf, rank1) = si.access_rank1(i[lane]);
-                    if leaf {
-                        let symbol = self.sa.access(rank1);
-                        slot[lane] = self.label_map[symbol as usize];
-                        parked[lane] = true;
-                        live -= 1;
+        let n = addrs.len();
+        // Rolling lane refill: each slot owns one in-flight walk and takes
+        // the next address from the stream the moment its walk resolves.
+        // The earlier per-chunk lockstep paid a convoy tax — a lane that
+        // matched at depth 8 idled while its chunk-mates walked to depth
+        // 24, so the average number of overlapped walks sat well below
+        // [`XBW_BATCH_LANES`]. Keeping every lane busy across the whole
+        // stream is what lets the interleave pay even on cache-resident
+        // strings, where the overlap hides the serial rank/access
+        // dependency chain rather than memory latency.
+        let mut pos = [0usize; XBW_BATCH_LANES];
+        let mut depth = [0u8; XBW_BATCH_LANES];
+        // Index into `addrs` each lane is walking; `usize::MAX` = drained.
+        let mut job = [usize::MAX; XBW_BATCH_LANES];
+        let mut live = XBW_BATCH_LANES.min(n);
+        for (lane, slot) in job.iter_mut().enumerate().take(live) {
+            *slot = lane;
+        }
+        let mut next = live;
+        while live > 0 {
+            for lane in 0..XBW_BATCH_LANES {
+                let j = job[lane];
+                if j == usize::MAX {
+                    continue;
+                }
+                let (leaf, rank1) = si.access_rank1(pos[lane]);
+                if leaf {
+                    let symbol = self.sa.access(rank1);
+                    out[j] = self.label_map[symbol as usize];
+                    if next < n {
+                        // Refill in place: the next walk starts at the
+                        // root word, which is hot, so no prefetch is due
+                        // until its first child position is known.
+                        job[lane] = next;
+                        pos[lane] = 0;
+                        depth[lane] = 0;
+                        next += 1;
                     } else {
-                        let r = i[lane] + 1 - rank1;
-                        i[lane] = 2 * r - 1 + usize::from(chunk[lane].bit(q[lane]));
-                        q[lane] += 1;
-                        if PREFETCH {
-                            si.prefetch(i[lane]);
-                        }
+                        job[lane] = usize::MAX;
+                        live -= 1;
+                    }
+                } else {
+                    let r = pos[lane] + 1 - rank1;
+                    pos[lane] = 2 * r - 1 + usize::from(addrs[j].bit(depth[lane]));
+                    depth[lane] += 1;
+                    if PREFETCH {
+                        si.prefetch(pos[lane]);
                     }
                 }
             }
-        }
-        for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
-            *slot = self.lookup(*addr);
         }
     }
 
@@ -413,7 +429,7 @@ impl<A: Address> XbwFib<A> {
     /// Software-pipelined batched lookup: identical results to
     /// [`Self::lookup_batch`]. On the plain backing every lane issues a
     /// prefetch for its *next* level's `S_I` line the moment that
-    /// position is computed, so by the time the lockstep loop returns to
+    /// position is computed, so by the time the interleave returns to
     /// the lane its line fetch has been in flight for seven other lanes'
     /// worth of work. RRR stays scalar (decode-bound, like the batch
     /// path).
@@ -730,16 +746,16 @@ impl<'a, A: Address> XbwFibRef<'a, A> {
     }
 
     /// Batched longest-prefix match, interleaving [`XBW_BATCH_LANES`]
-    /// walks on an out-of-cache plain shape string exactly like
-    /// [`XbwFib::lookup_batch`] (RRR and cache-resident strings stay
-    /// scalar — decode-bound and miss-free respectively).
+    /// rolling-refill walks on a plain shape string exactly like
+    /// [`XbwFib::lookup_batch`] (the RRR backing stays scalar —
+    /// decode-bound, nothing for the interleave to overlap).
     ///
     /// # Panics
     /// Panics if `out` is shorter than `addrs`.
     pub fn lookup_batch(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
         assert!(out.len() >= addrs.len(), "output buffer too small"); // fibcheck: allow(hot-path): documented once-per-batch contract, not per-packet
         let out = &mut out[..addrs.len()];
-        if matches!(self.si, SiRef::Rrr(_)) || self.payload_words * 8 < XBW_BATCH_SCALAR_BYTES {
+        if matches!(self.si, SiRef::Rrr(_)) {
             for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
                 *slot = self.lookup(*addr);
             }
@@ -748,40 +764,47 @@ impl<'a, A: Address> XbwFibRef<'a, A> {
         self.interleaved_walk::<false>(addrs, out);
     }
 
-    /// The shared lockstep walk kernel of [`Self::lookup_batch`] and
-    /// [`Self::lookup_stream`] (see [`XbwFib::interleaved_walk`]).
+    /// The shared rolling-refill walk kernel of [`Self::lookup_batch`]
+    /// and [`Self::lookup_stream`] (see [`XbwFib::interleaved_walk`]).
     fn interleaved_walk<const PREFETCH: bool>(&self, addrs: &[A], out: &mut [Option<NextHop>]) {
-        let mut chunks = addrs.chunks_exact(XBW_BATCH_LANES);
-        let mut outs = out.chunks_exact_mut(XBW_BATCH_LANES);
-        for (chunk, slot) in (&mut chunks).zip(&mut outs) {
-            let mut i = [0usize; XBW_BATCH_LANES];
-            let mut q = [0u8; XBW_BATCH_LANES];
-            let mut parked = [false; XBW_BATCH_LANES];
-            let mut live = XBW_BATCH_LANES;
-            while live > 0 {
-                for lane in 0..XBW_BATCH_LANES {
-                    if parked[lane] {
-                        continue;
-                    }
-                    let (leaf, rank1) = self.si.access_rank1(i[lane]);
-                    if leaf {
-                        let symbol = self.sa.access(rank1);
-                        slot[lane] = self.decode_label(symbol);
-                        parked[lane] = true;
-                        live -= 1;
+        let n = addrs.len();
+        let mut pos = [0usize; XBW_BATCH_LANES];
+        let mut depth = [0u8; XBW_BATCH_LANES];
+        // Index into `addrs` each lane is walking; `usize::MAX` = drained.
+        let mut job = [usize::MAX; XBW_BATCH_LANES];
+        let mut live = XBW_BATCH_LANES.min(n);
+        for (lane, slot) in job.iter_mut().enumerate().take(live) {
+            *slot = lane;
+        }
+        let mut next = live;
+        while live > 0 {
+            for lane in 0..XBW_BATCH_LANES {
+                let j = job[lane];
+                if j == usize::MAX {
+                    continue;
+                }
+                let (leaf, rank1) = self.si.access_rank1(pos[lane]);
+                if leaf {
+                    let symbol = self.sa.access(rank1);
+                    out[j] = self.decode_label(symbol);
+                    if next < n {
+                        job[lane] = next;
+                        pos[lane] = 0;
+                        depth[lane] = 0;
+                        next += 1;
                     } else {
-                        let r = i[lane] + 1 - rank1;
-                        i[lane] = 2 * r - 1 + usize::from(chunk[lane].bit(q[lane]));
-                        q[lane] += 1;
-                        if PREFETCH {
-                            self.si.prefetch(i[lane]);
-                        }
+                        job[lane] = usize::MAX;
+                        live -= 1;
+                    }
+                } else {
+                    let r = pos[lane] + 1 - rank1;
+                    pos[lane] = 2 * r - 1 + usize::from(addrs[j].bit(depth[lane]));
+                    depth[lane] += 1;
+                    if PREFETCH {
+                        self.si.prefetch(pos[lane]);
                     }
                 }
             }
-        }
-        for (addr, slot) in chunks.remainder().iter().zip(outs.into_remainder()) {
-            *slot = self.lookup(*addr);
         }
     }
 

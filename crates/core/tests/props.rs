@@ -8,7 +8,9 @@
 //! original proptest config used); failure messages carry the case number
 //! for exact reproduction.
 
-use fib_core::{FibEntropy, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fib_core::{
+    FibEntropy, MultibitDag, PrefixDag, SerializedDag, VarStrideDag, VsParams, XbwFib, XbwStorage,
+};
 use fib_trie::{BinaryTrie, NextHop, Prefix, Prefix4};
 use fib_workload::rng::{Rng, Xoshiro256};
 
@@ -171,5 +173,100 @@ fn fold_is_idempotent_and_size_monotone_in_lambda() {
             dag.stats().live_nodes <= trie.node_count() + proper.node_count(),
             "case {case}, λ={lambda}"
         );
+    }
+}
+
+/// Routes confined to the top `depth` bits: below that the trie never
+/// branches, so lookup depth and result depend only on the leading
+/// `depth` address bits and heat classes at that depth are exact.
+fn arb_shallow_routes(rng: &mut impl Rng, depth: u8) -> Vec<(Prefix4, NextHop)> {
+    let n: usize = rng.random_range(0..60);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(0..=depth);
+            let bits = rng.random::<u32>() & (u32::MAX << (32 - u32::from(depth)));
+            (
+                Prefix::new(bits, len),
+                NextHop::new(rng.random_range(0..8u32)),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn vsdag_dp_beats_every_fixed_stride_uniform() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("vsdag_dp_beats_every_fixed_stride_uniform", case);
+        let routes = arb_shallow_routes(&mut rng, 12);
+        let trie: BinaryTrie<u32> = routes.into_iter().collect();
+        let params = VsParams {
+            max_stride: 8,
+            budget: f64::INFINITY,
+        };
+        let vs = VarStrideDag::from_trie(&trie, params);
+        let vs_avg = vs.depth_stats().0;
+        // The DP's own objective (traffic-weighted slot reads) must agree
+        // with the emitted structure's measured expected depth: the plan
+        // is what got built.
+        assert!(
+            (vs.planned_cost() - vs_avg).abs() < 1e-6,
+            "case {case}: planned {} vs measured {vs_avg}",
+            vs.planned_cost()
+        );
+        // Every fixed-stride placement is a point in the DP's search
+        // space, so the optimum can never be deeper on average.
+        for stride in 1..=8u8 {
+            let mb_avg = MultibitDag::from_trie(&trie, stride).depth_stats().0;
+            assert!(
+                vs_avg <= mb_avg + 1e-9,
+                "case {case}: vsdag {vs_avg} deeper than stride-{stride} {mb_avg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn vsdag_dp_beats_every_fixed_stride_under_heat() {
+    const HEAT_DEPTH: u8 = 12;
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::for_case("vsdag_dp_beats_every_fixed_stride_under_heat", case);
+        let routes = arb_shallow_routes(&mut rng, HEAT_DEPTH);
+        let trie: BinaryTrie<u32> = routes.into_iter().collect();
+        // A spiky heat summary over full address classes at the trie's
+        // branching floor: exact weights, no projection slack.
+        let n_hot: usize = rng.random_range(1..16);
+        let heat: Vec<(u64, u64)> = (0..n_hot)
+            .map(|_| {
+                let class = u64::from(rng.random::<u16>() & 0x0FFF);
+                (
+                    class << (64 - u32::from(HEAT_DEPTH)),
+                    rng.random_range(1..100u64),
+                )
+            })
+            .collect();
+        let total: u64 = heat.iter().map(|&(_, c)| c).sum();
+        let params = VsParams {
+            max_stride: 8,
+            budget: f64::INFINITY,
+        };
+        let vs = VarStrideDag::from_trie_weighted(&trie, params, Some((&heat, HEAT_DEPTH)));
+        let expected_hops = |depth_of: &dyn Fn(u32) -> u32| -> f64 {
+            heat.iter()
+                .map(|&(key, count)| {
+                    let addr = ((key >> 32) as u32) & (u32::MAX << (32 - u32::from(HEAT_DEPTH)));
+                    count as f64 * f64::from(depth_of(addr))
+                })
+                .sum::<f64>()
+                / total as f64
+        };
+        let vs_w = expected_hops(&|a| vs.lookup_with_depth(a).1);
+        for stride in 1..=8u8 {
+            let mb = MultibitDag::from_trie(&trie, stride);
+            let mb_w = expected_hops(&|a| mb.lookup_with_depth(a).1);
+            assert!(
+                vs_w <= mb_w + 1e-9,
+                "case {case}: weighted vsdag {vs_w} deeper than stride-{stride} {mb_w}"
+            );
+        }
     }
 }

@@ -412,6 +412,11 @@ pub struct Router<A: Address, E: Send + Sync + 'static> {
     /// The published snapshot lags the control FIB because materializing
     /// a fresh engine panicked at the last publish.
     serving_stale: bool,
+    /// The last merged traffic interval, in `HeatSummary` entry shape.
+    /// Threaded into every engine (re)build so heat-aware engines (the
+    /// variable-stride DAG) re-stride their layout for measured traffic;
+    /// heat-blind engines ignore it.
+    heat_profile: Option<(Vec<(u64, u64)>, u8)>,
 }
 
 impl<A, E> Router<A, E>
@@ -448,15 +453,22 @@ where
             last_rebuild_panic: None,
             rebuild_suspended: false,
             serving_stale: false,
+            heat_profile: None,
         }
     }
 
-    /// Runs `E::build` with panics contained: a panicking build becomes
-    /// an `Err` carrying the panic message instead of unwinding into the
-    /// control plane.
-    fn build_caught(control: &BinaryTrie<A>, build: &BuildConfig) -> Result<E, String> {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| E::build(control, build)))
-            .map_err(|p| panic_message(&*p))
+    /// Runs `E::build_weighted` with panics contained: a panicking build
+    /// becomes an `Err` carrying the panic message instead of unwinding
+    /// into the control plane.
+    fn build_caught(
+        control: &BinaryTrie<A>,
+        build: &BuildConfig,
+        heat: Option<&(Vec<(u64, u64)>, u8)>,
+    ) -> Result<E, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            E::build_weighted(control, build, heat.map(|(e, d)| (e.as_slice(), *d)))
+        }))
+        .map_err(|p| panic_message(&*p))
     }
 
     fn note_rebuild_panic(&mut self, msg: String) {
@@ -672,6 +684,7 @@ where
             last_rebuild_panic: None,
             rebuild_suspended: false,
             serving_stale: false,
+            heat_profile: None,
         };
         router.spool = Some(spool);
         Ok(router)
@@ -851,7 +864,11 @@ where
         // The spilled engine must reflect `control` exactly; materialize
         // it if needed (same rule publish applies).
         if self.stale || self.working.is_none() {
-            match Self::build_caught(&self.control, &self.config.build) {
+            match Self::build_caught(
+                &self.control,
+                &self.config.build,
+                self.heat_profile.as_ref(),
+            ) {
                 Ok(engine) => {
                     self.working = Some(engine);
                     self.stale = false;
@@ -1047,12 +1064,23 @@ where
         if self.config.background_rebuild {
             let control = self.control.clone();
             let build = self.config.build;
+            let heat = self.heat_profile.clone();
             self.journal.clear();
             self.rebuild = Some(RebuildJob {
-                handle: std::thread::spawn(move || E::build(&control, &build)),
+                handle: std::thread::spawn(move || {
+                    E::build_weighted(
+                        &control,
+                        &build,
+                        heat.as_ref().map(|(e, d)| (e.as_slice(), *d)),
+                    )
+                }),
             });
         } else {
-            match Self::build_caught(&self.control, &self.config.build) {
+            match Self::build_caught(
+                &self.control,
+                &self.config.build,
+                self.heat_profile.as_ref(),
+            ) {
                 Ok(engine) => {
                     self.working = Some(engine);
                     self.stale = false;
@@ -1116,7 +1144,11 @@ where
         } else {
             // A static engine cannot replay; fold the journal in by
             // rebuilding from the (already up-to-date) control FIB.
-            match Self::build_caught(&self.control, &self.config.build) {
+            match Self::build_caught(
+                &self.control,
+                &self.config.build,
+                self.heat_profile.as_ref(),
+            ) {
                 Ok(engine) => {
                     self.working = Some(engine);
                     self.stats.rebuilds += 1;
@@ -1158,7 +1190,11 @@ where
     /// traffic profile also re-tunes the build config's λ barrier via
     /// [`fib_core::lambda::barrier_traffic`], so subsequent rebuilds
     /// fold for the traffic actually seen, and the sketches are reset so
-    /// the next publish interval samples fresh.
+    /// the next publish interval samples fresh. For a heat-aware engine
+    /// ([`FibBuild::heat_aware`], e.g. the variable-stride DAG) the
+    /// profile is retained and the publish *re-strides*: the engine is
+    /// rebuilt through [`FibBuild::build_weighted`] so the new epoch's
+    /// layout matches the live traffic.
     ///
     /// Returns the snapshot, the merged interval summary, and the slab
     /// compilation stats.
@@ -1183,6 +1219,17 @@ where
             1.0,
             A::WIDTH,
         ));
+        if !summary.entries().is_empty() {
+            self.heat_profile = Some((summary.entries().to_vec(), summary.depth()));
+            // A heat-aware engine lays its structure out around the
+            // profile, so the fresh interval demands a re-stride: mark
+            // the working engine stale and let the publish below rebuild
+            // it through `build_weighted`. Heat-blind engines would
+            // rebuild into an identical layout — skip the churn.
+            if E::heat_aware() {
+                self.stale = true;
+            }
+        }
         let snapshot = self.publish_with(Some(slab));
         (snapshot, summary, stats)
     }
@@ -1206,7 +1253,11 @@ where
             return self.snapshot();
         }
         if self.stale || self.working.is_none() {
-            match Self::build_caught(&self.control, &self.config.build) {
+            match Self::build_caught(
+                &self.control,
+                &self.config.build,
+                self.heat_profile.as_ref(),
+            ) {
                 Ok(engine) => {
                     self.working = Some(engine);
                     self.stale = false;
@@ -1345,6 +1396,58 @@ mod tests {
             assert_eq!(snap.lookup(addr), want, "single lookup at {addr:#x}");
             assert_eq!(batch[i], want, "batch lookup at {addr:#x}");
             assert_eq!(stream[i], want, "stream lookup at {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn hot_publish_restrides_a_heat_aware_engine() {
+        use fib_core::VarStrideDag;
+        // A deeper FIB so the stride DP has real depth to trade on.
+        let mut fib = base_fib();
+        for i in 0u32..64 {
+            fib.insert(Prefix::new(0x0A40_0000 | (i << 10), 22), nh(i % 5));
+        }
+        let mut router: Router<u32, VarStrideDag<u32>> = Router::new(fib, config());
+        let uniform_hist = router
+            .snapshot()
+            .engine()
+            .expect("owned engine")
+            .stride_histogram();
+
+        // All sampled traffic concentrates inside 10.64/10.
+        let heat = HeatMap::new(1, 24, 2048);
+        let mut x = 1u32;
+        for _ in 0..8192 {
+            x = x.wrapping_mul(0x0101_6B55).wrapping_add(1);
+            heat.sketch(0).record(0x0A40_0000 | (x & 0x003F_FFFF));
+        }
+        let rebuilds_before = router.stats().rebuilds;
+        let (snap, summary, _) = router.publish_hot(&heat, &HotConfig::for_width(32));
+        assert!(summary.total() > 0);
+        assert!(
+            router.stats().rebuilds > rebuilds_before,
+            "a heat-aware engine re-strides at the hot publish"
+        );
+        let restrided = snap.engine().expect("owned engine");
+        assert_ne!(
+            restrided.stride_histogram(),
+            uniform_hist,
+            "the live profile reshaped the stride placement"
+        );
+        // Re-striding never changes answers, hot and cold alike.
+        let mut x = 123u32;
+        for _ in 0..1024 {
+            x = x.wrapping_mul(0x9E37_79B9).wrapping_add(7);
+            let addr = if x % 2 == 0 {
+                x
+            } else {
+                0x0A40_0000 | (x & 0x003F_FFFF)
+            };
+            assert_eq!(
+                snap.lookup(addr),
+                router.control().lookup(addr),
+                "{addr:#x}"
+            );
         }
     }
 

@@ -137,6 +137,10 @@ impl<A: Address> VrfSnapshot<A> {
                 Some(fib) => fib.lookup_batch(addrs, hops),
                 None => hops.fill(None),
             },
+            VrfEngineChoice::VsDag => match &table.vsdag {
+                Some(dag) => dag.lookup_batch(addrs, hops),
+                None => hops.fill(None),
+            },
         }
     }
 }

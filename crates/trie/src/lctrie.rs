@@ -134,26 +134,42 @@ impl<A: Address> LcTrie<A> {
 
     /// Largest stride `k` such that at least `fill·2^k` of the depth-`k`
     /// descendant slots below `idx` reach a real node.
+    ///
+    /// A slot reaches a real node at depth `k` exactly when its `k`-bit
+    /// path stays on internal nodes for the first `k−1` steps, so the
+    /// depth-`k` population is `2 ×` the number of *internal* nodes at
+    /// depth `k−1`. That frontier is computed incrementally level by
+    /// level (each candidate extends the previous candidate's frontier)
+    /// instead of re-walking all `2^k` slot paths per candidate, which
+    /// made wide-stride builds quadratic in the fanout.
     fn choose_stride(&self, proper: &ProperTrie<A>, idx: u32, fill: f64) -> u8 {
         let mut best = 1u8;
+        // Internal nodes at depth k−1 below `idx` (k starts at 2).
+        let mut frontier: Vec<u32> = match *proper.node(idx) {
+            ProperNode::Leaf(_) => return best,
+            ProperNode::Internal { left, right } => [left, right]
+                .into_iter()
+                .filter(|&c| matches!(proper.node(c), ProperNode::Internal { .. }))
+                .collect(),
+        };
         for k in 2..=self.max_stride {
             let width = 1u32 << k;
             let needed = (fill * f64::from(width)).ceil() as u32;
-            let mut reached = 0u32;
-            for slot in 0..width {
-                if matches!(self.descend(proper, idx, slot, k), Descend::Reached(_)) {
-                    reached += 1;
-                }
-                // Early exit: even if all remaining slots reach, can't win.
-                if reached + (width - slot - 1) < needed {
-                    break;
-                }
-            }
+            let reached = 2 * frontier.len() as u32;
             if reached >= needed {
                 best = k;
             } else {
                 break;
             }
+            // Advance the frontier to depth k for the next candidate.
+            frontier = frontier
+                .iter()
+                .flat_map(|&f| match *proper.node(f) {
+                    ProperNode::Internal { left, right } => [left, right],
+                    ProperNode::Leaf(_) => unreachable!("frontier holds internal nodes"),
+                })
+                .filter(|&c| matches!(proper.node(c), ProperNode::Internal { .. }))
+                .collect();
         }
         best
     }

@@ -254,6 +254,93 @@ impl<A: Address> ProperTrie<A> {
     pub fn size_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<ProperNode>()
     }
+
+    /// Per-node `(path, depth)` spans, indexed by arena position: `path`
+    /// is the root-to-node bit string MSB-aligned in a `u64` (the same
+    /// alignment workload heat keys use) and `depth` is the node's depth
+    /// in bits, so the node covers the address interval
+    /// `[path, path + 2^(64−depth))`. Nodes deeper than 64 bits keep the
+    /// top 64 path bits — heat keys never reach that deep.
+    #[must_use]
+    pub fn node_spans(&self) -> Vec<(u64, u8)> {
+        let mut spans = vec![(0u64, 0u8); self.nodes.len()];
+        let mut stack = vec![(self.root, 0u64, 0u8)];
+        while let Some((idx, path, depth)) = stack.pop() {
+            spans[idx as usize] = (path, depth);
+            if let ProperNode::Internal { left, right } = self.nodes[idx as usize] {
+                stack.push((left, path, depth + 1));
+                let right_path = if depth < 64 {
+                    path | 1u64 << (63 - depth)
+                } else {
+                    path
+                };
+                stack.push((right, right_path, depth + 1));
+            }
+        }
+        spans
+    }
+}
+
+/// Projects aggregated heat counts onto per-node traffic weights of a
+/// leaf-pushed trie.
+///
+/// `spans` is [`ProperTrie::node_spans`]; `entries` are `(key, count)`
+/// pairs whose keys are address prefixes MSB-aligned in a `u64` and
+/// truncated to `heat_depth` bits (the workload `HeatSummary` shape). A
+/// node at depth `d ≤ heat_depth` weighs the sum of all counts falling in
+/// its address interval; below the measured depth the covering block's
+/// mass is split uniformly (`count · 2^−(d − heat_depth)`), matching the
+/// "uniform within a block" assumption heat sampling makes. Weights are
+/// returned as fractions of the total count; when the total is zero the
+/// uniform address-fraction distribution `2^−d` is returned instead.
+#[must_use]
+pub fn project_heat_weights(
+    spans: &[(u64, u8)],
+    entries: &[(u64, u64)],
+    heat_depth: u8,
+) -> Vec<f64> {
+    let mut keys: Vec<(u64, u64)> = entries.iter().copied().filter(|&(_, c)| c > 0).collect();
+    keys.sort_unstable_by_key(|&(k, _)| k);
+    let mut prefix = Vec::with_capacity(keys.len() + 1);
+    prefix.push(0u64);
+    for &(_, c) in &keys {
+        prefix.push(prefix.last().unwrap() + c);
+    }
+    let total = *prefix.last().unwrap();
+    if total == 0 {
+        return spans
+            .iter()
+            .map(|&(_, d)| 0.5f64.powi(i32::from(d)))
+            .collect();
+    }
+    let range_sum = |lo: u64, hi_incl: u64| -> u64 {
+        let a = keys.partition_point(|&(k, _)| k < lo);
+        let b = keys.partition_point(|&(k, _)| k <= hi_incl);
+        prefix[b] - prefix[a]
+    };
+    let totalf = total as f64;
+    spans
+        .iter()
+        .map(|&(path, depth)| {
+            if depth <= heat_depth {
+                let hi = if depth == 0 {
+                    u64::MAX
+                } else {
+                    path | (u64::MAX >> depth)
+                };
+                range_sum(path, hi) as f64 / totalf
+            } else {
+                let (block, hi) = if heat_depth == 0 {
+                    (0, u64::MAX)
+                } else {
+                    let block = path & (u64::MAX << (64 - heat_depth));
+                    (block, block | (u64::MAX >> heat_depth))
+                };
+                let mass = range_sum(block, hi) as f64 / totalf;
+                mass * 0.5f64.powi(i32::from(depth - heat_depth))
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

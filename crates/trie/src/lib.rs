@@ -45,6 +45,6 @@ mod table;
 pub use addr::{Address, Depth, ParsePrefixError, Prefix, Prefix4, Prefix6};
 pub use binary::{BinaryTrie, NodeRef};
 pub use lctrie::{LcTrie, LcTrieRef, LC_BATCH_LANES};
-pub use leafpush::{ProperNode, ProperTrie};
+pub use leafpush::{project_heat_weights, ProperNode, ProperTrie};
 pub use nexthop::NextHop;
 pub use table::RouteTable;

@@ -3,7 +3,8 @@
 //! Drives the whole `fibimage/v1` pipeline from the shell:
 //!
 //! ```sh
-//! # Compile a routes file into an image (engine: xbw|pdag|serialized|multibit|lctrie).
+//! # Compile a routes file into an image
+//! # (engine: xbw|pdag|serialized|multibit|lctrie|vsdag).
 //! fibc compile --engine serialized --routes routes.txt --out fib.img
 //!
 //! # Or compile a synthetic paper instance (taz, hbone, …) at a scale.
@@ -29,7 +30,8 @@ use fibcomp::core::lint as image_lint;
 use fibcomp::core::{
     any_view, compile_vrf_set, write_image, write_image_hot, write_vrf_image, AnyView, BuildConfig,
     EngineKind, FibBuild, FibImage, FibLookup, HotConfig, HotSlab, ImageCodec, ImageError,
-    MultibitDag, PrefixDag, SerializedDag, VrfPolicy, VrfSetRef, VrfTable, XbwFib, XbwStorage,
+    MultibitDag, PrefixDag, SerializedDag, VarStrideDag, VrfPolicy, VrfSetRef, VrfTable, XbwFib,
+    XbwStorage,
 };
 use fibcomp::router::{scan_spool, LatencyHistogram, StdFs};
 use fibcomp::trie::{Address, BinaryTrie, LcTrie, NextHop, Prefix};
@@ -63,11 +65,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  fibc compile --engine <xbw|pdag|serialized|multibit|lctrie> \\
+  fibc compile --engine <xbw|pdag|serialized|multibit|lctrie|vsdag> \\
                (--routes FILE | --instance NAME [--scale S] [--seed N]) \\
                --out IMG [--v6] [--xbw-mode succinct|entropy] [--lambda N] \\
-               [--stride N] [--epoch N] [--no-routes] \\
-               [--heat [--heat-samples N]]
+               [--stride N] [--vs-budget F] [--vs-max-stride N] \\
+               [--epoch N] [--no-routes] [--heat [--heat-samples N]]
   fibc compile --vrfs N [--instance NAME] [--scale S] [--overlap F] \\
                [--vrf-policy shared|auto] [--vrf-skew S] [--seed N] \\
                --out IMG    (multi-tenant set: one shared dedup arena)
@@ -128,6 +130,14 @@ fn build_config(args: &[String]) -> Result<BuildConfig, String> {
     if let Some(stride) = opt(args, "--stride") {
         config.stride = stride.parse().map_err(|e| format!("--stride: {e}"))?;
     }
+    if let Some(budget) = opt(args, "--vs-budget") {
+        config.vs_budget = budget.parse().map_err(|e| format!("--vs-budget: {e}"))?;
+    }
+    if let Some(max_stride) = opt(args, "--vs-max-stride") {
+        config.vs_max_stride = max_stride
+            .parse()
+            .map_err(|e| format!("--vs-max-stride: {e}"))?;
+    }
     config.xbw_storage = match opt(args, "--xbw-mode").unwrap_or("entropy") {
         "succinct" => XbwStorage::Succinct,
         "entropy" => XbwStorage::Entropy,
@@ -142,7 +152,7 @@ fn compile(args: &[String]) -> Result<(), String> {
         return compile_vrfs(args, vrfs);
     }
     let engine = EngineKind::parse(opt(args, "--engine").ok_or("--engine is required")?)
-        .ok_or("unknown engine (want xbw|pdag|serialized|multibit|lctrie)")?;
+        .ok_or("unknown engine (want xbw|pdag|serialized|multibit|lctrie|vsdag)")?;
     let out = opt(args, "--out").ok_or("--out is required")?;
     let epoch: u64 = opt(args, "--epoch")
         .unwrap_or("0")
@@ -200,7 +210,11 @@ fn compile_trie<A: Address>(
     out: &str,
 ) -> Result<(), String> {
     let routes = with_routes.then_some(trie);
-    let slab = match heat {
+    // --heat drives two things off the same sampled trace: the HOT_SLAB
+    // section every engine can front lookups with, and — for heat-aware
+    // engines like vsdag — the per-node traffic weights its stride DP
+    // lays the table out around (via `FibBuild::build_weighted`).
+    let sampled = match heat {
         None => None,
         Some(samples) => {
             let hot_config = HotConfig::for_width(A::WIDTH);
@@ -218,18 +232,28 @@ fn compile_trie<A: Address>(
                 stats.coverage,
                 samples
             );
-            Some(slab)
+            Some((slab, summary))
         }
     };
-    let slab = slab.as_ref();
+    let slab = sampled.as_ref().map(|(slab, _)| slab);
+    let weights = sampled
+        .as_ref()
+        .map(|(_, summary)| (summary.entries(), summary.depth()));
     let bytes = match engine {
-        EngineKind::Xbw => encode::<A, XbwFib<A>>(trie, config, routes, epoch, slab),
-        EngineKind::PrefixDag => encode::<A, PrefixDag<A>>(trie, config, routes, epoch, slab),
-        EngineKind::SerializedDag => {
-            encode::<A, SerializedDag<A>>(trie, config, routes, epoch, slab)
+        EngineKind::Xbw => encode::<A, XbwFib<A>>(trie, config, routes, epoch, slab, weights),
+        EngineKind::PrefixDag => {
+            encode::<A, PrefixDag<A>>(trie, config, routes, epoch, slab, weights)
         }
-        EngineKind::MultibitDag => encode::<A, MultibitDag<A>>(trie, config, routes, epoch, slab),
-        EngineKind::LcTrie => encode::<A, LcTrie<A>>(trie, config, routes, epoch, slab),
+        EngineKind::SerializedDag => {
+            encode::<A, SerializedDag<A>>(trie, config, routes, epoch, slab, weights)
+        }
+        EngineKind::MultibitDag => {
+            encode::<A, MultibitDag<A>>(trie, config, routes, epoch, slab, weights)
+        }
+        EngineKind::LcTrie => encode::<A, LcTrie<A>>(trie, config, routes, epoch, slab, weights),
+        EngineKind::VsDag => {
+            encode::<A, VarStrideDag<A>>(trie, config, routes, epoch, slab, weights)
+        }
         EngineKind::VrfSet => {
             return Err("vrfset images hold many tables; compile one with --vrfs N".into())
         }
@@ -252,8 +276,9 @@ fn encode<A: Address, E: ImageCodec<A> + FibBuild<A>>(
     routes: Option<&BinaryTrie<A>>,
     epoch: u64,
     slab: Option<&HotSlab>,
+    weights: Option<(&[(u64, u64)], u8)>,
 ) -> Result<Vec<u8>, ImageError> {
-    let engine = E::build(trie, config);
+    let engine = E::build_weighted(trie, config, weights);
     match slab {
         Some(slab) => write_image_hot(&engine, routes, epoch, slab),
         None => write_image(&engine, routes, epoch),
@@ -346,6 +371,8 @@ fn section_name(id: u32) -> &'static str {
         sections::SER_ENTRIES => "serialized.entries",
         sections::SER_NODES => "serialized.nodes",
         sections::MB_SLOTS => "multibit.slots",
+        sections::VS_NODES => "vsdag.nodes",
+        sections::VS_SLOTS => "vsdag.slots",
         sections::LC_NODES => "lctrie.nodes",
         sections::HOT_SLAB => "hot.slab",
         sections::VRF_DIR => "vrf.dir",

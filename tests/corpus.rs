@@ -261,14 +261,19 @@ fn build_corpus() -> Vec<(&'static str, Vec<u8>, &'static str)> {
         "vrf-root-out-of-range",
     ));
 
-    // A fleet compiled under extreme traffic skew pins table 0 on a
-    // dedicated serialized engine; zapping its section-table ids leaves
-    // the directory claiming sections the image no longer exposes.
+    // A fleet with table 0 pinned on a dedicated serialized engine;
+    // zapping its section-table ids leaves the directory claiming
+    // sections the image no longer exposes. Pinned (not Auto) so the
+    // corpus bytes survive cost-model retunes.
     let hot_set = compile_vrf_set(
         &vrf_tables,
         &config,
-        &VrfPolicy::Auto {
-            weights: vec![0.98, 0.01, 0.01],
+        &VrfPolicy::Pinned {
+            choices: vec![
+                VrfEngineChoice::Serialized,
+                VrfEngineChoice::Shared,
+                VrfEngineChoice::Shared,
+            ],
         },
     );
     assert_eq!(
@@ -292,6 +297,36 @@ fn build_corpus() -> Vec<(&'static str, Vec<u8>, &'static str)> {
         "vrf-dropped-section.img",
         repair_checksum(bad),
         "vrf-dangling-section",
+    ));
+
+    // Variable-stride DAG classes: the clean image pins the VS_NODES /
+    // VS_SLOTS codec; the corrupt pair hit the two deep-pass codes. A
+    // stride field of 31 can never be emitted by the DP (band is
+    // [1, 16]), and shrinking the declared slot count makes the node
+    // spans overrun the slot table exactly like a truncated download.
+    let vs: fibcomp::core::VarStrideDag<u32> = FibBuild::build(&trie, &config);
+    let vs_img = write_image(&vs, Some(&trie), 1).unwrap();
+    corpus.push(("clean-vsdag.img", vs_img.clone(), "clean"));
+
+    let mut bad = vs_img.clone();
+    let nodes_off = section_byte_offset(&vs_img, sections::VS_NODES);
+    let node0 = read_word(&bad, nodes_off);
+    write_word(&mut bad, nodes_off, (31u64 << 32) | (node0 & 0xFFFF_FFFF));
+    corpus.push((
+        "vsdag-stride-range.img",
+        repair_checksum(bad),
+        "vsdag-stride-out-of-range",
+    ));
+
+    let mut bad = vs_img.clone();
+    let params_off = section_byte_offset(&vs_img, sections::PARAMS);
+    let n_slots = read_word(&bad, params_off + 2 * 8);
+    assert!(n_slots > 16, "corpus vsdag has a real slot table");
+    write_word(&mut bad, params_off + 2 * 8, n_slots - 16);
+    corpus.push((
+        "vsdag-slot-truncated.img",
+        repair_checksum(bad),
+        "vsdag-slot-coverage",
     ));
 
     corpus

@@ -2,7 +2,9 @@
 //! must compute the same longest-prefix-match function, on FIBs of every
 //! shape the workload generators can produce.
 
-use fibcomp::core::{FibEngine, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage};
+use fibcomp::core::{
+    FibEngine, MultibitDag, PrefixDag, SerializedDag, VarStrideDag, VsParams, XbwFib, XbwStorage,
+};
 use fibcomp::trie::{ortc, BinaryTrie, LcTrie, NextHop, ProperTrie, RouteTable};
 use fibcomp::workload::rng::Xoshiro256;
 use fibcomp::workload::{traces, FibSpec, LabelModel};
@@ -32,11 +34,28 @@ fn check_all_engines(trie: &BinaryTrie<u32>, keys: &[u32]) {
     let ser11 = SerializedDag::from_dag(&dag11);
     let mb4 = MultibitDag::from_trie(trie, 4);
     let mb8 = MultibitDag::from_trie(trie, 8);
+    let vs = VarStrideDag::from_trie(trie, VsParams::default());
+    // Heat-weighted build: skew all traffic onto the first probe keys'
+    // /12 classes. The DP may pick wildly different strides, but the
+    // forwarding function must not move.
+    let heat: Vec<(u64, u64)> = keys
+        .iter()
+        .take(64)
+        .map(|&k| ((u64::from(k) << 32) & (u64::MAX << 52), 7u64))
+        .collect();
+    let vs_hot = VarStrideDag::from_trie_weighted(
+        trie,
+        VsParams {
+            max_stride: 6,
+            budget: f64::INFINITY,
+        },
+        Some((&heat, 12)),
+    );
     let aggregated = ortc::compress(trie);
 
     let engines: Vec<&dyn FibEngine<u32>> = vec![
         trie, &proper, &lc_half, &lc_full, &xbw_s, &xbw_e, &dag0, &dag11, &dag_eq3, &ser0, &ser11,
-        &mb4, &mb8,
+        &mb4, &mb8, &vs, &vs_hot,
     ];
     for &key in keys {
         let expected = table.lookup(key);
@@ -199,6 +218,7 @@ fn check_all_engines_v6(trie: &fibcomp::trie::BinaryTrie<u128>, keys: &[u128]) {
     let dag = PrefixDag::from_trie(trie, 24);
     let ser = SerializedDag::from_dag(&dag);
     let mb = MultibitDag::from_trie(trie, 8);
+    let vs = VarStrideDag::from_trie(trie, VsParams::default());
     let engines: Vec<&dyn FibEngine<u128>> = vec![
         trie as &BinaryTrie<u128>,
         &proper,
@@ -208,6 +228,7 @@ fn check_all_engines_v6(trie: &fibcomp::trie::BinaryTrie<u128>, keys: &[u128]) {
         &dag,
         &ser,
         &mb,
+        &vs,
     ];
     for &key in keys {
         let expected = table.lookup(key);

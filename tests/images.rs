@@ -5,7 +5,7 @@
 use fibcomp::core::image::sections;
 use fibcomp::core::{
     any_view, write_image, BuildConfig, EngineKind, FibBuild, FibImage, FibLookup, ImageCodec,
-    ImageError, MultibitDag, PrefixDag, SerializedDag, XbwFib, XbwStorage,
+    ImageError, MultibitDag, PrefixDag, SerializedDag, VarStrideDag, XbwFib, XbwStorage,
 };
 use fibcomp::trie::{Address, BinaryTrie, LcTrie, NextHop, Prefix4, Prefix6};
 use fibcomp::workload::rng::{Rng, Xoshiro256};
@@ -85,6 +85,7 @@ fn engines_v4(trie: &BinaryTrie<u32>) -> impl Iterator<Item = (&'static str, Vec
     let ser: SerializedDag<u32> = FibBuild::build(trie, &config);
     let mb: MultibitDag<u32> = FibBuild::build(trie, &config);
     let lc: LcTrie<u32> = FibBuild::build(trie, &config);
+    let vs: VarStrideDag<u32> = FibBuild::build(trie, &config);
     [
         ("xbw-succinct", write_image(&xbw_s, Some(trie), 0).unwrap()),
         ("xbw-entropy", write_image(&xbw_e, Some(trie), 0).unwrap()),
@@ -92,6 +93,7 @@ fn engines_v4(trie: &BinaryTrie<u32>) -> impl Iterator<Item = (&'static str, Vec
         ("serialized", write_image(&ser, Some(trie), 0).unwrap()),
         ("multibit", write_image(&mb, Some(trie), 0).unwrap()),
         ("lctrie", write_image(&lc, Some(trie), 0).unwrap()),
+        ("vsdag", write_image(&vs, Some(trie), 0).unwrap()),
     ]
     .into_iter()
 }
@@ -107,6 +109,7 @@ fn every_engine_roundtrips_on_ipv4() {
     assert_roundtrip::<u32, SerializedDag<u32>>(&FibBuild::build(&trie, &config), &trie, &keys);
     assert_roundtrip::<u32, MultibitDag<u32>>(&FibBuild::build(&trie, &config), &trie, &keys);
     assert_roundtrip::<u32, LcTrie<u32>>(&FibBuild::build(&trie, &config), &trie, &keys);
+    assert_roundtrip::<u32, VarStrideDag<u32>>(&FibBuild::build(&trie, &config), &trie, &keys);
 }
 
 #[test]
@@ -124,6 +127,7 @@ fn every_engine_roundtrips_on_ipv6() {
     assert_roundtrip::<u128, SerializedDag<u128>>(&FibBuild::build(&trie, &config), &trie, &keys);
     assert_roundtrip::<u128, MultibitDag<u128>>(&FibBuild::build(&trie, &config), &trie, &keys);
     assert_roundtrip::<u128, LcTrie<u128>>(&FibBuild::build(&trie, &config), &trie, &keys);
+    assert_roundtrip::<u128, VarStrideDag<u128>>(&FibBuild::build(&trie, &config), &trie, &keys);
 }
 
 /// The zero-copy guarantee, asserted by pointer ranges: every word the
@@ -157,6 +161,11 @@ fn loaded_views_borrow_from_the_image_arena() {
     let dag: PrefixDag<u32> = FibBuild::build(&trie, &config);
     let image = FibImage::from_bytes(&write_image(&dag, None, 0).unwrap()).unwrap();
     let view = <PrefixDag<u32> as ImageCodec<u32>>::view(&image).unwrap();
+    within(view.payload_ptr_range(), image.words().as_ptr_range());
+
+    let vs: VarStrideDag<u32> = FibBuild::build(&trie, &config);
+    let image = FibImage::from_bytes(&write_image(&vs, None, 0).unwrap()).unwrap();
+    let view = <VarStrideDag<u32> as ImageCodec<u32>>::view(&image).unwrap();
     within(view.payload_ptr_range(), image.words().as_ptr_range());
 
     for storage in [XbwStorage::Succinct, XbwStorage::Entropy] {
